@@ -1,0 +1,64 @@
+// Ablation: Causal Discrimination's (confidence, error-bound) parameters
+// drive its Hoeffding sample size; this sweep shows the estimate's
+// convergence and cost, motivating the paper's 99%/1% setting.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "data/split.h"
+#include "core/table.h"
+#include "stats/bounds.h"
+
+namespace fairbench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Ablation: CD sampling parameters (Adult, LR)", args);
+
+  const PopulationConfig config = AdultConfig();
+  Result<Dataset> data = GeneratePopulation(
+      config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+  if (!data.ok()) return 1;
+  const FairContext context = MakeContext(config, args.seed);
+  Rng rng(args.seed);
+  const SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts =
+      MaterializeSplit(data.value(), split);
+  if (!parts.ok()) return 1;
+
+  Result<Pipeline> lr = MakePipeline("lr");
+  if (!lr.ok() || !lr->Fit(parts->first, context).ok()) return 1;
+
+  TextTable table;
+  table.SetHeader({"confidence", "error", "hoeffding n", "CD estimate",
+                   "seconds"});
+  const struct {
+    double confidence;
+    double error;
+  } settings[] = {{0.90, 0.10}, {0.95, 0.05}, {0.99, 0.02}, {0.99, 0.01}};
+  for (const auto& s : settings) {
+    CdOptions cd;
+    cd.confidence = s.confidence;
+    cd.error_bound = s.error;
+    cd.seed = args.seed;
+    Timer timer;
+    Result<double> estimate = CausalDiscrimination(
+        parts->second, lr->MakeRowPredictor(parts->second), cd);
+    if (!estimate.ok()) return 1;
+    table.AddRow({StrFormat("%.2f", s.confidence), StrFormat("%.2f", s.error),
+                  StrFormat("%zu", HoeffdingSampleSize(s.error, s.confidence)),
+                  StrFormat("%.4f", estimate.value()),
+                  StrFormat("%.3f", timer.ElapsedSeconds())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairbench
+
+int main(int argc, char** argv) { return fairbench::Run(argc, argv); }

@@ -1,0 +1,57 @@
+// Ablation (paper §5 "tuning the level of repair"): sweep FELD's repair
+// level lambda and report the correctness/parity tradeoff it buys.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "data/split.h"
+#include "core/table.h"
+#include "fair/pre/feld.h"
+
+namespace fairbench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Ablation: FELD repair level lambda (Adult)", args);
+
+  const PopulationConfig config = AdultConfig();
+  Result<Dataset> data = GeneratePopulation(
+      config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+  if (!data.ok()) return 1;
+  const FairContext context = MakeContext(config, args.seed);
+
+  TextTable table;
+  table.SetHeader({"lambda", "accuracy", "f1", "di*", "1-|tprb|", "1-|crd|"});
+  for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    Pipeline pipeline(std::make_unique<Feld>(lambda), nullptr, nullptr,
+                      /*include_sensitive=*/false);
+    Rng rng(args.seed);
+    const SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+    Result<std::pair<Dataset, Dataset>> parts =
+        MaterializeSplit(data.value(), split);
+    if (!parts.ok()) return 1;
+    if (!pipeline.Fit(parts->first, context).ok()) return 1;
+    Result<std::vector<int>> pred = pipeline.Predict(parts->second);
+    if (!pred.ok()) return 1;
+    Result<MetricsReport> report = ComputeMetricsReport(
+        parts->second, pred.value(), pipeline.MakeRowPredictor(parts->second),
+        context.resolving_attributes);
+    if (!report.ok()) return 1;
+    table.AddRow({StrFormat("%.1f", lambda),
+                  StrFormat("%.3f", report->correctness.accuracy),
+                  StrFormat("%.3f", report->correctness.f1),
+                  StrFormat("%.3f", report->di_star.score),
+                  StrFormat("%.3f", report->tprb_score.score),
+                  StrFormat("%.3f", report->crd_score.score)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairbench
+
+int main(int argc, char** argv) { return fairbench::Run(argc, argv); }

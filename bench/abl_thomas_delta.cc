@@ -1,0 +1,63 @@
+// Ablation: THOMAS's confidence parameter delta. Smaller delta demands a
+// higher-confidence safety bound, pushing the Seldonian search toward more
+// conservative candidates (or "No Solution Found").
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "data/split.h"
+#include "core/table.h"
+#include "fair/in/thomas.h"
+
+namespace fairbench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Ablation: THOMAS-DP confidence delta (Adult)", args);
+
+  const PopulationConfig config = AdultConfig();
+  Result<Dataset> data = GeneratePopulation(
+      config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+  if (!data.ok()) return 1;
+  const FairContext context = MakeContext(config, args.seed);
+  Rng rng(args.seed);
+  const SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts =
+      MaterializeSplit(data.value(), split);
+  if (!parts.ok()) return 1;
+
+  TextTable table;
+  table.SetHeader(
+      {"delta", "NSF", "safety bound", "accuracy", "f1", "di*"});
+  for (double delta : {0.2, 0.1, 0.05, 0.01, 0.001}) {
+    ThomasOptions options;
+    options.notion = ThomasNotion::kDemographicParity;
+    options.delta = delta;
+    auto thomas = std::make_unique<Thomas>(options);
+    const Thomas* raw = thomas.get();
+    Pipeline pipeline(nullptr, std::move(thomas), nullptr);
+    if (!pipeline.Fit(parts->first, context).ok()) return 1;
+    Result<std::vector<int>> pred = pipeline.Predict(parts->second);
+    if (!pred.ok()) return 1;
+    Result<MetricsReport> report =
+        ComputeMetricsReport(parts->second, pred.value(), nullptr,
+                             context.resolving_attributes);
+    if (!report.ok()) return 1;
+    table.AddRow({StrFormat("%.3f", delta),
+                  raw->no_solution_found() ? "yes" : "no",
+                  StrFormat("%.4f", raw->last_safety_bound()),
+                  StrFormat("%.3f", report->correctness.accuracy),
+                  StrFormat("%.3f", report->correctness.f1),
+                  StrFormat("%.3f", report->di_star.score)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairbench
+
+int main(int argc, char** argv) { return fairbench::Run(argc, argv); }

@@ -1,0 +1,55 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace fairbench::bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  if (const char* env = std::getenv("FAIRBENCH_BENCH_SCALE")) {
+    double v = 0.0;
+    if (ParseDouble(env, &v) && v > 0.0) args.scale = v;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      double v = 0.0;
+      if (!ParseDouble(argv[++i], &v) || v <= 0.0) {
+        std::fprintf(stderr, "bad --scale value\n");
+        std::exit(2);
+      }
+      args.scale = v;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      long long v = 0;
+      if (!ParseInt(argv[++i], &v) || v < 0) {
+        std::fprintf(stderr, "bad --seed value\n");
+        std::exit(2);
+      }
+      args.seed = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--no-cd") == 0) {
+      args.compute_cd = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale f] [--seed n] [--no-cd]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::size_t ScaledRows(std::size_t paper_rows, double scale) {
+  const double rows = static_cast<double>(paper_rows) * scale;
+  return rows < 300.0 ? 300 : static_cast<std::size_t>(rows);
+}
+
+void PrintBanner(const std::string& title, const BenchArgs& args) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("scale=%.3g seed=%llu cd=%s\n\n", args.scale,
+              static_cast<unsigned long long>(args.seed),
+              args.compute_cd ? "on" : "off");
+}
+
+}  // namespace fairbench::bench

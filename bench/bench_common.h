@@ -1,0 +1,34 @@
+#ifndef FAIRBENCH_BENCH_BENCH_COMMON_H_
+#define FAIRBENCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fairbench::bench {
+
+/// Shared command-line knobs for the figure harnesses:
+///   --scale <f>   multiply every dataset's row count by f (default from
+///                 the FAIRBENCH_BENCH_SCALE env var, else 0.2 so that the
+///                 whole `for b in build/bench/*` sweep stays minutes-scale;
+///                 pass --scale 1 to reproduce the paper's full sizes)
+///   --seed <n>    base RNG seed (default 42)
+///   --no-cd       skip the Causal Discrimination metric (it dominates
+///                 evaluation time at full scale)
+struct BenchArgs {
+  double scale = 0.2;
+  uint64_t seed = 42;
+  bool compute_cd = true;
+};
+
+/// Parses argv; prints usage and exits(2) on malformed input.
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// Row count for a dataset after applying the scale (minimum 300).
+std::size_t ScaledRows(std::size_t paper_rows, double scale);
+
+/// Prints the standard harness banner.
+void PrintBanner(const std::string& title, const BenchArgs& args);
+
+}  // namespace fairbench::bench
+
+#endif  // FAIRBENCH_BENCH_BENCH_COMMON_H_

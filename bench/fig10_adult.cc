@@ -1,0 +1,8 @@
+// Reproduces Fig 10(a): correctness and fairness of all approaches on the
+// Adult dataset (calibrated synthetic generator; see DESIGN.md §3).
+
+#include "fig10_common.h"
+
+int main(int argc, char** argv) {
+  return fairbench::bench::RunFig10(fairbench::AdultConfig(), argc, argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig 10(b): correctness and fairness on COMPAS.
+
+#include "fig10_common.h"
+
+int main(int argc, char** argv) {
+  return fairbench::bench::RunFig10(fairbench::CompasConfig(), argc, argv);
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig 10(d): correctness and fairness on Credit. CALMON cannot
+// handle the full 26 attributes (paper §4.1); like the paper we rerun it
+// on the 22 most informative attributes.
+
+#include "fig10_common.h"
+
+int main(int argc, char** argv) {
+  return fairbench::bench::RunFig10(fairbench::CreditConfig(), argc, argv,
+                                    /*calmon_attr_cap=*/21);
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig 10(c): correctness and fairness on German.
+
+#include "fig10_common.h"
+
+int main(int argc, char** argv) {
+  return fairbench::bench::RunFig10(fairbench::GermanConfig(), argc, argv);
+}

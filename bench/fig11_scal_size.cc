@@ -1,0 +1,31 @@
+// Reproduces Fig 11(a-c): runtime overhead over LR as the number of data
+// points grows, on the Adult generator (the paper sweeps 1K..40K rows).
+// Points are the paper's, scaled by --scale.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/scalability.h"
+
+int main(int argc, char** argv) {
+  using namespace fairbench;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Fig 11(a-c): runtime vs data size (Adult)", args);
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t base : {1000, 2000, 5000, 10000, 20000, 40000}) {
+    sizes.push_back(bench::ScaledRows(base, args.scale));
+  }
+  ScalabilityOptions options;
+  options.seed = args.seed;
+  Result<std::vector<RuntimeCurve>> curves =
+      MeasureRuntimeVsSize(AdultConfig(), sizes, AllApproachIds(), options);
+  if (!curves.ok()) {
+    std::fprintf(stderr, "failed: %s\n", curves.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", FormatRuntimeTable(curves.value(), "n").c_str());
+  std::printf("values are fit-time overhead over the LR baseline (LR row "
+              "shows absolute time)\n");
+  return 0;
+}

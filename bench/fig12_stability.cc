@@ -1,0 +1,36 @@
+// Reproduces Fig 12: stability (variance across 10 random 2/3 folds) of
+// accuracy, F1, DI, TPRB, and CD on Adult.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/stability.h"
+
+int main(int argc, char** argv) {
+  using namespace fairbench;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Fig 12: stability on Adult (10 random folds)", args);
+
+  const PopulationConfig config = AdultConfig();
+  Result<Dataset> data = GeneratePopulation(
+      config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  StabilityOptions options;
+  options.seed = args.seed;
+  options.compute_cd = args.compute_cd;
+  Result<std::vector<StabilityResult>> results = RunStability(
+      data.value(), MakeContext(config, args.seed), AllApproachIds(), options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "failed: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              FormatStabilityTable(results.value(),
+                                   {"accuracy", "f1", "di", "tprb", "cd"})
+                  .c_str());
+  return 0;
+}

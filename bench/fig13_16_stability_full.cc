@@ -1,0 +1,40 @@
+// Reproduces Figs 13-16 (appendix): stability of all nine metrics across
+// 10 random folds, on all four datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/stability.h"
+
+int main(int argc, char** argv) {
+  using namespace fairbench;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintBanner("Figs 13-16: stability, all datasets & metrics", args);
+
+  const std::vector<std::string> metrics = {
+      "accuracy", "precision", "recall", "f1", "di", "tprb", "tnrb", "cd",
+      "crd"};
+  for (const PopulationConfig& config : AllDatasetConfigs()) {
+    Result<Dataset> data = GeneratePopulation(
+        config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s: %s\n", config.name.c_str(),
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    StabilityOptions options;
+    options.seed = args.seed;
+    options.compute_cd = args.compute_cd;
+    Result<std::vector<StabilityResult>> results =
+        RunStability(data.value(), MakeContext(config, args.seed),
+                     AllApproachIds(), options);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s: %s\n", config.name.c_str(),
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("--- %s ---\n%s\n", config.name.c_str(),
+                FormatStabilityTable(results.value(), metrics).c_str());
+  }
+  return 0;
+}

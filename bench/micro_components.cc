@@ -1,0 +1,144 @@
+// Component microbenchmarks (google-benchmark): the substrate operations
+// that dominate the figure harnesses' runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "classifiers/logistic_regression.h"
+#include "data/encoder.h"
+#include "data/generators/population.h"
+#include "linalg/solve.h"
+#include "metrics/report.h"
+#include "optim/maxsat.h"
+#include "optim/nmf.h"
+#include "optim/simplex_lp.h"
+
+namespace fairbench {
+namespace {
+
+Dataset MakeData(std::size_t rows) {
+  return GenerateAdult(rows, 7).value();
+}
+
+void BM_EncoderTransform(benchmark::State& state) {
+  const Dataset data = MakeData(static_cast<std::size_t>(state.range(0)));
+  FeatureEncoder encoder;
+  (void)encoder.Fit(data, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Transform(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncoderTransform)->Arg(1000)->Arg(10000);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  const Dataset data = MakeData(static_cast<std::size_t>(state.range(0)));
+  FeatureEncoder encoder;
+  (void)encoder.Fit(data, true);
+  const Matrix x = encoder.Transform(data).value();
+  const Vector w = Ones(data.num_rows());
+  for (auto _ : state) {
+    LogisticRegression lr;
+    benchmark::DoNotOptimize(lr.Fit(x, data.labels(), w));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(1000)->Arg(5000);
+
+void BM_MetricsReport(benchmark::State& state) {
+  const Dataset data = MakeData(static_cast<std::size_t>(state.range(0)));
+  FeatureEncoder encoder;
+  (void)encoder.Fit(data, true);
+  const Matrix x = encoder.Transform(data).value();
+  LogisticRegression lr;
+  (void)lr.Fit(x, data.labels(), Ones(data.num_rows()));
+  const std::vector<int> pred = lr.PredictBatch(x).value();
+  const std::vector<std::string> resolving = {"occupation", "hours_per_week"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeMetricsReport(data, pred, nullptr, resolving));
+  }
+}
+BENCHMARK(BM_MetricsReport)->Arg(1000)->Arg(10000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a(n, n, 0.0);
+  Vector b(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = i == j ? 2.0 + static_cast<double>(n) : 1.0;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CholeskySolve(a, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SimplexLp(benchmark::State& state) {
+  LinearProgram lp;
+  lp.c = {-1.0, -2.0, -3.0, -1.0};
+  lp.a_ub = Matrix(2, 4, 1.0);
+  lp.b_ub = {4.0, 6.0};
+  lp.upper = {2.0, 2.0, 2.0, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexLp);
+
+void BM_MaxSatBlock(benchmark::State& state) {
+  // A Salimi-style cross-product block instance.
+  MaxSatInstance inst;
+  const int ny = 2;
+  const int ni = static_cast<int>(state.range(0));
+  inst.num_vars = ny * ni;
+  Rng rng(3);
+  for (int y = 0; y < ny; ++y) {
+    for (int i = 0; i < ni; ++i) {
+      Clause soft;
+      const bool present = rng.Bernoulli(0.7);
+      soft.literals = {{y * ni + i, !present}};
+      soft.weight = present ? 1.0 + static_cast<double>(rng.UniformInt(20)) : 1.0;
+      inst.clauses.push_back(soft);
+    }
+  }
+  for (int y1 = 0; y1 < ny; ++y1) {
+    for (int y2 = 0; y2 < ny; ++y2) {
+      if (y1 == y2) continue;
+      for (int i1 = 0; i1 < ni; ++i1) {
+        for (int i2 = 0; i2 < ni; ++i2) {
+          if (i1 == i2) continue;
+          Clause hard;
+          hard.hard = true;
+          hard.literals = {{y1 * ni + i1, true},
+                           {y2 * ni + i2, true},
+                           {y1 * ni + i2, false}};
+          inst.clauses.push_back(hard);
+        }
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMaxSat(inst));
+  }
+}
+BENCHMARK(BM_MaxSatBlock)->Arg(4)->Arg(12);
+
+void BM_NmfRank1(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix v(2, n, 0.0);
+  for (double& x : v.data()) x = static_cast<double>(rng.UniformInt(30));
+  NmfOptions options;
+  options.rank = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FactorizeNmf(v, options));
+  }
+}
+BENCHMARK(BM_NmfRank1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace fairbench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// COMPAS-style scenario: a recidivism screening model exhibits unequal
+// error rates across races (the ProPublica finding the paper opens with).
+// We audit the fairness-unaware model, then repair it post hoc with
+// HARDT's equalized-odds derivation, and show both what the repair buys
+// (balanced TPR/TNR) and what it cannot buy (individual-level fairness,
+// visible through the CD metric).
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "data/split.h"
+
+int main() {
+  using namespace fairbench;
+
+  const PopulationConfig config = CompasConfig();
+  Result<Dataset> data = GenerateCompas(7214, /*seed=*/3);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("COMPAS-like data: %zu defendants; non-recidivism rate %.0f%% "
+              "for African-American\ndefendants vs %.0f%% for others.\n\n",
+              data->num_rows(), 100.0 * data->PositiveRateBySensitive(0),
+              100.0 * data->PositiveRateBySensitive(1));
+
+  ExperimentOptions options;
+  options.seed = 17;
+  const FairContext context = MakeContext(config, 17);
+  Result<ExperimentResult> result =
+      RunExperiment(data.value(), context, {"lr", "hardt"}, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const ApproachResult* lr = result->Find("lr");
+  const ApproachResult* hardt = result->Find("hardt");
+  if (lr == nullptr || hardt == nullptr || !lr->ok || !hardt->ok) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("The ProPublica pattern in the unconstrained model:\n");
+  std::printf("  TPR balance %+0.3f / TNR balance %+0.3f — errors hit the "
+              "two groups unequally\n  (accuracy %.3f looks fine, exactly "
+              "like COMPAS's ~70%%).\n\n",
+              lr->metrics.tprb, lr->metrics.tnrb,
+              lr->metrics.correctness.accuracy);
+
+  std::printf("After HARDT's equalized-odds post-processing:\n");
+  std::printf("  TPR balance %+0.3f / TNR balance %+0.3f — error rates now "
+              "match across groups,\n  at an accuracy cost of %.3f -> %.3f.\n\n",
+              hardt->metrics.tprb, hardt->metrics.tnrb,
+              lr->metrics.correctness.accuracy,
+              hardt->metrics.correctness.accuracy);
+
+  std::printf("What post-processing cannot fix (paper §4.2):\n");
+  std::printf("  causal discrimination: LR %.3f vs Hardt %.3f\n",
+              lr->metrics.cd, hardt->metrics.cd);
+  std::printf("  Because the derived predictor only sees (Yhat, S), it "
+              "randomizes individuals'\n  outcomes by group — group fairness "
+              "improves, individual fairness does not.\n");
+  return 0;
+}

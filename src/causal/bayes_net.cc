@@ -1,0 +1,132 @@
+#include "causal/bayes_net.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+std::size_t BayesNet::CptIndex(int var, const std::vector<int>& assignment) const {
+  // Mixed-radix index over the parent values, most-significant-first in
+  // parent-list order.
+  std::size_t idx = 0;
+  for (int p : dag_.Parents(var)) {
+    idx = idx * cards_[static_cast<std::size_t>(p)] +
+          static_cast<std::size_t>(assignment[static_cast<std::size_t>(p)]);
+  }
+  return idx;
+}
+
+Result<BayesNet> BayesNet::Fit(const DiscreteData& data, const Dag& dag,
+                               double alpha) {
+  const std::size_t nv = data.num_vars();
+  if (dag.num_vars() != nv || data.cardinalities.size() != nv) {
+    return Status::InvalidArgument("BayesNet::Fit: variable count mismatch");
+  }
+  const std::size_t n = data.num_rows();
+  for (const auto& col : data.columns) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("BayesNet::Fit: ragged columns");
+    }
+  }
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("BayesNet::Fit: alpha must be positive");
+  }
+
+  BayesNet bn(dag, data.cardinalities);
+  bn.cpt_.resize(nv);
+  bn.order_ = dag.TopologicalOrder();
+
+  std::vector<int> assignment(nv, 0);
+  for (std::size_t v = 0; v < nv; ++v) {
+    const std::size_t card = data.cardinalities[v];
+    std::size_t configs = 1;
+    for (int p : dag.Parents(static_cast<int>(v))) {
+      configs *= data.cardinalities[static_cast<std::size_t>(p)];
+      if (configs > (1u << 22)) {
+        return Status::InvalidArgument(
+            StrFormat("BayesNet::Fit: CPT for var %zu too large", v));
+      }
+    }
+    std::vector<double> counts(configs * card, alpha);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t u = 0; u < nv; ++u) assignment[u] = data.columns[u][r];
+      const std::size_t cfg = bn.CptIndex(static_cast<int>(v), assignment);
+      counts[cfg * card + static_cast<std::size_t>(data.columns[v][r])] += 1.0;
+    }
+    // Normalize per configuration.
+    for (std::size_t cfg = 0; cfg < configs; ++cfg) {
+      double total = 0.0;
+      for (std::size_t k = 0; k < card; ++k) total += counts[cfg * card + k];
+      for (std::size_t k = 0; k < card; ++k) counts[cfg * card + k] /= total;
+    }
+    bn.cpt_[v] = std::move(counts);
+  }
+  return bn;
+}
+
+double BayesNet::CondProb(int var, int value,
+                          const std::vector<int>& assignment) const {
+  const std::size_t card = cards_[static_cast<std::size_t>(var)];
+  const std::size_t cfg = CptIndex(var, assignment);
+  return cpt_[static_cast<std::size_t>(var)][cfg * card +
+                                             static_cast<std::size_t>(value)];
+}
+
+std::vector<int> BayesNet::Sample(Rng& rng) const {
+  return SampleDo(rng, -1, 0);
+}
+
+std::vector<int> BayesNet::SampleDo(Rng& rng, int do_var, int do_value) const {
+  std::vector<int> assignment(num_vars(), 0);
+  std::vector<double> probs;
+  for (int v : order_) {
+    if (v == do_var) {
+      assignment[static_cast<std::size_t>(v)] = do_value;
+      continue;
+    }
+    const std::size_t card = cards_[static_cast<std::size_t>(v)];
+    probs.resize(card);
+    for (std::size_t k = 0; k < card; ++k) {
+      probs[k] = CondProb(v, static_cast<int>(k), assignment);
+    }
+    assignment[static_cast<std::size_t>(v)] =
+        static_cast<int>(rng.Categorical(probs));
+  }
+  return assignment;
+}
+
+double BayesNet::EstimateDoProbability(int target_var, int target_value,
+                                       int do_var, int do_value,
+                                       std::size_t num_samples,
+                                       uint64_t seed) const {
+  Rng rng(seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const std::vector<int> a = SampleDo(rng, do_var, do_value);
+    if (a[static_cast<std::size_t>(target_var)] == target_value) ++hits;
+  }
+  return num_samples > 0
+             ? static_cast<double>(hits) / static_cast<double>(num_samples)
+             : 0.0;
+}
+
+Result<double> BayesNet::LogLikelihood(const DiscreteData& data) const {
+  if (data.num_vars() != num_vars()) {
+    return Status::InvalidArgument("BayesNet::LogLikelihood: var mismatch");
+  }
+  double ll = 0.0;
+  std::vector<int> assignment(num_vars(), 0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t u = 0; u < num_vars(); ++u) {
+      assignment[u] = data.columns[u][r];
+    }
+    for (std::size_t v = 0; v < num_vars(); ++v) {
+      ll += std::log(
+          CondProb(static_cast<int>(v), assignment[v], assignment));
+    }
+  }
+  return ll;
+}
+
+}  // namespace fairbench

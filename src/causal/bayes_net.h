@@ -1,0 +1,74 @@
+#ifndef FAIRBENCH_CAUSAL_BAYES_NET_H_
+#define FAIRBENCH_CAUSAL_BAYES_NET_H_
+
+#include <vector>
+
+#include "causal/graph.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace fairbench {
+
+/// Discrete data in code form: one vector<int> per variable, equal lengths,
+/// codes in [0, cardinality). This is the view the Discretizer produces.
+struct DiscreteData {
+  std::vector<std::vector<int>> columns;
+  std::vector<std::size_t> cardinalities;
+
+  std::size_t num_vars() const { return columns.size(); }
+  std::size_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].size();
+  }
+};
+
+/// A discrete Bayesian network: a DAG plus one conditional probability
+/// table per variable, estimated with Laplace smoothing. Serves as the
+/// graphical causal model for ZHA-WU (paper Appendix A.1.4), where the
+/// edges are read causally and interventions mutilate the graph.
+class BayesNet {
+ public:
+  /// Estimates CPTs for `dag` from the data (alpha = Laplace pseudo-count).
+  static Result<BayesNet> Fit(const DiscreteData& data, const Dag& dag,
+                              double alpha = 1.0);
+
+  std::size_t num_vars() const { return cards_.size(); }
+  const Dag& dag() const { return dag_; }
+  std::size_t cardinality(int var) const {
+    return cards_[static_cast<std::size_t>(var)];
+  }
+
+  /// P(var = value | parents as given in `assignment`). Only the parent
+  /// entries of `assignment` are read.
+  double CondProb(int var, int value, const std::vector<int>& assignment) const;
+
+  /// Forward-samples a full assignment.
+  std::vector<int> Sample(Rng& rng) const;
+
+  /// Forward-samples under the intervention do(do_var = do_value): the
+  /// intervened variable ignores its parents (mutilated graph).
+  std::vector<int> SampleDo(Rng& rng, int do_var, int do_value) const;
+
+  /// Monte-Carlo estimate of E[ target == target_value | do(do_var = v) ].
+  double EstimateDoProbability(int target_var, int target_value, int do_var,
+                               int do_value, std::size_t num_samples,
+                               uint64_t seed) const;
+
+  /// Log-likelihood of the data under this network.
+  Result<double> LogLikelihood(const DiscreteData& data) const;
+
+ private:
+  BayesNet(Dag dag, std::vector<std::size_t> cards)
+      : dag_(std::move(dag)), cards_(std::move(cards)) {}
+
+  std::size_t CptIndex(int var, const std::vector<int>& assignment) const;
+
+  Dag dag_;
+  std::vector<std::size_t> cards_;
+  /// cpt_[v][parent_config * card(v) + value] = P(v = value | config).
+  std::vector<std::vector<double>> cpt_;
+  std::vector<int> order_;  ///< Topological sampling order.
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CAUSAL_BAYES_NET_H_

@@ -1,0 +1,113 @@
+#include "causal/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+bool Dag::HasEdge(int from, int to) const {
+  const auto& kids = adj_[static_cast<std::size_t>(from)];
+  return std::find(kids.begin(), kids.end(), to) != kids.end();
+}
+
+bool Dag::Reaches(int from, int to) const {
+  if (from == to) return true;
+  std::vector<int> stack = {from};
+  std::vector<bool> seen(num_vars(), false);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int c : adj_[static_cast<std::size_t>(v)]) {
+      if (c == to) return true;
+      if (!seen[static_cast<std::size_t>(c)]) {
+        seen[static_cast<std::size_t>(c)] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+bool Dag::WouldCreateCycle(int from, int to) const { return Reaches(to, from); }
+
+Status Dag::AddEdge(int from, int to) {
+  const int n = static_cast<int>(num_vars());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    return Status::OutOfRange("Dag::AddEdge: variable out of range");
+  }
+  if (from == to) return Status::InvalidArgument("Dag::AddEdge: self-loop");
+  if (HasEdge(from, to)) {
+    return Status::AlreadyExists(
+        StrFormat("Dag::AddEdge: edge %d->%d exists", from, to));
+  }
+  if (WouldCreateCycle(from, to)) {
+    return Status::InvalidArgument(
+        StrFormat("Dag::AddEdge: %d->%d creates a cycle", from, to));
+  }
+  adj_[static_cast<std::size_t>(from)].push_back(to);
+  radj_[static_cast<std::size_t>(to)].push_back(from);
+  return Status::OK();
+}
+
+Status Dag::RemoveEdge(int from, int to) {
+  auto& kids = adj_[static_cast<std::size_t>(from)];
+  const auto it = std::find(kids.begin(), kids.end(), to);
+  if (it == kids.end()) {
+    return Status::NotFound(
+        StrFormat("Dag::RemoveEdge: edge %d->%d absent", from, to));
+  }
+  kids.erase(it);
+  auto& pars = radj_[static_cast<std::size_t>(to)];
+  pars.erase(std::find(pars.begin(), pars.end(), from));
+  return Status::OK();
+}
+
+std::size_t Dag::NumEdges() const {
+  std::size_t total = 0;
+  for (const auto& kids : adj_) total += kids.size();
+  return total;
+}
+
+std::vector<int> Dag::Descendants(int v) const {
+  std::vector<int> out;
+  std::vector<bool> seen(num_vars(), false);
+  std::vector<int> stack = {v};
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int c : adj_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(c)]) {
+        seen[static_cast<std::size_t>(c)] = true;
+        out.push_back(c);
+        stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> Dag::TopologicalOrder() const {
+  const std::size_t n = num_vars();
+  std::vector<int> indegree(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    indegree[v] = static_cast<int>(radj_[v].size());
+  }
+  std::vector<int> order;
+  std::vector<int> frontier;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(static_cast<int>(v));
+  }
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (int c : adj_[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) frontier.push_back(c);
+    }
+  }
+  return order;  // Always complete: the insert path guarantees acyclicity.
+}
+
+}  // namespace fairbench

@@ -1,0 +1,55 @@
+#ifndef FAIRBENCH_CAUSAL_GRAPH_H_
+#define FAIRBENCH_CAUSAL_GRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairbench {
+
+/// A directed acyclic graph over variable indices 0..n-1. Used as the
+/// structure of the discrete causal models behind ZHA-WU's path-specific
+/// repair and the intervention estimators.
+class Dag {
+ public:
+  explicit Dag(std::size_t num_vars) : adj_(num_vars), radj_(num_vars) {}
+
+  std::size_t num_vars() const { return adj_.size(); }
+
+  /// Adds from -> to. Rejects self-loops, duplicate edges, and edges that
+  /// would create a directed cycle.
+  Status AddEdge(int from, int to);
+
+  /// Removes an existing edge; NotFound if absent.
+  Status RemoveEdge(int from, int to);
+
+  bool HasEdge(int from, int to) const;
+
+  /// True if adding from -> to would create a directed cycle.
+  bool WouldCreateCycle(int from, int to) const;
+
+  const std::vector<int>& Children(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<int>& Parents(int v) const {
+    return radj_[static_cast<std::size_t>(v)];
+  }
+
+  std::size_t NumEdges() const;
+
+  /// All variables reachable from v by directed paths (excluding v).
+  std::vector<int> Descendants(int v) const;
+
+  /// A topological order of the variables.
+  std::vector<int> TopologicalOrder() const;
+
+ private:
+  bool Reaches(int from, int to) const;
+
+  std::vector<std::vector<int>> adj_;   ///< Children lists.
+  std::vector<std::vector<int>> radj_;  ///< Parent lists.
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CAUSAL_GRAPH_H_

@@ -1,0 +1,36 @@
+#ifndef FAIRBENCH_CAUSAL_STRUCTURE_LEARNING_H_
+#define FAIRBENCH_CAUSAL_STRUCTURE_LEARNING_H_
+
+#include <vector>
+
+#include "causal/bayes_net.h"
+#include "causal/graph.h"
+#include "common/result.h"
+
+namespace fairbench {
+
+/// Options for score-based structure learning.
+struct StructureLearningOptions {
+  int max_parents = 3;
+  /// Temporal tiers: an edge u -> v is admissible only when
+  /// tier[u] <= tier[v]. Typical fairness setup: S in tier 0 (exogenous),
+  /// features in tier 1, label Y in tier 2 (no outgoing edges). Empty means
+  /// no constraint.
+  std::vector<int> tiers;
+  double alpha = 1.0;       ///< Laplace pseudo-count in family scores.
+  int max_sweeps = 20;      ///< Hill-climbing passes over all edge moves.
+};
+
+/// Greedy BIC hill-climbing over DAGs with add/remove/reverse moves,
+/// constrained by tiers. This substitutes for the TETRAD tool the paper
+/// uses to build ZHA-WU's causal network (DESIGN.md §3): same role — a DAG
+/// over discretized attributes from which interventions are estimated.
+Result<Dag> LearnStructureBic(const DiscreteData& data,
+                              const StructureLearningOptions& options = {});
+
+/// BIC score of a DAG on the data (higher is better). Exposed for tests.
+Result<double> BicScore(const DiscreteData& data, const Dag& dag, double alpha);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CAUSAL_STRUCTURE_LEARNING_H_

@@ -1,0 +1,31 @@
+#include "classifiers/classifier.h"
+
+namespace fairbench {
+
+Result<int> Classifier::Predict(const Vector& features, double threshold) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProba(features));
+  return p >= threshold ? 1 : 0;
+}
+
+Result<std::vector<double>> Classifier::PredictProbaBatch(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProba(x.RowVector(r)));
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::vector<int>> Classifier::PredictBatch(const Matrix& x,
+                                                  double threshold) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    FAIRBENCH_ASSIGN_OR_RETURN(int y, Predict(x.RowVector(r), threshold));
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace fairbench

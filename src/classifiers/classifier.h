@@ -1,0 +1,51 @@
+#ifndef FAIRBENCH_CLASSIFIERS_CLASSIFIER_H_
+#define FAIRBENCH_CLASSIFIERS_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// Abstract binary classifier over dense encoded features.
+///
+/// Implementations learn P(Y = 1 | x) from a design matrix produced by a
+/// `FeatureEncoder`. Instance weights are first-class because KAM-CAL's
+/// reweighing and several in-processing approaches train on weighted data.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of `x` with labels `y` (0/1) and positive instance
+  /// weights (pass an all-ones vector for unweighted training).
+  virtual Status Fit(const Matrix& x, const std::vector<int>& y,
+                     const Vector& weights) = 0;
+
+  /// P(Y = 1 | features). Requires a prior successful Fit().
+  virtual Result<double> PredictProba(const Vector& features) const = 0;
+
+  /// Signed distance-like score whose sign matches the 0.5-threshold
+  /// decision (for logistic models, the logit). ZAFAR's covariance proxies
+  /// and KAM-KAR's critical region are built on this.
+  virtual Result<double> DecisionValue(const Vector& features) const = 0;
+
+  virtual bool fitted() const = 0;
+
+  /// A fresh unfitted classifier of the same concrete type and options.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Hard 0/1 prediction at the given probability threshold.
+  Result<int> Predict(const Vector& features, double threshold = 0.5) const;
+
+  /// Batch helpers over the rows of a design matrix.
+  Result<std::vector<double>> PredictProbaBatch(const Matrix& x) const;
+  Result<std::vector<int>> PredictBatch(const Matrix& x,
+                                        double threshold = 0.5) const;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CLASSIFIERS_CLASSIFIER_H_

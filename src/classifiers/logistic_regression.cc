@@ -1,0 +1,170 @@
+#include "classifiers/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "linalg/solve.h"
+#include "optim/gradient_descent.h"
+
+namespace fairbench {
+
+double LogisticRegression::Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void LogisticRegression::SetParameters(Vector coefficients, double intercept) {
+  coef_ = std::move(coefficients);
+  intercept_ = intercept;
+  fitted_ = true;
+}
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                               const Vector& weights) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (y.size() != n || weights.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("LogisticRegression::Fit: %zu rows vs %zu labels / %zu "
+                  "weights",
+                  n, y.size(), weights.size()));
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("LogisticRegression::Fit: empty data");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("LogisticRegression::Fit: labels not 0/1");
+    }
+  }
+
+  // Parameters: theta = [intercept, w_1..w_d].
+  Vector theta(d + 1, 0.0);
+  // Initialize the intercept at the log-odds of the base rate: a good
+  // starting point that also handles the all-one-class edge case.
+  double pos = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos += weights[i] * y[i];
+    total += weights[i];
+  }
+  const double base = std::clamp(pos / std::max(total, 1e-12), 1e-6, 1.0 - 1e-6);
+  theta[0] = std::log(base / (1.0 - base));
+
+  Vector p(n, 0.0);
+  bool irls_ok = true;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Probabilities and IRLS working quantities.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.Row(i);
+      double z = theta[0];
+      for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
+      p[i] = Sigmoid(z);
+    }
+    // Gradient of the penalized negative log-likelihood.
+    Vector grad(d + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = weights[i] * (p[i] - y[i]);
+      grad[0] += g;
+      const double* row = x.Row(i);
+      for (std::size_t j = 0; j < d; ++j) grad[j + 1] += g * row[j];
+    }
+    for (std::size_t j = 1; j <= d; ++j) grad[j] += options_.l2 * theta[j];
+
+    // Hessian: [sum r, sum r x^T; sum r x, X^T R X + l2 I].
+    Vector r(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = std::max(weights[i] * p[i] * (1.0 - p[i]), 1e-12);
+    }
+    Matrix hess(d + 1, d + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = r[i];
+      const double* row = x.Row(i);
+      hess(0, 0) += ri;
+      for (std::size_t j = 0; j < d; ++j) {
+        hess(0, j + 1) += ri * row[j];
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        const double rj = ri * row[j];
+        for (std::size_t k = j; k < d; ++k) {
+          hess(j + 1, k + 1) += rj * row[k];
+        }
+      }
+    }
+    for (std::size_t j = 1; j <= d; ++j) hess(j, j) += options_.l2;
+    for (std::size_t j = 0; j <= d; ++j) {
+      for (std::size_t k = 0; k < j; ++k) hess(j, k) = hess(k, j);
+    }
+
+    Result<Vector> step = CholeskySolve(hess, grad);
+    if (!step.ok()) {
+      irls_ok = false;
+      break;
+    }
+    double max_step = 0.0;
+    for (std::size_t j = 0; j <= d; ++j) {
+      theta[j] -= step.value()[j];
+      max_step = std::max(max_step, std::fabs(step.value()[j]));
+    }
+    if (max_step < options_.tolerance) break;
+  }
+
+  if (!irls_ok) {
+    // Fallback: minimize the same objective with L-BFGS-free gradient
+    // descent (slower but unconditionally stable).
+    Objective obj = [&](const Vector& t, Vector* grad) {
+      double loss = 0.0;
+      std::fill(grad->begin(), grad->end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = x.Row(i);
+        double z = t[0];
+        for (std::size_t j = 0; j < d; ++j) z += t[j + 1] * row[j];
+        const double pi = Sigmoid(z);
+        // Stable log-loss.
+        const double zpos = std::max(z, 0.0);
+        loss += weights[i] *
+                (zpos - z * y[i] + std::log(std::exp(-zpos) + std::exp(z - zpos)));
+        const double g = weights[i] * (pi - y[i]);
+        (*grad)[0] += g;
+        for (std::size_t j = 0; j < d; ++j) (*grad)[j + 1] += g * row[j];
+      }
+      for (std::size_t j = 1; j <= d; ++j) {
+        loss += 0.5 * options_.l2 * t[j] * t[j];
+        (*grad)[j] += options_.l2 * t[j];
+      }
+      return loss;
+    };
+    GradientDescentOptions gd;
+    gd.max_iterations = 500;
+    OptimResult r2 = MinimizeGradientDescent(obj, Vector(d + 1, 0.0), gd);
+    theta = std::move(r2.x);
+  }
+
+  intercept_ = theta[0];
+  coef_.assign(theta.begin() + 1, theta.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LogisticRegression::DecisionValue(const Vector& features) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LogisticRegression: not fitted");
+  }
+  if (features.size() != coef_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("LogisticRegression: expected %zu features, got %zu",
+                  coef_.size(), features.size()));
+  }
+  return intercept_ + Dot(coef_, features);
+}
+
+Result<double> LogisticRegression::PredictProba(const Vector& features) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double z, DecisionValue(features));
+  return Sigmoid(z);
+}
+
+}  // namespace fairbench

@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_CLASSIFIERS_LOGISTIC_REGRESSION_H_
+#define FAIRBENCH_CLASSIFIERS_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifiers/classifier.h"
+
+namespace fairbench {
+
+/// Options for L2-regularized logistic regression.
+struct LogisticRegressionOptions {
+  double l2 = 1e-3;          ///< Ridge penalty on the weights (not intercept).
+  int max_iterations = 100;  ///< Newton (IRLS) iterations.
+  double tolerance = 1e-8;   ///< Stop on max |step|.
+};
+
+/// L2-regularized logistic regression trained by Newton-IRLS with a
+/// gradient-descent fallback when the Hessian solve fails (e.g. perfectly
+/// separable data with tiny regularization).
+///
+/// This is the paper's fairness-unaware baseline LR and the downstream
+/// model every pre-processing approach is paired with (§4.1).
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const Vector& weights) override;
+  Result<double> PredictProba(const Vector& features) const override;
+  Result<double> DecisionValue(const Vector& features) const override;
+  bool fitted() const override { return fitted_; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LogisticRegression>(options_);
+  }
+
+  /// Feature weights (excluding the intercept).
+  const Vector& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+  /// Directly installs parameters (used by in-processing approaches that
+  /// optimize the logistic parameters under their own constraints).
+  void SetParameters(Vector coefficients, double intercept);
+
+  /// Logistic sigmoid, numerically stable for large |z|.
+  static double Sigmoid(double z);
+
+ private:
+  LogisticRegressionOptions options_;
+  bool fitted_ = false;
+  Vector coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CLASSIFIERS_LOGISTIC_REGRESSION_H_

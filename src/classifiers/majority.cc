@@ -1,0 +1,38 @@
+#include "classifiers/majority.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbench {
+
+Status MajorityClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                               const Vector& weights) {
+  if (y.size() != weights.size() || y.size() != x.rows()) {
+    return Status::InvalidArgument("MajorityClassifier::Fit: length mismatch");
+  }
+  if (y.empty()) {
+    return Status::InvalidArgument("MajorityClassifier::Fit: empty data");
+  }
+  double pos = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    pos += weights[i] * y[i];
+    total += weights[i];
+  }
+  base_rate_ = total > 0.0 ? pos / total : 0.5;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> MajorityClassifier::PredictProba(const Vector& features) const {
+  if (!fitted_) return Status::FailedPrecondition("MajorityClassifier: not fitted");
+  return base_rate_;
+}
+
+Result<double> MajorityClassifier::DecisionValue(const Vector& features) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProba(features));
+  const double clamped = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  return std::log(clamped / (1.0 - clamped));
+}
+
+}  // namespace fairbench

@@ -1,0 +1,31 @@
+#ifndef FAIRBENCH_CLASSIFIERS_MAJORITY_H_
+#define FAIRBENCH_CLASSIFIERS_MAJORITY_H_
+
+#include <memory>
+
+#include "classifiers/classifier.h"
+
+namespace fairbench {
+
+/// Constant classifier predicting the (weighted) majority class, with the
+/// base rate as its probability. Serves as a floor baseline in tests and
+/// examples.
+class MajorityClassifier final : public Classifier {
+ public:
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const Vector& weights) override;
+  Result<double> PredictProba(const Vector& features) const override;
+  Result<double> DecisionValue(const Vector& features) const override;
+  bool fitted() const override { return fitted_; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<MajorityClassifier>();
+  }
+
+ private:
+  bool fitted_ = false;
+  double base_rate_ = 0.5;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CLASSIFIERS_MAJORITY_H_

@@ -1,0 +1,79 @@
+#include "classifiers/naive_bayes.h"
+
+#include <cmath>
+
+#include "classifiers/logistic_regression.h"
+
+namespace fairbench {
+
+Status NaiveBayes::Fit(const Matrix& x, const std::vector<int>& y,
+                       const Vector& weights) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (y.size() != n || weights.size() != n) {
+    return Status::InvalidArgument("NaiveBayes::Fit: length mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("NaiveBayes::Fit: empty data");
+
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (y[i] != 0 && y[i] != 1) {
+      return Status::InvalidArgument("NaiveBayes::Fit: labels not 0/1");
+    }
+    class_weight[y[i]] += weights[i];
+    const double* row = x.Row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[y[i]][j] += weights[i] * row[j];
+  }
+  const double total = class_weight[0] + class_weight[1];
+  for (int c = 0; c < 2; ++c) {
+    // Laplace-smoothed priors so single-class data stays finite.
+    log_prior_[c] = std::log((class_weight[c] + 1.0) / (total + 2.0));
+    if (class_weight[c] > 0.0) {
+      for (double& m : mean_[c]) m /= class_weight[c];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean_[y[i]][j];
+      var_[y[i]][j] += weights[i] * diff * diff;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      var_[c][j] = class_weight[c] > 0.0
+                       ? var_[c][j] / class_weight[c] + options_.var_smoothing
+                       : 1.0;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> NaiveBayes::DecisionValue(const Vector& features) const {
+  if (!fitted_) return Status::FailedPrecondition("NaiveBayes: not fitted");
+  if (features.size() != mean_[0].size()) {
+    return Status::InvalidArgument("NaiveBayes: feature dim mismatch");
+  }
+  double log_odds = log_prior_[1] - log_prior_[0];
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    auto log_gauss = [&](int c) {
+      const double diff = features[j] - mean_[c][j];
+      return -0.5 * std::log(2.0 * M_PI * var_[c][j]) -
+             0.5 * diff * diff / var_[c][j];
+    };
+    log_odds += log_gauss(1) - log_gauss(0);
+  }
+  return log_odds;
+}
+
+Result<double> NaiveBayes::PredictProba(const Vector& features) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double log_odds, DecisionValue(features));
+  return LogisticRegression::Sigmoid(log_odds);
+}
+
+}  // namespace fairbench

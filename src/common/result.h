@@ -1,0 +1,93 @@
+#ifndef FAIRBENCH_COMMON_RESULT_H_
+#define FAIRBENCH_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fairbench {
+
+/// A value-or-error outcome, modeled on arrow::Result.
+///
+/// `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an errored result aborts with a diagnostic; call sites should check
+/// `ok()` first or use `FAIRBENCH_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK Status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fairbench
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding the
+/// value to `lhs`.
+#define FAIRBENCH_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  FAIRBENCH_ASSIGN_OR_RETURN_IMPL(                          \
+      FAIRBENCH_CONCAT_NAME(_result_, __LINE__), lhs, rexpr)
+
+#define FAIRBENCH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)    \
+  auto tmp = (rexpr);                                       \
+  if (!tmp.ok()) return tmp.status();                       \
+  lhs = std::move(tmp).value()
+
+#define FAIRBENCH_CONCAT_NAME(x, y) FAIRBENCH_CONCAT_IMPL(x, y)
+#define FAIRBENCH_CONCAT_IMPL(x, y) x##y
+
+#endif  // FAIRBENCH_COMMON_RESULT_H_

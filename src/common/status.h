@@ -1,0 +1,94 @@
+#ifndef FAIRBENCH_COMMON_STATUS_H_
+#define FAIRBENCH_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fairbench {
+
+/// Error categories used across the FairBench API.
+///
+/// The library does not throw exceptions across public boundaries; fallible
+/// operations return a `Status` or a `Result<T>` (see result.h), in the
+/// style of Apache Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed malformed input (bad schema, NaN, ...).
+  kOutOfRange,        ///< Index or parameter outside its valid domain.
+  kNotFound,          ///< Named entity (column, approach, file) missing.
+  kAlreadyExists,     ///< Attempt to register a duplicate entity.
+  kFailedPrecondition,///< Object not in a state that permits the call.
+  kNoConvergence,     ///< Iterative solver exhausted its budget.
+  kNoSolution,        ///< Constrained problem is infeasible (e.g. THOMAS NSF).
+  kIoError,           ///< Filesystem / parse failure.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NoConvergence(std::string msg) {
+    return Status(StatusCode::kNoConvergence, std::move(msg));
+  }
+  static Status NoSolution(std::string msg) {
+    return Status(StatusCode::kNoSolution, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace fairbench
+
+/// Propagates a non-OK Status to the caller.
+#define FAIRBENCH_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::fairbench::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+#endif  // FAIRBENCH_COMMON_STATUS_H_

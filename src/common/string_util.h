@@ -1,0 +1,36 @@
+#ifndef FAIRBENCH_COMMON_STRING_UTIL_H_
+#define FAIRBENCH_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairbench {
+
+/// Splits `text` on `delim`, preserving empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseInt(std::string_view text, long long* out);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Timer is header-only; this translation unit anchors the module in the
+// build graph and hosts any future non-inline additions.

@@ -1,0 +1,33 @@
+#ifndef FAIRBENCH_COMMON_TIMER_H_
+#define FAIRBENCH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fairbench {
+
+/// Monotonic wall-clock stopwatch used by the efficiency/scalability
+/// harnesses (Fig 11). Runtimes reported by FairBench are always the
+/// *overhead over the fairness-unaware baseline*, matching the paper.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_COMMON_TIMER_H_

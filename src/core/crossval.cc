@@ -1,0 +1,112 @@
+#include "core/crossval.h"
+
+#include "common/string_util.h"
+#include "core/table.h"
+#include "data/split.h"
+
+namespace fairbench {
+
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const FairContext& context, const std::string& id,
+    const CrossValidationOptions& options) {
+  if (options.folds < 2) {
+    return Status::InvalidArgument("CrossValidate: need at least 2 folds");
+  }
+  FAIRBENCH_RETURN_NOT_OK(data.Validate());
+  FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+
+  CrossValidationResult result;
+  result.id = spec->id;
+  result.display = spec->display;
+
+  Rng rng(options.seed);
+  const std::vector<std::vector<std::size_t>> folds =
+      KFold(data.num_rows(), options.folds, rng);
+
+  for (std::size_t k = 0; k < folds.size(); ++k) {
+    SplitIndices split;
+    split.test = folds[k];
+    for (std::size_t j = 0; j < folds.size(); ++j) {
+      if (j == k) continue;
+      split.train.insert(split.train.end(), folds[j].begin(), folds[j].end());
+    }
+    FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
+
+    Pipeline pipeline = spec->make();
+    FairContext fold_context = context;
+    fold_context.seed = context.seed + k * 7919;
+    if (!pipeline.Fit(parts.first, fold_context).ok()) {
+      ++result.failures;
+      continue;
+    }
+    Result<std::vector<int>> pred = pipeline.Predict(parts.second);
+    if (!pred.ok()) {
+      ++result.failures;
+      continue;
+    }
+    RowPredictor predictor;
+    if (options.compute_cd) predictor = pipeline.MakeRowPredictor(parts.second);
+    const std::vector<std::string> resolving =
+        options.compute_crd ? context.resolving_attributes
+                            : std::vector<std::string>{};
+    Result<MetricsReport> report = ComputeMetricsReport(
+        parts.second, pred.value(), predictor, resolving, options.cd);
+    if (!report.ok()) {
+      ++result.failures;
+      continue;
+    }
+    result.fold_reports.push_back(std::move(report).value());
+  }
+
+  // Summaries across folds.
+  std::vector<std::string> names = CorrectnessMetricNames();
+  names.insert(names.end(), FairnessMetricNames().begin(),
+               FairnessMetricNames().end());
+  for (const std::string& name : names) {
+    std::vector<double> values;
+    for (const MetricsReport& report : result.fold_reports) {
+      values.push_back(report.MetricByName(name));
+    }
+    result.summaries[name] = Summarize(values);
+  }
+  return result;
+}
+
+Result<std::vector<CrossValidationResult>> CrossValidateAll(
+    const Dataset& data, const FairContext& context,
+    const std::vector<std::string>& ids,
+    const CrossValidationOptions& options) {
+  std::vector<CrossValidationResult> results;
+  for (const std::string& id : ids) {
+    FAIRBENCH_ASSIGN_OR_RETURN(CrossValidationResult r,
+                               CrossValidate(data, context, id, options));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::string FormatCrossValidationTable(
+    const std::vector<CrossValidationResult>& results,
+    const std::vector<std::string>& metric_names) {
+  TextTable table;
+  std::vector<std::string> header = {"approach", "folds"};
+  for (const std::string& m : metric_names) header.push_back(m);
+  table.SetHeader(std::move(header));
+  for (const CrossValidationResult& r : results) {
+    std::vector<std::string> row = {
+        r.display, StrFormat("%zu", r.fold_reports.size())};
+    for (const std::string& m : metric_names) {
+      const auto it = r.summaries.find(m);
+      if (it == r.summaries.end() || it->second.count == 0) {
+        row.push_back("n/a");
+      } else {
+        row.push_back(
+            StrFormat("%.3f+-%.3f", it->second.mean, it->second.stddev));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace fairbench

@@ -1,0 +1,54 @@
+#ifndef FAIRBENCH_CORE_CROSSVAL_H_
+#define FAIRBENCH_CORE_CROSSVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "metrics/report.h"
+#include "stats/descriptive.h"
+
+namespace fairbench {
+
+/// Options for k-fold cross-validation (the paper validates every
+/// classifier with 3-fold CV, §4.1).
+struct CrossValidationOptions {
+  std::size_t folds = 3;
+  uint64_t seed = 1234;
+  bool compute_cd = false;   ///< CD is expensive; off by default for CV.
+  bool compute_crd = true;
+  CdOptions cd;
+};
+
+/// Cross-validation outcome of one approach: per-fold metric reports and
+/// per-metric summaries across folds.
+struct CrossValidationResult {
+  std::string id;
+  std::string display;
+  std::vector<MetricsReport> fold_reports;
+  std::map<std::string, Summary> summaries;  ///< metric name -> summary.
+  int failures = 0;
+};
+
+/// Runs the k-fold protocol for one approach: in round i, fold i is the
+/// validation set and the remaining folds are the training set.
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const FairContext& context, const std::string& id,
+    const CrossValidationOptions& options = {});
+
+/// Cross-validates several approaches and renders a comparison table of
+/// mean +/- stddev per metric. Useful for model selection under both
+/// correctness and fairness criteria.
+Result<std::vector<CrossValidationResult>> CrossValidateAll(
+    const Dataset& data, const FairContext& context,
+    const std::vector<std::string>& ids,
+    const CrossValidationOptions& options = {});
+
+std::string FormatCrossValidationTable(
+    const std::vector<CrossValidationResult>& results,
+    const std::vector<std::string>& metric_names);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_CROSSVAL_H_

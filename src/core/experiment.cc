@@ -1,0 +1,128 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/table.h"
+#include "data/split.h"
+
+namespace fairbench {
+
+const ApproachResult* ExperimentResult::Find(const std::string& id) const {
+  for (const ApproachResult& r : approaches) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+FairContext MakeContext(const PopulationConfig& config, uint64_t seed) {
+  FairContext ctx;
+  ctx.resolving_attributes = config.resolving_attributes;
+  ctx.inadmissible_attributes = config.inadmissible_attributes;
+  ctx.seed = seed;
+  return ctx;
+}
+
+Result<ExperimentResult> RunExperiment(const Dataset& data,
+                                       const FairContext& context,
+                                       const std::vector<std::string>& ids,
+                                       const ExperimentOptions& options) {
+  FAIRBENCH_RETURN_NOT_OK(data.Validate());
+  Rng rng(options.seed);
+  const SplitIndices split =
+      TrainTestSplit(data.num_rows(), options.train_fraction, rng);
+  FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
+  const Dataset& train = parts.first;
+  const Dataset& test = parts.second;
+
+  ExperimentResult result;
+  result.dataset_name = data.name();
+
+  for (const std::string& id : ids) {
+    FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+    ApproachResult ar;
+    ar.id = spec->id;
+    ar.display = spec->display;
+    ar.stage = spec->stage;
+    ar.target_metrics = spec->target_metrics;
+
+    Pipeline pipeline = spec->make();
+    Status fit_status = pipeline.Fit(train, context);
+    if (!fit_status.ok()) {
+      ar.error = fit_status.ToString();
+      result.approaches.push_back(std::move(ar));
+      continue;
+    }
+    ar.timing = pipeline.timing();
+
+    Timer timer;
+    Result<std::vector<int>> pred = pipeline.Predict(test);
+    if (!pred.ok()) {
+      ar.error = pred.status().ToString();
+      result.approaches.push_back(std::move(ar));
+      continue;
+    }
+    ar.predict_seconds = timer.ElapsedSeconds();
+
+    RowPredictor predictor;
+    if (options.compute_cd) predictor = pipeline.MakeRowPredictor(test);
+    std::vector<std::string> resolving =
+        options.compute_crd ? context.resolving_attributes
+                            : std::vector<std::string>{};
+    CdOptions cd = options.cd;
+    cd.seed = options.seed ^ 0xcdull;
+    Result<MetricsReport> report =
+        ComputeMetricsReport(test, pred.value(), predictor, resolving, cd);
+    if (!report.ok()) {
+      ar.error = report.status().ToString();
+      result.approaches.push_back(std::move(ar));
+      continue;
+    }
+    ar.metrics = std::move(report).value();
+    ar.ok = true;
+    result.approaches.push_back(std::move(ar));
+  }
+  return result;
+}
+
+std::string FormatExperimentTable(const ExperimentResult& result) {
+  TextTable table;
+  std::vector<std::string> header = {"approach", "stage"};
+  for (const std::string& m : CorrectnessMetricNames()) header.push_back(m);
+  for (const std::string& m : FairnessMetricNames()) {
+    header.push_back(m == "di" ? "di*" : "1-|" + m + "|");
+  }
+  table.SetHeader(std::move(header));
+
+  std::string prev_stage;
+  for (const ApproachResult& ar : result.approaches) {
+    if (!prev_stage.empty() && ar.stage != prev_stage) table.AddSeparator();
+    prev_stage = ar.stage;
+    std::vector<std::string> row = {ar.display, ar.stage};
+    if (!ar.ok) {
+      row.push_back("FAILED: " + ar.error);
+      table.AddRow(std::move(row));
+      continue;
+    }
+    for (const std::string& m : CorrectnessMetricNames()) {
+      row.push_back(StrFormat("%.3f", ar.metrics.MetricByName(m)));
+    }
+    for (const std::string& m : FairnessMetricNames()) {
+      const bool targeted =
+          std::find(ar.target_metrics.begin(), ar.target_metrics.end(), m) !=
+          ar.target_metrics.end();
+      bool reverse = false;
+      if (m == "di") reverse = ar.metrics.di_star.reverse;
+      if (m == "tprb") reverse = ar.metrics.tprb_score.reverse;
+      if (m == "tnrb") reverse = ar.metrics.tnrb_score.reverse;
+      if (m == "crd") reverse = ar.metrics.crd_score.reverse;
+      row.push_back(StrFormat("%.3f%s%s", ar.metrics.MetricByName(m),
+                              targeted ? "^" : "", reverse ? "r" : ""));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace fairbench

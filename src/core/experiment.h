@@ -1,0 +1,66 @@
+#ifndef FAIRBENCH_CORE_EXPERIMENT_H_
+#define FAIRBENCH_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/generators/population.h"
+#include "metrics/report.h"
+
+namespace fairbench {
+
+/// Options for one correctness/fairness experiment (Fig 10 protocol).
+struct ExperimentOptions {
+  double train_fraction = 0.7;  ///< Paper: 70%/30% random split.
+  uint64_t seed = 42;
+  bool compute_cd = true;   ///< CD is the most expensive metric.
+  bool compute_crd = true;
+  CdOptions cd;
+};
+
+/// Evaluation outcome of one approach on one dataset split.
+struct ApproachResult {
+  std::string id;
+  std::string display;
+  std::string stage;
+  std::vector<std::string> target_metrics;
+  bool ok = false;
+  std::string error;  ///< Status text when !ok (e.g. CALMON blow-up).
+  MetricsReport metrics;
+  Pipeline::Timing timing;
+  double predict_seconds = 0.0;
+};
+
+/// Results for a set of approaches on one dataset.
+struct ExperimentResult {
+  std::string dataset_name;
+  std::vector<ApproachResult> approaches;
+
+  /// Result lookup by approach id (nullptr if absent).
+  const ApproachResult* Find(const std::string& id) const;
+};
+
+/// Builds the FairContext (resolving / inadmissible attribute roles) for a
+/// generated dataset from its population config.
+FairContext MakeContext(const PopulationConfig& config, uint64_t seed);
+
+/// Runs the Fig 10 protocol: one 70/30 split of `data`, then for each
+/// approach id — fresh pipeline, fit on train, evaluate all nine metrics
+/// on test. Approach-level failures are captured in the result rather than
+/// aborting the experiment (the paper reports CALMON's failure on Credit
+/// the same way).
+Result<ExperimentResult> RunExperiment(const Dataset& data,
+                                       const FairContext& context,
+                                       const std::vector<std::string>& ids,
+                                       const ExperimentOptions& options = {});
+
+/// Renders an experiment as a paper-style fixed-width table: rows are
+/// approaches, columns the 4 correctness + 5 normalized fairness metrics;
+/// '^' marks the metric(s) an approach optimizes for, 'r' a residual
+/// disparity favoring the unprivileged group (Fig 10's red stripes).
+std::string FormatExperimentTable(const ExperimentResult& result);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_EXPERIMENT_H_

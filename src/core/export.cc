@@ -1,0 +1,102 @@
+#include "core/export.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+std::string ExperimentResultToCsv(const ExperimentResult& result) {
+  std::string out =
+      "dataset,approach_id,approach,stage,ok,metric,value,raw,reverse,"
+      "targeted\n";
+  for (const ApproachResult& ar : result.approaches) {
+    auto emit = [&](const std::string& metric, double value, double raw,
+                    bool reverse) {
+      const bool targeted =
+          std::find(ar.target_metrics.begin(), ar.target_metrics.end(),
+                    metric) != ar.target_metrics.end();
+      out += StrFormat("%s,%s,%s,%s,%d,%s,%.6f,%.6f,%d,%d\n",
+                       result.dataset_name.c_str(), ar.id.c_str(),
+                       ar.display.c_str(), ar.stage.c_str(), ar.ok ? 1 : 0,
+                       metric.c_str(), value, raw, reverse ? 1 : 0,
+                       targeted ? 1 : 0);
+    };
+    if (!ar.ok) {
+      out += StrFormat("%s,%s,%s,%s,0,error,0,0,0,0\n",
+                       result.dataset_name.c_str(), ar.id.c_str(),
+                       ar.display.c_str(), ar.stage.c_str());
+      continue;
+    }
+    emit("accuracy", ar.metrics.correctness.accuracy,
+         ar.metrics.correctness.accuracy, false);
+    emit("precision", ar.metrics.correctness.precision,
+         ar.metrics.correctness.precision, false);
+    emit("recall", ar.metrics.correctness.recall,
+         ar.metrics.correctness.recall, false);
+    emit("f1", ar.metrics.correctness.f1, ar.metrics.correctness.f1, false);
+    emit("di", ar.metrics.di_star.score, ar.metrics.di,
+         ar.metrics.di_star.reverse);
+    emit("tprb", ar.metrics.tprb_score.score, ar.metrics.tprb,
+         ar.metrics.tprb_score.reverse);
+    emit("tnrb", ar.metrics.tnrb_score.score, ar.metrics.tnrb,
+         ar.metrics.tnrb_score.reverse);
+    emit("cd", ar.metrics.cd_score.score, ar.metrics.cd, false);
+    emit("crd", ar.metrics.crd_score.score, ar.metrics.crd,
+         ar.metrics.crd_score.reverse);
+  }
+  return out;
+}
+
+std::string RuntimeCurvesToCsv(const std::vector<RuntimeCurve>& curves,
+                               const std::string& x_label) {
+  std::string out = StrFormat(
+      "approach_id,approach,stage,%s,ok,total_seconds,overhead_seconds\n",
+      x_label.c_str());
+  for (const RuntimeCurve& c : curves) {
+    for (const RuntimePoint& p : c.points) {
+      out += StrFormat("%s,%s,%s,%zu,%d,%.6f,%.6f\n", c.id.c_str(),
+                       c.display.c_str(), c.stage.c_str(), p.x, p.ok ? 1 : 0,
+                       p.total_seconds, p.overhead_seconds);
+    }
+  }
+  return out;
+}
+
+std::string StabilityToCsv(const std::vector<StabilityResult>& results) {
+  std::string out = "approach_id,approach,stage,metric,fold,value\n";
+  for (const StabilityResult& r : results) {
+    for (const auto& [metric, values] : r.samples) {
+      for (std::size_t fold = 0; fold < values.size(); ++fold) {
+        out += StrFormat("%s,%s,%s,%s,%zu,%.6f\n", r.id.c_str(),
+                         r.display.c_str(), r.stage.c_str(), metric.c_str(),
+                         fold, values[fold]);
+      }
+    }
+  }
+  return out;
+}
+
+std::string CrossValidationToCsv(
+    const std::vector<CrossValidationResult>& results) {
+  std::string out = "approach_id,approach,metric,mean,stddev,min,max,folds\n";
+  for (const CrossValidationResult& r : results) {
+    for (const auto& [metric, summary] : r.summaries) {
+      out += StrFormat("%s,%s,%s,%.6f,%.6f,%.6f,%.6f,%zu\n", r.id.c_str(),
+                       r.display.c_str(), metric.c_str(), summary.mean,
+                       summary.stddev, summary.min, summary.max,
+                       summary.count);
+    }
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrFormat("cannot write '%s'", path.c_str()));
+  out << contents;
+  return out ? Status::OK()
+             : Status::IoError(StrFormat("write failed for '%s'", path.c_str()));
+}
+
+}  // namespace fairbench

@@ -1,0 +1,35 @@
+#ifndef FAIRBENCH_CORE_EXPORT_H_
+#define FAIRBENCH_CORE_EXPORT_H_
+
+#include <string>
+
+#include "core/crossval.h"
+#include "core/scalability.h"
+#include "core/stability.h"
+
+namespace fairbench {
+
+/// Machine-readable exports of the harness results, for plotting the
+/// paper's figures with external tooling. All emitters produce RFC-4180ish
+/// CSV with a header row; fields never contain commas.
+
+/// One row per (approach, metric): raw and normalized values plus flags.
+std::string ExperimentResultToCsv(const ExperimentResult& result);
+
+/// One row per (approach, sweep point): overhead and total seconds.
+std::string RuntimeCurvesToCsv(const std::vector<RuntimeCurve>& curves,
+                               const std::string& x_label);
+
+/// One row per (approach, metric, fold-sample).
+std::string StabilityToCsv(const std::vector<StabilityResult>& results);
+
+/// One row per (approach, metric) with cross-fold mean/stddev/min/max.
+std::string CrossValidationToCsv(
+    const std::vector<CrossValidationResult>& results);
+
+/// Writes any of the CSV strings to a file.
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_EXPORT_H_

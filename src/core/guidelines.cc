@@ -1,0 +1,138 @@
+#include "core/guidelines.h"
+
+#include <algorithm>
+
+#include "core/registry.h"
+
+namespace fairbench {
+namespace {
+
+constexpr std::size_t kManyAttributes = 20;  ///< Fig 11(d-f) danger zone.
+constexpr std::size_t kManyRows = 30000;     ///< Fig 11(a-c) danger zone.
+
+StageRecommendation PreStage(const DeploymentConstraints& c) {
+  StageRecommendation rec;
+  rec.stage = "pre";
+  if (!c.data_modification_allowed) {
+    rec.feasible = false;
+    rec.reasons.push_back(
+        "training data may not be altered (anti-discrimination-law "
+        "constraint, §5)");
+  }
+  if (!c.retraining_allowed) {
+    rec.feasible = false;
+    rec.reasons.push_back("repaired data is useless without retraining");
+  }
+  if (c.notion_conditions_on_truth) {
+    rec.feasible = false;
+    rec.reasons.push_back(
+        "pre-processing cannot enforce notions that condition on "
+        "prediction correctness (equalized odds, predictive parity; §5)");
+  }
+  if (rec.feasible) {
+    rec.reasons.push_back("model-agnostic: works with any downstream model");
+    if (c.num_attributes >= kManyAttributes) {
+      rec.reasons.push_back(
+          "warning: pre-processing scales poorly with many attributes "
+          "(Fig 11(d-f)); prefer the simple repairs");
+      rec.approaches = {"kamcal", "feld06"};
+    } else {
+      rec.approaches = {"kamcal", "feld10", "feld06", "calmon"};
+      if (!c.notion_conditions_on_truth) {
+        rec.approaches.push_back("zhawu");
+        rec.approaches.push_back("salimi_matfac");
+      }
+    }
+  }
+  return rec;
+}
+
+StageRecommendation InStage(const DeploymentConstraints& c) {
+  StageRecommendation rec;
+  rec.stage = "in";
+  if (!c.model_modifiable) {
+    rec.feasible = false;
+    rec.reasons.push_back(
+        "the learning procedure cannot be modified (in-processing is "
+        "model-specific, §3)");
+  }
+  if (!c.retraining_allowed) {
+    rec.feasible = false;
+    rec.reasons.push_back("in-processing trains a new model");
+  }
+  if (rec.feasible) {
+    rec.reasons.push_back(
+        "best direct control of the correctness-fairness tradeoff (§4.2)");
+    if (c.num_rows >= kManyRows) {
+      rec.reasons.push_back(
+          "warning: in-processing runtime grows fastest with dataset size "
+          "(Fig 11(a-c))");
+    }
+    rec.approaches = c.notion_conditions_on_truth
+                         ? std::vector<std::string>{"zafar_eo_fair", "zhale",
+                                                    "thomas_eo", "celis"}
+                         : std::vector<std::string>{"zafar_dp_fair",
+                                                    "zafar_dp_acc",
+                                                    "thomas_dp"};
+  }
+  return rec;
+}
+
+StageRecommendation PostStage(const DeploymentConstraints& c) {
+  StageRecommendation rec;
+  rec.stage = "post";
+  if (c.needs_individual_fairness) {
+    rec.feasible = false;
+    rec.reasons.push_back(
+        "post-processing randomizes by group and cannot respect "
+        "individual-level fairness (§4.2)");
+  }
+  if (rec.feasible) {
+    rec.reasons.push_back(
+        "cheapest and most scalable stage; no retraining needed (§4.3)");
+    rec.reasons.push_back(
+        "caveat: weakest correctness-fairness balance (§4.2)");
+    rec.approaches = c.notion_conditions_on_truth
+                         ? std::vector<std::string>{"hardt", "pleiss"}
+                         : std::vector<std::string>{"kamkar"};
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<StageRecommendation> RecommendStages(
+    const DeploymentConstraints& constraints) {
+  std::vector<StageRecommendation> recs = {PreStage(constraints),
+                                           InStage(constraints),
+                                           PostStage(constraints)};
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const StageRecommendation& a,
+                      const StageRecommendation& b) {
+                     return a.feasible > b.feasible;
+                   });
+  return recs;
+}
+
+std::string FormatRecommendations(
+    const std::vector<StageRecommendation>& recommendations) {
+  std::string out;
+  for (const StageRecommendation& rec : recommendations) {
+    out += (rec.feasible ? "[feasible]   " : "[infeasible] ") + rec.stage +
+           "-processing\n";
+    for (const std::string& reason : rec.reasons) {
+      out += "  - " + reason + "\n";
+    }
+    if (!rec.approaches.empty()) {
+      out += "  candidates:";
+      for (const std::string& id : rec.approaches) {
+        Result<const ApproachSpec*> spec = FindApproach(id);
+        out += " " + (spec.ok() ? spec.value()->display : id);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fairbench

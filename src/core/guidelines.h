@@ -1,0 +1,53 @@
+#ifndef FAIRBENCH_CORE_GUIDELINES_H_
+#define FAIRBENCH_CORE_GUIDELINES_H_
+
+#include <string>
+#include <vector>
+
+namespace fairbench {
+
+/// The practical constraints of a deployment, as the paper's §5 "Lessons
+/// and Discussion" frames them.
+struct DeploymentConstraints {
+  /// Can the learning algorithm itself be modified / re-implemented?
+  /// In-processing requires this (paper §3).
+  bool model_modifiable = true;
+  /// Can the deployed model be retrained at all? Post-processing is the
+  /// only stage that works without retraining.
+  bool retraining_allowed = true;
+  /// May the training data legally be altered? (§5: modifying training
+  /// data can conflict with anti-discrimination law.)
+  bool data_modification_allowed = true;
+  /// Does the application need individual-level fairness? Post-processing
+  /// cannot deliver it (§4.2).
+  bool needs_individual_fairness = false;
+  /// Does the target notion condition on prediction correctness
+  /// (equalized odds, predictive parity)? Pre-processing cannot enforce
+  /// those (§5 "Applicability of pre-processing").
+  bool notion_conditions_on_truth = false;
+  /// Rough data shape, for the scalability warnings of §4.3.
+  std::size_t num_rows = 10000;
+  std::size_t num_attributes = 10;
+};
+
+/// One stage recommendation with the §5 rationale.
+struct StageRecommendation {
+  std::string stage;  ///< "pre", "in", or "post".
+  bool feasible = true;
+  std::vector<std::string> reasons;    ///< Why (not) this stage.
+  std::vector<std::string> approaches; ///< Registry ids worth trying.
+};
+
+/// Applies the paper's §5 guidelines to a set of deployment constraints
+/// and returns per-stage feasibility, rationale, and candidate approach
+/// ids (ordered: feasible stages first).
+std::vector<StageRecommendation> RecommendStages(
+    const DeploymentConstraints& constraints);
+
+/// Human-readable rendering of the recommendations.
+std::string FormatRecommendations(
+    const std::vector<StageRecommendation>& recommendations);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_GUIDELINES_H_

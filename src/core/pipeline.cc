@@ -1,0 +1,163 @@
+#include "core/pipeline.h"
+
+#include "common/timer.h"
+
+namespace fairbench {
+
+Pipeline::Pipeline(std::unique_ptr<PreProcessor> pre,
+                   std::unique_ptr<InProcessor> in_processor,
+                   std::unique_ptr<PostProcessor> post,
+                   bool include_sensitive_feature)
+    : pre_(std::move(pre)),
+      in_(std::move(in_processor)),
+      post_(std::move(post)),
+      include_sensitive_feature_(include_sensitive_feature),
+      model_(std::make_unique<LogisticRegression>()) {}
+
+void Pipeline::SetBaseClassifier(std::unique_ptr<Classifier> classifier) {
+  if (classifier != nullptr) model_ = std::move(classifier);
+}
+
+Status Pipeline::Fit(const Dataset& train, const FairContext& context) {
+  timing_ = Timing();
+  Timer timer;
+
+  // Stage 1: pre-processing repair.
+  const Dataset* effective = &train;
+  Dataset repaired;
+  if (pre_ != nullptr) {
+    timer.Restart();
+    FAIRBENCH_ASSIGN_OR_RETURN(repaired, pre_->Repair(train, context));
+    timing_.pre_seconds = timer.ElapsedSeconds();
+    effective = &repaired;
+  }
+
+  // Stage 2: model training.
+  timer.Restart();
+  if (in_ != nullptr) {
+    FAIRBENCH_RETURN_NOT_OK(in_->Fit(*effective, context));
+  } else {
+    FAIRBENCH_RETURN_NOT_OK(
+        encoder_.Fit(*effective, include_sensitive_feature_));
+    FAIRBENCH_ASSIGN_OR_RETURN(Matrix x, encoder_.Transform(*effective));
+    FAIRBENCH_RETURN_NOT_OK(
+        model_->Fit(x, effective->labels(), effective->weights()));
+  }
+  timing_.train_seconds = timer.ElapsedSeconds();
+
+  // Stage 3: post-processing calibration on the training predictions.
+  if (post_ != nullptr) {
+    timer.Restart();
+    fitted_ = true;  // Allow the probability queries below.
+    // `effective` is already repaired, so query the model directly — the
+    // prediction-time feature transform must not be applied twice.
+    std::vector<double> proba;
+    proba.reserve(effective->num_rows());
+    for (std::size_t r = 0; r < effective->num_rows(); ++r) {
+      Result<double> p =
+          in_ != nullptr
+              ? in_->PredictProbaRow(*effective, r, effective->sensitive()[r])
+              : [&]() -> Result<double> {
+                  FAIRBENCH_ASSIGN_OR_RETURN(
+                      Vector features,
+                      encoder_.TransformRow(*effective, r,
+                                            effective->sensitive()[r]));
+                  return model_->PredictProba(features);
+                }();
+      if (!p.ok()) {
+        fitted_ = false;
+        return p.status();
+      }
+      proba.push_back(p.value());
+    }
+    Status st = post_->Fit(proba, effective->labels(), effective->sensitive(),
+                           context);
+    if (!st.ok()) {
+      fitted_ = false;
+      return st;
+    }
+    timing_.post_seconds = timer.ElapsedSeconds();
+  }
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<const Dataset*> Pipeline::TransformedView(const Dataset& data,
+                                                 std::size_t row,
+                                                 int s_override) const {
+  const bool flipped = s_override != data.sensitive()[row];
+  for (const TransformCache& entry : transform_cache_) {
+    if (entry.source == &data && entry.flipped == flipped) {
+      return &entry.transformed;
+    }
+  }
+  TransformCache entry;
+  entry.source = &data;
+  entry.flipped = flipped;
+  if (flipped) {
+    // The repair map is group-conditional, so a do(S) intervention must
+    // route the tuple through the other group's map.
+    Dataset flipped_data = data;
+    for (int& s : flipped_data.mutable_sensitive()) s = 1 - s;
+    FAIRBENCH_ASSIGN_OR_RETURN(entry.transformed,
+                               pre_->TransformFeatures(flipped_data));
+  } else {
+    FAIRBENCH_ASSIGN_OR_RETURN(entry.transformed,
+                               pre_->TransformFeatures(data));
+  }
+  // Keep the cache bounded: a pipeline is typically probed with at most
+  // one dataset in both polarities.
+  if (transform_cache_.size() >= 4) transform_cache_.erase(transform_cache_.begin());
+  transform_cache_.push_back(std::move(entry));
+  return &transform_cache_.back().transformed;
+}
+
+Result<double> Pipeline::PredictProbaRow(const Dataset& data, std::size_t row,
+                                         int s_override) const {
+  if (!fitted_) return Status::FailedPrecondition("Pipeline: not fitted");
+  if (in_ != nullptr) return in_->PredictProbaRow(data, row, s_override);
+  const Dataset* view = &data;
+  if (pre_ != nullptr && pre_->TransformsFeatures()) {
+    FAIRBENCH_ASSIGN_OR_RETURN(view, TransformedView(data, row, s_override));
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(Vector features,
+                             encoder_.TransformRow(*view, row, s_override));
+  return model_->PredictProba(features);
+}
+
+Result<int> Pipeline::PredictRow(const Dataset& data, std::size_t row,
+                                 int s_override) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProbaRow(data, row, s_override));
+  if (post_ != nullptr) {
+    return post_->Adjust(p, s_override, static_cast<uint64_t>(row));
+  }
+  return p >= 0.5 ? 1 : 0;
+}
+
+Result<std::vector<int>> Pipeline::Predict(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    FAIRBENCH_ASSIGN_OR_RETURN(int y,
+                               PredictRow(data, r, data.sensitive()[r]));
+    out.push_back(y);
+  }
+  return out;
+}
+
+RowPredictor Pipeline::MakeRowPredictor(const Dataset& data) const {
+  return [this, &data](std::size_t row, int s_override) {
+    return PredictRow(data, row, s_override);
+  };
+}
+
+std::string Pipeline::Describe() const {
+  std::string out;
+  if (pre_ != nullptr) out += pre_->name() + " + ";
+  out += in_ != nullptr ? in_->name() : "LR";
+  if (post_ != nullptr) out += " + " + post_->name();
+  return out;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,108 @@
+#ifndef FAIRBENCH_CORE_PIPELINE_H_
+#define FAIRBENCH_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "classifiers/logistic_regression.h"
+#include "data/encoder.h"
+#include "fair/method.h"
+#include "metrics/causal_discrimination.h"
+
+namespace fairbench {
+
+/// A complete fair-classification pipeline composed from the paper's three
+/// stages:
+///
+///   pre-processor (optional) -> model -> post-processor (optional)
+///
+/// where the model is either an InProcessor (which handles encoding and S
+/// itself) or the default logistic regression over encoded features —
+/// exactly how the paper pairs pre-/post-processing approaches with LR
+/// (§4.1). The pipeline exposes per-row prediction with do(S) overrides so
+/// the Causal Discrimination metric probes everything, including
+/// S-dependent post-processing.
+class Pipeline {
+ public:
+  /// Wall-clock breakdown of Fit(), matching the paper's runtime
+  /// decomposition "pre-processing + training + post-processing".
+  struct Timing {
+    double pre_seconds = 0.0;
+    double train_seconds = 0.0;
+    double post_seconds = 0.0;
+    double Total() const { return pre_seconds + train_seconds + post_seconds; }
+  };
+
+  /// Builds a pipeline. Any stage may be null; when `in_processor` is null
+  /// a logistic regression over the encoded features is trained, with the
+  /// sensitive attribute included iff `include_sensitive_feature`.
+  Pipeline(std::unique_ptr<PreProcessor> pre,
+           std::unique_ptr<InProcessor> in_processor,
+           std::unique_ptr<PostProcessor> post,
+           bool include_sensitive_feature = true);
+
+  /// Swaps the default logistic-regression base model for any Classifier
+  /// (pre- and post-processing are model-agnostic — paper §3). Must be
+  /// called before Fit(); ignored when an in-processor is present.
+  void SetBaseClassifier(std::unique_ptr<Classifier> classifier);
+
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Runs the composed training: repair, fit, calibrate. Timing is
+  /// recorded per stage.
+  Status Fit(const Dataset& train, const FairContext& context);
+
+  bool fitted() const { return fitted_; }
+  const Timing& timing() const { return timing_; }
+
+  /// Hard predictions for every row of `data`.
+  Result<std::vector<int>> Predict(const Dataset& data) const;
+
+  /// Prediction for one row with the sensitive attribute overridden.
+  Result<int> PredictRow(const Dataset& data, std::size_t row,
+                         int s_override) const;
+
+  /// P(Y=1) for one row with the sensitive attribute overridden (the
+  /// pre-post-processing model probability).
+  Result<double> PredictProbaRow(const Dataset& data, std::size_t row,
+                                 int s_override) const;
+
+  /// Binds `data` into a RowPredictor for the CD metric.
+  RowPredictor MakeRowPredictor(const Dataset& data) const;
+
+  /// Human-readable composition, e.g. "KamCal-DP + LR".
+  std::string Describe() const;
+
+ private:
+  /// Feature-transforming pre-processors (Feld) must also map prediction
+  /// data through their fitted repair. The transformed copies are cached
+  /// per source dataset — including the flipped-S variant the CD metric
+  /// probes — so per-row prediction stays O(1) amortized.
+  Result<const Dataset*> TransformedView(const Dataset& data,
+                                         std::size_t row,
+                                         int s_override) const;
+
+  std::unique_ptr<PreProcessor> pre_;
+  std::unique_ptr<InProcessor> in_;
+  std::unique_ptr<PostProcessor> post_;
+  bool include_sensitive_feature_;
+
+  struct TransformCache {
+    const Dataset* source = nullptr;
+    bool flipped = false;
+    Dataset transformed;
+  };
+  mutable std::vector<TransformCache> transform_cache_;
+
+  // Default-model path (used when in_ is null).
+  FeatureEncoder encoder_;
+  std::unique_ptr<Classifier> model_;
+
+  bool fitted_ = false;
+  Timing timing_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_PIPELINE_H_

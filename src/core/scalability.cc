@@ -1,0 +1,145 @@
+#include "core/scalability.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/table.h"
+#include "data/split.h"
+
+namespace fairbench {
+namespace {
+
+/// Times Pipeline::Fit of every approach (plus LR) on one train set and
+/// appends points to the curves.
+Status TimePoint(const Dataset& train, const FairContext& context,
+                 const std::vector<std::string>& ids, std::size_t x,
+                 std::vector<RuntimeCurve>* curves) {
+  // Baseline LR fit time at this point.
+  FAIRBENCH_ASSIGN_OR_RETURN(Pipeline lr, MakePipeline("lr"));
+  Timer timer;
+  FAIRBENCH_RETURN_NOT_OK(lr.Fit(train, context));
+  const double lr_seconds = timer.ElapsedSeconds();
+
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    RuntimePoint point;
+    point.x = x;
+    Result<Pipeline> pipeline = MakePipeline(ids[k]);
+    if (!pipeline.ok()) return pipeline.status();
+    timer.Restart();
+    Status st = pipeline.value().Fit(train, context);
+    point.total_seconds = timer.ElapsedSeconds();
+    if (st.ok()) {
+      point.ok = true;
+      point.overhead_seconds =
+          ids[k] == "lr" ? point.total_seconds
+                         : point.total_seconds - lr_seconds;
+    } else {
+      point.error = st.ToString();
+    }
+    (*curves)[k].points.push_back(std::move(point));
+  }
+  return Status::OK();
+}
+
+std::vector<RuntimeCurve> InitCurves(const std::vector<std::string>& ids) {
+  std::vector<RuntimeCurve> curves;
+  for (const std::string& id : ids) {
+    RuntimeCurve c;
+    c.id = id;
+    Result<const ApproachSpec*> spec = FindApproach(id);
+    if (spec.ok()) {
+      c.display = spec.value()->display;
+      c.stage = spec.value()->stage;
+    }
+    curves.push_back(std::move(c));
+  }
+  return curves;
+}
+
+}  // namespace
+
+Result<std::vector<RuntimeCurve>> MeasureRuntimeVsSize(
+    const PopulationConfig& config, const std::vector<std::size_t>& sizes,
+    const std::vector<std::string>& ids, const ScalabilityOptions& options) {
+  std::vector<RuntimeCurve> curves = InitCurves(ids);
+  const FairContext context = MakeContext(config, options.seed);
+  for (std::size_t size : sizes) {
+    FAIRBENCH_ASSIGN_OR_RETURN(
+        Dataset data, GeneratePopulation(config, size, options.seed ^ size));
+    Rng rng(options.seed ^ (size * 31));
+    const SplitIndices split =
+        TrainTestSplit(data.num_rows(), options.train_fraction, rng);
+    FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, data.SelectRows(split.train));
+    FAIRBENCH_RETURN_NOT_OK(TimePoint(train, context, ids, size, &curves));
+  }
+  return curves;
+}
+
+Result<std::vector<RuntimeCurve>> MeasureRuntimeVsAttributes(
+    const PopulationConfig& config, std::size_t num_rows,
+    const std::vector<std::size_t>& attr_counts,
+    const std::vector<std::string>& ids, const ScalabilityOptions& options) {
+  std::vector<RuntimeCurve> curves = InitCurves(ids);
+  FAIRBENCH_ASSIGN_OR_RETURN(
+      Dataset full, GeneratePopulation(config, num_rows, options.seed ^ 0xa77ull));
+
+  for (std::size_t attrs : attr_counts) {
+    if (attrs < 2) {
+      return Status::InvalidArgument(
+          "MeasureRuntimeVsAttributes: need at least S plus one feature");
+    }
+    const std::size_t features =
+        std::min<std::size_t>(attrs - 1, full.num_features());
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < features; ++c) {
+      names.push_back(full.schema().column(c).name);
+    }
+    FAIRBENCH_ASSIGN_OR_RETURN(Dataset subset, full.SelectColumns(names));
+
+    // Attribute roles must reference surviving columns only.
+    FairContext context = MakeContext(config, options.seed);
+    auto keep_present = [&](std::vector<std::string>* attrs_list) {
+      attrs_list->erase(
+          std::remove_if(attrs_list->begin(), attrs_list->end(),
+                         [&](const std::string& a) {
+                           return !subset.schema().Contains(a);
+                         }),
+          attrs_list->end());
+    };
+    keep_present(&context.resolving_attributes);
+    keep_present(&context.inadmissible_attributes);
+
+    Rng rng(options.seed ^ (attrs * 131));
+    const SplitIndices split =
+        TrainTestSplit(subset.num_rows(), options.train_fraction, rng);
+    FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, subset.SelectRows(split.train));
+    FAIRBENCH_RETURN_NOT_OK(TimePoint(train, context, ids, attrs, &curves));
+  }
+  return curves;
+}
+
+std::string FormatRuntimeTable(const std::vector<RuntimeCurve>& curves,
+                               const std::string& x_label) {
+  TextTable table;
+  std::vector<std::string> header = {"approach", "stage"};
+  if (!curves.empty()) {
+    for (const RuntimePoint& p : curves.front().points) {
+      header.push_back(StrFormat("%s=%zu", x_label.c_str(), p.x));
+    }
+  }
+  table.SetHeader(std::move(header));
+  std::string prev_stage;
+  for (const RuntimeCurve& c : curves) {
+    if (!prev_stage.empty() && c.stage != prev_stage) table.AddSeparator();
+    prev_stage = c.stage;
+    std::vector<std::string> row = {c.display, c.stage};
+    for (const RuntimePoint& p : c.points) {
+      row.push_back(p.ok ? StrFormat("%.3fs", p.overhead_seconds) : "n/a");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace fairbench

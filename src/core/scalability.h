@@ -1,0 +1,59 @@
+#ifndef FAIRBENCH_CORE_SCALABILITY_H_
+#define FAIRBENCH_CORE_SCALABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace fairbench {
+
+/// Options for the runtime experiments (Fig 11 protocol).
+struct ScalabilityOptions {
+  uint64_t seed = 7;
+  double train_fraction = 0.7;
+};
+
+/// Runtime at one sweep point. `overhead_seconds` is the approach's
+/// fit-time minus the fairness-unaware LR's fit-time at the same point —
+/// the paper reports exactly this overhead.
+struct RuntimePoint {
+  std::size_t x = 0;  ///< Data size (rows) or attribute count.
+  bool ok = false;
+  std::string error;
+  double total_seconds = 0.0;
+  double overhead_seconds = 0.0;
+};
+
+/// Runtime curve of one approach across the sweep.
+struct RuntimeCurve {
+  std::string id;
+  std::string display;
+  std::string stage;
+  std::vector<RuntimePoint> points;
+};
+
+/// Fig 11(a-c): runtime vs number of data points. Each sweep point
+/// generates `size` rows from the population, splits 70/30, and times
+/// Pipeline::Fit for every approach plus the LR baseline.
+Result<std::vector<RuntimeCurve>> MeasureRuntimeVsSize(
+    const PopulationConfig& config, const std::vector<std::size_t>& sizes,
+    const std::vector<std::string>& ids,
+    const ScalabilityOptions& options = {});
+
+/// Fig 11(d-f): runtime vs number of attributes. The sweep keeps the first
+/// (d - 1) feature columns plus S, so `attr_counts` are total attribute
+/// counts in the paper's sense (features + sensitive attribute).
+Result<std::vector<RuntimeCurve>> MeasureRuntimeVsAttributes(
+    const PopulationConfig& config, std::size_t num_rows,
+    const std::vector<std::size_t>& attr_counts,
+    const std::vector<std::string>& ids,
+    const ScalabilityOptions& options = {});
+
+/// Fixed-width rendering of runtime curves ("n/a" for failed points).
+std::string FormatRuntimeTable(const std::vector<RuntimeCurve>& curves,
+                               const std::string& x_label);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_SCALABILITY_H_

@@ -1,0 +1,80 @@
+#include "core/stability.h"
+
+#include "common/string_util.h"
+#include "core/table.h"
+
+namespace fairbench {
+
+Result<std::vector<StabilityResult>> RunStability(
+    const Dataset& data, const FairContext& context,
+    const std::vector<std::string>& ids, const StabilityOptions& options) {
+  std::vector<StabilityResult> results;
+  for (const std::string& id : ids) {
+    FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+    StabilityResult r;
+    r.id = spec->id;
+    r.display = spec->display;
+    r.stage = spec->stage;
+    results.push_back(std::move(r));
+  }
+
+  for (int run = 0; run < options.runs; ++run) {
+    ExperimentOptions eo;
+    eo.train_fraction = options.train_fraction;
+    eo.seed = options.seed + static_cast<uint64_t>(run) * 7919;
+    eo.compute_cd = options.compute_cd;
+    eo.compute_crd = options.compute_crd;
+    eo.cd = options.cd;
+    FAIRBENCH_ASSIGN_OR_RETURN(ExperimentResult er,
+                               RunExperiment(data, context, ids, eo));
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const ApproachResult& ar = er.approaches[k];
+      if (!ar.ok) {
+        ++results[k].failures;
+        continue;
+      }
+      for (const std::string& m : CorrectnessMetricNames()) {
+        results[k].samples[m].push_back(ar.metrics.MetricByName(m));
+      }
+      for (const std::string& m : FairnessMetricNames()) {
+        results[k].samples[m].push_back(ar.metrics.MetricByName(m));
+      }
+    }
+  }
+  for (StabilityResult& r : results) {
+    for (const auto& [metric, values] : r.samples) {
+      r.summaries[metric] = Summarize(values);
+    }
+  }
+  return results;
+}
+
+std::string FormatStabilityTable(const std::vector<StabilityResult>& results,
+                                 const std::vector<std::string>& metric_names) {
+  TextTable table;
+  std::vector<std::string> header = {"approach", "stage"};
+  for (const std::string& m : metric_names) {
+    header.push_back(m + " mean+-sd (outl)");
+  }
+  table.SetHeader(std::move(header));
+  std::string prev_stage;
+  for (const StabilityResult& r : results) {
+    if (!prev_stage.empty() && r.stage != prev_stage) table.AddSeparator();
+    prev_stage = r.stage;
+    std::vector<std::string> row = {r.display, r.stage};
+    for (const std::string& m : metric_names) {
+      const auto it = r.summaries.find(m);
+      if (it == r.summaries.end()) {
+        row.push_back("n/a");
+        continue;
+      }
+      const Summary& s = it->second;
+      row.push_back(StrFormat("%.3f+-%.3f (%zu)", s.mean, s.stddev,
+                              s.num_outliers));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace fairbench

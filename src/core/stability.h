@@ -1,0 +1,47 @@
+#ifndef FAIRBENCH_CORE_STABILITY_H_
+#define FAIRBENCH_CORE_STABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "stats/descriptive.h"
+
+namespace fairbench {
+
+/// Options for the stability experiment (Fig 12 protocol: 10 random folds
+/// with 66.67% of the data for training).
+struct StabilityOptions {
+  int runs = 10;
+  double train_fraction = 2.0 / 3.0;
+  uint64_t seed = 99;
+  bool compute_cd = true;
+  bool compute_crd = true;
+  CdOptions cd;
+};
+
+/// Per-approach stability outcome: raw metric samples across folds plus
+/// their boxplot summaries.
+struct StabilityResult {
+  std::string id;
+  std::string display;
+  std::string stage;
+  int failures = 0;  ///< Folds where the approach errored.
+  std::map<std::string, std::vector<double>> samples;   ///< metric -> values.
+  std::map<std::string, Summary> summaries;             ///< metric -> summary.
+};
+
+/// Runs every approach `runs` times on random train/test folds of `data`
+/// and summarizes the variance of all nine metrics.
+Result<std::vector<StabilityResult>> RunStability(
+    const Dataset& data, const FairContext& context,
+    const std::vector<std::string>& ids, const StabilityOptions& options = {});
+
+/// Renders mean +/- stddev (and outlier counts) for the chosen metrics.
+std::string FormatStabilityTable(const std::vector<StabilityResult>& results,
+                                 const std::vector<std::string>& metric_names);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_STABILITY_H_

@@ -1,0 +1,68 @@
+#include "core/table.h"
+
+#include <algorithm>
+
+namespace fairbench {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::ToString() const {
+  // Column widths.
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += cell;
+      line.append(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) line += " | ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  auto rule = [&]() {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      line.append(width[c], '-');
+      if (c + 1 < cols) line += "-+-";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule();
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      out += rule();
+    }
+    out += render_row(rows_[r]);
+  }
+  return out;
+}
+
+}  // namespace fairbench

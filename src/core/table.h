@@ -1,0 +1,33 @@
+#ifndef FAIRBENCH_CORE_TABLE_H_
+#define FAIRBENCH_CORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fairbench {
+
+/// Fixed-width text table used by the figure-reproduction harnesses to
+/// print paper-style result tables to stdout.
+class TextTable {
+ public:
+  /// Sets the header row (defines the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Renders with column alignment, ' | ' separators, and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  ///< Row indices before which to rule.
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_TABLE_H_

@@ -1,0 +1,191 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+namespace {
+
+struct RawTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Result<RawTable> ParseRaw(const std::string& text, char delim) {
+  RawTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, delim);
+    for (std::string& f : fields) f = std::string(StripAsciiWhitespace(f));
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      return Status::IoError(
+          StrFormat("CSV line %zu: expected %zu fields, got %zu", line_no,
+                    table.header.size(), fields.size()));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  if (table.header.empty()) return Status::IoError("CSV: missing header");
+  return table;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(const std::string& text, const CsvReadOptions& options) {
+  FAIRBENCH_ASSIGN_OR_RETURN(RawTable raw, ParseRaw(text, options.delimiter));
+
+  int s_col = -1;
+  int y_col = -1;
+  for (std::size_t c = 0; c < raw.header.size(); ++c) {
+    if (raw.header[c] == options.sensitive_column) s_col = static_cast<int>(c);
+    if (raw.header[c] == options.label_column) y_col = static_cast<int>(c);
+  }
+  if (s_col < 0) {
+    return Status::NotFound(StrFormat("CSV: sensitive column '%s' not found",
+                                      options.sensitive_column.c_str()));
+  }
+  if (y_col < 0) {
+    return Status::NotFound(StrFormat("CSV: label column '%s' not found",
+                                      options.label_column.c_str()));
+  }
+
+  // Determine per-column type (excluding S, Y, __weight).
+  Schema schema;
+  std::vector<int> feature_cols;
+  std::vector<bool> is_numeric;
+  int weight_col = -1;
+  for (std::size_t c = 0; c < raw.header.size(); ++c) {
+    if (static_cast<int>(c) == s_col || static_cast<int>(c) == y_col) continue;
+    if (raw.header[c] == "__weight") {
+      weight_col = static_cast<int>(c);
+      continue;
+    }
+    bool numeric = true;
+    for (const auto& row : raw.rows) {
+      double dummy;
+      if (!ParseDouble(row[c], &dummy)) {
+        numeric = false;
+        break;
+      }
+    }
+    feature_cols.push_back(static_cast<int>(c));
+    is_numeric.push_back(numeric);
+    ColumnSpec spec;
+    spec.name = raw.header[c];
+    if (numeric) {
+      spec.type = ColumnType::kNumeric;
+    } else {
+      spec.type = ColumnType::kCategorical;
+      std::map<std::string, int> seen;
+      for (const auto& row : raw.rows) {
+        if (seen.emplace(row[c], static_cast<int>(seen.size())).second) {
+          spec.categories.push_back(row[c]);
+        }
+      }
+      if (spec.categories.empty()) spec.categories.push_back("<empty>");
+    }
+    FAIRBENCH_RETURN_NOT_OK(schema.AddColumn(spec));
+  }
+
+  Dataset ds(schema);
+  ds.set_sensitive_name(options.sensitive_column);
+  ds.set_label_name(options.label_column);
+
+  for (const auto& row : raw.rows) {
+    std::vector<double> numeric_values;
+    std::vector<int> codes;
+    for (std::size_t f = 0; f < feature_cols.size(); ++f) {
+      const std::string& cell = row[static_cast<std::size_t>(feature_cols[f])];
+      if (is_numeric[f]) {
+        double v = 0.0;
+        ParseDouble(cell, &v);
+        numeric_values.push_back(v);
+      } else {
+        const ColumnSpec& spec = ds.schema().column(f);
+        int code = 0;
+        for (std::size_t k = 0; k < spec.categories.size(); ++k) {
+          if (spec.categories[k] == cell) {
+            code = static_cast<int>(k);
+            break;
+          }
+        }
+        codes.push_back(code);
+      }
+    }
+    const int s =
+        row[static_cast<std::size_t>(s_col)] == options.privileged_value ? 1 : 0;
+    const int y =
+        row[static_cast<std::size_t>(y_col)] == options.favorable_value ? 1 : 0;
+    double w = 1.0;
+    if (weight_col >= 0) {
+      ParseDouble(row[static_cast<std::size_t>(weight_col)], &w);
+    }
+    FAIRBENCH_RETURN_NOT_OK(ds.AppendRow(numeric_values, codes, s, y, w));
+  }
+  return ds;
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+std::string ToCsvString(const Dataset& ds) {
+  std::string out;
+  bool any_weight = false;
+  for (double w : ds.weights()) {
+    if (w != 1.0) any_weight = true;
+  }
+  // Header.
+  for (std::size_t c = 0; c < ds.num_features(); ++c) {
+    out += ds.schema().column(c).name;
+    out += ',';
+  }
+  out += ds.sensitive_name();
+  out += ',';
+  out += ds.label_name();
+  if (any_weight) out += ",__weight";
+  out += '\n';
+  // Rows.
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    for (std::size_t c = 0; c < ds.num_features(); ++c) {
+      const ColumnSpec& spec = ds.schema().column(c);
+      if (spec.type == ColumnType::kNumeric) {
+        out += StrFormat("%.10g", ds.NumericAt(c, r));
+      } else {
+        out += spec.categories[static_cast<std::size_t>(ds.CodeAt(c, r))];
+      }
+      out += ',';
+    }
+    out += StrFormat("%d,%d", ds.sensitive()[r], ds.labels()[r]);
+    if (any_weight) out += StrFormat(",%.10g", ds.weights()[r]);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrFormat("cannot write '%s'", path.c_str()));
+  out << ToCsvString(dataset);
+  return out ? Status::OK()
+             : Status::IoError(StrFormat("write failed for '%s'", path.c_str()));
+}
+
+}  // namespace fairbench

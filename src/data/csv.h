@@ -1,0 +1,40 @@
+#ifndef FAIRBENCH_DATA_CSV_H_
+#define FAIRBENCH_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairbench {
+
+/// Options for reading an annotated CSV file into a Dataset.
+struct CsvReadOptions {
+  std::string sensitive_column;  ///< Required; values mapped below.
+  std::string label_column;      ///< Required; values mapped below.
+  /// Sensitive value treated as privileged (S = 1); all others are 0.
+  std::string privileged_value = "1";
+  /// Label value treated as favorable (Y = 1); all others are 0.
+  std::string favorable_value = "1";
+  char delimiter = ',';
+};
+
+/// Reads a CSV with a header row. Columns whose every value parses as a
+/// double become numeric; all other columns become categorical with a
+/// dictionary built from the distinct values in first-appearance order.
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& options);
+
+/// Parses CSV text directly (same rules as ReadCsv). Exposed for tests.
+Result<Dataset> ParseCsv(const std::string& text, const CsvReadOptions& options);
+
+/// Writes a dataset to CSV: feature columns, then the sensitive column and
+/// label column (as 0/1), then an optional "__weight" column when any
+/// weight differs from 1.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Serializes a dataset to CSV text (same layout as WriteCsv).
+std::string ToCsvString(const Dataset& dataset);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_CSV_H_

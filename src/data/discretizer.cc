@@ -1,0 +1,73 @@
+#include "data/discretizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace fairbench {
+
+Status Discretizer::Fit(const Dataset& dataset) {
+  if (bins_ < 2) return Status::InvalidArgument("Discretizer: bins must be >= 2");
+  schema_ = dataset.schema();
+  edges_.assign(schema_.num_columns(), {});
+  cardinalities_.assign(schema_.num_columns(), 0);
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    const ColumnSpec& spec = schema_.column(c);
+    if (spec.type == ColumnType::kCategorical) {
+      cardinalities_[c] = spec.cardinality();
+      continue;
+    }
+    const std::vector<double>& values = dataset.column(c).numeric;
+    if (values.empty()) {
+      cardinalities_[c] = 1;
+      continue;
+    }
+    // Interior quantile edges, deduplicated so constant regions collapse.
+    // An edge at the column minimum would leave bin 0 empty (codes use
+    // upper_bound), so edges must be strictly above the minimum.
+    const double vmin = *std::min_element(values.begin(), values.end());
+    std::vector<double> edges;
+    for (std::size_t b = 1; b < bins_; ++b) {
+      const double q = static_cast<double>(b) / static_cast<double>(bins_);
+      const double edge = Quantile(values, q);
+      if (edge > vmin && (edges.empty() || edge > edges.back())) {
+        edges.push_back(edge);
+      }
+    }
+    cardinalities_[c] = edges.size() + 1;
+    edges_[c] = std::move(edges);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<int> Discretizer::CodeAt(const Dataset& dataset, std::size_t col,
+                                std::size_t row) const {
+  if (!fitted_) return Status::FailedPrecondition("Discretizer: not fitted");
+  if (!(dataset.schema() == schema_)) {
+    return Status::InvalidArgument("Discretizer: schema mismatch");
+  }
+  if (col >= schema_.num_columns() || row >= dataset.num_rows()) {
+    return Status::OutOfRange("Discretizer: cell out of range");
+  }
+  const ColumnSpec& spec = schema_.column(col);
+  if (spec.type == ColumnType::kCategorical) return dataset.CodeAt(col, row);
+  const double v = dataset.NumericAt(col, row);
+  const std::vector<double>& edges = edges_[col];
+  const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+  return static_cast<int>(it - edges.begin());
+}
+
+Result<std::vector<int>> Discretizer::Codes(const Dataset& dataset,
+                                            std::size_t col) const {
+  std::vector<int> out;
+  out.reserve(dataset.num_rows());
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    FAIRBENCH_ASSIGN_OR_RETURN(int code, CodeAt(dataset, col, r));
+    out.push_back(code);
+  }
+  return out;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,49 @@
+#ifndef FAIRBENCH_DATA_DISCRETIZER_H_
+#define FAIRBENCH_DATA_DISCRETIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairbench {
+
+/// Maps every feature column of a dataset to small discrete codes:
+/// categorical columns keep their codes; numeric columns are binned at
+/// training-set quantiles. The discrete view is what the causal module
+/// (structure learning, interventions), CALMON's distribution optimizer,
+/// and SALIMI's integrity-constraint repair operate on.
+class Discretizer {
+ public:
+  /// `bins` is the target number of quantile bins per numeric column.
+  explicit Discretizer(std::size_t bins = 4) : bins_(bins) {}
+
+  /// Learns bin boundaries from `dataset`.
+  Status Fit(const Dataset& dataset);
+
+  bool fitted() const { return fitted_; }
+
+  /// Cardinality of column c in the discrete view.
+  std::size_t Cardinality(std::size_t col) const { return cardinalities_[col]; }
+
+  /// Discrete codes for column `col` over all rows of `dataset`.
+  Result<std::vector<int>> Codes(const Dataset& dataset, std::size_t col) const;
+
+  /// Discrete code of a single cell.
+  Result<int> CodeAt(const Dataset& dataset, std::size_t col,
+                     std::size_t row) const;
+
+  /// Bin edges for a numeric column (empty for categorical columns).
+  const std::vector<double>& Edges(std::size_t col) const { return edges_[col]; }
+
+ private:
+  std::size_t bins_;
+  bool fitted_ = false;
+  Schema schema_;
+  std::vector<std::vector<double>> edges_;  ///< Interior edges per column.
+  std::vector<std::size_t> cardinalities_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_DISCRETIZER_H_

@@ -1,0 +1,96 @@
+#include "data/encoder.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Status FeatureEncoder::Fit(const Dataset& dataset, bool include_sensitive) {
+  FAIRBENCH_RETURN_NOT_OK(dataset.Validate());
+  schema_ = dataset.schema();
+  include_sensitive_ = include_sensitive;
+  means_.clear();
+  stddevs_.clear();
+  dims_ = 0;
+  const std::size_t n = dataset.num_rows();
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    const ColumnSpec& spec = schema_.column(c);
+    if (spec.type == ColumnType::kNumeric) {
+      double mean = 0.0;
+      for (double v : dataset.column(c).numeric) mean += v;
+      mean = n > 0 ? mean / static_cast<double>(n) : 0.0;
+      double var = 0.0;
+      for (double v : dataset.column(c).numeric) var += (v - mean) * (v - mean);
+      var = n > 1 ? var / static_cast<double>(n - 1) : 0.0;
+      means_.push_back(mean);
+      stddevs_.push_back(std::max(std::sqrt(var), 1e-9));
+      dims_ += 1;
+    } else {
+      // Reference coding: cardinality - 1 indicator dims.
+      dims_ += spec.cardinality() > 1 ? spec.cardinality() - 1 : 0;
+    }
+  }
+  if (include_sensitive_) dims_ += 1;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status FeatureEncoder::CheckSchema(const Dataset& dataset) const {
+  if (!fitted_) return Status::FailedPrecondition("FeatureEncoder: not fitted");
+  if (!(dataset.schema() == schema_)) {
+    return Status::InvalidArgument("FeatureEncoder: schema mismatch");
+  }
+  return Status::OK();
+}
+
+void FeatureEncoder::EncodeRowInto(const Dataset& dataset, std::size_t row,
+                                   int s_value, Vector* out) const {
+  std::size_t d = 0;
+  std::size_t numeric_idx = 0;
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    const ColumnSpec& spec = schema_.column(c);
+    if (spec.type == ColumnType::kNumeric) {
+      (*out)[d++] = (dataset.NumericAt(c, row) - means_[numeric_idx]) /
+                    stddevs_[numeric_idx];
+      ++numeric_idx;
+    } else {
+      const int code = dataset.CodeAt(c, row);
+      for (std::size_t k = 1; k < spec.cardinality(); ++k) {
+        (*out)[d++] = (static_cast<std::size_t>(code) == k) ? 1.0 : 0.0;
+      }
+    }
+  }
+  if (include_sensitive_) (*out)[d++] = static_cast<double>(s_value);
+}
+
+Result<Matrix> FeatureEncoder::Transform(const Dataset& dataset) const {
+  FAIRBENCH_RETURN_NOT_OK(CheckSchema(dataset));
+  const std::size_t n = dataset.num_rows();
+  Matrix out(n, dims_, 0.0);
+  Vector row(dims_, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    EncodeRowInto(dataset, r, dataset.sensitive()[r], &row);
+    out.SetRow(r, row);
+  }
+  return out;
+}
+
+Result<Vector> FeatureEncoder::TransformRow(const Dataset& dataset,
+                                            std::size_t row) const {
+  return TransformRow(dataset, row, dataset.sensitive()[row]);
+}
+
+Result<Vector> FeatureEncoder::TransformRow(const Dataset& dataset,
+                                            std::size_t row,
+                                            int s_override) const {
+  FAIRBENCH_RETURN_NOT_OK(CheckSchema(dataset));
+  if (row >= dataset.num_rows()) {
+    return Status::OutOfRange(StrFormat("TransformRow: row %zu out of range", row));
+  }
+  Vector out(dims_, 0.0);
+  EncodeRowInto(dataset, row, s_override, &out);
+  return out;
+}
+
+}  // namespace fairbench

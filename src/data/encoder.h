@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_DATA_ENCODER_H_
+#define FAIRBENCH_DATA_ENCODER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace fairbench {
+
+/// Turns a Dataset's feature columns into a dense numeric design matrix:
+///  - numeric columns are standardized with statistics learned in Fit()
+///    (constant columns pass through as zeros),
+///  - categorical columns are one-hot encoded with the first category
+///    dropped (reference coding, avoiding perfect collinearity),
+///  - optionally the sensitive attribute S is appended as a final 0/1
+///    feature (approaches differ on whether the model may see S).
+///
+/// Fit on training data, then Transform train and test with the same
+/// statistics — the standard leakage-free protocol.
+class FeatureEncoder {
+ public:
+  /// Learns standardization statistics from `dataset`.
+  Status Fit(const Dataset& dataset, bool include_sensitive);
+
+  bool fitted() const { return fitted_; }
+  std::size_t dims() const { return dims_; }
+  bool include_sensitive() const { return include_sensitive_; }
+
+  /// Encodes all rows. The dataset must have the same schema it was fit on.
+  Result<Matrix> Transform(const Dataset& dataset) const;
+
+  /// Encodes one row.
+  Result<Vector> TransformRow(const Dataset& dataset, std::size_t row) const;
+
+  /// Encodes one row with the sensitive attribute forced to `s_override`
+  /// (used by the Causal Discrimination metric's do(S) interventions).
+  /// When the encoder excludes S the result equals TransformRow().
+  Result<Vector> TransformRow(const Dataset& dataset, std::size_t row,
+                              int s_override) const;
+
+ private:
+  Status CheckSchema(const Dataset& dataset) const;
+  void EncodeRowInto(const Dataset& dataset, std::size_t row, int s_value,
+                     Vector* out) const;
+
+  bool fitted_ = false;
+  bool include_sensitive_ = false;
+  Schema schema_;
+  std::vector<double> means_;    ///< Per numeric column.
+  std::vector<double> stddevs_;  ///< Per numeric column (>= epsilon).
+  std::size_t dims_ = 0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_ENCODER_H_

@@ -1,0 +1,89 @@
+#include "data/generators/population.h"
+
+namespace fairbench {
+
+// Calibration targets (paper Fig 9 and §4.1):
+//   45,222 rows; 14 attributes; S = sex (Female unprivileged, ~33% of
+//   rows); P(income >= 50K) = 24% overall, 11% for women vs 32% for men.
+// The paper's CRD discussion singles out occupation and hours-per-week as
+// resolving attributes that correlate with sex, which is why `occupation`
+// carries a strong sex tilt and `hours_per_week` a sex shift here.
+PopulationConfig AdultConfig() {
+  PopulationConfig cfg;
+  cfg.name = "Adult";
+  cfg.task = "Income >= $50K";
+  cfg.sensitive_name = "sex";
+  cfg.unprivileged_label = "Female";
+  cfg.privileged_label = "Male";
+  cfg.label_name = "income";
+  cfg.privileged_fraction = 0.67;
+  cfg.pos_rate_unprivileged = 0.11;
+  cfg.pos_rate_privileged = 0.32;
+  cfg.default_rows = 45222;
+  cfg.signal_scale = 0.42;
+
+  cfg.numeric = {
+      {.name = "age", .base_mean = 36.0, .base_std = 12.0, .s_shift = 2.0,
+       .y_shift = 7.0, .round_to_int = true, .min_value = 17, .max_value = 90},
+      {.name = "fnlwgt", .base_mean = 190000.0, .base_std = 80000.0,
+       .round_to_int = true, .min_value = 20000, .max_value = 900000},
+      {.name = "education_num", .base_mean = 9.3, .base_std = 2.3,
+       .y_shift = 2.4, .round_to_int = true, .min_value = 1, .max_value = 16},
+      {.name = "capital_gain", .base_mean = 200.0, .base_std = 1200.0,
+       .y_shift = 3600.0, .round_to_int = true, .min_value = 0,
+       .max_value = 99999},
+      {.name = "capital_loss", .base_mean = 40.0, .base_std = 180.0,
+       .y_shift = 160.0, .round_to_int = true, .min_value = 0,
+       .max_value = 4356},
+      {.name = "hours_per_week", .base_mean = 36.0, .base_std = 9.0,
+       .s_shift = 5.0, .y_shift = 6.0, .round_to_int = true, .min_value = 1,
+       .max_value = 99},
+  };
+
+  cfg.categorical = {
+      {.name = "workclass",
+       .categories = {"Private", "Self-emp", "Government", "Other"},
+       .base_weights = {0.70, 0.11, 0.14, 0.05},
+       .s1_mult = {1.0, 1.4, 1.0, 0.8},
+       .y1_mult = {0.9, 1.7, 1.2, 0.4}},
+      {.name = "education",
+       .categories = {"Below-HS", "HS-grad", "Some-college", "Bachelors",
+                      "Masters", "Doctorate"},
+       .base_weights = {0.23, 0.32, 0.23, 0.16, 0.05, 0.01},
+       .s1_mult = {1.1, 1.0, 0.95, 1.0, 1.0, 1.3},
+       .y1_mult = {0.25, 0.75, 0.95, 2.0, 3.0, 4.5}},
+      {.name = "marital_status",
+       .categories = {"Married", "Never-married", "Divorced", "Widowed"},
+       .base_weights = {0.46, 0.33, 0.16, 0.05},
+       .s1_mult = {1.6, 0.75, 0.70, 0.25},
+       .y1_mult = {2.4, 0.30, 0.55, 0.45}},
+      {.name = "occupation",
+       .categories = {"Exec-managerial", "Prof-specialty", "Craft-repair",
+                      "Sales", "Adm-clerical", "Service", "Other"},
+       .base_weights = {0.13, 0.13, 0.13, 0.12, 0.12, 0.20, 0.17},
+       // Strong sex tilt: men toward exec/craft, women toward clerical and
+       // service work. This is the confounder CRD resolves on.
+       .s1_mult = {1.5, 1.1, 2.4, 1.2, 0.35, 0.55, 1.2},
+       .y1_mult = {2.4, 2.2, 0.9, 1.2, 0.65, 0.35, 0.7}},
+      {.name = "relationship",
+       .categories = {"Husband", "Wife", "Not-in-family", "Own-child",
+                      "Unmarried"},
+       .base_weights = {0.40, 0.05, 0.26, 0.15, 0.14},
+       .s1_mult = {2.6, 0.02, 0.9, 0.9, 0.6},
+       .y1_mult = {2.2, 1.8, 0.55, 0.15, 0.4}},
+      {.name = "race",
+       .categories = {"White", "Black", "Asian-Pac-Islander", "Other"},
+       .base_weights = {0.855, 0.095, 0.031, 0.019},
+       .y1_mult = {1.08, 0.62, 1.1, 0.7}},
+      {.name = "native_country",
+       .categories = {"United-States", "Mexico", "Other"},
+       .base_weights = {0.90, 0.03, 0.07},
+       .y1_mult = {1.03, 0.25, 0.9}},
+  };
+
+  cfg.resolving_attributes = {"occupation", "hours_per_week"};
+  cfg.inadmissible_attributes = {"marital_status", "relationship", "race"};
+  return cfg;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,66 @@
+#include "data/generators/population.h"
+
+namespace fairbench {
+
+// Calibration targets (paper Fig 9 and §4.1):
+//   7,214 rows; 11 attributes; S = race (African-American unprivileged,
+//   ~51% of rows). Y = 1 means "does not recidivate within two years":
+//   56% overall, 49% for African-American defendants vs 61% for others.
+PopulationConfig CompasConfig() {
+  PopulationConfig cfg;
+  cfg.name = "COMPAS";
+  cfg.task = "Risk of recidivism";
+  cfg.sensitive_name = "race";
+  cfg.unprivileged_label = "African-American";
+  cfg.privileged_label = "Other";
+  cfg.label_name = "two_year_recid";
+  cfg.privileged_fraction = 0.49;  // P(S = 1) = share of non-AA defendants.
+  cfg.pos_rate_unprivileged = 0.49;
+  cfg.pos_rate_privileged = 0.61;
+  cfg.default_rows = 7214;
+
+  cfg.numeric = {
+      // Younger defendants recidivate more (negative y-shift on Y=1 means
+      // non-recidivists skew older).
+      {.name = "age", .base_mean = 32.0, .base_std = 10.5, .s_shift = 1.5,
+       .y_shift = 4.5, .round_to_int = true, .min_value = 18, .max_value = 80},
+      {.name = "juv_fel_count", .base_mean = 0.12, .base_std = 0.5,
+       .s_shift = -0.05, .y_shift = -0.10, .round_to_int = true,
+       .min_value = 0, .max_value = 10},
+      {.name = "juv_misd_count", .base_mean = 0.10, .base_std = 0.45,
+       .y_shift = -0.08, .round_to_int = true, .min_value = 0, .max_value = 8},
+      {.name = "juv_other_count", .base_mean = 0.11, .base_std = 0.5,
+       .y_shift = -0.07, .round_to_int = true, .min_value = 0, .max_value = 8},
+      // Priors are the dominant predictor in the real data.
+      {.name = "priors_count", .base_mean = 4.2, .base_std = 3.4,
+       .s_shift = -0.9, .y_shift = -2.8, .round_to_int = true, .min_value = 0,
+       .max_value = 38},
+      {.name = "days_b_screening_arrest", .base_mean = 2.0, .base_std = 8.0,
+       .round_to_int = true, .min_value = -30, .max_value = 30},
+      {.name = "length_of_stay", .base_mean = 14.0, .base_std = 20.0,
+       .y_shift = -6.0, .round_to_int = true, .min_value = 0,
+       .max_value = 400},
+  };
+
+  cfg.categorical = {
+      {.name = "sex",
+       .categories = {"Male", "Female"},
+       .base_weights = {0.81, 0.19},
+       .y1_mult = {0.93, 1.35}},
+      {.name = "c_charge_degree",
+       .categories = {"F", "M"},  // Felony / misdemeanor.
+       .base_weights = {0.64, 0.36},
+       .s1_mult = {0.9, 1.2},
+       .y1_mult = {0.85, 1.3}},
+      {.name = "age_cat",
+       .categories = {"Less than 25", "25 - 45", "Greater than 45"},
+       .base_weights = {0.22, 0.57, 0.21},
+       .y1_mult = {0.6, 1.0, 1.6}},
+  };
+
+  cfg.resolving_attributes = {"priors_count", "c_charge_degree"};
+  cfg.inadmissible_attributes = {"sex"};
+  return cfg;
+}
+
+}  // namespace fairbench

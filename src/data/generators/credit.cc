@@ -1,0 +1,102 @@
+#include "data/generators/population.h"
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+// Calibration targets (paper Fig 9 and §4.1):
+//   20,651 rows; 26 attributes (the widest of the four — this dataset
+//   drives the attribute-scalability sweep in Fig 11(d-f)); S = sex
+//   (Female unprivileged). Y = 1 means timely payment: 67% overall, 56%
+//   for women vs 75% for men.
+PopulationConfig CreditConfig() {
+  PopulationConfig cfg;
+  cfg.name = "Credit";
+  cfg.task = "Default on loan";
+  cfg.sensitive_name = "sex";
+  cfg.unprivileged_label = "Female";
+  cfg.privileged_label = "Male";
+  cfg.label_name = "default_payment";
+  cfg.privileged_fraction = 0.40;
+  cfg.pos_rate_unprivileged = 0.56;
+  cfg.pos_rate_privileged = 0.75;
+  cfg.default_rows = 20651;
+  cfg.signal_scale = 0.7;
+
+  cfg.numeric = {
+      {.name = "limit_bal", .base_mean = 160000.0, .base_std = 120000.0,
+       .s_shift = 20000.0, .y_shift = 60000.0, .round_to_int = true,
+       .min_value = 10000, .max_value = 1000000},
+      {.name = "age", .base_mean = 35.0, .base_std = 9.0, .s_shift = 1.5,
+       .y_shift = 1.0, .round_to_int = true, .min_value = 21, .max_value = 79},
+  };
+  // Repayment status history pay_0 .. pay_6: higher = further behind on
+  // payments; strongly predictive of default (negative y-shift).
+  for (int m = 0; m <= 6; ++m) {
+    NumericFeatureSpec pay;
+    pay.name = StrFormat("pay_%d", m);
+    pay.base_mean = 0.4 - 0.03 * m;
+    pay.base_std = 1.1;
+    pay.s_shift = -0.10;
+    pay.y_shift = -0.9 + 0.05 * m;
+    pay.round_to_int = true;
+    pay.min_value = -2;
+    pay.max_value = 8;
+    cfg.numeric.push_back(pay);
+  }
+  // Monthly bill amounts bill_amt1 .. bill_amt6.
+  for (int m = 1; m <= 6; ++m) {
+    NumericFeatureSpec bill;
+    bill.name = StrFormat("bill_amt%d", m);
+    bill.base_mean = 45000.0 - 2500.0 * m;
+    bill.base_std = 60000.0;
+    bill.s_shift = 4000.0;
+    bill.y_shift = -3000.0;
+    bill.round_to_int = true;
+    bill.min_value = -20000;
+    bill.max_value = 900000;
+    cfg.numeric.push_back(bill);
+  }
+  // Monthly payment amounts pay_amt1 .. pay_amt6.
+  for (int m = 1; m <= 6; ++m) {
+    NumericFeatureSpec amt;
+    amt.name = StrFormat("pay_amt%d", m);
+    amt.base_mean = 4500.0;
+    amt.base_std = 9000.0;
+    amt.s_shift = 900.0;
+    amt.y_shift = 2600.0;
+    amt.round_to_int = true;
+    amt.min_value = 0;
+    amt.max_value = 400000;
+    cfg.numeric.push_back(amt);
+  }
+
+  // Credit utilization: balance carried relative to the limit.
+  cfg.numeric.push_back({.name = "utilization_ratio", .base_mean = 0.42,
+                         .base_std = 0.28, .s_shift = -0.04, .y_shift = -0.15,
+                         .min_value = 0.0, .max_value = 1.5});
+
+  cfg.categorical = {
+      {.name = "residence",
+       .categories = {"urban", "suburban", "rural"},
+       .base_weights = {0.55, 0.30, 0.15},
+       .s1_mult = {1.05, 1.0, 0.9},
+       .y1_mult = {1.05, 1.05, 0.85}},
+      {.name = "education",
+       .categories = {"graduate_school", "university", "high_school", "other"},
+       .base_weights = {0.35, 0.47, 0.16, 0.02},
+       .s1_mult = {1.15, 0.95, 0.95, 1.0},
+       .y1_mult = {1.25, 1.0, 0.8, 0.9}},
+      {.name = "marriage",
+       .categories = {"married", "single", "other"},
+       .base_weights = {0.45, 0.53, 0.02},
+       .s1_mult = {1.15, 0.9, 1.0},
+       .y1_mult = {1.05, 1.0, 0.8}},
+  };
+
+  cfg.resolving_attributes = {"limit_bal", "pay_0"};
+  cfg.inadmissible_attributes = {"marriage"};
+  return cfg;
+}
+
+}  // namespace fairbench

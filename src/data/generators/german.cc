@@ -1,0 +1,65 @@
+#include "data/generators/population.h"
+
+namespace fairbench {
+
+// Calibration targets (paper Fig 9 and §4.1):
+//   1,000 rows; 9 attributes; S = sex (Female unprivileged, ~31% of rows).
+//   Y = 1 means low credit risk: 70% overall, 65% for women vs 71% for
+//   men — the mildest bias of the four datasets, which is why the paper
+//   finds even plain LR reasonably fair here (Fig 10(c)).
+PopulationConfig GermanConfig() {
+  PopulationConfig cfg;
+  cfg.name = "German";
+  cfg.task = "Credit risk";
+  cfg.sensitive_name = "sex";
+  cfg.unprivileged_label = "Female";
+  cfg.privileged_label = "Male";
+  cfg.label_name = "credit_risk";
+  cfg.privileged_fraction = 0.69;
+  cfg.pos_rate_unprivileged = 0.65;
+  cfg.pos_rate_privileged = 0.71;
+  cfg.default_rows = 1000;
+  cfg.signal_scale = 1.4;
+
+  cfg.numeric = {
+      {.name = "age", .base_mean = 34.0, .base_std = 11.0, .s_shift = 2.5,
+       .y_shift = 2.5, .round_to_int = true, .min_value = 19, .max_value = 75},
+      {.name = "credit_amount", .base_mean = 3200.0, .base_std = 2600.0,
+       .y_shift = -700.0, .round_to_int = true, .min_value = 250,
+       .max_value = 20000},
+      {.name = "duration_months", .base_mean = 21.0, .base_std = 11.0,
+       .y_shift = -4.5, .round_to_int = true, .min_value = 4, .max_value = 72},
+  };
+
+  cfg.categorical = {
+      {.name = "job",
+       .categories = {"unskilled", "skilled", "highly_skilled", "management"},
+       .base_weights = {0.20, 0.63, 0.12, 0.05},
+       .s1_mult = {0.8, 1.0, 1.3, 1.5},
+       .y1_mult = {0.8, 1.05, 1.2, 1.3}},
+      {.name = "housing",
+       .categories = {"own", "rent", "free"},
+       .base_weights = {0.71, 0.18, 0.11},
+       .y1_mult = {1.2, 0.65, 0.8}},
+      {.name = "saving_accounts",
+       .categories = {"little", "moderate", "quite_rich", "rich", "unknown"},
+       .base_weights = {0.60, 0.10, 0.06, 0.05, 0.19},
+       .y1_mult = {0.8, 1.1, 1.6, 1.9, 1.25}},
+      {.name = "checking_account",
+       .categories = {"little", "moderate", "rich", "none"},
+       .base_weights = {0.27, 0.27, 0.06, 0.40},
+       .y1_mult = {0.55, 0.85, 1.4, 1.55}},
+      {.name = "purpose",
+       .categories = {"car", "radio_tv", "furniture", "business", "education",
+                      "other"},
+       .base_weights = {0.33, 0.28, 0.18, 0.10, 0.06, 0.05},
+       .s1_mult = {1.2, 0.9, 0.8, 1.3, 0.9, 1.0},
+       .y1_mult = {1.0, 1.15, 0.95, 0.9, 0.8, 0.85}},
+  };
+
+  cfg.resolving_attributes = {"job", "saving_accounts"};
+  cfg.inadmissible_attributes = {};
+  return cfg;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,111 @@
+#include "data/generators/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Result<Dataset> GeneratePopulation(const PopulationConfig& config,
+                                   std::size_t num_rows, uint64_t seed) {
+  if (num_rows == 0) num_rows = config.default_rows;
+  if (config.privileged_fraction <= 0.0 || config.privileged_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "GeneratePopulation: privileged_fraction must be in (0,1)");
+  }
+  Schema schema;
+  for (const NumericFeatureSpec& spec : config.numeric) {
+    ColumnSpec col;
+    col.name = spec.name;
+    col.type = ColumnType::kNumeric;
+    FAIRBENCH_RETURN_NOT_OK(schema.AddColumn(col));
+  }
+  for (const CategoricalFeatureSpec& spec : config.categorical) {
+    if (spec.categories.size() != spec.base_weights.size()) {
+      return Status::InvalidArgument(
+          StrFormat("GeneratePopulation: '%s' weights/categories mismatch",
+                    spec.name.c_str()));
+    }
+    if (!spec.s1_mult.empty() && spec.s1_mult.size() != spec.categories.size()) {
+      return Status::InvalidArgument(
+          StrFormat("GeneratePopulation: '%s' s1_mult size mismatch",
+                    spec.name.c_str()));
+    }
+    if (!spec.y1_mult.empty() && spec.y1_mult.size() != spec.categories.size()) {
+      return Status::InvalidArgument(
+          StrFormat("GeneratePopulation: '%s' y1_mult size mismatch",
+                    spec.name.c_str()));
+    }
+    ColumnSpec col;
+    col.name = spec.name;
+    col.type = ColumnType::kCategorical;
+    col.categories = spec.categories;
+    FAIRBENCH_RETURN_NOT_OK(schema.AddColumn(col));
+  }
+
+  Dataset ds(schema);
+  ds.set_name(config.name);
+  ds.set_sensitive_name(config.sensitive_name);
+  ds.set_label_name(config.label_name);
+
+  Rng rng(seed);
+  std::vector<double> numeric_row(config.numeric.size(), 0.0);
+  std::vector<int> code_row(config.categorical.size(), 0);
+  std::vector<double> weights;
+
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const int s = rng.Bernoulli(config.privileged_fraction) ? 1 : 0;
+    const double pos_rate =
+        s == 1 ? config.pos_rate_privileged : config.pos_rate_unprivileged;
+    const int y = rng.Bernoulli(pos_rate) ? 1 : 0;
+
+    for (std::size_t j = 0; j < config.numeric.size(); ++j) {
+      const NumericFeatureSpec& spec = config.numeric[j];
+      const double y_shift = spec.y_shift * config.signal_scale;
+      const double sy_shift = spec.sy_shift * config.signal_scale;
+      double v = rng.Gaussian(
+          spec.base_mean + spec.s_shift * s + y_shift * y + sy_shift * s * y,
+          spec.base_std);
+      v = std::clamp(v, spec.min_value, spec.max_value);
+      if (spec.round_to_int) v = std::round(v);
+      numeric_row[j] = v;
+    }
+    for (std::size_t j = 0; j < config.categorical.size(); ++j) {
+      const CategoricalFeatureSpec& spec = config.categorical[j];
+      weights.assign(spec.base_weights.begin(), spec.base_weights.end());
+      if (s == 1 && !spec.s1_mult.empty()) {
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+          weights[k] *= spec.s1_mult[k];
+        }
+      }
+      if (y == 1 && !spec.y1_mult.empty()) {
+        for (std::size_t k = 0; k < weights.size(); ++k) {
+          weights[k] *= std::pow(spec.y1_mult[k], config.signal_scale);
+        }
+      }
+      code_row[j] = static_cast<int>(rng.Categorical(weights));
+    }
+    FAIRBENCH_RETURN_NOT_OK(ds.AppendRow(numeric_row, code_row, s, y));
+  }
+  return ds;
+}
+
+std::vector<PopulationConfig> AllDatasetConfigs() {
+  return {AdultConfig(), CompasConfig(), GermanConfig(), CreditConfig()};
+}
+
+Result<Dataset> GenerateAdult(std::size_t num_rows, uint64_t seed) {
+  return GeneratePopulation(AdultConfig(), num_rows, seed);
+}
+Result<Dataset> GenerateCompas(std::size_t num_rows, uint64_t seed) {
+  return GeneratePopulation(CompasConfig(), num_rows, seed);
+}
+Result<Dataset> GenerateGerman(std::size_t num_rows, uint64_t seed) {
+  return GeneratePopulation(GermanConfig(), num_rows, seed);
+}
+Result<Dataset> GenerateCredit(std::size_t num_rows, uint64_t seed) {
+  return GeneratePopulation(CreditConfig(), num_rows, seed);
+}
+
+}  // namespace fairbench

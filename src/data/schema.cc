@@ -1,0 +1,47 @@
+#include "data/schema.h"
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Status Schema::AddColumn(ColumnSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("Schema: empty column name");
+  }
+  if (Contains(spec.name)) {
+    return Status::AlreadyExists(
+        StrFormat("Schema: duplicate column '%s'", spec.name.c_str()));
+  }
+  if (spec.type == ColumnType::kCategorical && spec.categories.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("Schema: categorical column '%s' has no categories",
+                  spec.name.c_str()));
+  }
+  columns_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Result<std::size_t> Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(StrFormat("Schema: no column '%s'", name.c_str()));
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnSpec& a = columns_[i];
+    const ColumnSpec& b = other.columns_[i];
+    if (a.name != b.name || a.type != b.type || a.categories != b.categories) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairbench

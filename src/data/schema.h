@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_DATA_SCHEMA_H_
+#define FAIRBENCH_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairbench {
+
+/// Physical type of a feature column.
+enum class ColumnType {
+  kNumeric,      ///< double values.
+  kCategorical,  ///< integer codes into a dictionary of category names.
+};
+
+/// Description of one feature column in the paper's schema (X, S; Y).
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  /// Dictionary for categorical columns; code i means categories[i].
+  std::vector<std::string> categories;
+
+  std::size_t cardinality() const { return categories.size(); }
+};
+
+/// Ordered collection of feature-column specs with unique names. The
+/// sensitive attribute S and ground-truth label Y live outside the schema
+/// (they are dedicated members of `Dataset`), mirroring the paper's
+/// (X, S; Y) notation.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a column spec; fails on duplicate name.
+  Status AddColumn(ColumnSpec spec);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(std::size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Schema equality: same names, types, and dictionaries in order.
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_SCHEMA_H_

@@ -1,0 +1,49 @@
+#include "data/split.h"
+
+#include <numeric>
+
+namespace fairbench {
+
+SplitIndices TrainTestSplit(std::size_t num_rows, double train_fraction,
+                            Rng& rng) {
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(num_rows));
+  SplitIndices out;
+  out.train.assign(order.begin(), order.begin() + static_cast<long>(n_train));
+  out.test.assign(order.begin() + static_cast<long>(n_train), order.end());
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> KFold(std::size_t num_rows, std::size_t k,
+                                            Rng& rng) {
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    folds[i % k].push_back(order[i]);
+  }
+  return folds;
+}
+
+Result<std::pair<Dataset, Dataset>> MaterializeSplit(const Dataset& dataset,
+                                                     const SplitIndices& split) {
+  FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, dataset.SelectRows(split.train));
+  FAIRBENCH_ASSIGN_OR_RETURN(Dataset test, dataset.SelectRows(split.test));
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+std::vector<std::size_t> SampleWithoutReplacement(std::size_t num_rows,
+                                                  std::size_t size, Rng& rng) {
+  std::vector<std::size_t> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  if (size > num_rows) size = num_rows;
+  order.resize(size);
+  return order;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,38 @@
+#ifndef FAIRBENCH_DATA_SPLIT_H_
+#define FAIRBENCH_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairbench {
+
+/// A train/test partition expressed as row indices into the source dataset.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random train/test split with `train_fraction` of rows in train.
+/// Matches the paper's 70%/30% random-selection protocol (§4.1).
+SplitIndices TrainTestSplit(std::size_t num_rows, double train_fraction,
+                            Rng& rng);
+
+/// k disjoint folds of roughly equal size; fold i serves as validation in
+/// round i. Matches the paper's 3-fold cross-validation.
+std::vector<std::vector<std::size_t>> KFold(std::size_t num_rows, std::size_t k,
+                                            Rng& rng);
+
+/// Materializes a split into two datasets.
+Result<std::pair<Dataset, Dataset>> MaterializeSplit(const Dataset& dataset,
+                                                     const SplitIndices& split);
+
+/// Uniform random sample of `size` distinct rows (size clamped to n).
+std::vector<std::size_t> SampleWithoutReplacement(std::size_t num_rows,
+                                                  std::size_t size, Rng& rng);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_SPLIT_H_

@@ -1,0 +1,96 @@
+#include "fair/in/celis.h"
+
+#include <cmath>
+
+#include "optim/gradient_descent.h"
+
+namespace fairbench {
+
+Status Celis::Fit(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  Result<Matrix> encoded = EncodeTrain(train, /*include_sensitive=*/false);
+  FAIRBENCH_RETURN_NOT_OK(encoded.status());
+  const Matrix& x = encoded.value();
+  const std::vector<int>& y = train.labels();
+  const std::vector<int>& s = train.sensitive();
+  const Vector& w = train.weights();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Smooth group FDR and its gradient at theta. Returns {fdr0, fdr1} and
+  // fills the two gradient buffers.
+  auto group_fdr = [&](const Vector& theta, Vector* p_buf, double fdr[2],
+                       Vector grad_fdr[2]) {
+    double num[2] = {0.0, 0.0};
+    double den[2] = {0.0, 0.0};
+    Vector dnum[2] = {Vector(d + 1, 0.0), Vector(d + 1, 0.0)};
+    Vector dden[2] = {Vector(d + 1, 0.0), Vector(d + 1, 0.0)};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.Row(i);
+      double z = theta[0];
+      for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
+      const double p = LogisticRegression::Sigmoid(z);
+      (*p_buf)[i] = p;
+      const int g = s[i];
+      const double dp = p * (1.0 - p);
+      num[g] += (1.0 - y[i]) * p;
+      den[g] += p;
+      dnum[g][0] += (1.0 - y[i]) * dp;
+      dden[g][0] += dp;
+      for (std::size_t j = 0; j < d; ++j) {
+        dnum[g][j + 1] += (1.0 - y[i]) * dp * row[j];
+        dden[g][j + 1] += dp * row[j];
+      }
+    }
+    for (int g = 0; g < 2; ++g) {
+      const double dd = std::max(den[g], 1e-9);
+      fdr[g] = num[g] / dd;
+      grad_fdr[g].assign(d + 1, 0.0);
+      for (std::size_t j = 0; j <= d; ++j) {
+        grad_fdr[g][j] = (dnum[g][j] * dd - num[g] * dden[g][j]) / (dd * dd);
+      }
+    }
+  };
+
+  Vector p_buf(n, 0.0);
+  PenalizedObjective obj = [&](const Vector& theta, Vector* grad, double mu) {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    double loss = AccumulateLogLoss(x, y, w, theta, grad) * inv_n;
+    Scale(inv_n, grad);
+    for (std::size_t j = 1; j <= d; ++j) {
+      loss += 0.5 * options_.l2 * theta[j] * theta[j];
+      (*grad)[j] += options_.l2 * theta[j];
+    }
+    double fdr[2];
+    Vector grad_fdr[2];
+    group_fdr(theta, &p_buf, fdr, grad_fdr);
+    // Ratio constraint min/max >= tau  <=>  tau * max - min <= 0.
+    const int hi = fdr[1] >= fdr[0] ? 1 : 0;
+    const int lo = 1 - hi;
+    const double violation = std::max(0.0, options_.tau * fdr[hi] - fdr[lo]);
+    loss += mu * violation * violation;
+    if (violation > 0.0) {
+      for (std::size_t j = 0; j <= d; ++j) {
+        (*grad)[j] += 2.0 * mu * violation *
+                      (options_.tau * grad_fdr[hi][j] - grad_fdr[lo][j]);
+      }
+    }
+    return loss;
+  };
+
+  PenaltyOptions po;
+  po.initial_mu = 5.0;
+  OptimResult result = MinimizePenalty(obj, Vector(d + 1, 0.0), po);
+
+  double fdr[2];
+  Vector grad_fdr[2];
+  group_fdr(result.x, &p_buf, fdr, grad_fdr);
+  const double hi = std::max(fdr[0], fdr[1]);
+  last_ratio_ = hi > 0.0 ? std::min(fdr[0], fdr[1]) / hi : 1.0;
+
+  InstallParameters(result.x);
+  return Status::OK();
+}
+
+}  // namespace fairbench

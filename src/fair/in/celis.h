@@ -1,0 +1,45 @@
+#ifndef FAIRBENCH_FAIR_IN_CELIS_H_
+#define FAIRBENCH_FAIR_IN_CELIS_H_
+
+#include <string>
+
+#include "fair/in/logistic_base.h"
+
+namespace fairbench {
+
+/// Options for CELIS.
+struct CelisOptions {
+  double tau = 0.8;  ///< Performance-ratio tolerance (paper's setting).
+  double l2 = 1e-3;
+};
+
+/// CELIS (Celis et al. 2019, "Classification with fairness constraints: a
+/// meta-algorithm with provable guarantees") — in-processing framework;
+/// the evaluated variant enforces predictive parity via false discovery
+/// rates (paper Fig 8: Celis-PP).
+///
+/// Each group's performance functional q_s(f) — here the FDR
+/// Pr(Y=0 | Yhat=1, S=s), a linear-fractional function of the classifier —
+/// must satisfy min_s q_s / max_s q_s >= tau. The meta-algorithm solves
+/// the Lagrangian dual; FairBench implements that as an increasing-penalty
+/// descent on the smooth empirical surrogate
+///   FDR_s(theta) = sum_{i in s} (1-y_i) p_i / sum_{i in s} p_i,
+/// minimizing prediction error subject to the ratio constraint.
+class Celis final : public EncodedLogisticInProcessor {
+ public:
+  explicit Celis(CelisOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Celis-PP"; }
+  Status Fit(const Dataset& train, const FairContext& context) override;
+
+  /// FDR ratio min/max achieved on the training data (diagnostic).
+  double last_fdr_ratio() const { return last_ratio_; }
+
+ private:
+  CelisOptions options_;
+  double last_ratio_ = 1.0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_IN_CELIS_H_

@@ -1,0 +1,163 @@
+#include "fair/in/kearns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+/// A subgroup: membership mask plus bookkeeping.
+struct Subgroup {
+  std::vector<bool> member;
+  double fraction = 0.0;      ///< alpha(g).
+  double multiplier = 0.0;    ///< Lagrange multiplier lambda_g.
+  double direction = 0.0;     ///< sign(FPR(g) - FPR(D)) at last audit.
+};
+
+/// FPR of the rows selected by `mask`.
+double MaskedFpr(const std::vector<int>& y, const std::vector<int>& yhat,
+                 const std::vector<bool>& mask) {
+  double fp = 0.0;
+  double neg = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (!mask[i] || y[i] != 0) continue;
+    neg += 1.0;
+    fp += yhat[i];
+  }
+  return neg > 0.0 ? fp / neg : 0.0;
+}
+
+/// Positive-prediction rate of the rows selected by `mask` (the
+/// demographic-parity group function).
+double MaskedPositiveRate(const std::vector<int>& yhat,
+                          const std::vector<bool>& mask) {
+  double pos = 0.0;
+  double count = 0.0;
+  for (std::size_t i = 0; i < yhat.size(); ++i) {
+    if (!mask[i]) continue;
+    count += 1.0;
+    pos += yhat[i];
+  }
+  return count > 0.0 ? pos / count : 0.0;
+}
+
+}  // namespace
+
+Status Kearns::Fit(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  Result<Matrix> encoded = EncodeTrain(train, /*include_sensitive=*/true);
+  FAIRBENCH_RETURN_NOT_OK(encoded.status());
+  const Matrix& x = encoded.value();
+  const std::vector<int>& y = train.labels();
+  const std::size_t n = x.rows();
+
+  // Subgroup family: the two S-groups, and S crossed with each category of
+  // each categorical feature.
+  std::vector<Subgroup> groups;
+  auto add_group = [&](const std::vector<bool>& member) {
+    double count = 0.0;
+    for (bool m : member) count += m;
+    const double fraction = count / static_cast<double>(n);
+    if (fraction < options_.min_group_fraction) return;
+    Subgroup g;
+    g.member = member;
+    g.fraction = fraction;
+    groups.push_back(std::move(g));
+  };
+  for (int s = 0; s < 2; ++s) {
+    std::vector<bool> member(n, false);
+    for (std::size_t i = 0; i < n; ++i) member[i] = train.sensitive()[i] == s;
+    add_group(member);
+  }
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    const ColumnSpec& spec = train.schema().column(c);
+    if (spec.type != ColumnType::kCategorical) continue;
+    for (std::size_t k = 0; k < spec.cardinality(); ++k) {
+      for (int s = 0; s < 2; ++s) {
+        std::vector<bool> member(n, false);
+        for (std::size_t i = 0; i < n; ++i) {
+          member[i] = train.sensitive()[i] == s &&
+                      train.CodeAt(c, i) == static_cast<int>(k);
+        }
+        add_group(member);
+      }
+    }
+  }
+
+  // Fictitious play between the learner and the subgroup auditor.
+  LogisticRegressionOptions lr_options;
+  lr_options.l2 = options_.l2;
+  Vector avg_theta(x.cols() + 1, 0.0);
+  int accumulated = 0;
+  std::vector<bool> all(n, true);
+  Vector weights = train.weights();
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    LogisticRegression learner(lr_options);
+    FAIRBENCH_RETURN_NOT_OK(learner.Fit(x, y, weights));
+    Result<std::vector<int>> pred = learner.PredictBatch(x);
+    FAIRBENCH_RETURN_NOT_OK(pred.status());
+
+    // Accumulate the running average of iterates.
+    avg_theta[0] += learner.intercept();
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      avg_theta[j + 1] += learner.coefficients()[j];
+    }
+    ++accumulated;
+
+    // Audit: raise multipliers of violated subgroups.
+    auto group_stat = [&](const std::vector<bool>& mask) {
+      return options_.notion == KearnsNotion::kPredictiveEquality
+                 ? MaskedFpr(y, pred.value(), mask)
+                 : MaskedPositiveRate(pred.value(), mask);
+    };
+    const double overall_stat = group_stat(all);
+    double max_violation = 0.0;
+    for (Subgroup& g : groups) {
+      const double gap = group_stat(g.member) - overall_stat;
+      const double signed_violation =
+          g.fraction * std::fabs(gap) - options_.gamma;
+      max_violation = std::max(max_violation, std::max(0.0, signed_violation));
+      // Projected multiplier ascent: grows while violated, decays when the
+      // constraint holds with slack.
+      g.multiplier = std::max(
+          0.0, g.multiplier + options_.multiplier_lr * signed_violation);
+      g.direction = gap >= 0.0 ? 1.0 : -1.0;
+    }
+    last_violation_ = max_violation;
+    if (max_violation <= 0.0 && round > 0) {
+      // Constraints satisfied; the averaged classifier is the answer.
+      break;
+    }
+
+    // Learner best response: reweight negatives in violating subgroups —
+    // upweighting where FPR is too high makes false positives there more
+    // costly, and vice versa.
+    weights = train.weights();
+    for (const Subgroup& g : groups) {
+      if (g.multiplier <= 0.0) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!g.member[i]) continue;
+        // Predictive equality reweights negatives (making false positives
+        // costlier); demographic parity reweights everything in the
+        // subgroup toward/away from positive predictions.
+        if (options_.notion == KearnsNotion::kPredictiveEquality && y[i] != 0) {
+          continue;
+        }
+        if (options_.notion == KearnsNotion::kPredictiveEquality || y[i] == 0) {
+          weights[i] *= std::max(0.05, 1.0 + g.direction * g.multiplier);
+        } else {
+          // Positive examples get the opposite adjustment under DP.
+          weights[i] *= std::max(0.05, 1.0 - g.direction * g.multiplier);
+        }
+      }
+    }
+  }
+
+  // Average of the iterates (uniform fictitious-play mixture).
+  Scale(1.0 / static_cast<double>(std::max(accumulated, 1)), &avg_theta);
+  InstallParameters(avg_theta);
+  return Status::OK();
+}
+
+}  // namespace fairbench

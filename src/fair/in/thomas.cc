@@ -1,0 +1,174 @@
+#include "fair/in/thomas.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/split.h"
+#include "optim/gradient_descent.h"
+#include "stats/bounds.h"
+
+namespace fairbench {
+namespace {
+
+/// Candidate-set fairness surrogate: squared gap of smooth group means.
+/// For DP the means are prediction probabilities per group; for EO they
+/// are probabilities restricted to Y=1 (TPR side) and Y=0 (TNR side).
+struct SmoothGap {
+  double value = 0.0;
+  Vector grad;  ///< d(value)/d(theta).
+};
+
+SmoothGap SquaredMeanGap(const Matrix& x, const Vector& theta,
+                         const std::vector<bool>& in_a,
+                         const std::vector<bool>& in_b) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  double sum[2] = {0.0, 0.0};
+  double count[2] = {0.0, 0.0};
+  Vector dsum[2] = {Vector(d + 1, 0.0), Vector(d + 1, 0.0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int side = in_a[i] ? 0 : (in_b[i] ? 1 : -1);
+    if (side < 0) continue;
+    const double* row = x.Row(i);
+    double z = theta[0];
+    for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
+    const double p = LogisticRegression::Sigmoid(z);
+    const double dp = p * (1.0 - p);
+    sum[side] += p;
+    count[side] += 1.0;
+    dsum[side][0] += dp;
+    for (std::size_t j = 0; j < d; ++j) dsum[side][j + 1] += dp * row[j];
+  }
+  SmoothGap out;
+  out.grad.assign(d + 1, 0.0);
+  if (count[0] <= 0.0 || count[1] <= 0.0) return out;
+  const double gap = sum[0] / count[0] - sum[1] / count[1];
+  out.value = gap * gap;
+  for (std::size_t j = 0; j <= d; ++j) {
+    out.grad[j] = 2.0 * gap * (dsum[0][j] / count[0] - dsum[1][j] / count[1]);
+  }
+  return out;
+}
+
+/// High-confidence upper bound on |mean(a) - mean(b)| where a, b are 0/1
+/// samples, using one-sided Student-t intervals at delta/2 each.
+double AbsDiffUpperBound(const std::vector<double>& a,
+                         const std::vector<double>& b, double delta) {
+  const double ub_a = StudentTUpperBound(a, delta / 2.0);
+  const double lb_a = StudentTLowerBound(a, delta / 2.0);
+  const double ub_b = StudentTUpperBound(b, delta / 2.0);
+  const double lb_b = StudentTLowerBound(b, delta / 2.0);
+  return std::max(ub_a - lb_b, ub_b - lb_a);
+}
+
+}  // namespace
+
+Status Thomas::Fit(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  Result<Matrix> encoded = EncodeTrain(train, /*include_sensitive=*/false);
+  FAIRBENCH_RETURN_NOT_OK(encoded.status());
+  const Matrix& x = encoded.value();
+  const std::vector<int>& y = train.labels();
+  const std::vector<int>& s = train.sensitive();
+  const Vector& w = train.weights();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Split into candidate set D1 and safety set D2.
+  Rng rng(context.seed ^ 0x7770aull);
+  const SplitIndices split =
+      TrainTestSplit(n, options_.candidate_fraction, rng);
+  std::vector<bool> in_d1(n, false);
+  for (std::size_t i : split.train) in_d1[i] = true;
+
+  // Membership masks for the surrogate gap on D1.
+  auto make_masks = [&](int y_filter, std::vector<bool>* a,
+                        std::vector<bool>* b) {
+    a->assign(n, false);
+    b->assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_d1[i]) continue;
+      if (y_filter >= 0 && y[i] != y_filter) continue;
+      ((s[i] == 1) ? *a : *b)[i] = true;
+    }
+  };
+  std::vector<bool> dp_a, dp_b, tpr_a, tpr_b, tnr_a, tnr_b;
+  make_masks(-1, &dp_a, &dp_b);
+  make_masks(1, &tpr_a, &tpr_b);
+  make_masks(0, &tnr_a, &tnr_b);
+
+  // Weighted log-loss restricted to D1.
+  Vector w1(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) w1[i] = in_d1[i] ? w[i] : 0.0;
+
+  // Safety test at a given parameter vector.
+  auto safety_bound = [&](const Vector& theta) -> Result<double> {
+    std::vector<double> g_pos[2];  // Yhat indicator per group (DP).
+    std::vector<double> tpr_s[2];  // Yhat among Y=1 per group (EO).
+    std::vector<double> tnr_s[2];  // 1-Yhat among Y=0 per group (EO).
+    for (std::size_t i : split.test) {
+      const double* row = x.Row(i);
+      double z = theta[0];
+      for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
+      const double yhat = z >= 0.0 ? 1.0 : 0.0;
+      g_pos[s[i]].push_back(yhat);
+      if (y[i] == 1) {
+        tpr_s[s[i]].push_back(yhat);
+      } else {
+        tnr_s[s[i]].push_back(1.0 - yhat);
+      }
+    }
+    if (options_.notion == ThomasNotion::kDemographicParity) {
+      return AbsDiffUpperBound(g_pos[0], g_pos[1], options_.delta);
+    }
+    const double tpr_bound =
+        AbsDiffUpperBound(tpr_s[0], tpr_s[1], options_.delta / 2.0);
+    const double tnr_bound =
+        AbsDiffUpperBound(tnr_s[0], tnr_s[1], options_.delta / 2.0);
+    return std::max(tpr_bound, tnr_bound);
+  };
+
+  Vector best_theta;
+  nsf_ = true;
+  for (double lambda : options_.lambda_schedule) {
+    Objective obj = [&](const Vector& theta, Vector* grad) {
+      std::fill(grad->begin(), grad->end(), 0.0);
+      double loss = AccumulateLogLoss(x, y, w1, theta, grad) * inv_n;
+      Scale(inv_n, grad);
+      for (std::size_t j = 1; j <= d; ++j) {
+        loss += 0.5 * options_.l2 * theta[j] * theta[j];
+        (*grad)[j] += options_.l2 * theta[j];
+      }
+      if (options_.notion == ThomasNotion::kDemographicParity) {
+        const SmoothGap gap = SquaredMeanGap(x, theta, dp_a, dp_b);
+        loss += lambda * gap.value;
+        Axpy(lambda, gap.grad, grad);
+      } else {
+        const SmoothGap tpr_gap = SquaredMeanGap(x, theta, tpr_a, tpr_b);
+        const SmoothGap tnr_gap = SquaredMeanGap(x, theta, tnr_a, tnr_b);
+        loss += lambda * (tpr_gap.value + tnr_gap.value);
+        Axpy(lambda, tpr_gap.grad, grad);
+        Axpy(lambda, tnr_gap.grad, grad);
+      }
+      return loss;
+    };
+    GradientDescentOptions gd;
+    gd.max_iterations = 250;
+    const OptimResult candidate =
+        MinimizeGradientDescent(obj, Vector(d + 1, 0.0), gd);
+    FAIRBENCH_ASSIGN_OR_RETURN(double bound, safety_bound(candidate.x));
+    best_theta = candidate.x;
+    last_bound_ = bound;
+    if (bound <= options_.epsilon) {
+      nsf_ = false;
+      break;
+    }
+  }
+  // On NSF, best_theta holds the most constrained candidate (documented
+  // deviation; see header).
+  InstallParameters(best_theta);
+  return Status::OK();
+}
+
+}  // namespace fairbench

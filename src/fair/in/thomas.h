@@ -1,0 +1,63 @@
+#ifndef FAIRBENCH_FAIR_IN_THOMAS_H_
+#define FAIRBENCH_FAIR_IN_THOMAS_H_
+
+#include <string>
+
+#include "fair/in/logistic_base.h"
+
+namespace fairbench {
+
+/// Fairness notion enforced by THOMAS (the paper evaluates DP and EO).
+enum class ThomasNotion {
+  kDemographicParity,
+  kEqualizedOdds,
+};
+
+/// Options for THOMAS.
+struct ThomasOptions {
+  ThomasNotion notion = ThomasNotion::kDemographicParity;
+  double delta = 0.05;        ///< 1 - confidence (paper's setting).
+  double epsilon = 0.05;      ///< Tolerated discrimination at test time.
+  double candidate_fraction = 0.6;  ///< D1 share; the rest is the safety set.
+  double l2 = 1e-3;
+  /// Fairness-pressure schedule for candidate search, tried in order until
+  /// one candidate passes the safety test.
+  std::vector<double> lambda_schedule = {0.5, 2.0, 8.0, 32.0, 128.0};
+};
+
+/// THOMAS (Thomas et al. 2019, "Preventing undesirable behavior of
+/// intelligent machines") — a Seldonian in-processing approach.
+///
+/// The training data is split into a candidate set D1 and a safety set D2.
+/// Candidate selection minimizes log-loss plus a fairness-violation
+/// surrogate on D1 (sweeping the pressure lambda); the *safety test*
+/// computes a (1 - delta)-confidence upper bound — via one-sided Student-t
+/// intervals on each group statistic — of the worst discrimination the
+/// candidate can exhibit, and only accepts candidates whose bound is below
+/// epsilon. When no candidate passes, the approach reports "No Solution
+/// Found"; FairBench then installs the most constrained candidate and
+/// flags it via no_solution_found() so the benchmark tables stay complete
+/// (documented deviation — the reference implementation returns nothing).
+class Thomas final : public EncodedLogisticInProcessor {
+ public:
+  explicit Thomas(ThomasOptions options = {}) : options_(options) {}
+
+  std::string name() const override {
+    return options_.notion == ThomasNotion::kDemographicParity ? "Thomas-DP"
+                                                                : "Thomas-EO";
+  }
+  Status Fit(const Dataset& train, const FairContext& context) override;
+
+  bool no_solution_found() const { return nsf_; }
+  /// Safety-test bound of the accepted candidate (diagnostic).
+  double last_safety_bound() const { return last_bound_; }
+
+ private:
+  ThomasOptions options_;
+  bool nsf_ = false;
+  double last_bound_ = 0.0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_IN_THOMAS_H_

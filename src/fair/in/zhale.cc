@@ -1,0 +1,91 @@
+#include "fair/in/zhale.h"
+
+#include <cmath>
+
+namespace fairbench {
+
+Status ZhaLe::Fit(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  // The classifier sees S (f(X, S) in the paper's formulation).
+  Result<Matrix> encoded = EncodeTrain(train, /*include_sensitive=*/true);
+  FAIRBENCH_RETURN_NOT_OK(encoded.status());
+  const Matrix& x = encoded.value();
+  const std::vector<int>& y = train.labels();
+  const std::vector<int>& s = train.sensitive();
+  const Vector& w = train.weights();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  Vector theta(d + 1, 0.0);  // Classifier: [intercept, w...].
+  Vector adv(4, 0.0);        // Adversary: [c0, c_p, c_y, c_py].
+  // Demographic parity: the adversary must not see the true label —
+  // masking Y degrades a(Yhat, Y) to a(Yhat) (paper Appendix A.2).
+  const double y_mask =
+      options_.notion == ZhaLeNotion::kEqualizedOdds ? 1.0 : 0.0;
+
+  Vector p(n, 0.0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Decay both learning rates for stable convergence.
+    const double decay = 1.0 / std::sqrt(1.0 + epoch);
+    const double clf_lr = options_.classifier_lr * decay;
+    const double adv_lr = options_.adversary_lr * decay;
+
+    // Classifier probabilities.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.Row(i);
+      double z = theta[0];
+      for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
+      p[i] = LogisticRegression::Sigmoid(z);
+    }
+
+    // Adversary updates: predict S from (p, y).
+    for (int step = 0; step < options_.adversary_steps; ++step) {
+      Vector agrad(4, 0.0);
+      double aloss = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double yv = y_mask * y[i];
+        const double u = adv[0] + adv[1] * p[i] + adv[2] * yv +
+                         adv[3] * p[i] * yv;
+        const double shat = LogisticRegression::Sigmoid(u);
+        const double g = (shat - s[i]) * inv_n;
+        agrad[0] += g;
+        agrad[1] += g * p[i];
+        agrad[2] += g * yv;
+        agrad[3] += g * p[i] * yv;
+        const double upos = std::max(u, 0.0);
+        aloss += (upos - u * s[i] +
+                  std::log(std::exp(-upos) + std::exp(u - upos))) *
+                 inv_n;
+      }
+      Axpy(-adv_lr, agrad, &adv);
+      last_adv_loss_ = aloss;
+    }
+
+    // Classifier update: descend its loss, ascend the adversary's.
+    Vector cgrad(d + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.Row(i);
+      // d(adversary loss)/d(p_i): how much p_i helps the adversary.
+      const double yv = y_mask * y[i];
+      const double u =
+          adv[0] + adv[1] * p[i] + adv[2] * yv + adv[3] * p[i] * yv;
+      const double shat = LogisticRegression::Sigmoid(u);
+      const double dadv_dp = (shat - s[i]) * (adv[1] + adv[3] * yv);
+      // Combined gradient through z_i: task loss minus alpha * adversary.
+      const double dp_dz = p[i] * (1.0 - p[i]);
+      const double g =
+          (w[i] * (p[i] - y[i]) - options_.adversary_alpha * dadv_dp * dp_dz) *
+          inv_n;
+      cgrad[0] += g;
+      for (std::size_t j = 0; j < d; ++j) cgrad[j + 1] += g * row[j];
+    }
+    for (std::size_t j = 1; j <= d; ++j) cgrad[j] += options_.l2 * theta[j] * inv_n;
+    Axpy(-clf_lr, cgrad, &theta);
+  }
+
+  InstallParameters(theta);
+  return Status::OK();
+}
+
+}  // namespace fairbench

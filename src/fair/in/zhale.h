@@ -1,0 +1,60 @@
+#ifndef FAIRBENCH_FAIR_IN_ZHALE_H_
+#define FAIRBENCH_FAIR_IN_ZHALE_H_
+
+#include <string>
+
+#include "fair/in/logistic_base.h"
+
+namespace fairbench {
+
+/// Notion enforced by ZHA-LE. With demographic parity the adversary sees
+/// only the prediction; with equalized odds it also sees the true label
+/// (paper Appendix A.2) — the variant the paper evaluates.
+enum class ZhaLeNotion {
+  kEqualizedOdds,
+  kDemographicParity,
+};
+
+/// Options for ZHA-LE.
+struct ZhaLeOptions {
+  ZhaLeNotion notion = ZhaLeNotion::kEqualizedOdds;
+  int epochs = 60;
+  double classifier_lr = 0.5;
+  double adversary_lr = 0.5;
+  double adversary_alpha = 1.0;  ///< Strength of the debiasing gradient.
+  int adversary_steps = 5;       ///< Adversary updates per epoch.
+  double l2 = 1e-3;
+};
+
+/// ZHA-LE (Zhang, Lemoine & Mitchell 2018, "Mitigating unwanted biases
+/// with adversarial learning") — in-processing for equalized odds.
+///
+/// A logistic classifier f(X, S) -> Yhat and a logistic adversary
+/// a(Yhat, Y) -> Shat are trained together: the adversary learns to
+/// recover S from the prediction (and the true label, which is what makes
+/// the enforced notion equalized odds rather than demographic parity),
+/// while the classifier descends its own loss *minus* the adversary's
+/// gradient — converging to predictions that carry no information about S
+/// beyond what Y explains (paper Appendix A.2).
+class ZhaLe final : public EncodedLogisticInProcessor {
+ public:
+  explicit ZhaLe(ZhaLeOptions options = {}) : options_(options) {}
+
+  std::string name() const override {
+    return options_.notion == ZhaLeNotion::kEqualizedOdds ? "ZhaLe-EO"
+                                                          : "ZhaLe-DP";
+  }
+  Status Fit(const Dataset& train, const FairContext& context) override;
+
+  /// Final adversary log-loss (diagnostic: ~entropy(S) means the adversary
+  /// learned nothing, i.e. fairness was achieved).
+  double last_adversary_loss() const { return last_adv_loss_; }
+
+ private:
+  ZhaLeOptions options_;
+  double last_adv_loss_ = 0.0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_IN_ZHALE_H_

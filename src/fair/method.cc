@@ -1,0 +1,20 @@
+#include "fair/method.h"
+
+namespace fairbench {
+
+Result<int> InProcessor::PredictRow(const Dataset& data, std::size_t row,
+                                    int s_override) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProbaRow(data, row, s_override));
+  return p >= 0.5 ? 1 : 0;
+}
+
+double StableUniform(uint64_t seed, uint64_t row_key) {
+  // splitmix64 finalizer over the combined key.
+  uint64_t z = seed ^ (row_key + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace fairbench

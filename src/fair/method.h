@@ -1,0 +1,91 @@
+#ifndef FAIRBENCH_FAIR_METHOD_H_
+#define FAIRBENCH_FAIR_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairbench {
+
+/// Shared per-run context handed to every fairness approach: dataset-
+/// specific attribute roles (paper §4.1 / Appendix) and the seed from
+/// which all of the approach's randomness must derive.
+struct FairContext {
+  /// Resolving attributes R for CRD and SALIMI's admissible set.
+  std::vector<std::string> resolving_attributes;
+  /// Attributes SALIMI treats as inadmissible (in addition to S itself).
+  std::vector<std::string> inadmissible_attributes;
+  uint64_t seed = 0xfa1bull;
+};
+
+/// Stage 1 — pre-processing (paper §3): repairs the *training* data before
+/// any model is fit. Implementations must not mutate the input; they
+/// return a repaired copy (possibly with different row count or instance
+/// weights) over the same schema.
+class PreProcessor {
+ public:
+  virtual ~PreProcessor() = default;
+  virtual std::string name() const = 0;
+  virtual Result<Dataset> Repair(const Dataset& train,
+                                 const FairContext& context) = 0;
+
+  /// True when the approach is a *feature transformation* that must also
+  /// be applied to data at prediction time (Feldman-style repairs learn a
+  /// per-group map on the training data and push every future tuple
+  /// through it). Label/weight/row repairs leave this false.
+  virtual bool TransformsFeatures() const { return false; }
+
+  /// Applies the feature map fit by Repair() to new data. Only called
+  /// when TransformsFeatures() is true; the default forwards the input.
+  virtual Result<Dataset> TransformFeatures(const Dataset& data) const {
+    return data;
+  }
+};
+
+/// Stage 2 — in-processing (paper §3): learns a fair model directly. The
+/// interface is dataset-level (not matrix-level) because these approaches
+/// need the sensitive attribute during training, and because the Causal
+/// Discrimination metric probes them with do(S) interventions per row.
+class InProcessor {
+ public:
+  virtual ~InProcessor() = default;
+  virtual std::string name() const = 0;
+  virtual Status Fit(const Dataset& train, const FairContext& context) = 0;
+  /// P(Y=1 | row of `data`) with the sensitive attribute forced to
+  /// `s_override` (pass the row's own S for a plain prediction).
+  virtual Result<double> PredictProbaRow(const Dataset& data, std::size_t row,
+                                         int s_override) const = 0;
+  /// Hard prediction; default thresholds PredictProbaRow at 0.5.
+  virtual Result<int> PredictRow(const Dataset& data, std::size_t row,
+                                 int s_override) const;
+};
+
+/// Stage 3 — post-processing (paper §3): adjusts the predictions of an
+/// already-trained classifier using only (probability, S) — by design it
+/// never sees the feature vector, which is exactly the informational
+/// limitation the paper's analysis attributes its weaker CD scores to.
+class PostProcessor {
+ public:
+  virtual ~PostProcessor() = default;
+  virtual std::string name() const = 0;
+  /// Calibrates the adjustment from held-out predictions.
+  virtual Status Fit(const std::vector<double>& proba,
+                     const std::vector<int>& y_true,
+                     const std::vector<int>& sensitive,
+                     const FairContext& context) = 0;
+  /// Adjusted 0/1 prediction for one tuple. `row_key` must be stable per
+  /// tuple; randomized post-processors hash it with the fit seed so that
+  /// repeated queries of the same tuple agree (required for CD).
+  virtual Result<int> Adjust(double proba, int s, uint64_t row_key) const = 0;
+};
+
+/// Deterministic per-tuple coin for randomized post-processors: a uniform
+/// double in [0,1) derived from (seed, row_key).
+double StableUniform(uint64_t seed, uint64_t row_key);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_METHOD_H_

@@ -1,0 +1,87 @@
+#include "fair/post/hardt.h"
+
+#include "optim/simplex_lp.h"
+
+namespace fairbench {
+
+Status Hardt::Fit(const std::vector<double>& proba,
+                  const std::vector<int>& y_true,
+                  const std::vector<int>& sensitive,
+                  const FairContext& context) {
+  if (proba.size() != y_true.size() || proba.size() != sensitive.size()) {
+    return Status::InvalidArgument("Hardt::Fit: length mismatch");
+  }
+  if (proba.empty()) return Status::InvalidArgument("Hardt::Fit: empty input");
+  seed_ = context.seed ^ 0x4a2d7ull;
+
+  // Group statistics of the base predictor.
+  double tpr[2] = {0.0, 0.0};
+  double fpr[2] = {0.0, 0.0};
+  double pos[2] = {0.0, 0.0};   // Count of Y=1.
+  double neg[2] = {0.0, 0.0};   // Count of Y=0.
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    const int s = sensitive[i];
+    const int yhat = proba[i] >= 0.5 ? 1 : 0;
+    if (y_true[i] == 1) {
+      pos[s] += 1.0;
+      tpr[s] += yhat;
+    } else {
+      neg[s] += 1.0;
+      fpr[s] += yhat;
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (pos[s] <= 0.0 || neg[s] <= 0.0) {
+      return Status::FailedPrecondition(
+          "Hardt::Fit: a group lacks positive or negative examples");
+    }
+    tpr[s] /= pos[s];
+    fpr[s] /= neg[s];
+  }
+  const double total =
+      static_cast<double>(proba.size());
+
+  // Variables x = [p_{0,0}, p_{0,1}, p_{1,0}, p_{1,1}] where
+  // p_{s,yhat} = Pr(Ytilde=1 | Yhat=yhat, S=s).
+  auto var = [](int s, int yhat) { return static_cast<std::size_t>(s * 2 + yhat); };
+  LinearProgram lp;
+  lp.c.assign(4, 0.0);
+  lp.upper.assign(4, 1.0);
+
+  // New TPR_s = p_{s,1} tpr_s + p_{s,0} (1 - tpr_s); similarly FPR.
+  // Expected error = sum_s [ pos_s (1 - TPRnew_s) + neg_s FPRnew_s ] / N.
+  for (int s = 0; s < 2; ++s) {
+    lp.c[var(s, 1)] += (-pos[s] * tpr[s] + neg[s] * fpr[s]) / total;
+    lp.c[var(s, 0)] += (-pos[s] * (1.0 - tpr[s]) + neg[s] * (1.0 - fpr[s])) / total;
+  }
+
+  // Equalized odds: TPRnew_0 = TPRnew_1 and FPRnew_0 = FPRnew_1.
+  lp.a_eq = Matrix(2, 4, 0.0);
+  lp.b_eq.assign(2, 0.0);
+  lp.a_eq(0, var(0, 1)) = tpr[0];
+  lp.a_eq(0, var(0, 0)) = 1.0 - tpr[0];
+  lp.a_eq(0, var(1, 1)) = -tpr[1];
+  lp.a_eq(0, var(1, 0)) = -(1.0 - tpr[1]);
+  lp.a_eq(1, var(0, 1)) = fpr[0];
+  lp.a_eq(1, var(0, 0)) = 1.0 - fpr[0];
+  lp.a_eq(1, var(1, 1)) = -fpr[1];
+  lp.a_eq(1, var(1, 0)) = -(1.0 - fpr[1]);
+
+  FAIRBENCH_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  for (int s = 0; s < 2; ++s) {
+    for (int yhat = 0; yhat < 2; ++yhat) {
+      mix_[s][yhat] = sol.x[var(s, yhat)];
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<int> Hardt::Adjust(double proba, int s, uint64_t row_key) const {
+  if (!fitted_) return Status::FailedPrecondition("Hardt: not fitted");
+  const int yhat = proba >= 0.5 ? 1 : 0;
+  const double p = mix_[s][yhat];
+  return StableUniform(seed_, row_key) < p ? 1 : 0;
+}
+
+}  // namespace fairbench

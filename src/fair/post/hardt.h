@@ -1,0 +1,39 @@
+#ifndef FAIRBENCH_FAIR_POST_HARDT_H_
+#define FAIRBENCH_FAIR_POST_HARDT_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// HARDT (Hardt, Price & Srebro 2016, "Equality of opportunity in
+/// supervised learning") — post-processing for equalized odds.
+///
+/// A derived predictor Ytilde is built from (Yhat, S) alone: for each
+/// (group, predicted label) pair a mixing probability
+/// p_{s,yhat} = Pr(Ytilde = 1 | Yhat = yhat, S = s) is chosen by a linear
+/// program that minimizes expected error subject to exact TPR and FPR
+/// equality across groups (paper Appendix A.3.2). Adjust() then flips each
+/// prediction with its group's mixing probability using a stable per-row
+/// coin, so that repeated queries of one tuple agree.
+class Hardt final : public PostProcessor {
+ public:
+  std::string name() const override { return "Hardt-EO"; }
+  Status Fit(const std::vector<double>& proba, const std::vector<int>& y_true,
+             const std::vector<int>& sensitive,
+             const FairContext& context) override;
+  Result<int> Adjust(double proba, int s, uint64_t row_key) const override;
+
+  /// Mixing probability Pr(Ytilde=1 | Yhat=yhat, S=s).
+  double mixing(int s, int yhat) const { return mix_[s][yhat]; }
+
+ private:
+  bool fitted_ = false;
+  uint64_t seed_ = 0;
+  double mix_[2][2] = {{0.0, 1.0}, {0.0, 1.0}};
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_POST_HARDT_H_

@@ -1,0 +1,56 @@
+#include "fair/post/kamkar.h"
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+int Decide(double proba, int s, double theta) {
+  const double confidence = std::max(proba, 1.0 - proba);
+  if (confidence < theta) {
+    // Critical region: favor the unprivileged group.
+    return s == 0 ? 1 : 0;
+  }
+  return proba >= 0.5 ? 1 : 0;
+}
+
+}  // namespace
+
+Status KamKar::Fit(const std::vector<double>& proba,
+                   const std::vector<int>& y_true,
+                   const std::vector<int>& sensitive,
+                   const FairContext& context) {
+  if (proba.size() != y_true.size() || proba.size() != sensitive.size()) {
+    return Status::InvalidArgument("KamKar::Fit: length mismatch");
+  }
+  if (proba.empty()) return Status::InvalidArgument("KamKar::Fit: empty input");
+
+  double best_gap = 2.0;
+  double best_theta = options_.theta_min;
+  for (double theta = options_.theta_min; theta <= options_.theta_max + 1e-12;
+       theta += options_.theta_step) {
+    double pos[2] = {0.0, 0.0};
+    double count[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < proba.size(); ++i) {
+      const int s = sensitive[i];
+      count[s] += 1.0;
+      pos[s] += Decide(proba[i], s, theta);
+    }
+    if (count[0] <= 0.0 || count[1] <= 0.0) break;
+    const double gap = std::fabs(pos[0] / count[0] - pos[1] / count[1]);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_theta = theta;
+    }
+  }
+  theta_ = best_theta;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<int> KamKar::Adjust(double proba, int s, uint64_t row_key) const {
+  if (!fitted_) return Status::FailedPrecondition("KamKar: not fitted");
+  return Decide(proba, s, theta_);
+}
+
+}  // namespace fairbench

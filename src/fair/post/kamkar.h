@@ -1,0 +1,47 @@
+#ifndef FAIRBENCH_FAIR_POST_KAMKAR_H_
+#define FAIRBENCH_FAIR_POST_KAMKAR_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// Options for KAM-KAR.
+struct KamKarOptions {
+  double theta_min = 0.55;  ///< Smallest critical-region threshold tried.
+  double theta_max = 0.95;  ///< Largest threshold tried.
+  double theta_step = 0.025;
+};
+
+/// KAM-KAR (Kamiran, Karim & Zhang 2012, "Decision theory for
+/// discrimination-aware classification") — post-processing for demographic
+/// parity, a.k.a. reject-option classification.
+///
+/// Predictions with confidence max(p, 1-p) below a threshold theta fall in
+/// the *critical region* around the decision boundary, where discriminatory
+/// decisions concentrate; those predictions are overridden — unprivileged
+/// tuples receive the favorable label, privileged tuples the unfavorable
+/// one. Fit() grid-searches theta on held-out predictions for the value
+/// that brings the group positive rates closest together.
+class KamKar final : public PostProcessor {
+ public:
+  explicit KamKar(KamKarOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "KamKar-DP"; }
+  Status Fit(const std::vector<double>& proba, const std::vector<int>& y_true,
+             const std::vector<int>& sensitive,
+             const FairContext& context) override;
+  Result<int> Adjust(double proba, int s, uint64_t row_key) const override;
+
+  double theta() const { return theta_; }
+
+ private:
+  KamKarOptions options_;
+  bool fitted_ = false;
+  double theta_ = 0.5;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_POST_KAMKAR_H_

@@ -1,0 +1,75 @@
+#include "fair/post/pleiss.h"
+
+#include <algorithm>
+
+namespace fairbench {
+
+Status Pleiss::Fit(const std::vector<double>& proba,
+                   const std::vector<int>& y_true,
+                   const std::vector<int>& sensitive,
+                   const FairContext& context) {
+  if (proba.size() != y_true.size() || proba.size() != sensitive.size()) {
+    return Status::InvalidArgument("Pleiss::Fit: length mismatch");
+  }
+  if (proba.empty()) return Status::InvalidArgument("Pleiss::Fit: empty input");
+  seed_ = context.seed ^ 0x91e155ull;
+
+  // Per-group cost of the base predictor (TPR for equal opportunity, FPR
+  // for predictive equality) and mean calibrated probability.
+  const int cost_label =
+      options_.notion == PleissNotion::kEqualOpportunity ? 1 : 0;
+  double cost[2] = {0.0, 0.0};
+  double cost_n[2] = {0.0, 0.0};
+  double mean_proba[2] = {0.0, 0.0};
+  double count[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    const int s = sensitive[i];
+    count[s] += 1.0;
+    mean_proba[s] += proba[i];
+    if (y_true[i] == cost_label) {
+      cost_n[s] += 1.0;
+      cost[s] += proba[i] >= 0.5 ? 1.0 : 0.0;
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (cost_n[s] <= 0.0 || count[s] <= 0.0) {
+      return Status::FailedPrecondition(
+          "Pleiss::Fit: a group lacks the examples the cost conditions on");
+    }
+    cost[s] /= cost_n[s];
+    mean_proba[s] /= count[s];
+  }
+
+  // For equal opportunity the favored group has the *higher* TPR; for
+  // predictive equality it has the *lower* FPR.
+  if (options_.notion == PleissNotion::kEqualOpportunity) {
+    favored_ = cost[1] >= cost[0] ? 1 : 0;
+  } else {
+    favored_ = cost[1] <= cost[0] ? 1 : 0;
+  }
+  const int unfavored = 1 - favored_;
+  base_rate_ = mean_proba[favored_];
+  // Withholding with probability alpha replaces the prediction with a
+  // Bernoulli(base_rate) draw, whose expected contribution to the cost
+  // equals the base rate itself. Solve
+  //   (1 - alpha) * cost_f + alpha * base = cost_u   for alpha.
+  const double denom = cost[favored_] - base_rate_;
+  if (std::abs(denom) < 1e-12) {
+    alpha_ = 0.0;
+  } else {
+    alpha_ = std::clamp((cost[favored_] - cost[unfavored]) / denom, 0.0, 1.0);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<int> Pleiss::Adjust(double proba, int s, uint64_t row_key) const {
+  if (!fitted_) return Status::FailedPrecondition("Pleiss: not fitted");
+  if (s == favored_ && StableUniform(seed_, row_key) < alpha_) {
+    // Withheld: calibrated random draw (an independent stable coin).
+    return StableUniform(seed_ ^ 0xb453ull, row_key) < base_rate_ ? 1 : 0;
+  }
+  return proba >= 0.5 ? 1 : 0;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_FAIR_POST_PLEISS_H_
+#define FAIRBENCH_FAIR_POST_PLEISS_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// PLEISS (Pleiss et al. 2017, "On fairness and calibration") —
+/// post-processing for equal opportunity that preserves calibration.
+///
+/// The group with the higher TPR has a fraction alpha of its predictions
+/// *withheld*: a withheld tuple's prediction is replaced by a draw from
+/// the group's calibrated base rate instead of the model's output. Alpha
+/// is chosen so the favored group's expected TPR drops to the unfavored
+/// group's (paper Appendix A.3.3). The randomness is a stable per-row
+/// coin, and — as the authors acknowledge — the randomization trades away
+/// individual-level fairness for the group notion.
+/// Cost function PLEISS equalizes: TPR (equal opportunity — the variant
+/// the paper evaluates) or FPR (predictive equality).
+enum class PleissNotion {
+  kEqualOpportunity,
+  kPredictiveEquality,
+};
+
+struct PleissOptions {
+  PleissNotion notion = PleissNotion::kEqualOpportunity;
+};
+
+class Pleiss final : public PostProcessor {
+ public:
+  explicit Pleiss(PleissOptions options = {}) : options_(options) {}
+
+  std::string name() const override {
+    return options_.notion == PleissNotion::kEqualOpportunity ? "Pleiss-EOp"
+                                                              : "Pleiss-PE";
+  }
+  Status Fit(const std::vector<double>& proba, const std::vector<int>& y_true,
+             const std::vector<int>& sensitive,
+             const FairContext& context) override;
+  Result<int> Adjust(double proba, int s, uint64_t row_key) const override;
+
+  int favored_group() const { return favored_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  PleissOptions options_;
+  bool fitted_ = false;
+  uint64_t seed_ = 0;
+  int favored_ = 1;
+  double alpha_ = 0.0;
+  double base_rate_ = 0.5;  ///< Calibrated replacement rate.
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_POST_PLEISS_H_

@@ -1,0 +1,169 @@
+#include "fair/pre/calmon.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "classifiers/logistic_regression.h"
+#include "data/discretizer.h"
+#include "optim/gradient_descent.h"
+
+namespace fairbench {
+namespace {
+
+struct Bucket {
+  double count = 0.0;
+  std::vector<std::size_t> rows;
+};
+
+}  // namespace
+
+Result<Dataset> Calmon::Repair(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  const std::size_t n = train.num_rows();
+  if (n == 0) return Status::InvalidArgument("Calmon: empty training data");
+
+  Discretizer disc(options_.bins);
+  FAIRBENCH_RETURN_NOT_OK(disc.Fit(train));
+
+  // The optimization domain is the product space of the discretized
+  // attributes (plus S): this is what makes CALMON intrinsically
+  // exponential in the number of attributes.
+  double domain_size = 2.0;  // S.
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    domain_size *= static_cast<double>(disc.Cardinality(c));
+    if (domain_size > options_.max_domain_size) {
+      return Status::NoConvergence(
+          "Calmon: discrete attribute domain exceeds the tractable size "
+          "(the paper observed the same failure beyond 22 attributes)");
+    }
+  }
+
+  // Bucket rows by (observed attribute cell, S, Y).
+  std::vector<std::vector<int>> codes(train.num_features());
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    FAIRBENCH_ASSIGN_OR_RETURN(codes[c], disc.Codes(train, c));
+  }
+  std::unordered_map<std::size_t, std::size_t> cell_of_key;
+  std::vector<std::size_t> cell_of_row(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t key = 1469598103934665603ull;  // FNV-1a over codes.
+    for (std::size_t c = 0; c < train.num_features(); ++c) {
+      key ^= static_cast<std::size_t>(codes[c][r]) + 0x9e3779b9ull;
+      key *= 1099511628211ull;
+    }
+    const auto [it, inserted] = cell_of_key.try_emplace(key, cell_of_key.size());
+    cell_of_row[r] = it->second;
+  }
+  const std::size_t num_cells = cell_of_key.size();
+
+  // Buckets indexed as cell*4 + s*2 + y.
+  std::vector<Bucket> buckets(num_cells * 4);
+  double n_group[2] = {0.0, 0.0};
+  for (std::size_t r = 0; r < n; ++r) {
+    const int s = train.sensitive()[r];
+    const int y = train.labels()[r];
+    Bucket& b = buckets[cell_of_row[r] * 4 + static_cast<std::size_t>(s) * 2 +
+                        static_cast<std::size_t>(y)];
+    b.count += 1.0;
+    b.rows.push_back(r);
+    n_group[s] += 1.0;
+  }
+  if (n_group[0] <= 0.0 || n_group[1] <= 0.0) {
+    return Status::InvalidArgument("Calmon: a sensitive group is empty");
+  }
+
+  // Aggregate bucket mass per (S, Y) stratum. The randomized label map is
+  // parameterized by one flip logit per stratum — the minimizer of the
+  // distortion/parity program with uniform per-tuple distortion costs is
+  // flat within strata, so this parameterization loses nothing while
+  // keeping the descent well-conditioned. The cell structure still caps
+  // the distortion any single attribute-domain cell can absorb.
+  double stratum_mass[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const int s = static_cast<int>((b % 4) / 2);
+    const int y = static_cast<int>(b % 2);
+    stratum_mass[s][y] += buckets[b].count;
+  }
+  const double eps = options_.parity_epsilon;
+  const double mu = options_.penalty_mu;
+  const double cap = options_.cell_distortion_cap;
+
+  // theta[s*2+y] is the flip logit of stratum (S=s, Y=y).
+  Objective objective = [&](const Vector& theta, Vector* grad) {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    double f[2][2];
+    double df[2][2];
+    for (int s = 0; s < 2; ++s) {
+      for (int y = 0; y < 2; ++y) {
+        f[s][y] = LogisticRegression::Sigmoid(
+            theta[static_cast<std::size_t>(s * 2 + y)]);
+        // Cap the per-stratum flip probability (the cell-level distortion
+        // bound): saturate the sigmoid at `cap`.
+        f[s][y] *= cap;
+        df[s][y] = f[s][y] * (1.0 - f[s][y] / cap);
+      }
+    }
+    // (1) Expected distortion: fraction of labels flipped.
+    double distortion = 0.0;
+    for (int s = 0; s < 2; ++s) {
+      for (int y = 0; y < 2; ++y) {
+        distortion += stratum_mass[s][y] * f[s][y] / static_cast<double>(n);
+        (*grad)[static_cast<std::size_t>(s * 2 + y)] +=
+            stratum_mass[s][y] * df[s][y] / static_cast<double>(n);
+      }
+    }
+    // (2) Parity of the repaired label distribution.
+    double pos_rate[2];
+    for (int s = 0; s < 2; ++s) {
+      pos_rate[s] = (stratum_mass[s][1] * (1.0 - f[s][1]) +
+                     stratum_mass[s][0] * f[s][0]) /
+                    n_group[s];
+    }
+    const double gap = pos_rate[1] - pos_rate[0];
+    const double excess = std::max(0.0, std::fabs(gap) - eps);
+    double value = distortion + mu * excess * excess;
+    if (excess > 0.0) {
+      const double outer = 2.0 * mu * excess * (gap >= 0.0 ? 1.0 : -1.0);
+      for (int s = 0; s < 2; ++s) {
+        const double sign = s == 1 ? 1.0 : -1.0;
+        (*grad)[static_cast<std::size_t>(s * 2 + 1)] +=
+            outer * sign * (-stratum_mass[s][1] * df[s][1] / n_group[s]);
+        (*grad)[static_cast<std::size_t>(s * 2 + 0)] +=
+            outer * sign * (stratum_mass[s][0] * df[s][0] / n_group[s]);
+      }
+    }
+    return value;
+  };
+
+  GradientDescentOptions gd;
+  gd.max_iterations = options_.max_iterations;
+  gd.tolerance = 1e-9;
+  // Start near "flip nothing", the minimal-distortion point.
+  OptimResult opt = MinimizeGradientDescent(objective, Vector(4, -4.0), gd);
+
+  double flip[2][2];
+  for (int s = 0; s < 2; ++s) {
+    for (int y = 0; y < 2; ++y) {
+      flip[s][y] = cap * LogisticRegression::Sigmoid(
+                             opt.x[static_cast<std::size_t>(s * 2 + y)]);
+    }
+  }
+
+  // Materialize the randomized map with per-row stable coins. The map is
+  // applied per cell bucket so that empty cells stay empty (the learned
+  // distribution only re-weights observed configurations).
+  Dataset out = train;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b].count <= 0.0) continue;
+    const int s = static_cast<int>((b % 4) / 2);
+    const int y = static_cast<int>(b % 2);
+    for (std::size_t r : buckets[b].rows) {
+      if (StableUniform(context.seed ^ 0xca1030ull, r) < flip[s][y]) {
+        out.mutable_labels()[r] = 1 - y;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fairbench

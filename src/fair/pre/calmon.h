@@ -1,0 +1,52 @@
+#ifndef FAIRBENCH_FAIR_PRE_CALMON_H_
+#define FAIRBENCH_FAIR_PRE_CALMON_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// Options for CALMON.
+struct CalmonOptions {
+  std::size_t bins = 3;           ///< Quantile bins per numeric attribute.
+  double parity_epsilon = 0.02;   ///< Allowed |P(Y'=1|S=0) - P(Y'=1|S=1)|.
+  double cell_distortion_cap = 0.35;  ///< Max expected flip mass per cell.
+  /// The optimization is over the discrete attribute domain; when the
+  /// domain size (product of per-attribute cardinalities) exceeds this
+  /// cap the method reports NoConvergence — reproducing the paper's
+  /// finding that CALMON could not operate on more than 22 attributes of
+  /// the Credit dataset.
+  double max_domain_size = 1e11;
+  int max_iterations = 300;
+  double penalty_mu = 50.0;
+};
+
+/// CALMON (Calmon et al. 2017, "Optimized pre-processing for
+/// discrimination prevention") — learns a randomized transformation of the
+/// training distribution that (1) brings the group-conditional label
+/// distributions within `parity_epsilon` of each other, (2) stays close to
+/// the original joint distribution (minimal expected distortion), and
+/// (3) caps the distortion applied inside any single attribute-domain
+/// cell.
+///
+/// FairBench's transform class is a per-(cell, S, Y) randomized label map
+/// over the discretized attribute domain, fit by penalized gradient
+/// descent on the convex distortion/parity tradeoff. This preserves the
+/// approach's signature behaviours: heavy optimization cost that grows
+/// with the attribute domain, and a hard failure beyond ~22 attributes.
+class Calmon final : public PreProcessor {
+ public:
+  explicit Calmon(CalmonOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Calmon-DP"; }
+  Result<Dataset> Repair(const Dataset& train,
+                         const FairContext& context) override;
+
+ private:
+  CalmonOptions options_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_PRE_CALMON_H_

@@ -1,0 +1,115 @@
+#include "fair/pre/feld.h"
+
+#include <algorithm>
+
+namespace fairbench {
+namespace {
+
+/// Empirical quantile function: value at rank-fraction q of sorted values.
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Rank-fraction of a value within a sorted reference sample (mid-rank
+/// for ties), in [0, 1]. Out-of-range values clamp to the extremes.
+double RankFraction(const std::vector<double>& sorted, double value) {
+  if (sorted.size() <= 1) return 0.5;
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  const double mid_rank =
+      0.5 * (static_cast<double>(lo - sorted.begin()) +
+             static_cast<double>(hi - sorted.begin() - 1));
+  return std::clamp(mid_rank / static_cast<double>(sorted.size() - 1), 0.0,
+                    1.0);
+}
+
+}  // namespace
+
+Result<Dataset> Feld::Repair(const Dataset& train, const FairContext& context) {
+  if (lambda_ < 0.0 || lambda_ > 1.0) {
+    return Status::InvalidArgument("Feld: lambda must be in [0, 1]");
+  }
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  const std::size_t n = train.num_rows();
+
+  // Fit the per-column repair parameters on the training data.
+  seed_ = context.seed ^ 0xfe1dull;
+  schema_ = train.schema();
+  repairs_.assign(train.num_features(), {});
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    const ColumnSpec& spec = train.schema().column(c);
+    ColumnRepair& repair = repairs_[c];
+    if (spec.type == ColumnType::kNumeric) {
+      for (std::size_t r = 0; r < n; ++r) {
+        repair.group_sorted[train.sensitive()[r]].push_back(
+            train.NumericAt(c, r));
+      }
+      std::sort(repair.group_sorted[0].begin(), repair.group_sorted[0].end());
+      std::sort(repair.group_sorted[1].begin(), repair.group_sorted[1].end());
+    } else {
+      std::vector<double> pooled(spec.cardinality(), 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        pooled[static_cast<std::size_t>(train.CodeAt(c, r))] += 1.0;
+      }
+      double total = 0.0;
+      for (double v : pooled) total += v;
+      repair.pooled_cdf.resize(spec.cardinality());
+      double acc = 0.0;
+      for (std::size_t k = 0; k < spec.cardinality(); ++k) {
+        acc += total > 0.0 ? pooled[k] / total : 0.0;
+        repair.pooled_cdf[k] = acc;
+      }
+    }
+  }
+  fitted_ = true;
+  return TransformFeatures(train);
+}
+
+Result<Dataset> Feld::TransformFeatures(const Dataset& data) const {
+  if (!fitted_) return Status::FailedPrecondition("Feld: Repair() not run");
+  if (!(data.schema() == schema_)) {
+    return Status::InvalidArgument("Feld: schema mismatch");
+  }
+  Dataset out = data;
+  const std::size_t n = data.num_rows();
+  for (std::size_t c = 0; c < data.num_features(); ++c) {
+    const ColumnSpec& spec = data.schema().column(c);
+    const ColumnRepair& repair = repairs_[c];
+    if (spec.type == ColumnType::kNumeric) {
+      if (repair.group_sorted[0].empty() || repair.group_sorted[1].empty()) {
+        continue;  // A single-group column cannot be repaired.
+      }
+      std::vector<double>& values = out.mutable_column(c).numeric;
+      for (std::size_t r = 0; r < n; ++r) {
+        const int s = data.sensitive()[r];
+        const double value = data.NumericAt(c, r);
+        const double q = RankFraction(repair.group_sorted[s], value);
+        // Median distribution of two groups = midpoint of their quantile
+        // functions (Feldman et al. §5).
+        const double target =
+            0.5 * (QuantileOfSorted(repair.group_sorted[0], q) +
+                   QuantileOfSorted(repair.group_sorted[1], q));
+        values[r] = (1.0 - lambda_) * value + lambda_ * target;
+      }
+    } else {
+      std::vector<int>& codes = out.mutable_column(c).codes;
+      const std::size_t card = spec.cardinality();
+      for (std::size_t r = 0; r < n; ++r) {
+        const uint64_t key = (static_cast<uint64_t>(c) << 40) ^ r;
+        if (StableUniform(seed_, key) >= lambda_) continue;
+        const double u = StableUniform(seed_ ^ 0x2ull, key);
+        std::size_t k = 0;
+        while (k + 1 < card && u > repair.pooled_cdf[k]) ++k;
+        codes[r] = static_cast<int>(k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,63 @@
+#ifndef FAIRBENCH_FAIR_PRE_FELD_H_
+#define FAIRBENCH_FAIR_PRE_FELD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// FELD (Feldman et al. 2015, "Certifying and removing disparate impact")
+/// — pre-processing for demographic parity. Each numeric attribute is
+/// repaired toward the *median distribution*: a value at quantile q within
+/// its sensitive group moves to the cross-group median of the group
+/// quantile functions at q, so the repaired marginal is indistinguishable
+/// across groups. The repair level lambda in [0, 1] interpolates between
+/// the original value (0) and the full repair (1) — the paper evaluates
+/// lambda = 1.0 and lambda = 0.6.
+///
+/// Categorical attributes use Feldman et al.'s randomized repair: with
+/// probability lambda a value is redrawn from the pooled category
+/// distribution (stable per-row coins keep it reproducible).
+///
+/// FELD is a feature *transformation*: Repair() fits the per-group maps on
+/// the training data, and TransformFeatures() pushes any future tuples
+/// (e.g. the test set) through the same maps — exactly the deployment
+/// protocol of the original approach. The downstream model is trained
+/// without the sensitive attribute.
+class Feld final : public PreProcessor {
+ public:
+  explicit Feld(double lambda) : lambda_(lambda) {}
+
+  std::string name() const override {
+    return StrFormat("Feld-DP(l=%.1f)", lambda_);
+  }
+  Result<Dataset> Repair(const Dataset& train,
+                         const FairContext& context) override;
+
+  bool TransformsFeatures() const override { return true; }
+  Result<Dataset> TransformFeatures(const Dataset& data) const override;
+
+  double lambda() const { return lambda_; }
+
+ private:
+  /// Fitted per-column repair parameters.
+  struct ColumnRepair {
+    /// Numeric: per-group sorted training values (quantile tables).
+    std::vector<double> group_sorted[2];
+    /// Categorical: pooled category CDF.
+    std::vector<double> pooled_cdf;
+  };
+
+  double lambda_;
+  bool fitted_ = false;
+  uint64_t seed_ = 0;
+  Schema schema_;
+  std::vector<ColumnRepair> repairs_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_PRE_FELD_H_

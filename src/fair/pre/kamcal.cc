@@ -1,0 +1,55 @@
+#include "fair/pre/kamcal.h"
+
+#include "common/random.h"
+
+namespace fairbench {
+
+Result<Dataset> KamCal::Repair(const Dataset& train, const FairContext& context) {
+  FAIRBENCH_RETURN_NOT_OK(train.Validate());
+  const std::size_t n = train.num_rows();
+  if (n == 0) return Status::InvalidArgument("KamCal: empty training data");
+
+  // Cell counts over (S, Y).
+  double count_sy[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  double count_s[2] = {0.0, 0.0};
+  double count_y[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = train.sensitive()[i];
+    const int y = train.labels()[i];
+    count_sy[s][y] += 1.0;
+    count_s[s] += 1.0;
+    count_y[y] += 1.0;
+  }
+  const double total = static_cast<double>(n);
+  double weight_sy[2][2];
+  for (int s = 0; s < 2; ++s) {
+    for (int y = 0; y < 2; ++y) {
+      const double expected = (count_s[s] / total) * (count_y[y] / total);
+      const double observed = count_sy[s][y] / total;
+      weight_sy[s][y] = observed > 0.0 ? expected / observed : 0.0;
+    }
+  }
+
+  if (!options_.resample) {
+    Dataset out = train;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.mutable_weights()[i] =
+          weight_sy[train.sensitive()[i]][train.labels()[i]];
+      // Keep weights strictly positive for downstream training.
+      if (out.mutable_weights()[i] <= 0.0) out.mutable_weights()[i] = 1e-9;
+    }
+    return out;
+  }
+
+  // Weighted resampling with replacement to the original size.
+  std::vector<double> weights(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = weight_sy[train.sensitive()[i]][train.labels()[i]];
+  }
+  Rng rng(context.seed ^ 0x4a3cca1ull);
+  std::vector<std::size_t> picks(n, 0);
+  for (std::size_t i = 0; i < n; ++i) picks[i] = rng.Categorical(weights);
+  return train.SelectRows(picks);
+}
+
+}  // namespace fairbench

@@ -1,0 +1,37 @@
+#ifndef FAIRBENCH_FAIR_PRE_KAMCAL_H_
+#define FAIRBENCH_FAIR_PRE_KAMCAL_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// Options for KAM-CAL.
+struct KamCalOptions {
+  /// "resample" draws a same-size dataset with probability proportional to
+  /// the reweighing weights (the paper's description); "reweigh" keeps all
+  /// tuples and installs the weights as instance weights (AIF360's
+  /// Reweighing). Both make S and Y independent in the output.
+  bool resample = true;
+};
+
+/// KAM-CAL (Kamiran & Calders 2012) — pre-processing for demographic
+/// parity. Each tuple in cell (S=s, Y=y) receives weight
+///   w = Pr_exp(s, y) / Pr_obs(s, y) = (P(s) * P(y)) / P(s, y),
+/// which exactly removes the S-Y dependence (paper Appendix A.1.1).
+class KamCal final : public PreProcessor {
+ public:
+  explicit KamCal(KamCalOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "KamCal-DP"; }
+  Result<Dataset> Repair(const Dataset& train,
+                         const FairContext& context) override;
+
+ private:
+  KamCalOptions options_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_PRE_KAMCAL_H_

@@ -1,0 +1,49 @@
+#ifndef FAIRBENCH_FAIR_PRE_ZHAWU_H_
+#define FAIRBENCH_FAIR_PRE_ZHAWU_H_
+
+#include <string>
+
+#include "fair/method.h"
+
+namespace fairbench {
+
+/// Options for ZHA-WU.
+struct ZhaWuOptions {
+  double epsilon = 0.05;     ///< Paper's fairness-violation threshold.
+  std::size_t bins = 3;      ///< Discretization for the causal model.
+  int max_parents = 3;       ///< Structure-learning parent cap.
+  std::size_t mc_samples = 20000;  ///< Intervention Monte-Carlo samples.
+};
+
+/// ZHA-WU (Zhang, Wu & Wu 2017, "A causal framework for discovering and
+/// removing direct and indirect discrimination") — pre-processing for
+/// path-specific fairness.
+///
+/// Pipeline (paper Appendix A.1.4): learn a graphical causal model over
+/// the discretized attributes (S exogenous, Y terminal), estimate the
+/// effect of do(S) on Y, and — when it exceeds epsilon — repair Y
+/// minimally so the causal association from S to Y is removed. FairBench's
+/// repair flips the labels whose values are least supported by the causal
+/// model (lowest P(Y = y | parents)), within each sensitive group, until
+/// both groups match the population's positive rate; this drives the
+/// post-repair do(S) effect to ~0 while minimally altering the model.
+class ZhaWu final : public PreProcessor {
+ public:
+  explicit ZhaWu(ZhaWuOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ZhaWu-PSF"; }
+  Result<Dataset> Repair(const Dataset& train,
+                         const FairContext& context) override;
+
+  /// The do(S) effect measured on the most recent Repair() input (for
+  /// diagnostics and tests).
+  double last_measured_effect() const { return last_effect_; }
+
+ private:
+  ZhaWuOptions options_;
+  double last_effect_ = 0.0;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_FAIR_PRE_ZHAWU_H_

@@ -1,0 +1,121 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::RowVector(std::size_t r) const {
+  return Vector(Row(r), Row(r) + cols_);
+}
+
+Vector Matrix::ColVector(std::size_t c) const {
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const Vector& v) {
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Vector Matrix::TransposedMatVec(const Vector& x) const {
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * xr;
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.Row(k);
+      double* orow = out.Row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::WeightedGram(const Vector& w) const {
+  Matrix out(cols_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    const double* row = Row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double wi = wr * row[i];
+      if (wi == 0.0) continue;
+      double* orow = out.Row(i);
+      for (std::size_t j = i; j < cols_; ++j) orow[j] += wi * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += StrFormat("%.*f", precision, (*this)(r, c));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace fairbench

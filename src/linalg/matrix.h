@@ -1,0 +1,86 @@
+#ifndef FAIRBENCH_LINALG_MATRIX_H_
+#define FAIRBENCH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the workloads in this library: feature matrices with tens of
+/// thousands of rows and tens of columns, and small square systems (Newton
+/// steps, LPs). Storage is contiguous; rows are addressed as spans.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the first element of row r.
+  double* Row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* Row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a Vector.
+  Vector RowVector(std::size_t r) const;
+
+  /// Copies column c into a Vector.
+  Vector ColVector(std::size_t c) const;
+
+  /// Overwrites row r from `v`. Requires v.size() == cols().
+  void SetRow(std::size_t r, const Vector& v);
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// this * x. Requires x.size() == cols().
+  Vector MatVec(const Vector& x) const;
+
+  /// this^T * x. Requires x.size() == rows().
+  Vector TransposedMatVec(const Vector& x) const;
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this^T * diag(w) * this, the weighted Gram matrix used in IRLS.
+  /// Requires w.size() == rows().
+  Matrix WeightedGram(const Vector& w) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Human-readable dump for debugging.
+  std::string ToString(int precision = 4) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_LINALG_MATRIX_H_

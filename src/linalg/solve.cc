@@ -1,0 +1,110 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  // Factor A = L L^T in place of a copy.
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          return Status::FailedPrecondition(
+              StrFormat("CholeskySolve: not SPD at pivot %zu (%g)", i, s));
+        }
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("LuSolve: shape mismatch");
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::FailedPrecondition("LuSolve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(pivot, c), lu(col, c));
+      std::swap(perm[pivot], perm[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (std::size_t c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+    }
+  }
+  // Solve L y = P b, then U x = y.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= lu(i, k) * x[k];
+    x[i] = s / lu(i, i);
+  }
+  return x;
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b, double ridge) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: shape mismatch");
+  }
+  Vector unit(a.rows(), 1.0);
+  Matrix gram = a.WeightedGram(unit);  // A^T A
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  const Vector atb = a.TransposedMatVec(b);
+  return CholeskySolve(gram, atb);
+}
+
+}  // namespace fairbench

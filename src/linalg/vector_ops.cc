@@ -1,0 +1,74 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+namespace fairbench {
+
+double Dot(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(SquaredNorm2(a)); }
+
+double SquaredNorm2(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return s;
+}
+
+double Norm1(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += std::fabs(v);
+  return s;
+}
+
+double NormInf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Hadamard(const Vector& a, const Vector& b) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double Sum(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s;
+}
+
+double Mean(const Vector& a) {
+  if (a.empty()) return 0.0;
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+Vector Zeros(std::size_t n) { return Vector(n, 0.0); }
+
+Vector Ones(std::size_t n) { return Vector(n, 1.0); }
+
+}  // namespace fairbench

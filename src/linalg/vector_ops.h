@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_LINALG_VECTOR_OPS_H_
+#define FAIRBENCH_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fairbench {
+
+/// Dense double vector. FairBench uses plain std::vector<double> as the
+/// vector representation; this header provides the BLAS-level-1 operations
+/// the optimizers and classifiers need.
+using Vector = std::vector<double>;
+
+/// Dot product. Requires a.size() == b.size().
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& a);
+
+/// Squared Euclidean norm.
+double SquaredNorm2(const Vector& a);
+
+/// L1 norm.
+double Norm1(const Vector& a);
+
+/// Infinity norm (max absolute entry; 0 for empty input).
+double NormInf(const Vector& a);
+
+/// y += alpha * x. Requires x.size() == y->size().
+void Axpy(double alpha, const Vector& x, Vector* y);
+
+/// x *= alpha.
+void Scale(double alpha, Vector* x);
+
+/// Element-wise a + b.
+Vector Add(const Vector& a, const Vector& b);
+
+/// Element-wise a - b.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// Element-wise a * b (Hadamard product).
+Vector Hadamard(const Vector& a, const Vector& b);
+
+/// Sum of entries.
+double Sum(const Vector& a);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const Vector& a);
+
+/// Zero vector of length n.
+Vector Zeros(std::size_t n);
+
+/// All-ones vector of length n.
+Vector Ones(std::size_t n);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_LINALG_VECTOR_OPS_H_

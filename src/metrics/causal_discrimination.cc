@@ -1,0 +1,43 @@
+#include "metrics/causal_discrimination.h"
+
+#include "common/random.h"
+#include "data/split.h"
+#include "stats/bounds.h"
+
+namespace fairbench {
+
+Result<double> CausalDiscrimination(const Dataset& dataset,
+                                    const RowPredictor& predictor,
+                                    const CdOptions& options) {
+  if (!predictor) {
+    return Status::InvalidArgument("CausalDiscrimination: null predictor");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0 ||
+      options.error_bound <= 0.0) {
+    return Status::InvalidArgument("CausalDiscrimination: bad options");
+  }
+  const std::size_t n = dataset.num_rows();
+  if (n == 0) return 0.0;
+
+  const std::size_t target =
+      HoeffdingSampleSize(options.error_bound, options.confidence);
+  std::vector<std::size_t> rows;
+  if (target < n) {
+    Rng rng(options.seed);
+    rows = SampleWithoutReplacement(n, target, rng);
+  } else {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+
+  std::size_t flipped = 0;
+  for (std::size_t row : rows) {
+    const int s = dataset.sensitive()[row];
+    FAIRBENCH_ASSIGN_OR_RETURN(int y_orig, predictor(row, s));
+    FAIRBENCH_ASSIGN_OR_RETURN(int y_flip, predictor(row, 1 - s));
+    if (y_orig != y_flip) ++flipped;
+  }
+  return static_cast<double>(flipped) / static_cast<double>(rows.size());
+}
+
+}  // namespace fairbench

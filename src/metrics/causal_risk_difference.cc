@@ -1,0 +1,73 @@
+#include "metrics/causal_risk_difference.h"
+
+#include <algorithm>
+
+#include "classifiers/logistic_regression.h"
+#include "data/encoder.h"
+
+namespace fairbench {
+
+Result<std::vector<double>> CrdPropensityWeights(
+    const Dataset& dataset,
+    const std::vector<std::string>& resolving_attributes,
+    const CrdOptions& options) {
+  if (resolving_attributes.empty()) {
+    return Status::InvalidArgument("CRD: no resolving attributes given");
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(Dataset resolving,
+                             dataset.SelectColumns(resolving_attributes));
+  FeatureEncoder encoder;
+  FAIRBENCH_RETURN_NOT_OK(encoder.Fit(resolving, /*include_sensitive=*/false));
+  FAIRBENCH_ASSIGN_OR_RETURN(Matrix x, encoder.Transform(resolving));
+
+  // Propensity target: membership in the unprivileged group (S = 0).
+  std::vector<int> target(dataset.num_rows(), 0);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    target[i] = dataset.sensitive()[i] == 0 ? 1 : 0;
+  }
+  LogisticRegressionOptions lr_options;
+  lr_options.l2 = options.l2;
+  LogisticRegression propensity(lr_options);
+  FAIRBENCH_RETURN_NOT_OK(propensity.Fit(x, target, Ones(target.size())));
+
+  std::vector<double> weights(dataset.num_rows(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    FAIRBENCH_ASSIGN_OR_RETURN(double ps, propensity.PredictProba(x.RowVector(i)));
+    ps = std::clamp(ps, options.propensity_clip, 1.0 - options.propensity_clip);
+    weights[i] = ps / (1.0 - ps);
+  }
+  return weights;
+}
+
+Result<double> CausalRiskDifference(
+    const Dataset& dataset, const std::vector<int>& y_pred,
+    const std::vector<std::string>& resolving_attributes,
+    const CrdOptions& options) {
+  if (y_pred.size() != dataset.num_rows()) {
+    return Status::InvalidArgument("CRD: prediction length mismatch");
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(
+      std::vector<double> w,
+      CrdPropensityWeights(dataset, resolving_attributes, options));
+
+  // Reweighted positive rate of the privileged group.
+  double weighted_pos = 0.0;
+  double weighted_total = 0.0;
+  // Plain positive rate of the unprivileged group.
+  double unpriv_pos = 0.0;
+  double unpriv_total = 0.0;
+  for (std::size_t i = 0; i < y_pred.size(); ++i) {
+    if (dataset.sensitive()[i] == 1) {
+      weighted_total += w[i];
+      if (y_pred[i] == 1) weighted_pos += w[i];
+    } else {
+      unpriv_total += 1.0;
+      if (y_pred[i] == 1) unpriv_pos += 1.0;
+    }
+  }
+  const double lhs = weighted_total > 0.0 ? weighted_pos / weighted_total : 0.0;
+  const double rhs = unpriv_total > 0.0 ? unpriv_pos / unpriv_total : 0.0;
+  return lhs - rhs;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,42 @@
+#ifndef FAIRBENCH_METRICS_CAUSAL_RISK_DIFFERENCE_H_
+#define FAIRBENCH_METRICS_CAUSAL_RISK_DIFFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace fairbench {
+
+/// Options for the CRD estimator.
+struct CrdOptions {
+  /// Clamp for propensity scores so weights stay finite (standard practice
+  /// in inverse-propensity estimation).
+  double propensity_clip = 0.02;
+  double l2 = 1.0;  ///< Ridge strength of the propensity model.
+};
+
+/// Causal Risk Difference (paper Fig 6, Example 3): a group, causal,
+/// observational metric that contrasts the positive-prediction probability
+/// of the privileged group — reweighted by the propensity of belonging to
+/// the unprivileged group given the *resolving attributes* R — against the
+/// unprivileged group's positive-prediction rate.
+///
+/// Propensity scores Pr(S=0 | R) are estimated with logistic regression on
+/// the resolving columns; tuple weights are ps/(1-ps). CRD = 0 means the
+/// apparent disparity is fully explained by R.
+Result<double> CausalRiskDifference(
+    const Dataset& dataset, const std::vector<int>& y_pred,
+    const std::vector<std::string>& resolving_attributes,
+    const CrdOptions& options = {});
+
+/// The propensity weights w(t) = Pr(S=0|R) / (1 - Pr(S=0|R)) used by CRD;
+/// exposed for tests and diagnostics.
+Result<std::vector<double>> CrdPropensityWeights(
+    const Dataset& dataset, const std::vector<std::string>& resolving_attributes,
+    const CrdOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_CAUSAL_RISK_DIFFERENCE_H_

@@ -1,0 +1,41 @@
+#include "metrics/confusion.h"
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred,
+                                             const std::vector<double>& weights) {
+  if (y_true.size() != y_pred.size()) {
+    return Status::InvalidArgument(
+        StrFormat("BuildConfusionMatrix: %zu truths vs %zu predictions",
+                  y_true.size(), y_pred.size()));
+  }
+  if (!weights.empty() && weights.size() != y_true.size()) {
+    return Status::InvalidArgument("BuildConfusionMatrix: weights mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if ((y_true[i] != 0 && y_true[i] != 1) || (y_pred[i] != 0 && y_pred[i] != 1)) {
+      return Status::InvalidArgument("BuildConfusionMatrix: labels not 0/1");
+    }
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) {
+        cm.tp += w;
+      } else {
+        cm.fn += w;
+      }
+    } else {
+      if (y_pred[i] == 1) {
+        cm.fp += w;
+      } else {
+        cm.tn += w;
+      }
+    }
+  }
+  return cm;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,44 @@
+#ifndef FAIRBENCH_METRICS_CONFUSION_H_
+#define FAIRBENCH_METRICS_CONFUSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairbench {
+
+/// Weighted confusion matrix of a binary classifier (paper Fig 2).
+struct ConfusionMatrix {
+  double tp = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+  double tn = 0.0;
+
+  double Total() const { return tp + fp + fn + tn; }
+  double Positives() const { return tp + fn; }   ///< Ground-truth Y = 1.
+  double Negatives() const { return fp + tn; }   ///< Ground-truth Y = 0.
+  double PredictedPositives() const { return tp + fp; }
+
+  /// True positive rate Pr(Yhat=1 | Y=1); 0 when no positives.
+  double Tpr() const { return Positives() > 0.0 ? tp / Positives() : 0.0; }
+  /// True negative rate Pr(Yhat=0 | Y=0); 0 when no negatives.
+  double Tnr() const { return Negatives() > 0.0 ? tn / Negatives() : 0.0; }
+  /// False positive rate Pr(Yhat=1 | Y=0).
+  double Fpr() const { return Negatives() > 0.0 ? fp / Negatives() : 0.0; }
+  /// False negative rate Pr(Yhat=0 | Y=1).
+  double Fnr() const { return Positives() > 0.0 ? fn / Positives() : 0.0; }
+  /// Base rate of positive predictions Pr(Yhat=1).
+  double PositivePredictionRate() const {
+    return Total() > 0.0 ? PredictedPositives() / Total() : 0.0;
+  }
+};
+
+/// Tallies a confusion matrix from ground truth and predictions, optionally
+/// weighted (empty weights = unweighted). Labels must be 0/1.
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred,
+                                             const std::vector<double>& weights = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_CONFUSION_H_

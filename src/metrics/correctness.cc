@@ -1,0 +1,17 @@
+#include "metrics/correctness.h"
+
+namespace fairbench {
+
+CorrectnessMetrics ComputeCorrectness(const ConfusionMatrix& cm) {
+  CorrectnessMetrics m;
+  const double total = cm.Total();
+  if (total > 0.0) m.accuracy = (cm.tp + cm.tn) / total;
+  if (cm.PredictedPositives() > 0.0) m.precision = cm.tp / cm.PredictedPositives();
+  if (cm.Positives() > 0.0) m.recall = cm.tp / cm.Positives();
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,23 @@
+#ifndef FAIRBENCH_METRICS_CORRECTNESS_H_
+#define FAIRBENCH_METRICS_CORRECTNESS_H_
+
+#include "metrics/confusion.h"
+
+namespace fairbench {
+
+/// The four correctness metrics of the paper's Fig 3, all in [0, 1].
+struct CorrectnessMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes accuracy, precision, recall and F1 from a confusion matrix.
+/// Degenerate denominators (no predicted positives / no positives) yield 0
+/// for the affected metric.
+CorrectnessMetrics ComputeCorrectness(const ConfusionMatrix& cm);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_CORRECTNESS_H_

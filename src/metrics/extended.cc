@@ -1,0 +1,152 @@
+#include "metrics/extended.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+constexpr double kTreatmentCap = 100.0;
+
+double Fdr(const ConfusionMatrix& cm) {
+  const double pp = cm.PredictedPositives();
+  return pp > 0.0 ? cm.fp / pp : 0.0;
+}
+
+double For(const ConfusionMatrix& cm) {
+  const double pn = cm.fn + cm.tn;
+  return pn > 0.0 ? cm.fn / pn : 0.0;
+}
+
+}  // namespace
+
+double CvScore(const GroupStats& gs) {
+  return gs.PositiveRatePrivileged() - gs.PositiveRateUnprivileged();
+}
+
+double FdrParity(const GroupStats& gs) {
+  return Fdr(gs.privileged) - Fdr(gs.unprivileged);
+}
+
+double ForParity(const GroupStats& gs) {
+  return For(gs.privileged) - For(gs.unprivileged);
+}
+
+double BalancedClassificationRateGap(const GroupStats& gs) {
+  const double priv = 0.5 * (gs.privileged.Tpr() + gs.privileged.Tnr());
+  const double unpriv = 0.5 * (gs.unprivileged.Tpr() + gs.unprivileged.Tnr());
+  return priv - unpriv;
+}
+
+double TreatmentEqualityGap(const GroupStats& gs) {
+  auto ratio = [](const ConfusionMatrix& cm) {
+    if (cm.fp <= 0.0) return cm.fn > 0.0 ? kTreatmentCap : 1.0;
+    return std::min(cm.fn / cm.fp, kTreatmentCap);
+  };
+  return std::clamp(ratio(gs.privileged) - ratio(gs.unprivileged),
+                    -kTreatmentCap, kTreatmentCap);
+}
+
+Result<double> ConditionalStatisticalParity(
+    const std::vector<int>& y_pred, const std::vector<int>& sensitive,
+    const std::vector<int>& legitimate, std::size_t legitimate_cardinality,
+    std::size_t min_stratum) {
+  if (y_pred.size() != sensitive.size() || y_pred.size() != legitimate.size()) {
+    return Status::InvalidArgument(
+        "ConditionalStatisticalParity: length mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t l = 0; l < legitimate_cardinality; ++l) {
+    double pos[2] = {0.0, 0.0};
+    double count[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < y_pred.size(); ++i) {
+      if (legitimate[i] != static_cast<int>(l)) continue;
+      const int s = sensitive[i];
+      if (s != 0 && s != 1) {
+        return Status::InvalidArgument(
+            "ConditionalStatisticalParity: S not binary");
+      }
+      count[s] += 1.0;
+      pos[s] += y_pred[i];
+    }
+    if (count[0] < static_cast<double>(min_stratum) ||
+        count[1] < static_cast<double>(min_stratum)) {
+      continue;
+    }
+    worst = std::max(worst,
+                     std::fabs(pos[1] / count[1] - pos[0] / count[0]));
+  }
+  return worst;
+}
+
+Result<double> DifferentialFairness(const std::vector<int>& y_pred,
+                                    const std::vector<int>& sensitive,
+                                    const std::vector<int>& subgroup_attr,
+                                    std::size_t attr_cardinality,
+                                    std::size_t min_subgroup) {
+  if (y_pred.size() != sensitive.size() ||
+      y_pred.size() != subgroup_attr.size()) {
+    return Status::InvalidArgument("DifferentialFairness: length mismatch");
+  }
+  // Laplace-smoothed positive rates per (s, attr) subgroup.
+  std::vector<double> rates;
+  for (int s = 0; s < 2; ++s) {
+    for (std::size_t a = 0; a < attr_cardinality; ++a) {
+      double pos = 0.0;
+      double count = 0.0;
+      for (std::size_t i = 0; i < y_pred.size(); ++i) {
+        if (sensitive[i] != s ||
+            subgroup_attr[i] != static_cast<int>(a)) {
+          continue;
+        }
+        count += 1.0;
+        pos += y_pred[i];
+      }
+      if (count < static_cast<double>(min_subgroup)) continue;
+      rates.push_back((pos + 1.0) / (count + 2.0));
+    }
+  }
+  double epsilon = 0.0;
+  for (double a : rates) {
+    for (double b : rates) {
+      epsilon = std::max(epsilon, std::fabs(std::log(a) - std::log(b)));
+    }
+  }
+  return epsilon;
+}
+
+Result<double> CalibrationWithinGroupsError(
+    const std::vector<double>& proba, const std::vector<int>& y_true,
+    const std::vector<int>& sensitive, std::size_t bins,
+    std::size_t min_bin) {
+  if (proba.size() != y_true.size() || proba.size() != sensitive.size()) {
+    return Status::InvalidArgument(
+        "CalibrationWithinGroupsError: length mismatch");
+  }
+  if (bins == 0) {
+    return Status::InvalidArgument("CalibrationWithinGroupsError: bins == 0");
+  }
+  double worst = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    std::vector<double> sum_p(bins, 0.0);
+    std::vector<double> sum_y(bins, 0.0);
+    std::vector<double> count(bins, 0.0);
+    for (std::size_t i = 0; i < proba.size(); ++i) {
+      if (sensitive[i] != s) continue;
+      const double p = std::clamp(proba[i], 0.0, 1.0);
+      std::size_t b = static_cast<std::size_t>(p * static_cast<double>(bins));
+      if (b >= bins) b = bins - 1;
+      sum_p[b] += p;
+      sum_y[b] += y_true[i];
+      count[b] += 1.0;
+    }
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (count[b] < static_cast<double>(min_bin)) continue;
+      worst = std::max(worst,
+                       std::fabs(sum_p[b] / count[b] - sum_y[b] / count[b]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace fairbench

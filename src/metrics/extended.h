@@ -1,0 +1,69 @@
+#ifndef FAIRBENCH_METRICS_EXTENDED_H_
+#define FAIRBENCH_METRICS_EXTENDED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+
+/// Additional fairness metrics from the paper's Fig 5 catalog that are
+/// computable from (Y, Yhat, S) or calibrated probabilities. These go
+/// beyond the five evaluated metrics and make the library usable for the
+/// broader notion families the paper categorizes.
+
+/// CV score (Calders-Verwer discrimination score), the additive companion
+/// of disparate impact:
+///   CV = Pr(Yhat=1 | S=1) - Pr(Yhat=1 | S=0); 0 is fair.
+double CvScore(const GroupStats& gs);
+
+/// False discovery rate parity (predictive parity):
+///   FDR_s = Pr(Y=0 | Yhat=1, S=s); returns FDR(S=1) - FDR(S=0).
+double FdrParity(const GroupStats& gs);
+
+/// False omission rate parity (the second half of conditional accuracy
+/// equality): FOR_s = Pr(Y=1 | Yhat=0, S=s); returns FOR(S=1) - FOR(S=0).
+double ForParity(const GroupStats& gs);
+
+/// Balanced classification rate (overall accuracy equality):
+///   BCR_s = (TPR_s + TNR_s) / 2; returns BCR(S=1) - BCR(S=0).
+double BalancedClassificationRateGap(const GroupStats& gs);
+
+/// Treatment equality: the FN/FP ratio per group; returns
+/// ratio(S=1) - ratio(S=0). Groups without false positives yield +inf
+/// ratios; the gap is clamped to [-kTreatmentCap, kTreatmentCap].
+double TreatmentEqualityGap(const GroupStats& gs);
+
+/// Conditional statistical parity: the maximum absolute positive-rate gap
+/// across the strata of a legitimate attribute L (given as codes):
+///   max_l | Pr(Yhat=1 | S=1, L=l) - Pr(Yhat=1 | S=0, L=l) |.
+/// Strata with fewer than `min_stratum` members of either group are
+/// skipped.
+Result<double> ConditionalStatisticalParity(
+    const std::vector<int>& y_pred, const std::vector<int>& sensitive,
+    const std::vector<int>& legitimate, std::size_t legitimate_cardinality,
+    std::size_t min_stratum = 10);
+
+/// Differential fairness (intersectional): the maximum absolute
+/// log-ratio of positive-prediction rates between any two subgroups
+/// formed by crossing S with the given attribute codes (epsilon in
+/// Foulds et al.). Rates are Laplace-smoothed. 0 is perfectly fair.
+Result<double> DifferentialFairness(const std::vector<int>& y_pred,
+                                    const std::vector<int>& sensitive,
+                                    const std::vector<int>& subgroup_attr,
+                                    std::size_t attr_cardinality,
+                                    std::size_t min_subgroup = 10);
+
+/// Calibration-within-groups error: bins predicted probabilities and
+/// returns the maximum over groups and bins of
+/// |mean predicted probability - empirical positive rate| (weighted bins
+/// with fewer than `min_bin` members are skipped).
+Result<double> CalibrationWithinGroupsError(
+    const std::vector<double>& proba, const std::vector<int>& y_true,
+    const std::vector<int>& sensitive, std::size_t bins = 10,
+    std::size_t min_bin = 20);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_EXTENDED_H_

@@ -1,0 +1,72 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fairbench {
+
+double DisparateImpact(const GroupStats& gs) {
+  const double unpriv = gs.PositiveRateUnprivileged();
+  const double priv = gs.PositiveRatePrivileged();
+  if (priv <= 0.0) {
+    if (unpriv <= 0.0) return 1.0;  // Neither group sees positives.
+    return std::numeric_limits<double>::infinity();
+  }
+  return unpriv / priv;
+}
+
+double TprBalance(const GroupStats& gs) {
+  return gs.privileged.Tpr() - gs.unprivileged.Tpr();
+}
+
+double TnrBalance(const GroupStats& gs) {
+  return gs.privileged.Tnr() - gs.unprivileged.Tnr();
+}
+
+NormalizedScore NormalizeDi(double di) {
+  NormalizedScore out;
+  if (!std::isfinite(di)) {
+    out.score = 0.0;
+    out.reverse = true;
+    return out;
+  }
+  if (di <= 0.0) {
+    out.score = 0.0;
+    out.reverse = false;
+    return out;
+  }
+  out.score = std::min(di, 1.0 / di);
+  out.reverse = di > 1.0;
+  return out;
+}
+
+NormalizedScore NormalizeTprb(double tprb) {
+  NormalizedScore out;
+  out.score = std::clamp(1.0 - std::fabs(tprb), 0.0, 1.0);
+  out.reverse = tprb < 0.0;
+  return out;
+}
+
+NormalizedScore NormalizeTnrb(double tnrb) {
+  NormalizedScore out;
+  out.score = std::clamp(1.0 - std::fabs(tnrb), 0.0, 1.0);
+  out.reverse = tnrb < 0.0;
+  return out;
+}
+
+NormalizedScore NormalizeCd(double cd) {
+  NormalizedScore out;
+  out.score = std::clamp(1.0 - cd, 0.0, 1.0);
+  out.reverse = false;  // CD is direction-free by definition.
+  return out;
+}
+
+NormalizedScore NormalizeCrd(double crd) {
+  NormalizedScore out;
+  out.score = std::clamp(1.0 - std::fabs(crd), 0.0, 1.0);
+  out.reverse = crd < 0.0;
+  return out;
+}
+
+}  // namespace fairbench

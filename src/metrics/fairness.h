@@ -1,0 +1,41 @@
+#ifndef FAIRBENCH_METRICS_FAIRNESS_H_
+#define FAIRBENCH_METRICS_FAIRNESS_H_
+
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+
+/// Disparate Impact (paper Fig 6):
+///   DI = Pr(Yhat=1 | S=0) / Pr(Yhat=1 | S=1).
+/// 1 is perfectly fair; < 1 favors the privileged group. Returns +inf when
+/// the privileged group receives no positive predictions but the
+/// unprivileged group does, and 1 when neither does.
+double DisparateImpact(const GroupStats& gs);
+
+/// True Positive Rate Balance (equalized-odds component):
+///   TPRB = TPR(S=1) - TPR(S=0), in [-1, 1]; 0 is fair.
+double TprBalance(const GroupStats& gs);
+
+/// True Negative Rate Balance (equalized-odds component):
+///   TNRB = TNR(S=1) - TNR(S=0), in [-1, 1]; 0 is fair.
+double TnrBalance(const GroupStats& gs);
+
+/// One fairness metric normalized onto [0, 1] per the paper's §4.1:
+/// DI* = min(DI, 1/DI) and 1-|TPRB| / 1-|TNRB| / 1-CD / 1-|CRD|, so that 1
+/// always means perfectly fair. `reverse` marks "reverse discrimination" —
+/// the residual disparity favors the *unprivileged* group (the red stripes
+/// of Fig 10).
+struct NormalizedScore {
+  double score = 1.0;
+  bool reverse = false;
+};
+
+NormalizedScore NormalizeDi(double di);
+NormalizedScore NormalizeTprb(double tprb);
+NormalizedScore NormalizeTnrb(double tnrb);
+NormalizedScore NormalizeCd(double cd);
+NormalizedScore NormalizeCrd(double crd);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_FAIRNESS_H_

@@ -1,0 +1,36 @@
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+
+Result<GroupStats> BuildGroupStats(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred,
+                                   const std::vector<int>& sensitive) {
+  if (y_true.size() != y_pred.size() || y_true.size() != sensitive.size()) {
+    return Status::InvalidArgument("BuildGroupStats: length mismatch");
+  }
+  GroupStats gs;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if ((y_true[i] != 0 && y_true[i] != 1) ||
+        (y_pred[i] != 0 && y_pred[i] != 1) ||
+        (sensitive[i] != 0 && sensitive[i] != 1)) {
+      return Status::InvalidArgument("BuildGroupStats: values not 0/1");
+    }
+    ConfusionMatrix& cm = sensitive[i] == 1 ? gs.privileged : gs.unprivileged;
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) {
+        cm.tp += 1.0;
+      } else {
+        cm.fn += 1.0;
+      }
+    } else {
+      if (y_pred[i] == 1) {
+        cm.fp += 1.0;
+      } else {
+        cm.tn += 1.0;
+      }
+    }
+  }
+  return gs;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,36 @@
+#ifndef FAIRBENCH_METRICS_GROUP_STATS_H_
+#define FAIRBENCH_METRICS_GROUP_STATS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/confusion.h"
+
+namespace fairbench {
+
+/// Per-sensitive-group prediction statistics — the raw material of every
+/// group fairness metric (paper Example 1 / Fig 4).
+struct GroupStats {
+  ConfusionMatrix privileged;    ///< Rows with S = 1.
+  ConfusionMatrix unprivileged;  ///< Rows with S = 0.
+
+  /// Pr(Yhat = 1 | S = 1).
+  double PositiveRatePrivileged() const {
+    return privileged.PositivePredictionRate();
+  }
+  /// Pr(Yhat = 1 | S = 0).
+  double PositiveRateUnprivileged() const {
+    return unprivileged.PositivePredictionRate();
+  }
+};
+
+/// Splits predictions by the sensitive attribute and tallies per-group
+/// confusion matrices. All three vectors must have equal length; labels and
+/// s must be 0/1.
+Result<GroupStats> BuildGroupStats(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred,
+                                   const std::vector<int>& sensitive);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_GROUP_STATS_H_

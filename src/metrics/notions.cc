@@ -1,0 +1,140 @@
+#include "metrics/notions.h"
+
+#include "core/table.h"
+
+namespace fairbench {
+namespace {
+
+FairnessNotion Make(std::string name, std::string metric, Granularity g,
+                    Association a, Methodology m, NotionRequirements req = {},
+                    bool evaluated = false) {
+  FairnessNotion n;
+  n.name = std::move(name);
+  n.metric = std::move(metric);
+  n.granularity = g;
+  n.association = a;
+  n.methodology = m;
+  n.requirements = req;
+  n.evaluated = evaluated;
+  return n;
+}
+
+std::vector<FairnessNotion> BuildCatalog() {
+  using G = Granularity;
+  using A = Association;
+  using M = Methodology;
+  NotionRequirements none;
+  NotionRequirements truth;
+  truth.ground_truth = true;
+  NotionRequirements truth_proba;
+  truth_proba.ground_truth = true;
+  truth_proba.prediction_probability = true;
+  NotionRequirements causal;
+  causal.causal_model = true;
+  NotionRequirements resolving;
+  resolving.resolving_attributes = true;
+  NotionRequirements similarity;
+  similarity.similarity_metric = true;
+
+  // In the paper's Fig 5 row order.
+  return {
+      Make("demographic parity", "disparate impact, CV score", G::kGroup,
+           A::kNonCausal, M::kObservational, none, /*evaluated=*/true),
+      Make("conditional statistical parity", "conditional statistical parity",
+           G::kGroup, A::kNonCausal, M::kObservational),
+      Make("intersectional fairness", "differential fairness", G::kGroup,
+           A::kNonCausal, M::kObservational),
+      Make("conditional accuracy equality",
+           "false discovery/omission rate parity", G::kGroup, A::kNonCausal,
+           M::kObservational, truth),
+      Make("predictive parity", "false discovery rate parity", G::kGroup,
+           A::kNonCausal, M::kObservational, truth),
+      Make("overall accuracy equality", "balanced classification rate",
+           G::kGroup, A::kNonCausal, M::kObservational, truth),
+      Make("treatment equality", "ratio of false negative and false positive",
+           G::kGroup, A::kNonCausal, M::kObservational, truth),
+      Make("equalized odds", "true positive/negative rate balance", G::kGroup,
+           A::kNonCausal, M::kObservational, truth, /*evaluated=*/true),
+      Make("equal opportunity", "true negative rate balance", G::kGroup,
+           A::kNonCausal, M::kObservational, truth),
+      Make("resilience to random bias", "resilience to random bias", G::kGroup,
+           A::kNonCausal, M::kObservational, truth),
+      Make("preference-based fairness", "group benefit", G::kGroup,
+           A::kNonCausal, M::kObservational, truth),
+      Make("calibration", "calibration", G::kGroup, A::kNonCausal,
+           M::kObservational, truth_proba),
+      Make("calibration within groups", "well calibration", G::kGroup,
+           A::kNonCausal, M::kObservational, truth_proba),
+      Make("positive class balance", "fairness to positive class", G::kGroup,
+           A::kNonCausal, M::kObservational, truth_proba),
+      Make("negative class balance", "fairness to negative class", G::kGroup,
+           A::kNonCausal, M::kObservational, truth_proba),
+      Make("causal discrimination", "causal discrimination", G::kIndividual,
+           A::kCausal, M::kInterventional, none, /*evaluated=*/true),
+      Make("counterfactual fairness", "counterfactual effect", G::kIndividual,
+           A::kCausal, M::kInterventional, causal),
+      Make("path-specific fairness", "natural direct effects", G::kGroup,
+           A::kCausal, M::kInterventional, causal),
+      Make("path-specific counterfactuals",
+           "path-specific effect, counterfactual effect", G::kIndividual,
+           A::kCausal, M::kInterventional, causal),
+      Make("fair causal inference", "estimation of heterogeneous effects",
+           G::kGroup, A::kCausal, M::kInterventional, causal),
+      Make("proxy fairness", "proxy fairness", G::kGroup, A::kCausal,
+           M::kInterventional, causal),
+      Make("unresolved discrimination", "causal risk difference", G::kGroup,
+           A::kCausal, M::kObservational, resolving, /*evaluated=*/true),
+      Make("interventional/justifiable fairness",
+           "ratio of observable discrimination", G::kGroup, A::kCausal,
+           M::kInterventional, resolving),
+      Make("metric multifairness", "metric multifairness", G::kGroup,
+           A::kNonCausal, M::kObservational, similarity),
+      Make("fairness through awareness", "fairness through awareness",
+           G::kIndividual, A::kNonCausal, M::kObservational, similarity),
+      Make("fairness through unawareness", "Kusner et al.", G::kIndividual,
+           A::kNonCausal, M::kObservational, none),
+  };
+}
+
+}  // namespace
+
+const std::vector<FairnessNotion>& FairnessNotionCatalog() {
+  static const std::vector<FairnessNotion>* catalog =
+      new std::vector<FairnessNotion>(BuildCatalog());
+  return *catalog;
+}
+
+const FairnessNotion* FindNotion(const std::string& name) {
+  for (const FairnessNotion& notion : FairnessNotionCatalog()) {
+    if (notion.name == name) return &notion;
+  }
+  return nullptr;
+}
+
+std::string FormatNotionCatalog() {
+  TextTable table;
+  table.SetHeader({"fairness notion", "metric", "granularity", "association",
+                   "methodology", "requires", "evaluated"});
+  for (const FairnessNotion& n : FairnessNotionCatalog()) {
+    std::string requires_str;
+    auto add = [&requires_str](const char* tag) {
+      if (!requires_str.empty()) requires_str += "+";
+      requires_str += tag;
+    };
+    if (n.requirements.ground_truth) add("truth");
+    if (n.requirements.prediction_probability) add("proba");
+    if (n.requirements.causal_model) add("causal-model");
+    if (n.requirements.resolving_attributes) add("resolving");
+    if (n.requirements.similarity_metric) add("similarity");
+    table.AddRow(
+        {n.name, n.metric,
+         n.granularity == Granularity::kGroup ? "group" : "individual",
+         n.association == Association::kCausal ? "causal" : "non-causal",
+         n.methodology == Methodology::kObservational ? "observational"
+                                                      : "interventional",
+         requires_str, n.evaluated ? "*" : ""});
+  }
+  return table.ToString();
+}
+
+}  // namespace fairbench

@@ -1,0 +1,50 @@
+#ifndef FAIRBENCH_METRICS_NOTIONS_H_
+#define FAIRBENCH_METRICS_NOTIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace fairbench {
+
+/// The paper's categorization dimensions for fairness notions (§2.2.1).
+enum class Granularity { kGroup, kIndividual };
+enum class Association { kCausal, kNonCausal };
+enum class Methodology { kObservational, kInterventional };
+
+/// Additional requirements a notion may impose beyond (S, Yhat)
+/// (the rightmost columns of Fig 5).
+struct NotionRequirements {
+  bool ground_truth = false;      ///< Needs Y.
+  bool prediction_probability = false;  ///< Needs calibrated scores.
+  bool causal_model = false;      ///< Needs a graphical/causal model.
+  bool resolving_attributes = false;
+  bool similarity_metric = false;  ///< Needs an individual-similarity metric.
+};
+
+/// One row of the paper's Fig 5: a fairness notion, its canonical metric,
+/// and its categorization.
+struct FairnessNotion {
+  std::string name;
+  std::string metric;
+  Granularity granularity = Granularity::kGroup;
+  Association association = Association::kNonCausal;
+  Methodology methodology = Methodology::kObservational;
+  NotionRequirements requirements;
+  /// True for the five highlighted notions the paper evaluates
+  /// (demographic parity, equalized odds, causal discrimination,
+  /// unresolved discrimination — equalized odds covers two metrics).
+  bool evaluated = false;
+};
+
+/// The full 26-notion catalog of Fig 5, in the paper's order.
+const std::vector<FairnessNotion>& FairnessNotionCatalog();
+
+/// Catalog lookup by notion name (nullptr if absent).
+const FairnessNotion* FindNotion(const std::string& name);
+
+/// Renders the catalog as a fixed-width table (the Fig 5 reproduction).
+std::string FormatNotionCatalog();
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_NOTIONS_H_

@@ -1,0 +1,63 @@
+#include "metrics/report.h"
+
+namespace fairbench {
+
+const std::vector<std::string>& CorrectnessMetricNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"accuracy", "precision", "recall", "f1"};
+  return *names;
+}
+
+const std::vector<std::string>& FairnessMetricNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"di", "tprb", "tnrb", "cd", "crd"};
+  return *names;
+}
+
+double MetricsReport::MetricByName(const std::string& name) const {
+  if (name == "accuracy") return correctness.accuracy;
+  if (name == "precision") return correctness.precision;
+  if (name == "recall") return correctness.recall;
+  if (name == "f1") return correctness.f1;
+  if (name == "di") return di_star.score;
+  if (name == "tprb") return tprb_score.score;
+  if (name == "tnrb") return tnrb_score.score;
+  if (name == "cd") return cd_score.score;
+  if (name == "crd") return crd_score.score;
+  return -1.0;
+}
+
+Result<MetricsReport> ComputeMetricsReport(
+    const Dataset& test, const std::vector<int>& y_pred,
+    const RowPredictor& predictor,
+    const std::vector<std::string>& resolving_attributes,
+    const CdOptions& cd_options) {
+  MetricsReport report;
+  FAIRBENCH_ASSIGN_OR_RETURN(ConfusionMatrix cm,
+                             BuildConfusionMatrix(test.labels(), y_pred));
+  report.correctness = ComputeCorrectness(cm);
+
+  FAIRBENCH_ASSIGN_OR_RETURN(
+      GroupStats gs, BuildGroupStats(test.labels(), y_pred, test.sensitive()));
+  report.di = DisparateImpact(gs);
+  report.tprb = TprBalance(gs);
+  report.tnrb = TnrBalance(gs);
+
+  if (predictor) {
+    FAIRBENCH_ASSIGN_OR_RETURN(report.cd,
+                               CausalDiscrimination(test, predictor, cd_options));
+  }
+  if (!resolving_attributes.empty()) {
+    FAIRBENCH_ASSIGN_OR_RETURN(
+        report.crd, CausalRiskDifference(test, y_pred, resolving_attributes));
+  }
+
+  report.di_star = NormalizeDi(report.di);
+  report.tprb_score = NormalizeTprb(report.tprb);
+  report.tnrb_score = NormalizeTnrb(report.tnrb);
+  report.cd_score = NormalizeCd(report.cd);
+  report.crd_score = NormalizeCrd(report.crd);
+  return report;
+}
+
+}  // namespace fairbench

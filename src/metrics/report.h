@@ -1,0 +1,56 @@
+#ifndef FAIRBENCH_METRICS_REPORT_H_
+#define FAIRBENCH_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/causal_discrimination.h"
+#include "metrics/causal_risk_difference.h"
+#include "metrics/correctness.h"
+#include "metrics/fairness.h"
+
+namespace fairbench {
+
+/// The full per-approach scorecard of Fig 10: four correctness metrics and
+/// five fairness metrics, both raw and normalized onto [0, 1].
+struct MetricsReport {
+  CorrectnessMetrics correctness;
+
+  // Raw fairness values (paper Fig 6 semantics).
+  double di = 1.0;
+  double tprb = 0.0;
+  double tnrb = 0.0;
+  double cd = 0.0;
+  double crd = 0.0;
+
+  // Normalized scores (1 = perfectly fair) with reverse-discrimination
+  // flags (the red stripes of Fig 10).
+  NormalizedScore di_star;
+  NormalizedScore tprb_score;
+  NormalizedScore tnrb_score;
+  NormalizedScore cd_score;
+  NormalizedScore crd_score;
+
+  /// Value of one metric by canonical name ("accuracy", "f1", "di", ...).
+  /// Fairness names return the normalized score. Unknown names return -1.
+  double MetricByName(const std::string& name) const;
+};
+
+/// Canonical metric-name lists, in presentation order.
+const std::vector<std::string>& CorrectnessMetricNames();
+const std::vector<std::string>& FairnessMetricNames();
+
+/// Evaluates predictions on a test dataset into a full report.
+///
+/// `predictor` (may be null) supplies do(S)-intervention predictions for
+/// CD; when null, CD is reported as 0. `resolving_attributes` drive CRD;
+/// when empty, CRD is reported as 0 (no resolving information).
+Result<MetricsReport> ComputeMetricsReport(
+    const Dataset& test, const std::vector<int>& y_pred,
+    const RowPredictor& predictor,
+    const std::vector<std::string>& resolving_attributes,
+    const CdOptions& cd_options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_REPORT_H_

@@ -1,0 +1,98 @@
+#include "metrics/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+
+Result<std::vector<OperatingPoint>> ThresholdSweep(
+    const std::vector<double>& proba, const std::vector<int>& y_true,
+    const std::vector<int>& sensitive, std::size_t num_points) {
+  if (proba.size() != y_true.size() || proba.size() != sensitive.size()) {
+    return Status::InvalidArgument("ThresholdSweep: length mismatch");
+  }
+  if (num_points == 0) {
+    return Status::InvalidArgument("ThresholdSweep: num_points == 0");
+  }
+  std::vector<OperatingPoint> points;
+  points.reserve(num_points);
+  std::vector<int> pred(proba.size(), 0);
+  for (std::size_t k = 1; k <= num_points; ++k) {
+    OperatingPoint point;
+    point.threshold =
+        static_cast<double>(k) / static_cast<double>(num_points + 1);
+    for (std::size_t i = 0; i < proba.size(); ++i) {
+      pred[i] = proba[i] >= point.threshold ? 1 : 0;
+    }
+    FAIRBENCH_ASSIGN_OR_RETURN(ConfusionMatrix cm,
+                               BuildConfusionMatrix(y_true, pred));
+    point.correctness = ComputeCorrectness(cm);
+    FAIRBENCH_ASSIGN_OR_RETURN(GroupStats gs,
+                               BuildGroupStats(y_true, pred, sensitive));
+    point.di = DisparateImpact(gs);
+    point.tprb = TprBalance(gs);
+    point.tnrb = TnrBalance(gs);
+    point.di_star = NormalizeDi(point.di);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<OperatingPoint> ParetoFrontier(
+    const std::vector<OperatingPoint>& points) {
+  std::vector<OperatingPoint> frontier;
+  for (const OperatingPoint& candidate : points) {
+    bool dominated = false;
+    for (const OperatingPoint& other : points) {
+      const bool at_least_as_good =
+          other.correctness.accuracy >= candidate.correctness.accuracy &&
+          other.di_star.score >= candidate.di_star.score;
+      const bool strictly_better =
+          other.correctness.accuracy > candidate.correctness.accuracy ||
+          other.di_star.score > candidate.di_star.score;
+      if (at_least_as_good && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              if (a.correctness.accuracy != b.correctness.accuracy) {
+                return a.correctness.accuracy < b.correctness.accuracy;
+              }
+              return a.threshold < b.threshold;
+            });
+  // Drop exact duplicates on both axes (e.g. saturated thresholds).
+  frontier.erase(
+      std::unique(frontier.begin(), frontier.end(),
+                  [](const OperatingPoint& a, const OperatingPoint& b) {
+                    return a.correctness.accuracy ==
+                               b.correctness.accuracy &&
+                           a.di_star.score == b.di_star.score;
+                  }),
+      frontier.end());
+  return frontier;
+}
+
+Result<OperatingPoint> BestAccuracyUnderParity(
+    const std::vector<OperatingPoint>& points, double min_di_star) {
+  const OperatingPoint* best = nullptr;
+  for (const OperatingPoint& point : points) {
+    if (point.di_star.score < min_di_star) continue;
+    if (best == nullptr ||
+        point.correctness.accuracy > best->correctness.accuracy) {
+      best = &point;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound(
+        "BestAccuracyUnderParity: no operating point meets the parity floor");
+  }
+  return *best;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,45 @@
+#ifndef FAIRBENCH_METRICS_THRESHOLD_H_
+#define FAIRBENCH_METRICS_THRESHOLD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/correctness.h"
+#include "metrics/fairness.h"
+
+namespace fairbench {
+
+/// Operating point of a probabilistic classifier at one decision
+/// threshold: correctness plus the observational group-fairness metrics.
+struct OperatingPoint {
+  double threshold = 0.5;
+  CorrectnessMetrics correctness;
+  double di = 1.0;
+  double tprb = 0.0;
+  double tnrb = 0.0;
+  NormalizedScore di_star;
+};
+
+/// Sweeps the decision threshold over `num_points` evenly spaced values in
+/// (0, 1) and evaluates each operating point. The sweep exposes the
+/// correctness-fairness tradeoff the paper's §5 discusses as "tuning":
+/// post-hoc threshold choice is the cheapest knob any deployment has.
+Result<std::vector<OperatingPoint>> ThresholdSweep(
+    const std::vector<double>& proba, const std::vector<int>& y_true,
+    const std::vector<int>& sensitive, std::size_t num_points = 19);
+
+/// Filters a sweep down to its (accuracy, DI*) Pareto frontier: points
+/// for which no other point is at least as good on both axes and strictly
+/// better on one, sorted by increasing accuracy.
+std::vector<OperatingPoint> ParetoFrontier(
+    const std::vector<OperatingPoint>& points);
+
+/// The sweep point with the highest accuracy among those whose DI* meets
+/// `min_di_star` (the "four-fifths rule" uses 0.8). Returns NotFound when
+/// no point qualifies.
+Result<OperatingPoint> BestAccuracyUnderParity(
+    const std::vector<OperatingPoint>& points, double min_di_star);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_METRICS_THRESHOLD_H_

@@ -1,0 +1,73 @@
+#include "optim/gradient_descent.h"
+
+#include <cmath>
+
+namespace fairbench {
+
+OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
+                                    const GradientDescentOptions& options) {
+  OptimResult result;
+  result.x = std::move(x0);
+  Vector grad(result.x.size(), 0.0);
+  double fx = objective(result.x, &grad);
+  double step = options.initial_step;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    const double gnorm = NormInf(grad);
+    if (gnorm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double gsq = SquaredNorm2(grad);
+    // Backtracking line search along -grad.
+    double t = step;
+    Vector trial = result.x;
+    Vector trial_grad(grad.size(), 0.0);
+    double ftrial = fx;
+    bool accepted = false;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      trial = result.x;
+      Axpy(-t, grad, &trial);
+      ftrial = objective(trial, &trial_grad);
+      if (std::isfinite(ftrial) && ftrial <= fx - options.armijo_c * t * gsq) {
+        accepted = true;
+        break;
+      }
+      t *= options.backtrack_factor;
+    }
+    if (!accepted) {
+      // Cannot make progress along the gradient; treat as converged.
+      result.converged = gnorm < 1e-3;
+      break;
+    }
+    result.x = std::move(trial);
+    grad = trial_grad;
+    fx = ftrial;
+    // Allow the step to grow back so well-scaled problems stay fast.
+    step = std::min(options.initial_step, t / options.backtrack_factor);
+  }
+  result.value = fx;
+  return result;
+}
+
+OptimResult MinimizePenalty(const PenalizedObjective& penalized, Vector x0,
+                            const PenaltyOptions& options) {
+  OptimResult result;
+  result.x = std::move(x0);
+  double mu = options.initial_mu;
+  for (int round = 0; round < options.rounds; ++round) {
+    Objective inner = [&penalized, mu](const Vector& x, Vector* grad) {
+      return penalized(x, grad, mu);
+    };
+    OptimResult r = MinimizeGradientDescent(inner, result.x, options.inner);
+    result.x = std::move(r.x);
+    result.value = r.value;
+    result.iterations += r.iterations;
+    result.converged = r.converged;
+    mu *= options.mu_growth;
+  }
+  return result;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,45 @@
+#ifndef FAIRBENCH_OPTIM_GRADIENT_DESCENT_H_
+#define FAIRBENCH_OPTIM_GRADIENT_DESCENT_H_
+
+#include "optim/objective.h"
+
+namespace fairbench {
+
+/// Options for batch gradient descent with backtracking line search.
+struct GradientDescentOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-6;       ///< Stop when ||grad||_inf < tolerance.
+  double initial_step = 1.0;
+  double backtrack_factor = 0.5; ///< Step shrink per backtracking round.
+  double armijo_c = 1e-4;        ///< Sufficient-decrease constant.
+  int max_backtracks = 40;
+};
+
+/// Minimizes `objective` from `x0` by steepest descent with Armijo
+/// backtracking. Robust default for the smooth convex problems in this
+/// library (logistic losses, covariance penalties).
+OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
+                                    const GradientDescentOptions& options = {});
+
+/// Penalty-method driver for smooth constrained minimization:
+///   min f(x)  s.t.  c_i(x) <= 0
+/// Each round minimizes f + mu * sum max(0, c_i)^2 with increasing mu.
+/// `penalized` receives (x, grad, mu) and must return the penalized value
+/// while accumulating the penalized gradient; FairBench approaches build
+/// this closure from their own constraint structure.
+struct PenaltyOptions {
+  int rounds = 6;
+  double initial_mu = 10.0;
+  double mu_growth = 10.0;
+  GradientDescentOptions inner;
+};
+
+using PenalizedObjective =
+    std::function<double(const Vector& x, Vector* grad, double mu)>;
+
+OptimResult MinimizePenalty(const PenalizedObjective& penalized, Vector x0,
+                            const PenaltyOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_GRADIENT_DESCENT_H_

@@ -1,0 +1,27 @@
+#ifndef FAIRBENCH_OPTIM_LBFGS_H_
+#define FAIRBENCH_OPTIM_LBFGS_H_
+
+#include "optim/objective.h"
+
+namespace fairbench {
+
+/// Options for limited-memory BFGS.
+struct LbfgsOptions {
+  int max_iterations = 200;
+  int history = 8;            ///< Number of (s, y) pairs retained.
+  double tolerance = 1e-7;    ///< Stop when ||grad||_inf < tolerance.
+  double armijo_c = 1e-4;
+  double backtrack_factor = 0.5;
+  int max_backtracks = 40;
+};
+
+/// Minimizes a smooth objective with the two-loop-recursion L-BFGS method
+/// and Armijo backtracking. Used where Newton-IRLS is too expensive or the
+/// Hessian is unavailable (ZAFAR's constrained surrogates, CALMON's
+/// distribution fit).
+OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
+                          const LbfgsOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_LBFGS_H_

@@ -1,0 +1,174 @@
+#include "optim/maxsat.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+namespace {
+
+bool ClauseSatisfied(const Clause& clause, const std::vector<bool>& assign) {
+  for (const Literal& lit : clause.literals) {
+    const bool v = assign[static_cast<std::size_t>(lit.var)];
+    if (v != lit.negated) return true;
+  }
+  return false;
+}
+
+/// Objective: (hard clauses all satisfied, satisfied soft weight).
+/// Encoded as a single score with a large hard-clause penalty.
+double Score(const MaxSatInstance& inst, const std::vector<bool>& assign,
+             double hard_penalty, bool* hard_ok) {
+  double score = 0.0;
+  bool ok = true;
+  for (const Clause& c : inst.clauses) {
+    const bool sat = ClauseSatisfied(c, assign);
+    if (c.hard) {
+      if (!sat) {
+        score -= hard_penalty;
+        ok = false;
+      }
+    } else if (sat) {
+      score += c.weight;
+    }
+  }
+  if (hard_ok != nullptr) *hard_ok = ok;
+  return score;
+}
+
+}  // namespace
+
+Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
+                                   const MaxSatOptions& options) {
+  const int n = instance.num_vars;
+  if (n < 0) return Status::InvalidArgument("SolveMaxSat: negative num_vars");
+  for (const Clause& c : instance.clauses) {
+    for (const Literal& lit : c.literals) {
+      if (lit.var < 0 || lit.var >= n) {
+        return Status::OutOfRange(
+            StrFormat("SolveMaxSat: literal var %d out of range", lit.var));
+      }
+    }
+  }
+
+  double soft_total = 0.0;
+  for (const Clause& c : instance.clauses) {
+    if (!c.hard) soft_total += std::fabs(c.weight);
+  }
+  const double hard_penalty = soft_total + 1.0;
+
+  MaxSatSolution best;
+  best.assignment.assign(static_cast<std::size_t>(n), false);
+  double best_score = -std::numeric_limits<double>::infinity();
+
+  if (n <= options.exact_threshold && n <= 20) {
+    // Exhaustive search.
+    const uint64_t limit = 1ull << n;
+    std::vector<bool> assign(static_cast<std::size_t>(n), false);
+    for (uint64_t mask = 0; mask < limit; ++mask) {
+      for (int i = 0; i < n; ++i) assign[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+      bool hard_ok = false;
+      const double s = Score(instance, assign, hard_penalty, &hard_ok);
+      if (s > best_score) {
+        best_score = s;
+        best.assignment = assign;
+        best.hard_satisfied = hard_ok;
+      }
+    }
+  } else {
+    Rng rng(options.seed);
+    // Index clauses per variable for incremental-ish evaluation. For the
+    // moderate instance sizes SALIMI produces per partition, recomputing
+    // affected clauses on flip is fast enough.
+    std::vector<std::vector<int>> clauses_of_var(static_cast<std::size_t>(n));
+    for (std::size_t ci = 0; ci < instance.clauses.size(); ++ci) {
+      for (const Literal& lit : instance.clauses[ci].literals) {
+        clauses_of_var[static_cast<std::size_t>(lit.var)].push_back(
+            static_cast<int>(ci));
+      }
+    }
+
+    // Score delta of flipping `var` under the current assignment; touches
+    // only the clauses containing `var`.
+    std::vector<bool> assign(static_cast<std::size_t>(n));
+    auto flip_delta = [&](int var) {
+      double delta = 0.0;
+      const std::size_t v = static_cast<std::size_t>(var);
+      assign[v] = !assign[v];
+      for (int ci : clauses_of_var[v]) {
+        const Clause& c = instance.clauses[static_cast<std::size_t>(ci)];
+        const double weight = c.hard ? hard_penalty : c.weight;
+        const bool after = ClauseSatisfied(c, assign);
+        assign[v] = !assign[v];
+        const bool before = ClauseSatisfied(c, assign);
+        assign[v] = !assign[v];
+        if (after && !before) delta += weight;
+        if (!after && before) delta -= weight;
+      }
+      assign[v] = !assign[v];
+      return delta;
+    };
+
+    for (int restart = 0; restart < options.restarts; ++restart) {
+      for (int i = 0; i < n; ++i) {
+        assign[static_cast<std::size_t>(i)] = rng.Bernoulli(0.5);
+      }
+      bool hard_ok = false;
+      double cur = Score(instance, assign, hard_penalty, &hard_ok);
+      if (cur > best_score) {
+        best_score = cur;
+        best.assignment = assign;
+        best.hard_satisfied = hard_ok;
+      }
+
+      const int flips = options.max_flips / std::max(options.restarts, 1);
+      for (int flip = 0; flip < flips && n > 0; ++flip) {
+        int var;
+        double delta;
+        if (rng.Bernoulli(options.noise)) {
+          var = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+          delta = flip_delta(var);
+        } else {
+          // Greedy: best score delta among a random probe sample.
+          var = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+          delta = flip_delta(var);
+          for (int probe = 1; probe < 8; ++probe) {
+            const int cand =
+                static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+            const double cand_delta = flip_delta(cand);
+            if (cand_delta > delta) {
+              delta = cand_delta;
+              var = cand;
+            }
+          }
+        }
+        const std::size_t v = static_cast<std::size_t>(var);
+        assign[v] = !assign[v];
+        cur += delta;
+        if (cur > best_score) {
+          // Re-derive the hard flag only when recording a new best.
+          best_score = cur;
+          best.assignment = assign;
+          (void)Score(instance, assign, hard_penalty, &best.hard_satisfied);
+        }
+      }
+    }
+  }
+
+  // Recompute the reported satisfied weight from the best assignment.
+  best.satisfied_weight = 0.0;
+  bool hard_ok = true;
+  for (const Clause& c : instance.clauses) {
+    const bool sat = ClauseSatisfied(c, best.assignment);
+    if (c.hard) {
+      hard_ok = hard_ok && sat;
+    } else if (sat) {
+      best.satisfied_weight += c.weight;
+    }
+  }
+  best.hard_satisfied = hard_ok;
+  return best;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,59 @@
+#ifndef FAIRBENCH_OPTIM_MAXSAT_H_
+#define FAIRBENCH_OPTIM_MAXSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace fairbench {
+
+/// A literal: variable index with polarity. `negated == false` means the
+/// literal is satisfied when the variable is true.
+struct Literal {
+  int var = 0;
+  bool negated = false;
+};
+
+/// A weighted clause (disjunction of literals). `hard == true` clauses must
+/// be satisfied; soft clauses contribute `weight` when satisfied.
+struct Clause {
+  std::vector<Literal> literals;
+  double weight = 1.0;
+  bool hard = false;
+};
+
+/// A weighted partial MaxSAT instance.
+struct MaxSatInstance {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+struct MaxSatOptions {
+  int max_flips = 40000;       ///< Local-search budget (across restarts).
+  int restarts = 4;
+  double noise = 0.2;          ///< WalkSAT random-walk probability.
+  int exact_threshold = 12;    ///< Use exhaustive search below this many vars.
+  uint64_t seed = 23;
+};
+
+/// Solution to a MaxSAT instance.
+struct MaxSatSolution {
+  std::vector<bool> assignment;
+  double satisfied_weight = 0.0;  ///< Total weight of satisfied soft clauses.
+  bool hard_satisfied = false;    ///< All hard clauses satisfied.
+};
+
+/// Solves weighted partial MaxSAT. Instances up to `exact_threshold`
+/// variables are solved exactly by enumeration; larger instances use
+/// weighted WalkSAT with restarts (hard clauses get effectively infinite
+/// weight). This powers SALIMI-MaxSAT's minimal database repair, which the
+/// paper notes is NP-hard — the local-search fallback is what makes the
+/// runtime curves in Fig 11 steep for that method.
+Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
+                                   const MaxSatOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_MAXSAT_H_

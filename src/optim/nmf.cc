@@ -1,0 +1,81 @@
+#include "optim/nmf.h"
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+double ReconstructionError(const Matrix& v, const Matrix& w, const Matrix& h) {
+  const Matrix wh = w.MatMul(h);
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    for (std::size_t j = 0; j < v.cols(); ++j) {
+      const double d = v(i, j) - wh(i, j);
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+Result<NmfResult> FactorizeNmf(const Matrix& v, const NmfOptions& options) {
+  if (options.rank == 0) {
+    return Status::InvalidArgument("FactorizeNmf: rank must be positive");
+  }
+  for (double x : v.data()) {
+    if (x < 0.0 || !std::isfinite(x)) {
+      return Status::InvalidArgument("FactorizeNmf: V must be non-negative");
+    }
+  }
+  const std::size_t m = v.rows();
+  const std::size_t n = v.cols();
+  const std::size_t r = options.rank;
+
+  Rng rng(options.seed);
+  NmfResult out;
+  out.w = Matrix(m, r);
+  out.h = Matrix(r, n);
+  // Scale the random init to the magnitude of V.
+  double vmean = 0.0;
+  for (double x : v.data()) vmean += x;
+  vmean = v.data().empty() ? 1.0 : vmean / static_cast<double>(v.data().size());
+  const double scale = std::sqrt(std::max(vmean, 1e-9) / static_cast<double>(r));
+  for (double& x : out.w.data()) x = scale * (0.5 + rng.Uniform());
+  for (double& x : out.h.data()) x = scale * (0.5 + rng.Uniform());
+
+  constexpr double kFloor = 1e-12;
+  double prev_err = ReconstructionError(v, out.w, out.h);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    out.iterations = it + 1;
+    // H <- H .* (W^T V) ./ (W^T W H)
+    const Matrix wt = out.w.Transposed();
+    const Matrix wtv = wt.MatMul(v);
+    const Matrix wtwh = wt.MatMul(out.w).MatMul(out.h);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out.h(i, j) *= wtv(i, j) / std::max(wtwh(i, j), kFloor);
+      }
+    }
+    // W <- W .* (V H^T) ./ (W H H^T)
+    const Matrix ht = out.h.Transposed();
+    const Matrix vht = v.MatMul(ht);
+    const Matrix whht = out.w.MatMul(out.h).MatMul(ht);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        out.w(i, j) *= vht(i, j) / std::max(whht(i, j), kFloor);
+      }
+    }
+    const double err = ReconstructionError(v, out.w, out.h);
+    if (prev_err > 0.0 &&
+        (prev_err - err) / std::max(prev_err, 1e-12) < options.tolerance) {
+      out.reconstruction_error = err;
+      return out;
+    }
+    prev_err = err;
+  }
+  out.reconstruction_error = prev_err;
+  return out;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,35 @@
+#ifndef FAIRBENCH_OPTIM_NMF_H_
+#define FAIRBENCH_OPTIM_NMF_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fairbench {
+
+/// Options for non-negative matrix factorization.
+struct NmfOptions {
+  std::size_t rank = 2;
+  int max_iterations = 300;
+  double tolerance = 1e-6;  ///< Stop on relative reconstruction improvement.
+  uint64_t seed = 17;
+};
+
+/// Result of factorizing V (m x n) into W (m x r) * H (r x n), all
+/// non-negative.
+struct NmfResult {
+  Matrix w;
+  Matrix h;
+  double reconstruction_error = 0.0;  ///< ||V - W H||_F.
+  int iterations = 0;
+};
+
+/// Lee–Seung multiplicative-update NMF. Used by SALIMI-MatFac to complete
+/// the tuple-count tensor that encodes the multivalued-dependency repair
+/// (paper Appendix A.1.5). Returns InvalidArgument for negative entries in
+/// V or a rank of zero.
+Result<NmfResult> FactorizeNmf(const Matrix& v, const NmfOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_NMF_H_

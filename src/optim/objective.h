@@ -1,0 +1,24 @@
+#ifndef FAIRBENCH_OPTIM_OBJECTIVE_H_
+#define FAIRBENCH_OPTIM_OBJECTIVE_H_
+
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// A differentiable scalar objective f(x): fills *grad (pre-sized to
+/// x.size()) and returns f(x). All FairBench minimizers consume this shape.
+using Objective = std::function<double(const Vector& x, Vector* grad)>;
+
+/// Outcome of an iterative minimization.
+struct OptimResult {
+  Vector x;                 ///< Final iterate.
+  double value = 0.0;       ///< Objective at x.
+  int iterations = 0;       ///< Iterations actually performed.
+  bool converged = false;   ///< Gradient-norm tolerance reached.
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_OBJECTIVE_H_

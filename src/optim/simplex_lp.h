@@ -1,0 +1,45 @@
+#ifndef FAIRBENCH_OPTIM_SIMPLEX_LP_H_
+#define FAIRBENCH_OPTIM_SIMPLEX_LP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// A dense linear program:
+///   minimize    c^T x
+///   subject to  a_ub x <= b_ub
+///               a_eq x  = b_eq
+///               0 <= x_j <= upper[j]   (upper[j] may be +inf)
+///
+/// FairBench uses this for HARDT's equalized-odds program (4 variables) and
+/// for small fractional-repair subproblems, so the solver favors clarity
+/// and numerical robustness over scale: dense two-phase simplex with
+/// Bland's anti-cycling rule.
+struct LinearProgram {
+  Vector c;
+  Matrix a_ub;   ///< May be empty (0 rows).
+  Vector b_ub;
+  Matrix a_eq;   ///< May be empty (0 rows).
+  Vector b_eq;
+  Vector upper;  ///< Per-variable upper bounds; empty means all +inf.
+};
+
+/// Primal solution of a linear program.
+struct LpSolution {
+  Vector x;
+  double objective = 0.0;
+};
+
+/// Solves the LP. Returns:
+///  - NoSolution when infeasible,
+///  - NoConvergence when unbounded or cycling beyond the iteration cap,
+///  - InvalidArgument on shape mismatches.
+Result<LpSolution> SolveLp(const LinearProgram& lp);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_SIMPLEX_LP_H_

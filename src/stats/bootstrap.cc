@@ -1,0 +1,74 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace fairbench {
+
+Result<BootstrapInterval> BootstrapCi(std::size_t num_rows,
+                                      const IndexStatistic& statistic,
+                                      const BootstrapOptions& options) {
+  if (num_rows == 0) {
+    return Status::InvalidArgument("BootstrapCi: empty sample");
+  }
+  if (!statistic) return Status::InvalidArgument("BootstrapCi: null statistic");
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("BootstrapCi: confidence out of (0,1)");
+  }
+  if (options.resamples < 10) {
+    return Status::InvalidArgument("BootstrapCi: need at least 10 resamples");
+  }
+
+  BootstrapInterval interval;
+  interval.confidence = options.confidence;
+
+  std::vector<std::size_t> identity(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) identity[i] = i;
+  interval.estimate = statistic(identity);
+
+  Rng rng(options.seed);
+  std::vector<double> values;
+  values.reserve(options.resamples);
+  std::vector<std::size_t> indices(num_rows, 0);
+  for (std::size_t b = 0; b < options.resamples; ++b) {
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      indices[i] = static_cast<std::size_t>(rng.UniformInt(num_rows));
+    }
+    values.push_back(statistic(indices));
+  }
+  const double alpha = 1.0 - options.confidence;
+  interval.lower = Quantile(values, alpha / 2.0);
+  interval.upper = Quantile(values, 1.0 - alpha / 2.0);
+  return interval;
+}
+
+Result<BootstrapInterval> BootstrapMetricCi(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    const std::vector<int>& sensitive,
+    const std::function<double(const std::vector<int>&,
+                               const std::vector<int>&,
+                               const std::vector<int>&)>& metric,
+    const BootstrapOptions& options) {
+  if (y_true.size() != y_pred.size() || y_true.size() != sensitive.size()) {
+    return Status::InvalidArgument("BootstrapMetricCi: length mismatch");
+  }
+  if (!metric) return Status::InvalidArgument("BootstrapMetricCi: null metric");
+  IndexStatistic statistic = [&](const std::vector<std::size_t>& indices) {
+    std::vector<int> y;
+    std::vector<int> yhat;
+    std::vector<int> s;
+    y.reserve(indices.size());
+    yhat.reserve(indices.size());
+    s.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      y.push_back(y_true[idx]);
+      yhat.push_back(y_pred[idx]);
+      s.push_back(sensitive[idx]);
+    }
+    return metric(y, yhat, s);
+  };
+  return BootstrapCi(y_true.size(), statistic, options);
+}
+
+}  // namespace fairbench

@@ -1,0 +1,54 @@
+#ifndef FAIRBENCH_STATS_BOOTSTRAP_H_
+#define FAIRBENCH_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace fairbench {
+
+/// A two-sided percentile bootstrap confidence interval.
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< Statistic on the full sample.
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.95;
+};
+
+/// Options for the bootstrap.
+struct BootstrapOptions {
+  std::size_t resamples = 1000;
+  double confidence = 0.95;
+  uint64_t seed = 0xb0075ull;
+};
+
+/// A statistic over a set of row indices into some dataset the caller has
+/// captured. The bootstrap resamples indices with replacement and
+/// re-evaluates the statistic — this shape lets one closure compute any
+/// metric (accuracy, DI, CRD, ...) over (y, yhat, s) arrays without the
+/// bootstrap knowing about them.
+using IndexStatistic =
+    std::function<double(const std::vector<std::size_t>& indices)>;
+
+/// Percentile-bootstrap confidence interval for `statistic` over a sample
+/// of `num_rows` rows. Deterministic for a fixed seed. Errors on empty
+/// input, a null statistic, or a confidence outside (0, 1).
+Result<BootstrapInterval> BootstrapCi(std::size_t num_rows,
+                                      const IndexStatistic& statistic,
+                                      const BootstrapOptions& options = {});
+
+/// Convenience wrapper: bootstrap CI of a group-fairness style statistic
+/// computed from parallel (y_true, y_pred, sensitive) arrays.
+Result<BootstrapInterval> BootstrapMetricCi(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    const std::vector<int>& sensitive,
+    const std::function<double(const std::vector<int>&,
+                               const std::vector<int>&,
+                               const std::vector<int>&)>& metric,
+    const BootstrapOptions& options = {});
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_STATS_BOOTSTRAP_H_

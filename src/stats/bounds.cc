@@ -1,0 +1,41 @@
+#include "stats/bounds.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace fairbench {
+
+double HoeffdingWidth(std::size_t n, double delta, double lo, double hi) {
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  const double range = hi - lo;
+  return range * std::sqrt(std::log(1.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+double StudentTUpperBound(const std::vector<double>& sample, double delta) {
+  const std::size_t n = sample.size();
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  const double mean = SampleMean(sample);
+  const double sd = SampleStddev(sample);
+  const double t = StudentTQuantile(1.0 - delta, static_cast<double>(n - 1));
+  return mean + t * sd / std::sqrt(static_cast<double>(n));
+}
+
+double StudentTLowerBound(const std::vector<double>& sample, double delta) {
+  const std::size_t n = sample.size();
+  if (n < 2) return -std::numeric_limits<double>::infinity();
+  const double mean = SampleMean(sample);
+  const double sd = SampleStddev(sample);
+  const double t = StudentTQuantile(1.0 - delta, static_cast<double>(n - 1));
+  return mean - t * sd / std::sqrt(static_cast<double>(n));
+}
+
+std::size_t HoeffdingSampleSize(double error, double confidence) {
+  const double delta = 1.0 - confidence;
+  const double n = std::log(2.0 / delta) / (2.0 * error * error);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace fairbench

@@ -1,0 +1,92 @@
+#include "stats/contingency.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Result<ContingencyTable> ContingencyTable::FromCodes(
+    const std::vector<int>& a, std::size_t a_cardinality,
+    const std::vector<int>& b, std::size_t b_cardinality,
+    const std::vector<double>& weights) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("ContingencyTable: length mismatch");
+  }
+  if (!weights.empty() && weights.size() != a.size()) {
+    return Status::InvalidArgument("ContingencyTable: weights length mismatch");
+  }
+  ContingencyTable t(a_cardinality, b_cardinality);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || static_cast<std::size_t>(a[i]) >= a_cardinality ||
+        b[i] < 0 || static_cast<std::size_t>(b[i]) >= b_cardinality) {
+      return Status::OutOfRange(
+          StrFormat("ContingencyTable: code out of range at row %zu", i));
+    }
+    t.Add(static_cast<std::size_t>(a[i]), static_cast<std::size_t>(b[i]),
+          weights.empty() ? 1.0 : weights[i]);
+  }
+  return t;
+}
+
+double ContingencyTable::RowTotal(std::size_t r) const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) s += cell(r, c);
+  return s;
+}
+
+double ContingencyTable::ColTotal(std::size_t c) const {
+  double s = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) s += cell(r, c);
+  return s;
+}
+
+double ContingencyTable::Total() const {
+  double s = 0.0;
+  for (double v : cells_) s += v;
+  return s;
+}
+
+double ContingencyTable::JointProb(std::size_t r, std::size_t c) const {
+  const double total = Total();
+  if (total <= 0.0) return 0.0;
+  return cell(r, c) / total;
+}
+
+double ContingencyTable::CondProb(std::size_t c, std::size_t r) const {
+  const double rt = RowTotal(r);
+  if (rt <= 0.0) return 0.0;
+  return cell(r, c) / rt;
+}
+
+double MutualInformation(const ContingencyTable& table) {
+  const double total = table.Total();
+  if (total <= 0.0) return 0.0;
+  double mi = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double pr = table.RowTotal(r) / total;
+    if (pr <= 0.0) continue;
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double pc = table.ColTotal(c) / total;
+      const double pj = table.cell(r, c) / total;
+      if (pj <= 0.0 || pc <= 0.0) continue;
+      mi += pj * std::log(pj / (pr * pc));
+    }
+  }
+  return mi > 0.0 ? mi : 0.0;
+}
+
+double Entropy(const std::vector<double>& masses) {
+  double total = 0.0;
+  for (double m : masses) total += (m > 0.0 ? m : 0.0);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double m : masses) {
+    if (m <= 0.0) continue;
+    const double p = m / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace fairbench

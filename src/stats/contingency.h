@@ -1,0 +1,60 @@
+#ifndef FAIRBENCH_STATS_CONTINGENCY_H_
+#define FAIRBENCH_STATS_CONTINGENCY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairbench {
+
+/// A 2-way contingency table over discrete codes, with optional instance
+/// weights. Cell (r, c) counts (weighted) co-occurrences of code r of the
+/// first variable with code c of the second.
+class ContingencyTable {
+ public:
+  ContingencyTable(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {}
+
+  /// Builds a table from two equal-length code vectors with optional weights
+  /// (pass an empty vector for unweighted). Codes must be < rows/cols.
+  static Result<ContingencyTable> FromCodes(const std::vector<int>& a,
+                                            std::size_t a_cardinality,
+                                            const std::vector<int>& b,
+                                            std::size_t b_cardinality,
+                                            const std::vector<double>& weights);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double cell(std::size_t r, std::size_t c) const { return cells_[r * cols_ + c]; }
+  void Add(std::size_t r, std::size_t c, double w = 1.0) {
+    cells_[r * cols_ + c] += w;
+  }
+
+  double RowTotal(std::size_t r) const;
+  double ColTotal(std::size_t c) const;
+  double Total() const;
+
+  /// Joint probability estimate for cell (r, c); 0 when the table is empty.
+  double JointProb(std::size_t r, std::size_t c) const;
+
+  /// Conditional probability P(col = c | row = r); 0 when row r is empty.
+  double CondProb(std::size_t c, std::size_t r) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+/// Mutual information (nats) of the two variables of a contingency table.
+double MutualInformation(const ContingencyTable& table);
+
+/// Entropy (nats) of a discrete distribution given as unnormalized
+/// non-negative masses.
+double Entropy(const std::vector<double>& masses);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_STATS_CONTINGENCY_H_

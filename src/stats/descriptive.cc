@@ -1,0 +1,87 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbench {
+
+double SampleMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = SampleMean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return s / static_cast<double>(n - 1);
+}
+
+double SampleStddev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = SampleMean(values);
+  s.variance = SampleVariance(values);
+  s.stddev = std::sqrt(s.variance);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = Quantile(sorted, 0.25);
+  s.median = Quantile(sorted, 0.5);
+  s.q3 = Quantile(sorted, 0.75);
+  s.iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * s.iqr;
+  const double hi_fence = s.q3 + 1.5 * s.iqr;
+  for (double v : sorted) {
+    if (v < lo_fence || v > hi_fence) ++s.num_outliers;
+  }
+  return s;
+}
+
+double Covariance(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  const double ma = SampleMean(a);
+  const double mb = SampleMean(b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += (a[i] - ma) * (b[i] - mb);
+  return s / static_cast<double>(n);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const double cov = Covariance(a, b);
+  double va = 0.0;
+  double vb = 0.0;
+  const double ma = SampleMean(a);
+  const double mb = SampleMean(b);
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov * static_cast<double>(n) / std::sqrt(va * vb);
+}
+
+}  // namespace fairbench

@@ -1,0 +1,87 @@
+#include "stats/independence.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace fairbench {
+namespace {
+
+/// Degrees of freedom counting only rows/columns with support.
+double EffectiveDof(const ContingencyTable& t) {
+  std::size_t nr = 0;
+  std::size_t nc = 0;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    if (t.RowTotal(r) > 0.0) ++nr;
+  }
+  for (std::size_t c = 0; c < t.cols(); ++c) {
+    if (t.ColTotal(c) > 0.0) ++nc;
+  }
+  if (nr < 2 || nc < 2) return 0.0;
+  return static_cast<double>((nr - 1) * (nc - 1));
+}
+
+}  // namespace
+
+IndependenceTest ChiSquareTest(const ContingencyTable& table) {
+  IndependenceTest out;
+  const double total = table.Total();
+  out.dof = EffectiveDof(table);
+  if (total <= 0.0 || out.dof <= 0.0) return out;
+  double stat = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double rt = table.RowTotal(r);
+    if (rt <= 0.0) continue;
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double ct = table.ColTotal(c);
+      if (ct <= 0.0) continue;
+      const double expected = rt * ct / total;
+      const double diff = table.cell(r, c) - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  out.statistic = stat;
+  out.p_value = ChiSquareSurvival(stat, out.dof);
+  return out;
+}
+
+IndependenceTest GTest(const ContingencyTable& table) {
+  IndependenceTest out;
+  out.dof = EffectiveDof(table);
+  const double total = table.Total();
+  if (total <= 0.0 || out.dof <= 0.0) return out;
+  out.statistic = 2.0 * total * MutualInformation(table);
+  out.p_value = ChiSquareSurvival(out.statistic, out.dof);
+  return out;
+}
+
+Result<IndependenceTest> ConditionalChiSquareTest(
+    const std::vector<int>& a, std::size_t a_card, const std::vector<int>& b,
+    std::size_t b_card, const std::vector<int>& z, std::size_t z_card) {
+  if (a.size() != b.size() || a.size() != z.size()) {
+    return Status::InvalidArgument("ConditionalChiSquareTest: length mismatch");
+  }
+  IndependenceTest out;
+  for (std::size_t stratum = 0; stratum < z_card; ++stratum) {
+    std::vector<int> sa;
+    std::vector<int> sb;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      if (z[i] == static_cast<int>(stratum)) {
+        sa.push_back(a[i]);
+        sb.push_back(b[i]);
+      }
+    }
+    if (sa.size() < 2) continue;
+    FAIRBENCH_ASSIGN_OR_RETURN(
+        ContingencyTable t,
+        ContingencyTable::FromCodes(sa, a_card, sb, b_card, {}));
+    const IndependenceTest part = ChiSquareTest(t);
+    out.statistic += part.statistic;
+    out.dof += part.dof;
+  }
+  out.p_value =
+      out.dof > 0.0 ? ChiSquareSurvival(out.statistic, out.dof) : 1.0;
+  return out;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,33 @@
+#ifndef FAIRBENCH_STATS_INDEPENDENCE_H_
+#define FAIRBENCH_STATS_INDEPENDENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/contingency.h"
+
+namespace fairbench {
+
+/// Outcome of a frequentist independence test.
+struct IndependenceTest {
+  double statistic = 0.0;  ///< Chi-square (or G) statistic.
+  double dof = 0.0;        ///< Degrees of freedom.
+  double p_value = 1.0;    ///< Upper-tail p-value.
+};
+
+/// Pearson chi-square test of independence on a contingency table.
+IndependenceTest ChiSquareTest(const ContingencyTable& table);
+
+/// G-test (likelihood ratio) of independence: G = 2 * N * MI(nats).
+IndependenceTest GTest(const ContingencyTable& table);
+
+/// Conditional independence test of a ⫫ b | z by summing per-stratum
+/// chi-square statistics over the strata of `z`. Codes must be
+/// non-negative and below the stated cardinalities.
+Result<IndependenceTest> ConditionalChiSquareTest(
+    const std::vector<int>& a, std::size_t a_card, const std::vector<int>& b,
+    std::size_t b_card, const std::vector<int>& z, std::size_t z_card);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_STATS_INDEPENDENCE_H_

@@ -1,0 +1,93 @@
+#include "causal/bayes_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+/// A -> B chain with known conditionals: P(A=1)=0.3,
+/// P(B=1|A=0)=0.2, P(B=1|A=1)=0.9.
+DiscreteData ChainData(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DiscreteData data;
+  data.columns.resize(2);
+  data.cardinalities = {2, 2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int a = rng.Bernoulli(0.3) ? 1 : 0;
+    const int b = rng.Bernoulli(a == 1 ? 0.9 : 0.2) ? 1 : 0;
+    data.columns[0].push_back(a);
+    data.columns[1].push_back(b);
+  }
+  return data;
+}
+
+Dag ChainDag() {
+  Dag dag(2);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  return dag;
+}
+
+TEST(BayesNetTest, FitRecoversConditionals) {
+  const DiscreteData data = ChainData(20000, 1);
+  Result<BayesNet> bn = BayesNet::Fit(data, ChainDag());
+  ASSERT_TRUE(bn.ok());
+  std::vector<int> a0 = {0, 0};
+  std::vector<int> a1 = {1, 0};
+  EXPECT_NEAR(bn->CondProb(0, 1, a0), 0.3, 0.02);
+  EXPECT_NEAR(bn->CondProb(1, 1, a0), 0.2, 0.02);
+  EXPECT_NEAR(bn->CondProb(1, 1, a1), 0.9, 0.02);
+}
+
+TEST(BayesNetTest, SamplingMatchesModel) {
+  const DiscreteData data = ChainData(20000, 2);
+  const BayesNet bn = BayesNet::Fit(data, ChainDag()).value();
+  Rng rng(3);
+  double b_rate = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) b_rate += bn.Sample(rng)[1];
+  // P(B=1) = 0.3*0.9 + 0.7*0.2 = 0.41.
+  EXPECT_NEAR(b_rate / n, 0.41, 0.02);
+}
+
+TEST(BayesNetTest, DoInterventionBreaksParentDependence) {
+  const DiscreteData data = ChainData(20000, 4);
+  const BayesNet bn = BayesNet::Fit(data, ChainDag()).value();
+  // do(A=1): P(B=1) must be ~0.9 regardless of A's marginal.
+  EXPECT_NEAR(bn.EstimateDoProbability(1, 1, 0, 1, 20000, 5), 0.9, 0.02);
+  EXPECT_NEAR(bn.EstimateDoProbability(1, 1, 0, 0, 20000, 6), 0.2, 0.02);
+  // Intervening on the *child* does not move the parent (no back-tracking).
+  EXPECT_NEAR(bn.EstimateDoProbability(0, 1, 1, 1, 20000, 7), 0.3, 0.02);
+}
+
+TEST(BayesNetTest, LaplaceSmoothingAvoidsZeros) {
+  DiscreteData data;
+  data.columns = {{0, 0, 0}, {0, 0, 0}};
+  data.cardinalities = {2, 2};
+  const BayesNet bn = BayesNet::Fit(data, ChainDag()).value();
+  std::vector<int> ctx = {1, 0};
+  EXPECT_GT(bn.CondProb(1, 1, ctx), 0.0);
+  EXPECT_LT(bn.CondProb(1, 1, ctx), 1.0);
+}
+
+TEST(BayesNetTest, LogLikelihoodPrefersTrueStructure) {
+  const DiscreteData data = ChainData(5000, 8);
+  const BayesNet chain = BayesNet::Fit(data, ChainDag()).value();
+  const BayesNet empty = BayesNet::Fit(data, Dag(2)).value();
+  EXPECT_GT(chain.LogLikelihood(data).value(),
+            empty.LogLikelihood(data).value());
+}
+
+TEST(BayesNetTest, RejectsMalformedInput) {
+  DiscreteData data;
+  data.columns = {{0, 1}, {0}};
+  data.cardinalities = {2, 2};
+  EXPECT_FALSE(BayesNet::Fit(data, ChainDag()).ok());
+  DiscreteData ok = ChainData(10, 9);
+  EXPECT_FALSE(BayesNet::Fit(ok, Dag(3)).ok());        // Var count mismatch.
+  EXPECT_FALSE(BayesNet::Fit(ok, ChainDag(), 0.0).ok());  // Bad alpha.
+}
+
+}  // namespace
+}  // namespace fairbench

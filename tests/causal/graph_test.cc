@@ -1,0 +1,79 @@
+#include "causal/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fairbench {
+namespace {
+
+TEST(DagTest, AddAndQueryEdges) {
+  Dag dag(4);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+  EXPECT_EQ(dag.NumEdges(), 2u);
+  EXPECT_EQ(dag.Parents(2), (std::vector<int>{1}));
+  EXPECT_EQ(dag.Children(0), (std::vector<int>{1}));
+}
+
+TEST(DagTest, RejectsCycles) {
+  Dag dag(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_EQ(dag.AddEdge(2, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(dag.WouldCreateCycle(2, 0));
+  EXPECT_FALSE(dag.WouldCreateCycle(0, 2));
+}
+
+TEST(DagTest, RejectsSelfLoopDuplicateAndOutOfRange) {
+  Dag dag(2);
+  EXPECT_EQ(dag.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dag.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DagTest, RemoveEdge) {
+  Dag dag(2);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(dag.HasEdge(0, 1));
+  EXPECT_EQ(dag.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+  // Removal re-enables the reverse edge.
+  EXPECT_TRUE(dag.AddEdge(1, 0).ok());
+}
+
+TEST(DagTest, Descendants) {
+  Dag dag(5);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  std::vector<int> desc = dag.Descendants(0);
+  std::sort(desc.begin(), desc.end());
+  EXPECT_EQ(desc, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(dag.Descendants(4).empty());
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag(6);
+  ASSERT_TRUE(dag.AddEdge(5, 0).ok());
+  ASSERT_TRUE(dag.AddEdge(5, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(3, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(4, 1).ok());
+  const std::vector<int> order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 6u);
+  auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(5), pos(0));
+  EXPECT_LT(pos(5), pos(2));
+  EXPECT_LT(pos(2), pos(3));
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(4), pos(1));
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,89 @@
+#include "causal/structure_learning.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+/// Ground-truth structure: S -> M -> Y plus S -> Y, with binary vars.
+DiscreteData TriangleData(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DiscreteData data;
+  data.columns.resize(3);
+  data.cardinalities = {2, 2, 2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = rng.Bernoulli(0.5) ? 1 : 0;
+    const int m = rng.Bernoulli(s == 1 ? 0.8 : 0.2) ? 1 : 0;
+    const double py = 0.15 + 0.3 * s + 0.4 * m;
+    const int y = rng.Bernoulli(py) ? 1 : 0;
+    data.columns[0].push_back(s);
+    data.columns[1].push_back(m);
+    data.columns[2].push_back(y);
+  }
+  return data;
+}
+
+TEST(StructureLearningTest, RecoversDependenciesUnderTiers) {
+  const DiscreteData data = TriangleData(8000, 1);
+  StructureLearningOptions options;
+  options.tiers = {0, 1, 2};  // S exogenous, M mediates, Y terminal.
+  Result<Dag> dag = LearnStructureBic(data, options);
+  ASSERT_TRUE(dag.ok());
+  // Tier constraints: no edges into S, none out of Y.
+  EXPECT_TRUE(dag->Parents(0).empty());
+  EXPECT_TRUE(dag->Children(2).empty());
+  // The strong dependencies must be recovered.
+  EXPECT_TRUE(dag->HasEdge(0, 1));  // S -> M.
+  EXPECT_TRUE(dag->HasEdge(1, 2));  // M -> Y.
+  EXPECT_TRUE(dag->HasEdge(0, 2));  // S -> Y (direct effect).
+}
+
+TEST(StructureLearningTest, IndependentVariablesYieldEmptyGraph) {
+  Rng rng(2);
+  DiscreteData data;
+  data.columns.resize(3);
+  data.cardinalities = {2, 2, 2};
+  for (int i = 0; i < 5000; ++i) {
+    for (int v = 0; v < 3; ++v) {
+      data.columns[static_cast<std::size_t>(v)].push_back(
+          rng.Bernoulli(0.5) ? 1 : 0);
+    }
+  }
+  Result<Dag> dag = LearnStructureBic(data);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->NumEdges(), 0u);
+}
+
+TEST(StructureLearningTest, MaxParentsCapRespected) {
+  const DiscreteData data = TriangleData(8000, 3);
+  StructureLearningOptions options;
+  options.max_parents = 1;
+  Result<Dag> dag = LearnStructureBic(data, options);
+  ASSERT_TRUE(dag.ok());
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_LE(dag->Parents(static_cast<int>(v)).size(), 1u);
+  }
+}
+
+TEST(StructureLearningTest, BicScoreImprovesWithTrueEdges) {
+  const DiscreteData data = TriangleData(5000, 4);
+  Dag empty(3);
+  Dag truth(3);
+  ASSERT_TRUE(truth.AddEdge(0, 1).ok());
+  ASSERT_TRUE(truth.AddEdge(1, 2).ok());
+  ASSERT_TRUE(truth.AddEdge(0, 2).ok());
+  EXPECT_GT(BicScore(data, truth, 1.0).value(),
+            BicScore(data, empty, 1.0).value());
+}
+
+TEST(StructureLearningTest, RejectsBadInput) {
+  DiscreteData empty;
+  EXPECT_FALSE(LearnStructureBic(empty).ok());
+  DiscreteData data = TriangleData(100, 5);
+  StructureLearningOptions options;
+  options.tiers = {0, 1};  // Wrong size.
+  EXPECT_FALSE(LearnStructureBic(data, options).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,147 @@
+#include "classifiers/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/encoder.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)),
+              1e-15);
+  // No overflow at extremes.
+  EXPECT_NEAR(LogisticRegression::Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(LogisticRegressionTest, RecoversPlantedCoefficients) {
+  // y ~ Bernoulli(sigmoid(1.5 x0 - 2 x1 + 0.5)).
+  Rng rng(1);
+  const std::size_t n = 20000;
+  Matrix x(n, 2, 0.0);
+  std::vector<int> y(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+    const double z = 1.5 * x(i, 0) - 2.0 * x(i, 1) + 0.5;
+    y[i] = rng.Bernoulli(LogisticRegression::Sigmoid(z)) ? 1 : 0;
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, Ones(n)).ok());
+  EXPECT_NEAR(lr.coefficients()[0], 1.5, 0.1);
+  EXPECT_NEAR(lr.coefficients()[1], -2.0, 0.1);
+  EXPECT_NEAR(lr.intercept(), 0.5, 0.1);
+}
+
+TEST(LogisticRegressionTest, SeparableDataStaysFinite) {
+  Matrix x(20, 1, 0.0);
+  std::vector<int> y(20, 0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = i < 10 ? -1.0 - 0.1 * i : 1.0 + 0.1 * i;
+    y[i] = i < 10 ? 0 : 1;
+  }
+  LogisticRegressionOptions options;
+  options.l2 = 1e-3;
+  LogisticRegression lr(options);
+  ASSERT_TRUE(lr.Fit(x, y, Ones(20)).ok());
+  EXPECT_TRUE(std::isfinite(lr.coefficients()[0]));
+  EXPECT_GT(lr.coefficients()[0], 0.0);
+  // Predictions on training data are perfect.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(lr.Predict(x.RowVector(i)).value(), y[i]);
+  }
+}
+
+TEST(LogisticRegressionTest, InstanceWeightsShiftTheBoundary) {
+  // Same point appears with both labels; weights decide the prediction.
+  Matrix x(2, 1, 0.0);
+  std::vector<int> y = {0, 1};
+  LogisticRegression heavy_pos;
+  ASSERT_TRUE(heavy_pos.Fit(x, y, {1.0, 9.0}).ok());
+  EXPECT_GT(heavy_pos.PredictProba({0.0}).value(), 0.8);
+  LogisticRegression heavy_neg;
+  ASSERT_TRUE(heavy_neg.Fit(x, y, {9.0, 1.0}).ok());
+  EXPECT_LT(heavy_neg.PredictProba({0.0}).value(), 0.2);
+}
+
+TEST(LogisticRegressionTest, SingleClassDataPredictsBaseRate) {
+  Matrix x(10, 1, 0.0);
+  std::vector<int> y(10, 1);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, y, Ones(10)).ok());
+  EXPECT_GT(lr.PredictProba({0.0}).value(), 0.9);
+}
+
+TEST(LogisticRegressionTest, RejectsMalformedInput) {
+  LogisticRegression lr;
+  Matrix x(3, 1, 0.0);
+  EXPECT_FALSE(lr.Fit(x, {0, 1}, Ones(3)).ok());           // label mismatch.
+  EXPECT_FALSE(lr.Fit(x, {0, 1, 2}, Ones(3)).ok());        // non-binary.
+  EXPECT_FALSE(lr.Fit(Matrix(), {}, {}).ok());             // empty.
+  EXPECT_EQ(lr.PredictProba({0.0}).status().code(),
+            StatusCode::kFailedPrecondition);               // not fitted.
+}
+
+TEST(LogisticRegressionTest, FeatureDimMismatchIsError) {
+  Matrix x(4, 2, 1.0);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, {0, 1, 0, 1}, Ones(4)).ok());
+  EXPECT_EQ(lr.PredictProba({1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticRegressionTest, DecisionValueSignMatchesPrediction) {
+  const Dataset ds = GenerateGerman(400, 9).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, true).ok());
+  const Matrix x = encoder.Transform(ds).value();
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, ds.labels(), ds.weights()).ok());
+  for (std::size_t r = 0; r < 50; ++r) {
+    const Vector row = x.RowVector(r);
+    const double z = lr.DecisionValue(row).value();
+    const int pred = lr.Predict(row).value();
+    EXPECT_EQ(pred, z >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(LogisticRegressionTest, SetParametersInstallsModel) {
+  LogisticRegression lr;
+  lr.SetParameters({2.0}, -1.0);
+  EXPECT_TRUE(lr.fitted());
+  EXPECT_NEAR(lr.PredictProba({0.5}).value(),
+              LogisticRegression::Sigmoid(0.0), 1e-15);
+}
+
+TEST(LogisticRegressionTest, CloneIsUnfittedSameOptions) {
+  LogisticRegression lr;
+  lr.SetParameters({1.0}, 0.0);
+  auto clone = lr.Clone();
+  EXPECT_FALSE(clone->fitted());
+}
+
+TEST(LogisticRegressionTest, BeatsMajorityOnInformativeData) {
+  const Dataset ds = GenerateAdult(4000, 5).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, true).ok());
+  const Matrix x = encoder.Transform(ds).value();
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, ds.labels(), ds.weights()).ok());
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (lr.Predict(x.RowVector(r)).value() == ds.labels()[r]) ++correct;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(ds.num_rows());
+  const double majority = 1.0 - ds.PositiveRate();
+  EXPECT_GT(accuracy, majority + 0.03);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,48 @@
+#include "classifiers/majority.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+TEST(MajorityTest, PredictsWeightedBaseRate) {
+  Matrix x(4, 1, 0.0);
+  MajorityClassifier clf;
+  ASSERT_TRUE(clf.Fit(x, {1, 1, 1, 0}, Ones(4)).ok());
+  EXPECT_DOUBLE_EQ(clf.PredictProba({0.0}).value(), 0.75);
+  EXPECT_EQ(clf.Predict({0.0}).value(), 1);
+}
+
+TEST(MajorityTest, WeightsInfluenceRate) {
+  Matrix x(2, 1, 0.0);
+  MajorityClassifier clf;
+  ASSERT_TRUE(clf.Fit(x, {1, 0}, {1.0, 3.0}).ok());
+  EXPECT_DOUBLE_EQ(clf.PredictProba({0.0}).value(), 0.25);
+  EXPECT_EQ(clf.Predict({0.0}).value(), 0);
+}
+
+TEST(MajorityTest, DecisionValueIsLogOdds) {
+  Matrix x(2, 1, 0.0);
+  MajorityClassifier clf;
+  ASSERT_TRUE(clf.Fit(x, {1, 0}, Ones(2)).ok());
+  EXPECT_NEAR(clf.DecisionValue({0.0}).value(), 0.0, 1e-9);
+}
+
+TEST(MajorityTest, ErrorsBeforeFit) {
+  MajorityClassifier clf;
+  EXPECT_EQ(clf.PredictProba({0.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MajorityTest, BatchHelpers) {
+  Matrix x(3, 1, 0.0);
+  MajorityClassifier clf;
+  ASSERT_TRUE(clf.Fit(x, {1, 1, 0}, Ones(3)).ok());
+  const std::vector<int> preds = clf.PredictBatch(x).value();
+  EXPECT_EQ(preds, (std::vector<int>{1, 1, 1}));
+  const std::vector<double> probas = clf.PredictProbaBatch(x).value();
+  for (double p : probas) EXPECT_NEAR(p, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairbench

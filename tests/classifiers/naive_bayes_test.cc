@@ -1,0 +1,104 @@
+#include "classifiers/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/encoder.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+TEST(NaiveBayesTest, SeparatesGaussianClasses) {
+  Rng rng(1);
+  const std::size_t n = 4000;
+  Matrix x(n, 2, 0.0);
+  std::vector<int> y(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    x(i, 0) = rng.Gaussian(y[i] == 1 ? 2.0 : -2.0, 1.0);
+    x(i, 1) = rng.Gaussian(0.0, 1.0);  // Uninformative.
+  }
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, y, Ones(n)).ok());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nb.Predict(x.RowVector(i)).value() == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesReflectDistance) {
+  Matrix x(4, 1, 0.0);
+  x(0, 0) = -1;
+  x(1, 0) = -2;
+  x(2, 0) = 1;
+  x(3, 0) = 2;
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, {0, 0, 1, 1}, Ones(4)).ok());
+  EXPECT_LT(nb.PredictProba({-3.0}).value(), 0.1);
+  EXPECT_GT(nb.PredictProba({3.0}).value(), 0.9);
+  EXPECT_NEAR(nb.PredictProba({0.0}).value(), 0.5, 0.05);
+}
+
+TEST(NaiveBayesTest, WeightsShiftThePrior) {
+  Matrix x(2, 1, 0.0);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, {0, 1}, {9.0, 1.0}).ok());
+  EXPECT_LT(nb.PredictProba({0.0}).value(), 0.3);
+}
+
+TEST(NaiveBayesTest, WorksOnGeneratedData) {
+  const Dataset ds = GenerateAdult(4000, 2).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, true).ok());
+  const Matrix x = encoder.Transform(ds).value();
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, ds.labels(), ds.weights()).ok());
+  // NB trades accuracy for recall on imbalanced one-hot data; unlike the
+  // majority rule it must actually find positives.
+  double tp = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const int pred = nb.Predict(x.RowVector(i)).value();
+    correct += pred == ds.labels()[i];
+    if (pred == 1 && ds.labels()[i] == 1) tp += 1;
+    if (pred == 1 && ds.labels()[i] == 0) fp += 1;
+    if (pred == 0 && ds.labels()[i] == 1) fn += 1;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ds.num_rows()),
+            0.65);
+  const double f1 = 2.0 * tp / (2.0 * tp + fp + fn);
+  EXPECT_GT(f1, 0.45);
+}
+
+TEST(NaiveBayesTest, ErrorsOnMisuse) {
+  NaiveBayes nb;
+  EXPECT_EQ(nb.PredictProba({0.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  Matrix x(2, 1, 0.0);
+  EXPECT_FALSE(nb.Fit(x, {0}, Ones(2)).ok());
+  ASSERT_TRUE(nb.Fit(x, {0, 1}, Ones(2)).ok());
+  EXPECT_FALSE(nb.PredictProba({0.0, 1.0}).ok());
+}
+
+TEST(NaiveBayesTest, SingleClassPredictsThatClass) {
+  Matrix x(5, 1, 0.0);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, {1, 1, 1, 1, 1}, Ones(5)).ok());
+  EXPECT_GT(nb.PredictProba({0.0}).value(), 0.5);
+}
+
+TEST(NaiveBayesTest, CloneIsFresh) {
+  NaiveBayes nb;
+  Matrix x(2, 1, 0.0);
+  ASSERT_TRUE(nb.Fit(x, {0, 1}, Ones(2)).ok());
+  EXPECT_FALSE(nb.Clone()->fitted());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,136 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fairbench {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All residues hit.
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatches) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);  // Zero weight never sampled.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 8.0, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 3.0 / 8.0, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 4.0 / 8.0, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsLastIndex) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(weights), 2u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SplitStreamsDiffer) {
+  Rng parent(37);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(41);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(41);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace fairbench {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, EveryCodeHasDistinctName) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,  StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kNoConvergence, StatusCode::kNoSolution,
+      StatusCode::kIoError,     StatusCode::kInternal};
+  std::set<std::string> names;
+  for (StatusCode c : codes) names.insert(StatusCodeName(c));
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    FAIRBENCH_RETURN_NOT_OK(Status::IoError("disk"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIoError);
+
+  auto succeeds = []() -> Status {
+    FAIRBENCH_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,79 @@
+#include "core/crossval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/split.h"
+
+namespace fairbench {
+namespace {
+
+TEST(CrossValidationTest, ThreeFoldProtocolProducesThreeReports) {
+  const Dataset data = GenerateGerman(600, 1).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 1);
+  Result<CrossValidationResult> result = CrossValidate(data, ctx, "lr");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_reports.size(), 3u);
+  EXPECT_EQ(result->failures, 0);
+  EXPECT_GT(result->summaries.at("accuracy").mean, 0.6);
+  EXPECT_EQ(result->summaries.at("accuracy").count, 3u);
+}
+
+TEST(CrossValidationTest, CustomFoldCount) {
+  const Dataset data = GenerateGerman(500, 2).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 2);
+  CrossValidationOptions options;
+  options.folds = 5;
+  Result<CrossValidationResult> result =
+      CrossValidate(data, ctx, "kamcal", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_reports.size(), 5u);
+}
+
+TEST(CrossValidationTest, RejectsBadInput) {
+  const Dataset data = GenerateGerman(100, 3).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 3);
+  CrossValidationOptions one_fold;
+  one_fold.folds = 1;
+  EXPECT_FALSE(CrossValidate(data, ctx, "lr", one_fold).ok());
+  EXPECT_EQ(CrossValidate(data, ctx, "bogus").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CrossValidationTest, AllRunsMultipleApproaches) {
+  const Dataset data = GenerateGerman(450, 4).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 4);
+  Result<std::vector<CrossValidationResult>> results =
+      CrossValidateAll(data, ctx, {"lr", "hardt"});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  const std::string table = FormatCrossValidationTable(
+      results.value(), {"accuracy", "f1", "di"});
+  EXPECT_NE(table.find("LR"), std::string::npos);
+  EXPECT_NE(table.find("Hardt-EO"), std::string::npos);
+  EXPECT_NE(table.find("+-"), std::string::npos);
+}
+
+TEST(CrossValidationTest, DeterministicForSeed) {
+  const Dataset data = GenerateGerman(400, 5).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 5);
+  const CrossValidationResult a = CrossValidate(data, ctx, "lr").value();
+  const CrossValidationResult b = CrossValidate(data, ctx, "lr").value();
+  EXPECT_DOUBLE_EQ(a.summaries.at("accuracy").mean,
+                   b.summaries.at("accuracy").mean);
+}
+
+TEST(CrossValidationTest, FoldsCoverEveryRowExactlyOnceAsValidation) {
+  // Protocol property: the union of validation folds is the dataset.
+  const Dataset data = GenerateGerman(300, 6).value();
+  Rng rng(7);
+  const auto folds = KFold(data.num_rows(), 3, rng);
+  std::vector<int> seen(data.num_rows(), 0);
+  for (const auto& fold : folds) {
+    for (std::size_t idx : fold) seen[idx] += 1;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+ExperimentOptions FastOptions(uint64_t seed) {
+  ExperimentOptions options;
+  options.seed = seed;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  return options;
+}
+
+TEST(ExperimentTest, RunsSelectedApproaches) {
+  const Dataset data = GenerateGerman(700, 1).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 1);
+  Result<ExperimentResult> result =
+      RunExperiment(data, ctx, {"lr", "kamcal", "hardt"}, FastOptions(2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->approaches.size(), 3u);
+  for (const ApproachResult& ar : result->approaches) {
+    EXPECT_TRUE(ar.ok) << ar.display << ": " << ar.error;
+  }
+  EXPECT_NE(result->Find("kamcal"), nullptr);
+  EXPECT_EQ(result->Find("nope"), nullptr);
+}
+
+TEST(ExperimentTest, MakeContextCopiesAttributeRoles) {
+  const FairContext ctx = MakeContext(AdultConfig(), 9);
+  EXPECT_EQ(ctx.resolving_attributes, AdultConfig().resolving_attributes);
+  EXPECT_EQ(ctx.inadmissible_attributes, AdultConfig().inadmissible_attributes);
+  EXPECT_EQ(ctx.seed, 9u);
+}
+
+TEST(ExperimentTest, UnknownApproachIdFailsFast) {
+  const Dataset data = GenerateGerman(200, 2).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 2);
+  EXPECT_EQ(RunExperiment(data, ctx, {"bogus"}, FastOptions(3))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExperimentTest, ApproachFailureIsCapturedNotFatal) {
+  // CALMON fails on the full Credit width; the experiment must record the
+  // failure and continue with the other approaches.
+  const Dataset data = GenerateCredit(2000, 3).value();
+  const FairContext ctx = MakeContext(CreditConfig(), 3);
+  Result<ExperimentResult> result =
+      RunExperiment(data, ctx, {"calmon", "lr"}, FastOptions(4));
+  ASSERT_TRUE(result.ok());
+  const ApproachResult* calmon = result->Find("calmon");
+  ASSERT_NE(calmon, nullptr);
+  EXPECT_FALSE(calmon->ok);
+  EXPECT_NE(calmon->error.find("NoConvergence"), std::string::npos);
+  EXPECT_TRUE(result->Find("lr")->ok);
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  const Dataset data = GenerateGerman(600, 5).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 5);
+  const ExperimentResult a =
+      RunExperiment(data, ctx, {"lr", "kamcal"}, FastOptions(6)).value();
+  const ExperimentResult b =
+      RunExperiment(data, ctx, {"lr", "kamcal"}, FastOptions(6)).value();
+  for (std::size_t i = 0; i < a.approaches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.approaches[i].metrics.correctness.accuracy,
+                     b.approaches[i].metrics.correctness.accuracy);
+    EXPECT_DOUBLE_EQ(a.approaches[i].metrics.di, b.approaches[i].metrics.di);
+  }
+}
+
+TEST(ExperimentTest, CdToggleControlsCdComputation) {
+  const Dataset data = GenerateGerman(500, 7).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 7);
+  ExperimentOptions no_cd = FastOptions(8);
+  no_cd.compute_cd = false;
+  const ExperimentResult result =
+      RunExperiment(data, ctx, {"lr"}, no_cd).value();
+  EXPECT_DOUBLE_EQ(result.approaches[0].metrics.cd, 0.0);
+}
+
+TEST(ExperimentTest, FormatTableContainsAllRows) {
+  const Dataset data = GenerateGerman(500, 9).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 9);
+  const ExperimentResult result =
+      RunExperiment(data, ctx, {"lr", "kamcal", "zafar_dp_fair", "hardt"},
+                    FastOptions(10))
+          .value();
+  const std::string table = FormatExperimentTable(result);
+  EXPECT_NE(table.find("LR"), std::string::npos);
+  EXPECT_NE(table.find("KamCal-DP"), std::string::npos);
+  EXPECT_NE(table.find("Zafar-DP(fair)"), std::string::npos);
+  EXPECT_NE(table.find("Hardt-EO"), std::string::npos);
+  EXPECT_NE(table.find("accuracy"), std::string::npos);
+  // Target markers appear for the targeted metrics.
+  EXPECT_NE(table.find("^"), std::string::npos);
+}
+
+TEST(ExperimentTest, TimingsArePopulated) {
+  const Dataset data = GenerateGerman(600, 11).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 11);
+  const ExperimentResult result =
+      RunExperiment(data, ctx, {"kamcal"}, FastOptions(12)).value();
+  EXPECT_GT(result.approaches[0].timing.Total(), 0.0);
+  EXPECT_GE(result.approaches[0].predict_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,111 @@
+#include "core/guidelines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/registry.h"
+
+namespace fairbench {
+namespace {
+
+const StageRecommendation* Find(const std::vector<StageRecommendation>& recs,
+                                const std::string& stage) {
+  for (const StageRecommendation& rec : recs) {
+    if (rec.stage == stage) return &rec;
+  }
+  return nullptr;
+}
+
+TEST(GuidelinesTest, DefaultConstraintsAllowEveryStage) {
+  const auto recs = RecommendStages(DeploymentConstraints{});
+  ASSERT_EQ(recs.size(), 3u);
+  for (const StageRecommendation& rec : recs) {
+    EXPECT_TRUE(rec.feasible) << rec.stage;
+    EXPECT_FALSE(rec.approaches.empty()) << rec.stage;
+  }
+}
+
+TEST(GuidelinesTest, FrozenModelLeavesOnlyPostProcessing) {
+  DeploymentConstraints c;
+  c.retraining_allowed = false;
+  c.model_modifiable = false;
+  const auto recs = RecommendStages(c);
+  EXPECT_FALSE(Find(recs, "pre")->feasible);
+  EXPECT_FALSE(Find(recs, "in")->feasible);
+  EXPECT_TRUE(Find(recs, "post")->feasible);
+  // Feasible stages sort first.
+  EXPECT_EQ(recs.front().stage, "post");
+}
+
+TEST(GuidelinesTest, TruthConditionedNotionExcludesPreProcessing) {
+  DeploymentConstraints c;
+  c.notion_conditions_on_truth = true;  // e.g. equalized odds.
+  const auto recs = RecommendStages(c);
+  EXPECT_FALSE(Find(recs, "pre")->feasible);
+  // In-processing candidates are the EO enforcers.
+  const auto& in_candidates = Find(recs, "in")->approaches;
+  EXPECT_NE(std::find(in_candidates.begin(), in_candidates.end(),
+                      "zafar_eo_fair"),
+            in_candidates.end());
+}
+
+TEST(GuidelinesTest, IndividualFairnessExcludesPostProcessing) {
+  DeploymentConstraints c;
+  c.needs_individual_fairness = true;
+  const auto recs = RecommendStages(c);
+  EXPECT_FALSE(Find(recs, "post")->feasible);
+  EXPECT_TRUE(Find(recs, "pre")->feasible);
+}
+
+TEST(GuidelinesTest, WideDataWarnsAndPrefersSimpleRepairs) {
+  DeploymentConstraints c;
+  c.num_attributes = 26;
+  const auto recs = RecommendStages(c);
+  const StageRecommendation* pre = Find(recs, "pre");
+  ASSERT_TRUE(pre->feasible);
+  bool warned = false;
+  for (const std::string& reason : pre->reasons) {
+    if (reason.find("scales poorly") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+  // Heavy repairs (Calmon, causal) are dropped from the candidates.
+  EXPECT_EQ(std::find(pre->approaches.begin(), pre->approaches.end(),
+                      "calmon"),
+            pre->approaches.end());
+}
+
+TEST(GuidelinesTest, LegalConstraintExcludesDataModification) {
+  DeploymentConstraints c;
+  c.data_modification_allowed = false;
+  const auto recs = RecommendStages(c);
+  EXPECT_FALSE(Find(recs, "pre")->feasible);
+}
+
+TEST(GuidelinesTest, AllRecommendedIdsExistInRegistry) {
+  for (bool truth : {false, true}) {
+    for (std::size_t attrs : {5u, 26u}) {
+      DeploymentConstraints c;
+      c.notion_conditions_on_truth = truth;
+      c.num_attributes = attrs;
+      for (const StageRecommendation& rec : RecommendStages(c)) {
+        for (const std::string& id : rec.approaches) {
+          EXPECT_TRUE(FindApproach(id).ok()) << id;
+        }
+      }
+    }
+  }
+}
+
+TEST(GuidelinesTest, FormatListsStagesAndCandidates) {
+  const std::string text = FormatRecommendations(
+      RecommendStages(DeploymentConstraints{}));
+  EXPECT_NE(text.find("pre-processing"), std::string::npos);
+  EXPECT_NE(text.find("in-processing"), std::string::npos);
+  EXPECT_NE(text.find("post-processing"), std::string::npos);
+  EXPECT_NE(text.find("candidates:"), std::string::npos);
+  EXPECT_NE(text.find("KamCal-DP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,115 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "fair/post/kamkar.h"
+#include "fair/pre/kamcal.h"
+
+namespace fairbench {
+namespace {
+
+TEST(PipelineTest, BaselineLrFitsAndPredicts) {
+  const Dataset data = GenerateGerman(600, 1).value();
+  Pipeline pipeline(nullptr, nullptr, nullptr);
+  FairContext ctx;
+  ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
+  EXPECT_TRUE(pipeline.fitted());
+  Result<std::vector<int>> pred = pipeline.Predict(data);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->size(), data.num_rows());
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred->size(); ++i) {
+    correct += pred.value()[i] == data.labels()[i];
+  }
+  EXPECT_GT(correct / static_cast<double>(pred->size()), 0.6);
+}
+
+TEST(PipelineTest, TimingBreakdownReflectsStages) {
+  const Dataset data = GenerateGerman(800, 2).value();
+  FairContext ctx;
+  Pipeline with_pre(std::make_unique<KamCal>(), nullptr, nullptr);
+  ASSERT_TRUE(with_pre.Fit(data, ctx).ok());
+  EXPECT_GT(with_pre.timing().pre_seconds, 0.0);
+  EXPECT_GT(with_pre.timing().train_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(with_pre.timing().post_seconds, 0.0);
+
+  Pipeline with_post(nullptr, nullptr, std::make_unique<KamKar>());
+  ASSERT_TRUE(with_post.Fit(data, ctx).ok());
+  EXPECT_DOUBLE_EQ(with_post.timing().pre_seconds, 0.0);
+  EXPECT_GT(with_post.timing().post_seconds, 0.0);
+  EXPECT_NEAR(with_post.timing().Total(),
+              with_post.timing().train_seconds +
+                  with_post.timing().post_seconds,
+              1e-12);
+}
+
+TEST(PipelineTest, PredictRowHonorsSensitiveOverride) {
+  const Dataset data = GenerateAdult(2000, 3).value();
+  Pipeline pipeline(nullptr, nullptr, nullptr, /*include_sensitive=*/true);
+  FairContext ctx;
+  ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
+  // With S as a feature, some rows near the boundary must flip.
+  std::size_t flips = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (pipeline.PredictRow(data, r, 0).value() !=
+        pipeline.PredictRow(data, r, 1).value()) {
+      ++flips;
+    }
+  }
+  EXPECT_GT(flips, 0u);
+}
+
+TEST(PipelineTest, RowPredictorMatchesPredict) {
+  const Dataset data = GenerateGerman(300, 4).value();
+  Pipeline pipeline(nullptr, nullptr, nullptr);
+  FairContext ctx;
+  ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
+  const std::vector<int> batch = pipeline.Predict(data).value();
+  const RowPredictor row = pipeline.MakeRowPredictor(data);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    EXPECT_EQ(row(r, data.sensitive()[r]).value(), batch[r]);
+  }
+}
+
+TEST(PipelineTest, UnfittedUseIsError) {
+  Pipeline pipeline(nullptr, nullptr, nullptr);
+  const Dataset data = GenerateGerman(50, 5).value();
+  EXPECT_EQ(pipeline.Predict(data).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, PreProcessorFailurePropagates) {
+  class FailingPre : public PreProcessor {
+   public:
+    std::string name() const override { return "boom"; }
+    Result<Dataset> Repair(const Dataset&, const FairContext&) override {
+      return Status::NoConvergence("synthetic failure");
+    }
+  };
+  Pipeline pipeline(std::make_unique<FailingPre>(), nullptr, nullptr);
+  FairContext ctx;
+  const Dataset data = GenerateGerman(100, 6).value();
+  EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kNoConvergence);
+  EXPECT_FALSE(pipeline.fitted());
+}
+
+TEST(PipelineTest, TrainTestProtocolGeneralizes) {
+  const Dataset data = GenerateAdult(5000, 7).value();
+  Rng rng(8);
+  const SplitIndices split = TrainTestSplit(data.num_rows(), 0.7, rng);
+  auto parts = MaterializeSplit(data, split).value();
+  Pipeline pipeline(nullptr, nullptr, nullptr);
+  FairContext ctx;
+  ASSERT_TRUE(pipeline.Fit(parts.first, ctx).ok());
+  const std::vector<int> pred = pipeline.Predict(parts.second).value();
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == parts.second.labels()[i];
+  }
+  EXPECT_GT(correct / static_cast<double>(pred.size()), 0.75);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,70 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairbench {
+namespace {
+
+TEST(RegistryTest, HasAll19Entries) {
+  // LR + the paper's 18 evaluated variants (Fig 8).
+  EXPECT_EQ(ApproachRegistry().size(), 19u);
+}
+
+TEST(RegistryTest, IdsAreUniqueAndStagesValid) {
+  std::set<std::string> ids;
+  const std::set<std::string> stages = {"baseline", "pre", "in", "post"};
+  for (const ApproachSpec& spec : ApproachRegistry()) {
+    EXPECT_TRUE(ids.insert(spec.id).second) << spec.id;
+    EXPECT_TRUE(stages.count(spec.stage)) << spec.stage;
+    EXPECT_FALSE(spec.display.empty());
+    EXPECT_TRUE(spec.make != nullptr);
+  }
+}
+
+TEST(RegistryTest, StageCountsMatchThePaper) {
+  EXPECT_EQ(ApproachIdsByStage("baseline").size(), 1u);
+  EXPECT_EQ(ApproachIdsByStage("pre").size(), 7u);   // 5 approaches, 7 variants.
+  EXPECT_EQ(ApproachIdsByStage("in").size(), 8u);    // 5 approaches, 8 variants.
+  EXPECT_EQ(ApproachIdsByStage("post").size(), 3u);
+}
+
+TEST(RegistryTest, TargetMetricsAreKnownNames) {
+  const std::set<std::string> known = {"di", "tprb", "tnrb", "cd", "crd"};
+  for (const ApproachSpec& spec : ApproachRegistry()) {
+    for (const std::string& m : spec.target_metrics) {
+      EXPECT_TRUE(known.count(m)) << spec.id << " targets " << m;
+    }
+  }
+}
+
+TEST(RegistryTest, FindAndMake) {
+  Result<const ApproachSpec*> spec = FindApproach("kamcal");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value()->display, "KamCal-DP");
+  EXPECT_EQ(FindApproach("missing").status().code(), StatusCode::kNotFound);
+  Result<Pipeline> pipeline = MakePipeline("lr");
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE(pipeline->fitted());
+}
+
+TEST(RegistryTest, EachMakeYieldsFreshPipeline) {
+  Result<const ApproachSpec*> spec = FindApproach("hardt");
+  ASSERT_TRUE(spec.ok());
+  Pipeline a = spec.value()->make();
+  Pipeline b = spec.value()->make();
+  EXPECT_FALSE(a.fitted());
+  EXPECT_FALSE(b.fitted());
+  EXPECT_EQ(a.Describe(), b.Describe());
+}
+
+TEST(RegistryTest, DescribeNamesComposition) {
+  EXPECT_EQ(MakePipeline("lr")->Describe(), "LR");
+  EXPECT_EQ(MakePipeline("kamcal")->Describe(), "KamCal-DP + LR");
+  EXPECT_EQ(MakePipeline("hardt")->Describe(), "LR + Hardt-EO");
+  EXPECT_EQ(MakePipeline("zafar_eo_fair")->Describe(), "Zafar-EO(fair)");
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,77 @@
+#include "core/stability.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+StabilityOptions FastOptions(int runs) {
+  StabilityOptions options;
+  options.runs = runs;
+  options.compute_cd = false;
+  options.compute_crd = false;
+  return options;
+}
+
+TEST(StabilityTest, CollectsSamplesAcrossFolds) {
+  const Dataset data = GenerateGerman(600, 1).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 1);
+  Result<std::vector<StabilityResult>> results =
+      RunStability(data, ctx, {"lr", "kamcal"}, FastOptions(4));
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 2u);
+  for (const StabilityResult& r : results.value()) {
+    EXPECT_EQ(r.failures, 0);
+    ASSERT_TRUE(r.samples.count("accuracy"));
+    EXPECT_EQ(r.samples.at("accuracy").size(), 4u);
+    ASSERT_TRUE(r.summaries.count("accuracy"));
+    EXPECT_GT(r.summaries.at("accuracy").mean, 0.5);
+  }
+}
+
+TEST(StabilityTest, VarianceIsLowOnStableApproaches) {
+  // The paper's headline stability finding: LR's accuracy variance across
+  // folds is small.
+  const Dataset data = GenerateGerman(1000, 2).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 2);
+  const std::vector<StabilityResult> results =
+      RunStability(data, ctx, {"lr"}, FastOptions(6)).value();
+  EXPECT_LT(results[0].summaries.at("accuracy").stddev, 0.05);
+}
+
+TEST(StabilityTest, FoldsDifferSoSamplesVary) {
+  const Dataset data = GenerateGerman(800, 3).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 3);
+  const std::vector<StabilityResult> results =
+      RunStability(data, ctx, {"lr"}, FastOptions(5)).value();
+  const std::vector<double>& acc = results[0].samples.at("accuracy");
+  // Not all folds give the exact same accuracy.
+  bool any_different = false;
+  for (double v : acc) {
+    if (v != acc[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(StabilityTest, FormatTableShowsMeanAndSd) {
+  const Dataset data = GenerateGerman(500, 4).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 4);
+  const std::vector<StabilityResult> results =
+      RunStability(data, ctx, {"lr"}, FastOptions(3)).value();
+  const std::string table = FormatStabilityTable(results, {"accuracy", "di"});
+  EXPECT_NE(table.find("LR"), std::string::npos);
+  EXPECT_NE(table.find("+-"), std::string::npos);
+  EXPECT_NE(table.find("accuracy"), std::string::npos);
+}
+
+TEST(StabilityTest, UnknownMetricRendersNa) {
+  const Dataset data = GenerateGerman(400, 5).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 5);
+  const std::vector<StabilityResult> results =
+      RunStability(data, ctx, {"lr"}, FastOptions(2)).value();
+  const std::string table = FormatStabilityTable(results, {"bogus"});
+  EXPECT_NE(table.find("n/a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,53 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("a      | 1"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+  EXPECT_NE(out.find("-------+------"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  // Renders without crashing and keeps 3 columns in the header rule.
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorsInsertRules) {
+  TextTable table;
+  table.SetHeader({"h"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // Header rule + separator rule = at least two dashed lines.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    ++pos;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(TextTableTest, EmptyTableIsEmptyString) {
+  TextTable table;
+  EXPECT_EQ(table.ToString(), "");
+}
+
+}  // namespace
+}  // namespace fairbench

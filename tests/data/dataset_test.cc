@@ -1,0 +1,116 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+Dataset TinyDataset() {
+  Schema schema;
+  ColumnSpec age;
+  age.name = "age";
+  age.type = ColumnType::kNumeric;
+  ColumnSpec job;
+  job.name = "job";
+  job.type = ColumnType::kCategorical;
+  job.categories = {"tech", "service"};
+  EXPECT_TRUE(schema.AddColumn(age).ok());
+  EXPECT_TRUE(schema.AddColumn(job).ok());
+  Dataset ds(schema);
+  EXPECT_TRUE(ds.AppendRow({30.0}, {0}, 1, 1).ok());
+  EXPECT_TRUE(ds.AppendRow({25.0}, {1}, 0, 0).ok());
+  EXPECT_TRUE(ds.AppendRow({40.0}, {0}, 1, 0, 2.0).ok());
+  EXPECT_TRUE(ds.AppendRow({35.0}, {1}, 0, 1).ok());
+  return ds;
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  const Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.num_rows(), 4u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(ds.NumericAt(0, 2), 40.0);
+  EXPECT_EQ(ds.CodeAt(1, 1), 1);
+  EXPECT_EQ(ds.sensitive()[0], 1);
+  EXPECT_EQ(ds.labels()[3], 1);
+  EXPECT_DOUBLE_EQ(ds.weights()[2], 2.0);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, AppendRejectsWrongArity) {
+  Dataset ds = TinyDataset();
+  EXPECT_FALSE(ds.AppendRow({1.0, 2.0}, {0}, 0, 0).ok());
+  EXPECT_FALSE(ds.AppendRow({1.0}, {}, 0, 0).ok());
+}
+
+TEST(DatasetTest, AppendRejectsNonBinarySY) {
+  Dataset ds = TinyDataset();
+  EXPECT_FALSE(ds.AppendRow({1.0}, {0}, 2, 0).ok());
+  EXPECT_FALSE(ds.AppendRow({1.0}, {0}, 0, -1).ok());
+}
+
+TEST(DatasetTest, AppendRejectsOutOfRangeCode) {
+  Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.AppendRow({1.0}, {5}, 0, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, SelectRowsPreservesOrderAndAllowsRepetition) {
+  const Dataset ds = TinyDataset();
+  Result<Dataset> sub = ds.SelectRows({2, 0, 2});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(sub->NumericAt(0, 0), 40.0);
+  EXPECT_DOUBLE_EQ(sub->NumericAt(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(sub->NumericAt(0, 2), 40.0);
+  EXPECT_EQ(sub->sensitive(), (std::vector<int>{1, 1, 1}));
+  EXPECT_TRUE(sub->Validate().ok());
+}
+
+TEST(DatasetTest, SelectRowsRejectsOutOfRange) {
+  const Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.SelectRows({9}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, SelectColumnsSubsetsSchema) {
+  const Dataset ds = TinyDataset();
+  Result<Dataset> sub = ds.SelectColumns({"job"});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_features(), 1u);
+  EXPECT_EQ(sub->schema().column(0).name, "job");
+  EXPECT_EQ(sub->num_rows(), 4u);
+  EXPECT_EQ(sub->CodeAt(0, 1), 1);
+  EXPECT_TRUE(sub->Validate().ok());
+}
+
+TEST(DatasetTest, SelectColumnsRejectsUnknownName) {
+  const Dataset ds = TinyDataset();
+  EXPECT_EQ(ds.SelectColumns({"nope"}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, Rates) {
+  const Dataset ds = TinyDataset();
+  EXPECT_DOUBLE_EQ(ds.PositiveRate(), 0.5);
+  EXPECT_DOUBLE_EQ(ds.PositiveRateBySensitive(1), 0.5);
+  EXPECT_DOUBLE_EQ(ds.PositiveRateBySensitive(0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.PrivilegedRate(), 0.5);
+}
+
+TEST(DatasetTest, ValidateCatchesCorruption) {
+  Dataset ds = TinyDataset();
+  ds.mutable_labels()[0] = 7;
+  EXPECT_FALSE(ds.Validate().ok());
+  Dataset ds2 = TinyDataset();
+  ds2.mutable_weights()[1] = -1.0;
+  EXPECT_FALSE(ds2.Validate().ok());
+  Dataset ds3 = TinyDataset();
+  ds3.mutable_column(1).codes[0] = 99;
+  EXPECT_FALSE(ds3.Validate().ok());
+}
+
+TEST(DatasetTest, EmptyDatasetIsValid) {
+  Dataset ds;
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_DOUBLE_EQ(ds.PositiveRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,99 @@
+#include "data/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+Dataset NumericDataset(const std::vector<double>& values) {
+  Schema schema;
+  ColumnSpec c;
+  c.name = "x";
+  c.type = ColumnType::kNumeric;
+  EXPECT_TRUE(schema.AddColumn(c).ok());
+  Dataset ds(schema);
+  for (double v : values) EXPECT_TRUE(ds.AppendRow({v}, {}, 0, 0).ok());
+  return ds;
+}
+
+TEST(DiscretizerTest, QuantileBinsAreMonotone) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  const Dataset ds = NumericDataset(values);
+  Discretizer disc(4);
+  ASSERT_TRUE(disc.Fit(ds).ok());
+  EXPECT_EQ(disc.Cardinality(0), 4u);
+  const std::vector<int> codes = disc.Codes(ds, 0).value();
+  // Codes must be non-decreasing in the sorted values.
+  for (std::size_t i = 1; i < codes.size(); ++i) {
+    EXPECT_GE(codes[i], codes[i - 1]);
+  }
+  EXPECT_EQ(codes.front(), 0);
+  EXPECT_EQ(codes.back(), 3);
+}
+
+TEST(DiscretizerTest, BinsRoughlyBalanced) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.Gaussian());
+  const Dataset ds = NumericDataset(values);
+  Discretizer disc(4);
+  ASSERT_TRUE(disc.Fit(ds).ok());
+  std::vector<int> counts(4, 0);
+  const std::vector<int> codes = disc.Codes(ds, 0).value();
+  for (int code : codes) ++counts[code];
+  for (int c : counts) EXPECT_NEAR(c, 250, 40);
+}
+
+TEST(DiscretizerTest, ConstantColumnCollapsesToOneBin) {
+  const Dataset ds = NumericDataset({5.0, 5.0, 5.0, 5.0});
+  Discretizer disc(4);
+  ASSERT_TRUE(disc.Fit(ds).ok());
+  EXPECT_EQ(disc.Cardinality(0), 1u);
+  const std::vector<int> codes = disc.Codes(ds, 0).value();
+  for (int code : codes) EXPECT_EQ(code, 0);
+}
+
+TEST(DiscretizerTest, CategoricalColumnsPassThrough) {
+  const Dataset ds = GenerateGerman(200, 5).value();
+  Discretizer disc(3);
+  ASSERT_TRUE(disc.Fit(ds).ok());
+  for (std::size_t c = 0; c < ds.num_features(); ++c) {
+    if (ds.schema().column(c).type == ColumnType::kCategorical) {
+      EXPECT_EQ(disc.Cardinality(c), ds.schema().column(c).cardinality());
+      EXPECT_EQ(disc.Codes(ds, c).value(), ds.column(c).codes);
+    } else {
+      EXPECT_LE(disc.Cardinality(c), 3u);
+    }
+  }
+}
+
+TEST(DiscretizerTest, RejectsBadUses) {
+  Discretizer disc(1);
+  EXPECT_FALSE(disc.Fit(NumericDataset({1.0})).ok());  // bins < 2.
+  Discretizer good(3);
+  const Dataset ds = NumericDataset({1, 2, 3});
+  EXPECT_EQ(good.Codes(ds, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(good.Fit(ds).ok());
+  EXPECT_EQ(good.CodeAt(ds, 5, 0).status().code(), StatusCode::kOutOfRange);
+  const Dataset other = GenerateGerman(10, 1).value();
+  EXPECT_EQ(good.Codes(other, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DiscretizerTest, OutOfRangeValuesClampToEdgeBins) {
+  const Dataset train = NumericDataset({1, 2, 3, 4, 5, 6, 7, 8});
+  Discretizer disc(4);
+  ASSERT_TRUE(disc.Fit(train).ok());
+  const Dataset test = NumericDataset({-100.0, 100.0});
+  EXPECT_EQ(disc.CodeAt(test, 0, 0).value(), 0);
+  EXPECT_EQ(disc.CodeAt(test, 0, 1).value(),
+            static_cast<int>(disc.Cardinality(0)) - 1);
+}
+
+}  // namespace
+}  // namespace fairbench

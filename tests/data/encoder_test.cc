@@ -1,0 +1,127 @@
+#include "data/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+Dataset TinyDataset() {
+  Schema schema;
+  ColumnSpec num;
+  num.name = "x";
+  num.type = ColumnType::kNumeric;
+  ColumnSpec cat;
+  cat.name = "c";
+  cat.type = ColumnType::kCategorical;
+  cat.categories = {"a", "b", "c"};
+  EXPECT_TRUE(schema.AddColumn(num).ok());
+  EXPECT_TRUE(schema.AddColumn(cat).ok());
+  Dataset ds(schema);
+  EXPECT_TRUE(ds.AppendRow({1.0}, {0}, 0, 0).ok());
+  EXPECT_TRUE(ds.AppendRow({2.0}, {1}, 1, 1).ok());
+  EXPECT_TRUE(ds.AppendRow({3.0}, {2}, 0, 1).ok());
+  return ds;
+}
+
+TEST(EncoderTest, DimsAndOneHotLayout) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, /*include_sensitive=*/false).ok());
+  // 1 numeric + (3-1) one-hot dims.
+  EXPECT_EQ(encoder.dims(), 3u);
+  const Matrix x = encoder.Transform(ds).value();
+  EXPECT_EQ(x.rows(), 3u);
+  // Reference category "a" encodes to zeros.
+  EXPECT_DOUBLE_EQ(x(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(x(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 1), 1.0);  // "b" -> first indicator.
+  EXPECT_DOUBLE_EQ(x(2, 2), 1.0);  // "c" -> second indicator.
+}
+
+TEST(EncoderTest, StandardizesNumericColumns) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const Matrix x = encoder.Transform(ds).value();
+  // Column mean 2, sample stddev 1.
+  EXPECT_NEAR(x(0, 0), -1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(x(2, 0), 1.0, 1e-12);
+}
+
+TEST(EncoderTest, IncludeSensitiveAppendsLastDim) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, /*include_sensitive=*/true).ok());
+  EXPECT_EQ(encoder.dims(), 4u);
+  const Matrix x = encoder.Transform(ds).value();
+  EXPECT_DOUBLE_EQ(x(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 3), 1.0);
+}
+
+TEST(EncoderTest, TransformRowWithOverrideFlipsOnlyS) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, true).ok());
+  const Vector base = encoder.TransformRow(ds, 0).value();
+  const Vector flipped = encoder.TransformRow(ds, 0, 1).value();
+  for (std::size_t d = 0; d + 1 < encoder.dims(); ++d) {
+    EXPECT_DOUBLE_EQ(base[d], flipped[d]);
+  }
+  EXPECT_DOUBLE_EQ(base[encoder.dims() - 1], 0.0);
+  EXPECT_DOUBLE_EQ(flipped[encoder.dims() - 1], 1.0);
+}
+
+TEST(EncoderTest, OverrideIsNoopWithoutSensitive) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  EXPECT_EQ(encoder.TransformRow(ds, 1, 0).value(),
+            encoder.TransformRow(ds, 1, 1).value());
+}
+
+TEST(EncoderTest, UnfittedAndMismatchedUsesAreErrors) {
+  const Dataset ds = TinyDataset();
+  FeatureEncoder encoder;
+  EXPECT_EQ(encoder.Transform(ds).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const Dataset other = GenerateGerman(50, 1).value();
+  EXPECT_EQ(encoder.Transform(other).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(encoder.TransformRow(ds, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EncoderTest, TrainTestConsistency) {
+  // Fit on train, transform test: statistics come from train only.
+  const Dataset train = GenerateAdult(500, 3).value();
+  const Dataset test = GenerateAdult(200, 4).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(train, true).ok());
+  Result<Matrix> xt = encoder.Transform(test);
+  ASSERT_TRUE(xt.ok());
+  EXPECT_EQ(xt->rows(), 200u);
+  EXPECT_EQ(xt->cols(), encoder.dims());
+}
+
+TEST(EncoderTest, ConstantColumnEncodesToZero) {
+  Schema schema;
+  ColumnSpec c;
+  c.name = "const";
+  c.type = ColumnType::kNumeric;
+  ASSERT_TRUE(schema.AddColumn(c).ok());
+  Dataset ds(schema);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ds.AppendRow({7.0}, {}, i % 2, 0).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const Matrix x = encoder.Transform(ds).value();
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_DOUBLE_EQ(x(r, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

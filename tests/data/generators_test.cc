@@ -1,0 +1,138 @@
+#include "data/generators/population.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+/// Parameterized over the four paper datasets: structural invariants and
+/// calibration targets hold for each generator.
+class GeneratorTest : public testing::TestWithParam<int> {
+ protected:
+  PopulationConfig Config() const {
+    return AllDatasetConfigs()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(GeneratorTest, ValidatesAndMatchesRowCount) {
+  const PopulationConfig config = Config();
+  Result<Dataset> ds = GeneratePopulation(config, 3000, 11);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_rows(), 3000u);
+  EXPECT_TRUE(ds->Validate().ok());
+  EXPECT_EQ(ds->name(), config.name);
+  EXPECT_EQ(ds->sensitive_name(), config.sensitive_name);
+}
+
+TEST_P(GeneratorTest, ZeroRowsMeansPaperSize) {
+  // Generating with 0 rows yields the full paper row count; use a small
+  // explicit count here and just check the config's default.
+  const PopulationConfig config = Config();
+  EXPECT_GT(config.default_rows, 0u);
+}
+
+TEST_P(GeneratorTest, CalibratedGroupRates) {
+  const PopulationConfig config = Config();
+  Result<Dataset> ds = GeneratePopulation(config, 20000, 13);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NEAR(ds->PositiveRateBySensitive(0), config.pos_rate_unprivileged,
+              0.02);
+  EXPECT_NEAR(ds->PositiveRateBySensitive(1), config.pos_rate_privileged,
+              0.02);
+  EXPECT_NEAR(ds->PrivilegedRate(), config.privileged_fraction, 0.02);
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  const PopulationConfig config = Config();
+  const Dataset a = GeneratePopulation(config, 500, 21).value();
+  const Dataset b = GeneratePopulation(config, 500, 21).value();
+  EXPECT_EQ(a.sensitive(), b.sensitive());
+  EXPECT_EQ(a.labels(), b.labels());
+  for (std::size_t c = 0; c < a.num_features(); ++c) {
+    EXPECT_EQ(a.column(c).numeric, b.column(c).numeric);
+    EXPECT_EQ(a.column(c).codes, b.column(c).codes);
+  }
+  const Dataset c = GeneratePopulation(config, 500, 22).value();
+  EXPECT_NE(a.labels(), c.labels());
+}
+
+TEST_P(GeneratorTest, AttributeRolesExistInSchema) {
+  const PopulationConfig config = Config();
+  const Dataset ds = GeneratePopulation(config, 100, 2).value();
+  for (const std::string& name : config.resolving_attributes) {
+    EXPECT_TRUE(ds.schema().Contains(name)) << name;
+  }
+  for (const std::string& name : config.inadmissible_attributes) {
+    EXPECT_TRUE(ds.schema().Contains(name)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest, testing::Range(0, 4),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return AllDatasetConfigs()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+TEST(GeneratorAttributeCountTest, MatchesFig9) {
+  // |X| in Fig 9 counts the sensitive attribute.
+  EXPECT_EQ(GenerateAdult(10, 1)->num_features() + 1, 14u);
+  EXPECT_EQ(GenerateCompas(10, 1)->num_features() + 1, 11u);
+  EXPECT_EQ(GenerateGerman(10, 1)->num_features() + 1, 9u);
+  EXPECT_EQ(GenerateCredit(10, 1)->num_features() + 1, 26u);
+}
+
+TEST(GeneratorShiftTest, NumericShiftsCreateLabelCorrelation) {
+  // In Adult, education_num has a positive y-shift: the mean among Y=1
+  // rows must exceed the mean among Y=0 rows.
+  const Dataset ds = GenerateAdult(8000, 3).value();
+  const std::size_t col = ds.schema().IndexOf("education_num").value();
+  double mean1 = 0.0;
+  double n1 = 0.0;
+  double mean0 = 0.0;
+  double n0 = 0.0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (ds.labels()[r] == 1) {
+      mean1 += ds.NumericAt(col, r);
+      n1 += 1.0;
+    } else {
+      mean0 += ds.NumericAt(col, r);
+      n0 += 1.0;
+    }
+  }
+  EXPECT_GT(mean1 / n1, mean0 / n0 + 0.3);
+}
+
+TEST(GeneratorShiftTest, ResolvingAttributeCorrelatesWithSex) {
+  // Adult's hours_per_week carries an s-shift (the CRD confounder).
+  const Dataset ds = GenerateAdult(8000, 4).value();
+  const std::size_t col = ds.schema().IndexOf("hours_per_week").value();
+  double mean_priv = 0.0;
+  double np = 0.0;
+  double mean_unpriv = 0.0;
+  double nu = 0.0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (ds.sensitive()[r] == 1) {
+      mean_priv += ds.NumericAt(col, r);
+      np += 1.0;
+    } else {
+      mean_unpriv += ds.NumericAt(col, r);
+      nu += 1.0;
+    }
+  }
+  EXPECT_GT(mean_priv / np, mean_unpriv / nu + 2.0);
+}
+
+TEST(GeneratorValidationTest, BadConfigsRejected) {
+  PopulationConfig config = GermanConfig();
+  config.privileged_fraction = 1.5;
+  EXPECT_FALSE(GeneratePopulation(config, 10, 1).ok());
+
+  PopulationConfig mismatched = GermanConfig();
+  mismatched.categorical[0].base_weights.pop_back();
+  EXPECT_FALSE(GeneratePopulation(mismatched, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

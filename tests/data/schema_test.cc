@@ -1,0 +1,73 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+ColumnSpec NumericCol(const std::string& name) {
+  ColumnSpec spec;
+  spec.name = name;
+  spec.type = ColumnType::kNumeric;
+  return spec;
+}
+
+ColumnSpec CategoricalCol(const std::string& name,
+                          std::vector<std::string> categories) {
+  ColumnSpec spec;
+  spec.name = name;
+  spec.type = ColumnType::kCategorical;
+  spec.categories = std::move(categories);
+  return spec;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn(NumericCol("age")).ok());
+  ASSERT_TRUE(schema.AddColumn(CategoricalCol("job", {"a", "b"})).ok());
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.IndexOf("job").value(), 1u);
+  EXPECT_TRUE(schema.Contains("age"));
+  EXPECT_FALSE(schema.Contains("salary"));
+  EXPECT_EQ(schema.IndexOf("salary").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn(NumericCol("x")).ok());
+  EXPECT_EQ(schema.AddColumn(NumericCol("x")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  Schema schema;
+  EXPECT_EQ(schema.AddColumn(NumericCol("")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsCategoricalWithoutCategories) {
+  Schema schema;
+  ColumnSpec spec;
+  spec.name = "c";
+  spec.type = ColumnType::kCategorical;
+  EXPECT_EQ(schema.AddColumn(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  Schema a;
+  Schema b;
+  ASSERT_TRUE(a.AddColumn(CategoricalCol("c", {"x", "y"})).ok());
+  ASSERT_TRUE(b.AddColumn(CategoricalCol("c", {"x", "y"})).ok());
+  EXPECT_TRUE(a == b);
+  Schema c;
+  ASSERT_TRUE(c.AddColumn(CategoricalCol("c", {"x", "z"})).ok());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, CardinalityReflectsDictionary) {
+  const ColumnSpec spec = CategoricalCol("c", {"a", "b", "c"});
+  EXPECT_EQ(spec.cardinality(), 3u);
+}
+
+}  // namespace
+}  // namespace fairbench

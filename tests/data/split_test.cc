@@ -1,0 +1,78 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+TEST(TrainTestSplitTest, PartitionIsDisjointAndComplete) {
+  Rng rng(1);
+  const SplitIndices split = TrainTestSplit(100, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 70u);
+  EXPECT_EQ(split.test.size(), 30u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, DeterministicGivenSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(TrainTestSplit(50, 0.5, a).train, TrainTestSplit(50, 0.5, b).train);
+}
+
+TEST(TrainTestSplitTest, ExtremesWork) {
+  Rng rng(2);
+  EXPECT_TRUE(TrainTestSplit(10, 0.0, rng).train.empty());
+  EXPECT_TRUE(TrainTestSplit(10, 1.0, rng).test.empty());
+}
+
+TEST(KFoldTest, FoldsPartitionTheData) {
+  Rng rng(3);
+  const auto folds = KFold(10, 3, rng);
+  ASSERT_EQ(folds.size(), 3u);
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (const auto& fold : folds) {
+    total += fold.size();
+    all.insert(fold.begin(), fold.end());
+    EXPECT_GE(fold.size(), 3u);
+    EXPECT_LE(fold.size(), 4u);
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(MaterializeSplitTest, ProducesTwoDatasets) {
+  const Dataset ds = GenerateGerman(100, 4).value();
+  Rng rng(7);
+  const SplitIndices split = TrainTestSplit(ds.num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts = MaterializeSplit(ds, split);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->first.num_rows(), 70u);
+  EXPECT_EQ(parts->second.num_rows(), 30u);
+  EXPECT_TRUE(parts->first.Validate().ok());
+  EXPECT_TRUE(parts->second.Validate().ok());
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndBounded) {
+  Rng rng(8);
+  const auto sample = SampleWithoutReplacement(50, 20, rng);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(SampleWithoutReplacementTest, ClampsOversizedRequest) {
+  Rng rng(9);
+  EXPECT_EQ(SampleWithoutReplacement(5, 100, rng).size(), 5u);
+}
+
+}  // namespace
+}  // namespace fairbench

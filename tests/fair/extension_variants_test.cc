@@ -1,0 +1,102 @@
+// Tests for the extension variants: the notions each approach supports in
+// Fig 8 beyond the specific variant the paper evaluated — ZHA-LE with
+// demographic parity, PLEISS with predictive equality, and KEARNS with
+// demographic parity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generators/population.h"
+#include "fair/in/kearns.h"
+#include "fair/in/zhale.h"
+#include "fair/post/pleiss.h"
+#include "metrics/fairness.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<int> Predict(const InProcessor& model, const Dataset& data) {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    out.push_back(model.PredictRow(data, r, data.sensitive()[r]).value());
+  }
+  return out;
+}
+
+TEST(ZhaLeDpTest, AdversaryBlindToLabelEnforcesParity) {
+  const Dataset data = GenerateAdult(6000, 1).value();
+  ZhaLeOptions options;
+  options.notion = ZhaLeNotion::kDemographicParity;
+  options.adversary_alpha = 2.0;
+  ZhaLe zhale(options);
+  EXPECT_EQ(zhale.name(), "ZhaLe-DP");
+  FairContext ctx;
+  ctx.seed = 2;
+  ASSERT_TRUE(zhale.Fit(data, ctx).ok());
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), Predict(zhale, data), data.sensitive())
+          .value();
+  // The parity gap must be much smaller than the data's raw 21-point gap.
+  EXPECT_LT(std::fabs(gs.PositiveRatePrivileged() -
+                      gs.PositiveRateUnprivileged()),
+            0.12);
+}
+
+TEST(PleissPeTest, EqualizesFalsePositiveRates) {
+  // Calibration data where the privileged group has a higher FPR.
+  Rng rng(3);
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  for (int i = 0; i < 30000; ++i) {
+    const int si = rng.Bernoulli(0.5) ? 1 : 0;
+    const int yi = rng.Bernoulli(0.5) ? 1 : 0;
+    const double p = std::clamp(
+        0.3 + 0.3 * yi + 0.15 * si + rng.Gaussian(0.0, 0.1), 0.01, 0.99);
+    proba.push_back(p);
+    y.push_back(yi);
+    s.push_back(si);
+  }
+  PleissOptions options;
+  options.notion = PleissNotion::kPredictiveEquality;
+  Pleiss pleiss(options);
+  EXPECT_EQ(pleiss.name(), "Pleiss-PE");
+  FairContext ctx;
+  ctx.seed = 4;
+  ASSERT_TRUE(pleiss.Fit(proba, y, s, ctx).ok());
+  // Favored group = lower FPR = unprivileged here.
+  EXPECT_EQ(pleiss.favored_group(), 0);
+
+  std::vector<int> adjusted;
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    adjusted.push_back(pleiss.Adjust(proba[i], s[i], i).value());
+  }
+  const GroupStats gs = BuildGroupStats(y, adjusted, s).value();
+  EXPECT_NEAR(gs.privileged.Fpr(), gs.unprivileged.Fpr(), 0.05);
+}
+
+TEST(KearnsDpTest, BoundsSubgroupPositiveRateViolations) {
+  const Dataset data = GenerateAdult(5000, 5).value();
+  KearnsOptions options;
+  options.notion = KearnsNotion::kDemographicParity;
+  options.gamma = 0.01;
+  options.rounds = 12;
+  Kearns kearns(options);
+  EXPECT_EQ(kearns.name(), "Kearns-DP");
+  FairContext ctx;
+  ASSERT_TRUE(kearns.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(kearns, data);
+
+  // Group-level positive rates draw together relative to the plain model's
+  // ~2.5x disparity.
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), pred, data.sensitive()).value();
+  const double gap = std::fabs(gs.PositiveRatePrivileged() -
+                               gs.PositiveRateUnprivileged());
+  EXPECT_LT(gap, 0.12);
+}
+
+}  // namespace
+}  // namespace fairbench

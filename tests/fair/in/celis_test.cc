@@ -1,0 +1,90 @@
+#include "fair/in/celis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<int> Predict(const InProcessor& model, const Dataset& data) {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    out.push_back(model.PredictRow(data, r, data.sensitive()[r]).value());
+  }
+  return out;
+}
+
+/// False discovery rate Pr(Y=0 | Yhat=1) per group.
+double GroupFdr(const ConfusionMatrix& cm) {
+  const double pp = cm.PredictedPositives();
+  return pp > 0.0 ? cm.fp / pp : 0.0;
+}
+
+TEST(CelisTest, FdrRatioMeetsTau) {
+  const Dataset data = GenerateCompas(6000, 1).value();
+  CelisOptions options;
+  options.tau = 0.8;
+  Celis celis(options);
+  FairContext ctx;
+  ASSERT_TRUE(celis.Fit(data, ctx).ok());
+  EXPECT_GE(celis.last_fdr_ratio(), 0.7);  // Smooth surrogate: small slack.
+
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), Predict(celis, data), data.sensitive())
+          .value();
+  const double fdr0 = GroupFdr(gs.unprivileged);
+  const double fdr1 = GroupFdr(gs.privileged);
+  const double hi = std::max(fdr0, fdr1);
+  if (hi > 0.0) {
+    EXPECT_GE(std::min(fdr0, fdr1) / hi, 0.5);
+  }
+}
+
+TEST(CelisTest, RetainsUsefulAccuracy) {
+  const Dataset data = GenerateCompas(4000, 2).value();
+  Celis celis;
+  FairContext ctx;
+  ASSERT_TRUE(celis.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(celis, data);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == data.labels()[i];
+  }
+  const double majority =
+      std::max(data.PositiveRate(), 1.0 - data.PositiveRate());
+  EXPECT_GT(correct / static_cast<double>(pred.size()), majority - 0.03);
+}
+
+TEST(CelisTest, GroupBlindPredictions) {
+  const Dataset data = GenerateGerman(500, 3).value();
+  Celis celis;
+  FairContext ctx;
+  ASSERT_TRUE(celis.Fit(data, ctx).ok());
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(celis.PredictRow(data, r, 0).value(),
+              celis.PredictRow(data, r, 1).value());
+  }
+}
+
+TEST(CelisTest, TauOneIsStricterThanTauHalf) {
+  const Dataset data = GenerateCompas(5000, 4).value();
+  FairContext ctx;
+  CelisOptions strict;
+  strict.tau = 1.0;
+  Celis a(strict);
+  ASSERT_TRUE(a.Fit(data, ctx).ok());
+  CelisOptions loose;
+  loose.tau = 0.5;
+  Celis b(loose);
+  ASSERT_TRUE(b.Fit(data, ctx).ok());
+  EXPECT_GE(a.last_fdr_ratio() + 0.05, b.last_fdr_ratio());
+}
+
+TEST(CelisTest, NameIsStable) { EXPECT_EQ(Celis().name(), "Celis-PP"); }
+
+}  // namespace
+}  // namespace fairbench

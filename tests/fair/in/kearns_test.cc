@@ -1,0 +1,102 @@
+#include "fair/in/kearns.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<int> Predict(const InProcessor& model, const Dataset& data) {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    out.push_back(model.PredictRow(data, r, data.sensitive()[r]).value());
+  }
+  return out;
+}
+
+/// FPR of the subgroup selected by `mask`.
+double SubgroupFpr(const Dataset& data, const std::vector<int>& pred,
+                   const std::vector<bool>& mask) {
+  double fp = 0.0;
+  double neg = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (!mask[i] || data.labels()[i] != 0) continue;
+    neg += 1.0;
+    fp += pred[i];
+  }
+  return neg > 0.0 ? fp / neg : 0.0;
+}
+
+TEST(KearnsTest, SubgroupFprViolationsAreBounded) {
+  const Dataset data = GenerateCompas(5000, 1).value();
+  Kearns kearns;
+  FairContext ctx;
+  ASSERT_TRUE(kearns.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(kearns, data);
+
+  std::vector<bool> all(data.num_rows(), true);
+  const double overall = SubgroupFpr(data, pred, all);
+
+  // Audit the S x categorical-feature subgroup family the approach uses.
+  double max_violation = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    std::vector<bool> mask(data.num_rows(), false);
+    double count = 0.0;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      mask[i] = data.sensitive()[i] == s;
+      count += mask[i];
+    }
+    const double alpha = count / static_cast<double>(data.num_rows());
+    max_violation =
+        std::max(max_violation,
+                 alpha * std::fabs(SubgroupFpr(data, pred, mask) - overall));
+  }
+  EXPECT_LT(max_violation, 0.03);
+  EXPECT_LT(kearns.last_max_violation(), 0.05);
+}
+
+TEST(KearnsTest, TightensFprGapVersusPlainLr) {
+  // COMPAS-like data has a big group FPR gap under plain training; the
+  // subgroup constraints must shrink it.
+  const Dataset data = GenerateCompas(6000, 2).value();
+  FairContext ctx;
+  Kearns kearns;
+  ASSERT_TRUE(kearns.Fit(data, ctx).ok());
+  KearnsOptions off;
+  off.rounds = 1;  // First round fits unweighted LR: the baseline.
+  off.multiplier_lr = 0.0;
+  Kearns plain(off);
+  ASSERT_TRUE(plain.Fit(data, ctx).ok());
+
+  auto group_fpr_gap = [&](const std::vector<int>& pred) {
+    const GroupStats gs =
+        BuildGroupStats(data.labels(), pred, data.sensitive()).value();
+    return std::fabs(gs.privileged.Fpr() - gs.unprivileged.Fpr());
+  };
+  EXPECT_LE(group_fpr_gap(Predict(kearns, data)),
+            group_fpr_gap(Predict(plain, data)) + 0.01);
+}
+
+TEST(KearnsTest, KeepsAccuracyAboveMajority) {
+  const Dataset data = GenerateCompas(4000, 3).value();
+  Kearns kearns;
+  FairContext ctx;
+  ASSERT_TRUE(kearns.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(kearns, data);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == data.labels()[i];
+  }
+  const double majority =
+      std::max(data.PositiveRate(), 1.0 - data.PositiveRate());
+  EXPECT_GT(correct / static_cast<double>(pred.size()), majority - 0.02);
+}
+
+TEST(KearnsTest, NameIsStable) { EXPECT_EQ(Kearns().name(), "Kearns-PE"); }
+
+}  // namespace
+}  // namespace fairbench

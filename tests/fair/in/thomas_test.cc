@@ -1,0 +1,103 @@
+#include "fair/in/thomas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+#include "metrics/fairness.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<int> Predict(const InProcessor& model, const Dataset& data) {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    out.push_back(model.PredictRow(data, r, data.sensitive()[r]).value());
+  }
+  return out;
+}
+
+TEST(ThomasDpTest, SafetyTestPassesAndParityHolds) {
+  // The safety bound needs a reasonably large safety set: the one-sided
+  // t-interval width at n ~ 3200 already approaches epsilon by itself.
+  const Dataset data = GenerateAdult(20000, 1).value();
+  ThomasOptions options;
+  options.notion = ThomasNotion::kDemographicParity;
+  Thomas thomas(options);
+  FairContext ctx;
+  ctx.seed = 2;
+  ASSERT_TRUE(thomas.Fit(data, ctx).ok());
+  EXPECT_FALSE(thomas.no_solution_found());
+  EXPECT_LE(thomas.last_safety_bound(), options.epsilon + 1e-9);
+
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), Predict(thomas, data), data.sensitive())
+          .value();
+  EXPECT_LT(std::fabs(gs.PositiveRatePrivileged() -
+                      gs.PositiveRateUnprivileged()),
+            0.10);
+}
+
+TEST(ThomasEoTest, ErrorRatesBalanced) {
+  const Dataset data = GenerateAdult(8000, 3).value();
+  ThomasOptions options;
+  options.notion = ThomasNotion::kEqualizedOdds;
+  Thomas thomas(options);
+  FairContext ctx;
+  ctx.seed = 4;
+  ASSERT_TRUE(thomas.Fit(data, ctx).ok());
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), Predict(thomas, data), data.sensitive())
+          .value();
+  EXPECT_LT(std::fabs(TprBalance(gs)), 0.15);
+  EXPECT_LT(std::fabs(TnrBalance(gs)), 0.10);
+}
+
+TEST(ThomasTest, ImpossiblyStrictSettingsReportNsf) {
+  const Dataset data = GenerateAdult(1500, 5).value();
+  ThomasOptions options;
+  options.notion = ThomasNotion::kDemographicParity;
+  options.epsilon = 0.0005;  // Unattainable with this sample size.
+  options.delta = 0.001;
+  Thomas thomas(options);
+  FairContext ctx;
+  ASSERT_TRUE(thomas.Fit(data, ctx).ok());  // Fallback model installed...
+  EXPECT_TRUE(thomas.no_solution_found());  // ...but flagged NSF.
+}
+
+TEST(ThomasTest, GroupBlindPredictions) {
+  const Dataset data = GenerateGerman(600, 6).value();
+  Thomas thomas;
+  FairContext ctx;
+  ASSERT_TRUE(thomas.Fit(data, ctx).ok());
+  for (std::size_t r = 0; r < 40; ++r) {
+    EXPECT_EQ(thomas.PredictRow(data, r, 0).value(),
+              thomas.PredictRow(data, r, 1).value());
+  }
+}
+
+TEST(ThomasTest, SafetyBoundShrinksWithMoreData) {
+  FairContext ctx;
+  ctx.seed = 7;
+  ThomasOptions options;
+  Thomas small(options);
+  ASSERT_TRUE(small.Fit(GenerateAdult(1200, 8).value(), ctx).ok());
+  Thomas large(options);
+  ASSERT_TRUE(large.Fit(GenerateAdult(12000, 8).value(), ctx).ok());
+  // Bounds are data-dependent, but more safety data must not blow the
+  // bound up drastically; typically it tightens.
+  EXPECT_LT(large.last_safety_bound(), small.last_safety_bound() + 0.05);
+}
+
+TEST(ThomasTest, Names) {
+  ThomasOptions dp;
+  dp.notion = ThomasNotion::kDemographicParity;
+  ThomasOptions eo;
+  eo.notion = ThomasNotion::kEqualizedOdds;
+  EXPECT_EQ(Thomas(dp).name(), "Thomas-DP");
+  EXPECT_EQ(Thomas(eo).name(), "Thomas-EO");
+}
+
+}  // namespace
+}  // namespace fairbench

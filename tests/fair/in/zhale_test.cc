@@ -1,0 +1,74 @@
+#include "fair/in/zhale.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+#include "metrics/fairness.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<int> Predict(const InProcessor& model, const Dataset& data) {
+  std::vector<int> out;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    out.push_back(model.PredictRow(data, r, data.sensitive()[r]).value());
+  }
+  return out;
+}
+
+TEST(ZhaLeTest, AchievesSmallEqualizedOddsGaps) {
+  const Dataset data = GenerateAdult(6000, 1).value();
+  FairContext ctx;
+  ctx.seed = 2;
+  ZhaLe fair;
+  ASSERT_TRUE(fair.Fit(data, ctx).ok());
+  const GroupStats gs_fair =
+      BuildGroupStats(data.labels(), Predict(fair, data), data.sensitive())
+          .value();
+  EXPECT_LT(std::fabs(TprBalance(gs_fair)), 0.15);
+  EXPECT_LT(std::fabs(TnrBalance(gs_fair)), 0.10);
+}
+
+TEST(ZhaLeTest, AdversaryEndsNearChanceLoss) {
+  const Dataset data = GenerateAdult(4000, 3).value();
+  ZhaLe zhale;
+  FairContext ctx;
+  ASSERT_TRUE(zhale.Fit(data, ctx).ok());
+  // With ~2/3 privileged rows, the entropy of S is ~0.63 nats; a fooled
+  // adversary's log-loss sits near that ceiling, far above 0.
+  EXPECT_GT(zhale.last_adversary_loss(), 0.45);
+}
+
+TEST(ZhaLeTest, RetainsUsefulAccuracy) {
+  const Dataset data = GenerateAdult(5000, 4).value();
+  ZhaLe zhale;
+  FairContext ctx;
+  ASSERT_TRUE(zhale.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(zhale, data);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == data.labels()[i];
+  }
+  const double majority = 1.0 - data.PositiveRate();
+  EXPECT_GT(correct / static_cast<double>(pred.size()), majority);
+}
+
+TEST(ZhaLeTest, DeterministicFit) {
+  const Dataset data = GenerateGerman(600, 5).value();
+  FairContext ctx;
+  ZhaLe a;
+  ZhaLe b;
+  ASSERT_TRUE(a.Fit(data, ctx).ok());
+  ASSERT_TRUE(b.Fit(data, ctx).ok());
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(a.PredictProbaRow(data, r, 0).value(),
+                     b.PredictProbaRow(data, r, 0).value());
+  }
+}
+
+TEST(ZhaLeTest, NameIsStable) { EXPECT_EQ(ZhaLe().name(), "ZhaLe-EO"); }
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,45 @@
+#include "fair/method.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fairbench {
+namespace {
+
+TEST(StableUniformTest, DeterministicPerKey) {
+  EXPECT_DOUBLE_EQ(StableUniform(1, 2), StableUniform(1, 2));
+  EXPECT_NE(StableUniform(1, 2), StableUniform(1, 3));
+  EXPECT_NE(StableUniform(1, 2), StableUniform(2, 2));
+}
+
+TEST(StableUniformTest, ValuesInUnitInterval) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const double u = StableUniform(7, k);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StableUniformTest, ApproximatelyUniform) {
+  double sum = 0.0;
+  int below_half = 0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    const double u = StableUniform(42, static_cast<uint64_t>(k));
+    sum += u;
+    if (u < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(below_half) / n, 0.5, 0.02);
+}
+
+TEST(FairContextTest, DefaultsAreSane) {
+  FairContext ctx;
+  EXPECT_TRUE(ctx.resolving_attributes.empty());
+  EXPECT_TRUE(ctx.inadmissible_attributes.empty());
+}
+
+}  // namespace
+}  // namespace fairbench

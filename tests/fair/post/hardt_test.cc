@@ -1,0 +1,121 @@
+#include "fair/post/hardt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+namespace {
+
+/// Calibration data where the base classifier has unequal TPR/FPR across
+/// groups: privileged scores are shifted upward.
+void MakeCalibration(std::size_t n, uint64_t seed, std::vector<double>* proba,
+                     std::vector<int>* y, std::vector<int>* s) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int si = rng.Bernoulli(0.5) ? 1 : 0;
+    const int yi = rng.Bernoulli(0.5) ? 1 : 0;
+    double p = 0.3 + 0.3 * yi + 0.15 * si + rng.Gaussian(0.0, 0.1);
+    proba->push_back(std::clamp(p, 0.01, 0.99));
+    y->push_back(yi);
+    s->push_back(si);
+  }
+}
+
+TEST(HardtTest, EqualizesOddsInExpectation) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(20000, 1, &proba, &y, &s);
+  Hardt hardt;
+  FairContext ctx;
+  ctx.seed = 2;
+  ASSERT_TRUE(hardt.Fit(proba, y, s, ctx).ok());
+
+  std::vector<int> adjusted;
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    adjusted.push_back(hardt.Adjust(proba[i], s[i], i).value());
+  }
+  const GroupStats gs = BuildGroupStats(y, adjusted, s).value();
+  EXPECT_NEAR(gs.privileged.Tpr(), gs.unprivileged.Tpr(), 0.04);
+  EXPECT_NEAR(gs.privileged.Fpr(), gs.unprivileged.Fpr(), 0.04);
+}
+
+TEST(HardtTest, MixingProbabilitiesAreValid) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(5000, 3, &proba, &y, &s);
+  Hardt hardt;
+  FairContext ctx;
+  ASSERT_TRUE(hardt.Fit(proba, y, s, ctx).ok());
+  for (int si = 0; si < 2; ++si) {
+    for (int yhat = 0; yhat < 2; ++yhat) {
+      EXPECT_GE(hardt.mixing(si, yhat), -1e-9);
+      EXPECT_LE(hardt.mixing(si, yhat), 1.0 + 1e-9);
+    }
+    // A sane derived predictor keeps positive predictions more likely
+    // after a positive base prediction.
+    EXPECT_GE(hardt.mixing(si, 1) + 1e-9, hardt.mixing(si, 0));
+  }
+}
+
+TEST(HardtTest, AdjustStablePerRowKey) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(2000, 4, &proba, &y, &s);
+  Hardt hardt;
+  FairContext ctx;
+  ASSERT_TRUE(hardt.Fit(proba, y, s, ctx).ok());
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(hardt.Adjust(proba[i], s[i], i).value(),
+              hardt.Adjust(proba[i], s[i], i).value());
+  }
+}
+
+TEST(HardtTest, AlreadyFairPredictorIsPreserved) {
+  // If TPR/FPR already match across groups, the optimal LP solution is the
+  // identity map (p_{s,1}=1, p_{s,0}=0) because deviations only add error.
+  Rng rng(5);
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  for (int i = 0; i < 20000; ++i) {
+    const int si = rng.Bernoulli(0.5) ? 1 : 0;
+    const int yi = rng.Bernoulli(0.5) ? 1 : 0;
+    const double p = std::clamp(0.3 + 0.4 * yi + rng.Gaussian(0.0, 0.05),
+                                0.01, 0.99);
+    proba.push_back(p);
+    y.push_back(yi);
+    s.push_back(si);
+  }
+  Hardt hardt;
+  FairContext ctx;
+  ASSERT_TRUE(hardt.Fit(proba, y, s, ctx).ok());
+  for (int si = 0; si < 2; ++si) {
+    EXPECT_GT(hardt.mixing(si, 1), 0.9);
+    EXPECT_LT(hardt.mixing(si, 0), 0.1);
+  }
+}
+
+TEST(HardtTest, FailsWithoutBothOutcomesPerGroup) {
+  Hardt hardt;
+  FairContext ctx;
+  // Group 1 has no negatives.
+  EXPECT_EQ(hardt.Fit({0.9, 0.8, 0.1, 0.2}, {1, 1, 1, 0}, {1, 1, 0, 0}, ctx)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HardtTest, ErrorsBeforeFit) {
+  Hardt hardt;
+  EXPECT_EQ(hardt.Adjust(0.7, 1, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fairbench

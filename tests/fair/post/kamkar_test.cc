@@ -1,0 +1,103 @@
+#include "fair/post/kamkar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+/// Synthetic calibration set with a parity gap concentrated near the
+/// boundary: privileged rows get probabilities shifted up.
+void MakeCalibration(std::size_t n, uint64_t seed, std::vector<double>* proba,
+                     std::vector<int>* y, std::vector<int>* s) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int si = rng.Bernoulli(0.5) ? 1 : 0;
+    const int yi = rng.Bernoulli(0.5) ? 1 : 0;
+    double p = 0.35 + 0.3 * yi + 0.12 * si + rng.Gaussian(0.0, 0.08);
+    p = std::clamp(p, 0.01, 0.99);
+    proba->push_back(p);
+    y->push_back(yi);
+    s->push_back(si);
+  }
+}
+
+TEST(KamKarTest, CriticalRegionEqualizesPositiveRates) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(4000, 1, &proba, &y, &s);
+  KamKar kamkar;
+  FairContext ctx;
+  ASSERT_TRUE(kamkar.Fit(proba, y, s, ctx).ok());
+  EXPECT_GT(kamkar.theta(), 0.5);
+
+  // Positive rates per group after adjustment.
+  double pos[2] = {0, 0};
+  double cnt[2] = {0, 0};
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    pos[s[i]] += kamkar.Adjust(proba[i], s[i], i).value();
+    cnt[s[i]] += 1;
+  }
+  const double before_gap = 0.2;  // By construction (0.12 shift + base).
+  const double after_gap = std::fabs(pos[1] / cnt[1] - pos[0] / cnt[0]);
+  EXPECT_LT(after_gap, before_gap);
+  EXPECT_LT(after_gap, 0.06);
+}
+
+TEST(KamKarTest, ConfidentPredictionsPassThrough) {
+  std::vector<double> proba = {0.99, 0.01, 0.98, 0.02};
+  std::vector<int> y = {1, 0, 1, 0};
+  std::vector<int> s = {1, 1, 0, 0};
+  KamKar kamkar;
+  FairContext ctx;
+  ASSERT_TRUE(kamkar.Fit(proba, y, s, ctx).ok());
+  // Far from the boundary the base decision survives for both groups.
+  EXPECT_EQ(kamkar.Adjust(0.99, 1, 0).value(), 1);
+  EXPECT_EQ(kamkar.Adjust(0.01, 1, 1).value(), 0);
+  EXPECT_EQ(kamkar.Adjust(0.99, 0, 2).value(), 1);
+  EXPECT_EQ(kamkar.Adjust(0.01, 0, 3).value(), 0);
+}
+
+TEST(KamKarTest, CriticalRegionFavorsUnprivileged) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(2000, 2, &proba, &y, &s);
+  KamKar kamkar;
+  FairContext ctx;
+  ASSERT_TRUE(kamkar.Fit(proba, y, s, ctx).ok());
+  // A borderline prediction flips direction based on group membership.
+  const double borderline = 0.5;
+  EXPECT_EQ(kamkar.Adjust(borderline, 0, 0).value(), 1);
+  EXPECT_EQ(kamkar.Adjust(borderline, 1, 0).value(), 0);
+}
+
+TEST(KamKarTest, AdjustIsDeterministic) {
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  MakeCalibration(500, 3, &proba, &y, &s);
+  KamKar kamkar;
+  FairContext ctx;
+  ASSERT_TRUE(kamkar.Fit(proba, y, s, ctx).ok());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(kamkar.Adjust(proba[i], s[i], i).value(),
+              kamkar.Adjust(proba[i], s[i], i).value());
+  }
+}
+
+TEST(KamKarTest, ErrorsBeforeFitAndOnBadInput) {
+  KamKar kamkar;
+  EXPECT_EQ(kamkar.Adjust(0.5, 0, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  FairContext ctx;
+  EXPECT_FALSE(kamkar.Fit({0.5}, {1, 0}, {1}, ctx).ok());
+  EXPECT_FALSE(kamkar.Fit({}, {}, {}, ctx).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,97 @@
+#include "fair/pre/calmon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+double LabelGap(const Dataset& ds) {
+  return std::fabs(ds.PositiveRateBySensitive(1) -
+                   ds.PositiveRateBySensitive(0));
+}
+
+TEST(CalmonTest, RepairClosesTheLabelParityGap) {
+  const Dataset train = GenerateAdult(8000, 1).value();
+  ASSERT_GT(LabelGap(train), 0.15);
+  Calmon calmon;
+  FairContext ctx;
+  ctx.seed = 2;
+  Result<Dataset> repaired = calmon.Repair(train, ctx);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_LT(LabelGap(repaired.value()), 0.06);
+  EXPECT_TRUE(repaired->Validate().ok());
+}
+
+TEST(CalmonTest, DistortionIsBounded) {
+  const Dataset train = GenerateAdult(8000, 3).value();
+  CalmonOptions options;
+  Calmon calmon(options);
+  FairContext ctx;
+  ctx.seed = 4;
+  const Dataset repaired = calmon.Repair(train, ctx).value();
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    if (repaired.labels()[i] != train.labels()[i]) ++flips;
+  }
+  const double flip_rate =
+      static_cast<double>(flips) / static_cast<double>(train.num_rows());
+  EXPECT_GT(flips, 0u);  // Some repair happened.
+  // Expected flips are bounded by the per-cell distortion cap.
+  EXPECT_LT(flip_rate, options.cell_distortion_cap + 0.05);
+  // Only labels change; X and S are preserved in this transform class.
+  EXPECT_EQ(repaired.sensitive(), train.sensitive());
+}
+
+TEST(CalmonTest, AlreadyFairDataIsBarelyTouched) {
+  PopulationConfig config = GermanConfig();
+  config.pos_rate_privileged = 0.6;
+  config.pos_rate_unprivileged = 0.6;
+  const Dataset train = GeneratePopulation(config, 4000, 5).value();
+  Calmon calmon;
+  FairContext ctx;
+  const Dataset repaired = calmon.Repair(train, ctx).value();
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    if (repaired.labels()[i] != train.labels()[i]) ++flips;
+  }
+  EXPECT_LT(static_cast<double>(flips) / 4000.0, 0.05);
+}
+
+TEST(CalmonTest, FailsBeyondTractableDomain) {
+  // The paper: CALMON could not operate on more than 22 attributes of
+  // Credit. The full 25-feature Credit generator must trip the domain cap.
+  const Dataset train = GenerateCredit(3000, 6).value();
+  Calmon calmon;
+  FairContext ctx;
+  EXPECT_EQ(calmon.Repair(train, ctx).status().code(),
+            StatusCode::kNoConvergence);
+}
+
+TEST(CalmonTest, SucceedsOnReducedCredit) {
+  const Dataset full = GenerateCredit(3000, 7).value();
+  std::vector<std::string> keep;
+  for (std::size_t c = 0; c < 21; ++c) {
+    keep.push_back(full.schema().column(c).name);
+  }
+  const Dataset reduced = full.SelectColumns(keep).value();
+  Calmon calmon;
+  FairContext ctx;
+  EXPECT_TRUE(calmon.Repair(reduced, ctx).ok());
+}
+
+TEST(CalmonTest, DeterministicPerSeed) {
+  const Dataset train = GenerateGerman(800, 8).value();
+  Calmon calmon;
+  FairContext ctx;
+  ctx.seed = 11;
+  const Dataset a = calmon.Repair(train, ctx).value();
+  const Dataset b = calmon.Repair(train, ctx).value();
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,166 @@
+#include "fair/pre/feld.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators/population.h"
+#include "stats/descriptive.h"
+
+namespace fairbench {
+namespace {
+
+/// Per-group values of a numeric column.
+std::array<std::vector<double>, 2> GroupValues(const Dataset& ds,
+                                               std::size_t col) {
+  std::array<std::vector<double>, 2> out;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    out[static_cast<std::size_t>(ds.sensitive()[r])].push_back(
+        ds.NumericAt(col, r));
+  }
+  return out;
+}
+
+TEST(FeldTest, FullRepairAlignsGroupMarginals) {
+  const Dataset train = GenerateAdult(6000, 1).value();
+  const std::size_t col = train.schema().IndexOf("hours_per_week").value();
+  auto before = GroupValues(train, col);
+  const double gap_before = std::fabs(SampleMean(before[0]) -
+                                      SampleMean(before[1]));
+  ASSERT_GT(gap_before, 2.0);  // Sex shift present.
+
+  Feld feld(1.0);
+  FairContext ctx;
+  Result<Dataset> repaired = feld.Repair(train, ctx);
+  ASSERT_TRUE(repaired.ok());
+  auto after = GroupValues(repaired.value(), col);
+  EXPECT_LT(std::fabs(SampleMean(after[0]) - SampleMean(after[1])), 0.3);
+  // Quantiles align too (distribution-level repair, not just the mean).
+  EXPECT_NEAR(Quantile(after[0], 0.25), Quantile(after[1], 0.25), 1.0);
+  EXPECT_NEAR(Quantile(after[0], 0.75), Quantile(after[1], 0.75), 1.0);
+}
+
+TEST(FeldTest, LambdaInterpolates) {
+  const Dataset train = GenerateAdult(4000, 2).value();
+  const std::size_t col = train.schema().IndexOf("hours_per_week").value();
+  FairContext ctx;
+  double prev_gap = 1e9;
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    Feld feld(lambda);
+    const Dataset repaired = feld.Repair(train, ctx).value();
+    auto groups = GroupValues(repaired, col);
+    const double gap =
+        std::fabs(SampleMean(groups[0]) - SampleMean(groups[1]));
+    EXPECT_LE(gap, prev_gap + 1e-9) << lambda;
+    prev_gap = gap;
+  }
+}
+
+TEST(FeldTest, LambdaZeroIsIdentity) {
+  const Dataset train = GenerateGerman(500, 3).value();
+  Feld feld(0.0);
+  FairContext ctx;
+  const Dataset repaired = feld.Repair(train, ctx).value();
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    if (train.schema().column(c).type == ColumnType::kNumeric) {
+      EXPECT_EQ(repaired.column(c).numeric, train.column(c).numeric);
+    }
+  }
+}
+
+TEST(FeldTest, LabelsAndSensitiveUntouched) {
+  const Dataset train = GenerateAdult(2000, 4).value();
+  Feld feld(1.0);
+  FairContext ctx;
+  const Dataset repaired = feld.Repair(train, ctx).value();
+  EXPECT_EQ(repaired.labels(), train.labels());
+  EXPECT_EQ(repaired.sensitive(), train.sensitive());
+}
+
+TEST(FeldTest, CategoricalRepairEqualizesGroupMarginals) {
+  const Dataset train = GenerateAdult(8000, 4).value();
+  const std::size_t col = train.schema().IndexOf("occupation").value();
+  Feld feld(1.0);
+  FairContext ctx;
+  ctx.seed = 5;
+  const Dataset repaired = feld.Repair(train, ctx).value();
+  // Per-group category distributions after full repair are close.
+  const std::size_t card = train.schema().column(col).cardinality();
+  std::vector<double> dist[2] = {std::vector<double>(card, 0.0),
+                                 std::vector<double>(card, 0.0)};
+  double count[2] = {0.0, 0.0};
+  for (std::size_t r = 0; r < repaired.num_rows(); ++r) {
+    const int s = repaired.sensitive()[r];
+    dist[s][static_cast<std::size_t>(repaired.CodeAt(col, r))] += 1.0;
+    count[s] += 1.0;
+  }
+  for (std::size_t k = 0; k < card; ++k) {
+    EXPECT_NEAR(dist[0][k] / count[0], dist[1][k] / count[1], 0.04) << k;
+  }
+}
+
+TEST(FeldTest, TransformFeaturesAppliesTrainedMapToNewData) {
+  const Dataset train = GenerateAdult(4000, 6).value();
+  const Dataset test = GenerateAdult(1000, 7).value();
+  Feld feld(1.0);
+  FairContext ctx;
+  ASSERT_TRUE(feld.Repair(train, ctx).ok());
+  EXPECT_TRUE(feld.TransformsFeatures());
+  Result<Dataset> transformed = feld.TransformFeatures(test);
+  ASSERT_TRUE(transformed.ok());
+  // Numeric group marginals of the transformed test set are aligned.
+  const std::size_t col = test.schema().IndexOf("hours_per_week").value();
+  double mean[2] = {0.0, 0.0};
+  double count[2] = {0.0, 0.0};
+  for (std::size_t r = 0; r < transformed->num_rows(); ++r) {
+    mean[transformed->sensitive()[r]] += transformed->NumericAt(col, r);
+    count[transformed->sensitive()[r]] += 1.0;
+  }
+  EXPECT_NEAR(mean[0] / count[0], mean[1] / count[1], 1.5);
+}
+
+TEST(FeldTest, TransformBeforeRepairIsError) {
+  Feld feld(1.0);
+  const Dataset data = GenerateGerman(50, 8).value();
+  EXPECT_EQ(feld.TransformFeatures(data).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeldTest, RepairPreservesWithinGroupOrder) {
+  // The quantile repair is monotone: within a group, the relative order
+  // of values must not change (rank preservation, Feldman §5).
+  const Dataset train = GenerateAdult(1500, 5).value();
+  const std::size_t col = train.schema().IndexOf("age").value();
+  Feld feld(1.0);
+  FairContext ctx;
+  const Dataset repaired = feld.Repair(train, ctx).value();
+  for (int s = 0; s < 2; ++s) {
+    std::vector<std::pair<double, double>> pairs;  // (before, after).
+    for (std::size_t r = 0; r < train.num_rows(); ++r) {
+      if (train.sensitive()[r] == s) {
+        pairs.emplace_back(train.NumericAt(col, r),
+                           repaired.NumericAt(col, r));
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      EXPECT_GE(pairs[i].second, pairs[i - 1].second - 1e-9);
+    }
+  }
+}
+
+TEST(FeldTest, RejectsBadLambda) {
+  const Dataset train = GenerateGerman(100, 6).value();
+  FairContext ctx;
+  EXPECT_FALSE(Feld(-0.1).Repair(train, ctx).ok());
+  EXPECT_FALSE(Feld(1.1).Repair(train, ctx).ok());
+}
+
+TEST(FeldTest, NameEncodesLambda) {
+  EXPECT_EQ(Feld(1.0).name(), "Feld-DP(l=1.0)");
+  EXPECT_EQ(Feld(0.6).name(), "Feld-DP(l=0.6)");
+}
+
+}  // namespace
+}  // namespace fairbench

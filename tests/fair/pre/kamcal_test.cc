@@ -1,0 +1,100 @@
+#include "fair/pre/kamcal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+double SYDependence(const Dataset& ds) {
+  // |P(S=1,Y=1) - P(S=1)P(Y=1)| weighted by instance weights.
+  double n = 0.0;
+  double s1 = 0.0;
+  double y1 = 0.0;
+  double s1y1 = 0.0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    const double w = ds.weights()[i];
+    n += w;
+    s1 += w * ds.sensitive()[i];
+    y1 += w * ds.labels()[i];
+    s1y1 += w * ds.sensitive()[i] * ds.labels()[i];
+  }
+  return std::fabs(s1y1 / n - (s1 / n) * (y1 / n));
+}
+
+TEST(KamCalTest, ResamplingRemovesSYDependence) {
+  const Dataset train = GenerateAdult(8000, 1).value();
+  ASSERT_GT(SYDependence(train), 0.02);  // Bias present before repair.
+  KamCal kamcal;
+  FairContext ctx;
+  ctx.seed = 3;
+  Result<Dataset> repaired = kamcal.Repair(train, ctx);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(SYDependence(repaired.value()), 0.01);
+  EXPECT_EQ(repaired->num_rows(), train.num_rows());
+  EXPECT_TRUE(repaired->Validate().ok());
+}
+
+TEST(KamCalTest, ReweighVariantKeepsRowsAndBalancesWeights) {
+  const Dataset train = GenerateAdult(6000, 2).value();
+  KamCalOptions options;
+  options.resample = false;
+  KamCal kamcal(options);
+  FairContext ctx;
+  Result<Dataset> repaired = kamcal.Repair(train, ctx);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->num_rows(), train.num_rows());
+  // Same features, same labels, different weights.
+  EXPECT_EQ(repaired->labels(), train.labels());
+  EXPECT_LT(SYDependence(repaired.value()), 0.005);
+  // Weights in the under-represented cell (unprivileged positives) must
+  // exceed 1, per the reweighing formula.
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (repaired->sensitive()[i] == 0 && repaired->labels()[i] == 1) {
+      EXPECT_GT(repaired->weights()[i], 1.0);
+    }
+  }
+}
+
+TEST(KamCalTest, RepairIsDeterministicPerSeed) {
+  const Dataset train = GenerateGerman(500, 4).value();
+  KamCal kamcal;
+  FairContext ctx;
+  ctx.seed = 10;
+  const Dataset a = kamcal.Repair(train, ctx).value();
+  const Dataset b = kamcal.Repair(train, ctx).value();
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.sensitive(), b.sensitive());
+}
+
+TEST(KamCalTest, AlreadyFairDataIsRoughlyPreserved) {
+  // Build data where S and Y are independent: weights should all be ~1.
+  PopulationConfig config = GermanConfig();
+  config.pos_rate_privileged = 0.6;
+  config.pos_rate_unprivileged = 0.6;
+  const Dataset train = GeneratePopulation(config, 4000, 5).value();
+  KamCalOptions options;
+  options.resample = false;
+  KamCal kamcal(options);
+  FairContext ctx;
+  const Dataset repaired = kamcal.Repair(train, ctx).value();
+  for (std::size_t i = 0; i < repaired.num_rows(); i += 100) {
+    EXPECT_NEAR(repaired.weights()[i], 1.0, 0.1);
+  }
+}
+
+TEST(KamCalTest, EmptyDataRejected) {
+  KamCal kamcal;
+  FairContext ctx;
+  EXPECT_FALSE(kamcal.Repair(Dataset(), ctx).ok());
+}
+
+TEST(KamCalTest, NameIsStable) {
+  EXPECT_EQ(KamCal().name(), "KamCal-DP");
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,102 @@
+#include "fair/pre/zhawu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/intervention.h"
+#include "causal/structure_learning.h"
+#include "data/discretizer.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+TEST(ZhaWuTest, DetectsAndRemovesCausalEffect) {
+  const Dataset train = GenerateAdult(6000, 1).value();
+  ZhaWu zhawu;
+  FairContext ctx;
+  ctx.seed = 2;
+  Result<Dataset> repaired = zhawu.Repair(train, ctx);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  // The generator plants a strong S -> Y effect; ZhaWu must measure it...
+  EXPECT_GT(std::fabs(zhawu.last_measured_effect()), 0.05);
+  // ...and the repaired labels must equalize group positive rates (the
+  // repair drives E[Y | do(S)] together via the group-rate equalization).
+  EXPECT_NEAR(repaired->PositiveRateBySensitive(0),
+              repaired->PositiveRateBySensitive(1), 0.02);
+  EXPECT_TRUE(repaired->Validate().ok());
+}
+
+TEST(ZhaWuTest, FairDataPassesThroughUnchanged) {
+  PopulationConfig config = GermanConfig();
+  config.pos_rate_privileged = 0.6;
+  config.pos_rate_unprivileged = 0.6;
+  // Remove the sex shifts so no indirect path exists either.
+  for (auto& spec : config.numeric) spec.s_shift = 0.0;
+  for (auto& spec : config.categorical) spec.s1_mult.clear();
+  const Dataset train = GeneratePopulation(config, 5000, 3).value();
+  ZhaWu zhawu;
+  FairContext ctx;
+  const Dataset repaired = zhawu.Repair(train, ctx).value();
+  EXPECT_LE(std::fabs(zhawu.last_measured_effect()), 0.05);
+  EXPECT_EQ(repaired.labels(), train.labels());
+}
+
+TEST(ZhaWuTest, OnlyLabelsChange) {
+  const Dataset train = GenerateAdult(3000, 4).value();
+  ZhaWu zhawu;
+  FairContext ctx;
+  const Dataset repaired = zhawu.Repair(train, ctx).value();
+  EXPECT_EQ(repaired.num_rows(), train.num_rows());
+  EXPECT_EQ(repaired.sensitive(), train.sensitive());
+  for (std::size_t c = 0; c < train.num_features(); ++c) {
+    EXPECT_EQ(repaired.column(c).numeric, train.column(c).numeric);
+    EXPECT_EQ(repaired.column(c).codes, train.column(c).codes);
+  }
+}
+
+TEST(ZhaWuTest, RepairedEffectIsSmall) {
+  // Re-measure the do(S) effect on the repaired data with a fresh causal
+  // model: it must be within (roughly) the epsilon threshold.
+  const Dataset train = GenerateAdult(6000, 5).value();
+  ZhaWu zhawu;
+  FairContext ctx;
+  ctx.seed = 6;
+  const Dataset repaired = zhawu.Repair(train, ctx).value();
+
+  Discretizer disc(3);
+  ASSERT_TRUE(disc.Fit(repaired).ok());
+  DiscreteData data;
+  const std::size_t nf = repaired.num_features();
+  data.columns.resize(nf + 2);
+  data.cardinalities.resize(nf + 2);
+  for (std::size_t c = 0; c < nf; ++c) {
+    data.columns[c] = disc.Codes(repaired, c).value();
+    data.cardinalities[c] = disc.Cardinality(c);
+  }
+  data.columns[nf] = repaired.sensitive();
+  data.cardinalities[nf] = 2;
+  data.columns[nf + 1] = repaired.labels();
+  data.cardinalities[nf + 1] = 2;
+
+  StructureLearningOptions sl;
+  sl.tiers.assign(data.num_vars(), 1);
+  sl.tiers[nf] = 0;
+  sl.tiers[nf + 1] = 2;
+  const Dag dag = LearnStructureBic(data, sl).value();
+  const BayesNet bn = BayesNet::Fit(data, dag).value();
+  const double effect =
+      AverageCausalEffect(bn, static_cast<int>(nf), static_cast<int>(nf + 1))
+          .value();
+  EXPECT_LT(std::fabs(effect), 0.1);
+}
+
+TEST(ZhaWuTest, EmptyDataRejected) {
+  ZhaWu zhawu;
+  FairContext ctx;
+  EXPECT_FALSE(zhawu.Repair(Dataset(), ctx).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

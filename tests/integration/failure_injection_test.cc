@@ -1,0 +1,100 @@
+// Failure-injection tests: every stage's failure must surface as a clean
+// Status (never a crash), and the experiment harness must isolate
+// per-approach failures.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "fair/post/hardt.h"
+
+namespace fairbench {
+namespace {
+
+class FailingIn : public InProcessor {
+ public:
+  std::string name() const override { return "failing-in"; }
+  Status Fit(const Dataset&, const FairContext&) override {
+    return Status::NoConvergence("injected in-processing failure");
+  }
+  Result<double> PredictProbaRow(const Dataset&, std::size_t,
+                                 int) const override {
+    return Status::Internal("unreachable");
+  }
+};
+
+class FailingPost : public PostProcessor {
+ public:
+  std::string name() const override { return "failing-post"; }
+  Status Fit(const std::vector<double>&, const std::vector<int>&,
+             const std::vector<int>&, const FairContext&) override {
+    return Status::FailedPrecondition("injected post-processing failure");
+  }
+  Result<int> Adjust(double, int, uint64_t) const override {
+    return Status::Internal("unreachable");
+  }
+};
+
+TEST(FailureInjectionTest, InProcessorFailureLeavesPipelineUnfitted) {
+  Pipeline pipeline(nullptr, std::make_unique<FailingIn>(), nullptr);
+  const Dataset data = GenerateGerman(100, 1).value();
+  FairContext ctx;
+  EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kNoConvergence);
+  EXPECT_FALSE(pipeline.fitted());
+  EXPECT_FALSE(pipeline.Predict(data).ok());
+}
+
+TEST(FailureInjectionTest, PostProcessorFailureLeavesPipelineUnfitted) {
+  Pipeline pipeline(nullptr, nullptr, std::make_unique<FailingPost>());
+  const Dataset data = GenerateGerman(100, 2).value();
+  FairContext ctx;
+  EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(pipeline.fitted());
+}
+
+TEST(FailureInjectionTest, HardtOnDegenerateGroupFailsCleanly) {
+  // A training set where one group never sees positives: HARDT's LP needs
+  // both outcomes per group, so Fit must fail with a clear status and the
+  // pipeline must not report itself fitted.
+  PopulationConfig config = GermanConfig();
+  config.pos_rate_unprivileged = 0.0001;  // Effectively no positives.
+  const Dataset data = GeneratePopulation(config, 300, 3).value();
+  Pipeline pipeline(nullptr, nullptr, std::make_unique<Hardt>());
+  FairContext ctx;
+  const Status st = pipeline.Fit(data, ctx);
+  if (!st.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+    EXPECT_FALSE(pipeline.fitted());
+  }
+  // (If by chance a positive was sampled, the fit may succeed — that is
+  // also acceptable; the invariant is "no crash, consistent state".)
+}
+
+TEST(FailureInjectionTest, ExperimentIsolatesFailingApproach) {
+  // Calmon on full Credit fails; every other approach in the same run
+  // must still produce results (paper protocol for Fig 10(d)).
+  const Dataset data = GenerateCredit(1500, 4).value();
+  ExperimentOptions options;
+  options.compute_cd = false;
+  const ExperimentResult result =
+      RunExperiment(data, MakeContext(CreditConfig(), 4),
+                    {"lr", "calmon", "kamkar"}, options)
+          .value();
+  EXPECT_TRUE(result.Find("lr")->ok);
+  EXPECT_FALSE(result.Find("calmon")->ok);
+  EXPECT_TRUE(result.Find("kamkar")->ok);
+  // The failure is visible in the rendered table rather than hidden.
+  const std::string table = FormatExperimentTable(result);
+  EXPECT_NE(table.find("FAILED"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, ValidateRejectsCorruptDataBeforeTraining) {
+  Dataset data = GenerateGerman(50, 5).value();
+  data.mutable_weights()[0] = 0.0;  // Invalid weight.
+  Result<Pipeline> pipeline = MakePipeline("lr");
+  ASSERT_TRUE(pipeline.ok());
+  FairContext ctx;
+  EXPECT_FALSE(RunExperiment(data, ctx, {"lr"}, {}).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

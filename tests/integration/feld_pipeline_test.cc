@@ -1,0 +1,73 @@
+// Integration tests for the prediction-time feature-transform path: FELD
+// pipelines must push test tuples through the fitted repair, and the CD
+// metric's do(S) interventions must route tuples through the *other*
+// group's map (Pipeline::TransformedView).
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace fairbench {
+namespace {
+
+TEST(FeldPipelineTest, FullRepairApproachesParityOnTestData) {
+  const Dataset data = GenerateAdult(9000, 1).value();
+  ExperimentOptions options;
+  options.seed = 2;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  const ExperimentResult result =
+      RunExperiment(data, MakeContext(AdultConfig(), 1), {"lr", "feld10"},
+                    options)
+          .value();
+  const ApproachResult* lr = result.Find("lr");
+  const ApproachResult* feld = result.Find("feld10");
+  ASSERT_TRUE(lr->ok && feld->ok) << feld->error;
+  // Full repair moves DI* far above the baseline on *held-out* data —
+  // only possible because the transform applies at prediction time.
+  EXPECT_GT(feld->metrics.di_star.score, lr->metrics.di_star.score + 0.3);
+  // And costs some accuracy (the paper's tradeoff).
+  EXPECT_LT(feld->metrics.correctness.accuracy,
+            lr->metrics.correctness.accuracy + 0.01);
+}
+
+TEST(FeldPipelineTest, CdInterventionsUseTheOtherGroupsMap) {
+  const Dataset data = GenerateAdult(3000, 3).value();
+  Result<Pipeline> pipeline = MakePipeline("feld10");
+  ASSERT_TRUE(pipeline.ok());
+  const FairContext ctx = MakeContext(AdultConfig(), 3);
+  ASSERT_TRUE(pipeline->Fit(data, ctx).ok());
+  // Flipping S changes which group quantile-map a tuple routes through;
+  // with full repair both maps land on the same median distribution, so
+  // predictions should flip for only a small fraction of tuples.
+  std::size_t flips = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const int s = data.sensitive()[r];
+    if (pipeline->PredictRow(data, r, s).value() !=
+        pipeline->PredictRow(data, r, 1 - s).value()) {
+      ++flips;
+    }
+  }
+  EXPECT_LT(static_cast<double>(flips) / static_cast<double>(data.num_rows()),
+            0.15);
+}
+
+TEST(FeldPipelineTest, RepeatedPredictionsAreStable) {
+  // The transform cache must not change answers across repeated queries.
+  const Dataset data = GenerateAdult(1000, 5).value();
+  Result<Pipeline> pipeline = MakePipeline("feld06");
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Fit(data, MakeContext(AdultConfig(), 5)).ok());
+  const std::vector<int> first = pipeline->Predict(data).value();
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(pipeline->Predict(data).value(), first);
+  }
+  // Interleave flipped queries to churn the cache, then re-check.
+  for (std::size_t r = 0; r < 50; ++r) {
+    (void)pipeline->PredictRow(data, r, 1 - data.sensitive()[r]);
+  }
+  EXPECT_EQ(pipeline->Predict(data).value(), first);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,156 @@
+// Integration tests pinning the paper's qualitative findings (§4.2-§4.4):
+// these are the shapes the reproduction must preserve, not absolute
+// numbers (DESIGN.md §4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/stability.h"
+
+namespace fairbench {
+namespace {
+
+/// One shared Adult experiment for the finding checks (computed once).
+const ExperimentResult& AdultExperiment() {
+  static const ExperimentResult* result = [] {
+    const Dataset data = GenerateAdult(9000, 71).value();
+    ExperimentOptions options;
+    options.seed = 72;
+    options.cd.confidence = 0.95;
+    options.cd.error_bound = 0.05;
+    return new ExperimentResult(
+        RunExperiment(data, MakeContext(AdultConfig(), 71),
+                      AllApproachIds(), options)
+            .value());
+  }();
+  return *result;
+}
+
+TEST(PaperFindingsTest, LrShowsTheAdultSignature) {
+  // Fig 10(a): LR on Adult has very low DI fairness but high TPRB/TNRB
+  // fairness, and CRD far above DI (confounders explain the disparity).
+  const ApproachResult* lr = AdultExperiment().Find("lr");
+  ASSERT_NE(lr, nullptr);
+  ASSERT_TRUE(lr->ok);
+  EXPECT_LT(lr->metrics.di_star.score, 0.45);
+  EXPECT_GT(lr->metrics.tnrb_score.score, 0.85);
+  EXPECT_GT(lr->metrics.crd_score.score, lr->metrics.di_star.score + 0.3);
+}
+
+TEST(PaperFindingsTest, ApproachesImproveTheMetricTheyTarget) {
+  // §4.2 "There is no single winner": every approach improves the
+  // normalized score of the metric it targets relative to LR.
+  const ExperimentResult& result = AdultExperiment();
+  const ApproachResult* lr = result.Find("lr");
+  ASSERT_NE(lr, nullptr);
+  for (const ApproachResult& ar : result.approaches) {
+    if (ar.id == "lr" || !ar.ok) continue;
+    for (const std::string& target : ar.target_metrics) {
+      EXPECT_GE(ar.metrics.MetricByName(target) + 0.05,
+                lr->metrics.MetricByName(target))
+          << ar.display << " should improve " << target;
+    }
+  }
+}
+
+TEST(PaperFindingsTest, DpApproachesPayMoreAccuracyOnAdult) {
+  // §4.2 first key takeaway: on Adult (where LR's DI is terrible but its
+  // TPRB is fine), approaches targeting DI lose more accuracy than those
+  // targeting equalized odds.
+  const ExperimentResult& result = AdultExperiment();
+  const ApproachResult* lr = result.Find("lr");
+  auto drop = [&](const char* id) {
+    const ApproachResult* ar = result.Find(id);
+    return (ar != nullptr && ar->ok)
+               ? lr->metrics.correctness.accuracy -
+                     ar->metrics.correctness.accuracy
+               : 0.0;
+  };
+  // Average drop of strongly DP-enforcing vs EO-enforcing in-processors.
+  const double dp_drop = (drop("zafar_dp_fair") + drop("thomas_dp")) / 2.0;
+  const double eo_drop = (drop("zafar_eo_fair") + drop("zhale")) / 2.0;
+  EXPECT_GT(dp_drop, eo_drop);
+}
+
+TEST(PaperFindingsTest, PostProcessingWorseAtIndividualFairness) {
+  // §4.2: pre- and in-processing achieve better CD than post-processing
+  // on average (post-processing randomizes by group).
+  const ExperimentResult& result = AdultExperiment();
+  double post_cd = 0.0;
+  double post_n = 0.0;
+  double other_cd = 0.0;
+  double other_n = 0.0;
+  for (const ApproachResult& ar : result.approaches) {
+    if (!ar.ok || ar.id == "lr") continue;
+    if (ar.stage == "post") {
+      post_cd += ar.metrics.cd_score.score;
+      post_n += 1.0;
+    } else {
+      other_cd += ar.metrics.cd_score.score;
+      other_n += 1.0;
+    }
+  }
+  ASSERT_GT(post_n, 0.0);
+  ASSERT_GT(other_n, 0.0);
+  EXPECT_GT(other_cd / other_n, post_cd / post_n);
+}
+
+TEST(PaperFindingsTest, PostProcessingIsCheapestToFit) {
+  // §4.3: post-processing approaches are the most efficient; causal
+  // pre-processing (ZhaWu, Salimi) is the most expensive tier.
+  const ExperimentResult& result = AdultExperiment();
+  double post_max = 0.0;
+  double causal_min = 1e9;
+  for (const ApproachResult& ar : result.approaches) {
+    if (!ar.ok) continue;
+    if (ar.stage == "post") {
+      post_max = std::max(post_max, ar.timing.post_seconds);
+    }
+    if (ar.id == "zhawu" || ar.id == "salimi_maxsat") {
+      causal_min = std::min(causal_min, ar.timing.pre_seconds);
+    }
+  }
+  EXPECT_LT(post_max, causal_min);
+}
+
+TEST(PaperFindingsTest, GermanIsMildlyBiasedEvenForLr) {
+  // Fig 10(c): on German even the fairness-unaware LR scores reasonably
+  // on all fairness metrics.
+  const Dataset data = GenerateGerman(1000, 73).value();
+  ExperimentOptions options;
+  options.seed = 74;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  const ExperimentResult result =
+      RunExperiment(data, MakeContext(GermanConfig(), 73), {"lr"}, options)
+          .value();
+  const ApproachResult& lr = result.approaches[0];
+  ASSERT_TRUE(lr.ok);
+  EXPECT_GT(lr.metrics.di_star.score, 0.6);
+  EXPECT_GT(lr.metrics.tprb_score.score, 0.75);
+}
+
+TEST(PaperFindingsTest, StabilityVarianceIsLow) {
+  // §4.4: all approaches exhibit low variance across folds. Checked here
+  // on a representative subset for cost.
+  const Dataset data = GenerateAdult(4000, 75).value();
+  StabilityOptions options;
+  options.runs = 5;
+  options.compute_cd = false;
+  options.compute_crd = false;
+  options.seed = 76;
+  const std::vector<StabilityResult> results =
+      RunStability(data, MakeContext(AdultConfig(), 75),
+                   {"lr", "kamcal", "zafar_dp_fair", "hardt"}, options)
+          .value();
+  for (const StabilityResult& r : results) {
+    EXPECT_EQ(r.failures, 0) << r.display;
+    EXPECT_LT(r.summaries.at("accuracy").stddev, 0.05) << r.display;
+    EXPECT_LT(r.summaries.at("f1").stddev, 0.08) << r.display;
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,121 @@
+// Registry-wide property tests: invariants every approach must satisfy,
+// parameterized over all 19 registered variants (DESIGN.md §5).
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace fairbench {
+namespace {
+
+class ApproachPropertyTest : public testing::TestWithParam<std::string> {
+ protected:
+  static const Dataset& Data() {
+    static const Dataset* data =
+        new Dataset(GenerateAdult(2500, 31).value());
+    return *data;
+  }
+  static FairContext Context() { return MakeContext(AdultConfig(), 31); }
+
+  static ExperimentOptions FastOptions() {
+    ExperimentOptions options;
+    options.seed = 32;
+    options.cd.confidence = 0.9;
+    options.cd.error_bound = 0.1;
+    return options;
+  }
+};
+
+TEST_P(ApproachPropertyTest, FitsAndProducesInRangeMetrics) {
+  Result<ExperimentResult> result =
+      RunExperiment(Data(), Context(), {GetParam()}, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ApproachResult& ar = result->approaches[0];
+  ASSERT_TRUE(ar.ok) << ar.display << ": " << ar.error;
+  // Correctness metrics in [0, 1].
+  for (const std::string& m : CorrectnessMetricNames()) {
+    const double v = ar.metrics.MetricByName(m);
+    EXPECT_GE(v, 0.0) << m;
+    EXPECT_LE(v, 1.0) << m;
+  }
+  // Normalized fairness scores in [0, 1].
+  for (const std::string& m : FairnessMetricNames()) {
+    const double v = ar.metrics.MetricByName(m);
+    EXPECT_GE(v, 0.0) << m;
+    EXPECT_LE(v, 1.0) << m;
+  }
+  // Raw ranges.
+  EXPECT_GE(ar.metrics.cd, 0.0);
+  EXPECT_LE(ar.metrics.cd, 1.0);
+  EXPECT_GE(ar.metrics.tprb, -1.0);
+  EXPECT_LE(ar.metrics.tprb, 1.0);
+  EXPECT_GE(ar.metrics.crd, -1.0);
+  EXPECT_LE(ar.metrics.crd, 1.0);
+  // A fair classifier must still be better than coin flipping here.
+  EXPECT_GT(ar.metrics.correctness.accuracy, 0.55) << ar.display;
+}
+
+TEST_P(ApproachPropertyTest, DeterministicUnderFixedSeed) {
+  const ExperimentResult a =
+      RunExperiment(Data(), Context(), {GetParam()}, FastOptions()).value();
+  const ExperimentResult b =
+      RunExperiment(Data(), Context(), {GetParam()}, FastOptions()).value();
+  ASSERT_TRUE(a.approaches[0].ok);
+  ASSERT_TRUE(b.approaches[0].ok);
+  EXPECT_DOUBLE_EQ(a.approaches[0].metrics.correctness.accuracy,
+                   b.approaches[0].metrics.correctness.accuracy);
+  EXPECT_DOUBLE_EQ(a.approaches[0].metrics.di, b.approaches[0].metrics.di);
+  EXPECT_DOUBLE_EQ(a.approaches[0].metrics.cd, b.approaches[0].metrics.cd);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApproaches, ApproachPropertyTest,
+                         testing::ValuesIn(AllApproachIds()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+/// Pre-processor structural invariants, parameterized by stage members.
+class PreProcessorPropertyTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(PreProcessorPropertyTest, RepairPreservesSchemaAndValidity) {
+  const Dataset train = GenerateAdult(1500, 41).value();
+  Result<const ApproachSpec*> spec = FindApproach(GetParam());
+  ASSERT_TRUE(spec.ok());
+  Pipeline pipeline = spec.value()->make();
+  const FairContext ctx = MakeContext(AdultConfig(), 41);
+  // Fit the full pipeline; the repair runs inside. Then verify the
+  // training data itself was not mutated (repairs are copies).
+  const std::vector<int> labels_before = train.labels();
+  ASSERT_TRUE(pipeline.Fit(train, ctx).ok());
+  EXPECT_EQ(train.labels(), labels_before);
+  EXPECT_TRUE(train.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PreStage, PreProcessorPropertyTest,
+                         testing::ValuesIn(ApproachIdsByStage("pre")),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(StagePropertyTest, SBlindInProcessorsHaveZeroCd) {
+  // Zafar / Celis / Thomas never see S at prediction time, so flipping S
+  // cannot change their predictions.
+  const Dataset data = GenerateAdult(1200, 51).value();
+  const FairContext ctx = MakeContext(AdultConfig(), 51);
+  ExperimentOptions options;
+  options.seed = 52;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  const ExperimentResult result =
+      RunExperiment(data, ctx,
+                    {"zafar_dp_fair", "zafar_eo_fair", "celis", "thomas_dp"},
+                    options)
+          .value();
+  for (const ApproachResult& ar : result.approaches) {
+    ASSERT_TRUE(ar.ok) << ar.display;
+    EXPECT_DOUBLE_EQ(ar.metrics.cd, 0.0) << ar.display;
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

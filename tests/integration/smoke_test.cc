@@ -1,0 +1,34 @@
+// End-to-end smoke: every registered approach fits and evaluates on a
+// small generated dataset.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace fairbench {
+namespace {
+
+TEST(SmokeTest, AllApproachesRunOnSmallGerman) {
+  Result<Dataset> data = GenerateGerman(600, /*seed=*/11);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  ExperimentOptions options;
+  options.seed = 5;
+  options.cd.confidence = 0.9;  // Keep the CD sample cheap in tests.
+  options.cd.error_bound = 0.1;
+  const FairContext context = MakeContext(GermanConfig(), 5);
+
+  Result<ExperimentResult> result =
+      RunExperiment(data.value(), context, AllApproachIds(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->approaches.size(), AllApproachIds().size());
+  for (const ApproachResult& ar : result->approaches) {
+    EXPECT_TRUE(ar.ok) << ar.display << ": " << ar.error;
+    if (!ar.ok) continue;
+    EXPECT_GE(ar.metrics.correctness.accuracy, 0.4) << ar.display;
+    EXPECT_LE(ar.metrics.correctness.accuracy, 1.0) << ar.display;
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

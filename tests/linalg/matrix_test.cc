@@ -1,0 +1,107 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAndColVectors) {
+  const Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.RowVector(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.ColVector(2), (Vector{3, 6}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2, 0.0);
+  m.SetRow(1, {7, 8});
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  const Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m.MatVec({1, 1}), (Vector{3, 7}));
+  EXPECT_EQ(m.TransposedMatVec({1, 1}), (Vector{4, 6}));
+}
+
+TEST(MatrixTest, MatMul) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  const Matrix b = {{5, 6}, {7, 8}};
+  const Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  const Matrix c = a.MatMul(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(MatrixTest, WeightedGramMatchesManualComputation) {
+  const Matrix x = {{1, 2}, {3, 4}, {5, 6}};
+  const Vector w = {1.0, 2.0, 0.5};
+  const Matrix g = x.WeightedGram(w);
+  // g = x^T diag(w) x.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      double expected = 0.0;
+      for (std::size_t r = 0; r < 3; ++r) expected += w[r] * x(r, i) * x(r, j);
+      EXPECT_NEAR(g(i, j), expected, 1e-12);
+    }
+  }
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = {{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, ToStringRendersRows) {
+  const Matrix m = {{1.5}};
+  EXPECT_EQ(m.ToString(1), "[1.5]\n");
+}
+
+}  // namespace
+}  // namespace fairbench

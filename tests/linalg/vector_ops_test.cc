@@ -1,0 +1,56 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const Vector v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2(v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf(v), 4.0);
+  EXPECT_DOUBLE_EQ(NormInf({}), 0.0);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  Vector y = {1.0, 1.0};
+  Axpy(2.0, {3.0, -1.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOpsTest, ScaleMultiplies) {
+  Vector x = {2.0, -4.0};
+  Scale(0.5, &x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(VectorOpsTest, ElementwiseOps) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (Vector{4, 6}));
+  EXPECT_EQ(Sub({1, 2}, {3, 4}), (Vector{-2, -2}));
+  EXPECT_EQ(Hadamard({1, 2}, {3, 4}), (Vector{3, 8}));
+}
+
+TEST(VectorOpsTest, SumAndMean) {
+  EXPECT_DOUBLE_EQ(Sum({1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VectorOpsTest, ZerosAndOnes) {
+  EXPECT_EQ(Zeros(3), (Vector{0, 0, 0}));
+  EXPECT_EQ(Ones(2), (Vector{1, 1}));
+}
+
+}  // namespace
+}  // namespace fairbench

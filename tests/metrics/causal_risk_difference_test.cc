@@ -1,0 +1,134 @@
+#include "metrics/causal_risk_difference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+/// Builds a dataset where the S-Yhat association is entirely mediated by a
+/// single resolving attribute R: S -> R -> Yhat.
+Dataset MediatedDataset(std::size_t n, uint64_t seed,
+                        std::vector<int>* y_pred) {
+  Schema schema;
+  ColumnSpec r;
+  r.name = "dept";
+  r.type = ColumnType::kCategorical;
+  r.categories = {"low_acceptance", "high_acceptance"};
+  ColumnSpec noise;
+  noise.name = "noise";
+  noise.type = ColumnType::kNumeric;
+  EXPECT_TRUE(schema.AddColumn(r).ok());
+  EXPECT_TRUE(schema.AddColumn(noise).ok());
+  Dataset ds(schema);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = rng.Bernoulli(0.5) ? 1 : 0;
+    // Privileged people overwhelmingly choose the high-acceptance dept.
+    const int dept = rng.Bernoulli(s == 1 ? 0.9 : 0.1) ? 1 : 0;
+    // Predictions depend ONLY on dept.
+    const int yhat = rng.Bernoulli(dept == 1 ? 0.8 : 0.2) ? 1 : 0;
+    EXPECT_TRUE(ds.AppendRow({rng.Gaussian()}, {dept}, s, yhat).ok());
+    y_pred->push_back(yhat);
+  }
+  return ds;
+}
+
+TEST(CrdTest, MediatedDisparityIsExplainedAway) {
+  std::vector<int> y_pred;
+  const Dataset ds = MediatedDataset(8000, 1, &y_pred);
+  // The raw disparity is large...
+  double pos[2] = {0, 0};
+  double cnt[2] = {0, 0};
+  for (std::size_t i = 0; i < y_pred.size(); ++i) {
+    pos[ds.sensitive()[i]] += y_pred[i];
+    cnt[ds.sensitive()[i]] += 1;
+  }
+  EXPECT_GT(pos[1] / cnt[1] - pos[0] / cnt[0], 0.3);
+  // ...but CRD with dept as the resolving attribute is near zero.
+  Result<double> crd = CausalRiskDifference(ds, y_pred, {"dept"});
+  ASSERT_TRUE(crd.ok()) << crd.status().ToString();
+  EXPECT_NEAR(crd.value(), 0.0, 0.05);
+}
+
+TEST(CrdTest, UnexplainedDisparityRemains) {
+  // Predictions depend directly on S; the noise attribute resolves
+  // nothing, so CRD stays close to the raw disparity.
+  Schema schema;
+  ColumnSpec noise;
+  noise.name = "noise";
+  noise.type = ColumnType::kNumeric;
+  ASSERT_TRUE(schema.AddColumn(noise).ok());
+  Dataset ds(schema);
+  Rng rng(2);
+  std::vector<int> y_pred;
+  for (int i = 0; i < 6000; ++i) {
+    const int s = rng.Bernoulli(0.5) ? 1 : 0;
+    const int yhat = rng.Bernoulli(s == 1 ? 0.7 : 0.3) ? 1 : 0;
+    ASSERT_TRUE(ds.AppendRow({rng.Gaussian()}, {}, s, yhat).ok());
+    y_pred.push_back(yhat);
+  }
+  Result<double> crd = CausalRiskDifference(ds, y_pred, {"noise"});
+  ASSERT_TRUE(crd.ok());
+  EXPECT_NEAR(crd.value(), 0.4, 0.06);
+}
+
+TEST(CrdTest, PropensityWeightsArePositiveAndFinite) {
+  std::vector<int> y_pred;
+  const Dataset ds = MediatedDataset(1000, 3, &y_pred);
+  Result<std::vector<double>> weights = CrdPropensityWeights(ds, {"dept"});
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), ds.num_rows());
+  for (double w : weights.value()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(CrdTest, HighPropensityRowsGetLargeWeights) {
+  std::vector<int> y_pred;
+  const Dataset ds = MediatedDataset(4000, 4, &y_pred);
+  const std::vector<double> weights =
+      CrdPropensityWeights(ds, {"dept"}).value();
+  // Rows in the low-acceptance dept look unprivileged (propensity > 0.5),
+  // so their weights exceed 1; high-acceptance rows get weights < 1.
+  double mean_low = 0.0;
+  double n_low = 0.0;
+  double mean_high = 0.0;
+  double n_high = 0.0;
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    if (ds.CodeAt(0, i) == 0) {
+      mean_low += weights[i];
+      n_low += 1;
+    } else {
+      mean_high += weights[i];
+      n_high += 1;
+    }
+  }
+  EXPECT_GT(mean_low / n_low, 1.0);
+  EXPECT_LT(mean_high / n_high, 1.0);
+}
+
+TEST(CrdTest, RejectsBadInput) {
+  std::vector<int> y_pred;
+  const Dataset ds = MediatedDataset(100, 5, &y_pred);
+  EXPECT_FALSE(CausalRiskDifference(ds, {1, 0}, {"dept"}).ok());
+  EXPECT_FALSE(CausalRiskDifference(ds, y_pred, {}).ok());
+  EXPECT_EQ(CausalRiskDifference(ds, y_pred, {"nope"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CrdTest, RangeIsBounded) {
+  std::vector<int> y_pred;
+  const Dataset ds = MediatedDataset(2000, 6, &y_pred);
+  const double crd = CausalRiskDifference(ds, y_pred, {"dept"}).value();
+  EXPECT_GE(crd, -1.0);
+  EXPECT_LE(crd, 1.0);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,65 @@
+#include "metrics/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+TEST(ConfusionTest, TalliesAllFourCells) {
+  Result<ConfusionMatrix> cm = BuildConfusionMatrix(
+      {1, 1, 0, 0, 1, 0}, {1, 0, 1, 0, 1, 0});
+  ASSERT_TRUE(cm.ok());
+  EXPECT_DOUBLE_EQ(cm->tp, 2.0);
+  EXPECT_DOUBLE_EQ(cm->fn, 1.0);
+  EXPECT_DOUBLE_EQ(cm->fp, 1.0);
+  EXPECT_DOUBLE_EQ(cm->tn, 2.0);
+  EXPECT_DOUBLE_EQ(cm->Total(), 6.0);
+}
+
+TEST(ConfusionTest, RatesMatchFig2Definitions) {
+  ConfusionMatrix cm;
+  cm.tp = 14;
+  cm.fn = 2;
+  cm.fp = 6;
+  cm.tn = 38;
+  // The male group of the paper's Fig 4.
+  EXPECT_NEAR(cm.Tpr(), 14.0 / 16.0, 1e-12);
+  EXPECT_NEAR(cm.Fnr(), 2.0 / 16.0, 1e-12);
+  EXPECT_NEAR(cm.Fpr(), 6.0 / 44.0, 1e-12);
+  EXPECT_NEAR(cm.Tnr(), 38.0 / 44.0, 1e-12);
+  EXPECT_NEAR(cm.PositivePredictionRate(), 20.0 / 60.0, 1e-12);
+}
+
+TEST(ConfusionTest, RatesComplementary) {
+  ConfusionMatrix cm;
+  cm.tp = 3;
+  cm.fn = 7;
+  cm.fp = 4;
+  cm.tn = 6;
+  EXPECT_NEAR(cm.Tpr() + cm.Fnr(), 1.0, 1e-12);
+  EXPECT_NEAR(cm.Tnr() + cm.Fpr(), 1.0, 1e-12);
+}
+
+TEST(ConfusionTest, WeightsAccumulate) {
+  Result<ConfusionMatrix> cm =
+      BuildConfusionMatrix({1, 0}, {1, 1}, {2.5, 0.5});
+  ASSERT_TRUE(cm.ok());
+  EXPECT_DOUBLE_EQ(cm->tp, 2.5);
+  EXPECT_DOUBLE_EQ(cm->fp, 0.5);
+}
+
+TEST(ConfusionTest, EmptyClassesYieldZeroRates) {
+  ConfusionMatrix cm;  // All zeros.
+  EXPECT_DOUBLE_EQ(cm.Tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.PositivePredictionRate(), 0.0);
+}
+
+TEST(ConfusionTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildConfusionMatrix({1}, {1, 0}).ok());
+  EXPECT_FALSE(BuildConfusionMatrix({2}, {0}).ok());
+  EXPECT_FALSE(BuildConfusionMatrix({1}, {1}, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,80 @@
+#include "metrics/correctness.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+TEST(CorrectnessTest, Fig3Definitions) {
+  ConfusionMatrix cm;
+  cm.tp = 30;
+  cm.fp = 10;
+  cm.fn = 20;
+  cm.tn = 40;
+  const CorrectnessMetrics m = ComputeCorrectness(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(m.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m.recall, 0.6);
+  EXPECT_NEAR(m.f1, 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(CorrectnessTest, PerfectClassifier) {
+  ConfusionMatrix cm;
+  cm.tp = 5;
+  cm.tn = 5;
+  const CorrectnessMetrics m = ComputeCorrectness(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(CorrectnessTest, DegenerateDenominators) {
+  ConfusionMatrix no_predicted_pos;
+  no_predicted_pos.fn = 5;
+  no_predicted_pos.tn = 5;
+  const CorrectnessMetrics m = ComputeCorrectness(no_predicted_pos);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+
+  const CorrectnessMetrics empty = ComputeCorrectness(ConfusionMatrix{});
+  EXPECT_DOUBLE_EQ(empty.accuracy, 0.0);
+}
+
+TEST(CorrectnessTest, AccuracyMisleadingOnImbalance) {
+  // The paper's motivation for reporting all four metrics: the
+  // all-negative classifier on a 95/5 imbalanced set has high accuracy
+  // but zero recall/F1.
+  ConfusionMatrix cm;
+  cm.tn = 95;
+  cm.fn = 5;
+  const CorrectnessMetrics m = ComputeCorrectness(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.95);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(CorrectnessTest, AllMetricsInUnitInterval) {
+  for (double tp : {0.0, 3.0}) {
+    for (double fp : {0.0, 2.0}) {
+      for (double fn : {0.0, 4.0}) {
+        for (double tn : {0.0, 1.0}) {
+          ConfusionMatrix cm;
+          cm.tp = tp;
+          cm.fp = fp;
+          cm.fn = fn;
+          cm.tn = tn;
+          const CorrectnessMetrics m = ComputeCorrectness(cm);
+          for (double v : {m.accuracy, m.precision, m.recall, m.f1}) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

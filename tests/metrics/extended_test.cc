@@ -1,0 +1,182 @@
+#include "metrics/extended.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+GroupStats PaperExample() {
+  // Fig 4: males TP=14 FP=6 FN=2 TN=38; females TP=7 FP=2 FN=3 TN=28.
+  GroupStats gs;
+  gs.privileged.tp = 14;
+  gs.privileged.fp = 6;
+  gs.privileged.fn = 2;
+  gs.privileged.tn = 38;
+  gs.unprivileged.tp = 7;
+  gs.unprivileged.fp = 2;
+  gs.unprivileged.fn = 3;
+  gs.unprivileged.tn = 28;
+  return gs;
+}
+
+TEST(CvScoreTest, MatchesPositiveRateGap) {
+  // 20/60 - 9/40 = 1/3 - 0.225.
+  EXPECT_NEAR(CvScore(PaperExample()), 1.0 / 3.0 - 0.225, 1e-12);
+}
+
+TEST(FdrParityTest, MatchesDefinition) {
+  // FDR(priv) = 6/20, FDR(unpriv) = 2/9.
+  EXPECT_NEAR(FdrParity(PaperExample()), 6.0 / 20.0 - 2.0 / 9.0, 1e-12);
+}
+
+TEST(ForParityTest, MatchesDefinition) {
+  // FOR(priv) = 2/40, FOR(unpriv) = 3/31.
+  EXPECT_NEAR(ForParity(PaperExample()), 2.0 / 40.0 - 3.0 / 31.0, 1e-12);
+}
+
+TEST(BcrGapTest, MatchesDefinition) {
+  const GroupStats gs = PaperExample();
+  const double priv = 0.5 * (14.0 / 16.0 + 38.0 / 44.0);
+  const double unpriv = 0.5 * (7.0 / 10.0 + 28.0 / 30.0);
+  EXPECT_NEAR(BalancedClassificationRateGap(gs), priv - unpriv, 1e-12);
+}
+
+TEST(TreatmentEqualityTest, RatioGapAndCapping) {
+  EXPECT_NEAR(TreatmentEqualityGap(PaperExample()), 2.0 / 6.0 - 3.0 / 2.0,
+              1e-12);
+  GroupStats degenerate;
+  degenerate.privileged.fn = 5;  // No FPs: capped ratio.
+  degenerate.unprivileged.fn = 1;
+  degenerate.unprivileged.fp = 1;
+  EXPECT_NEAR(TreatmentEqualityGap(degenerate), 99.0, 1e-12);
+}
+
+TEST(ConditionalStatisticalParityTest, ZeroWhenParityHoldsPerStratum) {
+  // Within each stratum of L, both groups have identical positive rates,
+  // even though the marginal rates differ (Simpson-style setup).
+  std::vector<int> yhat;
+  std::vector<int> s;
+  std::vector<int> l;
+  auto add = [&](int li, int si, int positives, int total) {
+    for (int i = 0; i < total; ++i) {
+      l.push_back(li);
+      s.push_back(si);
+      yhat.push_back(i < positives ? 1 : 0);
+    }
+  };
+  add(0, 0, 10, 100);  // Stratum 0: 10% for both groups.
+  add(0, 1, 2, 20);
+  add(1, 0, 16, 20);   // Stratum 1: 80% for both groups.
+  add(1, 1, 80, 100);
+  Result<double> csp = ConditionalStatisticalParity(yhat, s, l, 2);
+  ASSERT_TRUE(csp.ok());
+  EXPECT_NEAR(csp.value(), 0.0, 1e-12);
+}
+
+TEST(ConditionalStatisticalParityTest, DetectsWithinStratumGap) {
+  std::vector<int> yhat;
+  std::vector<int> s;
+  std::vector<int> l;
+  for (int i = 0; i < 100; ++i) {
+    l.push_back(0);
+    s.push_back(i < 50 ? 1 : 0);
+    // Privileged 80% positive, unprivileged 20%.
+    yhat.push_back((i < 50 ? i < 40 : i < 60) ? 1 : 0);
+  }
+  Result<double> csp = ConditionalStatisticalParity(yhat, s, l, 1);
+  ASSERT_TRUE(csp.ok());
+  EXPECT_NEAR(csp.value(), 0.6, 1e-12);
+}
+
+TEST(ConditionalStatisticalParityTest, SkipsThinStrata) {
+  std::vector<int> yhat = {1, 0, 1};
+  std::vector<int> s = {1, 0, 1};
+  std::vector<int> l = {0, 0, 1};
+  Result<double> csp = ConditionalStatisticalParity(yhat, s, l, 2, 10);
+  ASSERT_TRUE(csp.ok());
+  EXPECT_DOUBLE_EQ(csp.value(), 0.0);  // Nothing big enough to score.
+}
+
+TEST(DifferentialFairnessTest, ZeroForUniformRates) {
+  Rng rng(1);
+  std::vector<int> yhat;
+  std::vector<int> s;
+  std::vector<int> a;
+  for (int i = 0; i < 8000; ++i) {
+    s.push_back(rng.Bernoulli(0.5));
+    a.push_back(static_cast<int>(rng.UniformInt(3)));
+    yhat.push_back(rng.Bernoulli(0.5));
+  }
+  Result<double> df = DifferentialFairness(yhat, s, a, 3);
+  ASSERT_TRUE(df.ok());
+  EXPECT_LT(df.value(), 0.25);
+}
+
+TEST(DifferentialFairnessTest, DetectsGerrymanderedSubgroup) {
+  // Group rates equal marginally, but one (s, a) intersection is starved —
+  // exactly the gerrymandering KEARNS's notion targets.
+  Rng rng(2);
+  std::vector<int> yhat;
+  std::vector<int> s;
+  std::vector<int> a;
+  for (int i = 0; i < 8000; ++i) {
+    const int si = rng.Bernoulli(0.5);
+    const int ai = static_cast<int>(rng.UniformInt(2));
+    const double rate = (si == 0 && ai == 0) ? 0.05 : 0.5;
+    s.push_back(si);
+    a.push_back(ai);
+    yhat.push_back(rng.Bernoulli(rate));
+  }
+  Result<double> df = DifferentialFairness(yhat, s, a, 2);
+  ASSERT_TRUE(df.ok());
+  EXPECT_GT(df.value(), 1.5);  // log(0.5/0.05) ~ 2.3.
+}
+
+TEST(CalibrationTest, PerfectCalibrationScoresNearZero) {
+  Rng rng(3);
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.Uniform();
+    proba.push_back(p);
+    y.push_back(rng.Bernoulli(p) ? 1 : 0);
+    s.push_back(rng.Bernoulli(0.5));
+  }
+  Result<double> err = CalibrationWithinGroupsError(proba, y, s);
+  ASSERT_TRUE(err.ok());
+  EXPECT_LT(err.value(), 0.06);
+}
+
+TEST(CalibrationTest, DetectsGroupMiscalibration) {
+  Rng rng(4);
+  std::vector<double> proba;
+  std::vector<int> y;
+  std::vector<int> s;
+  for (int i = 0; i < 20000; ++i) {
+    const int si = rng.Bernoulli(0.5);
+    const double p = rng.Uniform();
+    proba.push_back(p);
+    // Unprivileged outcomes are systematically 0.3 below the score.
+    const double truth = si == 1 ? p : std::max(0.0, p - 0.3);
+    y.push_back(rng.Bernoulli(truth) ? 1 : 0);
+    s.push_back(si);
+  }
+  Result<double> err = CalibrationWithinGroupsError(proba, y, s);
+  ASSERT_TRUE(err.ok());
+  EXPECT_GT(err.value(), 0.2);
+}
+
+TEST(ExtendedMetricsTest, LengthMismatchesRejected) {
+  EXPECT_FALSE(ConditionalStatisticalParity({1}, {1, 0}, {0}, 1).ok());
+  EXPECT_FALSE(DifferentialFairness({1}, {1}, {0, 1}, 2).ok());
+  EXPECT_FALSE(CalibrationWithinGroupsError({0.5}, {1, 0}, {1}).ok());
+  EXPECT_FALSE(CalibrationWithinGroupsError({0.5}, {1}, {1}, 0).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,93 @@
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fairbench {
+namespace {
+
+/// The paper's Fig 4 statistics (Example 1).
+GroupStats PaperExample() {
+  GroupStats gs;
+  gs.privileged.tp = 14;
+  gs.privileged.fp = 6;
+  gs.privileged.fn = 2;
+  gs.privileged.tn = 38;
+  gs.unprivileged.tp = 7;
+  gs.unprivileged.fp = 2;
+  gs.unprivileged.fn = 3;
+  gs.unprivileged.tn = 28;
+  return gs;
+}
+
+TEST(FairnessTest, DisparateImpactMatchesPaperExample) {
+  // DI = (9/40) / (20/60) = 0.675.
+  EXPECT_NEAR(DisparateImpact(PaperExample()), 0.675, 1e-12);
+}
+
+TEST(FairnessTest, TprbAndTnrbMatchPaperExample) {
+  const GroupStats gs = PaperExample();
+  EXPECT_NEAR(TprBalance(gs), 14.0 / 16.0 - 0.7, 1e-12);  // ~0.175.
+  EXPECT_NEAR(TnrBalance(gs), 38.0 / 44.0 - 28.0 / 30.0, 1e-12);  // ~-0.07.
+}
+
+TEST(FairnessTest, DisparateImpactEdgeCases) {
+  GroupStats none;
+  EXPECT_DOUBLE_EQ(DisparateImpact(none), 1.0);  // No positives anywhere.
+  GroupStats only_unpriv;
+  only_unpriv.unprivileged.tp = 5;
+  only_unpriv.unprivileged.tn = 5;
+  only_unpriv.privileged.tn = 10;
+  EXPECT_TRUE(std::isinf(DisparateImpact(only_unpriv)));
+}
+
+TEST(NormalizeTest, DiStarFoldsBothDirections) {
+  EXPECT_DOUBLE_EQ(NormalizeDi(1.0).score, 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeDi(0.5).score, 0.5);
+  EXPECT_FALSE(NormalizeDi(0.5).reverse);
+  EXPECT_DOUBLE_EQ(NormalizeDi(2.0).score, 0.5);
+  EXPECT_TRUE(NormalizeDi(2.0).reverse);
+  EXPECT_DOUBLE_EQ(NormalizeDi(0.0).score, 0.0);
+  EXPECT_DOUBLE_EQ(
+      NormalizeDi(std::numeric_limits<double>::infinity()).score, 0.0);
+}
+
+TEST(NormalizeTest, BalancesFoldAbsoluteValue) {
+  EXPECT_DOUBLE_EQ(NormalizeTprb(0.0).score, 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeTprb(0.3).score, 0.7);
+  EXPECT_FALSE(NormalizeTprb(0.3).reverse);
+  EXPECT_DOUBLE_EQ(NormalizeTprb(-0.3).score, 0.7);
+  EXPECT_TRUE(NormalizeTprb(-0.3).reverse);
+  EXPECT_DOUBLE_EQ(NormalizeTnrb(-1.0).score, 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeCrd(0.25).score, 0.75);
+  EXPECT_TRUE(NormalizeCrd(-0.25).reverse);
+}
+
+TEST(NormalizeTest, CdHasNoDirection) {
+  EXPECT_DOUBLE_EQ(NormalizeCd(0.0).score, 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeCd(0.14).score, 0.86);
+  EXPECT_FALSE(NormalizeCd(0.14).reverse);
+  EXPECT_DOUBLE_EQ(NormalizeCd(1.5).score, 0.0);  // Clamped.
+}
+
+/// Property sweep: all normalized scores live in [0, 1].
+class NormalizeRangeTest : public testing::TestWithParam<double> {};
+
+TEST_P(NormalizeRangeTest, ScoresAreInUnitInterval) {
+  const double v = GetParam();
+  for (const NormalizedScore& s :
+       {NormalizeDi(std::fabs(v)), NormalizeTprb(v), NormalizeTnrb(v),
+        NormalizeCd(std::fabs(v)), NormalizeCrd(v)}) {
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalizeRangeTest,
+                         testing::Values(-2.0, -1.0, -0.5, -0.01, 0.0, 0.01,
+                                         0.5, 0.99, 1.0, 1.5, 10.0));
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,44 @@
+#include "metrics/group_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fairbench {
+namespace {
+
+TEST(GroupStatsTest, SplitsByGroup) {
+  //        y     yhat  s
+  // priv:  1,1   1,0   -> tp=1, fn=1
+  // unpriv:0,0   1,0   -> fp=1, tn=1
+  Result<GroupStats> gs =
+      BuildGroupStats({1, 1, 0, 0}, {1, 0, 1, 0}, {1, 1, 0, 0});
+  ASSERT_TRUE(gs.ok());
+  EXPECT_DOUBLE_EQ(gs->privileged.tp, 1.0);
+  EXPECT_DOUBLE_EQ(gs->privileged.fn, 1.0);
+  EXPECT_DOUBLE_EQ(gs->unprivileged.fp, 1.0);
+  EXPECT_DOUBLE_EQ(gs->unprivileged.tn, 1.0);
+  EXPECT_DOUBLE_EQ(gs->PositiveRatePrivileged(), 0.5);
+  EXPECT_DOUBLE_EQ(gs->PositiveRateUnprivileged(), 0.5);
+}
+
+TEST(GroupStatsTest, GroupTotalsSumToOverall) {
+  const std::vector<int> y = {1, 0, 1, 0, 1, 1, 0};
+  const std::vector<int> yhat = {1, 1, 0, 0, 1, 0, 1};
+  const std::vector<int> s = {0, 1, 0, 1, 1, 0, 0};
+  const GroupStats gs = BuildGroupStats(y, yhat, s).value();
+  EXPECT_DOUBLE_EQ(gs.privileged.Total() + gs.unprivileged.Total(), 7.0);
+}
+
+TEST(GroupStatsTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildGroupStats({1}, {1}, {1, 0}).ok());
+  EXPECT_FALSE(BuildGroupStats({1}, {1}, {2}).ok());
+  EXPECT_FALSE(BuildGroupStats({3}, {1}, {1}).ok());
+}
+
+TEST(GroupStatsTest, EmptyInputIsValid) {
+  const GroupStats gs = BuildGroupStats({}, {}, {}).value();
+  EXPECT_DOUBLE_EQ(gs.privileged.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(gs.PositiveRateUnprivileged(), 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

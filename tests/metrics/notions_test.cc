@@ -1,0 +1,73 @@
+#include "metrics/notions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fairbench {
+namespace {
+
+TEST(NotionCatalogTest, Has26Notions) {
+  EXPECT_EQ(FairnessNotionCatalog().size(), 26u);
+}
+
+TEST(NotionCatalogTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const FairnessNotion& n : FairnessNotionCatalog()) {
+    EXPECT_TRUE(names.insert(n.name).second) << n.name;
+  }
+}
+
+TEST(NotionCatalogTest, EvaluatedNotionsCoverAllCategories) {
+  // The paper chose its five metrics to span every category dimension
+  // (§2.2.2): group & individual, causal & non-causal, observational &
+  // interventional.
+  bool group = false;
+  bool individual = false;
+  bool causal = false;
+  bool non_causal = false;
+  bool observational = false;
+  bool interventional = false;
+  for (const FairnessNotion& n : FairnessNotionCatalog()) {
+    if (!n.evaluated) continue;
+    group |= n.granularity == Granularity::kGroup;
+    individual |= n.granularity == Granularity::kIndividual;
+    causal |= n.association == Association::kCausal;
+    non_causal |= n.association == Association::kNonCausal;
+    observational |= n.methodology == Methodology::kObservational;
+    interventional |= n.methodology == Methodology::kInterventional;
+  }
+  EXPECT_TRUE(group && individual && causal && non_causal && observational &&
+              interventional);
+}
+
+TEST(NotionCatalogTest, LookupByName) {
+  const FairnessNotion* eo = FindNotion("equalized odds");
+  ASSERT_NE(eo, nullptr);
+  EXPECT_TRUE(eo->evaluated);
+  EXPECT_TRUE(eo->requirements.ground_truth);
+  EXPECT_EQ(FindNotion("made up"), nullptr);
+}
+
+TEST(NotionCatalogTest, CausalNotionsNeedModelsOrResolvers) {
+  // Every causal notion in Fig 5 either requires a causality model, or
+  // resolving attributes, or is the interventional CD metric itself.
+  for (const FairnessNotion& n : FairnessNotionCatalog()) {
+    if (n.association != Association::kCausal) continue;
+    const bool has_support = n.requirements.causal_model ||
+                             n.requirements.resolving_attributes ||
+                             n.name == "causal discrimination";
+    EXPECT_TRUE(has_support) << n.name;
+  }
+}
+
+TEST(NotionCatalogTest, FormatListsEveryNotion) {
+  const std::string table = FormatNotionCatalog();
+  for (const FairnessNotion& n : FairnessNotionCatalog()) {
+    EXPECT_NE(table.find(n.name), std::string::npos) << n.name;
+  }
+  EXPECT_NE(table.find("interventional"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,83 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+TEST(ReportTest, MetricNamesAreStable) {
+  EXPECT_EQ(CorrectnessMetricNames(),
+            (std::vector<std::string>{"accuracy", "precision", "recall", "f1"}));
+  EXPECT_EQ(FairnessMetricNames(),
+            (std::vector<std::string>{"di", "tprb", "tnrb", "cd", "crd"}));
+}
+
+TEST(ReportTest, ComputesAllNineMetrics) {
+  const Dataset ds = GenerateGerman(400, 1).value();
+  // Simple predictions: predict the label with some noise tied to S so
+  // every metric is non-trivial.
+  std::vector<int> y_pred(ds.num_rows(), 0);
+  for (std::size_t i = 0; i < ds.num_rows(); ++i) {
+    y_pred[i] = (ds.labels()[i] + ds.sensitive()[i]) >= 1 ? 1 : 0;
+  }
+  RowPredictor predictor = [&](std::size_t row, int s_override) -> Result<int> {
+    return (ds.labels()[row] + s_override) >= 1 ? 1 : 0;
+  };
+  Result<MetricsReport> report =
+      ComputeMetricsReport(ds, y_pred, predictor, {"job"});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->correctness.accuracy, 0.0);
+  EXPECT_GT(report->cd, 0.0);  // Flipping S changes some predictions.
+  EXPECT_NE(report->crd, 0.0);
+  // Normalized scores consistent with raw values.
+  EXPECT_DOUBLE_EQ(report->cd_score.score, 1.0 - report->cd);
+}
+
+TEST(ReportTest, NullPredictorSkipsCd) {
+  const Dataset ds = GenerateGerman(200, 2).value();
+  std::vector<int> y_pred(ds.num_rows(), 1);
+  Result<MetricsReport> report =
+      ComputeMetricsReport(ds, y_pred, nullptr, {"job"});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->cd, 0.0);
+  EXPECT_DOUBLE_EQ(report->cd_score.score, 1.0);
+}
+
+TEST(ReportTest, EmptyResolvingSkipsCrd) {
+  const Dataset ds = GenerateGerman(200, 3).value();
+  std::vector<int> y_pred(ds.num_rows(), 1);
+  Result<MetricsReport> report = ComputeMetricsReport(ds, y_pred, nullptr, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->crd, 0.0);
+}
+
+TEST(ReportTest, MetricByNameCoversAllAndRejectsUnknown) {
+  MetricsReport report;
+  report.correctness.accuracy = 0.8;
+  report.di_star.score = 0.6;
+  EXPECT_DOUBLE_EQ(report.MetricByName("accuracy"), 0.8);
+  EXPECT_DOUBLE_EQ(report.MetricByName("di"), 0.6);
+  EXPECT_DOUBLE_EQ(report.MetricByName("nonsense"), -1.0);
+  for (const std::string& m : CorrectnessMetricNames()) {
+    EXPECT_GE(report.MetricByName(m), 0.0) << m;
+  }
+  for (const std::string& m : FairnessMetricNames()) {
+    EXPECT_GE(report.MetricByName(m), 0.0) << m;
+  }
+}
+
+TEST(ReportTest, PerfectPredictionsScorePerfectCorrectness) {
+  const Dataset ds = GenerateGerman(300, 4).value();
+  Result<MetricsReport> report =
+      ComputeMetricsReport(ds, ds.labels(), nullptr, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->correctness.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report->correctness.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report->tprb, 0.0);
+  EXPECT_DOUBLE_EQ(report->tnrb, 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

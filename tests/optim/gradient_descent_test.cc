@@ -1,0 +1,85 @@
+#include "optim/gradient_descent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+/// f(x) = (x0 - 3)^2 + 2 (x1 + 1)^2, minimum at (3, -1).
+Objective Quadratic() {
+  return [](const Vector& x, Vector* grad) {
+    (*grad)[0] = 2.0 * (x[0] - 3.0);
+    (*grad)[1] = 4.0 * (x[1] + 1.0);
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+}
+
+TEST(GradientDescentTest, MinimizesQuadratic) {
+  const OptimResult r = MinimizeGradientDescent(Quadratic(), {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(GradientDescentTest, RespectsIterationBudget) {
+  GradientDescentOptions options;
+  options.max_iterations = 3;
+  const OptimResult r = MinimizeGradientDescent(Quadratic(), {100.0, 100.0},
+                                                options);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(GradientDescentTest, HandlesRosenbrockReasonably) {
+  Objective rosenbrock = [](const Vector& x, Vector* grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    (*grad)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*grad)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  GradientDescentOptions options;
+  options.max_iterations = 5000;
+  const OptimResult r = MinimizeGradientDescent(rosenbrock, {-1.0, 1.0},
+                                                options);
+  EXPECT_LT(r.value, 0.1);  // GD is slow on Rosenbrock but must descend.
+}
+
+TEST(GradientDescentTest, StationaryStartConvergesImmediately) {
+  const OptimResult r = MinimizeGradientDescent(Quadratic(), {3.0, -1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(PenaltyTest, EnforcesInequalityConstraint) {
+  // min (x-5)^2 s.t. x <= 2  ->  x* = 2.
+  PenalizedObjective obj = [](const Vector& x, Vector* grad, double mu) {
+    (*grad)[0] = 2.0 * (x[0] - 5.0);
+    double value = (x[0] - 5.0) * (x[0] - 5.0);
+    const double violation = std::max(0.0, x[0] - 2.0);
+    value += mu * violation * violation;
+    (*grad)[0] += 2.0 * mu * violation;
+    return value;
+  };
+  const OptimResult r = MinimizePenalty(obj, {0.0});
+  EXPECT_NEAR(r.x[0], 2.0, 0.01);
+}
+
+TEST(PenaltyTest, InactiveConstraintDoesNotBind) {
+  // min (x-1)^2 s.t. x <= 10: the constraint never binds.
+  PenalizedObjective obj = [](const Vector& x, Vector* grad, double mu) {
+    (*grad)[0] = 2.0 * (x[0] - 1.0);
+    double value = (x[0] - 1.0) * (x[0] - 1.0);
+    const double violation = std::max(0.0, x[0] - 10.0);
+    value += mu * violation * violation;
+    (*grad)[0] += 2.0 * mu * violation;
+    return value;
+  };
+  const OptimResult r = MinimizePenalty(obj, {0.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,91 @@
+#include "optim/nmf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+TEST(NmfTest, ReconstructsLowRankMatrixExactly) {
+  // V = w h^T is exactly rank 1.
+  const Vector w = {1.0, 2.0, 3.0};
+  const Vector h = {4.0, 5.0};
+  Matrix v(3, 2, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) v(i, j) = w[i] * h[j];
+  }
+  NmfOptions options;
+  options.rank = 1;
+  options.max_iterations = 500;
+  Result<NmfResult> r = FactorizeNmf(v, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->reconstruction_error / v.FrobeniusNorm(), 1e-3);
+}
+
+TEST(NmfTest, FactorsAreNonNegative) {
+  Rng rng(2);
+  Matrix v(6, 5, 0.0);
+  for (double& x : v.data()) x = rng.Uniform() * 10.0;
+  NmfOptions options;
+  options.rank = 3;
+  Result<NmfResult> r = FactorizeNmf(v, options);
+  ASSERT_TRUE(r.ok());
+  for (double x : r->w.data()) EXPECT_GE(x, 0.0);
+  for (double x : r->h.data()) EXPECT_GE(x, 0.0);
+}
+
+TEST(NmfTest, HigherRankFitsBetter) {
+  Rng rng(4);
+  Matrix v(8, 8, 0.0);
+  for (double& x : v.data()) x = rng.Uniform() * 5.0;
+  NmfOptions r1;
+  r1.rank = 1;
+  NmfOptions r4;
+  r4.rank = 4;
+  const double e1 = FactorizeNmf(v, r1)->reconstruction_error;
+  const double e4 = FactorizeNmf(v, r4)->reconstruction_error;
+  EXPECT_LT(e4, e1);
+}
+
+TEST(NmfTest, Rank1TargetIsIndependentTable) {
+  // A contingency table repaired to rank 1 must have independent margins:
+  // T[i][j] * T[k][l] == T[i][l] * T[k][j].
+  Matrix v = {{20, 5, 1}, {3, 12, 9}};
+  NmfOptions options;
+  options.rank = 1;
+  options.max_iterations = 1000;
+  Result<NmfResult> r = FactorizeNmf(v, options);
+  ASSERT_TRUE(r.ok());
+  const Matrix t = r->w.MatMul(r->h);
+  EXPECT_NEAR(t(0, 0) * t(1, 1), t(0, 1) * t(1, 0), 1e-6 * t.FrobeniusNorm());
+}
+
+TEST(NmfTest, RejectsNegativeInput) {
+  Matrix v = {{1.0, -2.0}};
+  EXPECT_EQ(FactorizeNmf(v).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NmfTest, RejectsZeroRank) {
+  Matrix v = {{1.0, 2.0}};
+  NmfOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(FactorizeNmf(v, options).ok());
+}
+
+TEST(NmfTest, DeterministicForFixedSeed) {
+  Rng rng(6);
+  Matrix v(4, 4, 0.0);
+  for (double& x : v.data()) x = rng.Uniform();
+  NmfOptions options;
+  options.rank = 2;
+  const NmfResult a = FactorizeNmf(v, options).value();
+  const NmfResult b = FactorizeNmf(v, options).value();
+  EXPECT_EQ(a.w.data(), b.w.data());
+  EXPECT_EQ(a.h.data(), b.h.data());
+}
+
+}  // namespace
+}  // namespace fairbench

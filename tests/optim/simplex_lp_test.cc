@@ -1,0 +1,125 @@
+#include "optim/simplex_lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fairbench {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SimplexTest, SolvesTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), obj 36.
+  LinearProgram lp;
+  lp.c = {-3.0, -5.0};
+  lp.a_ub = {{1.0, 0.0}, {0.0, 2.0}, {3.0, 2.0}};
+  lp.b_ub = {4.0, 12.0, 18.0};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-7);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-7);
+  EXPECT_NEAR(sol->objective, -36.0, 1e-7);
+}
+
+TEST(SimplexTest, HandlesEqualityConstraints) {
+  // min x + y s.t. x + 2y = 4, x,y >= 0  ->  (0, 2), obj 2.
+  LinearProgram lp;
+  lp.c = {1.0, 1.0};
+  lp.a_eq = {{1.0, 2.0}};
+  lp.b_eq = {4.0};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-7);
+  EXPECT_NEAR(sol->x[0] + 2.0 * sol->x[1], 4.0, 1e-7);
+}
+
+TEST(SimplexTest, RespectsUpperBounds) {
+  // min -x s.t. x <= 0.75 via the upper-bound mechanism.
+  LinearProgram lp;
+  lp.c = {-1.0};
+  lp.upper = {0.75};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.75, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x >= 0 with x + y = -1 is infeasible.
+  LinearProgram lp;
+  lp.c = {1.0, 1.0};
+  lp.a_eq = {{1.0, 1.0}};
+  lp.b_eq = {-1.0};
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kNoSolution);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.c = {-1.0};  // max x with no constraints: unbounded.
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kNoConvergence);
+}
+
+TEST(SimplexTest, RejectsShapeMismatch) {
+  LinearProgram lp;
+  lp.c = {1.0, 2.0};
+  lp.a_ub = {{1.0}};
+  lp.b_ub = {1.0};
+  EXPECT_EQ(SolveLp(lp).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, MixedInfinityUpperBounds) {
+  LinearProgram lp;
+  lp.c = {-1.0, -1.0};
+  lp.a_ub = {{1.0, 1.0}};
+  lp.b_ub = {10.0};
+  lp.upper = {2.0, kInf};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 10.0, 1e-7);
+  EXPECT_LE(sol->x[0], 2.0 + 1e-9);
+}
+
+TEST(SimplexTest, HardtStyleEqualizedOddsProgramIsFeasible) {
+  // The exact structure HARDT solves: 4 mixing probabilities in [0,1],
+  // two equality constraints tying group TPR/FPR together.
+  const double tpr[2] = {0.6, 0.9};
+  const double fpr[2] = {0.2, 0.4};
+  LinearProgram lp;
+  lp.c = {0.3, -0.5, 0.2, -0.6};
+  lp.upper = {1.0, 1.0, 1.0, 1.0};
+  lp.a_eq = Matrix(2, 4, 0.0);
+  lp.b_eq = {0.0, 0.0};
+  // p index: s*2 + yhat.
+  lp.a_eq(0, 1) = tpr[0];
+  lp.a_eq(0, 0) = 1 - tpr[0];
+  lp.a_eq(0, 3) = -tpr[1];
+  lp.a_eq(0, 2) = -(1 - tpr[1]);
+  lp.a_eq(1, 1) = fpr[0];
+  lp.a_eq(1, 0) = 1 - fpr[0];
+  lp.a_eq(1, 3) = -fpr[1];
+  lp.a_eq(1, 2) = -(1 - fpr[1]);
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  for (double v : sol->x) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+  // Verify the equalized-odds constraints hold at the solution.
+  const double tpr0 = sol->x[1] * tpr[0] + sol->x[0] * (1 - tpr[0]);
+  const double tpr1 = sol->x[3] * tpr[1] + sol->x[2] * (1 - tpr[1]);
+  EXPECT_NEAR(tpr0, tpr1, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateZeroObjective) {
+  LinearProgram lp;
+  lp.c = {0.0, 0.0};
+  lp.a_ub = {{1.0, 1.0}};
+  lp.b_ub = {1.0};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairbench

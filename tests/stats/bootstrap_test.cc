@@ -1,0 +1,111 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+#include "metrics/fairness.h"
+#include "metrics/group_stats.h"
+
+namespace fairbench {
+namespace {
+
+TEST(BootstrapTest, MeanIntervalCoversTruth) {
+  // Bernoulli(0.3) sample: the CI should bracket 0.3 and the estimate.
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.Bernoulli(0.3) ? 1.0 : 0.0);
+  IndexStatistic mean = [&](const std::vector<std::size_t>& idx) {
+    double s = 0.0;
+    for (std::size_t i : idx) s += sample[i];
+    return s / static_cast<double>(idx.size());
+  };
+  const BootstrapInterval ci = BootstrapCi(sample.size(), mean).value();
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_LE(ci.lower, 0.3);
+  EXPECT_GE(ci.upper, 0.3);
+  // Width ~ 2*1.96*sqrt(p(1-p)/n) ~ 0.04.
+  EXPECT_LT(ci.upper - ci.lower, 0.08);
+  EXPECT_GT(ci.upper - ci.lower, 0.01);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  Rng rng(2);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.Gaussian();
+    if (i < 200) small.push_back(v);
+    large.push_back(v);
+  }
+  auto width = [](const std::vector<double>& sample) {
+    IndexStatistic mean = [&](const std::vector<std::size_t>& idx) {
+      double s = 0.0;
+      for (std::size_t i : idx) s += sample[i];
+      return s / static_cast<double>(idx.size());
+    };
+    const BootstrapInterval ci = BootstrapCi(sample.size(), mean).value();
+    return ci.upper - ci.lower;
+  };
+  EXPECT_LT(width(large), width(small));
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  IndexStatistic mean = [&](const std::vector<std::size_t>& idx) {
+    double s = 0.0;
+    for (std::size_t i : idx) s += sample[i];
+    return s / static_cast<double>(idx.size());
+  };
+  const BootstrapInterval a = BootstrapCi(10, mean).value();
+  const BootstrapInterval b = BootstrapCi(10, mean).value();
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapTest, RejectsBadInput) {
+  IndexStatistic dummy = [](const std::vector<std::size_t>&) { return 0.0; };
+  EXPECT_FALSE(BootstrapCi(0, dummy).ok());
+  EXPECT_FALSE(BootstrapCi(10, nullptr).ok());
+  BootstrapOptions bad;
+  bad.confidence = 1.5;
+  EXPECT_FALSE(BootstrapCi(10, dummy, bad).ok());
+  bad.confidence = 0.9;
+  bad.resamples = 3;
+  EXPECT_FALSE(BootstrapCi(10, dummy, bad).ok());
+}
+
+TEST(BootstrapMetricCiTest, DisparateImpactErrorBars) {
+  // Predictions with a planted DI of (0.2 / 0.4) = 0.5.
+  Rng rng(3);
+  std::vector<int> y;
+  std::vector<int> yhat;
+  std::vector<int> s;
+  for (int i = 0; i < 5000; ++i) {
+    const int si = rng.Bernoulli(0.5) ? 1 : 0;
+    s.push_back(si);
+    y.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    yhat.push_back(rng.Bernoulli(si == 1 ? 0.4 : 0.2) ? 1 : 0);
+  }
+  auto di = [](const std::vector<int>& yt, const std::vector<int>& yp,
+               const std::vector<int>& sv) {
+    return DisparateImpact(BuildGroupStats(yt, yp, sv).value());
+  };
+  const BootstrapInterval ci = BootstrapMetricCi(y, yhat, s, di).value();
+  EXPECT_LE(ci.lower, 0.5);
+  EXPECT_GE(ci.upper, 0.5);
+  EXPECT_LT(ci.upper - ci.lower, 0.25);
+}
+
+TEST(BootstrapMetricCiTest, RejectsMismatchedInput) {
+  auto di = [](const std::vector<int>&, const std::vector<int>&,
+               const std::vector<int>&) { return 0.0; };
+  EXPECT_FALSE(BootstrapMetricCi({1}, {1, 0}, {1}, di).ok());
+  EXPECT_FALSE(BootstrapMetricCi({1}, {1}, {1}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,84 @@
+#include "stats/contingency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+TEST(ContingencyTest, FromCodesCounts) {
+  Result<ContingencyTable> t = ContingencyTable::FromCodes(
+      {0, 0, 1, 1, 1}, 2, {0, 1, 0, 1, 1}, 2, {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->cell(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t->cell(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t->cell(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t->cell(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t->Total(), 5.0);
+  EXPECT_DOUBLE_EQ(t->RowTotal(1), 3.0);
+  EXPECT_DOUBLE_EQ(t->ColTotal(1), 3.0);
+}
+
+TEST(ContingencyTest, WeightedCounts) {
+  Result<ContingencyTable> t =
+      ContingencyTable::FromCodes({0, 1}, 2, {0, 1}, 2, {0.5, 2.5});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->cell(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t->cell(1, 1), 2.5);
+}
+
+TEST(ContingencyTest, RejectsBadInput) {
+  EXPECT_FALSE(ContingencyTable::FromCodes({0}, 1, {0, 1}, 2, {}).ok());
+  EXPECT_FALSE(ContingencyTable::FromCodes({2}, 2, {0}, 2, {}).ok());
+  EXPECT_FALSE(ContingencyTable::FromCodes({0}, 2, {0}, 2, {1.0, 2.0}).ok());
+}
+
+TEST(ContingencyTest, Probabilities) {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 30);
+  t.Add(0, 1, 10);
+  t.Add(1, 0, 20);
+  t.Add(1, 1, 40);
+  EXPECT_DOUBLE_EQ(t.JointProb(1, 1), 0.4);
+  EXPECT_DOUBLE_EQ(t.CondProb(1, 0), 0.25);  // P(col=1 | row=0).
+  EXPECT_DOUBLE_EQ(ContingencyTable(2, 2).JointProb(0, 0), 0.0);
+}
+
+TEST(MutualInformationTest, IndependentIsZero) {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 10);
+  t.Add(0, 1, 10);
+  t.Add(1, 0, 10);
+  t.Add(1, 1, 10);
+  EXPECT_NEAR(MutualInformation(t), 0.0, 1e-12);
+}
+
+TEST(MutualInformationTest, PerfectDependenceIsLog2) {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 50);
+  t.Add(1, 1, 50);
+  EXPECT_NEAR(MutualInformation(t), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformationTest, NonNegative) {
+  ContingencyTable t(3, 2);
+  t.Add(0, 0, 3);
+  t.Add(1, 1, 2);
+  t.Add(2, 0, 7);
+  t.Add(2, 1, 1);
+  EXPECT_GE(MutualInformation(t), 0.0);
+}
+
+TEST(EntropyTest, UniformIsLogN) {
+  EXPECT_NEAR(Entropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({5, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,97 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(SampleMean(v), 5.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(SampleStddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SampleMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5.0}), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 2.0), 3.0);
+}
+
+TEST(SummarizeTest, FiveNumberSummary) {
+  const Summary s = Summarize({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.iqr, 4.0);
+  EXPECT_EQ(s.num_outliers, 0u);
+}
+
+TEST(SummarizeTest, DetectsOutliers) {
+  std::vector<double> v(20, 1.0);
+  v.push_back(100.0);
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.num_outliers, 1u);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(CorrelationTest, PerfectAndAntiCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, down), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(CorrelationTest, IndependentSamplesNearZero) {
+  Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.Gaussian());
+    b.push_back(rng.Gaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.05);
+}
+
+TEST(CovarianceTest, MatchesDefinition) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {2, 4, 6};
+  // Population covariance of (a, 2a) = 2 * var_pop(a) = 2 * (2/3).
+  EXPECT_NEAR(Covariance(a, b), 4.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,112 @@
+#include "stats/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+ContingencyTable Independent() {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 100);
+  t.Add(0, 1, 100);
+  t.Add(1, 0, 100);
+  t.Add(1, 1, 100);
+  return t;
+}
+
+ContingencyTable Dependent() {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 180);
+  t.Add(0, 1, 20);
+  t.Add(1, 0, 20);
+  t.Add(1, 1, 180);
+  return t;
+}
+
+TEST(ChiSquareIndependenceTest, IndependentHasHighPValue) {
+  const IndependenceTest r = ChiSquareTest(Independent());
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.9);
+  EXPECT_DOUBLE_EQ(r.dof, 1.0);
+}
+
+TEST(ChiSquareIndependenceTest, DependentHasLowPValue) {
+  const IndependenceTest r = ChiSquareTest(Dependent());
+  EXPECT_GT(r.statistic, 100.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareIndependenceTest, EmptyRowsReduceDof) {
+  ContingencyTable t(3, 2);
+  t.Add(0, 0, 10);
+  t.Add(0, 1, 5);
+  t.Add(2, 0, 3);
+  t.Add(2, 1, 8);
+  const IndependenceTest r = ChiSquareTest(t);
+  EXPECT_DOUBLE_EQ(r.dof, 1.0);  // Only 2 rows have support.
+}
+
+TEST(ChiSquareIndependenceTest, DegenerateTableIsInconclusive) {
+  ContingencyTable t(2, 2);
+  t.Add(0, 0, 10);  // Single cell: no dof.
+  const IndependenceTest r = ChiSquareTest(t);
+  EXPECT_DOUBLE_EQ(r.dof, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(GTestTest, AgreesWithChiSquareDirectionally) {
+  const IndependenceTest g_ind = GTest(Independent());
+  const IndependenceTest g_dep = GTest(Dependent());
+  EXPECT_GT(g_ind.p_value, 0.9);
+  EXPECT_LT(g_dep.p_value, 1e-6);
+}
+
+TEST(ConditionalChiSquareTest, DetectsConditionalIndependence) {
+  // a and b both driven by z; independent given z.
+  Rng rng(4);
+  std::vector<int> a;
+  std::vector<int> b;
+  std::vector<int> z;
+  for (int i = 0; i < 4000; ++i) {
+    const int zi = rng.Bernoulli(0.5) ? 1 : 0;
+    z.push_back(zi);
+    a.push_back(rng.Bernoulli(zi == 1 ? 0.8 : 0.2) ? 1 : 0);
+    b.push_back(rng.Bernoulli(zi == 1 ? 0.7 : 0.3) ? 1 : 0);
+  }
+  // Marginally dependent...
+  Result<ContingencyTable> marginal =
+      ContingencyTable::FromCodes(a, 2, b, 2, {});
+  ASSERT_TRUE(marginal.ok());
+  EXPECT_LT(ChiSquareTest(marginal.value()).p_value, 1e-6);
+  // ...but conditionally independent given z.
+  Result<IndependenceTest> cond = ConditionalChiSquareTest(a, 2, b, 2, z, 2);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_GT(cond->p_value, 0.01);
+}
+
+TEST(ConditionalChiSquareTest, DetectsConditionalDependence) {
+  Rng rng(6);
+  std::vector<int> a;
+  std::vector<int> b;
+  std::vector<int> z;
+  for (int i = 0; i < 4000; ++i) {
+    const int zi = rng.Bernoulli(0.5) ? 1 : 0;
+    const int ai = rng.Bernoulli(0.5) ? 1 : 0;
+    z.push_back(zi);
+    a.push_back(ai);
+    // b depends on a within every stratum.
+    b.push_back(rng.Bernoulli(ai == 1 ? 0.8 : 0.2) ? 1 : 0);
+  }
+  Result<IndependenceTest> cond = ConditionalChiSquareTest(a, 2, b, 2, z, 2);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_LT(cond->p_value, 1e-6);
+}
+
+TEST(ConditionalChiSquareTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(ConditionalChiSquareTest({0, 1}, 2, {0}, 2, {0, 1}, 2).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

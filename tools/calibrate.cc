@@ -1,0 +1,26 @@
+// Scratch calibration tool: LR accuracy/metrics per dataset at a given
+// signal scale (not installed; used during generator tuning).
+#include <cstdio>
+#include <cstdlib>
+#include "core/experiment.h"
+
+using namespace fairbench;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? atof(argv[1]) : 1.0;
+  for (PopulationConfig cfg : AllDatasetConfigs()) {
+    if (scale > 0) cfg.signal_scale = scale;
+    auto data = GeneratePopulation(cfg, cfg.default_rows / 3, 42);
+    if (!data.ok()) { printf("%s: gen fail\n", cfg.name.c_str()); continue; }
+    ExperimentOptions opt;
+    opt.compute_cd = true;
+    auto res = RunExperiment(data.value(), MakeContext(cfg, 42), {"lr"}, opt);
+    if (!res.ok()) { printf("%s: exp fail %s\n", cfg.name.c_str(), res.status().ToString().c_str()); continue; }
+    const auto& m = res->approaches[0].metrics;
+    printf("%-8s acc=%.3f f1=%.3f di*=%.3f tprb=%.3f tnrb=%.3f cd=%.3f crd=%.3f\n",
+           cfg.name.c_str(), m.correctness.accuracy, m.correctness.f1,
+           m.di_star.score, m.tprb_score.score, m.tnrb_score.score,
+           m.cd_score.score, m.crd_score.score);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Scratch profiling tool: per-approach fit/predict time on one dataset.
+#include <cstdio>
+#include <cstdlib>
+#include "core/experiment.h"
+
+using namespace fairbench;
+
+int main(int argc, char** argv) {
+  PopulationConfig cfg = AdultConfig();
+  double frac = argc > 1 ? atof(argv[1]) : 0.15;
+  auto data = GeneratePopulation(cfg, (size_t)(cfg.default_rows * frac), 42);
+  ExperimentOptions opt;
+  opt.compute_cd = false;
+  auto res = RunExperiment(data.value(), MakeContext(cfg, 42), AllApproachIds(), opt);
+  if (!res.ok()) { printf("fail: %s\n", res.status().ToString().c_str()); return 1; }
+  for (const auto& ar : res->approaches) {
+    printf("%-20s fit=%.2fs (pre=%.2f train=%.2f post=%.2f) predict=%.2fs %s\n",
+           ar.display.c_str(), ar.timing.Total(), ar.timing.pre_seconds,
+           ar.timing.train_seconds, ar.timing.post_seconds, ar.predict_seconds,
+           ar.ok ? "" : ar.error.c_str());
+  }
+  return 0;
+}
