@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cd_sampling.dir/abl_cd_sampling.cc.o"
+  "CMakeFiles/abl_cd_sampling.dir/abl_cd_sampling.cc.o.d"
+  "CMakeFiles/abl_cd_sampling.dir/bench_common.cc.o"
+  "CMakeFiles/abl_cd_sampling.dir/bench_common.cc.o.d"
+  "abl_cd_sampling"
+  "abl_cd_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cd_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_feld_lambda.dir/abl_feld_lambda.cc.o"
+  "CMakeFiles/abl_feld_lambda.dir/abl_feld_lambda.cc.o.d"
+  "CMakeFiles/abl_feld_lambda.dir/bench_common.cc.o"
+  "CMakeFiles/abl_feld_lambda.dir/bench_common.cc.o.d"
+  "abl_feld_lambda"
+  "abl_feld_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_feld_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

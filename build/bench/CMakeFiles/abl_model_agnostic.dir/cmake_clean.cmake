@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_agnostic.dir/abl_model_agnostic.cc.o"
+  "CMakeFiles/abl_model_agnostic.dir/abl_model_agnostic.cc.o.d"
+  "CMakeFiles/abl_model_agnostic.dir/bench_common.cc.o"
+  "CMakeFiles/abl_model_agnostic.dir/bench_common.cc.o.d"
+  "abl_model_agnostic"
+  "abl_model_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thomas_delta.dir/abl_thomas_delta.cc.o"
+  "CMakeFiles/abl_thomas_delta.dir/abl_thomas_delta.cc.o.d"
+  "CMakeFiles/abl_thomas_delta.dir/bench_common.cc.o"
+  "CMakeFiles/abl_thomas_delta.dir/bench_common.cc.o.d"
+  "abl_thomas_delta"
+  "abl_thomas_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thomas_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

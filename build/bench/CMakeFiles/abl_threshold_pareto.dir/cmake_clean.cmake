@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_threshold_pareto.dir/abl_threshold_pareto.cc.o"
+  "CMakeFiles/abl_threshold_pareto.dir/abl_threshold_pareto.cc.o.d"
+  "CMakeFiles/abl_threshold_pareto.dir/bench_common.cc.o"
+  "CMakeFiles/abl_threshold_pareto.dir/bench_common.cc.o.d"
+  "abl_threshold_pareto"
+  "abl_threshold_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_threshold_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_zafar_threshold.dir/abl_zafar_threshold.cc.o"
+  "CMakeFiles/abl_zafar_threshold.dir/abl_zafar_threshold.cc.o.d"
+  "CMakeFiles/abl_zafar_threshold.dir/bench_common.cc.o"
+  "CMakeFiles/abl_zafar_threshold.dir/bench_common.cc.o.d"
+  "abl_zafar_threshold"
+  "abl_zafar_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_zafar_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_notions.dir/bench_common.cc.o"
+  "CMakeFiles/fig05_notions.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig05_notions.dir/fig05_notions.cc.o"
+  "CMakeFiles/fig05_notions.dir/fig05_notions.cc.o.d"
+  "fig05_notions"
+  "fig05_notions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_notions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

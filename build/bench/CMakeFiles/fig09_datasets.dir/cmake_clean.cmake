@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_datasets.dir/bench_common.cc.o"
+  "CMakeFiles/fig09_datasets.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig09_datasets.dir/fig09_datasets.cc.o"
+  "CMakeFiles/fig09_datasets.dir/fig09_datasets.cc.o.d"
+  "fig09_datasets"
+  "fig09_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adult.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_adult.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_adult.dir/fig10_adult.cc.o"
+  "CMakeFiles/fig10_adult.dir/fig10_adult.cc.o.d"
+  "fig10_adult"
+  "fig10_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compas.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_compas.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_compas.dir/fig10_compas.cc.o"
+  "CMakeFiles/fig10_compas.dir/fig10_compas.cc.o.d"
+  "fig10_compas"
+  "fig10_compas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

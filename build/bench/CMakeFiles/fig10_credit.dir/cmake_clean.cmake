@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_credit.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_credit.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_credit.dir/fig10_credit.cc.o"
+  "CMakeFiles/fig10_credit.dir/fig10_credit.cc.o.d"
+  "fig10_credit"
+  "fig10_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

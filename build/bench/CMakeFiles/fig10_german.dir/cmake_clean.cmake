@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_german.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_german.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_german.dir/fig10_german.cc.o"
+  "CMakeFiles/fig10_german.dir/fig10_german.cc.o.d"
+  "fig10_german"
+  "fig10_german.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_german.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scal_attrs.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_scal_attrs.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_scal_attrs.dir/fig11_scal_attrs.cc.o"
+  "CMakeFiles/fig11_scal_attrs.dir/fig11_scal_attrs.cc.o.d"
+  "fig11_scal_attrs"
+  "fig11_scal_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scal_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

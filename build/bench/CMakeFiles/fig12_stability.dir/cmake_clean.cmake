@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stability.dir/bench_common.cc.o"
+  "CMakeFiles/fig12_stability.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig12_stability.dir/fig12_stability.cc.o"
+  "CMakeFiles/fig12_stability.dir/fig12_stability.cc.o.d"
+  "fig12_stability"
+  "fig12_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

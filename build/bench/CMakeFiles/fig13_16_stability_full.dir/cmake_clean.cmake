@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_16_stability_full.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_16_stability_full.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_16_stability_full.dir/fig13_16_stability_full.cc.o"
+  "CMakeFiles/fig13_16_stability_full.dir/fig13_16_stability_full.cc.o.d"
+  "fig13_16_stability_full"
+  "fig13_16_stability_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_16_stability_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

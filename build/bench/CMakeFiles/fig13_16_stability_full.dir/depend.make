@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_16_stability_full.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_admissions_committee.dir/admissions_committee.cpp.o"
+  "CMakeFiles/example_admissions_committee.dir/admissions_committee.cpp.o.d"
+  "example_admissions_committee"
+  "example_admissions_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_admissions_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recidivism_screening.dir/recidivism_screening.cpp.o"
+  "CMakeFiles/example_recidivism_screening.dir/recidivism_screening.cpp.o.d"
+  "example_recidivism_screening"
+  "example_recidivism_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recidivism_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/bayes_net.cc" "src/CMakeFiles/fairbench.dir/causal/bayes_net.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/causal/bayes_net.cc.o.d"
+  "/root/repo/src/causal/graph.cc" "src/CMakeFiles/fairbench.dir/causal/graph.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/causal/graph.cc.o.d"
+  "/root/repo/src/causal/intervention.cc" "src/CMakeFiles/fairbench.dir/causal/intervention.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/causal/intervention.cc.o.d"
+  "/root/repo/src/causal/structure_learning.cc" "src/CMakeFiles/fairbench.dir/causal/structure_learning.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/causal/structure_learning.cc.o.d"
+  "/root/repo/src/classifiers/classifier.cc" "src/CMakeFiles/fairbench.dir/classifiers/classifier.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/classifiers/classifier.cc.o.d"
+  "/root/repo/src/classifiers/logistic_regression.cc" "src/CMakeFiles/fairbench.dir/classifiers/logistic_regression.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/classifiers/logistic_regression.cc.o.d"
+  "/root/repo/src/classifiers/majority.cc" "src/CMakeFiles/fairbench.dir/classifiers/majority.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/classifiers/majority.cc.o.d"
+  "/root/repo/src/classifiers/naive_bayes.cc" "src/CMakeFiles/fairbench.dir/classifiers/naive_bayes.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/classifiers/naive_bayes.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/fairbench.dir/common/random.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fairbench.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/fairbench.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/fairbench.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/common/timer.cc.o.d"
+  "/root/repo/src/core/crossval.cc" "src/CMakeFiles/fairbench.dir/core/crossval.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/crossval.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/fairbench.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/fairbench.dir/core/export.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/export.cc.o.d"
+  "/root/repo/src/core/guidelines.cc" "src/CMakeFiles/fairbench.dir/core/guidelines.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/guidelines.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/fairbench.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/fairbench.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/scalability.cc" "src/CMakeFiles/fairbench.dir/core/scalability.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/scalability.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/CMakeFiles/fairbench.dir/core/stability.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/stability.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/fairbench.dir/core/table.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/core/table.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/fairbench.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/fairbench.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/discretizer.cc" "src/CMakeFiles/fairbench.dir/data/discretizer.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/discretizer.cc.o.d"
+  "/root/repo/src/data/encoder.cc" "src/CMakeFiles/fairbench.dir/data/encoder.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/encoder.cc.o.d"
+  "/root/repo/src/data/generators/adult.cc" "src/CMakeFiles/fairbench.dir/data/generators/adult.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/generators/adult.cc.o.d"
+  "/root/repo/src/data/generators/compas.cc" "src/CMakeFiles/fairbench.dir/data/generators/compas.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/generators/compas.cc.o.d"
+  "/root/repo/src/data/generators/credit.cc" "src/CMakeFiles/fairbench.dir/data/generators/credit.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/generators/credit.cc.o.d"
+  "/root/repo/src/data/generators/german.cc" "src/CMakeFiles/fairbench.dir/data/generators/german.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/generators/german.cc.o.d"
+  "/root/repo/src/data/generators/population.cc" "src/CMakeFiles/fairbench.dir/data/generators/population.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/generators/population.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/fairbench.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/fairbench.dir/data/split.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/data/split.cc.o.d"
+  "/root/repo/src/fair/in/celis.cc" "src/CMakeFiles/fairbench.dir/fair/in/celis.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/celis.cc.o.d"
+  "/root/repo/src/fair/in/kearns.cc" "src/CMakeFiles/fairbench.dir/fair/in/kearns.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/kearns.cc.o.d"
+  "/root/repo/src/fair/in/logistic_base.cc" "src/CMakeFiles/fairbench.dir/fair/in/logistic_base.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/logistic_base.cc.o.d"
+  "/root/repo/src/fair/in/thomas.cc" "src/CMakeFiles/fairbench.dir/fair/in/thomas.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/thomas.cc.o.d"
+  "/root/repo/src/fair/in/zafar.cc" "src/CMakeFiles/fairbench.dir/fair/in/zafar.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/zafar.cc.o.d"
+  "/root/repo/src/fair/in/zhale.cc" "src/CMakeFiles/fairbench.dir/fair/in/zhale.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/in/zhale.cc.o.d"
+  "/root/repo/src/fair/method.cc" "src/CMakeFiles/fairbench.dir/fair/method.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/method.cc.o.d"
+  "/root/repo/src/fair/post/hardt.cc" "src/CMakeFiles/fairbench.dir/fair/post/hardt.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/post/hardt.cc.o.d"
+  "/root/repo/src/fair/post/kamkar.cc" "src/CMakeFiles/fairbench.dir/fair/post/kamkar.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/post/kamkar.cc.o.d"
+  "/root/repo/src/fair/post/pleiss.cc" "src/CMakeFiles/fairbench.dir/fair/post/pleiss.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/post/pleiss.cc.o.d"
+  "/root/repo/src/fair/pre/calmon.cc" "src/CMakeFiles/fairbench.dir/fair/pre/calmon.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/pre/calmon.cc.o.d"
+  "/root/repo/src/fair/pre/feld.cc" "src/CMakeFiles/fairbench.dir/fair/pre/feld.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/pre/feld.cc.o.d"
+  "/root/repo/src/fair/pre/kamcal.cc" "src/CMakeFiles/fairbench.dir/fair/pre/kamcal.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/pre/kamcal.cc.o.d"
+  "/root/repo/src/fair/pre/salimi.cc" "src/CMakeFiles/fairbench.dir/fair/pre/salimi.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/pre/salimi.cc.o.d"
+  "/root/repo/src/fair/pre/zhawu.cc" "src/CMakeFiles/fairbench.dir/fair/pre/zhawu.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/fair/pre/zhawu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/fairbench.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/CMakeFiles/fairbench.dir/linalg/solve.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/linalg/solve.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/fairbench.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/metrics/causal_discrimination.cc" "src/CMakeFiles/fairbench.dir/metrics/causal_discrimination.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/causal_discrimination.cc.o.d"
+  "/root/repo/src/metrics/causal_risk_difference.cc" "src/CMakeFiles/fairbench.dir/metrics/causal_risk_difference.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/causal_risk_difference.cc.o.d"
+  "/root/repo/src/metrics/confusion.cc" "src/CMakeFiles/fairbench.dir/metrics/confusion.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/confusion.cc.o.d"
+  "/root/repo/src/metrics/correctness.cc" "src/CMakeFiles/fairbench.dir/metrics/correctness.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/correctness.cc.o.d"
+  "/root/repo/src/metrics/extended.cc" "src/CMakeFiles/fairbench.dir/metrics/extended.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/extended.cc.o.d"
+  "/root/repo/src/metrics/fairness.cc" "src/CMakeFiles/fairbench.dir/metrics/fairness.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/fairness.cc.o.d"
+  "/root/repo/src/metrics/group_stats.cc" "src/CMakeFiles/fairbench.dir/metrics/group_stats.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/group_stats.cc.o.d"
+  "/root/repo/src/metrics/notions.cc" "src/CMakeFiles/fairbench.dir/metrics/notions.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/notions.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/fairbench.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/threshold.cc" "src/CMakeFiles/fairbench.dir/metrics/threshold.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/metrics/threshold.cc.o.d"
+  "/root/repo/src/optim/gradient_descent.cc" "src/CMakeFiles/fairbench.dir/optim/gradient_descent.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/optim/gradient_descent.cc.o.d"
+  "/root/repo/src/optim/lbfgs.cc" "src/CMakeFiles/fairbench.dir/optim/lbfgs.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/optim/lbfgs.cc.o.d"
+  "/root/repo/src/optim/maxsat.cc" "src/CMakeFiles/fairbench.dir/optim/maxsat.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/optim/maxsat.cc.o.d"
+  "/root/repo/src/optim/nmf.cc" "src/CMakeFiles/fairbench.dir/optim/nmf.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/optim/nmf.cc.o.d"
+  "/root/repo/src/optim/simplex_lp.cc" "src/CMakeFiles/fairbench.dir/optim/simplex_lp.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/optim/simplex_lp.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/fairbench.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/bounds.cc" "src/CMakeFiles/fairbench.dir/stats/bounds.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/bounds.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/CMakeFiles/fairbench.dir/stats/contingency.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/contingency.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/fairbench.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/fairbench.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/independence.cc" "src/CMakeFiles/fairbench.dir/stats/independence.cc.o" "gcc" "src/CMakeFiles/fairbench.dir/stats/independence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_classifier_swap_test.dir/integration/base_classifier_swap_test.cc.o"
+  "CMakeFiles/base_classifier_swap_test.dir/integration/base_classifier_swap_test.cc.o.d"
+  "base_classifier_swap_test"
+  "base_classifier_swap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_classifier_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

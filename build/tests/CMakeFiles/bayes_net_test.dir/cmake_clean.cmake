@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_net_test.dir/causal/bayes_net_test.cc.o"
+  "CMakeFiles/bayes_net_test.dir/causal/bayes_net_test.cc.o.d"
+  "bayes_net_test"
+  "bayes_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

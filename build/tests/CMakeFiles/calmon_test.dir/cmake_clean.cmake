@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calmon_test.dir/fair/pre/calmon_test.cc.o"
+  "CMakeFiles/calmon_test.dir/fair/pre/calmon_test.cc.o.d"
+  "calmon_test"
+  "calmon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

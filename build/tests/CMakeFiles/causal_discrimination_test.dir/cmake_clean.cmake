@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_discrimination_test.dir/metrics/causal_discrimination_test.cc.o"
+  "CMakeFiles/causal_discrimination_test.dir/metrics/causal_discrimination_test.cc.o.d"
+  "causal_discrimination_test"
+  "causal_discrimination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_discrimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_risk_difference_test.dir/metrics/causal_risk_difference_test.cc.o"
+  "CMakeFiles/causal_risk_difference_test.dir/metrics/causal_risk_difference_test.cc.o.d"
+  "causal_risk_difference_test"
+  "causal_risk_difference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_risk_difference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for causal_risk_difference_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celis_test.dir/fair/in/celis_test.cc.o"
+  "CMakeFiles/celis_test.dir/fair/in/celis_test.cc.o.d"
+  "celis_test"
+  "celis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compas_credit_findings_test.dir/integration/compas_credit_findings_test.cc.o"
+  "CMakeFiles/compas_credit_findings_test.dir/integration/compas_credit_findings_test.cc.o.d"
+  "compas_credit_findings_test"
+  "compas_credit_findings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compas_credit_findings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compas_credit_findings_test.
+# This may be replaced when dependencies are built.

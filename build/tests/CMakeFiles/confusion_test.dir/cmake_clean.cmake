@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confusion_test.dir/metrics/confusion_test.cc.o"
+  "CMakeFiles/confusion_test.dir/metrics/confusion_test.cc.o.d"
+  "confusion_test"
+  "confusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossval_test.dir/core/crossval_test.cc.o"
+  "CMakeFiles/crossval_test.dir/core/crossval_test.cc.o.d"
+  "crossval_test"
+  "crossval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_workflow_test.dir/integration/csv_workflow_test.cc.o"
+  "CMakeFiles/csv_workflow_test.dir/integration/csv_workflow_test.cc.o.d"
+  "csv_workflow_test"
+  "csv_workflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretizer_test.dir/data/discretizer_test.cc.o"
+  "CMakeFiles/discretizer_test.dir/data/discretizer_test.cc.o.d"
+  "discretizer_test"
+  "discretizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

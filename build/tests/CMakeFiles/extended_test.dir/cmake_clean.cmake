@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_test.dir/metrics/extended_test.cc.o"
+  "CMakeFiles/extended_test.dir/metrics/extended_test.cc.o.d"
+  "extended_test"
+  "extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

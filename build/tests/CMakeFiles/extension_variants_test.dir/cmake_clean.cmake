@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_variants_test.dir/fair/extension_variants_test.cc.o"
+  "CMakeFiles/extension_variants_test.dir/fair/extension_variants_test.cc.o.d"
+  "extension_variants_test"
+  "extension_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

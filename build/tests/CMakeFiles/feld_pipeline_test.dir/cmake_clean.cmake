@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feld_pipeline_test.dir/integration/feld_pipeline_test.cc.o"
+  "CMakeFiles/feld_pipeline_test.dir/integration/feld_pipeline_test.cc.o.d"
+  "feld_pipeline_test"
+  "feld_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feld_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feld_test.dir/fair/pre/feld_test.cc.o"
+  "CMakeFiles/feld_test.dir/fair/pre/feld_test.cc.o.d"
+  "feld_test"
+  "feld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_descent_test.dir/optim/gradient_descent_test.cc.o"
+  "CMakeFiles/gradient_descent_test.dir/optim/gradient_descent_test.cc.o.d"
+  "gradient_descent_test"
+  "gradient_descent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_descent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

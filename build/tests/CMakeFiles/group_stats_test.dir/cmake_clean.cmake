@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_stats_test.dir/metrics/group_stats_test.cc.o"
+  "CMakeFiles/group_stats_test.dir/metrics/group_stats_test.cc.o.d"
+  "group_stats_test"
+  "group_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardt_test.dir/fair/post/hardt_test.cc.o"
+  "CMakeFiles/hardt_test.dir/fair/post/hardt_test.cc.o.d"
+  "hardt_test"
+  "hardt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamcal_test.dir/fair/pre/kamcal_test.cc.o"
+  "CMakeFiles/kamcal_test.dir/fair/pre/kamcal_test.cc.o.d"
+  "kamcal_test"
+  "kamcal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamcal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kamkar_test.dir/fair/post/kamkar_test.cc.o"
+  "CMakeFiles/kamkar_test.dir/fair/post/kamkar_test.cc.o.d"
+  "kamkar_test"
+  "kamkar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kamkar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

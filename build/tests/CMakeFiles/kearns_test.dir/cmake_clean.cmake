@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kearns_test.dir/fair/in/kearns_test.cc.o"
+  "CMakeFiles/kearns_test.dir/fair/in/kearns_test.cc.o.d"
+  "kearns_test"
+  "kearns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kearns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbfgs_test.dir/optim/lbfgs_test.cc.o"
+  "CMakeFiles/lbfgs_test.dir/optim/lbfgs_test.cc.o.d"
+  "lbfgs_test"
+  "lbfgs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbfgs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_base_test.dir/fair/in/logistic_base_test.cc.o"
+  "CMakeFiles/logistic_base_test.dir/fair/in/logistic_base_test.cc.o.d"
+  "logistic_base_test"
+  "logistic_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

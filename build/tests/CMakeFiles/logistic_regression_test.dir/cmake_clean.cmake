@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_regression_test.dir/classifiers/logistic_regression_test.cc.o"
+  "CMakeFiles/logistic_regression_test.dir/classifiers/logistic_regression_test.cc.o.d"
+  "logistic_regression_test"
+  "logistic_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

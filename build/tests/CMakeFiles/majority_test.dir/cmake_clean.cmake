@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_test.dir/classifiers/majority_test.cc.o"
+  "CMakeFiles/majority_test.dir/classifiers/majority_test.cc.o.d"
+  "majority_test"
+  "majority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

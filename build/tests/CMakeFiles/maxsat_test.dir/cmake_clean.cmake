@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxsat_test.dir/optim/maxsat_test.cc.o"
+  "CMakeFiles/maxsat_test.dir/optim/maxsat_test.cc.o.d"
+  "maxsat_test"
+  "maxsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

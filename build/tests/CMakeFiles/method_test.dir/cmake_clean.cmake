@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_test.dir/fair/method_test.cc.o"
+  "CMakeFiles/method_test.dir/fair/method_test.cc.o.d"
+  "method_test"
+  "method_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmf_test.dir/optim/nmf_test.cc.o"
+  "CMakeFiles/nmf_test.dir/optim/nmf_test.cc.o.d"
+  "nmf_test"
+  "nmf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notions_test.dir/metrics/notions_test.cc.o"
+  "CMakeFiles/notions_test.dir/metrics/notions_test.cc.o.d"
+  "notions_test"
+  "notions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

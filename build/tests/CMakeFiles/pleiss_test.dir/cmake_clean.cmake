@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pleiss_test.dir/fair/post/pleiss_test.cc.o"
+  "CMakeFiles/pleiss_test.dir/fair/post/pleiss_test.cc.o.d"
+  "pleiss_test"
+  "pleiss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pleiss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salimi_test.dir/fair/pre/salimi_test.cc.o"
+  "CMakeFiles/salimi_test.dir/fair/pre/salimi_test.cc.o.d"
+  "salimi_test"
+  "salimi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salimi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_test.dir/core/scalability_test.cc.o"
+  "CMakeFiles/scalability_test.dir/core/scalability_test.cc.o.d"
+  "scalability_test"
+  "scalability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_lp_test.dir/optim/simplex_lp_test.cc.o"
+  "CMakeFiles/simplex_lp_test.dir/optim/simplex_lp_test.cc.o.d"
+  "simplex_lp_test"
+  "simplex_lp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_learning_test.dir/causal/structure_learning_test.cc.o"
+  "CMakeFiles/structure_learning_test.dir/causal/structure_learning_test.cc.o.d"
+  "structure_learning_test"
+  "structure_learning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

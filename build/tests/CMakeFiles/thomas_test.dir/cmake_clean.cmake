@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thomas_test.dir/fair/in/thomas_test.cc.o"
+  "CMakeFiles/thomas_test.dir/fair/in/thomas_test.cc.o.d"
+  "thomas_test"
+  "thomas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thomas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

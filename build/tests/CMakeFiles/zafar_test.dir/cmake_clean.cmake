@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zafar_test.dir/fair/in/zafar_test.cc.o"
+  "CMakeFiles/zafar_test.dir/fair/in/zafar_test.cc.o.d"
+  "zafar_test"
+  "zafar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zafar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

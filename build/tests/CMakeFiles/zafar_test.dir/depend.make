@@ -1,0 +1,2 @@
+# Empty dependencies file for zafar_test.
+# This may be replaced when dependencies are built.

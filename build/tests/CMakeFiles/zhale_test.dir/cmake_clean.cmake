@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhale_test.dir/fair/in/zhale_test.cc.o"
+  "CMakeFiles/zhale_test.dir/fair/in/zhale_test.cc.o.d"
+  "zhale_test"
+  "zhale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

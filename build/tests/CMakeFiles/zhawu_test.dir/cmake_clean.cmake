@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhawu_test.dir/fair/pre/zhawu_test.cc.o"
+  "CMakeFiles/zhawu_test.dir/fair/pre/zhawu_test.cc.o.d"
+  "zhawu_test"
+  "zhawu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhawu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

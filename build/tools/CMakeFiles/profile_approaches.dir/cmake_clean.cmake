@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_approaches.dir/profile.cc.o"
+  "CMakeFiles/profile_approaches.dir/profile.cc.o.d"
+  "profile_approaches"
+  "profile_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
