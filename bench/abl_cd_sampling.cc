@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
     cd.confidence = s.confidence;
     cd.error_bound = s.error;
     cd.seed = args.seed;
+    cd.threads = args.jobs;  // the CD sampling loop is the hot path here
     Timer timer;
     Result<double> estimate = CausalDiscrimination(
         parts->second, lr->MakeRowPredictor(parts->second), cd);

@@ -29,11 +29,19 @@ BenchArgs ParseArgs(int argc, char** argv) {
         std::exit(2);
       }
       args.seed = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      long long v = 0;
+      if (!ParseInt(argv[++i], &v) || v < 0) {
+        std::fprintf(stderr, "bad --jobs value\n");
+        std::exit(2);
+      }
+      args.jobs = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--no-cd") == 0) {
       args.compute_cd = false;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale f] [--seed n] [--no-cd]\n", argv[0]);
+                   "usage: %s [--scale f] [--seed n] [--jobs n] [--no-cd]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -47,8 +55,11 @@ std::size_t ScaledRows(std::size_t paper_rows, double scale) {
 
 void PrintBanner(const std::string& title, const BenchArgs& args) {
   std::printf("=== %s ===\n", title.c_str());
-  std::printf("scale=%.3g seed=%llu cd=%s\n\n", args.scale,
+  char jobs[32];
+  std::snprintf(jobs, sizeof(jobs), "%zu", args.jobs);
+  std::printf("scale=%.3g seed=%llu jobs=%s cd=%s\n\n", args.scale,
               static_cast<unsigned long long>(args.seed),
+              args.jobs == 0 ? "auto" : jobs,
               args.compute_cd ? "on" : "off");
 }
 

@@ -1,6 +1,7 @@
 #ifndef FAIRBENCH_BENCH_BENCH_COMMON_H_
 #define FAIRBENCH_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -12,11 +13,15 @@ namespace fairbench::bench {
 ///                 whole `for b in build/bench/*` sweep stays minutes-scale;
 ///                 pass --scale 1 to reproduce the paper's full sizes)
 ///   --seed <n>    base RNG seed (default 42)
+///   --jobs <n>    worker threads for the parallel drivers (0 = hardware
+///                 concurrency, the default; 1 = exact serial path —
+///                 results are bit-identical either way, see src/exec)
 ///   --no-cd       skip the Causal Discrimination metric (it dominates
 ///                 evaluation time at full scale)
 struct BenchArgs {
   double scale = 0.2;
   uint64_t seed = 42;
+  std::size_t jobs = 0;
   bool compute_cd = true;
 };
 

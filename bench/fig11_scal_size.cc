@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   }
   ScalabilityOptions options;
   options.seed = args.seed;
+  // Timing harness: serial unless --jobs asks otherwise, so the absolute
+  // wall-clock numbers stay paper-comparable by default.
+  options.threads = args.jobs == 0 ? 1 : args.jobs;
   Result<std::vector<RuntimeCurve>> curves =
       MeasureRuntimeVsSize(AdultConfig(), sizes, AllApproachIds(), options);
   if (!curves.ok()) {

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     }
     StabilityOptions options;
     options.seed = args.seed;
+    options.threads = args.jobs;
     options.compute_cd = args.compute_cd;
     Result<std::vector<StabilityResult>> results =
         RunStability(data.value(), MakeContext(config, args.seed),

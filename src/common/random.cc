@@ -5,12 +5,15 @@
 namespace fairbench {
 namespace {
 
-uint64_t SplitMix64(uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ull;
-  uint64_t z = x;
+uint64_t SplitMix64Mix(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  return SplitMix64Mix(x);
 }
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
@@ -101,6 +104,14 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
 Rng Rng::Split() {
   Rng child(Next() ^ 0x5851f42d4c957f2dull);
   return child;
+}
+
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  // The splitmix64 state after `index + 1` steps is base + (index+1)*gamma;
+  // applying the output mix to it yields exactly the sequence's `index`-th
+  // output without iterating — an O(1) jump-ahead.
+  uint64_t x = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+  return SplitMix64Mix(x);
 }
 
 }  // namespace fairbench

@@ -57,6 +57,11 @@ class Rng {
   /// A derived generator whose stream is independent of this one for
   /// practical purposes. Useful for giving parallel components their own
   /// deterministic streams.
+  ///
+  /// NOTE: Split() advances this generator's state, so the derived stream
+  /// depends on *when* it is taken. For parallel work prefer the free
+  /// function DeriveSeed(base, index), which is a pure function of its
+  /// arguments and therefore independent of scheduling.
   Rng Split();
 
  private:
@@ -64,6 +69,18 @@ class Rng {
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+/// Index-addressed splitmix64 stream splitting: returns the `index`-th
+/// output of the splitmix64 sequence seeded with `base`, computed in O(1).
+///
+/// This is the repo-wide scheme for handing independent PRNG streams to
+/// parallel tasks: task i seeds its own `Rng(DeriveSeed(base, i))`. Because
+/// the derived seed is a pure function of (base, index) — never of worker
+/// identity, execution order, or thread count — any parallel schedule
+/// reproduces the serial results bit-for-bit. Streams for distinct indices
+/// are independent for practical purposes (splitmix64 is the standard
+/// seeding sequence for this reason; see also Rng::Seed).
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
 
 }  // namespace fairbench
 

@@ -1,64 +1,71 @@
 #include "core/crossval.h"
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "core/table.h"
 #include "data/split.h"
+#include "exec/parallel_for.h"
 
 namespace fairbench {
+namespace {
 
-Result<CrossValidationResult> CrossValidate(
-    const Dataset& data, const FairContext& context, const std::string& id,
-    const CrossValidationOptions& options) {
-  if (options.folds < 2) {
-    return Status::InvalidArgument("CrossValidate: need at least 2 folds");
+/// Outcome slot of one (approach, fold) task.
+struct FoldOutcome {
+  bool ok = false;
+  MetricsReport report;
+};
+
+/// Evaluates one approach on one fold round: fold k is the validation set,
+/// the remaining folds the training set. Approach-level failures surface
+/// as ok=false in the slot; the returned Status is reserved for
+/// infrastructure errors (e.g. a split that cannot be materialized).
+Status EvaluateFold(const Dataset& data, const FairContext& context,
+                    const ApproachSpec& spec,
+                    const std::vector<std::vector<std::size_t>>& folds,
+                    std::size_t k, const CrossValidationOptions& options,
+                    FoldOutcome* out) {
+  SplitIndices split;
+  split.test = folds[k];
+  for (std::size_t j = 0; j < folds.size(); ++j) {
+    if (j == k) continue;
+    split.train.insert(split.train.end(), folds[j].begin(), folds[j].end());
   }
-  FAIRBENCH_RETURN_NOT_OK(data.Validate());
-  FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+  FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
 
+  Pipeline pipeline = spec.make();
+  FairContext fold_context = context;
+  fold_context.seed = DeriveSeed(context.seed, 1 + k);
+  if (!pipeline.Fit(parts.first, fold_context).ok()) return Status::OK();
+  Result<std::vector<int>> pred = pipeline.Predict(parts.second);
+  if (!pred.ok()) return Status::OK();
+  RowPredictor predictor;
+  if (options.compute_cd) predictor = pipeline.MakeRowPredictor(parts.second);
+  const std::vector<std::string> resolving =
+      options.compute_crd ? context.resolving_attributes
+                          : std::vector<std::string>{};
+  CdOptions cd = options.cd;
+  cd.seed = DeriveSeed(options.cd.seed, k);
+  Result<MetricsReport> report = ComputeMetricsReport(
+      parts.second, pred.value(), predictor, resolving, cd);
+  if (!report.ok()) return Status::OK();
+  out->report = std::move(report).value();
+  out->ok = true;
+  return Status::OK();
+}
+
+/// Assembles fold-task slots (fold order) into one approach's CV result.
+CrossValidationResult AssembleResult(const ApproachSpec& spec,
+                                     const std::vector<FoldOutcome>& slots) {
   CrossValidationResult result;
-  result.id = spec->id;
-  result.display = spec->display;
-
-  Rng rng(options.seed);
-  const std::vector<std::vector<std::size_t>> folds =
-      KFold(data.num_rows(), options.folds, rng);
-
-  for (std::size_t k = 0; k < folds.size(); ++k) {
-    SplitIndices split;
-    split.test = folds[k];
-    for (std::size_t j = 0; j < folds.size(); ++j) {
-      if (j == k) continue;
-      split.train.insert(split.train.end(), folds[j].begin(), folds[j].end());
-    }
-    FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
-
-    Pipeline pipeline = spec->make();
-    FairContext fold_context = context;
-    fold_context.seed = context.seed + k * 7919;
-    if (!pipeline.Fit(parts.first, fold_context).ok()) {
+  result.id = spec.id;
+  result.display = spec.display;
+  for (const FoldOutcome& slot : slots) {
+    if (slot.ok) {
+      result.fold_reports.push_back(slot.report);
+    } else {
       ++result.failures;
-      continue;
     }
-    Result<std::vector<int>> pred = pipeline.Predict(parts.second);
-    if (!pred.ok()) {
-      ++result.failures;
-      continue;
-    }
-    RowPredictor predictor;
-    if (options.compute_cd) predictor = pipeline.MakeRowPredictor(parts.second);
-    const std::vector<std::string> resolving =
-        options.compute_crd ? context.resolving_attributes
-                            : std::vector<std::string>{};
-    Result<MetricsReport> report = ComputeMetricsReport(
-        parts.second, pred.value(), predictor, resolving, options.cd);
-    if (!report.ok()) {
-      ++result.failures;
-      continue;
-    }
-    result.fold_reports.push_back(std::move(report).value());
   }
-
-  // Summaries across folds.
   std::vector<std::string> names = CorrectnessMetricNames();
   names.insert(names.end(), FairnessMetricNames().begin(),
                FairnessMetricNames().end());
@@ -72,15 +79,61 @@ Result<CrossValidationResult> CrossValidate(
   return result;
 }
 
+}  // namespace
+
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const FairContext& context, const std::string& id,
+    const CrossValidationOptions& options) {
+  FAIRBENCH_ASSIGN_OR_RETURN(
+      std::vector<CrossValidationResult> results,
+      CrossValidateAll(data, context, {id}, options));
+  return std::move(results.front());
+}
+
 Result<std::vector<CrossValidationResult>> CrossValidateAll(
     const Dataset& data, const FairContext& context,
     const std::vector<std::string>& ids,
     const CrossValidationOptions& options) {
-  std::vector<CrossValidationResult> results;
+  if (options.folds < 2) {
+    return Status::InvalidArgument("CrossValidate: need at least 2 folds");
+  }
+  FAIRBENCH_RETURN_NOT_OK(data.Validate());
+  std::vector<const ApproachSpec*> specs;
+  specs.reserve(ids.size());
   for (const std::string& id : ids) {
-    FAIRBENCH_ASSIGN_OR_RETURN(CrossValidationResult r,
-                               CrossValidate(data, context, id, options));
-    results.push_back(std::move(r));
+    FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+    specs.push_back(spec);
+  }
+
+  // Fold assignment is computed once and shared read-only by every task;
+  // it depends only on the base seed, so CrossValidate(one id) and
+  // CrossValidateAll agree exactly.
+  Rng rng(DeriveSeed(options.seed, 0));
+  const std::vector<std::vector<std::size_t>> folds =
+      KFold(data.num_rows(), options.folds, rng);
+
+  // Fan out across all (approach, fold) pairs — the protocol's full
+  // parallelism — with one index-addressed slot per pair.
+  std::vector<FoldOutcome> slots(specs.size() * folds.size());
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  FAIRBENCH_RETURN_NOT_OK(ParallelFor(
+      slots.size(),
+      [&](std::size_t pair) -> Status {
+        const std::size_t a = pair / folds.size();
+        const std::size_t k = pair % folds.size();
+        return EvaluateFold(data, context, *specs[a], folds, k, options,
+                            &slots[pair]);
+      },
+      parallel));
+
+  std::vector<CrossValidationResult> results;
+  results.reserve(specs.size());
+  for (std::size_t a = 0; a < specs.size(); ++a) {
+    const std::vector<FoldOutcome> approach_slots(
+        slots.begin() + a * folds.size(),
+        slots.begin() + (a + 1) * folds.size());
+    results.push_back(AssembleResult(*specs[a], approach_slots));
   }
   return results;
 }

@@ -13,9 +13,22 @@ namespace fairbench {
 
 /// Options for k-fold cross-validation (the paper validates every
 /// classifier with 3-fold CV, §4.1).
+///
+/// Seed schedule — shared with ExperimentOptions (same default base seed,
+/// every stream derived via DeriveSeed so (approach, fold) tasks are
+/// index-addressed and thread-count independent):
+///
+///   DeriveSeed(options.seed, 0)       fold-assignment shuffle
+///   DeriveSeed(context.seed, 1 + k)   per-fold FairContext seed (fold k;
+///                                     approach-independent, matching the
+///                                     serial protocol)
+///   DeriveSeed(options.cd.seed, k)    CD sampling in fold k (when on)
 struct CrossValidationOptions {
   std::size_t folds = 3;
-  uint64_t seed = 1234;
+  uint64_t seed = 42;
+  /// Worker count for the fan-out across (approach, fold) pairs:
+  /// 0 = hardware concurrency (default), 1 = the exact serial path.
+  std::size_t threads = 0;
   bool compute_cd = false;   ///< CD is expensive; off by default for CV.
   bool compute_crd = true;
   CdOptions cd;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/table.h"
 #include "data/split.h"
+#include "exec/parallel_for.h"
 
 namespace fairbench {
 
@@ -29,7 +31,17 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
                                        const std::vector<std::string>& ids,
                                        const ExperimentOptions& options) {
   FAIRBENCH_RETURN_NOT_OK(data.Validate());
-  Rng rng(options.seed);
+
+  // Resolve every approach before fanning out so an unknown id fails fast
+  // and deterministically, not from inside a worker.
+  std::vector<const ApproachSpec*> specs;
+  specs.reserve(ids.size());
+  for (const std::string& id : ids) {
+    FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
+    specs.push_back(spec);
+  }
+
+  Rng rng(DeriveSeed(options.seed, 0));  // stream 0: split shuffle
   const SplitIndices split =
       TrainTestSplit(data.num_rows(), options.train_fraction, rng);
   FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
@@ -38,51 +50,59 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
 
   ExperimentResult result;
   result.dataset_name = data.name();
+  result.approaches.resize(specs.size());
 
-  for (const std::string& id : ids) {
-    FAIRBENCH_ASSIGN_OR_RETURN(const ApproachSpec* spec, FindApproach(id));
-    ApproachResult ar;
-    ar.id = spec->id;
-    ar.display = spec->display;
-    ar.stage = spec->stage;
-    ar.target_metrics = spec->target_metrics;
+  // One task per approach: `train`/`test`/`context` are shared read-only,
+  // each task owns a fresh Pipeline and writes only its own slot.
+  // Approach-level failures are recorded in the slot, never propagated —
+  // the task status is reserved for infrastructure errors.
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  Status status = ParallelFor(
+      specs.size(),
+      [&](std::size_t i) -> Status {
+        const ApproachSpec* spec = specs[i];
+        ApproachResult& ar = result.approaches[i];
+        ar.id = spec->id;
+        ar.display = spec->display;
+        ar.stage = spec->stage;
+        ar.target_metrics = spec->target_metrics;
 
-    Pipeline pipeline = spec->make();
-    Status fit_status = pipeline.Fit(train, context);
-    if (!fit_status.ok()) {
-      ar.error = fit_status.ToString();
-      result.approaches.push_back(std::move(ar));
-      continue;
-    }
-    ar.timing = pipeline.timing();
+        Pipeline pipeline = spec->make();
+        Status fit_status = pipeline.Fit(train, context);
+        if (!fit_status.ok()) {
+          ar.error = fit_status.ToString();
+          return Status::OK();
+        }
+        ar.timing = pipeline.timing();
 
-    Timer timer;
-    Result<std::vector<int>> pred = pipeline.Predict(test);
-    if (!pred.ok()) {
-      ar.error = pred.status().ToString();
-      result.approaches.push_back(std::move(ar));
-      continue;
-    }
-    ar.predict_seconds = timer.ElapsedSeconds();
+        Timer timer;
+        Result<std::vector<int>> pred = pipeline.Predict(test);
+        if (!pred.ok()) {
+          ar.error = pred.status().ToString();
+          return Status::OK();
+        }
+        ar.predict_seconds = timer.ElapsedSeconds();
 
-    RowPredictor predictor;
-    if (options.compute_cd) predictor = pipeline.MakeRowPredictor(test);
-    std::vector<std::string> resolving =
-        options.compute_crd ? context.resolving_attributes
-                            : std::vector<std::string>{};
-    CdOptions cd = options.cd;
-    cd.seed = options.seed ^ 0xcdull;
-    Result<MetricsReport> report =
-        ComputeMetricsReport(test, pred.value(), predictor, resolving, cd);
-    if (!report.ok()) {
-      ar.error = report.status().ToString();
-      result.approaches.push_back(std::move(ar));
-      continue;
-    }
-    ar.metrics = std::move(report).value();
-    ar.ok = true;
-    result.approaches.push_back(std::move(ar));
-  }
+        RowPredictor predictor;
+        if (options.compute_cd) predictor = pipeline.MakeRowPredictor(test);
+        std::vector<std::string> resolving =
+            options.compute_crd ? context.resolving_attributes
+                                : std::vector<std::string>{};
+        CdOptions cd = options.cd;
+        cd.seed = DeriveSeed(options.seed, 1 + i);  // stream 1+i: CD rows
+        Result<MetricsReport> report =
+            ComputeMetricsReport(test, pred.value(), predictor, resolving, cd);
+        if (!report.ok()) {
+          ar.error = report.status().ToString();
+          return Status::OK();
+        }
+        ar.metrics = std::move(report).value();
+        ar.ok = true;
+        return Status::OK();
+      },
+      parallel);
+  FAIRBENCH_RETURN_NOT_OK(status);
   return result;
 }
 

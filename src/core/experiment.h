@@ -1,6 +1,7 @@
 #ifndef FAIRBENCH_CORE_EXPERIMENT_H_
 #define FAIRBENCH_CORE_EXPERIMENT_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,21 @@
 namespace fairbench {
 
 /// Options for one correctness/fairness experiment (Fig 10 protocol).
+///
+/// Seed schedule — every stream of randomness is derived from `seed` with
+/// DeriveSeed(seed, stream) so that parallel tasks own independent,
+/// index-addressed streams and results are bit-identical for any thread
+/// count (this schedule is shared with CrossValidationOptions and
+/// StabilityOptions, which default to the same base seed):
+///
+///   stream 0       train/test split shuffle
+///   stream 1 + i   CD intervention sampling for approach index i
 struct ExperimentOptions {
   double train_fraction = 0.7;  ///< Paper: 70%/30% random split.
   uint64_t seed = 42;
+  /// Worker count for the fan-out across approaches: 0 = hardware
+  /// concurrency (default), 1 = the exact serial path.
+  std::size_t threads = 0;
   bool compute_cd = true;   ///< CD is the most expensive metric.
   bool compute_crd = true;
   CdOptions cd;

@@ -6,21 +6,25 @@
 #include "common/timer.h"
 #include "core/table.h"
 #include "data/split.h"
+#include "exec/parallel_for.h"
 
 namespace fairbench {
 namespace {
 
-/// Times Pipeline::Fit of every approach (plus LR) on one train set and
-/// appends points to the curves.
+/// Times Pipeline::Fit of every approach (plus LR) on one train set,
+/// writing one point per approach into `points` (size ids.size()). The LR
+/// baseline is timed inside the same call so the subtraction pairs
+/// measurements from the same execution conditions.
 Status TimePoint(const Dataset& train, const FairContext& context,
                  const std::vector<std::string>& ids, std::size_t x,
-                 std::vector<RuntimeCurve>* curves) {
+                 std::vector<RuntimePoint>* points) {
   // Baseline LR fit time at this point.
   FAIRBENCH_ASSIGN_OR_RETURN(Pipeline lr, MakePipeline("lr"));
   Timer timer;
   FAIRBENCH_RETURN_NOT_OK(lr.Fit(train, context));
   const double lr_seconds = timer.ElapsedSeconds();
 
+  points->resize(ids.size());
   for (std::size_t k = 0; k < ids.size(); ++k) {
     RuntimePoint point;
     point.x = x;
@@ -37,9 +41,19 @@ Status TimePoint(const Dataset& train, const FairContext& context,
     } else {
       point.error = st.ToString();
     }
-    (*curves)[k].points.push_back(std::move(point));
+    (*points)[k] = std::move(point);
   }
   return Status::OK();
+}
+
+/// Moves per-point slots (sweep order) into per-approach curves.
+void AssemblePoints(std::vector<std::vector<RuntimePoint>>&& slots,
+                    std::vector<RuntimeCurve>* curves) {
+  for (std::vector<RuntimePoint>& points : slots) {
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      (*curves)[k].points.push_back(std::move(points[k]));
+    }
+  }
 }
 
 std::vector<RuntimeCurve> InitCurves(const std::vector<std::string>& ids) {
@@ -64,15 +78,24 @@ Result<std::vector<RuntimeCurve>> MeasureRuntimeVsSize(
     const std::vector<std::string>& ids, const ScalabilityOptions& options) {
   std::vector<RuntimeCurve> curves = InitCurves(ids);
   const FairContext context = MakeContext(config, options.seed);
-  for (std::size_t size : sizes) {
-    FAIRBENCH_ASSIGN_OR_RETURN(
-        Dataset data, GeneratePopulation(config, size, options.seed ^ size));
-    Rng rng(options.seed ^ (size * 31));
-    const SplitIndices split =
-        TrainTestSplit(data.num_rows(), options.train_fraction, rng);
-    FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, data.SelectRows(split.train));
-    FAIRBENCH_RETURN_NOT_OK(TimePoint(train, context, ids, size, &curves));
-  }
+  std::vector<std::vector<RuntimePoint>> slots(sizes.size());
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  FAIRBENCH_RETURN_NOT_OK(ParallelFor(
+      sizes.size(),
+      [&](std::size_t p) -> Status {
+        const std::size_t size = sizes[p];
+        FAIRBENCH_ASSIGN_OR_RETURN(
+            Dataset data,
+            GeneratePopulation(config, size, options.seed ^ size));
+        Rng rng(options.seed ^ (size * 31));
+        const SplitIndices split =
+            TrainTestSplit(data.num_rows(), options.train_fraction, rng);
+        FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, data.SelectRows(split.train));
+        return TimePoint(train, context, ids, size, &slots[p]);
+      },
+      parallel));
+  AssemblePoints(std::move(slots), &curves);
   return curves;
 }
 
@@ -83,39 +106,50 @@ Result<std::vector<RuntimeCurve>> MeasureRuntimeVsAttributes(
   std::vector<RuntimeCurve> curves = InitCurves(ids);
   FAIRBENCH_ASSIGN_OR_RETURN(
       Dataset full, GeneratePopulation(config, num_rows, options.seed ^ 0xa77ull));
-
   for (std::size_t attrs : attr_counts) {
     if (attrs < 2) {
       return Status::InvalidArgument(
           "MeasureRuntimeVsAttributes: need at least S plus one feature");
     }
-    const std::size_t features =
-        std::min<std::size_t>(attrs - 1, full.num_features());
-    std::vector<std::string> names;
-    for (std::size_t c = 0; c < features; ++c) {
-      names.push_back(full.schema().column(c).name);
-    }
-    FAIRBENCH_ASSIGN_OR_RETURN(Dataset subset, full.SelectColumns(names));
-
-    // Attribute roles must reference surviving columns only.
-    FairContext context = MakeContext(config, options.seed);
-    auto keep_present = [&](std::vector<std::string>* attrs_list) {
-      attrs_list->erase(
-          std::remove_if(attrs_list->begin(), attrs_list->end(),
-                         [&](const std::string& a) {
-                           return !subset.schema().Contains(a);
-                         }),
-          attrs_list->end());
-    };
-    keep_present(&context.resolving_attributes);
-    keep_present(&context.inadmissible_attributes);
-
-    Rng rng(options.seed ^ (attrs * 131));
-    const SplitIndices split =
-        TrainTestSplit(subset.num_rows(), options.train_fraction, rng);
-    FAIRBENCH_ASSIGN_OR_RETURN(Dataset train, subset.SelectRows(split.train));
-    FAIRBENCH_RETURN_NOT_OK(TimePoint(train, context, ids, attrs, &curves));
   }
+
+  std::vector<std::vector<RuntimePoint>> slots(attr_counts.size());
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  FAIRBENCH_RETURN_NOT_OK(ParallelFor(
+      attr_counts.size(),
+      [&](std::size_t p) -> Status {
+        const std::size_t attrs = attr_counts[p];
+        const std::size_t features =
+            std::min<std::size_t>(attrs - 1, full.num_features());
+        std::vector<std::string> names;
+        for (std::size_t c = 0; c < features; ++c) {
+          names.push_back(full.schema().column(c).name);
+        }
+        FAIRBENCH_ASSIGN_OR_RETURN(Dataset subset, full.SelectColumns(names));
+
+        // Attribute roles must reference surviving columns only.
+        FairContext context = MakeContext(config, options.seed);
+        auto keep_present = [&](std::vector<std::string>* attrs_list) {
+          attrs_list->erase(
+              std::remove_if(attrs_list->begin(), attrs_list->end(),
+                             [&](const std::string& a) {
+                               return !subset.schema().Contains(a);
+                             }),
+              attrs_list->end());
+        };
+        keep_present(&context.resolving_attributes);
+        keep_present(&context.inadmissible_attributes);
+
+        Rng rng(options.seed ^ (attrs * 131));
+        const SplitIndices split =
+            TrainTestSplit(subset.num_rows(), options.train_fraction, rng);
+        FAIRBENCH_ASSIGN_OR_RETURN(Dataset train,
+                                   subset.SelectRows(split.train));
+        return TimePoint(train, context, ids, attrs, &slots[p]);
+      },
+      parallel));
+  AssemblePoints(std::move(slots), &curves);
   return curves;
 }
 

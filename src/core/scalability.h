@@ -12,6 +12,13 @@ namespace fairbench {
 struct ScalabilityOptions {
   uint64_t seed = 7;
   double train_fraction = 0.7;
+  /// Worker count for the fan-out across sweep points: 0 = hardware
+  /// concurrency (default), 1 = the exact serial path. Concurrent points
+  /// contend for cores and inflate absolute wall-clock, but the reported
+  /// overhead subtracts an LR baseline timed inside the *same* point task,
+  /// which absorbs most of the distortion; paper-grade absolute numbers
+  /// should still use threads = 1.
+  std::size_t threads = 0;
 };
 
 /// Runtime at one sweep point. `overhead_seconds` is the approach's

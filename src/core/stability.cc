@@ -1,7 +1,9 @@
 #include "core/stability.h"
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "core/table.h"
+#include "exec/parallel_for.h"
 
 namespace fairbench {
 
@@ -18,15 +20,30 @@ Result<std::vector<StabilityResult>> RunStability(
     results.push_back(std::move(r));
   }
 
-  for (int run = 0; run < options.runs; ++run) {
-    ExperimentOptions eo;
-    eo.train_fraction = options.train_fraction;
-    eo.seed = options.seed + static_cast<uint64_t>(run) * 7919;
-    eo.compute_cd = options.compute_cd;
-    eo.compute_crd = options.compute_crd;
-    eo.cd = options.cd;
-    FAIRBENCH_ASSIGN_OR_RETURN(ExperimentResult er,
-                               RunExperiment(data, context, ids, eo));
+  // Fan out across repetitions into index-addressed slots; samples are
+  // aggregated afterwards in run order, so the sample sequences match the
+  // serial protocol exactly.
+  std::vector<ExperimentResult> runs(static_cast<std::size_t>(options.runs));
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  FAIRBENCH_RETURN_NOT_OK(ParallelFor(
+      runs.size(),
+      [&](std::size_t run) -> Status {
+        ExperimentOptions eo;
+        eo.train_fraction = options.train_fraction;
+        eo.seed = DeriveSeed(options.seed, run);
+        eo.threads = 1;  // The repetition fan-out owns the cores.
+        eo.compute_cd = options.compute_cd;
+        eo.compute_crd = options.compute_crd;
+        eo.cd = options.cd;
+        eo.cd.threads = 1;
+        FAIRBENCH_ASSIGN_OR_RETURN(runs[run],
+                                   RunExperiment(data, context, ids, eo));
+        return Status::OK();
+      },
+      parallel));
+
+  for (const ExperimentResult& er : runs) {
     for (std::size_t k = 0; k < ids.size(); ++k) {
       const ApproachResult& ar = er.approaches[k];
       if (!ar.ok) {

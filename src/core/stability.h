@@ -12,10 +12,19 @@ namespace fairbench {
 
 /// Options for the stability experiment (Fig 12 protocol: 10 random folds
 /// with 66.67% of the data for training).
+///
+/// Seed schedule: repetition r runs a full experiment with base seed
+/// DeriveSeed(seed, r) (which the experiment further splits per its own
+/// schedule — see ExperimentOptions), so repetitions are independent,
+/// index-addressed streams safe to run in parallel.
 struct StabilityOptions {
   int runs = 10;
   double train_fraction = 2.0 / 3.0;
   uint64_t seed = 99;
+  /// Worker count for the fan-out across repetitions: 0 = hardware
+  /// concurrency (default), 1 = the exact serial path. Each repetition's
+  /// inner experiment runs serially — the outer fan-out owns the cores.
+  std::size_t threads = 0;
   bool compute_cd = true;
   bool compute_crd = true;
   CdOptions cd;

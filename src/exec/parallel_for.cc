@@ -1,0 +1,60 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "exec/task_group.h"
+
+namespace fairbench {
+
+std::size_t ResolveThreads(std::size_t threads) {
+  return threads == 0 ? ThreadPool::DefaultThreads() : threads;
+}
+
+Status ParallelFor(std::size_t n, const std::function<Status(std::size_t)>& fn,
+                   const ParallelOptions& options) {
+  if (n == 0) return Status::OK();
+
+  std::size_t threads = ResolveThreads(options.threads);
+  if (options.pool != nullptr) {
+    threads = std::min(threads, options.pool->num_threads());
+  }
+  const std::size_t min_chunk = std::max<std::size_t>(1, options.min_chunk);
+  const std::size_t chunks = std::min(threads, std::max<std::size_t>(1, n / min_chunk));
+
+  if (chunks <= 1) {
+    // Exact serial path: plain loop, first error returns immediately.
+    for (std::size_t i = 0; i < n; ++i) {
+      FAIRBENCH_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+
+  // Transient pool unless the caller supplied one. Sized to the chunk
+  // count so no worker sits idle.
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(chunks);
+    pool = owned.get();
+  }
+
+  TaskGroup group(pool);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    group.Spawn([&fn, &group, begin, end]() -> Status {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (group.cancelled()) return Status::OK();  // drain
+        FAIRBENCH_RETURN_NOT_OK(fn(i));
+      }
+      return Status::OK();
+    });
+    begin = end;
+  }
+  return group.Wait();
+}
+
+}  // namespace fairbench

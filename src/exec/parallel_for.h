@@ -1,0 +1,51 @@
+#ifndef FAIRBENCH_EXEC_PARALLEL_FOR_H_
+#define FAIRBENCH_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace fairbench {
+
+/// Execution knobs shared by every parallel driver in the repo.
+struct ParallelOptions {
+  /// Worker count: 0 → ThreadPool::DefaultThreads(); 1 → the exact serial
+  /// path (a plain loop on the calling thread — no pool, no locking, early
+  /// exit at the first error, byte-identical to the pre-exec code paths).
+  std::size_t threads = 0;
+
+  /// Minimum indices per chunk under static chunking; raises chunk
+  /// granularity when the per-index work is tiny.
+  std::size_t min_chunk = 1;
+
+  /// Optional existing pool to run on (not owned). When null and
+  /// threads != 1, ParallelFor spins up a transient pool. The effective
+  /// worker count is capped at the pool size.
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs fn(i) for every i in [0, n), statically chunked into at most
+/// `threads` contiguous index ranges.
+///
+/// Determinism contract: the caller writes task results into
+/// index-addressed slots and derives any per-task randomness from the
+/// index (DeriveSeed(base, i)); under that discipline the observable
+/// results are bit-identical for every thread count, 1 included, because
+/// the chunk schedule can never influence a value — only the wall-clock.
+///
+/// Error semantics: each chunk stops at its first failing index; a failure
+/// flips a shared stop flag that cancels chunks which have not started and
+/// is polled between iterations by running chunks (drain). The returned
+/// status is the failure with the lowest index among chunks that recorded
+/// one — with threads == 1 this is exactly the serial first error.
+Status ParallelFor(std::size_t n, const std::function<Status(std::size_t)>& fn,
+                   const ParallelOptions& options = {});
+
+/// Resolves a user-facing `threads` option (0 = auto) to a concrete count.
+std::size_t ResolveThreads(std::size_t threads);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_EXEC_PARALLEL_FOR_H_

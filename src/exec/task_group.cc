@@ -1,0 +1,57 @@
+#include "exec/task_group.h"
+
+#include <utility>
+
+namespace fairbench {
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  if (pool_ == nullptr) {
+    // Serial path: run inline, no locking. Drain if already failed.
+    const std::size_t index = next_index_++;
+    if (cancelled()) return;
+    Status st = fn();
+    if (!st.ok()) {
+      cancel_.store(true, std::memory_order_relaxed);
+      if (error_.ok()) {
+        error_index_ = index;
+        error_ = std::move(st);
+      }
+    }
+    return;
+  }
+
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = next_index_++;
+    ++in_flight_;
+  }
+  pool_->Submit([this, index, fn = std::move(fn)] {
+    // Drain without running once the group is cancelled; the task still
+    // counts down so Wait() completes.
+    Status st = cancelled() ? Status::OK() : fn();
+    Record(index, std::move(st));
+  });
+}
+
+void TaskGroup::Record(std::size_t index, Status status) {
+  if (!status.ok()) cancel_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok() && (error_.ok() || index < error_index_)) {
+    error_index_ = index;
+    error_ = std::move(status);
+  }
+  // Notify while holding the lock: the moment Wait() can see in_flight_
+  // reach zero the group may be destroyed, so this thread must be done
+  // touching done_cv_ before the waiter can acquire mu_.
+  if (--in_flight_ == 0) done_cv_.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  if (pool_ == nullptr) return error_;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  return error_;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,72 @@
+#ifndef FAIRBENCH_EXEC_TASK_GROUP_H_
+#define FAIRBENCH_EXEC_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace fairbench {
+
+/// Structured fork/join over a ThreadPool with Status propagation.
+///
+/// Tasks are spawned with Spawn() and joined with Wait(), which blocks
+/// until every spawned task has finished and then returns the group
+/// status. Error semantics: the first failure wins — "first" meaning the
+/// lowest *spawn index*, so the reported error does not depend on worker
+/// scheduling when several already-running tasks fail. A failure also
+/// flips the shared stop flag; tasks that have not started yet are skipped
+/// (drained), and long-running tasks may poll `cancelled()` to bail out
+/// early. Skipped and cancelled tasks never contribute a status.
+///
+/// With a null pool the group degenerates to the exact serial path:
+/// Spawn() runs the task inline on the calling thread (unless the group is
+/// already cancelled) and Wait() is a plain status read — no locking, no
+/// worker handoff.
+class TaskGroup {
+ public:
+  /// Binds the group to `pool` (not owned; may be null for inline mode).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins outstanding tasks; a group must not die with tasks in flight.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`. May be called only before Wait().
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks until all spawned tasks are done; returns OK when every task
+  /// returned OK, else the error of the lowest-index failed task.
+  Status Wait();
+
+  /// Requests cooperative cancellation: unstarted tasks are skipped and
+  /// running tasks observe `cancelled()`. Does not itself make Wait()
+  /// return an error.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called or any task failed.
+  bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+
+ private:
+  void Record(std::size_t index, Status status);
+
+  ThreadPool* pool_;
+  std::atomic<bool> cancel_{false};
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t next_index_ = 0;   // guarded by mu_ (inline mode: caller only)
+  std::size_t in_flight_ = 0;    // guarded by mu_
+  std::size_t error_index_ = 0;  // guarded by mu_; valid iff !error_.ok()
+  Status error_;                 // guarded by mu_
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_EXEC_TASK_GROUP_H_

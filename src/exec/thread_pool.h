@@ -1,0 +1,55 @@
+#ifndef FAIRBENCH_EXEC_THREAD_POOL_H_
+#define FAIRBENCH_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairbench {
+
+/// Fixed-size worker pool over a lock-guarded FIFO task queue.
+///
+/// Workers are started in the constructor and joined in the destructor;
+/// the destructor drains every task already submitted before returning.
+/// The pool makes no promise about *which* worker runs a task or in what
+/// interleaving — determinism is the contract of the structured layers on
+/// top (TaskGroup / ParallelFor), which address all work and PRNG streams
+/// by task index, never by worker identity.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 → DefaultThreads()).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker. Never blocks. Must not
+  /// be called after the destructor has begun.
+  void Submit(std::function<void()> task);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// permits returning 0 when the count is unknowable).
+  static std::size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_EXEC_THREAD_POOL_H_

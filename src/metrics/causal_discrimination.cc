@@ -1,7 +1,10 @@
 #include "metrics/causal_discrimination.h"
 
+#include <cstdint>
+
 #include "common/random.h"
 #include "data/split.h"
+#include "exec/parallel_for.h"
 #include "stats/bounds.h"
 
 namespace fairbench {
@@ -30,14 +33,41 @@ Result<double> CausalDiscrimination(const Dataset& dataset,
     for (std::size_t i = 0; i < n; ++i) rows[i] = i;
   }
 
-  std::size_t flipped = 0;
-  for (std::size_t row : rows) {
-    const int s = dataset.sensitive()[row];
-    FAIRBENCH_ASSIGN_OR_RETURN(int y_orig, predictor(row, s));
-    FAIRBENCH_ASSIGN_OR_RETURN(int y_flip, predictor(row, 1 - s));
-    if (y_orig != y_flip) ++flipped;
+  ParallelOptions parallel;
+  parallel.threads = options.threads;
+  // A do(S) probe is a full per-row model evaluation; chunks below this
+  // size would be dominated by handoff overhead.
+  parallel.min_chunk = 16;
+
+  if (ResolveThreads(options.threads) > 1) {
+    // Warm the pipeline's do(S) transform caches from a single thread:
+    // feature-transforming pre-processors lazily materialize one repaired
+    // dataset per S-polarity on first probe, and that mutation is the one
+    // piece of shared state behind the predictor. After both polarities
+    // exist, concurrent probes are read-only.
+    const int s0 = dataset.sensitive()[rows.front()];
+    FAIRBENCH_RETURN_NOT_OK(predictor(rows.front(), s0).status());
+    FAIRBENCH_RETURN_NOT_OK(predictor(rows.front(), 1 - s0).status());
   }
-  return static_cast<double>(flipped) / static_cast<double>(rows.size());
+
+  // One index-addressed slot per sampled row: the flip count is a sum of
+  // per-slot indicators, so the chunk schedule cannot change the result.
+  std::vector<uint8_t> flipped(rows.size(), 0);
+  FAIRBENCH_RETURN_NOT_OK(ParallelFor(
+      rows.size(),
+      [&](std::size_t k) -> Status {
+        const std::size_t row = rows[k];
+        const int s = dataset.sensitive()[row];
+        FAIRBENCH_ASSIGN_OR_RETURN(int y_orig, predictor(row, s));
+        FAIRBENCH_ASSIGN_OR_RETURN(int y_flip, predictor(row, 1 - s));
+        flipped[k] = y_orig != y_flip ? 1 : 0;
+        return Status::OK();
+      },
+      parallel));
+
+  std::size_t flips = 0;
+  for (uint8_t f : flipped) flips += f;
+  return static_cast<double>(flips) / static_cast<double>(rows.size());
 }
 
 }  // namespace fairbench

@@ -1,6 +1,8 @@
 #ifndef FAIRBENCH_METRICS_CAUSAL_DISCRIMINATION_H_
 #define FAIRBENCH_METRICS_CAUSAL_DISCRIMINATION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "common/result.h"
@@ -19,6 +21,11 @@ struct CdOptions {
   double confidence = 0.99;
   double error_bound = 0.01;
   uint64_t seed = 0x6cd5eedull;
+  /// Worker count for the intervention-sampling loop (the most expensive
+  /// inner loop in the repo): 1 = serial (default — experiment drivers
+  /// already fan out across approaches), 0 = hardware concurrency. The
+  /// estimate is bit-identical for every value; see src/exec.
+  std::size_t threads = 1;
 };
 
 /// Causal Discrimination (paper Fig 6): the fraction of tuples whose

@@ -124,6 +124,48 @@ TEST(RngTest, SplitStreamsDiffer) {
   EXPECT_LT(same, 3);
 }
 
+TEST(DeriveSeedTest, IsAPureFunction) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_EQ(DeriveSeed(0, 1000), DeriveSeed(0, 1000));
+}
+
+TEST(DeriveSeedTest, DistinctIndicesGiveDistinctSeeds) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(DeriveSeed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, DistinctBasesGiveDistinctSeeds) {
+  std::set<uint64_t> seen;
+  for (uint64_t base = 0; base < 1000; ++base) {
+    seen.insert(DeriveSeed(base, 0));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, JumpAheadMatchesSteppingTheBase) {
+  // DeriveSeed(base, i) is the i-th output of the splitmix64 sequence
+  // seeded with `base`; advancing the sequence one step is the same as
+  // adding the golden-ratio increment to the state. So index i+1 of `base`
+  // must equal index i of the stepped base — the O(1) jump-ahead identity.
+  const uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+  for (uint64_t base : {0ull, 42ull, 0xdeadbeefull}) {
+    for (uint64_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(DeriveSeed(base, i + 1), DeriveSeed(base + kGamma, i)) << i;
+    }
+  }
+}
+
+TEST(DeriveSeedTest, StreamsAreDecorrelated) {
+  Rng a(DeriveSeed(42, 0));
+  Rng b(DeriveSeed(42, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
 TEST(RngTest, ReseedRestartsStream) {
   Rng rng(41);
   const uint64_t first = rng.Next();

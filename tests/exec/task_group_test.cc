@@ -1,0 +1,107 @@
+#include "exec/task_group.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace fairbench {
+namespace {
+
+TEST(TaskGroupTest, WaitOnEmptyGroupIsOk) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(TaskGroupTest, AllTasksRunAndWaitReturnsOk) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Spawn([&count]() -> Status {
+      count.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroupTest, FirstErrorWinsBySpawnIndex) {
+  // All tasks fail; the reported error must be the lowest spawn index no
+  // matter how workers interleave.
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([i]() -> Status {
+      return Status::Internal("task " + std::to_string(i));
+    });
+  }
+  const Status st = group.Wait();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "task 0");
+}
+
+TEST(TaskGroupTest, FailureCancelsUnstartedTasks) {
+  // One worker → strictly sequential consumption: after task 0 fails, the
+  // remaining spawned tasks are drained without running.
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Spawn([]() -> Status { return Status::Internal("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    group.Spawn([&ran]() -> Status {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_EQ(group.Wait().code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGroupTest, CancelIsObservableByTasksAndNotAnError) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Cancel();
+  EXPECT_TRUE(group.cancelled());
+  std::atomic<int> ran{0};
+  group.Spawn([&ran]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(ran.load(), 0);  // spawned after Cancel → drained
+}
+
+TEST(TaskGroupTest, InlineModeRunsOnCallingThread) {
+  TaskGroup group(nullptr);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  group.Spawn([&seen]() -> Status {
+    seen = std::this_thread::get_id();
+    return Status::OK();
+  });
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(TaskGroupTest, InlineModeStopsAtFirstErrorExactlyLikeSerialCode) {
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Spawn([&ran]() -> Status {
+    ++ran;
+    return Status::OK();
+  });
+  group.Spawn([]() -> Status { return Status::NoConvergence("second"); });
+  group.Spawn([&ran]() -> Status {
+    ++ran;
+    return Status::OK();
+  });
+  const Status st = group.Wait();
+  EXPECT_EQ(st.code(), StatusCode::kNoConvergence);
+  EXPECT_EQ(st.message(), "second");
+  EXPECT_EQ(ran, 1);  // the task after the failure drained
+}
+
+}  // namespace
+}  // namespace fairbench

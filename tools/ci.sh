@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# FairBench CI driver.
+#
+# Stage 1: Release build + the full ctest suite (the tier-1 gate).
+# Stage 2: ThreadSanitizer build of the same tree, running the exec unit
+#          tests plus the integration suites — the paths that exercise the
+#          parallel drivers — to prove the execution subsystem is race-free.
+#
+# Usage: tools/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> Stage 1: Release build + full test suite (jobs=${JOBS})"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci -j "${JOBS}"
+ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+
+echo "==> Stage 2: ThreadSanitizer build + exec/integration tests"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFAIRBENCH_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+# halt_on_error: any reported race fails the run rather than just logging.
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j "${JOBS}" \
+    -R 'thread_pool_test|task_group_test|parallel_for_test|determinism_test|experiment_test|crossval_test|stability_test|scalability_test|causal_discrimination_test'
+
+echo "==> CI passed"

@@ -1,23 +1,128 @@
-// Scratch profiling tool: per-approach fit/predict time on one dataset.
+// Profiling tool: per-approach fit/predict time on one dataset, measured
+// once at --jobs 1 (serial) and once at --jobs N (parallel fan-out across
+// approaches), with a speedup table — the observable contract of the
+// src/exec subsystem: identical tables, lower wall-clock.
+//
+//   profile_approaches [--frac f] [--jobs n] [--cd]
+//     --frac f   fraction of the Adult generator's default rows (0.15)
+//     --jobs n   parallel worker count (default: hardware concurrency)
+//     --cd       include the Causal Discrimination metric (off by default
+//                here; it dominates runtime and its inner loop is itself
+//                parallel — see CdOptions::threads)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
 #include "core/experiment.h"
+#include "exec/thread_pool.h"
 
 using namespace fairbench;
 
-int main(int argc, char** argv) {
-  PopulationConfig cfg = AdultConfig();
-  double frac = argc > 1 ? atof(argv[1]) : 0.15;
-  auto data = GeneratePopulation(cfg, (size_t)(cfg.default_rows * frac), 42);
-  ExperimentOptions opt;
-  opt.compute_cd = false;
-  auto res = RunExperiment(data.value(), MakeContext(cfg, 42), AllApproachIds(), opt);
-  if (!res.ok()) { printf("fail: %s\n", res.status().ToString().c_str()); return 1; }
-  for (const auto& ar : res->approaches) {
-    printf("%-20s fit=%.2fs (pre=%.2f train=%.2f post=%.2f) predict=%.2fs %s\n",
-           ar.display.c_str(), ar.timing.Total(), ar.timing.pre_seconds,
-           ar.timing.train_seconds, ar.timing.post_seconds, ar.predict_seconds,
-           ar.ok ? "" : ar.error.c_str());
+namespace {
+
+struct ProfileRun {
+  ExperimentResult result;
+  double wall_seconds = 0.0;
+};
+
+Result<ProfileRun> RunOnce(const Dataset& data, const FairContext& context,
+                           const std::vector<std::string>& ids,
+                           std::size_t threads, bool compute_cd) {
+  ExperimentOptions options;
+  options.threads = threads;
+  options.compute_cd = compute_cd;
+  if (compute_cd) {
+    options.cd.confidence = 0.95;
+    options.cd.error_bound = 0.05;
   }
-  return 0;
+  Timer timer;
+  ProfileRun run;
+  FAIRBENCH_ASSIGN_OR_RETURN(run.result,
+                             RunExperiment(data, context, ids, options));
+  run.wall_seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+double ApproachSeconds(const ApproachResult& ar) {
+  return ar.timing.Total() + ar.predict_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double frac = 0.15;
+  std::size_t jobs = ThreadPool::DefaultThreads();
+  bool compute_cd = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
+      frac = atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cd") == 0) {
+      compute_cd = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--frac f] [--jobs n] [--cd]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (jobs == 0) jobs = ThreadPool::DefaultThreads();
+
+  const PopulationConfig cfg = AdultConfig();
+  const auto rows = static_cast<std::size_t>(cfg.default_rows * frac);
+  Result<Dataset> data = GeneratePopulation(cfg, rows, 42);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const FairContext context = MakeContext(cfg, 42);
+  const std::vector<std::string> ids = AllApproachIds();
+
+  std::printf("profiling %zu approaches on %zu rows (cd=%s)\n", ids.size(),
+              rows, compute_cd ? "on" : "off");
+
+  Result<ProfileRun> serial = RunOnce(*data, context, ids, 1, compute_cd);
+  if (!serial.ok()) {
+    std::printf("serial run failed: %s\n",
+                serial.status().ToString().c_str());
+    return 1;
+  }
+  Result<ProfileRun> parallel =
+      RunOnce(*data, context, ids, jobs, compute_cd);
+  if (!parallel.ok()) {
+    std::printf("parallel run failed: %s\n",
+                parallel.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-22s %12s %12s %9s\n", "approach", "jobs=1", "jobs=N",
+              "speedup");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const ApproachResult& s = serial->result.approaches[i];
+    const ApproachResult& p = parallel->result.approaches[i];
+    if (!s.ok) {
+      std::printf("%-22s %12s %12s %9s  %s\n", s.display.c_str(), "-", "-",
+                  "-", s.error.c_str());
+      continue;
+    }
+    const double ts = ApproachSeconds(s);
+    const double tp = ApproachSeconds(p);
+    std::printf("%-22s %11.3fs %11.3fs %8.2fx\n", s.display.c_str(), ts, tp,
+                tp > 0.0 ? ts / tp : 0.0);
+  }
+  std::printf("%-22s %11.3fs %11.3fs %8.2fx   (wall-clock, jobs=%zu)\n",
+              "TOTAL", serial->wall_seconds, parallel->wall_seconds,
+              parallel->wall_seconds > 0.0
+                  ? serial->wall_seconds / parallel->wall_seconds
+                  : 0.0,
+              jobs);
+
+  // The determinism contract, checked on every profile run: the rendered
+  // experiment table must be byte-identical across thread counts.
+  const bool identical = FormatExperimentTable(serial->result) ==
+                         FormatExperimentTable(parallel->result);
+  std::printf("serial/parallel outputs identical: %s\n",
+              identical ? "yes" : "NO — determinism bug");
+  return identical ? 0 : 1;
 }
