@@ -5,8 +5,74 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "core/export.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairbench::bench {
+namespace {
+
+/// Artifact state for the atexit writer. Harness mains return through
+/// exit(), so flushing from atexit covers every bench without touching the
+/// individual mains; all pools are function-scoped and long joined by then.
+struct ObsArtifacts {
+  BenchArgs args;
+  obs::RunManifest manifest;
+};
+
+ObsArtifacts* g_artifacts = nullptr;
+
+void WriteArtifact(const std::string& path, const std::string& contents,
+                   const char* what) {
+  const Status status = WriteTextFile(path, contents);
+  if (!status.ok()) {
+    FAIRBENCH_LOG_WARN("bench", "failed to write %s artifact %s: %s", what,
+                       path.c_str(), status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote %s: %s\n", what, path.c_str());
+}
+
+void FlushObsArtifacts() {
+  if (g_artifacts == nullptr) return;
+  const BenchArgs& args = g_artifacts->args;
+  const std::string manifest_json = g_artifacts->manifest.ToJson();
+  if (!args.trace_path.empty()) {
+    WriteArtifact(args.trace_path,
+                  obs::Tracer::Global().ToChromeJson(manifest_json), "trace");
+  }
+  if (!args.metrics_path.empty()) {
+    WriteArtifact(args.metrics_path, obs::MetricsRegistry::Global().ToCsv(),
+                  "metrics");
+  }
+  if (!args.manifest_path.empty()) {
+    WriteArtifact(args.manifest_path, manifest_json + "\n", "manifest");
+  }
+}
+
+/// Enables the runtime instrumentation the flags ask for and arranges the
+/// artifact flush. No-op when no obs flag was given.
+void SetUpObservability(const BenchArgs& args, const char* argv0) {
+  if (args.trace_path.empty() && args.metrics_path.empty() &&
+      args.manifest_path.empty()) {
+    return;
+  }
+  static ObsArtifacts artifacts;  // one harness invocation per process
+  artifacts.args = args;
+  artifacts.manifest = obs::MakeRunManifest(argv0);
+  artifacts.manifest.seed = args.seed;
+  artifacts.manifest.scale = args.scale;
+  artifacts.manifest.jobs = args.jobs;
+  artifacts.manifest.compute_cd = args.compute_cd;
+  g_artifacts = &artifacts;
+  if (!args.trace_path.empty()) obs::Tracer::Global().SetEnabled(true);
+  if (!args.metrics_path.empty()) obs::SetMetricsEnabled(true);
+  std::atexit(FlushObsArtifacts);
+}
+
+}  // namespace
 
 BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
@@ -38,13 +104,22 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.jobs = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--no-cd") == 0) {
       args.compute_cd = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      args.manifest_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale f] [--seed n] [--jobs n] [--no-cd]\n",
+                   "usage: %s [--scale f] [--seed n] [--jobs n] [--no-cd]\n"
+                   "          [--trace file] [--metrics file] "
+                   "[--manifest file]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  SetUpObservability(args, argc > 0 ? argv[0] : "bench");
   return args;
 }
 

@@ -8,24 +8,40 @@
 namespace fairbench::bench {
 
 /// Shared command-line knobs for the figure harnesses:
-///   --scale <f>   multiply every dataset's row count by f (default from
-///                 the FAIRBENCH_BENCH_SCALE env var, else 0.2 so that the
-///                 whole `for b in build/bench/*` sweep stays minutes-scale;
-///                 pass --scale 1 to reproduce the paper's full sizes)
-///   --seed <n>    base RNG seed (default 42)
-///   --jobs <n>    worker threads for the parallel drivers (0 = hardware
-///                 concurrency, the default; 1 = exact serial path —
-///                 results are bit-identical either way, see src/exec)
-///   --no-cd       skip the Causal Discrimination metric (it dominates
-///                 evaluation time at full scale)
+///   --scale <f>     multiply every dataset's row count by f (default from
+///                   the FAIRBENCH_BENCH_SCALE env var, else 0.2 so that the
+///                   whole `for b in build/bench/*` sweep stays minutes-scale;
+///                   pass --scale 1 to reproduce the paper's full sizes)
+///   --seed <n>      base RNG seed (default 42)
+///   --jobs <n>      worker threads for the parallel drivers (0 = hardware
+///                   concurrency, the default; 1 = exact serial path —
+///                   results are bit-identical either way, see src/exec)
+///   --no-cd         skip the Causal Discrimination metric (it dominates
+///                   evaluation time at full scale)
+///   --trace <f>     record obs trace spans and write Chrome trace-event
+///                   JSON (open in chrome://tracing or Perfetto) at exit
+///   --metrics <f>   record obs metrics and write the registry CSV at exit
+///   --manifest <f>  write the RunManifest JSON (seed/scale/jobs/build
+///                   facts) at exit; a manifest is always embedded in the
+///                   --trace JSON's "otherData" regardless of this flag
+///
+/// Without the obs flags the harness behaves byte-identically to an
+/// uninstrumented build (tracing/metrics stay runtime-disabled); see
+/// docs/observability.md.
 struct BenchArgs {
   double scale = 0.2;
   uint64_t seed = 42;
   std::size_t jobs = 0;
   bool compute_cd = true;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string manifest_path;
 };
 
-/// Parses argv; prints usage and exits(2) on malformed input.
+/// Parses argv; prints usage and exits(2) on malformed input. When any obs
+/// flag is present, enables the corresponding runtime instrumentation and
+/// registers an atexit hook that writes the artifacts (so every harness
+/// gets them without per-main plumbing).
 BenchArgs ParseArgs(int argc, char** argv);
 
 /// Row count for a dataset after applying the scale (minimum 300).

@@ -5,6 +5,7 @@
 #include "core/table.h"
 #include "data/split.h"
 #include "exec/parallel_for.h"
+#include "obs/trace.h"
 
 namespace fairbench {
 namespace {
@@ -24,6 +25,8 @@ Status EvaluateFold(const Dataset& data, const FairContext& context,
                     const std::vector<std::vector<std::size_t>>& folds,
                     std::size_t k, const CrossValidationOptions& options,
                     FoldOutcome* out) {
+  FAIRBENCH_TRACE_SPAN("core",
+                       StrFormat("cv/%s/fold%zu", spec.id.c_str(), k));
   SplitIndices split;
   split.test = folds[k];
   for (std::size_t j = 0; j < folds.size(); ++j) {

@@ -8,6 +8,8 @@
 #include "core/table.h"
 #include "data/split.h"
 #include "exec/parallel_for.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace fairbench {
 
@@ -31,6 +33,7 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
                                        const std::vector<std::string>& ids,
                                        const ExperimentOptions& options) {
   FAIRBENCH_RETURN_NOT_OK(data.Validate());
+  FAIRBENCH_TRACE_SPAN("core", "experiment/" + data.name());
 
   // Resolve every approach before fanning out so an unknown id fails fast
   // and deterministically, not from inside a worker.
@@ -69,21 +72,33 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
         ar.target_metrics = spec->target_metrics;
 
         Pipeline pipeline = spec->make();
-        Status fit_status = pipeline.Fit(train, context);
+        Status fit_status;
+        {
+          FAIRBENCH_TRACE_SPAN("core", "fit/" + spec->id);
+          fit_status = pipeline.Fit(train, context);
+        }
         if (!fit_status.ok()) {
           ar.error = fit_status.ToString();
+          FAIRBENCH_LOG_INFO("core", "approach %s failed to fit: %s",
+                             spec->id.c_str(), ar.error.c_str());
           return Status::OK();
         }
         ar.timing = pipeline.timing();
 
         Timer timer;
-        Result<std::vector<int>> pred = pipeline.Predict(test);
+        Result<std::vector<int>> pred = [&] {
+          FAIRBENCH_TRACE_SPAN("core", "predict/" + spec->id);
+          return pipeline.Predict(test);
+        }();
         if (!pred.ok()) {
           ar.error = pred.status().ToString();
+          FAIRBENCH_LOG_INFO("core", "approach %s failed to predict: %s",
+                             spec->id.c_str(), ar.error.c_str());
           return Status::OK();
         }
         ar.predict_seconds = timer.ElapsedSeconds();
 
+        FAIRBENCH_TRACE_SPAN("core", "metrics/" + spec->id);
         RowPredictor predictor;
         if (options.compute_cd) predictor = pipeline.MakeRowPredictor(test);
         std::vector<std::string> resolving =
@@ -95,6 +110,8 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
             ComputeMetricsReport(test, pred.value(), predictor, resolving, cd);
         if (!report.ok()) {
           ar.error = report.status().ToString();
+          FAIRBENCH_LOG_INFO("core", "approach %s failed metrics: %s",
+                             spec->id.c_str(), ar.error.c_str());
           return Status::OK();
         }
         ar.metrics = std::move(report).value();

@@ -4,6 +4,7 @@
 #include "common/string_util.h"
 #include "core/table.h"
 #include "exec/parallel_for.h"
+#include "obs/trace.h"
 
 namespace fairbench {
 
@@ -29,6 +30,7 @@ Result<std::vector<StabilityResult>> RunStability(
   FAIRBENCH_RETURN_NOT_OK(ParallelFor(
       runs.size(),
       [&](std::size_t run) -> Status {
+        FAIRBENCH_TRACE_SPAN("core", StrFormat("stability/rep%zu", run));
         ExperimentOptions eo;
         eo.train_fraction = options.train_fraction;
         eo.seed = DeriveSeed(options.seed, run);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/string_util.h"
 #include "exec/task_group.h"
+#include "obs/trace.h"
 
 namespace fairbench {
 
@@ -14,6 +16,7 @@ std::size_t ResolveThreads(std::size_t threads) {
 Status ParallelFor(std::size_t n, const std::function<Status(std::size_t)>& fn,
                    const ParallelOptions& options) {
   if (n == 0) return Status::OK();
+  FAIRBENCH_TRACE_SPAN("exec", StrFormat("parallel_for/%zu", n));
 
   std::size_t threads = ResolveThreads(options.threads);
   if (options.pool != nullptr) {

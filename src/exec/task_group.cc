@@ -2,15 +2,20 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fairbench {
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
+  FAIRBENCH_COUNTER_ADD("exec.group.spawned", 1);
   if (pool_ == nullptr) {
     // Serial path: run inline, no locking. Drain if already failed.
+    FAIRBENCH_COUNTER_ADD("exec.group.inline", 1);
     const std::size_t index = next_index_++;
     if (cancelled()) return;
     Status st = fn();
     if (!st.ok()) {
+      FAIRBENCH_COUNTER_ADD("exec.group.failures", 1);
       cancel_.store(true, std::memory_order_relaxed);
       if (error_.ok()) {
         error_index_ = index;
@@ -35,7 +40,10 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
 }
 
 void TaskGroup::Record(std::size_t index, Status status) {
-  if (!status.ok()) cancel_.store(true, std::memory_order_relaxed);
+  if (!status.ok()) {
+    FAIRBENCH_COUNTER_ADD("exec.group.failures", 1);
+    cancel_.store(true, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (!status.ok() && (error_.ok() || index < error_index_)) {
     error_index_ = index;

@@ -1,5 +1,9 @@
 #include "exec/thread_pool.h"
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fairbench {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -20,10 +24,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  uint64_t enqueue_ns = 0;
+#if FAIRBENCH_OBS_ENABLED
+  if (obs::MetricsEnabled()) enqueue_ns = NowNanos();
+#endif
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueue_ns});
+    depth = queue_.size();
   }
+#if FAIRBENCH_OBS_ENABLED
+  if (enqueue_ns != 0) {
+    // The gauge's max() is the peak backlog; the snapshot value races with
+    // pops and is only a hint.
+    obs::MetricsRegistry::Global()
+        .GetGauge("exec.pool.queue_depth")
+        .Set(static_cast<double>(depth));
+  }
+#else
+  (void)depth;
+#endif
   cv_.notify_one();
 }
 
@@ -34,7 +55,7 @@ std::size_t ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -45,7 +66,22 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+#if FAIRBENCH_OBS_ENABLED
+    if (task.enqueue_ns != 0 && obs::MetricsEnabled()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("exec.pool.tasks").Add();
+      registry
+          .GetHistogram("exec.pool.queue_wait_us",
+                        {10.0, 100.0, 1e3, 1e4, 1e5, 1e6})
+          .Record(static_cast<double>(NowNanos() - task.enqueue_ns) / 1e3);
+    }
+    if (obs::Tracer::Global().enabled()) {
+      obs::TraceSpan span("exec", "pool.task");
+      task.fn();
+      continue;
+    }
+#endif
+    task.fn();
   }
 }
 

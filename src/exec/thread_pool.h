@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -19,6 +20,12 @@ namespace fairbench {
 /// interleaving — determinism is the contract of the structured layers on
 /// top (TaskGroup / ParallelFor), which address all work and PRNG streams
 /// by task index, never by worker identity.
+///
+/// Observability: with the obs runtime gates on, the pool emits per-task
+/// metrics (`exec.pool.tasks`, `exec.pool.queue_wait_us`,
+/// `exec.pool.queue_depth`) and a `pool.task` trace span per executed
+/// task; disabled (the default) the only cost is one relaxed atomic load
+/// per Submit/pop.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (0 → DefaultThreads()).
@@ -41,12 +48,20 @@ class ThreadPool {
   static std::size_t DefaultThreads();
 
  private:
+  /// Queue entry: the task plus its enqueue stamp (0 unless observability
+  /// was recording at Submit time — the stamp feeds the queue-wait
+  /// histogram).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
+  std::deque<QueuedTask> queue_;  // guarded by mu_
+  bool shutdown_ = false;         // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,87 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace fairbench::obs {
+namespace {
+
+constexpr int kUninitialized = -1;
+
+std::atomic<int> g_level{kUninitialized};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+/// Process-start reference for the +elapsed stamp; anchored at first use.
+uint64_t LogEpochNanos() {
+  static const uint64_t epoch = NowNanos();
+  return epoch;
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  const std::string lower = AsciiToLower(StripAsciiWhitespace(text));
+  if (lower == "off" || lower == "0" || lower == "none") return LogLevel::kOff;
+  if (lower == "warn" || lower == "warning" || lower == "1") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "info" || lower == "2") return LogLevel::kInfo;
+  if (lower == "debug" || lower == "3") return LogLevel::kDebug;
+  return fallback;
+}
+
+LogLevel GlobalLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUninitialized) {
+    const char* env = std::getenv("FAIRBENCH_LOG");
+    const LogLevel parsed =
+        env == nullptr ? LogLevel::kWarn
+                       : ParseLogLevel(env, LogLevel::kWarn);
+    level = static_cast<int>(parsed);
+    // Several threads may race the first read; they all compute the same
+    // value, so a plain store is fine.
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  return level != LogLevel::kOff &&
+         static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());
+}
+
+void LogMessage(LogLevel level, const char* component, const char* format,
+                ...) {
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+  // Anchor the epoch before reading the clock: on the very first log line
+  // the two calls race within one expression, and an epoch captured after
+  // `now` would underflow the unsigned difference.
+  const uint64_t epoch = LogEpochNanos();
+  const double elapsed = static_cast<double>(NowNanos() - epoch) / 1e9;
+  std::fprintf(stderr, "fairbench[%s] +%.3fs %s: %s\n", LevelName(level),
+               elapsed, component, message);
+}
+
+}  // namespace fairbench::obs

@@ -1,0 +1,62 @@
+#ifndef FAIRBENCH_OBS_LOG_H_
+#define FAIRBENCH_OBS_LOG_H_
+
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// Leveled logging for the library's operational messages. This is the
+/// `src/common` logging facility the DESIGN §1 inventory promised, grown
+/// into the obs module: results still flow through Status/Result and the
+/// table printers — the log is only for diagnostics (solver stalls,
+/// artifact-write failures, approach-level errors in long sweeps).
+enum class LogLevel : int {
+  kOff = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Parses "off"/"warn"/"info"/"debug" (case-insensitive) or a numeric
+/// level 0-3; returns `fallback` on anything else.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+/// The active level. First use reads the FAIRBENCH_LOG environment
+/// variable (default: warn). SetGlobalLogLevel overrides it.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+/// Emits one line to stderr:
+///   fairbench[<level>] +<seconds-since-first-log> <component>: <message>
+/// The line is written with a single stdio call, so concurrent messages
+/// never interleave mid-line.
+void LogMessage(LogLevel level, const char* component, const char* format,
+                ...) __attribute__((format(printf, 3, 4)));
+
+}  // namespace fairbench::obs
+
+// Call-site macros: compiled out under -DFAIRBENCH_OBS=OFF; otherwise the
+// format arguments are only evaluated when the level is active.
+#if FAIRBENCH_OBS_ENABLED
+#define FAIRBENCH_LOG(level, component, ...)                            \
+  do {                                                                  \
+    if (::fairbench::obs::LogEnabled(level)) {                          \
+      ::fairbench::obs::LogMessage(level, component, __VA_ARGS__);      \
+    }                                                                   \
+  } while (0)
+#else
+#define FAIRBENCH_LOG(level, component, ...) ((void)0)
+#endif
+#define FAIRBENCH_LOG_WARN(component, ...) \
+  FAIRBENCH_LOG(::fairbench::obs::LogLevel::kWarn, component, __VA_ARGS__)
+#define FAIRBENCH_LOG_INFO(component, ...) \
+  FAIRBENCH_LOG(::fairbench::obs::LogLevel::kInfo, component, __VA_ARGS__)
+#define FAIRBENCH_LOG_DEBUG(component, ...) \
+  FAIRBENCH_LOG(::fairbench::obs::LogLevel::kDebug, component, __VA_ARGS__)
+
+#endif  // FAIRBENCH_OBS_LOG_H_

@@ -1,0 +1,87 @@
+#include "obs/manifest.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace fairbench::obs {
+namespace {
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RunManifest::ToJson() const {
+  std::string out = "{";
+  out += "\"tool\":" + JsonString(tool);
+  out += ",\"dataset\":" + JsonString(dataset);
+  out += StrFormat(",\"seed\":%llu", static_cast<unsigned long long>(seed));
+  out += StrFormat(",\"scale\":%g", scale);
+  out += StrFormat(",\"jobs\":%zu", jobs);
+  out += StrFormat(",\"compute_cd\":%s", compute_cd ? "true" : "false");
+  out += StrFormat(",\"hardware_threads\":%zu", hardware_threads);
+  out += ",\"compiler\":" + JsonString(compiler);
+  out += StrFormat(",\"cxx_standard\":%ld", cxx_standard);
+  out += ",\"build_type\":" + JsonString(build_type);
+  out += ",\"sanitizer\":" + JsonString(sanitizer);
+  out += StrFormat(",\"obs_compiled\":%s", obs_compiled ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+RunManifest MakeRunManifest(std::string tool) {
+  RunManifest manifest;
+  // Strip any directory prefix so manifests compare equal across build
+  // trees.
+  const std::size_t slash = tool.find_last_of('/');
+  manifest.tool =
+      slash == std::string::npos ? std::move(tool) : tool.substr(slash + 1);
+  manifest.hardware_threads = std::thread::hardware_concurrency();
+#if defined(__VERSION__)
+  manifest.compiler = __VERSION__;
+#else
+  manifest.compiler = "unknown";
+#endif
+  manifest.cxx_standard = static_cast<long>(__cplusplus);
+#if defined(NDEBUG)
+  manifest.build_type = "release";
+#else
+  manifest.build_type = "debug";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  manifest.sanitizer = "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  manifest.sanitizer = "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  manifest.sanitizer = "thread";
+#elif __has_feature(address_sanitizer)
+  manifest.sanitizer = "address";
+#else
+  manifest.sanitizer = "none";
+#endif
+#else
+  manifest.sanitizer = "none";
+#endif
+  manifest.obs_compiled = FAIRBENCH_OBS_ENABLED != 0;
+  return manifest;
+}
+
+}  // namespace fairbench::obs

@@ -1,0 +1,45 @@
+#ifndef FAIRBENCH_OBS_MANIFEST_H_
+#define FAIRBENCH_OBS_MANIFEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// Reproducibility record written alongside every bench artifact: enough
+/// to re-run the exact configuration that produced a trace/metrics/result
+/// file. Run parameters come from the harness; build facts (compiler,
+/// build type, sanitizer, whether instrumentation was compiled in) are
+/// captured at compile time by MakeRunManifest().
+struct RunManifest {
+  // Run parameters.
+  std::string tool;      ///< Harness name (argv[0] basename).
+  std::string dataset;   ///< Dataset name, when the run has one.
+  uint64_t seed = 0;     ///< Base seed; all streams derive from it.
+  double scale = 0.0;    ///< Bench row-count scale (0 when n/a).
+  std::size_t jobs = 0;  ///< Requested worker count (0 = auto).
+  bool compute_cd = false;
+
+  // Environment & build facts (filled by MakeRunManifest).
+  std::size_t hardware_threads = 0;
+  std::string compiler;
+  long cxx_standard = 0;
+  std::string build_type;  ///< "release" (NDEBUG) or "debug".
+  std::string sanitizer;   ///< "none", "thread", or "address".
+  bool obs_compiled = false;
+
+  /// One JSON object with stable key order; embeddable as the Chrome
+  /// trace's "otherData" and writable as a standalone manifest file.
+  std::string ToJson() const;
+};
+
+/// Manifest with the environment/build fields filled in; run parameters
+/// are left for the caller.
+RunManifest MakeRunManifest(std::string tool);
+
+}  // namespace fairbench::obs
+
+#endif  // FAIRBENCH_OBS_MANIFEST_H_

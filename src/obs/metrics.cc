@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include "common/string_util.h"
+
+namespace fairbench::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Relaxed CAS-max for atomic<double>; atomic<double>::fetch_max does not
+/// exist and fetch_add support is patchy, so both accumulators use CAS.
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Formats a CSV value: integers exactly, doubles with %g.
+std::string NumberField(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%g", v);
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  AtomicMax(&max_, v);
+}
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double sample) {
+  std::size_t bucket = bounds_.size();  // overflow bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (sample <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, sample);
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "name,kind,key,value\n";
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s,counter,value,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%s,gauge,value,%s\n", name.c_str(),
+                     NumberField(gauge->value()).c_str());
+    out += StrFormat("%s,gauge,max,%s\n", name.c_str(),
+                     NumberField(gauge->max()).c_str());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    for (std::size_t i = 0; i < hist->upper_bounds().size(); ++i) {
+      out += StrFormat("%s,histogram,le_%s,%llu\n", name.c_str(),
+                       NumberField(hist->upper_bounds()[i]).c_str(),
+                       static_cast<unsigned long long>(hist->bucket_count(i)));
+    }
+    out += StrFormat(
+        "%s,histogram,le_inf,%llu\n", name.c_str(),
+        static_cast<unsigned long long>(
+            hist->bucket_count(hist->upper_bounds().size())));
+    out += StrFormat("%s,histogram,count,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(hist->count()));
+    out += StrFormat("%s,histogram,sum,%s\n", name.c_str(),
+                     NumberField(hist->sum()).c_str());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace fairbench::obs

@@ -1,0 +1,146 @@
+#ifndef FAIRBENCH_OBS_METRICS_H_
+#define FAIRBENCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// Monotonically increasing event count (tasks executed, solver
+/// iterations). Updates are single relaxed atomic RMWs; reads are
+/// point-in-time snapshots with no ordering guarantee against concurrent
+/// writers.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written scalar plus its running maximum (queue depth, final
+/// residuals). Intended for non-negative samples: max() starts at 0.
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= upper_bounds[i]
+/// (bounds must be strictly increasing); one implicit overflow bucket
+/// catches everything beyond the last bound, so num_buckets() ==
+/// upper_bounds.size() + 1. Record() is two relaxed atomic RMWs plus a
+/// linear bound scan (bucket lists are short by design).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double sample);
+
+  std::size_t num_buckets() const { return bounds_.size() + 1; }
+  uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry of named metrics. Registration (the first Get* for
+/// a name) takes a mutex; the returned references are stable for the
+/// registry's lifetime, so hot call sites may cache them and update with
+/// pure atomics. Names follow `layer.component.metric`
+/// (docs/observability.md), e.g. `exec.pool.queue_wait_us`.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// First call for `name` fixes the bucket bounds; later calls ignore the
+  /// argument and return the existing histogram.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// Snapshot of every metric as `name,kind,key,value` CSV rows (header
+  /// included). Counters/gauges emit one row per scalar; histograms emit
+  /// one row per bucket (`le_<bound>` / `le_inf`) plus `count` and `sum`.
+  std::string ToCsv() const;
+
+  /// Zeroes every registered metric (registrations stay, so cached
+  /// references remain valid). Test support.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Runtime gate for metric recording. Off by default; bench harnesses flip
+/// it on for --metrics runs. Call sites must check this before touching the
+/// registry so that disabled runs pay one relaxed load at most.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+}  // namespace fairbench::obs
+
+// Instrumentation macros: compiled out entirely under -DFAIRBENCH_OBS=OFF,
+// and a single relaxed atomic load when compiled in but not enabled.
+#if FAIRBENCH_OBS_ENABLED
+#define FAIRBENCH_COUNTER_ADD(name, delta)                                  \
+  do {                                                                      \
+    if (::fairbench::obs::MetricsEnabled()) {                               \
+      ::fairbench::obs::MetricsRegistry::Global().GetCounter(name).Add(     \
+          delta);                                                           \
+    }                                                                       \
+  } while (0)
+#define FAIRBENCH_GAUGE_SET(name, sample)                                   \
+  do {                                                                      \
+    if (::fairbench::obs::MetricsEnabled()) {                               \
+      ::fairbench::obs::MetricsRegistry::Global().GetGauge(name).Set(       \
+          sample);                                                          \
+    }                                                                       \
+  } while (0)
+// Trailing arguments are the histogram's upper bucket bounds.
+#define FAIRBENCH_HISTOGRAM_RECORD(name, sample, ...)                       \
+  do {                                                                      \
+    if (::fairbench::obs::MetricsEnabled()) {                               \
+      ::fairbench::obs::MetricsRegistry::Global()                           \
+          .GetHistogram(name, {__VA_ARGS__})                                \
+          .Record(sample);                                                  \
+    }                                                                       \
+  } while (0)
+#else
+#define FAIRBENCH_COUNTER_ADD(name, delta) ((void)0)
+#define FAIRBENCH_GAUGE_SET(name, sample) ((void)0)
+#define FAIRBENCH_HISTOGRAM_RECORD(name, sample, ...) ((void)0)
+#endif  // FAIRBENCH_OBS_ENABLED
+
+#endif  // FAIRBENCH_OBS_METRICS_H_

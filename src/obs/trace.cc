@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace fairbench::obs {
+namespace {
+
+/// JSON string escaping for span names (categories are static literals and
+/// are escaped too, defensively).
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Tracer-owned per-thread buffer handle. The thread_local caches the
+/// lookup; the buffer itself lives in (and dies with) the global tracer,
+/// so short-lived pool workers leave their spans behind for export.
+thread_local void* tl_buffer = nullptr;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never freed
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  if (tl_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = static_cast<uint32_t>(buffers_.size() - 1);
+    tl_buffer = buffers_.back().get();
+  }
+  return *static_cast<ThreadBuffer*>(tl_buffer);
+}
+
+void Tracer::Record(const char* category, std::string name, uint64_t start_ns,
+                    uint64_t duration_ns) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      TraceEvent{std::move(name), category, start_ns, duration_ns,
+                 buffer.tid});
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;  // parents first
+            });
+  return events;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string Tracer::ToChromeJson(const std::string& metadata_json) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  uint64_t base_ns = 0;
+  for (const TraceEvent& e : events) {
+    if (base_ns == 0 || e.start_ns < base_ns) base_ns = e.start_ns;
+  }
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != 0) out += ',';
+    out += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+        static_cast<double>(e.start_ns - base_ns) / 1e3,
+        static_cast<double>(e.duration_ns) / 1e3, e.tid);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (!metadata_json.empty()) {
+    out += ",\"otherData\":" + metadata_json;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Tracer::ToCsv() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  uint64_t base_ns = 0;
+  for (const TraceEvent& e : events) {
+    if (base_ns == 0 || e.start_ns < base_ns) base_ns = e.start_ns;
+  }
+  std::string out = "tid,start_us,dur_us,category,name\n";
+  for (const TraceEvent& e : events) {
+    // Span names never contain commas by convention (layer.verb/id); keep
+    // the CSV RFC-4180ish like core/export.
+    out += StrFormat("%u,%.3f,%.3f,%s,%s\n", e.tid,
+                     static_cast<double>(e.start_ns - base_ns) / 1e3,
+                     static_cast<double>(e.duration_ns) / 1e3, e.category,
+                     e.name.c_str());
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name)
+    : category_(category), name_(std::move(name)) {
+  if (Tracer::Global().enabled()) {
+    active_ = true;
+    start_ns_ = NowNanos();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t end_ns = NowNanos();
+  Tracer::Global().Record(category_, std::move(name_), start_ns_,
+                          end_ns - start_ns_);
+}
+
+}  // namespace fairbench::obs

@@ -1,0 +1,123 @@
+#ifndef FAIRBENCH_OBS_TRACE_H_
+#define FAIRBENCH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// One completed span: a named interval on one thread. Spans from the same
+/// thread are properly nested by construction (RAII scopes), which is what
+/// lets chrome://tracing render them as a flame graph.
+struct TraceEvent {
+  std::string name;        ///< e.g. "fit/zafar-dp-fair" — `verb/id` style.
+  const char* category;    ///< Static layer tag: "core", "exec", ...
+  uint64_t start_ns = 0;   ///< NowNanos() at span open.
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;        ///< Dense tracer-assigned thread id (0 = first).
+};
+
+/// Process-wide span collector with per-thread buffers.
+///
+/// Recording appends to a buffer owned by the calling thread (one
+/// uncontended mutex acquisition — the buffer mutex is only ever contended
+/// by an export racing an active recorder). Buffers are owned by the
+/// tracer, not the thread, so spans survive worker-thread exit (transient
+/// ThreadPools) and are exported after the pools are gone.
+///
+/// Disabled (the default), span construction is one relaxed atomic load;
+/// nothing is recorded and exports are empty.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span for the calling thread. Public so
+  /// instrumentation that measures intervals itself (e.g. queue waits) can
+  /// emit spans without a TraceSpan scope.
+  void Record(const char* category, std::string name, uint64_t start_ns,
+              uint64_t duration_ns);
+
+  /// All recorded events, sorted by (tid, start, longest-first). The
+  /// longest-first tiebreak puts enclosing spans before the spans they
+  /// contain when both start on the same timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Drops all recorded events (thread buffers stay registered).
+  void Clear();
+
+  /// Chrome trace-event JSON (the object form: {"traceEvents": [...]}),
+  /// loadable in chrome://tracing and https://ui.perfetto.dev. Every span
+  /// is a complete ("ph":"X") event with microsecond timestamps rebased to
+  /// the earliest span. `metadata_json`, when non-empty, must be a JSON
+  /// object and is embedded as "otherData" (the RunManifest goes here).
+  std::string ToChromeJson(const std::string& metadata_json = "") const;
+
+  /// Flat CSV: tid,start_us,dur_us,category,name.
+  std::string ToCsv() const;
+
+ private:
+  // Singleton: per-thread buffer handles are process-global, so a second
+  // Tracer instance would cross wires with Global().
+  Tracer() = default;
+
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ (growth only)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) on the global tracer.
+/// A span constructed while tracing is disabled stays inert even if
+/// tracing is enabled before it closes (intervals must not straddle the
+/// enable edge).
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* category_;
+  std::string name_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace fairbench::obs
+
+// Scoped-span macro: compiled out under -DFAIRBENCH_OBS=OFF. The name
+// expression is only evaluated while tracing is enabled, so dynamic names
+// ("fit/" + id) cost nothing on disabled runs.
+#if FAIRBENCH_OBS_ENABLED
+#define FAIRBENCH_TRACE_SPAN(category, name_expr)                      \
+  ::fairbench::obs::TraceSpan FAIRBENCH_OBS_CONCAT(fairbench_span_,    \
+                                                   __LINE__)(          \
+      (category), ::fairbench::obs::Tracer::Global().enabled()         \
+                      ? (name_expr)                                    \
+                      : ::std::string())
+#else
+#define FAIRBENCH_TRACE_SPAN(category, name_expr) ((void)0)
+#endif
+
+#endif  // FAIRBENCH_OBS_TRACE_H_

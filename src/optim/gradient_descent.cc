@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "optim/solver_telemetry.h"
+
 namespace fairbench {
 
 OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
@@ -11,10 +13,12 @@ OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
   Vector grad(result.x.size(), 0.0);
   double fx = objective(result.x, &grad);
   double step = options.initial_step;
+  result.grad_norm = NormInf(grad);
 
   for (int it = 0; it < options.max_iterations; ++it) {
     result.iterations = it + 1;
     const double gnorm = NormInf(grad);
+    result.grad_norm = gnorm;
     if (gnorm < options.tolerance) {
       result.converged = true;
       break;
@@ -34,6 +38,7 @@ OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
         accepted = true;
         break;
       }
+      ++result.backtracks;
       t *= options.backtrack_factor;
     }
     if (!accepted) {
@@ -44,10 +49,12 @@ OptimResult MinimizeGradientDescent(const Objective& objective, Vector x0,
     result.x = std::move(trial);
     grad = trial_grad;
     fx = ftrial;
+    result.grad_norm = NormInf(grad);
     // Allow the step to grow back so well-scaled problems stay fast.
     step = std::min(options.initial_step, t / options.backtrack_factor);
   }
   result.value = fx;
+  RecordSolveTelemetry("optim.gd", result);
   return result;
 }
 
@@ -64,9 +71,12 @@ OptimResult MinimizePenalty(const PenalizedObjective& penalized, Vector x0,
     result.x = std::move(r.x);
     result.value = r.value;
     result.iterations += r.iterations;
+    result.backtracks += r.backtracks;
     result.converged = r.converged;
+    result.grad_norm = r.grad_norm;
     mu *= options.mu_growth;
   }
+  RecordSolveTelemetry("optim.penalty", result);
   return result;
 }
 

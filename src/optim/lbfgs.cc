@@ -4,6 +4,8 @@
 #include <limits>
 #include <deque>
 
+#include "optim/solver_telemetry.h"
+
 namespace fairbench {
 
 OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
@@ -18,9 +20,12 @@ OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
   std::deque<Vector> y_hist;  // g_{k+1} - g_k
   std::deque<double> rho_hist;
 
+  result.grad_norm = NormInf(grad);
+
   for (int it = 0; it < options.max_iterations; ++it) {
     result.iterations = it + 1;
-    if (NormInf(grad) < options.tolerance) {
+    result.grad_norm = NormInf(grad);
+    if (result.grad_norm < options.tolerance) {
       result.converged = true;
       break;
     }
@@ -80,6 +85,7 @@ OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
           std::isfinite(ftrial) &&
           ftrial <= fx + options.armijo_c * t * dir_deriv;
       if (!armijo_ok) {
+        ++result.backtracks;
         t_hi = t;
         t = 0.5 * (t_lo + t_hi);
         continue;
@@ -92,6 +98,7 @@ OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
       }
       if (Dot(trial_grad, direction) < kCurvatureC * dir_deriv) {
         // Step too short: expand (or bisect toward t_hi).
+        ++result.backtracks;
         t_lo = t;
         t = std::isinf(t_hi) ? 2.0 * t : 0.5 * (t_lo + t_hi);
         continue;
@@ -134,8 +141,10 @@ OptimResult MinimizeLbfgs(const Objective& objective, Vector x0,
     result.x = std::move(trial);
     grad = trial_grad;
     fx = ftrial;
+    result.grad_norm = NormInf(grad);
   }
   result.value = fx;
+  RecordSolveTelemetry("optim.lbfgs", result);
   return result;
 }
 

@@ -12,11 +12,21 @@ namespace fairbench {
 using Objective = std::function<double(const Vector& x, Vector* grad)>;
 
 /// Outcome of an iterative minimization.
+///
+/// `converged == false` after a solve means the iteration budget ran out
+/// (or line search stalled away from a stationary point) — callers that
+/// care about solution quality must check it rather than trusting `x`.
+/// `grad_norm` is the final residual backing that flag, and `backtracks`
+/// counts line-search step rejections, the solver's other cost driver
+/// besides `iterations`; both feed the obs solver telemetry
+/// (docs/observability.md).
 struct OptimResult {
   Vector x;                 ///< Final iterate.
   double value = 0.0;       ///< Objective at x.
   int iterations = 0;       ///< Iterations actually performed.
   bool converged = false;   ///< Gradient-norm tolerance reached.
+  double grad_norm = 0.0;   ///< ||grad||_inf at the final iterate.
+  int backtracks = 0;       ///< Total line-search step rejections.
 };
 
 }  // namespace fairbench

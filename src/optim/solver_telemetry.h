@@ -1,0 +1,47 @@
+#ifndef FAIRBENCH_OPTIM_SOLVER_TELEMETRY_H_
+#define FAIRBENCH_OPTIM_SOLVER_TELEMETRY_H_
+
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "optim/objective.h"
+
+namespace fairbench {
+
+/// Publishes one finished solve to the obs metrics registry (and the debug
+/// log): iteration/backtrack counters, convergence outcome, final residual.
+/// `solver` is the metric-name prefix, e.g. "optim.gd" or "optim.lbfgs".
+/// No-op unless metrics (resp. logging) are enabled at runtime; compiled
+/// out entirely under -DFAIRBENCH_OBS=OFF.
+inline void RecordSolveTelemetry(const char* solver, const OptimResult& r) {
+#if FAIRBENCH_OBS_ENABLED
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const std::string prefix(solver);
+    registry.GetCounter(prefix + ".solves").Add();
+    registry.GetCounter(prefix + ".iterations")
+        .Add(static_cast<uint64_t>(r.iterations));
+    registry.GetCounter(prefix + ".backtracks")
+        .Add(static_cast<uint64_t>(r.backtracks));
+    registry.GetCounter(r.converged ? prefix + ".converged"
+                                    : prefix + ".max_iter_hits")
+        .Add();
+    registry
+        .GetHistogram(prefix + ".iterations_hist",
+                      {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0})
+        .Record(static_cast<double>(r.iterations));
+    registry.GetGauge(prefix + ".final_grad_norm").Set(r.grad_norm);
+  }
+  FAIRBENCH_LOG_DEBUG(
+      solver, "solve: iters=%d backtracks=%d converged=%d grad_norm=%.3e",
+      r.iterations, r.backtracks, r.converged ? 1 : 0, r.grad_norm);
+#else
+  (void)solver;
+  (void)r;
+#endif
+}
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_OPTIM_SOLVER_TELEMETRY_H_

@@ -1,0 +1,61 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace fairbench {
+namespace {
+
+TEST(NowNanosTest, IsMonotonicNonDecreasing) {
+  uint64_t prev = NowNanos();
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t now = NowNanos();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(NowNanosTest, AdvancesWithinBoundedSpin) {
+  const uint64_t start = NowNanos();
+  uint64_t now = start;
+  // steady_clock resolution is nanoseconds-to-microseconds everywhere we
+  // build; a bounded spin must observe the clock move.
+  for (long i = 0; i < 200'000'000L && now == start; ++i) now = NowNanos();
+  EXPECT_GT(now, start);
+}
+
+TEST(TimerTest, ElapsedIsNonNegativeAndUnitsAgree) {
+  Timer timer;
+  const double seconds = timer.ElapsedSeconds();
+  const double millis = timer.ElapsedMillis();
+  const double micros = timer.ElapsedMicros();
+  EXPECT_GE(seconds, 0.0);
+  // Later reads see equal-or-later time, so each coarser-unit reading
+  // converted up must not exceed the finer reading taken after it.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(micros, millis * 1e3 - 1e-9);
+}
+
+TEST(TimerTest, RestartResetsTheStartPoint) {
+  Timer timer;
+  // Accumulate some measurable elapsed time.
+  while (timer.ElapsedMicros() < 200.0) {
+  }
+  const double before_restart = timer.ElapsedSeconds();
+  timer.Restart();
+  const double after_restart = timer.ElapsedSeconds();
+  EXPECT_GE(before_restart, 200e-6);
+  EXPECT_LT(after_restart, before_restart);
+}
+
+TEST(TimerTest, ElapsedGrowsBetweenReads) {
+  Timer timer;
+  const double first = timer.ElapsedMicros();
+  while (timer.ElapsedMicros() < first + 50.0) {
+  }
+  EXPECT_GE(timer.ElapsedMicros(), first + 50.0);
+}
+
+}  // namespace
+}  // namespace fairbench

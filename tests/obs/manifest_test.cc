@@ -1,0 +1,53 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fairbench::obs {
+namespace {
+
+TEST(RunManifestTest, MakeFillsBuildFacts) {
+  const RunManifest manifest = MakeRunManifest("build/bench/fig10_german");
+  EXPECT_EQ(manifest.tool, "fig10_german");  // path prefix stripped
+  EXPECT_GT(manifest.hardware_threads, 0u);
+  EXPECT_FALSE(manifest.compiler.empty());
+  EXPECT_GE(manifest.cxx_standard, 202002L);  // the project is C++20
+  EXPECT_TRUE(manifest.build_type == "release" ||
+              manifest.build_type == "debug");
+  EXPECT_TRUE(manifest.sanitizer == "none" ||
+              manifest.sanitizer == "thread" ||
+              manifest.sanitizer == "address");
+#if FAIRBENCH_OBS_ENABLED
+  EXPECT_TRUE(manifest.obs_compiled);
+#else
+  EXPECT_FALSE(manifest.obs_compiled);
+#endif
+}
+
+TEST(RunManifestTest, ToJsonContainsEveryField) {
+  RunManifest manifest = MakeRunManifest("fig10_adult");
+  manifest.dataset = "adult";
+  manifest.seed = 42;
+  manifest.scale = 0.25;
+  manifest.jobs = 4;
+  manifest.compute_cd = true;
+  const std::string json = manifest.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"tool\":\"fig10_adult\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\":\"adult\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"compute_cd\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_threads\":"), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cxx_standard\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizer\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_compiled\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbench::obs

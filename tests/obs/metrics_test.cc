@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fairbench::obs {
+namespace {
+
+/// Ensures metric recording is on for a test and restores the previous
+/// state afterwards (other suites expect the default-off state).
+class ScopedMetricsEnabled {
+ public:
+  ScopedMetricsEnabled() : previous_(MetricsEnabled()) {
+    SetMetricsEnabled(true);
+  }
+  ~ScopedMetricsEnabled() { SetMetricsEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(GaugeTest, TracksValueAndMax) {
+  Gauge gauge;
+  gauge.Set(3.0);
+  gauge.Set(7.5);
+  gauge.Set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 7.5);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 2.0, 4.0});
+  ASSERT_EQ(hist.num_buckets(), 4u);
+  for (const double sample : {0.5, 1.0}) hist.Record(sample);     // <= 1
+  for (const double sample : {1.5, 2.0}) hist.Record(sample);     // <= 2
+  for (const double sample : {3.9, 4.0}) hist.Record(sample);     // <= 4
+  for (const double sample : {4.0001, 100.0}) hist.Record(sample);  // > 4
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(2), 2u);
+  EXPECT_EQ(hist.bucket_count(3), 2u);
+  EXPECT_EQ(hist.count(), 8u);
+  EXPECT_NEAR(hist.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.9 + 4.0 + 4.0001 + 100.0,
+              1e-9);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 5000;
+  Histogram hist({10.0, 100.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        hist.Record(static_cast<double>(t));  // all land in bucket 0
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  EXPECT_EQ(hist.bucket_count(0), hist.count());
+}
+
+TEST(MetricsRegistryTest, ReturnsStableReferencesPerName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("test.registry.stable");
+  Counter& b = registry.GetCounter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("test.registry.hist", {1.0, 2.0});
+  // Later bounds are ignored: first registration wins.
+  Histogram& h2 = registry.GetHistogram("test.registry.hist", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, CsvContainsAllKindsAndParses) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.csv.counter").Add(3);
+  registry.GetGauge("test.csv.gauge").Set(1.5);
+  Histogram& hist = registry.GetHistogram("test.csv.hist", {10.0});
+  hist.Record(4.0);
+  hist.Record(40.0);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("name,kind,key,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.counter,counter,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.gauge,gauge,value,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.gauge,gauge,max,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.hist,histogram,le_10,1"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.hist,histogram,le_inf,1"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.hist,histogram,count,2"), std::string::npos);
+  // Every line has exactly 4 comma-separated fields.
+  std::size_t line_start = 0;
+  while (line_start < csv.size()) {
+    std::size_t line_end = csv.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = csv.size();
+    const std::string line = csv.substr(line_start, line_end - line_start);
+    if (!line.empty()) {
+      int commas = 0;
+      for (const char c : line) commas += c == ',';
+      EXPECT_EQ(commas, 3) << line;
+    }
+    line_start = line_end + 1;
+  }
+}
+
+#if FAIRBENCH_OBS_ENABLED
+TEST(MetricsMacroTest, RespectsRuntimeEnableFlag) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.macro.gated");
+  counter.Reset();
+  SetMetricsEnabled(false);
+  FAIRBENCH_COUNTER_ADD("test.macro.gated", 1);
+  EXPECT_EQ(counter.value(), 0u);
+  {
+    ScopedMetricsEnabled enabled;
+    FAIRBENCH_COUNTER_ADD("test.macro.gated", 2);
+    FAIRBENCH_HISTOGRAM_RECORD("test.macro.hist", 5.0, 1.0, 10.0);
+    FAIRBENCH_GAUGE_SET("test.macro.gauge", 9.0);
+  }
+  EXPECT_EQ(counter.value(), 2u);
+  EXPECT_EQ(registry.GetHistogram("test.macro.hist", {}).count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.macro.gauge").max(), 9.0);
+}
+#endif  // FAIRBENCH_OBS_ENABLED
+
+}  // namespace
+}  // namespace fairbench::obs

@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace fairbench::obs {
+namespace {
+
+/// Enables the global tracer for a test, then restores the disabled
+/// default and drops the recorded events.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    Tracer::Global().Clear();
+    Tracer::Global().SetEnabled(true);
+  }
+  ~ScopedTracing() {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+void SpinNanos(uint64_t ns) {
+  const uint64_t start = NowNanos();
+  while (NowNanos() - start < ns) {
+  }
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside string
+/// literals, no trailing garbage. Catches the escaping and nesting bugs a
+/// hand-built serializer can introduce without needing a JSON library.
+bool LooksLikeValidJson(const std::string& text, std::string* error) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n' || c == '\t') {
+        *error = "raw control character inside string literal";
+        return false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') {
+          *error = "unbalanced '}'";
+          return false;
+        }
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') {
+          *error = "unbalanced ']'";
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  if (in_string) {
+    *error = "unterminated string literal";
+    return false;
+  }
+  if (!stack.empty()) {
+    *error = "unclosed brace or bracket";
+    return false;
+  }
+  return true;
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  ASSERT_FALSE(tracer.enabled());
+  { TraceSpan span("test", "ignored"); }
+  FAIRBENCH_TRACE_SPAN("test", std::string("also-ignored"));
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.ToCsv(), "tid,start_us,dur_us,category,name\n");
+}
+
+TEST(TracerTest, RecordsSpansWithDurations) {
+  ScopedTracing tracing;
+  {
+    TraceSpan outer("test", "outer");
+    SpinNanos(2000);
+    { TraceSpan inner("test", "inner"); SpinNanos(1000); }
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Same start-of-sort tid; outer sorts before inner (earlier start).
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_GT(events[0].duration_ns, 0u);
+  EXPECT_GT(events[1].duration_ns, 0u);
+}
+
+TEST(TracerTest, SpansNestProperlyPerThread) {
+  ScopedTracing tracing;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 3; ++i) {
+        TraceSpan outer("test", "outer");
+        SpinNanos(1500);
+        {
+          TraceSpan mid("test", "mid");
+          SpinNanos(1000);
+          { TraceSpan inner("test", "inner"); SpinNanos(500); }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 3 * 3);
+
+  // Within each tid, events sorted by (start, longest-first) must form a
+  // properly nested forest: each event either follows the previous interval
+  // or lies entirely inside an open ancestor.
+  std::map<uint32_t, std::vector<const TraceEvent*>> open_stacks;
+  for (const TraceEvent& event : events) {
+    std::vector<const TraceEvent*>& stack = open_stacks[event.tid];
+    const uint64_t end = event.start_ns + event.duration_ns;
+    while (!stack.empty() &&
+           stack.back()->start_ns + stack.back()->duration_ns <=
+               event.start_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const TraceEvent* parent = stack.back();
+      EXPECT_GE(event.start_ns, parent->start_ns);
+      EXPECT_LE(end, parent->start_ns + parent->duration_ns)
+          << "span '" << event.name << "' overlaps parent '" << parent->name
+          << "' without nesting";
+    }
+    stack.push_back(&event);
+  }
+
+  // Every worker got its own dense tid.
+  std::map<uint32_t, int> outers_per_tid;
+  for (const TraceEvent& event : events) {
+    if (event.name == "outer") ++outers_per_tid[event.tid];
+  }
+  EXPECT_EQ(outers_per_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, count] : outers_per_tid) EXPECT_EQ(count, 3);
+}
+
+TEST(TracerTest, ChromeJsonIsStructurallyValid) {
+  ScopedTracing tracing;
+  {
+    TraceSpan outer("core", "fit/approach-a");
+    { TraceSpan inner("exec", "pool.task"); SpinNanos(500); }
+  }
+  const std::string json = Tracer::Global().ToChromeJson(
+      "{\"tool\": \"trace_test\", \"seed\": 42}");
+  std::string error;
+  EXPECT_TRUE(LooksLikeValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fit/approach-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.task\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"trace_test\""), std::string::npos);
+}
+
+TEST(TracerTest, JsonEscapesSpecialCharacters) {
+  ScopedTracing tracing;
+  Tracer::Global().Record("test", "quote\" back\\slash\nnewline\ttab", 100,
+                          50);
+  const std::string json = Tracer::Global().ToChromeJson();
+  std::string error;
+  EXPECT_TRUE(LooksLikeValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("quote\\\" back\\\\slash\\nnewline\\ttab"),
+            std::string::npos);
+}
+
+TEST(TracerTest, CsvHasOneRowPerSpan) {
+  ScopedTracing tracing;
+  Tracer::Global().Record("core", "fit/a", 1000, 500);
+  Tracer::Global().Record("exec", "pool.task", 1200, 100);
+  const std::string csv = Tracer::Global().ToCsv();
+  int lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3);  // header + 2 spans
+  EXPECT_NE(csv.find("core,fit/a"), std::string::npos);
+  EXPECT_NE(csv.find("exec,pool.task"), std::string::npos);
+}
+
+TEST(TracerTest, SpanStraddlingEnableEdgeStaysInert) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSpan span("test", "straddler");
+    tracer.SetEnabled(true);  // enabling mid-span must not record it
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  tracer.SetEnabled(false);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace fairbench::obs

@@ -22,6 +22,8 @@ TEST(LbfgsTest, MinimizesQuadratic) {
   };
   const OptimResult r = MinimizeLbfgs(quadratic, Vector(10, 5.0));
   EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LT(r.grad_norm, 1e-7);  // the default stopping tolerance
   for (double xi : r.x) EXPECT_NEAR(xi, 0.0, 1e-5);
 }
 
@@ -38,6 +40,10 @@ TEST(LbfgsTest, SolvesRosenbrockAccurately) {
   const OptimResult r = MinimizeLbfgs(rosenbrock, {-1.2, 1.0}, options);
   EXPECT_NEAR(r.x[0], 1.0, 1e-3);
   EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+  EXPECT_LE(r.iterations, options.max_iterations);
+  // The classic start overshoots the curved valley: the line search must
+  // have rejected at least one trial step along the way.
+  EXPECT_GT(r.backtracks, 0);
 }
 
 TEST(LbfgsTest, FasterThanGradientDescentOnIllConditioned) {

@@ -2,9 +2,14 @@
 # FairBench CI driver.
 #
 # Stage 1: Release build + the full ctest suite (the tier-1 gate).
-# Stage 2: ThreadSanitizer build of the same tree, running the exec unit
+# Stage 2: ThreadSanitizer build of the same tree, running the exec/obs unit
 #          tests plus the integration suites — the paths that exercise the
 #          parallel drivers — to prove the execution subsystem is race-free.
+# Stage 3: Observability artifact check: a small bench run with
+#          --trace/--metrics/--manifest must produce loadable Chrome trace
+#          JSON with the expected spans and optim.* solver counters.
+# Stage 4: -DFAIRBENCH_OBS=OFF compile check: every instrumentation macro
+#          must vanish cleanly (library + benches + tools still build).
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -17,13 +22,40 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "${JOBS}"
 ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 
-echo "==> Stage 2: ThreadSanitizer build + exec/integration tests"
+echo "==> Stage 2: ThreadSanitizer build + exec/obs/integration tests"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFAIRBENCH_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 # halt_on_error: any reported race fails the run rather than just logging.
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j "${JOBS}" \
-    -R 'thread_pool_test|task_group_test|parallel_for_test|determinism_test|experiment_test|crossval_test|stability_test|scalability_test|causal_discrimination_test'
+    -R 'thread_pool_test|task_group_test|parallel_for_test|determinism_test|experiment_test|crossval_test|stability_test|scalability_test|causal_discrimination_test|metrics_test|trace_test'
+
+echo "==> Stage 3: Observability artifacts from a small bench run"
+OBS_DIR="build-ci/obs-check"
+mkdir -p "${OBS_DIR}"
+build-ci/bench/fig10_german --scale 0.02 --no-cd --jobs 2 \
+    --trace "${OBS_DIR}/trace.json" --metrics "${OBS_DIR}/metrics.csv" \
+    --manifest "${OBS_DIR}/manifest.json" >/dev/null
+python3 - "${OBS_DIR}" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+trace = json.load(open(f"{obs_dir}/trace.json"))
+names = [e["name"] for e in trace["traceEvents"]]
+assert any(n.startswith("fit/") for n in names), "no fit/ spans in trace"
+assert any(n.startswith("predict/") for n in names), "no predict/ spans"
+assert any(n == "pool.task" for n in names), "no thread-pool task spans"
+assert trace["otherData"]["seed"] == 42, "manifest not embedded in trace"
+json.load(open(f"{obs_dir}/manifest.json"))
+print(f"trace ok: {len(names)} spans")
+EOF
+grep -q '^optim\.' "${OBS_DIR}/metrics.csv" \
+    || { echo "no optim.* solver metrics in metrics.csv"; exit 1; }
+echo "metrics ok: $(grep -c '^optim\.' "${OBS_DIR}/metrics.csv") optim rows"
+
+echo "==> Stage 4: FAIRBENCH_OBS=OFF compile check"
+cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
+      -DFAIRBENCH_OBS=OFF >/dev/null
+cmake --build build-obs-off -j "${JOBS}"
 
 echo "==> CI passed"

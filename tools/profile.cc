@@ -3,19 +3,29 @@
 // approaches), with a speedup table — the observable contract of the
 // src/exec subsystem: identical tables, lower wall-clock.
 //
-//   profile_approaches [--frac f] [--jobs n] [--cd]
-//     --frac f   fraction of the Adult generator's default rows (0.15)
-//     --jobs n   parallel worker count (default: hardware concurrency)
-//     --cd       include the Causal Discrimination metric (off by default
-//                here; it dominates runtime and its inner loop is itself
-//                parallel — see CdOptions::threads)
+//   profile_approaches [--frac f] [--jobs n] [--cd] [--trace f] [--metrics f]
+//     --frac f     fraction of the Adult generator's default rows (0.15)
+//     --jobs n     parallel worker count (default: hardware concurrency)
+//     --cd         include the Causal Discrimination metric (off by default
+//                  here; it dominates runtime and its inner loop is itself
+//                  parallel — see CdOptions::threads)
+//     --trace f    write Chrome trace-event JSON of both runs to f
+//     --metrics f  write the obs metrics-registry CSV to f
+//
+// Without --trace/--metrics, instrumentation stays runtime-disabled and the
+// output is byte-identical to an uninstrumented build.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/timer.h"
 #include "core/experiment.h"
+#include "core/export.h"
 #include "exec/thread_pool.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace fairbench;
 
@@ -54,6 +64,8 @@ int main(int argc, char** argv) {
   double frac = 0.15;
   std::size_t jobs = ThreadPool::DefaultThreads();
   bool compute_cd = false;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
       frac = atof(argv[++i]);
@@ -61,13 +73,21 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--cd") == 0) {
       compute_cd = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--frac f] [--jobs n] [--cd]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--frac f] [--jobs n] [--cd] [--trace f] "
+                   "[--metrics f]\n",
                    argv[0]);
       return 2;
     }
   }
   if (jobs == 0) jobs = ThreadPool::DefaultThreads();
+  if (!trace_path.empty()) obs::Tracer::Global().SetEnabled(true);
+  if (!metrics_path.empty()) obs::SetMetricsEnabled(true);
 
   const PopulationConfig cfg = AdultConfig();
   const auto rows = static_cast<std::size_t>(cfg.default_rows * frac);
@@ -124,5 +144,26 @@ int main(int argc, char** argv) {
                          FormatExperimentTable(parallel->result);
   std::printf("serial/parallel outputs identical: %s\n",
               identical ? "yes" : "NO — determinism bug");
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::RunManifest manifest = obs::MakeRunManifest(argv[0]);
+    manifest.dataset = cfg.name;
+    manifest.seed = 42;
+    manifest.scale = frac;
+    manifest.jobs = jobs;
+    manifest.compute_cd = compute_cd;
+    if (!trace_path.empty()) {
+      const Status st = WriteTextFile(
+          trace_path, obs::Tracer::Global().ToChromeJson(manifest.ToJson()));
+      std::fprintf(stderr, "trace: %s%s\n", trace_path.c_str(),
+                   st.ok() ? "" : " (write failed)");
+    }
+    if (!metrics_path.empty()) {
+      const Status st = WriteTextFile(metrics_path,
+                                      obs::MetricsRegistry::Global().ToCsv());
+      std::fprintf(stderr, "metrics: %s%s\n", metrics_path.c_str(),
+                   st.ok() ? "" : " (write failed)");
+    }
+  }
   return identical ? 0 : 1;
 }
