@@ -1,0 +1,186 @@
+// Kernel microbenchmarks: optimized linalg kernels vs the linalg::ref
+// oracle, at the sizes the fig11 scalability harnesses actually hit
+// (design matrices around 10^3..10^4 x 200 after encoding). The FLOPS
+// counter reports sustained FLOP/s; tools/record_bench.py distills a run
+// into BENCH_kernels.json so successive PRs have a perf trajectory.
+//
+// The headline acceptance number for the blocked-GEMM rewrite is
+// MatMul/1000x200x200: optimized must be >= 2x ref throughput.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "linalg/kernels.h"
+#include "linalg/ref.h"
+
+namespace fairbench {
+namespace {
+
+std::vector<double> RandomVec(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.Uniform(-1.0, 1.0);
+  return out;
+}
+
+void SetFlops(benchmark::State& state, double flops_per_iter) {
+  state.counters["FLOPS"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+// ---- Dot ----------------------------------------------------------------
+
+template <double (*Kernel)(const double*, const double*, std::size_t)>
+void BM_Dot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomVec(n, 1);
+  const auto b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Kernel(a.data(), b.data(), n));
+  }
+  SetFlops(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_Dot<linalg::ref::Dot>)->Name("BM_DotRef")->Arg(256)->Arg(4096);
+BENCHMARK(BM_Dot<linalg::Dot>)->Name("BM_DotOpt")->Arg(256)->Arg(4096);
+
+// ---- Axpy ---------------------------------------------------------------
+
+template <void (*Kernel)(double, const double*, double*, std::size_t)>
+void BM_Axpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = RandomVec(n, 3);
+  auto y = RandomVec(n, 4);
+  for (auto _ : state) {
+    Kernel(1e-6, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetFlops(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_Axpy<linalg::ref::Axpy>)->Name("BM_AxpyRef")->Arg(4096);
+BENCHMARK(BM_Axpy<linalg::Axpy>)->Name("BM_AxpyOpt")->Arg(4096);
+
+// ---- Gemv / GemvT (rows x cols, fig11 design-matrix shape) --------------
+
+template <void (*Kernel)(const double*, std::size_t, std::size_t,
+                         const double*, double*)>
+void BM_Gemv(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = static_cast<std::size_t>(state.range(1));
+  const auto a = RandomVec(rows * cols, 5);
+  const auto x = RandomVec(cols, 6);
+  std::vector<double> y(rows, 0.0);
+  for (auto _ : state) {
+    Kernel(a.data(), rows, cols, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetFlops(state, 2.0 * static_cast<double>(rows * cols));
+}
+BENCHMARK(BM_Gemv<linalg::ref::Gemv>)
+    ->Name("BM_GemvRef")
+    ->Args({1000, 200})
+    ->Args({10000, 100});
+BENCHMARK(BM_Gemv<linalg::Gemv>)
+    ->Name("BM_GemvOpt")
+    ->Args({1000, 200})
+    ->Args({10000, 100});
+
+template <void (*Kernel)(const double*, std::size_t, std::size_t,
+                         const double*, double*)>
+void BM_GemvT(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = static_cast<std::size_t>(state.range(1));
+  const auto a = RandomVec(rows * cols, 7);
+  const auto x = RandomVec(rows, 8);
+  std::vector<double> y(cols, 0.0);
+  for (auto _ : state) {
+    Kernel(a.data(), rows, cols, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetFlops(state, 2.0 * static_cast<double>(rows * cols));
+}
+BENCHMARK(BM_GemvT<linalg::ref::GemvT>)->Name("BM_GemvTRef")->Args({1000, 200});
+BENCHMARK(BM_GemvT<linalg::GemvT>)->Name("BM_GemvTOpt")->Args({1000, 200});
+
+// ---- MatMul (m x k x n) -------------------------------------------------
+
+template <void (*Kernel)(const double*, std::size_t, std::size_t,
+                         const double*, std::size_t, double*)>
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
+  const auto a = RandomVec(m * k, 9);
+  const auto b = RandomVec(k * n, 10);
+  std::vector<double> c(m * n, 0.0);
+  for (auto _ : state) {
+    Kernel(a.data(), m, k, b.data(), n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetFlops(state, 2.0 * static_cast<double>(m * k * n));
+}
+BENCHMARK(BM_MatMul<linalg::ref::MatMul>)
+    ->Name("BM_MatMulRef")
+    ->Args({1000, 200, 200})
+    ->Args({256, 256, 256})
+    ->Args({60, 300, 60});
+BENCHMARK(BM_MatMul<linalg::MatMul>)
+    ->Name("BM_MatMulOpt")
+    ->Args({1000, 200, 200})
+    ->Args({256, 256, 256})
+    ->Args({60, 300, 60});
+
+// ---- WeightedGram (IRLS Hessian core) -----------------------------------
+
+template <void (*Kernel)(const double*, std::size_t, std::size_t,
+                         const double*, double*)>
+void BM_WeightedGram(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = static_cast<std::size_t>(state.range(1));
+  const auto a = RandomVec(rows * cols, 11);
+  const auto w = RandomVec(rows, 12);
+  std::vector<double> out(cols * cols, 0.0);
+  for (auto _ : state) {
+    Kernel(a.data(), rows, cols, w.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetFlops(state,
+           static_cast<double>(rows) * static_cast<double>(cols * (cols + 2)));
+}
+BENCHMARK(BM_WeightedGram<linalg::ref::WeightedGram>)
+    ->Name("BM_WeightedGramRef")
+    ->Args({1000, 200});
+BENCHMARK(BM_WeightedGram<linalg::WeightedGram>)
+    ->Name("BM_WeightedGramOpt")
+    ->Args({1000, 200});
+
+// ---- Fused logistic forward pass ----------------------------------------
+
+template <void (*Kernel)(const double*, std::size_t, std::size_t,
+                         const double*, double*)>
+void BM_GemvBiasSigmoid(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = static_cast<std::size_t>(state.range(1));
+  const auto a = RandomVec(rows * cols, 13);
+  const auto theta = RandomVec(cols + 1, 14);
+  std::vector<double> p(rows, 0.0);
+  for (auto _ : state) {
+    Kernel(a.data(), rows, cols, theta.data(), p.data());
+    benchmark::DoNotOptimize(p.data());
+  }
+  SetFlops(state, 2.0 * static_cast<double>(rows * cols));
+}
+BENCHMARK(BM_GemvBiasSigmoid<linalg::ref::GemvBiasSigmoid>)
+    ->Name("BM_GemvBiasSigmoidRef")
+    ->Args({1000, 200});
+BENCHMARK(BM_GemvBiasSigmoid<linalg::GemvBiasSigmoid>)
+    ->Name("BM_GemvBiasSigmoidOpt")
+    ->Args({1000, 200});
+
+}  // namespace
+}  // namespace fairbench
+
+BENCHMARK_MAIN();

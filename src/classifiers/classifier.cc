@@ -19,12 +19,10 @@ Result<std::vector<double>> Classifier::PredictProbaBatch(const Matrix& x) const
 
 Result<std::vector<int>> Classifier::PredictBatch(const Matrix& x,
                                                   double threshold) const {
+  FAIRBENCH_ASSIGN_OR_RETURN(std::vector<double> proba, PredictProbaBatch(x));
   std::vector<int> out;
-  out.reserve(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    FAIRBENCH_ASSIGN_OR_RETURN(int y, Predict(x.RowVector(r), threshold));
-    out.push_back(y);
-  }
+  out.reserve(proba.size());
+  for (double p : proba) out.push_back(p >= threshold ? 1 : 0);
   return out;
 }
 

@@ -40,8 +40,12 @@ class Classifier {
   /// Hard 0/1 prediction at the given probability threshold.
   Result<int> Predict(const Vector& features, double threshold = 0.5) const;
 
-  /// Batch helpers over the rows of a design matrix.
-  Result<std::vector<double>> PredictProbaBatch(const Matrix& x) const;
+  /// Batch probabilities over the rows of a design matrix. Virtual so
+  /// models with a fused batch path (LogisticRegression's GemvBiasSigmoid
+  /// kernel) can skip the per-row copy; the default loops PredictProba.
+  virtual Result<std::vector<double>> PredictProbaBatch(const Matrix& x) const;
+
+  /// Batch hard predictions: PredictProbaBatch thresholded at `threshold`.
   Result<std::vector<int>> PredictBatch(const Matrix& x,
                                         double threshold = 0.5) const;
 };

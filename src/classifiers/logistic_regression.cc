@@ -1,8 +1,10 @@
 #include "classifiers/logistic_regression.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
+#include "linalg/kernels.h"
 #include "linalg/solve.h"
 #include "optim/gradient_descent.h"
 
@@ -56,49 +58,34 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
   theta[0] = std::log(base / (1.0 - base));
 
   Vector p(n, 0.0);
+  Vector g(n, 0.0);
   bool irls_ok = true;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    // Probabilities and IRLS working quantities.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* row = x.Row(i);
-      double z = theta[0];
-      for (std::size_t j = 0; j < d; ++j) z += theta[j + 1] * row[j];
-      p[i] = Sigmoid(z);
-    }
-    // Gradient of the penalized negative log-likelihood.
+    // Probabilities: one fused pass over X (scores + sigmoid).
+    linalg::GemvBiasSigmoid(x.Row(0), n, d, theta.data(), p.data());
+    // Gradient of the penalized negative log-likelihood:
+    // [sum g, X^T g] with g_i = w_i (p_i - y_i).
+    for (std::size_t i = 0; i < n; ++i) g[i] = weights[i] * (p[i] - y[i]);
     Vector grad(d + 1, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double g = weights[i] * (p[i] - y[i]);
-      grad[0] += g;
-      const double* row = x.Row(i);
-      for (std::size_t j = 0; j < d; ++j) grad[j + 1] += g * row[j];
-    }
+    grad[0] = Sum(g);
+    linalg::GemvT(x.Row(0), n, d, g.data(), grad.data() + 1);
     for (std::size_t j = 1; j <= d; ++j) grad[j] += options_.l2 * theta[j];
 
-    // Hessian: [sum r, sum r x^T; sum r x, X^T R X + l2 I].
+    // Hessian: [sum r, (X^T r)^T; X^T r, X^T R X + l2 I].
     Vector r(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       r[i] = std::max(weights[i] * p[i] * (1.0 - p[i]), 1e-12);
     }
+    const Vector xr = x.TransposedMatVec(r);
+    const Matrix gram = x.WeightedGram(r);
     Matrix hess(d + 1, d + 1, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ri = r[i];
-      const double* row = x.Row(i);
-      hess(0, 0) += ri;
-      for (std::size_t j = 0; j < d; ++j) {
-        hess(0, j + 1) += ri * row[j];
-      }
-      for (std::size_t j = 0; j < d; ++j) {
-        const double rj = ri * row[j];
-        for (std::size_t k = j; k < d; ++k) {
-          hess(j + 1, k + 1) += rj * row[k];
-        }
-      }
+    hess(0, 0) = Sum(r);
+    for (std::size_t j = 0; j < d; ++j) {
+      hess(0, j + 1) = xr[j];
+      hess(j + 1, 0) = xr[j];
+      for (std::size_t k = 0; k < d; ++k) hess(j + 1, k + 1) = gram(j, k);
     }
     for (std::size_t j = 1; j <= d; ++j) hess(j, j) += options_.l2;
-    for (std::size_t j = 0; j <= d; ++j) {
-      for (std::size_t k = 0; k < j; ++k) hess(j, k) = hess(k, j);
-    }
 
     Result<Vector> step = CholeskySolve(hess, grad);
     if (!step.ok()) {
@@ -118,20 +105,20 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
     // descent (slower but unconditionally stable).
     Objective obj = [&](const Vector& t, Vector* grad) {
       double loss = 0.0;
-      std::fill(grad->begin(), grad->end(), 0.0);
+      Vector z(n, 0.0);
+      Vector gv(n, 0.0);
+      linalg::Gemv(x.Row(0), n, d, t.data() + 1, z.data());
       for (std::size_t i = 0; i < n; ++i) {
-        const double* row = x.Row(i);
-        double z = t[0];
-        for (std::size_t j = 0; j < d; ++j) z += t[j + 1] * row[j];
-        const double pi = Sigmoid(z);
+        const double zi = z[i] + t[0];
+        const double pi = Sigmoid(zi);
         // Stable log-loss.
-        const double zpos = std::max(z, 0.0);
-        loss += weights[i] *
-                (zpos - z * y[i] + std::log(std::exp(-zpos) + std::exp(z - zpos)));
-        const double g = weights[i] * (pi - y[i]);
-        (*grad)[0] += g;
-        for (std::size_t j = 0; j < d; ++j) (*grad)[j + 1] += g * row[j];
+        const double zpos = std::max(zi, 0.0);
+        loss += weights[i] * (zpos - zi * y[i] +
+                              std::log(std::exp(-zpos) + std::exp(zi - zpos)));
+        gv[i] = weights[i] * (pi - y[i]);
       }
+      (*grad)[0] = Sum(gv);
+      linalg::GemvT(x.Row(0), n, d, gv.data(), grad->data() + 1);
       for (std::size_t j = 1; j <= d; ++j) {
         loss += 0.5 * options_.l2 * t[j] * t[j];
         (*grad)[j] += options_.l2 * t[j];
@@ -165,6 +152,27 @@ Result<double> LogisticRegression::DecisionValue(const Vector& features) const {
 Result<double> LogisticRegression::PredictProba(const Vector& features) const {
   FAIRBENCH_ASSIGN_OR_RETURN(double z, DecisionValue(features));
   return Sigmoid(z);
+}
+
+Result<std::vector<double>> LogisticRegression::PredictProbaBatch(
+    const Matrix& x) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("LogisticRegression: not fitted");
+  }
+  if (x.cols() != coef_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("LogisticRegression: expected %zu features, got %zu",
+                  coef_.size(), x.cols()));
+  }
+  Vector theta(coef_.size() + 1, 0.0);
+  theta[0] = intercept_;
+  std::copy(coef_.begin(), coef_.end(), theta.begin() + 1);
+  std::vector<double> out(x.rows(), 0.0);
+  if (!out.empty()) {
+    linalg::GemvBiasSigmoid(x.Row(0), x.rows(), x.cols(), theta.data(),
+                            out.data());
+  }
+  return out;
 }
 
 }  // namespace fairbench

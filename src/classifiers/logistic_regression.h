@@ -29,6 +29,8 @@ class LogisticRegression final : public Classifier {
   Status Fit(const Matrix& x, const std::vector<int>& y,
              const Vector& weights) override;
   Result<double> PredictProba(const Vector& features) const override;
+  /// Fused batch path: one GemvBiasSigmoid pass over the design matrix.
+  Result<std::vector<double>> PredictProbaBatch(const Matrix& x) const override;
   Result<double> DecisionValue(const Vector& features) const override;
   bool fitted() const override { return fitted_; }
   std::unique_ptr<Classifier> Clone() const override {

@@ -1,0 +1,53 @@
+#ifndef FAIRBENCH_LINALG_ALIGNED_H_
+#define FAIRBENCH_LINALG_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace fairbench::linalg {
+
+/// Minimal C++17 allocator handing out `Alignment`-byte-aligned blocks.
+/// Matrix storage and the GEMM packing buffers use the 64-byte flavor so
+/// kernel loads never straddle a cache line and vectorized access starts
+/// aligned regardless of the surrounding allocation pattern.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned double buffer: the storage type behind Matrix and the
+/// kernel scratch panels. Element access is identical to std::vector<double>.
+using AlignedVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+}  // namespace fairbench::linalg
+
+#endif  // FAIRBENCH_LINALG_ALIGNED_H_

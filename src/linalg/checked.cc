@@ -1,0 +1,51 @@
+#include "linalg/checked.h"
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+Result<double> CheckedDot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        StrFormat("Dot: size mismatch %zu vs %zu", a.size(), b.size()));
+  }
+  return Dot(a, b);
+}
+
+Status CheckedAxpy(double alpha, const Vector& x, Vector* y) {
+  if (x.size() != y->size()) {
+    return Status::InvalidArgument(
+        StrFormat("Axpy: size mismatch %zu vs %zu", x.size(), y->size()));
+  }
+  Axpy(alpha, x, y);
+  return Status::OK();
+}
+
+Result<Vector> CheckedGemv(const Matrix& a, const Vector& x) {
+  if (x.size() != a.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("Gemv: %zux%zu matrix vs vector of %zu", a.rows(), a.cols(),
+                  x.size()));
+  }
+  return a.MatVec(x);
+}
+
+Result<Vector> CheckedGemvT(const Matrix& a, const Vector& x) {
+  if (x.size() != a.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("GemvT: %zux%zu matrix vs vector of %zu", a.rows(), a.cols(),
+                  x.size()));
+  }
+  return a.TransposedMatVec(x);
+}
+
+Result<Matrix> CheckedMatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("MatMul: %zux%zu times %zux%zu", a.rows(), a.cols(),
+                  b.rows(), b.cols()));
+  }
+  return a.MatMul(b);
+}
+
+}  // namespace fairbench

@@ -1,0 +1,36 @@
+#ifndef FAIRBENCH_LINALG_CHECKED_H_
+#define FAIRBENCH_LINALG_CHECKED_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// Status-propagating wrappers around the linalg kernels.
+///
+/// The raw kernels (Dot/Axpy/Matrix::MatVec/Matrix::MatMul/...) state their
+/// shape requirements as preconditions and do not check them — they sit in
+/// solver inner loops where the shapes are invariant. Call sites whose
+/// shapes come from runtime data (user-supplied parameter vectors, decoded
+/// CSV columns) must use these checked variants so a mismatch surfaces as
+/// InvalidArgument instead of undefined behavior.
+
+/// Dot product; InvalidArgument unless a.size() == b.size().
+Result<double> CheckedDot(const Vector& a, const Vector& b);
+
+/// y += alpha * x; InvalidArgument unless x.size() == y->size().
+Status CheckedAxpy(double alpha, const Vector& x, Vector* y);
+
+/// A x; InvalidArgument unless x.size() == a.cols().
+Result<Vector> CheckedGemv(const Matrix& a, const Vector& x);
+
+/// A^T x; InvalidArgument unless x.size() == a.rows().
+Result<Vector> CheckedGemvT(const Matrix& a, const Vector& x);
+
+/// A B; InvalidArgument unless a.cols() == b.rows().
+Result<Matrix> CheckedMatMul(const Matrix& a, const Matrix& b);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_LINALG_CHECKED_H_

@@ -1,0 +1,211 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+
+#include "linalg/aligned.h"
+#include "linalg/ref.h"
+#include "obs/metrics.h"
+
+namespace fairbench::linalg {
+namespace {
+
+// GEMM k-block size: a packed kKc-row slice of B is copied once into an
+// aligned contiguous buffer and then reused by every row of A, so the hot
+// loop reads B from cache-resident, 64-byte-aligned storage.
+constexpr std::size_t kKc = 256;
+
+}  // namespace
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  FAIRBENCH_COUNTER_ADD("linalg.dot.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.dot.flops", 2 * n);
+  // Four independent accumulators: the compiler may vectorize the partial
+  // sums without reassociating a single serial reduction.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const double* x, double* y, std::size_t n) {
+  FAIRBENCH_COUNTER_ADD("linalg.axpy.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.axpy.flops", 2 * n);
+  const double* __restrict xp = x;
+  double* __restrict yp = y;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    yp[i] += alpha * xp[i];
+    yp[i + 1] += alpha * xp[i + 1];
+    yp[i + 2] += alpha * xp[i + 2];
+    yp[i + 3] += alpha * xp[i + 3];
+  }
+  for (; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void Gemv(const double* a, std::size_t rows, std::size_t cols,
+          const double* x, double* y) {
+  FAIRBENCH_COUNTER_ADD("linalg.gemv.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.gemv.flops", 2 * rows * cols);
+  // Two rows per pass share the x stream; four accumulators per row keep
+  // the reductions vectorizable.
+  std::size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const double* __restrict r0 = a + r * cols;
+    const double* __restrict r1 = r0 + cols;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const double x0 = x[c], x1 = x[c + 1], x2 = x[c + 2], x3 = x[c + 3];
+      a0 += r0[c] * x0;
+      a1 += r0[c + 1] * x1;
+      a2 += r0[c + 2] * x2;
+      a3 += r0[c + 3] * x3;
+      b0 += r1[c] * x0;
+      b1 += r1[c + 1] * x1;
+      b2 += r1[c + 2] * x2;
+      b3 += r1[c + 3] * x3;
+    }
+    double s0 = (a0 + a1) + (a2 + a3);
+    double s1 = (b0 + b1) + (b2 + b3);
+    for (; c < cols; ++c) {
+      s0 += r0[c] * x[c];
+      s1 += r1[c] * x[c];
+    }
+    y[r] = s0;
+    y[r + 1] = s1;
+  }
+  for (; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      s0 += row[c] * x[c];
+      s1 += row[c + 1] * x[c + 1];
+      s2 += row[c + 2] * x[c + 2];
+      s3 += row[c + 3] * x[c + 3];
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; c < cols; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+}
+
+void GemvT(const double* a, std::size_t rows, std::size_t cols,
+           const double* x, double* y) {
+  FAIRBENCH_COUNTER_ADD("linalg.gemv_t.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.gemv_t.flops", 2 * rows * cols);
+  std::fill(y, y + cols, 0.0);
+  double* __restrict yp = y;
+  // Four rows per pass: y streams once per four rows instead of once per
+  // row, and the inner loop vectorizes (no cross-iteration dependence).
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* __restrict r0 = a + r * cols;
+    const double* __restrict r1 = r0 + cols;
+    const double* __restrict r2 = r1 + cols;
+    const double* __restrict r3 = r2 + cols;
+    const double x0 = x[r], x1 = x[r + 1], x2 = x[r + 2], x3 = x[r + 3];
+    for (std::size_t c = 0; c < cols; ++c) {
+      yp[c] += (x0 * r0[c] + x1 * r1[c]) + (x2 * r2[c] + x3 * r3[c]);
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* __restrict row = a + r * cols;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols; ++c) yp[c] += xr * row[c];
+  }
+}
+
+void MatMul(const double* a, std::size_t m, std::size_t k, const double* b,
+            std::size_t n, double* c) {
+  FAIRBENCH_COUNTER_ADD("linalg.matmul.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.matmul.flops", 2 * m * n * k);
+  std::fill(c, c + m * n, 0.0);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  AlignedVector pack(kKc * n);
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t kb = std::min(kKc, k - k0);
+    // Pack B[k0:k0+kb, :] into the aligned buffer; one copy per k block,
+    // reused by all m rows of A.
+    std::copy(b + k0 * n, b + (k0 + kb) * n, pack.data());
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* __restrict ap = a + i * k + k0;
+      double* __restrict crow = c + i * n;
+      // Four k steps per pass: each C row element takes its four partial
+      // products as a fixed (t0 + t1) + (t2 + t3) tree, and the j loop has
+      // no cross-iteration dependence, so it vectorizes at any width.
+      std::size_t kk = 0;
+      for (; kk + 4 <= kb; kk += 4) {
+        const double* __restrict b0 = pack.data() + kk * n;
+        const double* __restrict b1 = b0 + n;
+        const double* __restrict b2 = b1 + n;
+        const double* __restrict b3 = b2 + n;
+        const double a0 = ap[kk], a1 = ap[kk + 1];
+        const double a2 = ap[kk + 2], a3 = ap[kk + 3];
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+        }
+      }
+      for (; kk < kb; ++kk) {
+        const double av = ap[kk];
+        const double* __restrict brow = pack.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
+                  const double* w, double* out) {
+  FAIRBENCH_COUNTER_ADD("linalg.weighted_gram.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.weighted_gram.flops",
+                        rows * cols * (cols + 2));
+  std::fill(out, out + cols * cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    const double* __restrict row = a + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double wi = wr * row[i];
+      double* __restrict orow = out + i * cols;
+      for (std::size_t j = i; j < cols; ++j) orow[j] += wi * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out[i * cols + j] = out[j * cols + i];
+  }
+}
+
+void GemvBiasSigmoid(const double* a, std::size_t rows, std::size_t cols,
+                     const double* theta, double* p) {
+  FAIRBENCH_COUNTER_ADD("linalg.gemv_sigmoid.calls", 1);
+  FAIRBENCH_COUNTER_ADD("linalg.gemv_sigmoid.flops", 2 * rows * cols);
+  const double bias = theta[0];
+  const double* __restrict wgt = theta + 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* __restrict row = a + r * cols;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      s0 += row[c] * wgt[c];
+      s1 += row[c + 1] * wgt[c + 1];
+      s2 += row[c + 2] * wgt[c + 2];
+      s3 += row[c + 3] * wgt[c + 3];
+    }
+    double z = bias + ((s0 + s1) + (s2 + s3));
+    for (; c < cols; ++c) z += row[c] * wgt[c];
+    p[r] = ref::Sigmoid(z);
+  }
+}
+
+}  // namespace fairbench::linalg

@@ -1,0 +1,61 @@
+#ifndef FAIRBENCH_LINALG_KERNELS_H_
+#define FAIRBENCH_LINALG_KERNELS_H_
+
+#include <cstddef>
+
+namespace fairbench::linalg {
+
+/// Optimized dense kernels: the default implementations behind Vector and
+/// Matrix operations. Same contracts (and raw-pointer signatures) as the
+/// `linalg::ref` oracle in linalg/ref.h; results may differ from `ref` only
+/// by floating-point reassociation, within the tolerance contract enforced
+/// by tests/linalg/kernel_differential_test.cc and documented in DESIGN.md.
+///
+/// Design notes:
+///  - Level-1 ops (Dot/Axpy) are unrolled 4-wide with independent
+///    accumulators so the compiler can vectorize the reduction without
+///    -ffast-math.
+///  - Gemv/GemvT block over rows to reuse the x (respectively y) stream.
+///  - MatMul is cache-blocked over k and packs the active B panel into a
+///    64-byte-aligned j-major micro-panel buffer; the 4x8 register
+///    micro-kernel keeps the C tile in registers across the whole k block.
+///  - GemvBiasSigmoid fuses the logistic forward pass (scores then
+///    sigmoid) so the IRLS / gradient-descent inner loop makes one pass
+///    over X per iteration.
+///
+/// Every kernel records `linalg.<kernel>.calls` / `linalg.<kernel>.flops`
+/// in the obs MetricsRegistry (compiled out under FAIRBENCH_OBS=OFF, one
+/// relaxed atomic load per call when metrics are disabled at runtime).
+/// All matrices are dense row-major.
+
+/// Sum a[i] * b[i].
+double Dot(const double* a, const double* b, std::size_t n);
+
+/// y[i] += alpha * x[i].
+void Axpy(double alpha, const double* x, double* y, std::size_t n);
+
+/// y = A x for row-major A (rows x cols). y is overwritten.
+void Gemv(const double* a, std::size_t rows, std::size_t cols,
+          const double* x, double* y);
+
+/// y = A^T x for row-major A (rows x cols); y (cols) is overwritten.
+void GemvT(const double* a, std::size_t rows, std::size_t cols,
+           const double* x, double* y);
+
+/// C = A B with A (m x k), B (k x n), C (m x n) row-major; C overwritten.
+void MatMul(const double* a, std::size_t m, std::size_t k, const double* b,
+            std::size_t n, double* c);
+
+/// out = A^T diag(w) A with A (rows x cols), w (rows); out (cols x cols)
+/// is overwritten and symmetric.
+void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
+                  const double* w, double* out);
+
+/// p[i] = sigmoid(theta[0] + A.row(i) . theta[1..cols]); theta has
+/// cols + 1 entries (bias first). Stable for |z| up to the exp range.
+void GemvBiasSigmoid(const double* a, std::size_t rows, std::size_t cols,
+                     const double* theta, double* p);
+
+}  // namespace fairbench::linalg
+
+#endif  // FAIRBENCH_LINALG_KERNELS_H_

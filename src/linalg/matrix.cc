@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "linalg/kernels.h"
 
 namespace fairbench {
 
@@ -45,57 +46,27 @@ Matrix Matrix::Transposed() const {
 
 Vector Matrix::MatVec(const Vector& x) const {
   Vector out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    double s = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
-    out[r] = s;
-  }
+  linalg::Gemv(data_.data(), rows_, cols_, x.data(), out.data());
   return out;
 }
 
 Vector Matrix::TransposedMatVec(const Vector& x) const {
   Vector out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * xr;
-  }
+  linalg::GemvT(data_.data(), rows_, cols_, x.data(), out.data());
   return out;
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  Matrix out(rows_, other.cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(r, k);
-      if (a == 0.0) continue;
-      const double* brow = other.Row(k);
-      double* orow = out.Row(r);
-      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
-    }
-  }
+  Matrix out(rows_, other.cols_);
+  linalg::MatMul(data_.data(), rows_, cols_, other.data_.data(), other.cols_,
+                 out.data_.data());
   return out;
 }
 
 Matrix Matrix::WeightedGram(const Vector& w) const {
-  Matrix out(cols_, cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double wr = w[r];
-    if (wr == 0.0) continue;
-    const double* row = Row(r);
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double wi = wr * row[i];
-      if (wi == 0.0) continue;
-      double* orow = out.Row(i);
-      for (std::size_t j = i; j < cols_; ++j) orow[j] += wi * row[j];
-    }
-  }
-  // Mirror the upper triangle.
-  for (std::size_t i = 0; i < cols_; ++i) {
-    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
-  }
+  Matrix out(cols_, cols_);
+  linalg::WeightedGram(data_.data(), rows_, cols_, w.data(),
+                       out.data_.data());
   return out;
 }
 

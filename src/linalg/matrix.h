@@ -4,8 +4,8 @@
 #include <cstddef>
 #include <initializer_list>
 #include <string>
-#include <vector>
 
+#include "linalg/aligned.h"
 #include "linalg/vector_ops.h"
 
 namespace fairbench {
@@ -14,7 +14,11 @@ namespace fairbench {
 ///
 /// Sized for the workloads in this library: feature matrices with tens of
 /// thousands of rows and tens of columns, and small square systems (Newton
-/// steps, LPs). Storage is contiguous; rows are addressed as spans.
+/// steps, LPs). Storage is contiguous and 64-byte aligned (the optimized
+/// kernels in linalg/kernels.h want cache-line-aligned panels); rows are
+/// addressed as spans. The product/Gemv members dispatch to those kernels —
+/// the seed's naive loops survive as the `linalg::ref` oracle they are
+/// differentially tested against.
 class Matrix {
  public:
   Matrix() = default;
@@ -72,13 +76,13 @@ class Matrix {
   /// Human-readable dump for debugging.
   std::string ToString(int precision = 4) const;
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const linalg::AlignedVector& data() const { return data_; }
+  linalg::AlignedVector& data() { return data_; }
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  linalg::AlignedVector data_;
 };
 
 }  // namespace fairbench

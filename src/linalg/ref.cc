@@ -1,0 +1,90 @@
+#include "linalg/ref.h"
+
+#include <cmath>
+
+namespace fairbench::linalg::ref {
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Gemv(const double* a, std::size_t rows, std::size_t cols,
+          const double* x, double* y) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+}
+
+void GemvT(const double* a, std::size_t rows, std::size_t cols,
+           const double* x, double* y) {
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void MatMul(const double* a, std::size_t m, std::size_t k, const double* b,
+            std::size_t n, double* c) {
+  for (std::size_t i = 0; i < m * n; ++i) c[i] = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = a[r * k + kk];
+      if (av == 0.0) continue;
+      const double* brow = b + kk * n;
+      double* crow = c + r * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
+                  const double* w, double* out) {
+  for (std::size_t i = 0; i < cols * cols; ++i) out[i] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    const double* row = a + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double wi = wr * row[i];
+      if (wi == 0.0) continue;
+      double* orow = out + i * cols;
+      for (std::size_t j = i; j < cols; ++j) orow[j] += wi * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out[i * cols + j] = out[j * cols + i];
+  }
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void GemvBiasSigmoid(const double* a, std::size_t rows, std::size_t cols,
+                     const double* theta, double* p) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double z = theta[0];
+    for (std::size_t c = 0; c < cols; ++c) z += theta[1 + c] * row[c];
+    p[r] = Sigmoid(z);
+  }
+}
+
+}  // namespace fairbench::linalg::ref

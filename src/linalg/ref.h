@@ -1,0 +1,58 @@
+#ifndef FAIRBENCH_LINALG_REF_H_
+#define FAIRBENCH_LINALG_REF_H_
+
+#include <cstddef>
+
+namespace fairbench::linalg::ref {
+
+/// Reference kernels: the seed's naive loops, kept verbatim as the
+/// correctness oracle for the optimized kernels in linalg/kernels.h.
+///
+/// These are always compiled. tests/linalg/kernel_differential_test.cc
+/// drives every optimized kernel against this namespace over randomized
+/// shapes and values (including empty, degenerate, and ill-scaled inputs)
+/// and enforces the floating-point agreement contract documented in
+/// DESIGN.md: reassociation-only differences, bounded by
+/// `kTolFactor * n_terms * eps * sum_i |a_i * b_i|` per accumulated output.
+///
+/// Raw-pointer interfaces so the same oracle serves Vector
+/// (std::vector<double>) and Matrix (64-byte-aligned storage) callers.
+/// All matrices are dense row-major.
+
+/// Sum a[i] * b[i], strict left-to-right accumulation.
+double Dot(const double* a, const double* b, std::size_t n);
+
+/// y[i] += alpha * x[i].
+void Axpy(double alpha, const double* x, double* y, std::size_t n);
+
+/// y = A x for row-major A (rows x cols). y is overwritten.
+void Gemv(const double* a, std::size_t rows, std::size_t cols,
+          const double* x, double* y);
+
+/// y = A^T x for row-major A (rows x cols); y has `cols` entries and is
+/// overwritten. Mirrors the seed's row-skipping accumulation.
+void GemvT(const double* a, std::size_t rows, std::size_t cols,
+           const double* x, double* y);
+
+/// C = A B with A (m x k), B (k x n), C (m x n), all row-major. C is
+/// overwritten. Mirrors the seed's i-k-j loop with the zero-skip on A.
+void MatMul(const double* a, std::size_t m, std::size_t k, const double* b,
+            std::size_t n, double* c);
+
+/// out = A^T diag(w) A with A (rows x cols), w (rows), out (cols x cols,
+/// overwritten, symmetric). Mirrors the seed's upper-triangle accumulation
+/// with zero-skips, then the mirror copy.
+void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
+                  const double* w, double* out);
+
+/// Numerically stable logistic sigmoid (the seed LogisticRegression form).
+double Sigmoid(double z);
+
+/// p[i] = Sigmoid(theta[0] + sum_j A(i,j) * theta[1 + j]): the fused
+/// logistic-loss forward pass. theta has cols + 1 entries (bias first).
+void GemvBiasSigmoid(const double* a, std::size_t rows, std::size_t cols,
+                     const double* theta, double* p);
+
+}  // namespace fairbench::linalg::ref
+
+#endif  // FAIRBENCH_LINALG_REF_H_

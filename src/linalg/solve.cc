@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "linalg/kernels.h"
 
 namespace fairbench {
 
@@ -11,12 +12,12 @@ Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
   if (a.cols() != n || b.size() != n) {
     return Status::InvalidArgument("CholeskySolve: shape mismatch");
   }
-  // Factor A = L L^T in place of a copy.
+  // Factor A = L L^T in place of a copy. The inner products over row
+  // prefixes are the hot loops; they run on the optimized Dot kernel.
   Matrix l(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      double s = a(i, j) - linalg::Dot(l.Row(i), l.Row(j), j);
       if (i == j) {
         if (s <= 0.0 || !std::isfinite(s)) {
           return Status::FailedPrecondition(
@@ -31,8 +32,7 @@ Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
   // Forward substitution L y = b.
   Vector y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    const double s = b[i] - linalg::Dot(l.Row(i), y.data(), i);
     y[i] = s / l(i, i);
   }
   // Back substitution L^T x = y.
@@ -76,21 +76,21 @@ Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
     for (std::size_t r = col + 1; r < n; ++r) {
       const double f = lu(r, col) / lu(col, col);
       lu(r, col) = f;
-      for (std::size_t c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+      // Trailing-row update: an Axpy on the optimized kernel.
+      linalg::Axpy(-f, lu.Row(col) + col + 1, lu.Row(r) + col + 1,
+                   n - col - 1);
     }
   }
   // Solve L y = P b, then U x = y.
   Vector y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[perm[i]];
-    for (std::size_t k = 0; k < i; ++k) s -= lu(i, k) * y[k];
-    y[i] = s;
+    y[i] = b[perm[i]] - linalg::Dot(lu.Row(i), y.data(), i);
   }
   Vector x(n, 0.0);
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
-    double s = y[i];
-    for (std::size_t k = i + 1; k < n; ++k) s -= lu(i, k) * x[k];
+    const double s =
+        y[i] - linalg::Dot(lu.Row(i) + i + 1, x.data() + i + 1, n - i - 1);
     x[i] = s / lu(i, i);
   }
   return x;

@@ -2,20 +2,18 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
+
 namespace fairbench {
 
 double Dot(const Vector& a, const Vector& b) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return linalg::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const Vector& a) { return std::sqrt(SquaredNorm2(a)); }
 
 double SquaredNorm2(const Vector& a) {
-  double s = 0.0;
-  for (double v : a) s += v * v;
-  return s;
+  return linalg::Dot(a.data(), a.data(), a.size());
 }
 
 double Norm1(const Vector& a) {
@@ -31,7 +29,7 @@ double NormInf(const Vector& a) {
 }
 
 void Axpy(double alpha, const Vector& x, Vector* y) {
-  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  linalg::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 void Scale(double alpha, Vector* x) {

@@ -8,7 +8,10 @@ namespace fairbench {
 
 /// Dense double vector. FairBench uses plain std::vector<double> as the
 /// vector representation; this header provides the BLAS-level-1 operations
-/// the optimizers and classifiers need.
+/// the optimizers and classifiers need. Dot/Axpy/SquaredNorm2 dispatch to
+/// the optimized kernels in linalg/kernels.h (differentially tested against
+/// the naive linalg::ref oracle); for runtime-shaped inputs use the
+/// Status-propagating variants in linalg/checked.h.
 using Vector = std::vector<double>;
 
 /// Dot product. Requires a.size() == b.size().

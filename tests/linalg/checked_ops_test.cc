@@ -1,0 +1,106 @@
+// Dimension-mismatch contracts for the checked kernel entry points
+// (linalg/checked.h): every mismatch is InvalidArgument, and on matching
+// shapes the checked variants agree with the raw kernels they wrap.
+
+#include <gtest/gtest.h>
+
+#include "linalg/checked.h"
+
+namespace fairbench {
+namespace {
+
+TEST(CheckedOpsTest, DotMismatchIsInvalidArgument) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {1.0, 2.0};
+  EXPECT_EQ(CheckedDot(a, b).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedDot(b, a).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedDot(a, {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedOpsTest, DotMatchesUnchecked) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, 5.0, 6.0};
+  const Result<double> r = CheckedDot(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, Dot(a, b));
+  // Empty-empty is a valid zero-sized product.
+  EXPECT_DOUBLE_EQ(CheckedDot({}, {}).value(), 0.0);
+}
+
+TEST(CheckedOpsTest, AxpyMismatchIsInvalidArgument) {
+  const Vector x = {1.0, 2.0};
+  Vector y = {1.0, 2.0, 3.0};
+  const Vector y_before = y;
+  EXPECT_EQ(CheckedAxpy(2.0, x, &y).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(y, y_before);  // untouched on failure
+}
+
+TEST(CheckedOpsTest, AxpyMatchesUnchecked) {
+  const Vector x = {1.0, -1.0, 0.5};
+  Vector y = {0.0, 1.0, 2.0};
+  Vector expected = y;
+  Axpy(3.0, x, &expected);
+  ASSERT_TRUE(CheckedAxpy(3.0, x, &y).ok());
+  EXPECT_EQ(y, expected);
+}
+
+TEST(CheckedOpsTest, GemvMismatchIsInvalidArgument) {
+  const Matrix a(3, 2, 1.0);
+  EXPECT_EQ(CheckedGemv(a, {1.0, 2.0, 3.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckedGemv(a, {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedOpsTest, GemvMatchesMatVec) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x = {1.0, -1.0};
+  const Result<Vector> r = CheckedGemv(a, x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, a.MatVec(x));
+}
+
+TEST(CheckedOpsTest, GemvTMismatchIsInvalidArgument) {
+  const Matrix a(3, 2, 1.0);
+  EXPECT_EQ(CheckedGemvT(a, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedOpsTest, GemvTMatchesTransposedMatVec) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x = {1.0, 0.0, -1.0};
+  const Result<Vector> r = CheckedGemvT(a, x);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, a.TransposedMatVec(x));
+}
+
+TEST(CheckedOpsTest, MatMulMismatchIsInvalidArgument) {
+  const Matrix a(2, 3, 1.0);
+  const Matrix b(2, 3, 1.0);  // needs 3 rows
+  EXPECT_EQ(CheckedMatMul(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedOpsTest, MatMulMatchesUnchecked) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Result<Matrix> r = CheckedMatMul(a, b);
+  ASSERT_TRUE(r.ok());
+  const Matrix expected = a.MatMul(b);
+  ASSERT_EQ(r->rows(), expected.rows());
+  ASSERT_EQ(r->cols(), expected.cols());
+  for (std::size_t i = 0; i < expected.rows(); ++i) {
+    for (std::size_t j = 0; j < expected.cols(); ++j) {
+      EXPECT_DOUBLE_EQ((*r)(i, j), expected(i, j));
+    }
+  }
+}
+
+TEST(CheckedOpsTest, EmptyShapesRoundTrip) {
+  const Matrix a(0, 0);
+  EXPECT_TRUE(CheckedGemv(a, {}).ok());
+  EXPECT_TRUE(CheckedGemvT(a, {}).ok());
+  EXPECT_TRUE(CheckedMatMul(a, a).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,308 @@
+// Differential verification of the optimized linalg kernels against the
+// linalg::ref oracle (the seed's naive loops, see linalg/ref.h).
+//
+// Property harness: a seeded xoshiro256++ generator drives randomized
+// shapes (empty, 1xN, Nx1, non-square, tail sizes around the unroll and
+// blocking widths) and values (uniform, sparse-with-zeros, and ill-scaled
+// magnitudes up to 1e+/-150) through every kernel pair, >= 1000 cases per
+// kernel.
+//
+// Agreement contract (documented in DESIGN.md "Linalg kernels"): optimized
+// and reference kernels may differ only by floating-point reassociation.
+// For an output accumulated from `terms` products whose absolute sum is
+// `scale`, both implementations carry error <= terms * eps * scale, so the
+// harness enforces
+//
+//     |opt - ref| <= 4 * terms * eps * scale + 1e-300
+//
+// (factor 4 = both sides' bounds plus margin; the absolute floor covers
+// scale == 0). Inputs are bounded so no intermediate partial sum can
+// overflow: per-term magnitudes stay below 1e300 and case sizes below 2^9,
+// keeping every partial sum finite in either summation order.
+//
+// The file ends with the end-to-end pin: RunExperiment's formatted table
+// must stay byte-identical to the seed golden fixture under
+// tests/golden/ (regenerate only deliberately, via tools/make_golden).
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/experiment.h"
+#include "linalg/kernels.h"
+#include "linalg/ref.h"
+#include "obs/metrics.h"
+
+namespace fairbench {
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+constexpr int kCasesPerKernel = 1200;
+
+double AccBound(std::size_t terms, double scale) {
+  return 4.0 * static_cast<double>(std::max<std::size_t>(terms, 1)) * kEps *
+             scale +
+         1e-300;
+}
+
+/// One random value. Modes: dense uniform, sparse (30% exact zeros), and
+/// ill-scaled log-uniform magnitudes in [1e-max_exp, 1e+max_exp].
+double RandomValue(Rng& rng, int mode, double max_exp) {
+  const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  switch (mode) {
+    case 0:
+      return rng.Uniform(-1.0, 1.0);
+    case 1:
+      return rng.Bernoulli(0.3) ? 0.0 : rng.Uniform(-1.0, 1.0);
+    default:
+      return sign * std::pow(10.0, rng.Uniform(-max_exp, max_exp));
+  }
+}
+
+std::vector<double> RandomVector(Rng& rng, std::size_t n, double max_exp) {
+  const int mode = static_cast<int>(rng.UniformInt(3));
+  std::vector<double> out(n);
+  for (double& v : out) v = RandomValue(rng, mode, max_exp);
+  return out;
+}
+
+/// Random dimension, biased toward the unroll/blocking boundary cases the
+/// kernels special-case: 0, 1, the 4-wide unroll tail, the 8-wide GEMM
+/// tile tail, and the occasional triple-digit size.
+std::size_t RandomDim(Rng& rng) {
+  switch (rng.UniformInt(6)) {
+    case 0:
+      return rng.UniformInt(2);  // 0 or 1
+    case 1:
+      return 2 + rng.UniformInt(6);  // 2..7: inside one unroll step
+    case 2:
+      return 8 + rng.UniformInt(9);  // around the 8-wide GEMM tile
+    case 3:
+      return 1 + rng.UniformInt(64);
+    case 4:
+      return 64 + rng.UniformInt(64);
+    default:
+      return 128 + rng.UniformInt(128);
+  }
+}
+
+TEST(KernelDifferentialTest, Dot) {
+  Rng rng(101);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t n = RandomDim(rng);
+    const std::vector<double> a = RandomVector(rng, n, 150.0);
+    const std::vector<double> b = RandomVector(rng, n, 150.0);
+    const double ref = linalg::ref::Dot(a.data(), b.data(), n);
+    const double opt = linalg::Dot(a.data(), b.data(), n);
+    double scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) scale += std::fabs(a[i] * b[i]);
+    ASSERT_LE(std::fabs(opt - ref), AccBound(n, scale))
+        << "case " << c << " n=" << n << " ref=" << ref << " opt=" << opt;
+  }
+}
+
+TEST(KernelDifferentialTest, Axpy) {
+  Rng rng(202);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t n = RandomDim(rng);
+    const double alpha = RandomValue(rng, static_cast<int>(rng.UniformInt(3)),
+                                    100.0);
+    const std::vector<double> x = RandomVector(rng, n, 150.0);
+    const std::vector<double> y0 = RandomVector(rng, n, 150.0);
+    std::vector<double> yr = y0;
+    std::vector<double> yo = y0;
+    linalg::ref::Axpy(alpha, x.data(), yr.data(), n);
+    linalg::Axpy(alpha, x.data(), yo.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale = std::fabs(alpha * x[i]) + std::fabs(y0[i]);
+      ASSERT_LE(std::fabs(yo[i] - yr[i]), AccBound(1, scale))
+          << "case " << c << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, Gemv) {
+  Rng rng(303);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const std::vector<double> a = RandomVector(rng, rows * cols, 150.0);
+    const std::vector<double> x = RandomVector(rng, cols, 150.0);
+    std::vector<double> yr(rows, -1.0);
+    std::vector<double> yo(rows, -2.0);
+    linalg::ref::Gemv(a.data(), rows, cols, x.data(), yr.data());
+    linalg::Gemv(a.data(), rows, cols, x.data(), yo.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      double scale = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        scale += std::fabs(a[r * cols + j] * x[j]);
+      }
+      ASSERT_LE(std::fabs(yo[r] - yr[r]), AccBound(cols, scale))
+          << "case " << c << " shape " << rows << "x" << cols << " row " << r;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, GemvT) {
+  Rng rng(404);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const std::vector<double> a = RandomVector(rng, rows * cols, 150.0);
+    const std::vector<double> x = RandomVector(rng, rows, 150.0);
+    std::vector<double> yr(cols, -1.0);
+    std::vector<double> yo(cols, -2.0);
+    linalg::ref::GemvT(a.data(), rows, cols, x.data(), yr.data());
+    linalg::GemvT(a.data(), rows, cols, x.data(), yo.data());
+    for (std::size_t j = 0; j < cols; ++j) {
+      double scale = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        scale += std::fabs(a[r * cols + j] * x[r]);
+      }
+      ASSERT_LE(std::fabs(yo[j] - yr[j]), AccBound(rows, scale))
+          << "case " << c << " shape " << rows << "x" << cols << " col " << j;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, MatMul) {
+  Rng rng(505);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    // Bias m toward the 4-row block and occasionally exceed the k block
+    // (256) so the packed-panel loop runs more than once.
+    const std::size_t m = RandomDim(rng);
+    const std::size_t k = (c % 17 == 0) ? 256 + rng.UniformInt(64)
+                                        : RandomDim(rng) % 96;
+    const std::size_t n = RandomDim(rng) % 96;
+    const std::vector<double> a = RandomVector(rng, m * k, 150.0);
+    const std::vector<double> b = RandomVector(rng, k * n, 150.0);
+    std::vector<double> cr(m * n, -1.0);
+    std::vector<double> co(m * n, -2.0);
+    linalg::ref::MatMul(a.data(), m, k, b.data(), n, cr.data());
+    linalg::MatMul(a.data(), m, k, b.data(), n, co.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double scale = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          scale += std::fabs(a[i * k + kk] * b[kk * n + j]);
+        }
+        ASSERT_LE(std::fabs(co[i * n + j] - cr[i * n + j]),
+                  AccBound(k, scale))
+            << "case " << c << " " << m << "x" << k << "x" << n << " at ("
+            << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, WeightedGram) {
+  Rng rng(606);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t rows = RandomDim(rng) % 64;
+    const std::size_t cols = RandomDim(rng) % 48;
+    // Triple products w * a_i * a_j: cap magnitudes at 1e75 so no term
+    // exceeds ~1e225 and partial sums stay finite.
+    const std::vector<double> a = RandomVector(rng, rows * cols, 75.0);
+    const std::vector<double> w = RandomVector(rng, rows, 75.0);
+    std::vector<double> gr(cols * cols, -1.0);
+    std::vector<double> go(cols * cols, -2.0);
+    linalg::ref::WeightedGram(a.data(), rows, cols, w.data(), gr.data());
+    linalg::WeightedGram(a.data(), rows, cols, w.data(), go.data());
+    for (std::size_t i = 0; i < cols; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        double scale = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) {
+          scale += std::fabs(w[r] * a[r * cols + i] * a[r * cols + j]);
+        }
+        ASSERT_LE(std::fabs(go[i * cols + j] - gr[i * cols + j]),
+                  AccBound(rows, scale))
+            << "case " << c << " " << rows << "x" << cols << " at (" << i
+            << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, GemvBiasSigmoid) {
+  Rng rng(707);
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng) % 128;
+    // Moderate magnitudes: the interesting regime is |z| within the exp
+    // range; saturated sigmoids agree exactly anyway.
+    const std::vector<double> a = RandomVector(rng, rows * cols, 3.0);
+    const std::vector<double> theta = RandomVector(rng, cols + 1, 3.0);
+    std::vector<double> pr(rows, -1.0);
+    std::vector<double> po(rows, -2.0);
+    linalg::ref::GemvBiasSigmoid(a.data(), rows, cols, theta.data(),
+                                 pr.data());
+    linalg::GemvBiasSigmoid(a.data(), rows, cols, theta.data(), po.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      double scale = std::fabs(theta[0]);
+      for (std::size_t j = 0; j < cols; ++j) {
+        scale += std::fabs(a[r * cols + j] * theta[1 + j]);
+      }
+      // Sigmoid is 1/4-Lipschitz, so a z-difference within the
+      // accumulation bound shifts p by at most a quarter of it (plus one
+      // rounding of the sigmoid evaluation itself).
+      const double bound = 0.25 * AccBound(cols + 1, scale) + 4.0 * kEps;
+      ASSERT_LE(std::fabs(po[r] - pr[r]), bound)
+          << "case " << c << " shape " << rows << "x" << cols << " row " << r;
+    }
+  }
+}
+
+#if FAIRBENCH_OBS_ENABLED
+TEST(KernelDifferentialTest, KernelsRecordCallAndFlopCounters) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::SetMetricsEnabled(true);
+  reg.ResetAll();
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b = {5.0, 4.0, 3.0, 2.0, 1.0};
+  (void)linalg::Dot(a.data(), b.data(), a.size());
+  std::vector<double> c(4, 0.0);
+  linalg::MatMul(a.data(), 2, 2, b.data(), 2, c.data());
+  obs::SetMetricsEnabled(false);
+  EXPECT_EQ(reg.GetCounter("linalg.dot.calls").value(), 1u);
+  EXPECT_EQ(reg.GetCounter("linalg.dot.flops").value(), 10u);
+  EXPECT_EQ(reg.GetCounter("linalg.matmul.calls").value(), 1u);
+  EXPECT_EQ(reg.GetCounter("linalg.matmul.flops").value(), 16u);
+  reg.ResetAll();
+}
+#endif  // FAIRBENCH_OBS_ENABLED
+
+// End-to-end pin: the optimized kernels must not move any reported metric.
+// The fixture was generated from the seed (naive-kernel) build by
+// tools/make_golden; the scenario here must stay in sync with that tool.
+TEST(KernelDifferentialTest, ExperimentTableMatchesSeedGolden) {
+  std::ifstream in(std::string(FAIRBENCH_GOLDEN_DIR) +
+                       "/experiment_german_s5.txt",
+                   std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden fixture; run tools/make_golden";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  const Dataset data = GenerateGerman(600, 5).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 5);
+  ExperimentOptions options;
+  options.seed = 42;
+  options.threads = 1;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  Result<ExperimentResult> result = RunExperiment(
+      data, ctx, {"lr", "kamcal", "hardt", "zafar_dp_fair"}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(golden.str(), FormatExperimentTable(*result))
+      << "experiment output drifted from the seed golden; if intentional, "
+         "regenerate with tools/make_golden and justify in the PR";
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,129 @@
+// Edge-case contracts for the dense solvers: degenerate inputs must come
+// back as error Status, never as a silently NaN/Inf "solution".
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/solve.h"
+
+namespace fairbench {
+namespace {
+
+bool AllFinite(const Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+TEST(SolveEdgeTest, CholeskyRejectsIndefinite) {
+  // Symmetric but indefinite (one negative eigenvalue).
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};
+  const Result<Vector> r = CholeskySolve(a, {1.0, 1.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, CholeskyRejectsNegativeDefinite) {
+  const Matrix a = {{-4.0, 0.0}, {0.0, -9.0}};
+  const Result<Vector> r = CholeskySolve(a, {1.0, 2.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, CholeskyRejectsSingular) {
+  // Rank-1 Gram matrix: [1 1; 1 1].
+  const Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  const Result<Vector> r = CholeskySolve(a, {1.0, 1.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, CholeskyRejectsNonFiniteInput) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const Matrix a = {{1.0, 0.0}, {0.0, inf}};
+  const Matrix nan_a = {{std::nan(""), 0.0}, {0.0, 1.0}};
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+  EXPECT_FALSE(CholeskySolve(nan_a, {1.0, 1.0}).ok());
+}
+
+TEST(SolveEdgeTest, CholeskyRejectsShapeMismatch) {
+  const Matrix a = {{4.0, 0.0}, {0.0, 4.0}};
+  EXPECT_EQ(CholeskySolve(a, {1.0, 2.0, 3.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  const Matrix rect(2, 3, 1.0);
+  EXPECT_EQ(CholeskySolve(rect, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveEdgeTest, LuRejectsRankDeficient) {
+  // Row 2 = 2 * row 0: rank 2 out of 3.
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {2.0, 4.0, 6.0}};
+  const Result<Vector> r = LuSolve(a, {1.0, 2.0, 3.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, LuRejectsZeroMatrix) {
+  const Matrix a(3, 3, 0.0);
+  const Result<Vector> r = LuSolve(a, {1.0, 2.0, 3.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, LuRejectsShapeMismatch) {
+  const Matrix a = Matrix::Identity(3);
+  EXPECT_EQ(LuSolve(a, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveEdgeTest, LuSolvesWellConditionedExactly) {
+  // Sanity: a permutation-needing system still solves to high accuracy.
+  const Matrix a = {{0.0, 2.0, 1.0}, {1.0, 1.0, 0.0}, {3.0, 0.0, 1.0}};
+  const Vector x_true = {1.0, -2.0, 3.0};
+  const Vector b = a.MatVec(x_true);
+  const Result<Vector> r = LuSolve(a, b);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(AllFinite(*r));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR((*r)[i], x_true[i], 1e-12);
+}
+
+TEST(SolveEdgeTest, LeastSquaresUnderdeterminedWithoutRidgeFails) {
+  // 2 equations, 3 unknowns: A^T A is singular; with ridge disabled the
+  // normal-equation solve must report FailedPrecondition, not NaN.
+  const Matrix a = {{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+  const Result<Vector> r = LeastSquares(a, {1.0, 2.0}, /*ridge=*/0.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, LeastSquaresUnderdeterminedWithRidgeIsFinite) {
+  const Matrix a = {{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+  const Vector b = {1.0, 2.0};
+  const Result<Vector> r = LeastSquares(a, b);  // default ridge > 0
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(AllFinite(*r));
+  // The ridge solution still reproduces b nearly exactly (the system is
+  // consistent).
+  const Vector fitted = a.MatVec(*r);
+  EXPECT_NEAR(fitted[0], b[0], 1e-6);
+  EXPECT_NEAR(fitted[1], b[1], 1e-6);
+}
+
+TEST(SolveEdgeTest, LeastSquaresCollinearColumnsWithoutRidgeFails) {
+  // Duplicate column: A^T A rank-deficient on an overdetermined system.
+  const Matrix a = {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const Result<Vector> r = LeastSquares(a, {1.0, 2.0, 3.0}, /*ridge=*/0.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveEdgeTest, LeastSquaresRejectsShapeMismatch) {
+  const Matrix a(4, 2, 1.0);
+  EXPECT_EQ(LeastSquares(a, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairbench

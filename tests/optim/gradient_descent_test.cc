@@ -102,5 +102,26 @@ TEST(PenaltyTest, InactiveConstraintDoesNotBind) {
   EXPECT_LT(r.grad_norm, 1e-6);
 }
 
+// Fixed-seed convergence-trajectory pin. The solver runs on the optimized
+// linalg kernels (Axpy trial steps, reassociated SquaredNorm2 in the
+// Armijo test), so a kernel regression surfaces here as a solver diff —
+// iteration count, backtrack count, final loss, and gradient norm are all
+// pinned to the values recorded on the reference toolchain. If a
+// *deliberate* kernel change shifts the trajectory, re-record these
+// constants and call the change out in the PR.
+TEST(GradientDescentTest, RosenbrockTrajectoryPin) {
+  GradientDescentOptions options;
+  options.max_iterations = 5000;
+  const OptimResult r = MinimizeGradientDescent(Rosenbrock(), {-1.2, 1.0},
+                                                options);
+  EXPECT_EQ(r.iterations, 5000);
+  EXPECT_EQ(r.backtracks, 5008);
+  EXPECT_FALSE(r.converged);
+  EXPECT_NEAR(r.value, 8.2947871226776351e-06, 1e-15);
+  EXPECT_NEAR(r.grad_norm, 0.005479004451469649, 1e-12);
+  EXPECT_NEAR(r.x[0], 0.99713299138504441, 1e-12);
+  EXPECT_NEAR(r.x[1], 0.99424680748622973, 1e-12);
+}
+
 }  // namespace
 }  // namespace fairbench

@@ -90,5 +90,46 @@ TEST(LbfgsTest, LogisticLossOnSeparableData) {
   EXPECT_GT(r.x[0], 1.0);
 }
 
+// Fixed-seed convergence-trajectory pins. The two-loop recursion is pure
+// Dot/Axpy/Scale on the optimized kernels, so a kernel regression shows
+// up here as a changed iteration/backtrack count or final loss rather
+// than only as a micro-bench diff. Re-record deliberately (see
+// gradient_descent_test.cc) if a kernel change is intentional.
+TEST(LbfgsTest, RosenbrockTrajectoryPin) {
+  Objective rosenbrock = [](const Vector& x, Vector* grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    (*grad)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*grad)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions options;
+  options.max_iterations = 500;
+  const OptimResult r = MinimizeLbfgs(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_EQ(r.iterations, 35);
+  EXPECT_EQ(r.backtracks, 27);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 3.6028268547955793e-25, 1e-30);
+  EXPECT_NEAR(r.grad_norm, 9.1255891732044114e-12, 1e-17);
+}
+
+TEST(LbfgsTest, ScaledQuadraticTrajectoryPin) {
+  Objective quadratic = [](const Vector& x, Vector* grad) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double c = static_cast<double>(i + 1);
+      (*grad)[i] = 2.0 * c * x[i];
+      v += c * x[i] * x[i];
+    }
+    return v;
+  };
+  const OptimResult r = MinimizeLbfgs(quadratic, Vector(10, 5.0));
+  EXPECT_EQ(r.iterations, 23);
+  EXPECT_EQ(r.backtracks, 6);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 2.488151465292507e-16, 1e-21);
+  EXPECT_NEAR(r.grad_norm, 5.7350917013784533e-08, 1e-13);
+}
+
 }  // namespace
 }  // namespace fairbench

@@ -8,8 +8,14 @@
 # Stage 3: Observability artifact check: a small bench run with
 #          --trace/--metrics/--manifest must produce loadable Chrome trace
 #          JSON with the expected spans and optim.* solver counters.
-# Stage 4: -DFAIRBENCH_OBS=OFF compile check: every instrumentation macro
-#          must vanish cleanly (library + benches + tools still build).
+# Stage 4: ASan+UBSan build of the linalg kernel suites and the optim
+#          suites — the unrolled/blocked kernels and their hottest callers —
+#          to catch out-of-bounds panel indexing and UB under the same
+#          randomized differential workload the plain build runs.
+# Stage 5: -DFAIRBENCH_OBS=OFF compile check: every instrumentation macro
+#          must vanish cleanly (library + benches + tools still build), and
+#          the kernel differential harness must still pass with the
+#          obs counters compiled out.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -53,9 +59,22 @@ grep -q '^optim\.' "${OBS_DIR}/metrics.csv" \
     || { echo "no optim.* solver metrics in metrics.csv"; exit 1; }
 echo "metrics ok: $(grep -c '^optim\.' "${OBS_DIR}/metrics.csv") optim rows"
 
-echo "==> Stage 4: FAIRBENCH_OBS=OFF compile check"
+echo "==> Stage 4: ASan+UBSan build + linalg/optim kernel suites"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFAIRBENCH_SANITIZE=address+undefined >/dev/null
+cmake --build build-asan -j "${JOBS}"
+# halt_on_error: any ASan report or UBSan diagnostic fails the run.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'kernel_differential_test|checked_ops_test|solve_edge_test|matrix_test|vector_ops_test|solve_test|gradient_descent_test|lbfgs_test|nmf_test|simplex_lp_test|maxsat_test'
+
+echo "==> Stage 5: FAIRBENCH_OBS=OFF compile check + kernel differential run"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
       -DFAIRBENCH_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "${JOBS}"
+# The optimized-vs-ref contract must hold with the counters compiled out
+# (the kernels' arithmetic must not depend on the obs macro expansion).
+ctest --test-dir build-obs-off --output-on-failure \
+    -R 'kernel_differential_test'
 
 echo "==> CI passed"

@@ -1,0 +1,66 @@
+// Regenerates the checked-in golden fixtures under tests/golden/.
+//
+// The kernel-differential harness (tests/linalg/kernel_differential_test.cc)
+// pins RunExperiment's formatted table byte-for-byte against these fixtures
+// so that a numerical regression in the optimized linalg kernels shows up as
+// an end-to-end experiment diff, not just a micro-bench diff. The fixtures
+// were first generated from the seed (pre-optimization) kernels; regenerate
+// only when an intentional behavior change is being made, and say so in the
+// commit message.
+//
+// Usage: make_golden <output-dir>   (typically tests/golden)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace fairbench {
+namespace {
+
+// Mirrors the scenario in kernel_differential_test.cc: German 600 rows,
+// one approach per stage, serial execution, the cheap CD settings the
+// determinism tests use.
+ExperimentOptions GoldenOptions() {
+  ExperimentOptions options;
+  options.seed = 42;
+  options.threads = 1;
+  options.cd.confidence = 0.9;
+  options.cd.error_bound = 0.1;
+  return options;
+}
+
+int Run(const std::string& out_dir) {
+  const Dataset data = GenerateGerman(600, 5).value();
+  const FairContext ctx = MakeContext(GermanConfig(), 5);
+  const std::vector<std::string> ids = {"lr", "kamcal", "hardt",
+                                        "zafar_dp_fair"};
+  Result<ExperimentResult> result =
+      RunExperiment(data, ctx, ids, GoldenOptions());
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunExperiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path = out_dir + "/experiment_german_s5.txt";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << FormatExperimentTable(*result);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairbench
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  return fairbench::Run(argv[1]);
+}

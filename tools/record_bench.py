@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON from bench/micro_kernels into BENCH_kernels.json.
+
+Usage:
+    bench/micro_kernels --benchmark_repetitions=5 \
+        --benchmark_report_aggregates_only=true \
+        --benchmark_format=json > raw.json
+    tools/record_bench.py raw.json > BENCH_kernels.json
+
+Keeps the median aggregate per benchmark (ns/op and GFLOP/s) and pairs each
+optimized kernel with its linalg::ref oracle to report the speedup. Runs
+without aggregates (no _median suffix) are accepted too.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+
+    rows = {}
+    for b in raw["benchmarks"]:
+        name = b["name"]
+        if "_" in name and b.get("aggregate_name", "") not in ("", "median"):
+            continue
+        name = name.removesuffix("_median")
+        rows[name] = {
+            "ns_per_op": round(b["real_time"], 1),
+            "gflops": round(b.get("FLOPS", 0.0) / 1e9, 3),
+        }
+
+    out = {
+        "source": "bench/micro_kernels",
+        "context": {
+            k: raw.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        },
+        "kernels": [],
+    }
+    for name in sorted(rows):
+        if "Ref" not in name:
+            continue
+        opt_name = name.replace("Ref", "Opt", 1)
+        entry = {
+            "bench": name.replace("Ref", "", 1).removeprefix("BM_"),
+            "ref": rows[name],
+        }
+        if opt_name in rows:
+            entry["opt"] = rows[opt_name]
+            if rows[opt_name]["ns_per_op"] > 0:
+                entry["speedup"] = round(
+                    rows[name]["ns_per_op"] / rows[opt_name]["ns_per_op"], 2
+                )
+        out["kernels"].append(entry)
+
+    json.dump(out, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
