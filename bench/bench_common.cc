@@ -96,12 +96,7 @@ BenchArgs ParseArgs(int argc, char** argv) {
       }
       args.seed = static_cast<uint64_t>(v);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      long long v = 0;
-      if (!ParseInt(argv[++i], &v) || v < 0) {
-        std::fprintf(stderr, "bad --jobs value\n");
-        std::exit(2);
-      }
-      args.jobs = static_cast<std::size_t>(v);
+      args.jobs = ParsePositiveCount("--jobs", argv[++i]);
     } else if (std::strcmp(argv[i], "--no-cd") == 0) {
       args.compute_cd = false;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -121,6 +116,18 @@ BenchArgs ParseArgs(int argc, char** argv) {
   }
   SetUpObservability(args, argc > 0 ? argv[0] : "bench");
   return args;
+}
+
+std::size_t ParsePositiveCount(const char* flag, const char* text) {
+  long long v = 0;
+  if (!ParseInt(text, &v) || v <= 0) {
+    std::fprintf(stderr,
+                 "%s requires a positive integer, got '%s' (omit the flag "
+                 "for the automatic default)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
 }
 
 std::size_t ScaledRows(std::size_t paper_rows, double scale) {

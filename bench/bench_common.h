@@ -13,9 +13,10 @@ namespace fairbench::bench {
 ///                   whole `for b in build/bench/*` sweep stays minutes-scale;
 ///                   pass --scale 1 to reproduce the paper's full sizes)
 ///   --seed <n>      base RNG seed (default 42)
-///   --jobs <n>      worker threads for the parallel drivers (0 = hardware
-///                   concurrency, the default; 1 = exact serial path —
-///                   results are bit-identical either way, see src/exec)
+///   --jobs <n>      worker threads for the parallel drivers; must be a
+///                   positive integer (1 = exact serial path — results are
+///                   bit-identical at any count, see src/exec). Omit the
+///                   flag for the default of hardware concurrency.
 ///   --no-cd         skip the Causal Discrimination metric (it dominates
 ///                   evaluation time at full scale)
 ///   --trace <f>     record obs trace spans and write Chrome trace-event
@@ -43,6 +44,14 @@ struct BenchArgs {
 /// registers an atexit hook that writes the artifacts (so every harness
 /// gets them without per-main plumbing).
 BenchArgs ParseArgs(int argc, char** argv);
+
+/// Parses the value of a count-valued flag that must be a *strictly
+/// positive* integer (worker counts, repetition counts). Prints
+/// "<flag> requires a positive integer, got '<text>'" and exits(2) on 0,
+/// negative, or non-numeric input — "--jobs 0" used to be silently
+/// accepted as "auto", which hid typos; auto now requires *omitting* the
+/// flag. Shared by the bench harnesses and tools/profile.
+std::size_t ParsePositiveCount(const char* flag, const char* text);
 
 /// Row count for a dataset after applying the scale (minimum 300).
 std::size_t ScaledRows(std::size_t paper_rows, double scale);

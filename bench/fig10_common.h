@@ -32,8 +32,8 @@ inline int RunFig10(const PopulationConfig& config, int argc, char** argv,
   }
 
   ExperimentOptions options;
-  options.seed = args.seed;
-  options.threads = args.jobs;
+  options.run.seed = args.seed;
+  options.run.threads = args.jobs;
   options.compute_cd = args.compute_cd;
   const FairContext context = MakeContext(config, args.seed);
 

@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     StabilityOptions options;
-    options.seed = args.seed;
-    options.threads = args.jobs;
+    options.run.seed = args.seed;
+    options.run.threads = args.jobs;
     options.compute_cd = args.compute_cd;
     Result<std::vector<StabilityResult>> results =
         RunStability(data.value(), MakeContext(config, args.seed),

@@ -1,0 +1,196 @@
+// Serving-path throughput: requests/second through the ScoringService,
+// cold (cache miss: fit + score) vs warm (cache hit: score only), one
+// representative approach per pipeline stage.
+//
+//   serve_throughput [--scale f] [--seed n] [--jobs n]
+//                    [--reps n] [--warm n] [--json file]
+//
+//     --reps n   timing repetitions per approach (default 5; the JSON
+//                records every repetition so tools/record_bench.py can
+//                take the median — see the bench-noise policy in
+//                BENCH_kernels.json's provenance)
+//     --warm n   warm requests timed per repetition (default 20)
+//     --batch n  rows per scoring request (default 100, clamped to the
+//                test split — serving batches are much smaller than the
+//                training set, which is what makes the warm cache pay)
+//     --json f   write the raw per-repetition measurements to f;
+//                distill with: tools/record_bench.py f > BENCH_serve.json
+//
+// The human-readable table always goes to stdout.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "serve/scoring_service.h"
+
+using namespace fairbench;
+
+namespace {
+
+/// One stage-representative approach each, so the table spans the whole
+/// registry's serving behavior (including the serialized-scoring path the
+/// Feld transform forces) without benching all 19 entries.
+const std::vector<std::string> kApproaches = {"lr", "kamcal", "feld06",
+                                              "zafar_dp_fair", "hardt"};
+
+struct Repetition {
+  double cold_seconds = 0.0;  ///< One cache-miss request (fit + score).
+  double warm_seconds = 0.0;  ///< Per-request, averaged over --warm hits.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Local flags first; everything else goes through the shared parser.
+  std::size_t reps = 5;
+  std::size_t warm_requests = 20;
+  std::size_t batch_rows = 100;
+  std::string json_path;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = bench::ParsePositiveCount("--reps", argv[++i]);
+    } else if (std::strcmp(argv[i], "--warm") == 0 && i + 1 < argc) {
+      warm_requests = bench::ParsePositiveCount("--warm", argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_rows = bench::ParsePositiveCount("--batch", argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args =
+      bench::ParseArgs(static_cast<int>(rest.size()), rest.data());
+  bench::PrintBanner("Serving throughput: cold vs warm req/sec", args);
+
+  const PopulationConfig config = GermanConfig();
+  Result<Dataset> data = GeneratePopulation(
+      config, bench::ScaledRows(config.default_rows, args.scale), args.seed);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(args.seed);
+  SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  if (split.test.size() > batch_rows) split.test.resize(batch_rows);
+  Result<std::pair<Dataset, Dataset>> parts = MaterializeSplit(*data, split);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 parts.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& train = parts->first;
+  const Dataset& batch = parts->second;
+
+  serve::ScoringServiceOptions options;
+  options.run.seed = args.seed;
+  options.run.threads = args.jobs;
+  options.cache_capacity = kApproaches.size();
+  serve::ScoringService service(options);
+
+  std::printf("train=%zu rows, batch=%zu rows, reps=%zu, warm=%zu\n\n",
+              train.num_rows(), batch.num_rows(), reps, warm_requests);
+  std::printf("%-16s %14s %14s %14s %10s\n", "approach", "cold ms/req",
+              "warm ms/req", "warm req/s", "speedup");
+
+  std::vector<std::pair<std::string, std::vector<Repetition>>> measurements;
+  for (const std::string& id : kApproaches) {
+    serve::ScoreRequest request;
+    request.approach_id = id;
+    request.train = &train;
+    request.data = &batch;
+
+    std::vector<Repetition> runs;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Repetition r;
+      service.ClearCache();  // Force the cold path every repetition.
+      Timer cold;
+      Result<serve::ScoreResponse> miss = service.Score(request);
+      r.cold_seconds = cold.ElapsedSeconds();
+      if (!miss.ok() || miss->cache_hit) {
+        std::fprintf(stderr, "%s: cold request failed: %s\n", id.c_str(),
+                     miss.ok() ? "unexpected cache hit"
+                               : miss.status().ToString().c_str());
+        return 1;
+      }
+      Timer warm;
+      for (std::size_t w = 0; w < warm_requests; ++w) {
+        Result<serve::ScoreResponse> hit = service.Score(request);
+        if (!hit.ok() || !hit->cache_hit) {
+          std::fprintf(stderr, "%s: warm request failed: %s\n", id.c_str(),
+                       hit.ok() ? "unexpected cache miss"
+                                : hit.status().ToString().c_str());
+          return 1;
+        }
+      }
+      r.warm_seconds =
+          warm.ElapsedSeconds() / static_cast<double>(warm_requests);
+      runs.push_back(r);
+    }
+
+    // The table shows the median repetition (the same statistic
+    // record_bench.py persists); the JSON keeps every sample.
+    std::vector<Repetition> sorted = runs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Repetition& a, const Repetition& b) {
+                return a.cold_seconds < b.cold_seconds;
+              });
+    const double cold_med = sorted[sorted.size() / 2].cold_seconds;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Repetition& a, const Repetition& b) {
+                return a.warm_seconds < b.warm_seconds;
+              });
+    const double warm_med = sorted[sorted.size() / 2].warm_seconds;
+    std::printf("%-16s %13.3f  %13.4f  %13.1f  %8.1fx\n", id.c_str(),
+                cold_med * 1e3, warm_med * 1e3,
+                warm_med > 0.0 ? 1.0 / warm_med : 0.0,
+                warm_med > 0.0 ? cold_med / warm_med : 0.0);
+    measurements.emplace_back(id, std::move(runs));
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"source\": \"bench/serve_throughput\",\n"
+                 "  \"scale\": %g,\n  \"seed\": %llu,\n  \"jobs\": %zu,\n"
+                 "  \"train_rows\": %zu,\n  \"batch_rows\": %zu,\n"
+                 "  \"warm_requests_per_rep\": %zu,\n  \"approaches\": [\n",
+                 args.scale, static_cast<unsigned long long>(args.seed),
+                 args.jobs, train.num_rows(), batch.num_rows(),
+                 warm_requests);
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      std::fprintf(f, "    {\"id\": \"%s\", \"repetitions\": [\n",
+                   measurements[i].first.c_str());
+      const std::vector<Repetition>& runs = measurements[i].second;
+      for (std::size_t rep = 0; rep < runs.size(); ++rep) {
+        std::fprintf(f,
+                     "      {\"cold_seconds\": %.9f, "
+                     "\"warm_seconds_per_request\": %.9f}%s\n",
+                     runs[rep].cold_seconds, runs[rep].warm_seconds,
+                     rep + 1 < runs.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n",
+                   i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote raw measurements: %s\n", json_path.c_str());
+  }
+  return 0;
+}

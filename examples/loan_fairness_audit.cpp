@@ -27,7 +27,7 @@ int main() {
               100.0 * data->PositiveRateBySensitive(1));
 
   ExperimentOptions options;
-  options.seed = 33;
+  options.run.seed = 33;
   const FairContext context = MakeContext(config, 33);
   const std::vector<std::string> candidates = {"lr", "kamcal", "zafar_dp_fair",
                                                "kamkar"};

@@ -28,7 +28,7 @@ int main() {
   // 2. Evaluate the fairness-unaware baseline and one fair approach. The
   //    registry knows all 18 variants from the paper plus plain LR.
   ExperimentOptions options;
-  options.seed = 7;
+  options.run.seed = 7;
   const FairContext context = MakeContext(AdultConfig(), 7);
   Result<ExperimentResult> result =
       RunExperiment(data.value(), context, {"lr", "kamcal"}, options);

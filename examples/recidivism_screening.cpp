@@ -25,7 +25,7 @@ int main() {
               100.0 * data->PositiveRateBySensitive(1));
 
   ExperimentOptions options;
-  options.seed = 17;
+  options.run.seed = 17;
   const FairContext context = MakeContext(config, 17);
   Result<ExperimentResult> result =
       RunExperiment(data.value(), context, {"lr", "hardt"}, options);

@@ -1,6 +1,21 @@
 #include "classifiers/classifier.h"
 
+#include "common/string_util.h"
+#include "serve/artifact.h"
+
 namespace fairbench {
+
+Status Classifier::SaveState(ArtifactWriter* writer) const {
+  (void)writer;
+  return Status::Internal(
+      StrFormat("classifier '%s' does not implement SaveState", TypeName()));
+}
+
+Status Classifier::LoadState(ArtifactReader* reader) {
+  (void)reader;
+  return Status::Internal(
+      StrFormat("classifier '%s' does not implement LoadState", TypeName()));
+}
 
 Result<int> Classifier::Predict(const Vector& features, double threshold) const {
   FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProba(features));

@@ -10,6 +10,9 @@
 
 namespace fairbench {
 
+class ArtifactWriter;
+class ArtifactReader;
+
 /// Abstract binary classifier over dense encoded features.
 ///
 /// Implementations learn P(Y = 1 | x) from a design matrix produced by a
@@ -36,6 +39,20 @@ class Classifier {
 
   /// A fresh unfitted classifier of the same concrete type and options.
   virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Stable identifier of the concrete type ("logistic_regression", ...),
+  /// written into pipeline artifacts so that loading parameters into a
+  /// different model type fails cleanly instead of mis-parsing.
+  virtual const char* TypeName() const = 0;
+
+  /// Serializes the fitted parameters into `writer` (serve artifacts).
+  /// The default refuses — a classifier must opt into serialization by
+  /// overriding both hooks; all built-in classifiers do.
+  virtual Status SaveState(ArtifactWriter* writer) const;
+
+  /// Restores the parameters written by SaveState; on success the
+  /// classifier behaves exactly as the fitted original.
+  virtual Status LoadState(ArtifactReader* reader);
 
   /// Hard 0/1 prediction at the given probability threshold.
   Result<int> Predict(const Vector& features, double threshold = 0.5) const;

@@ -7,6 +7,7 @@
 #include "linalg/kernels.h"
 #include "linalg/solve.h"
 #include "optim/gradient_descent.h"
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -173,6 +174,25 @@ Result<std::vector<double>> LogisticRegression::PredictProbaBatch(
                             out.data());
   }
   return out;
+}
+
+Status LogisticRegression::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "LogisticRegression: cannot save an unfitted model");
+  }
+  writer->WriteTag(ArtifactTag('L', 'O', 'G', 'R'));
+  writer->WriteDouble(intercept_);
+  writer->WriteDoubleVec(coef_);
+  return Status::OK();
+}
+
+Status LogisticRegression::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('L', 'O', 'G', 'R')));
+  FAIRBENCH_ASSIGN_OR_RETURN(double intercept, reader->ReadDouble());
+  FAIRBENCH_ASSIGN_OR_RETURN(Vector coef, reader->ReadDoubleVec());
+  SetParameters(std::move(coef), intercept);
+  return Status::OK();
 }
 
 }  // namespace fairbench

@@ -36,6 +36,9 @@ class LogisticRegression final : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<LogisticRegression>(options_);
   }
+  const char* TypeName() const override { return "logistic_regression"; }
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
 
   /// Feature weights (excluding the intercept).
   const Vector& coefficients() const { return coef_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serve/artifact.h"
+
 namespace fairbench {
 
 Status MajorityClassifier::Fit(const Matrix& x, const std::vector<int>& y,
@@ -33,6 +35,23 @@ Result<double> MajorityClassifier::DecisionValue(const Vector& features) const {
   FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProba(features));
   const double clamped = std::clamp(p, 1e-12, 1.0 - 1e-12);
   return std::log(clamped / (1.0 - clamped));
+}
+
+Status MajorityClassifier::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "MajorityClassifier: cannot save an unfitted model");
+  }
+  writer->WriteTag(ArtifactTag('M', 'A', 'J', 'R'));
+  writer->WriteDouble(base_rate_);
+  return Status::OK();
+}
+
+Status MajorityClassifier::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('M', 'A', 'J', 'R')));
+  FAIRBENCH_ASSIGN_OR_RETURN(base_rate_, reader->ReadDouble());
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace fairbench

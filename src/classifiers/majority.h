@@ -20,6 +20,9 @@ class MajorityClassifier final : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<MajorityClassifier>();
   }
+  const char* TypeName() const override { return "majority"; }
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
 
  private:
   bool fitted_ = false;

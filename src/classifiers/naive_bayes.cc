@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "classifiers/logistic_regression.h"
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -74,6 +75,41 @@ Result<double> NaiveBayes::DecisionValue(const Vector& features) const {
 Result<double> NaiveBayes::PredictProba(const Vector& features) const {
   FAIRBENCH_ASSIGN_OR_RETURN(double log_odds, DecisionValue(features));
   return LogisticRegression::Sigmoid(log_odds);
+}
+
+Status NaiveBayes::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "NaiveBayes: cannot save an unfitted model");
+  }
+  writer->WriteTag(ArtifactTag('N', 'B', 'G', 'S'));
+  writer->WriteDouble(log_prior_[0]);
+  writer->WriteDouble(log_prior_[1]);
+  for (int c = 0; c < 2; ++c) writer->WriteDoubleVec(mean_[c]);
+  for (int c = 0; c < 2; ++c) writer->WriteDoubleVec(var_[c]);
+  return Status::OK();
+}
+
+Status NaiveBayes::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('N', 'B', 'G', 'S')));
+  FAIRBENCH_ASSIGN_OR_RETURN(log_prior_[0], reader->ReadDouble());
+  FAIRBENCH_ASSIGN_OR_RETURN(log_prior_[1], reader->ReadDouble());
+  for (int c = 0; c < 2; ++c) {
+    FAIRBENCH_ASSIGN_OR_RETURN(mean_[c], reader->ReadDoubleVec());
+  }
+  for (int c = 0; c < 2; ++c) {
+    FAIRBENCH_ASSIGN_OR_RETURN(var_[c], reader->ReadDoubleVec());
+    if (var_[c].size() != mean_[c].size()) {
+      return Status::DataLoss("NaiveBayes: mean/var dimension mismatch");
+    }
+    for (double v : var_[c]) {
+      if (!(v > 0.0)) {
+        return Status::DataLoss("NaiveBayes: non-positive variance");
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace fairbench

@@ -30,6 +30,9 @@ class NaiveBayes final : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<NaiveBayes>(options_);
   }
+  const char* TypeName() const override { return "naive_bayes"; }
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
 
  private:
   NaiveBayesOptions options_;

@@ -23,6 +23,9 @@ enum class StatusCode {
   kNoSolution,        ///< Constrained problem is infeasible (e.g. THOMAS NSF).
   kIoError,           ///< Filesystem / parse failure.
   kInternal,          ///< Invariant violation inside the library.
+  kDataLoss,          ///< Artifact corrupt/truncated (serve serialization).
+  kDeadlineExceeded,  ///< Request missed its deadline (serve hot path).
+  kResourceExhausted, ///< Bounded queue/cache full — backpressure signal.
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -64,6 +67,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

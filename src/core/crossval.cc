@@ -26,7 +26,8 @@ Status EvaluateFold(const Dataset& data, const FairContext& context,
                     std::size_t k, const CrossValidationOptions& options,
                     FoldOutcome* out) {
   FAIRBENCH_TRACE_SPAN("core",
-                       StrFormat("cv/%s/fold%zu", spec.id.c_str(), k));
+                       options.run.SpanName("cv") +
+                           StrFormat("/%s/fold%zu", spec.id.c_str(), k));
   SplitIndices split;
   split.test = folds[k];
   for (std::size_t j = 0; j < folds.size(); ++j) {
@@ -111,7 +112,7 @@ Result<std::vector<CrossValidationResult>> CrossValidateAll(
   // Fold assignment is computed once and shared read-only by every task;
   // it depends only on the base seed, so CrossValidate(one id) and
   // CrossValidateAll agree exactly.
-  Rng rng(DeriveSeed(options.seed, 0));
+  Rng rng(DeriveSeed(options.run.seed, 0));
   const std::vector<std::vector<std::size_t>> folds =
       KFold(data.num_rows(), options.folds, rng);
 
@@ -119,7 +120,7 @@ Result<std::vector<CrossValidationResult>> CrossValidateAll(
   // parallelism — with one index-addressed slot per pair.
   std::vector<FoldOutcome> slots(specs.size() * folds.size());
   ParallelOptions parallel;
-  parallel.threads = options.threads;
+  parallel.threads = options.run.threads;
   FAIRBENCH_RETURN_NOT_OK(ParallelFor(
       slots.size(),
       [&](std::size_t pair) -> Status {

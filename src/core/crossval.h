@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "core/run_options.h"
 #include "metrics/report.h"
 #include "stats/descriptive.h"
 
@@ -18,17 +19,16 @@ namespace fairbench {
 /// every stream derived via DeriveSeed so (approach, fold) tasks are
 /// index-addressed and thread-count independent):
 ///
-///   DeriveSeed(options.seed, 0)       fold-assignment shuffle
+///   DeriveSeed(options.run.seed, 0)   fold-assignment shuffle
 ///   DeriveSeed(context.seed, 1 + k)   per-fold FairContext seed (fold k;
 ///                                     approach-independent, matching the
 ///                                     serial protocol)
 ///   DeriveSeed(options.cd.seed, k)    CD sampling in fold k (when on)
 struct CrossValidationOptions {
   std::size_t folds = 3;
-  uint64_t seed = 42;
-  /// Worker count for the fan-out across (approach, fold) pairs:
-  /// 0 = hardware concurrency (default), 1 = the exact serial path.
-  std::size_t threads = 0;
+  /// Shared execution knobs (threads, base seed, trace tag). The fan-out
+  /// is across (approach, fold) pairs.
+  core::RunOptions run;
   bool compute_cd = false;   ///< CD is expensive; off by default for CV.
   bool compute_crd = true;
   CdOptions cd;

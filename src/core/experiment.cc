@@ -33,7 +33,8 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
                                        const std::vector<std::string>& ids,
                                        const ExperimentOptions& options) {
   FAIRBENCH_RETURN_NOT_OK(data.Validate());
-  FAIRBENCH_TRACE_SPAN("core", "experiment/" + data.name());
+  FAIRBENCH_TRACE_SPAN("core",
+                       options.run.SpanName("experiment") + "/" + data.name());
 
   // Resolve every approach before fanning out so an unknown id fails fast
   // and deterministically, not from inside a worker.
@@ -44,7 +45,7 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
     specs.push_back(spec);
   }
 
-  Rng rng(DeriveSeed(options.seed, 0));  // stream 0: split shuffle
+  Rng rng(DeriveSeed(options.run.seed, 0));  // stream 0: split shuffle
   const SplitIndices split =
       TrainTestSplit(data.num_rows(), options.train_fraction, rng);
   FAIRBENCH_ASSIGN_OR_RETURN(auto parts, MaterializeSplit(data, split));
@@ -60,7 +61,7 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
   // Approach-level failures are recorded in the slot, never propagated —
   // the task status is reserved for infrastructure errors.
   ParallelOptions parallel;
-  parallel.threads = options.threads;
+  parallel.threads = options.run.threads;
   Status status = ParallelFor(
       specs.size(),
       [&](std::size_t i) -> Status {
@@ -105,7 +106,7 @@ Result<ExperimentResult> RunExperiment(const Dataset& data,
             options.compute_crd ? context.resolving_attributes
                                 : std::vector<std::string>{};
         CdOptions cd = options.cd;
-        cd.seed = DeriveSeed(options.seed, 1 + i);  // stream 1+i: CD rows
+        cd.seed = DeriveSeed(options.run.seed, 1 + i);  // stream 1+i: CD rows
         Result<MetricsReport> report =
             ComputeMetricsReport(test, pred.value(), predictor, resolving, cd);
         if (!report.ok()) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "core/run_options.h"
 #include "data/generators/population.h"
 #include "metrics/report.h"
 
@@ -13,7 +14,7 @@ namespace fairbench {
 
 /// Options for one correctness/fairness experiment (Fig 10 protocol).
 ///
-/// Seed schedule — every stream of randomness is derived from `seed` with
+/// Seed schedule — every stream of randomness is derived from `run.seed` with
 /// DeriveSeed(seed, stream) so that parallel tasks own independent,
 /// index-addressed streams and results are bit-identical for any thread
 /// count (this schedule is shared with CrossValidationOptions and
@@ -23,10 +24,9 @@ namespace fairbench {
 ///   stream 1 + i   CD intervention sampling for approach index i
 struct ExperimentOptions {
   double train_fraction = 0.7;  ///< Paper: 70%/30% random split.
-  uint64_t seed = 42;
-  /// Worker count for the fan-out across approaches: 0 = hardware
-  /// concurrency (default), 1 = the exact serial path.
-  std::size_t threads = 0;
+  /// Shared execution knobs (threads, base seed, trace tag). The fan-out
+  /// is across approaches.
+  core::RunOptions run;
   bool compute_cd = true;   ///< CD is the most expensive metric.
   bool compute_crd = true;
   CdOptions cd;

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -158,6 +160,107 @@ std::string Pipeline::Describe() const {
   out += in_ != nullptr ? in_->name() : "LR";
   if (post_ != nullptr) out += " + " + post_->name();
   return out;
+}
+
+Status Pipeline::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Pipeline: cannot save before Fit()");
+  }
+  writer->WriteTag(ArtifactTag('P', 'I', 'P', 'E'));
+  writer->WriteBool(include_sensitive_feature_);
+  writer->WriteBool(pre_ != nullptr);
+  if (pre_ != nullptr) FAIRBENCH_RETURN_NOT_OK(pre_->SaveState(writer));
+  writer->WriteBool(in_ != nullptr);
+  if (in_ != nullptr) {
+    FAIRBENCH_RETURN_NOT_OK(in_->SaveState(writer));
+  } else {
+    writer->WriteString(model_->TypeName());
+    FAIRBENCH_RETURN_NOT_OK(encoder_.SaveState(writer));
+    FAIRBENCH_RETURN_NOT_OK(model_->SaveState(writer));
+  }
+  writer->WriteBool(post_ != nullptr);
+  if (post_ != nullptr) FAIRBENCH_RETURN_NOT_OK(post_->SaveState(writer));
+  return Status::OK();
+}
+
+Status Pipeline::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('P', 'I', 'P', 'E')));
+  FAIRBENCH_ASSIGN_OR_RETURN(bool include_s, reader->ReadBool());
+  if (include_s != include_sensitive_feature_) {
+    return Status::InvalidArgument(
+        "Pipeline artifact does not match structure: include-sensitive flag "
+        "differs");
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(bool has_pre, reader->ReadBool());
+  if (has_pre != (pre_ != nullptr)) {
+    return Status::InvalidArgument(
+        "Pipeline artifact does not match structure: pre-processor presence "
+        "differs");
+  }
+  if (pre_ != nullptr) FAIRBENCH_RETURN_NOT_OK(pre_->LoadState(reader));
+  FAIRBENCH_ASSIGN_OR_RETURN(bool has_in, reader->ReadBool());
+  if (has_in != (in_ != nullptr)) {
+    return Status::InvalidArgument(
+        "Pipeline artifact does not match structure: in-processor presence "
+        "differs");
+  }
+  if (in_ != nullptr) {
+    FAIRBENCH_RETURN_NOT_OK(in_->LoadState(reader));
+  } else {
+    FAIRBENCH_ASSIGN_OR_RETURN(std::string model_type, reader->ReadString());
+    if (model_type != model_->TypeName()) {
+      return Status::InvalidArgument(
+          StrFormat("Pipeline artifact does not match structure: base model "
+                    "'%s' vs '%s'",
+                    model_type.c_str(), model_->TypeName()));
+    }
+    FAIRBENCH_RETURN_NOT_OK(encoder_.LoadState(reader));
+    FAIRBENCH_RETURN_NOT_OK(model_->LoadState(reader));
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(bool has_post, reader->ReadBool());
+  if (has_post != (post_ != nullptr)) {
+    return Status::InvalidArgument(
+        "Pipeline artifact does not match structure: post-processor presence "
+        "differs");
+  }
+  if (post_ != nullptr) FAIRBENCH_RETURN_NOT_OK(post_->LoadState(reader));
+  transform_cache_.clear();
+  timing_ = Timing();
+  fitted_ = true;
+  return Status::OK();
+}
+
+PipelineBuilder& PipelineBuilder::Pre(std::unique_ptr<PreProcessor> pre) {
+  pre_ = std::move(pre);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::In(std::unique_ptr<InProcessor> in_processor) {
+  in_ = std::move(in_processor);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Post(std::unique_ptr<PostProcessor> post) {
+  post_ = std::move(post);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::IncludeSensitiveFeature(bool include) {
+  include_sensitive_feature_ = include;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::BaseClassifier(
+    std::unique_ptr<Classifier> classifier) {
+  base_ = std::move(classifier);
+  return *this;
+}
+
+Pipeline PipelineBuilder::Build() {
+  Pipeline pipeline(std::move(pre_), std::move(in_), std::move(post_),
+                    include_sensitive_feature_);
+  if (base_ != nullptr) pipeline.SetBaseClassifier(std::move(base_));
+  return pipeline;
 }
 
 }  // namespace fairbench

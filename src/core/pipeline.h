@@ -11,6 +11,9 @@
 
 namespace fairbench {
 
+class ArtifactWriter;
+class ArtifactReader;
+
 /// A complete fair-classification pipeline composed from the paper's three
 /// stages:
 ///
@@ -33,9 +36,10 @@ class Pipeline {
     double Total() const { return pre_seconds + train_seconds + post_seconds; }
   };
 
-  /// Builds a pipeline. Any stage may be null; when `in_processor` is null
-  /// a logistic regression over the encoded features is trained, with the
-  /// sensitive attribute included iff `include_sensitive_feature`.
+  /// Deprecated positional constructor — kept as a thin compatibility
+  /// wrapper over PipelineBuilder. The trailing bool was easy to mis-order
+  /// against the three stage arguments; new code should use
+  /// PipelineBuilder's named setters instead.
   Pipeline(std::unique_ptr<PreProcessor> pre,
            std::unique_ptr<InProcessor> in_processor,
            std::unique_ptr<PostProcessor> post,
@@ -74,6 +78,25 @@ class Pipeline {
   /// Human-readable composition, e.g. "KamCal-DP + LR".
   std::string Describe() const;
 
+  /// True when prediction routes data through a fitted feature transform
+  /// (Feld-style pre-processing). Such pipelines memoize transformed
+  /// datasets in a non-thread-safe cache, so concurrent per-row prediction
+  /// on one instance must be externally serialized; all other pipelines
+  /// are safe to query concurrently once fitted.
+  bool NeedsPredictTimeTransform() const {
+    return pre_ != nullptr && pre_->TransformsFeatures();
+  }
+
+  /// Serializes every fitted stage (serve artifacts). The pipeline
+  /// *structure* is not stored — artifacts are reloaded into a pipeline
+  /// rebuilt from the registry — only the learned parameters are.
+  Status SaveState(ArtifactWriter* writer) const;
+
+  /// Restores the state written by SaveState into a structurally identical
+  /// unfitted pipeline; refuses with InvalidArgument when the artifact's
+  /// stage layout does not match this pipeline's.
+  Status LoadState(ArtifactReader* reader);
+
  private:
   /// Feature-transforming pre-processors (Feld) must also map prediction
   /// data through their fitted repair. The transformed copies are cached
@@ -101,6 +124,40 @@ class Pipeline {
 
   bool fitted_ = false;
   Timing timing_;
+};
+
+/// Fluent, named-setter construction for Pipeline. Replaces the positional
+/// constructor whose bool tail was easy to mis-order:
+///
+///   Pipeline p = PipelineBuilder()
+///                    .Pre(std::make_unique<Feld>(1.0))
+///                    .IncludeSensitiveFeature(false)
+///                    .Build();
+///
+/// Unset stages stay null (skipped); the base classifier defaults to
+/// logistic regression and IncludeSensitiveFeature defaults to true,
+/// matching the old constructor.
+class PipelineBuilder {
+ public:
+  PipelineBuilder& Pre(std::unique_ptr<PreProcessor> pre);
+  PipelineBuilder& In(std::unique_ptr<InProcessor> in_processor);
+  PipelineBuilder& Post(std::unique_ptr<PostProcessor> post);
+  /// Whether the default base model sees S as a feature (ignored when an
+  /// in-processor is set — those manage S themselves).
+  PipelineBuilder& IncludeSensitiveFeature(bool include);
+  /// Swaps the default logistic-regression base model (ignored when an
+  /// in-processor is set).
+  PipelineBuilder& BaseClassifier(std::unique_ptr<Classifier> classifier);
+
+  /// Assembles the pipeline; the builder is spent afterwards.
+  Pipeline Build();
+
+ private:
+  std::unique_ptr<PreProcessor> pre_;
+  std::unique_ptr<InProcessor> in_;
+  std::unique_ptr<PostProcessor> post_;
+  std::unique_ptr<Classifier> base_;
+  bool include_sensitive_feature_ = true;
 };
 
 }  // namespace fairbench

@@ -18,14 +18,11 @@
 namespace fairbench {
 namespace {
 
-Pipeline BaselineLr() {
-  return Pipeline(nullptr, nullptr, nullptr, /*include_sensitive=*/true);
-}
+Pipeline BaselineLr() { return PipelineBuilder().Build(); }
 
 template <typename Pre, typename... Args>
 Pipeline WithPre(Args... args) {
-  return Pipeline(std::make_unique<Pre>(args...), nullptr, nullptr,
-                  /*include_sensitive=*/true);
+  return PipelineBuilder().Pre(std::make_unique<Pre>(args...)).Build();
 }
 
 /// FELD's protocol trains the downstream model without the sensitive
@@ -34,19 +31,20 @@ Pipeline WithPre(Args... args) {
 /// disparity the repair removed.
 template <typename Pre, typename... Args>
 Pipeline WithPreBlind(Args... args) {
-  return Pipeline(std::make_unique<Pre>(args...), nullptr, nullptr,
-                  /*include_sensitive=*/false);
+  return PipelineBuilder()
+      .Pre(std::make_unique<Pre>(args...))
+      .IncludeSensitiveFeature(false)
+      .Build();
 }
 
 template <typename In, typename... Args>
 Pipeline WithIn(Args... args) {
-  return Pipeline(nullptr, std::make_unique<In>(args...), nullptr);
+  return PipelineBuilder().In(std::make_unique<In>(args...)).Build();
 }
 
 template <typename Post, typename... Args>
 Pipeline WithPost(Args... args) {
-  return Pipeline(nullptr, nullptr, std::make_unique<Post>(args...),
-                  /*include_sensitive=*/true);
+  return PipelineBuilder().Post(std::make_unique<Post>(args...)).Build();
 }
 
 std::vector<ApproachSpec> BuildRegistry() {

@@ -1,0 +1,40 @@
+#ifndef FAIRBENCH_CORE_RUN_OPTIONS_H_
+#define FAIRBENCH_CORE_RUN_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fairbench {
+namespace core {
+
+/// Execution knobs shared by every driver (experiment, cross-validation,
+/// stability, scoring service). Each driver's options struct embeds one of
+/// these as `run`, so "how many workers / which seed / how to label traces"
+/// is spelled the same everywhere instead of being re-declared per driver.
+struct RunOptions {
+  /// Worker count for the driver's fan-out: 0 = hardware concurrency
+  /// (default), 1 = the exact serial path.
+  std::size_t threads = 0;
+
+  /// Base seed; every derived stream (splits, CD probes, per-approach
+  /// randomness) is reached via DeriveSeed so runs are reproducible at any
+  /// thread count.
+  uint64_t seed = 42;
+
+  /// Optional label appended to driver-level trace spans ("experiment" ->
+  /// "experiment:tag"), so overlapping runs can be told apart in one trace
+  /// capture. Empty = no suffix.
+  std::string trace_tag;
+
+  /// Span name helper: `base` when trace_tag is empty, "base:tag" else.
+  std::string SpanName(const char* base) const {
+    return trace_tag.empty() ? std::string(base)
+                             : std::string(base) + ":" + trace_tag;
+  }
+};
+
+}  // namespace core
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CORE_RUN_OPTIONS_H_

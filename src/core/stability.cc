@@ -26,15 +26,16 @@ Result<std::vector<StabilityResult>> RunStability(
   // serial protocol exactly.
   std::vector<ExperimentResult> runs(static_cast<std::size_t>(options.runs));
   ParallelOptions parallel;
-  parallel.threads = options.threads;
+  parallel.threads = options.run.threads;
   FAIRBENCH_RETURN_NOT_OK(ParallelFor(
       runs.size(),
       [&](std::size_t run) -> Status {
-        FAIRBENCH_TRACE_SPAN("core", StrFormat("stability/rep%zu", run));
+        FAIRBENCH_TRACE_SPAN("core", options.run.SpanName("stability") +
+                                         StrFormat("/rep%zu", run));
         ExperimentOptions eo;
         eo.train_fraction = options.train_fraction;
-        eo.seed = DeriveSeed(options.seed, run);
-        eo.threads = 1;  // The repetition fan-out owns the cores.
+        eo.run.seed = DeriveSeed(options.run.seed, run);
+        eo.run.threads = 1;  // The repetition fan-out owns the cores.
         eo.compute_cd = options.compute_cd;
         eo.compute_crd = options.compute_crd;
         eo.cd = options.cd;

@@ -14,17 +14,16 @@ namespace fairbench {
 /// with 66.67% of the data for training).
 ///
 /// Seed schedule: repetition r runs a full experiment with base seed
-/// DeriveSeed(seed, r) (which the experiment further splits per its own
+/// DeriveSeed(run.seed, r) (which the experiment further splits per its own
 /// schedule — see ExperimentOptions), so repetitions are independent,
 /// index-addressed streams safe to run in parallel.
 struct StabilityOptions {
   int runs = 10;
   double train_fraction = 2.0 / 3.0;
-  uint64_t seed = 99;
-  /// Worker count for the fan-out across repetitions: 0 = hardware
-  /// concurrency (default), 1 = the exact serial path. Each repetition's
-  /// inner experiment runs serially — the outer fan-out owns the cores.
-  std::size_t threads = 0;
+  /// Shared execution knobs (threads, base seed, trace tag). The fan-out
+  /// is across repetitions; each repetition's inner experiment runs
+  /// serially — the outer fan-out owns the cores.
+  core::RunOptions run{/*threads=*/0, /*seed=*/99};
   bool compute_cd = true;
   bool compute_crd = true;
   CdOptions cd;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "serve/artifact.h"
 #include "stats/descriptive.h"
 
 namespace fairbench {
@@ -57,6 +58,49 @@ Result<int> Discretizer::CodeAt(const Dataset& dataset, std::size_t col,
   const std::vector<double>& edges = edges_[col];
   const auto it = std::upper_bound(edges.begin(), edges.end(), v);
   return static_cast<int>(it - edges.begin());
+}
+
+Status Discretizer::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "Discretizer: cannot save an unfitted discretizer");
+  }
+  writer->WriteTag(ArtifactTag('D', 'I', 'S', 'C'));
+  writer->WriteU64(bins_);
+  writer->WriteSchema(schema_);
+  writer->WriteU64(edges_.size());
+  for (const std::vector<double>& edges : edges_) {
+    writer->WriteDoubleVec(edges);
+  }
+  std::vector<int> cards(cardinalities_.begin(), cardinalities_.end());
+  writer->WriteIntVec(cards);
+  return Status::OK();
+}
+
+Status Discretizer::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('D', 'I', 'S', 'C')));
+  FAIRBENCH_ASSIGN_OR_RETURN(bins_, reader->ReadU64());
+  FAIRBENCH_ASSIGN_OR_RETURN(schema_, reader->ReadSchema());
+  FAIRBENCH_ASSIGN_OR_RETURN(std::uint64_t n_cols, reader->ReadU64());
+  if (n_cols != schema_.num_columns()) {
+    return Status::DataLoss("Discretizer: edge table / schema size mismatch");
+  }
+  edges_.assign(n_cols, {});
+  for (std::uint64_t c = 0; c < n_cols; ++c) {
+    FAIRBENCH_ASSIGN_OR_RETURN(edges_[c], reader->ReadDoubleVec());
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(std::vector<int> cards, reader->ReadIntVec());
+  if (cards.size() != n_cols) {
+    return Status::DataLoss("Discretizer: cardinality table size mismatch");
+  }
+  cardinalities_.clear();
+  cardinalities_.reserve(cards.size());
+  for (int card : cards) {
+    if (card < 1) return Status::DataLoss("Discretizer: cardinality < 1");
+    cardinalities_.push_back(static_cast<std::size_t>(card));
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 Result<std::vector<int>> Discretizer::Codes(const Dataset& dataset,

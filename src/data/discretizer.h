@@ -8,6 +8,9 @@
 
 namespace fairbench {
 
+class ArtifactWriter;
+class ArtifactReader;
+
 /// Maps every feature column of a dataset to small discrete codes:
 /// categorical columns keep their codes; numeric columns are binned at
 /// training-set quantiles. The discrete view is what the causal module
@@ -35,6 +38,13 @@ class Discretizer {
 
   /// Bin edges for a numeric column (empty for categorical columns).
   const std::vector<double>& Edges(std::size_t col) const { return edges_[col]; }
+
+  /// Serializes the learned bin edges + schema (serve artifacts); requires
+  /// a fitted discretizer.
+  Status SaveState(ArtifactWriter* writer) const;
+
+  /// Restores the state written by SaveState.
+  Status LoadState(ArtifactReader* reader);
 
  private:
   std::size_t bins_;

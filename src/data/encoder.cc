@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -79,6 +80,39 @@ Result<Matrix> FeatureEncoder::Transform(const Dataset& dataset) const {
 Result<Vector> FeatureEncoder::TransformRow(const Dataset& dataset,
                                             std::size_t row) const {
   return TransformRow(dataset, row, dataset.sensitive()[row]);
+}
+
+Status FeatureEncoder::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "FeatureEncoder: cannot save an unfitted encoder");
+  }
+  writer->WriteTag(ArtifactTag('E', 'N', 'C', 'D'));
+  writer->WriteBool(include_sensitive_);
+  writer->WriteU64(dims_);
+  writer->WriteSchema(schema_);
+  writer->WriteDoubleVec(means_);
+  writer->WriteDoubleVec(stddevs_);
+  return Status::OK();
+}
+
+Status FeatureEncoder::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('E', 'N', 'C', 'D')));
+  FAIRBENCH_ASSIGN_OR_RETURN(include_sensitive_, reader->ReadBool());
+  FAIRBENCH_ASSIGN_OR_RETURN(dims_, reader->ReadU64());
+  FAIRBENCH_ASSIGN_OR_RETURN(schema_, reader->ReadSchema());
+  FAIRBENCH_ASSIGN_OR_RETURN(means_, reader->ReadDoubleVec());
+  FAIRBENCH_ASSIGN_OR_RETURN(stddevs_, reader->ReadDoubleVec());
+  if (means_.size() != stddevs_.size()) {
+    return Status::DataLoss("FeatureEncoder: means/stddevs size mismatch");
+  }
+  for (double s : stddevs_) {
+    if (!(s > 0.0)) {
+      return Status::DataLoss("FeatureEncoder: non-positive stddev");
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 Result<Vector> FeatureEncoder::TransformRow(const Dataset& dataset,

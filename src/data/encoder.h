@@ -9,6 +9,9 @@
 
 namespace fairbench {
 
+class ArtifactWriter;
+class ArtifactReader;
+
 /// Turns a Dataset's feature columns into a dense numeric design matrix:
 ///  - numeric columns are standardized with statistics learned in Fit()
 ///    (constant columns pass through as zeros),
@@ -39,6 +42,14 @@ class FeatureEncoder {
   /// When the encoder excludes S the result equals TransformRow().
   Result<Vector> TransformRow(const Dataset& dataset, std::size_t row,
                               int s_override) const;
+
+  /// Serializes the fitted statistics + schema (serve artifacts); requires
+  /// a fitted encoder.
+  Status SaveState(ArtifactWriter* writer) const;
+
+  /// Restores the state written by SaveState; the encoder then transforms
+  /// exactly as the fitted original.
+  Status LoadState(ArtifactReader* reader);
 
  private:
   Status CheckSchema(const Dataset& dataset) const;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "serve/artifact.h"
+
 namespace fairbench {
 
 Result<double> EncodedLogisticInProcessor::PredictProbaRow(
@@ -12,6 +14,21 @@ Result<double> EncodedLogisticInProcessor::PredictProbaRow(
   FAIRBENCH_ASSIGN_OR_RETURN(Vector features,
                              encoder_.TransformRow(data, row, s_override));
   return model_.PredictProba(features);
+}
+
+Status EncodedLogisticInProcessor::SaveState(ArtifactWriter* writer) const {
+  if (!model_.fitted()) {
+    return Status::FailedPrecondition(name() + ": cannot save before Fit()");
+  }
+  writer->WriteTag(ArtifactTag('E', 'L', 'I', 'P'));
+  FAIRBENCH_RETURN_NOT_OK(encoder_.SaveState(writer));
+  return model_.SaveState(writer);
+}
+
+Status EncodedLogisticInProcessor::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('E', 'L', 'I', 'P')));
+  FAIRBENCH_RETURN_NOT_OK(encoder_.LoadState(reader));
+  return model_.LoadState(reader);
 }
 
 Result<Matrix> EncodedLogisticInProcessor::EncodeTrain(const Dataset& train,

@@ -17,6 +17,12 @@ class EncodedLogisticInProcessor : public InProcessor {
   Result<double> PredictProbaRow(const Dataset& data, std::size_t row,
                                  int s_override) const override;
 
+  /// All encoded-logistic approaches persist the same state — the fitted
+  /// encoder plus the (constrained-)optimized logistic parameters — so the
+  /// base class serializes for every subclass.
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
+
  protected:
   /// Fits the encoder on `train` and returns the design matrix.
   Result<Matrix> EncodeTrain(const Dataset& train, bool include_sensitive);

@@ -1,11 +1,49 @@
 #include "fair/method.h"
 
+#include "common/string_util.h"
+#include "serve/artifact.h"
+
 namespace fairbench {
+
+Status PreProcessor::SaveState(ArtifactWriter* writer) const {
+  // Train-time-only repairs carry no predict-time state; record an empty
+  // section so the reader can still frame the stage.
+  writer->WriteTag(ArtifactTag('P', 'R', 'E', '0'));
+  return Status::OK();
+}
+
+Status PreProcessor::LoadState(ArtifactReader* reader) {
+  return reader->ExpectTag(ArtifactTag('P', 'R', 'E', '0'));
+}
 
 Result<int> InProcessor::PredictRow(const Dataset& data, std::size_t row,
                                     int s_override) const {
   FAIRBENCH_ASSIGN_OR_RETURN(double p, PredictProbaRow(data, row, s_override));
   return p >= 0.5 ? 1 : 0;
+}
+
+Status InProcessor::SaveState(ArtifactWriter* writer) const {
+  (void)writer;
+  return Status::Internal(
+      StrFormat("in-processor '%s' does not implement SaveState", name().c_str()));
+}
+
+Status InProcessor::LoadState(ArtifactReader* reader) {
+  (void)reader;
+  return Status::Internal(
+      StrFormat("in-processor '%s' does not implement LoadState", name().c_str()));
+}
+
+Status PostProcessor::SaveState(ArtifactWriter* writer) const {
+  (void)writer;
+  return Status::Internal(
+      StrFormat("post-processor '%s' does not implement SaveState", name().c_str()));
+}
+
+Status PostProcessor::LoadState(ArtifactReader* reader) {
+  (void)reader;
+  return Status::Internal(
+      StrFormat("post-processor '%s' does not implement LoadState", name().c_str()));
 }
 
 double StableUniform(uint64_t seed, uint64_t row_key) {

@@ -10,6 +10,9 @@
 
 namespace fairbench {
 
+class ArtifactWriter;
+class ArtifactReader;
+
 /// Shared per-run context handed to every fairness approach: dataset-
 /// specific attribute roles (paper §4.1 / Appendix) and the seed from
 /// which all of the approach's randomness must derive.
@@ -43,6 +46,12 @@ class PreProcessor {
   virtual Result<Dataset> TransformFeatures(const Dataset& data) const {
     return data;
   }
+
+  /// Serializes predict-time state (serve artifacts). Pre-processors that
+  /// only rewrite training data have none; the defaults write/read nothing.
+  /// Feature-transforming repairs must override both.
+  virtual Status SaveState(ArtifactWriter* writer) const;
+  virtual Status LoadState(ArtifactReader* reader);
 };
 
 /// Stage 2 — in-processing (paper §3): learns a fair model directly. The
@@ -61,6 +70,11 @@ class InProcessor {
   /// Hard prediction; default thresholds PredictProbaRow at 0.5.
   virtual Result<int> PredictRow(const Dataset& data, std::size_t row,
                                  int s_override) const;
+
+  /// Serializes the fitted model (serve artifacts). The defaults refuse
+  /// with Internal so unported approaches fail loudly, not silently.
+  virtual Status SaveState(ArtifactWriter* writer) const;
+  virtual Status LoadState(ArtifactReader* reader);
 };
 
 /// Stage 3 — post-processing (paper §3): adjusts the predictions of an
@@ -80,6 +94,11 @@ class PostProcessor {
   /// tuple; randomized post-processors hash it with the fit seed so that
   /// repeated queries of the same tuple agree (required for CD).
   virtual Result<int> Adjust(double proba, int s, uint64_t row_key) const = 0;
+
+  /// Serializes the calibrated adjustment (serve artifacts). The defaults
+  /// refuse with Internal so unported approaches fail loudly.
+  virtual Status SaveState(ArtifactWriter* writer) const;
+  virtual Status LoadState(ArtifactReader* reader);
 };
 
 /// Deterministic per-tuple coin for randomized post-processors: a uniform

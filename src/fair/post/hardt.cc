@@ -1,6 +1,7 @@
 #include "fair/post/hardt.h"
 
 #include "optim/simplex_lp.h"
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -82,6 +83,34 @@ Result<int> Hardt::Adjust(double proba, int s, uint64_t row_key) const {
   const int yhat = proba >= 0.5 ? 1 : 0;
   const double p = mix_[s][yhat];
   return StableUniform(seed_, row_key) < p ? 1 : 0;
+}
+
+
+Status Hardt::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Hardt: cannot save before Fit()");
+  }
+  writer->WriteTag(ArtifactTag('H', 'R', 'D', 'T'));
+  writer->WriteU64(seed_);
+  for (int s = 0; s < 2; ++s) {
+    for (int yhat = 0; yhat < 2; ++yhat) writer->WriteDouble(mix_[s][yhat]);
+  }
+  return Status::OK();
+}
+
+Status Hardt::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('H', 'R', 'D', 'T')));
+  FAIRBENCH_ASSIGN_OR_RETURN(seed_, reader->ReadU64());
+  for (int s = 0; s < 2; ++s) {
+    for (int yhat = 0; yhat < 2; ++yhat) {
+      FAIRBENCH_ASSIGN_OR_RETURN(mix_[s][yhat], reader->ReadDouble());
+      if (!(mix_[s][yhat] >= 0.0 && mix_[s][yhat] <= 1.0)) {
+        return Status::DataLoss("Hardt: mixing probability outside [0, 1]");
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace fairbench

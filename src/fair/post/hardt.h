@@ -28,6 +28,9 @@ class Hardt final : public PostProcessor {
   /// Mixing probability Pr(Ytilde=1 | Yhat=yhat, S=s).
   double mixing(int s, int yhat) const { return mix_[s][yhat]; }
 
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
+
  private:
   bool fitted_ = false;
   uint64_t seed_ = 0;

@@ -1,6 +1,7 @@
 #include "fair/post/kamkar.h"
 
 #include <cmath>
+#include "serve/artifact.h"
 
 namespace fairbench {
 namespace {
@@ -51,6 +52,26 @@ Status KamKar::Fit(const std::vector<double>& proba,
 Result<int> KamKar::Adjust(double proba, int s, uint64_t row_key) const {
   if (!fitted_) return Status::FailedPrecondition("KamKar: not fitted");
   return Decide(proba, s, theta_);
+}
+
+
+Status KamKar::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("KamKar: cannot save before Fit()");
+  }
+  writer->WriteTag(ArtifactTag('K', 'M', 'K', 'R'));
+  writer->WriteDouble(theta_);
+  return Status::OK();
+}
+
+Status KamKar::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('K', 'M', 'K', 'R')));
+  FAIRBENCH_ASSIGN_OR_RETURN(theta_, reader->ReadDouble());
+  if (!(theta_ >= 0.5 && theta_ <= 1.0)) {
+    return Status::DataLoss("KamKar: theta outside [0.5, 1]");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace fairbench

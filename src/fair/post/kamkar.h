@@ -36,6 +36,9 @@ class KamKar final : public PostProcessor {
 
   double theta() const { return theta_; }
 
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
+
  private:
   KamKarOptions options_;
   bool fitted_ = false;

@@ -1,6 +1,7 @@
 #include "fair/post/pleiss.h"
 
 #include <algorithm>
+#include "serve/artifact.h"
 
 namespace fairbench {
 
@@ -70,6 +71,34 @@ Result<int> Pleiss::Adjust(double proba, int s, uint64_t row_key) const {
     return StableUniform(seed_ ^ 0xb453ull, row_key) < base_rate_ ? 1 : 0;
   }
   return proba >= 0.5 ? 1 : 0;
+}
+
+
+Status Pleiss::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Pleiss: cannot save before Fit()");
+  }
+  writer->WriteTag(ArtifactTag('P', 'L', 'S', 'S'));
+  writer->WriteU64(seed_);
+  writer->WriteU32(static_cast<uint32_t>(favored_));
+  writer->WriteDouble(alpha_);
+  writer->WriteDouble(base_rate_);
+  return Status::OK();
+}
+
+Status Pleiss::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('P', 'L', 'S', 'S')));
+  FAIRBENCH_ASSIGN_OR_RETURN(seed_, reader->ReadU64());
+  FAIRBENCH_ASSIGN_OR_RETURN(uint32_t favored, reader->ReadU32());
+  if (favored > 1) return Status::DataLoss("Pleiss: favored group not 0/1");
+  favored_ = static_cast<int>(favored);
+  FAIRBENCH_ASSIGN_OR_RETURN(alpha_, reader->ReadDouble());
+  FAIRBENCH_ASSIGN_OR_RETURN(base_rate_, reader->ReadDouble());
+  if (!(alpha_ >= 0.0 && alpha_ <= 1.0)) {
+    return Status::DataLoss("Pleiss: alpha outside [0, 1]");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace fairbench

@@ -44,6 +44,9 @@ class Pleiss final : public PostProcessor {
   int favored_group() const { return favored_; }
   double alpha() const { return alpha_; }
 
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
+
  private:
   PleissOptions options_;
   bool fitted_ = false;

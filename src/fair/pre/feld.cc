@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serve/artifact.h"
+
 namespace fairbench {
 namespace {
 
@@ -68,6 +70,45 @@ Result<Dataset> Feld::Repair(const Dataset& train, const FairContext& context) {
   }
   fitted_ = true;
   return TransformFeatures(train);
+}
+
+Status Feld::SaveState(ArtifactWriter* writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Feld: cannot save before Repair()");
+  }
+  writer->WriteTag(ArtifactTag('F', 'E', 'L', 'D'));
+  writer->WriteDouble(lambda_);
+  writer->WriteU64(seed_);
+  writer->WriteSchema(schema_);
+  writer->WriteU64(repairs_.size());
+  for (const ColumnRepair& repair : repairs_) {
+    writer->WriteDoubleVec(repair.group_sorted[0]);
+    writer->WriteDoubleVec(repair.group_sorted[1]);
+    writer->WriteDoubleVec(repair.pooled_cdf);
+  }
+  return Status::OK();
+}
+
+Status Feld::LoadState(ArtifactReader* reader) {
+  FAIRBENCH_RETURN_NOT_OK(reader->ExpectTag(ArtifactTag('F', 'E', 'L', 'D')));
+  FAIRBENCH_ASSIGN_OR_RETURN(lambda_, reader->ReadDouble());
+  FAIRBENCH_ASSIGN_OR_RETURN(seed_, reader->ReadU64());
+  FAIRBENCH_ASSIGN_OR_RETURN(schema_, reader->ReadSchema());
+  FAIRBENCH_ASSIGN_OR_RETURN(std::uint64_t n_cols, reader->ReadU64());
+  if (n_cols != schema_.num_columns()) {
+    return Status::DataLoss("Feld: repair table / schema size mismatch");
+  }
+  repairs_.assign(n_cols, {});
+  for (std::uint64_t c = 0; c < n_cols; ++c) {
+    FAIRBENCH_ASSIGN_OR_RETURN(repairs_[c].group_sorted[0],
+                               reader->ReadDoubleVec());
+    FAIRBENCH_ASSIGN_OR_RETURN(repairs_[c].group_sorted[1],
+                               reader->ReadDoubleVec());
+    FAIRBENCH_ASSIGN_OR_RETURN(repairs_[c].pooled_cdf,
+                               reader->ReadDoubleVec());
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 Result<Dataset> Feld::TransformFeatures(const Dataset& data) const {

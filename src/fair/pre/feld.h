@@ -40,6 +40,9 @@ class Feld final : public PreProcessor {
   bool TransformsFeatures() const override { return true; }
   Result<Dataset> TransformFeatures(const Dataset& data) const override;
 
+  Status SaveState(ArtifactWriter* writer) const override;
+  Status LoadState(ArtifactReader* reader) override;
+
   double lambda() const { return lambda_; }
 
  private:

@@ -1,0 +1,268 @@
+#include "serve/artifact.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+namespace {
+
+constexpr uint32_t kMagic = ArtifactTag('F', 'B', 'S', 'V');
+constexpr std::size_t kHeaderSize = 8;   // magic + version
+constexpr std::size_t kTrailerSize = 8;  // FNV-1a checksum
+
+/// Limits a corrupt length prefix can demand before the reader gives up.
+/// Any genuine artifact field is far below this; without the cap a flipped
+/// high bit in a length would turn into a multi-gigabyte allocation.
+constexpr uint64_t kMaxFieldBytes = 1ull << 32;
+
+void AppendLe(std::string* out, uint64_t value, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t LoadLe(const char* p, std::size_t width) {
+  uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+std::string TagName(uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    name[i] = (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return name;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, std::size_t size, uint64_t seed) {
+  uint64_t hash = 0xcbf29ce484222325ull ^ seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+ArtifactWriter::ArtifactWriter() {
+  AppendLe(&bytes_, kMagic, 4);
+  AppendLe(&bytes_, kArtifactVersion, 4);
+}
+
+void ArtifactWriter::WriteU32(uint32_t value) { AppendLe(&bytes_, value, 4); }
+
+void ArtifactWriter::WriteU64(uint64_t value) { AppendLe(&bytes_, value, 8); }
+
+void ArtifactWriter::WriteBool(bool value) {
+  bytes_.push_back(value ? '\1' : '\0');
+}
+
+void ArtifactWriter::WriteDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendLe(&bytes_, bits, 8);
+}
+
+void ArtifactWriter::WriteString(const std::string& value) {
+  AppendLe(&bytes_, value.size(), 8);
+  bytes_.append(value);
+}
+
+void ArtifactWriter::WriteDoubleVec(const std::vector<double>& values) {
+  AppendLe(&bytes_, values.size(), 8);
+  for (double v : values) WriteDouble(v);
+}
+
+void ArtifactWriter::WriteIntVec(const std::vector<int>& values) {
+  AppendLe(&bytes_, values.size(), 8);
+  for (int v : values) {
+    AppendLe(&bytes_, static_cast<uint32_t>(v), 4);
+  }
+}
+
+void ArtifactWriter::WriteTag(uint32_t tag) { AppendLe(&bytes_, tag, 4); }
+
+void ArtifactWriter::WriteSchema(const Schema& schema) {
+  WriteTag(ArtifactTag('S', 'C', 'H', 'M'));
+  WriteU64(schema.num_columns());
+  for (const ColumnSpec& spec : schema.columns()) {
+    WriteString(spec.name);
+    WriteU32(spec.type == ColumnType::kNumeric ? 0 : 1);
+    WriteU64(spec.categories.size());
+    for (const std::string& category : spec.categories) WriteString(category);
+  }
+}
+
+std::string ArtifactWriter::Finish() {
+  AppendLe(&bytes_, Fnv1a64(bytes_.data(), bytes_.size()), 8);
+  return std::move(bytes_);
+}
+
+Result<ArtifactReader> ArtifactReader::Open(std::string bytes) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    return Status::DataLoss(
+        StrFormat("artifact truncated: %zu bytes, need at least %zu",
+                  bytes.size(), kHeaderSize + kTrailerSize));
+  }
+  const std::size_t body_end = bytes.size() - kTrailerSize;
+  const uint64_t stored = LoadLe(bytes.data() + body_end, 8);
+  const uint64_t actual = Fnv1a64(bytes.data(), body_end);
+  if (stored != actual) {
+    return Status::DataLoss("artifact checksum mismatch (corrupt bytes)");
+  }
+  const auto magic = static_cast<uint32_t>(LoadLe(bytes.data(), 4));
+  if (magic != kMagic) {
+    return Status::DataLoss(
+        StrFormat("artifact magic mismatch: got 0x%08x", magic));
+  }
+  const auto version = static_cast<uint32_t>(LoadLe(bytes.data() + 4, 4));
+  if (version != kArtifactVersion) {
+    return Status::DataLoss(StrFormat("unsupported artifact version %u "
+                                      "(this build reads version %u)",
+                                      version, kArtifactVersion));
+  }
+  ArtifactReader reader(std::move(bytes));
+  reader.pos_ = kHeaderSize;
+  reader.end_ = body_end;
+  return reader;
+}
+
+Status ArtifactReader::Need(std::size_t n) const {
+  if (end_ - pos_ < n) {
+    return Status::DataLoss(
+        StrFormat("artifact truncated at offset %zu: need %zu bytes, "
+                  "have %zu",
+                  pos_, n, end_ - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ArtifactReader::ReadU32() {
+  FAIRBENCH_RETURN_NOT_OK(Need(4));
+  const auto value = static_cast<uint32_t>(LoadLe(bytes_.data() + pos_, 4));
+  pos_ += 4;
+  return value;
+}
+
+Result<uint64_t> ArtifactReader::ReadU64() {
+  FAIRBENCH_RETURN_NOT_OK(Need(8));
+  const uint64_t value = LoadLe(bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return value;
+}
+
+Result<bool> ArtifactReader::ReadBool() {
+  FAIRBENCH_RETURN_NOT_OK(Need(1));
+  const unsigned char byte = bytes_[pos_];
+  if (byte > 1) {
+    return Status::DataLoss(
+        StrFormat("artifact bool at offset %zu is 0x%02x", pos_, byte));
+  }
+  pos_ += 1;
+  return byte == 1;
+}
+
+Result<double> ArtifactReader::ReadDouble() {
+  FAIRBENCH_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> ArtifactReader::ReadString() {
+  FAIRBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > kMaxFieldBytes) {
+    return Status::DataLoss(
+        StrFormat("artifact string length %llu is implausible",
+                  static_cast<unsigned long long>(size)));
+  }
+  FAIRBENCH_RETURN_NOT_OK(Need(static_cast<std::size_t>(size)));
+  std::string value = bytes_.substr(pos_, static_cast<std::size_t>(size));
+  pos_ += static_cast<std::size_t>(size);
+  return value;
+}
+
+Result<std::vector<double>> ArtifactReader::ReadDoubleVec() {
+  FAIRBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size * 8 > kMaxFieldBytes) {
+    return Status::DataLoss(
+        StrFormat("artifact vector length %llu is implausible",
+                  static_cast<unsigned long long>(size)));
+  }
+  FAIRBENCH_RETURN_NOT_OK(Need(static_cast<std::size_t>(size) * 8));
+  std::vector<double> values(static_cast<std::size_t>(size));
+  for (double& v : values) {
+    FAIRBENCH_ASSIGN_OR_RETURN(v, ReadDouble());
+  }
+  return values;
+}
+
+Result<std::vector<int>> ArtifactReader::ReadIntVec() {
+  FAIRBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size * 4 > kMaxFieldBytes) {
+    return Status::DataLoss(
+        StrFormat("artifact vector length %llu is implausible",
+                  static_cast<unsigned long long>(size)));
+  }
+  FAIRBENCH_RETURN_NOT_OK(Need(static_cast<std::size_t>(size) * 4));
+  std::vector<int> values(static_cast<std::size_t>(size));
+  for (int& v : values) {
+    FAIRBENCH_ASSIGN_OR_RETURN(uint32_t raw, ReadU32());
+    v = static_cast<int>(raw);
+  }
+  return values;
+}
+
+Status ArtifactReader::ExpectTag(uint32_t expected) {
+  const std::size_t at = pos_;
+  FAIRBENCH_ASSIGN_OR_RETURN(uint32_t tag, ReadU32());
+  if (tag != expected) {
+    return Status::DataLoss(StrFormat(
+        "artifact section mismatch at offset %zu: expected '%s', found '%s'",
+        at, TagName(expected).c_str(), TagName(tag).c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Schema> ArtifactReader::ReadSchema() {
+  FAIRBENCH_RETURN_NOT_OK(ExpectTag(ArtifactTag('S', 'C', 'H', 'M')));
+  FAIRBENCH_ASSIGN_OR_RETURN(uint64_t num_columns, ReadU64());
+  Schema schema;
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    ColumnSpec spec;
+    FAIRBENCH_ASSIGN_OR_RETURN(spec.name, ReadString());
+    FAIRBENCH_ASSIGN_OR_RETURN(uint32_t type, ReadU32());
+    if (type > 1) {
+      return Status::DataLoss(
+          StrFormat("artifact schema column %llu has unknown type %u",
+                    static_cast<unsigned long long>(c), type));
+    }
+    spec.type = type == 0 ? ColumnType::kNumeric : ColumnType::kCategorical;
+    FAIRBENCH_ASSIGN_OR_RETURN(uint64_t num_categories, ReadU64());
+    for (uint64_t k = 0; k < num_categories; ++k) {
+      FAIRBENCH_ASSIGN_OR_RETURN(std::string category, ReadString());
+      spec.categories.push_back(std::move(category));
+    }
+    FAIRBENCH_RETURN_NOT_OK(schema.AddColumn(std::move(spec)));
+  }
+  return schema;
+}
+
+Status ArtifactReader::ExpectEnd() const {
+  if (pos_ != end_) {
+    return Status::DataLoss(
+        StrFormat("artifact has %zu unread bytes after the last field",
+                  end_ - pos_));
+  }
+  return Status::OK();
+}
+
+}  // namespace fairbench

@@ -1,0 +1,111 @@
+#ifndef FAIRBENCH_SERVE_ARTIFACT_H_
+#define FAIRBENCH_SERVE_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+
+namespace fairbench {
+
+/// Versioned, deterministic binary format for fitted-pipeline artifacts.
+///
+/// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+///
+///   magic   u32  'FBSV' (0x56534246)
+///   version u32  kArtifactVersion
+///   body    ...  tagged fields written by the SaveState hooks
+///   crc     u64  FNV-1a over everything before it
+///
+/// Writers emit fields in a fixed order with explicit widths, so the same
+/// fitted pipeline always produces the same bytes on every platform (no
+/// padding, no pointer-order iteration, no locale). Readers are fully
+/// bounds-checked and verify the checksum up front, so a corrupt or
+/// truncated artifact yields a clean `Status::DataLoss` — never a crash —
+/// which is what lets the scoring service treat artifact stores as
+/// untrusted input. See docs/serving.md for the full field-level spec.
+
+/// Format version; bump on any layout change. Readers reject other
+/// versions rather than guessing.
+inline constexpr uint32_t kArtifactVersion = 1;
+
+/// Four-character section tags ('PIPE', 'ENC ', ...) used as structural
+/// markers: a reader that expects tag X and finds Y knows the stream is
+/// mis-framed and fails with the offending offset in the message.
+constexpr uint32_t ArtifactTag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+/// Append-only builder of the artifact byte stream. Field writers never
+/// fail; Finish() seals the stream with the checksum trailer.
+class ArtifactWriter {
+ public:
+  ArtifactWriter();
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteBool(bool value);      ///< One byte, 0 or 1.
+  void WriteDouble(double value);  ///< Bit pattern, not text.
+  void WriteString(const std::string& value);  ///< u64 length + bytes.
+  void WriteDoubleVec(const std::vector<double>& values);
+  void WriteIntVec(const std::vector<int>& values);  ///< i32 elements.
+  void WriteTag(uint32_t tag);  ///< Section marker (see ArtifactTag).
+  void WriteSchema(const Schema& schema);
+
+  /// Appends the checksum trailer and returns the finished bytes. The
+  /// writer must not be used afterwards.
+  std::string Finish();
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor over a finished artifact. `Open` verifies magic,
+/// version, and checksum before any field read; every reader returns
+/// `DataLoss` (framing/corruption) rather than reading out of bounds.
+class ArtifactReader {
+ public:
+  /// Validates the envelope (magic, version, checksum trailer) and
+  /// positions the cursor at the first body field.
+  static Result<ArtifactReader> Open(std::string bytes);
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<bool> ReadBool();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVec();
+  Result<std::vector<int>> ReadIntVec();
+  /// Reads a tag and checks it is `expected`; mismatch names both tags.
+  Status ExpectTag(uint32_t expected);
+  Result<Schema> ReadSchema();
+
+  /// OK iff the cursor consumed the body exactly (trailing garbage is a
+  /// framing error even when the checksum was recomputed over it).
+  Status ExpectEnd() const;
+
+  /// Bytes remaining in the body (diagnostics).
+  std::size_t remaining() const { return end_ - pos_; }
+
+ private:
+  explicit ArtifactReader(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  Status Need(std::size_t n) const;
+
+  std::string bytes_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;  ///< Body end (checksum trailer excluded).
+};
+
+/// FNV-1a 64-bit over a byte range — the artifact checksum and the hash
+/// of the string fields inside DatasetFingerprint.
+uint64_t Fnv1a64(const void* data, std::size_t size, uint64_t seed = 0);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_ARTIFACT_H_

@@ -1,0 +1,299 @@
+#include "serve/scoring_service.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "exec/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/pipeline_artifact.h"
+
+namespace fairbench {
+namespace serve {
+namespace {
+
+std::string CacheKey(const std::string& approach_id, uint64_t fingerprint,
+                     uint64_t seed) {
+  return StrFormat("%s/%016llx/%016llx", approach_id.c_str(),
+                   static_cast<unsigned long long>(fingerprint),
+                   static_cast<unsigned long long>(seed));
+}
+
+}  // namespace
+
+ScoringService::ScoringService(ScoringServiceOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(options_.run.threads)) {}
+
+Result<ScoreResponse> ScoringService::Score(const ScoreRequest& request) {
+  Timer admitted;
+  // Admission control: never block the caller; a full service says so.
+  std::size_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
+  if (depth > options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    FAIRBENCH_COUNTER_ADD("serve.rejected.total", 1);
+    return Status::ResourceExhausted(
+        StrFormat("scoring service full: %zu requests in flight (max %zu)",
+                  depth, options_.max_in_flight));
+  }
+  Result<ScoreResponse> response =
+      ScoreAdmitted(request, admitted, /*allow_parallel=*/true);
+  depth = in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
+  FAIRBENCH_HISTOGRAM_RECORD("serve.latency.ms", admitted.ElapsedMillis(), 1.0,
+                             5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0);
+  return response;
+}
+
+std::future<Result<ScoreResponse>> ScoringService::ScoreAsync(
+    ScoreRequest request) {
+  // Same admission gate as Score(), applied at enqueue time so a flooded
+  // service rejects instead of growing an unbounded backlog.
+  std::size_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
+  if (depth > options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    FAIRBENCH_COUNTER_ADD("serve.rejected.total", 1);
+    std::promise<Result<ScoreResponse>> rejected;
+    rejected.set_value(Status::ResourceExhausted(
+        StrFormat("scoring service full: %zu requests in flight (max %zu)",
+                  depth, options_.max_in_flight)));
+    return rejected.get_future();
+  }
+  auto task = std::make_shared<std::packaged_task<Result<ScoreResponse>()>>(
+      [this, request = std::move(request), admitted = Timer()]() {
+        // The wrapper already occupies a pool worker; scoring chunks must
+        // not be re-submitted to the same pool (a bounded pool full of
+        // wrappers waiting on their own chunks would deadlock), so the
+        // batch runs serially inside the worker.
+        Result<ScoreResponse> response =
+            ScoreAdmitted(request, admitted, /*allow_parallel=*/false);
+        std::size_t depth =
+            in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
+        FAIRBENCH_HISTOGRAM_RECORD("serve.latency.ms", admitted.ElapsedMillis(),
+                                   1.0, 5.0, 25.0, 100.0, 500.0, 2500.0,
+                                   10000.0);
+        return response;
+      });
+  std::future<Result<ScoreResponse>> future = task->get_future();
+  pool_->Submit([task]() { (*task)(); });
+  return future;
+}
+
+Status ScoringService::CheckDeadline(const ScoreRequest& request,
+                                     const Timer& admitted,
+                                     const char* stage) const {
+  if (request.deadline_seconds <= 0.0) return Status::OK();
+  const double elapsed = admitted.ElapsedSeconds();
+  if (elapsed <= request.deadline_seconds) return Status::OK();
+  FAIRBENCH_COUNTER_ADD("serve.deadline_exceeded.total", 1);
+  return Status::DeadlineExceeded(
+      StrFormat("request missed its %.3fs deadline at %s (%.3fs elapsed)",
+                request.deadline_seconds, stage, elapsed));
+}
+
+Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
+                                                    const Timer& admitted,
+                                                    bool allow_parallel) {
+  FAIRBENCH_TRACE_SPAN("serve", options_.run.SpanName("serve.score") + "/" +
+                                    request.approach_id);
+  if (request.data == nullptr || request.train == nullptr) {
+    return Status::InvalidArgument("ScoreRequest: train and data must be set");
+  }
+  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "admission"));
+
+  const uint64_t seed =
+      request.seed != 0 ? request.seed : options_.run.seed;
+  ScoreResponse response;
+  FAIRBENCH_ASSIGN_OR_RETURN(
+      CachedModel model, GetOrFit(request, seed, admitted, &response.cache_hit,
+                                  &response.fit_seconds));
+  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "post-fit"));
+
+  Timer score_timer;
+  const Dataset& data = *request.data;
+  const std::size_t n = data.num_rows();
+  std::vector<int> predictions(n, 0);
+  auto score_row = [&](std::size_t row) -> Status {
+    if ((row & 63u) == 0u) {
+      FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "scoring"));
+    }
+    FAIRBENCH_ASSIGN_OR_RETURN(
+        predictions[row],
+        model.pipeline->PredictRow(data, row, data.sensitive()[row]));
+    return Status::OK();
+  };
+  if (model.pipeline->NeedsPredictTimeTransform() || !allow_parallel) {
+    // Serial path: either the pipeline's predict-time transform cache is
+    // not safe for concurrent rows, or we are already on a pool worker.
+    std::unique_lock<std::mutex> lock(*model.score_mu, std::defer_lock);
+    if (model.pipeline->NeedsPredictTimeTransform()) lock.lock();
+    for (std::size_t row = 0; row < n; ++row) {
+      FAIRBENCH_RETURN_NOT_OK(score_row(row));
+    }
+  } else {
+    ParallelOptions popts;
+    popts.pool = pool_.get();
+    popts.min_chunk = 64;
+    FAIRBENCH_RETURN_NOT_OK(ParallelFor(n, score_row, popts));
+  }
+  response.score_seconds = score_timer.ElapsedSeconds();
+  response.predictions = std::move(predictions);
+  FAIRBENCH_COUNTER_ADD("serve.rows_scored.total",
+                        static_cast<uint64_t>(n));
+  return response;
+}
+
+Result<ScoringService::CachedModel> ScoringService::GetOrFit(
+    const ScoreRequest& request, uint64_t seed, const Timer& admitted,
+    bool* hit, double* fit_seconds) {
+  const uint64_t fingerprint = DatasetFingerprint(*request.train);
+  const std::string key = CacheKey(request.approach_id, fingerprint, seed);
+
+  std::shared_ptr<Slot> slot;
+  bool fitter = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      slot = it->second;
+      TouchLru(key);
+    } else {
+      slot = std::make_shared<Slot>();
+      cache_.emplace(key, slot);
+      lru_.push_front(key);
+      fitter = true;
+      ++misses_;
+      EvictIfNeeded();
+    }
+    if (!fitter) {
+      // Single-flight: another thread is fitting this key; wait for it
+      // (bounded by the request deadline when one is set).
+      while (!slot->ready) {
+        if (request.deadline_seconds > 0.0) {
+          const double remaining =
+              request.deadline_seconds - admitted.ElapsedSeconds();
+          if (remaining <= 0.0 ||
+              slot_ready_.wait_for(
+                  lock, std::chrono::duration<double>(remaining),
+                  [&] { return slot->ready; }) == false) {
+            FAIRBENCH_COUNTER_ADD("serve.deadline_exceeded.total", 1);
+            return Status::DeadlineExceeded(
+                "deadline expired while waiting for an in-progress fit");
+          }
+        } else {
+          slot_ready_.wait(lock, [&] { return slot->ready; });
+        }
+      }
+      if (slot->status.ok()) ++hits_;
+      FAIRBENCH_COUNTER_ADD(slot->status.ok() ? "serve.cache.hit"
+                                              : "serve.cache.miss",
+                            1);
+      *hit = slot->status.ok();
+      *fit_seconds = 0.0;
+      FAIRBENCH_RETURN_NOT_OK(slot->status);
+      return CachedModel{slot->pipeline, slot->score_mu};
+    }
+  }
+
+  // Cache miss: fit outside the lock so other keys stay servable.
+  FAIRBENCH_COUNTER_ADD("serve.cache.miss", 1);
+  FAIRBENCH_TRACE_SPAN("serve",
+                       options_.run.SpanName("serve.fit") + "/" + key);
+  Timer fit_timer;
+  Status status = Status::OK();
+  std::shared_ptr<Pipeline> pipeline;
+  Result<Pipeline> made = MakePipeline(request.approach_id);
+  if (!made.ok()) {
+    status = made.status();
+  } else {
+    pipeline = std::make_shared<Pipeline>(std::move(made).value());
+    FairContext context;
+    context.seed = seed;
+    status = pipeline->Fit(*request.train, context);
+  }
+  const double elapsed = fit_timer.ElapsedSeconds();
+  FAIRBENCH_HISTOGRAM_RECORD("serve.fit.ms", elapsed * 1e3, 10.0, 100.0,
+                             1000.0, 10000.0, 60000.0);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->status = status;
+    slot->pipeline = std::move(pipeline);
+    slot->fit_seconds = elapsed;
+    slot->ready = true;
+    if (!status.ok()) {
+      // Failed fits are not cached: drop the slot so a later request can
+      // retry (waiters already hold their shared_ptr and see the error).
+      cache_.erase(key);
+      for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (*it == key) {
+          lru_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  slot_ready_.notify_all();
+  FAIRBENCH_RETURN_NOT_OK(status);
+  *hit = false;
+  *fit_seconds = elapsed;
+  return CachedModel{slot->pipeline, slot->score_mu};
+}
+
+void ScoringService::TouchLru(const std::string& key) {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (*it == key) {
+      lru_.splice(lru_.begin(), lru_, it);
+      return;
+    }
+  }
+}
+
+void ScoringService::EvictIfNeeded() {
+  while (cache_.size() > options_.cache_capacity && !lru_.empty()) {
+    // Walk from the cold end; never evict a slot mid-fit (waiters poll it).
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto entry = cache_.find(*it);
+      if (entry != cache_.end() && entry->second->ready) {
+        FAIRBENCH_COUNTER_ADD("serve.cache.evicted.total", 1);
+        cache_.erase(entry);
+        lru_.erase(std::next(it).base());
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // Everything cold is mid-fit; stay oversized.
+  }
+  FAIRBENCH_GAUGE_SET("serve.cache.size", static_cast<double>(cache_.size()));
+}
+
+CacheStats ScoringService::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.size = cache_.size();
+  return stats;
+}
+
+void ScoringService::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keep slots that are still fitting; their waiters need the fill.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second->ready) {
+      lru_.remove(it->first);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  FAIRBENCH_GAUGE_SET("serve.cache.size", static_cast<double>(cache_.size()));
+}
+
+}  // namespace serve
+}  // namespace fairbench

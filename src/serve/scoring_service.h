@@ -1,0 +1,149 @@
+#ifndef FAIRBENCH_SERVE_SCORING_SERVICE_H_
+#define FAIRBENCH_SERVE_SCORING_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "core/run_options.h"
+#include "data/dataset.h"
+#include "exec/thread_pool.h"
+
+namespace fairbench {
+namespace serve {
+
+/// Configuration of a ScoringService.
+struct ScoringServiceOptions {
+  /// Shared execution knobs; `run.threads` sizes the worker pool and
+  /// `run.seed` is the default fit seed when a request leaves `seed` unset.
+  core::RunOptions run;
+
+  /// Fitted pipelines kept warm, least-recently-used eviction. Each entry
+  /// is one fitted Pipeline keyed (approach_id, dataset_fingerprint, seed).
+  std::size_t cache_capacity = 8;
+
+  /// Upper bound on requests admitted but not yet finished. When full,
+  /// Score()/ScoreAsync() *reject immediately* with ResourceExhausted —
+  /// they never block the caller — which keeps overload failure fast and
+  /// explicit (the backpressure contract; see docs/serving.md).
+  std::size_t max_in_flight = 32;
+};
+
+/// One batch scoring request: score every row of `data` under the given
+/// registry approach, fitting on `train` if no cached model exists.
+struct ScoreRequest {
+  std::string approach_id;
+  const Dataset* train = nullptr;  ///< Fit data (cache-miss path).
+  const Dataset* data = nullptr;   ///< Rows to score.
+
+  /// Fit seed; part of the cache key. 0 = use options.run.seed.
+  uint64_t seed = 0;
+
+  /// Wall-clock budget in seconds, measured from admission. 0 = none.
+  /// Missing it yields DeadlineExceeded; a partially-fit model is still
+  /// cached so the retry is warm.
+  double deadline_seconds = 0.0;
+};
+
+/// Outcome of one request.
+struct ScoreResponse {
+  std::vector<int> predictions;  ///< One 0/1 label per row of `data`.
+  bool cache_hit = false;        ///< Model came from the warm cache.
+  double fit_seconds = 0.0;      ///< 0 on cache hits.
+  double score_seconds = 0.0;
+};
+
+/// Cache counters (also exported as serve.* obs metrics).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  std::size_t size = 0;
+};
+
+/// Thread-safe batch scorer over the approach registry.
+///
+/// - Fitted pipelines are cached under (approach_id, DatasetFingerprint,
+///   seed) with LRU eviction; concurrent misses on one key fit once and
+///   share the result (single-flight).
+/// - Rows of a batch are scored in parallel on an exec::ThreadPool.
+/// - Admission is bounded: at most max_in_flight requests past the door,
+///   beyond that Score() returns ResourceExhausted immediately.
+/// - Deadlines are checked at admission, after fit, and between scoring
+///   chunks, returning DeadlineExceeded on the first check that misses.
+class ScoringService {
+ public:
+  explicit ScoringService(ScoringServiceOptions options = {});
+
+  /// Scores one batch synchronously. Safe to call from many threads.
+  Result<ScoreResponse> Score(const ScoreRequest& request);
+
+  /// Queues the request on the worker pool and returns a future for its
+  /// result. A full service yields an immediately-ready ResourceExhausted
+  /// future rather than blocking.
+  std::future<Result<ScoreResponse>> ScoreAsync(ScoreRequest request);
+
+  CacheStats cache_stats() const;
+
+  /// Drops every cached model (stats keep accumulating).
+  void ClearCache();
+
+ private:
+  /// One cache slot; `ready` flips once under the service mutex when the
+  /// fitting thread finishes (successfully or not).
+  struct Slot {
+    bool ready = false;
+    Status status = Status::OK();
+    std::shared_ptr<const Pipeline> pipeline;
+    double fit_seconds = 0.0;
+    /// Serializes scoring for pipelines with a predict-time feature
+    /// transform, whose per-dataset transform cache is not thread-safe.
+    std::shared_ptr<std::mutex> score_mu = std::make_shared<std::mutex>();
+  };
+
+  struct CachedModel {
+    std::shared_ptr<const Pipeline> pipeline;
+    std::shared_ptr<std::mutex> score_mu;
+  };
+
+  Result<ScoreResponse> ScoreAdmitted(const ScoreRequest& request,
+                                      const Timer& admitted,
+                                      bool allow_parallel);
+
+  /// Returns the fitted pipeline for the request's cache key, fitting at
+  /// most once per key across threads. `*hit` reports warm vs cold.
+  Result<CachedModel> GetOrFit(const ScoreRequest& request, uint64_t seed,
+                               const Timer& admitted, bool* hit,
+                               double* fit_seconds);
+
+  Status CheckDeadline(const ScoreRequest& request, const Timer& admitted,
+                       const char* stage) const;
+
+  void TouchLru(const std::string& key);
+  void EvictIfNeeded();
+
+  ScoringServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_ready_;
+  std::map<std::string, std::shared_ptr<Slot>> cache_;
+  std::list<std::string> lru_;  ///< Front = most recent.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_SCORING_SERVICE_H_

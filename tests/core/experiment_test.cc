@@ -7,7 +7,7 @@ namespace {
 
 ExperimentOptions FastOptions(uint64_t seed) {
   ExperimentOptions options;
-  options.seed = seed;
+  options.run.seed = seed;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   return options;

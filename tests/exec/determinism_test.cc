@@ -15,8 +15,8 @@ namespace {
 
 ExperimentOptions FastOptions(std::size_t threads) {
   ExperimentOptions options;
-  options.seed = 42;
-  options.threads = threads;
+  options.run.seed = 42;
+  options.run.threads = threads;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   return options;
@@ -60,7 +60,7 @@ TEST(DeterminismTest, CrossValidationIsThreadCountInvariant) {
   auto run = [&](std::size_t threads) {
     CrossValidationOptions options;
     options.folds = 3;
-    options.threads = threads;
+    options.run.threads = threads;
     return CrossValidateAll(data, ctx, {"lr", "kamcal"}, options);
   };
   Result<std::vector<CrossValidationResult>> serial = run(1);
@@ -79,8 +79,8 @@ TEST(DeterminismTest, StabilityRunsAreThreadCountInvariant) {
   auto run = [&](std::size_t threads) {
     StabilityOptions options;
     options.runs = 3;
-    options.seed = 42;
-    options.threads = threads;
+    options.run.seed = 42;
+    options.run.threads = threads;
     options.compute_cd = false;
     return RunStability(data, ctx, {"lr"}, options);
   };

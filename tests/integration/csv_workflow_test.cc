@@ -31,7 +31,7 @@ TEST(CsvWorkflowTest, LoadedDatasetReproducesInMemoryExperiment) {
   EXPECT_EQ(loaded->labels(), original.labels());
 
   ExperimentOptions options;
-  options.seed = 2;
+  options.run.seed = 2;
   options.compute_cd = false;
   // Resolving attributes must exist in the loaded schema too.
   FairContext ctx = MakeContext(GermanConfig(), 2);

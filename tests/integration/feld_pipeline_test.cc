@@ -13,7 +13,7 @@ namespace {
 TEST(FeldPipelineTest, FullRepairApproachesParityOnTestData) {
   const Dataset data = GenerateAdult(9000, 1).value();
   ExperimentOptions options;
-  options.seed = 2;
+  options.run.seed = 2;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   const ExperimentResult result =

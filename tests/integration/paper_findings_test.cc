@@ -17,7 +17,7 @@ const ExperimentResult& AdultExperiment() {
   static const ExperimentResult* result = [] {
     const Dataset data = GenerateAdult(9000, 71).value();
     ExperimentOptions options;
-    options.seed = 72;
+    options.run.seed = 72;
     options.cd.confidence = 0.95;
     options.cd.error_bound = 0.05;
     return new ExperimentResult(
@@ -120,7 +120,7 @@ TEST(PaperFindingsTest, GermanIsMildlyBiasedEvenForLr) {
   // on all fairness metrics.
   const Dataset data = GenerateGerman(1000, 73).value();
   ExperimentOptions options;
-  options.seed = 74;
+  options.run.seed = 74;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   const ExperimentResult result =
@@ -140,7 +140,7 @@ TEST(PaperFindingsTest, StabilityVarianceIsLow) {
   options.runs = 5;
   options.compute_cd = false;
   options.compute_crd = false;
-  options.seed = 76;
+  options.run.seed = 76;
   const std::vector<StabilityResult> results =
       RunStability(data, MakeContext(AdultConfig(), 75),
                    {"lr", "kamcal", "zafar_dp_fair", "hardt"}, options)

@@ -19,7 +19,7 @@ class ApproachPropertyTest : public testing::TestWithParam<std::string> {
 
   static ExperimentOptions FastOptions() {
     ExperimentOptions options;
-    options.seed = 32;
+    options.run.seed = 32;
     options.cd.confidence = 0.9;
     options.cd.error_bound = 0.1;
     return options;
@@ -103,7 +103,7 @@ TEST(StagePropertyTest, SBlindInProcessorsHaveZeroCd) {
   const Dataset data = GenerateAdult(1200, 51).value();
   const FairContext ctx = MakeContext(AdultConfig(), 51);
   ExperimentOptions options;
-  options.seed = 52;
+  options.run.seed = 52;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   const ExperimentResult result =

@@ -13,7 +13,7 @@ TEST(SmokeTest, AllApproachesRunOnSmallGerman) {
   ASSERT_TRUE(data.ok()) << data.status().ToString();
 
   ExperimentOptions options;
-  options.seed = 5;
+  options.run.seed = 5;
   options.cd.confidence = 0.9;  // Keep the CD sample cheap in tests.
   options.cd.error_bound = 0.1;
   const FairContext context = MakeContext(GermanConfig(), 5);

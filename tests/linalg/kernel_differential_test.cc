@@ -292,8 +292,8 @@ TEST(KernelDifferentialTest, ExperimentTableMatchesSeedGolden) {
   const Dataset data = GenerateGerman(600, 5).value();
   const FairContext ctx = MakeContext(GermanConfig(), 5);
   ExperimentOptions options;
-  options.seed = 42;
-  options.threads = 1;
+  options.run.seed = 42;
+  options.run.threads = 1;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   Result<ExperimentResult> result = RunExperiment(

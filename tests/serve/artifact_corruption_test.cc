@@ -1,0 +1,132 @@
+// Adversarial artifact input: truncation, bit flips, trailing garbage,
+// and mis-framed streams must all yield clean Status errors — never a
+// crash or out-of-bounds read (run under ASan by tools/ci.sh).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "serve/artifact.h"
+#include "serve/pipeline_artifact.h"
+
+namespace fairbench {
+namespace {
+
+/// One small fitted artifact shared by every corruption case.
+std::string MakeArtifact() {
+  Result<Dataset> data = GenerateGerman(300, /*seed=*/11);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  Result<Pipeline> pipeline = MakePipeline("kamcal");
+  EXPECT_TRUE(pipeline.ok());
+  EXPECT_TRUE(pipeline->Fit(*data, MakeContext(GermanConfig(), 5)).ok());
+  Result<std::string> bytes = SerializePipeline(*pipeline, "kamcal");
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return *bytes;
+}
+
+TEST(ArtifactCorruptionTest, EveryTruncationFailsCleanly) {
+  const std::string bytes = MakeArtifact();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Result<Pipeline> loaded = DeserializePipeline(bytes.substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "truncation at " << len << " accepted";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "truncation at " << len << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(ArtifactCorruptionTest, SingleByteFlipsFailCleanly) {
+  const std::string bytes = MakeArtifact();
+  // Flip one byte at a stride of positions covering header, body, and
+  // checksum trailer. The checksum covers everything before the trailer,
+  // so any body flip is caught before field decoding even starts.
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5a);
+    Result<Pipeline> loaded = DeserializePipeline(corrupt);
+    ASSERT_FALSE(loaded.ok()) << "flip at " << pos << " accepted";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "flip at " << pos << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(ArtifactCorruptionTest, TrailingGarbageIsRejected) {
+  std::string bytes = MakeArtifact();
+  bytes += "extra";
+  Result<Pipeline> loaded = DeserializePipeline(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ArtifactCorruptionTest, EmptyAndTinyInputsAreRejected) {
+  for (const std::string& bytes :
+       {std::string(), std::string("x"), std::string("FBSV"),
+        std::string(16, '\0')}) {
+    Result<Pipeline> loaded = DeserializePipeline(bytes);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+    Result<std::string> peeked = PeekApproachId(bytes);
+    EXPECT_FALSE(peeked.ok());
+  }
+}
+
+TEST(ArtifactCorruptionTest, UnknownApproachIdIsNotFound) {
+  // A well-formed envelope whose embedded id is not in the registry:
+  // framing is fine, so the failure must be NotFound, not DataLoss.
+  ArtifactWriter writer;
+  writer.WriteTag(ArtifactTag('A', 'P', 'I', 'D'));
+  writer.WriteString("no_such_approach");
+  Result<Pipeline> loaded = DeserializePipeline(writer.Finish());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArtifactCorruptionTest, WrongApproachStateIsStructuralMismatch) {
+  // Valid state bytes for a *pre*-processing pipeline (kamcal) loaded
+  // into a *post*-processing pipeline (hardt): the envelope parses, but
+  // LoadState must detect that the stage layout does not match rather
+  // than misinterpret the stream.
+  Result<ArtifactReader> reader = ArtifactReader::Open(MakeArtifact());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->ExpectTag(ArtifactTag('A', 'P', 'I', 'D')).ok());
+  ASSERT_TRUE(reader->ReadString().ok());  // skip the embedded id
+
+  Result<Pipeline> target = MakePipeline("hardt");
+  ASSERT_TRUE(target.ok());
+  Status st = target->LoadState(&*reader);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(target->fitted());
+}
+
+TEST(ArtifactCorruptionTest, ReaderBoundsChecksEveryField) {
+  ArtifactWriter writer;
+  writer.WriteU32(123);
+  Result<ArtifactReader> reader = ArtifactReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  // First read succeeds, every subsequent read runs off the body end.
+  EXPECT_TRUE(reader->ReadU32().ok());
+  EXPECT_EQ(reader->ReadU64().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reader->ReadDouble().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reader->ReadString().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reader->ReadDoubleVec().status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(reader->ExpectEnd().ok());
+}
+
+TEST(ArtifactCorruptionTest, HugeLengthPrefixIsRejectedNotAllocated) {
+  // A string whose length prefix claims ~2^63 bytes: the reader must
+  // reject against the actual remaining size instead of allocating.
+  ArtifactWriter writer;
+  writer.WriteU64(0x7fffffffffffffffull);
+  Result<ArtifactReader> reader = ArtifactReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadString().status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace fairbench

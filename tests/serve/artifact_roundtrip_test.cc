@@ -1,0 +1,124 @@
+// Golden round-trip: every approach in the registry fits, serializes to a
+// deterministic artifact, reloads, and reproduces its predictions
+// byte-identically — the core contract of the serve artifact format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "serve/pipeline_artifact.h"
+
+namespace fairbench {
+namespace {
+
+struct Fixture {
+  Dataset train;
+  Dataset test;
+  FairContext context;
+};
+
+/// Small German split shared by every case; sized so the slowest
+/// approaches (MaxSAT, Calmon) stay test-budget friendly.
+Fixture MakeFixture() {
+  Result<Dataset> data = GenerateGerman(500, /*seed=*/11);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  Rng rng(7);
+  SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts =
+      MaterializeSplit(*data, split);
+  EXPECT_TRUE(parts.ok()) << parts.status().ToString();
+  return Fixture{std::move(parts->first), std::move(parts->second),
+                 MakeContext(GermanConfig(), /*seed=*/5)};
+}
+
+TEST(ArtifactRoundTripTest, EveryRegistryApproachRoundTripsByteIdentical) {
+  const Fixture fx = MakeFixture();
+  for (const std::string& id : AllApproachIds()) {
+    SCOPED_TRACE(id);
+    Result<Pipeline> pipeline = MakePipeline(id);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    ASSERT_TRUE(pipeline->Fit(fx.train, fx.context).ok()) << id;
+
+    Result<std::vector<int>> before = pipeline->Predict(fx.test);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+    Result<std::string> bytes = SerializePipeline(*pipeline, id);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+    // Determinism: the same fitted pipeline always produces the same
+    // bytes (no pointer-order iteration, no uninitialized padding).
+    Result<std::string> again = SerializePipeline(*pipeline, id);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*bytes, *again) << id << ": serialization not deterministic";
+
+    Result<std::string> peeked = PeekApproachId(*bytes);
+    ASSERT_TRUE(peeked.ok()) << peeked.status().ToString();
+    EXPECT_EQ(*peeked, id);
+
+    Result<Pipeline> loaded = DeserializePipeline(*bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded->fitted());
+
+    Result<std::vector<int>> after = loaded->Predict(fx.test);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(*before, *after)
+        << id << ": reloaded pipeline predicts differently";
+
+    // And the reloaded model re-serializes to the very same artifact.
+    Result<std::string> rebytes = SerializePipeline(*loaded, id);
+    ASSERT_TRUE(rebytes.ok());
+    EXPECT_EQ(*bytes, *rebytes) << id << ": save/load/save not a fixpoint";
+  }
+}
+
+TEST(ArtifactRoundTripTest, UnfittedPipelineRefusesToSerialize) {
+  Result<Pipeline> pipeline = MakePipeline("lr");
+  ASSERT_TRUE(pipeline.ok());
+  Result<std::string> bytes = SerializePipeline(*pipeline, "lr");
+  EXPECT_EQ(bytes.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArtifactRoundTripTest, FileSaveLoadRoundTrip) {
+  const Fixture fx = MakeFixture();
+  Result<Pipeline> pipeline = MakePipeline("hardt");
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Fit(fx.train, fx.context).ok());
+  Result<std::vector<int>> before = pipeline->Predict(fx.test);
+  ASSERT_TRUE(before.ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/fairbench_artifact_test.fbsv";
+  ASSERT_TRUE(SavePipelineArtifact(*pipeline, "hardt", path).ok());
+  Result<Pipeline> loaded = LoadPipelineArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Result<std::vector<int>> after = loaded->Predict(fx.test);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactRoundTripTest, MissingFileIsIoError) {
+  Result<Pipeline> loaded =
+      LoadPipelineArtifact("/nonexistent/dir/artifact.fbsv");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ArtifactRoundTripTest, DatasetFingerprintIsContentSensitive) {
+  Result<Dataset> a = GenerateGerman(300, /*seed=*/11);
+  Result<Dataset> b = GenerateGerman(300, /*seed=*/11);
+  Result<Dataset> c = GenerateGerman(300, /*seed=*/12);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(DatasetFingerprint(*a), DatasetFingerprint(*b));
+  EXPECT_NE(DatasetFingerprint(*a), DatasetFingerprint(*c));
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,252 @@
+// ScoringService contract tests: cache hit/miss semantics, single-flight
+// fitting under concurrency (the TSan target in tools/ci.sh), deadlines,
+// and the reject-don't-block backpressure contract.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "serve/scoring_service.h"
+
+namespace fairbench {
+namespace {
+
+using serve::CacheStats;
+using serve::ScoreRequest;
+using serve::ScoreResponse;
+using serve::ScoringService;
+using serve::ScoringServiceOptions;
+
+struct Fixture {
+  Dataset train;
+  Dataset test;
+};
+
+Fixture MakeFixture() {
+  Result<Dataset> data = GenerateGerman(400, /*seed=*/11);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  Rng rng(7);
+  SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts =
+      MaterializeSplit(*data, split);
+  EXPECT_TRUE(parts.ok()) << parts.status().ToString();
+  return Fixture{std::move(parts->first), std::move(parts->second)};
+}
+
+ScoreRequest MakeRequest(const Fixture& fx, const std::string& id) {
+  ScoreRequest request;
+  request.approach_id = id;
+  request.train = &fx.train;
+  request.data = &fx.test;
+  return request;
+}
+
+TEST(ScoringServiceTest, ColdThenWarmMatchesDirectFit) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.run.seed = 5;
+  ScoringService service(options);
+
+  Result<ScoreResponse> cold = service.Score(MakeRequest(fx, "hardt"));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_GT(cold->fit_seconds, 0.0);
+  EXPECT_EQ(cold->predictions.size(), fx.test.num_rows());
+
+  Result<ScoreResponse> warm = service.Score(MakeRequest(fx, "hardt"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->fit_seconds, 0.0);
+  EXPECT_EQ(warm->predictions, cold->predictions);
+
+  // The service must reproduce a plain fit-then-predict exactly.
+  Result<Pipeline> direct = MakePipeline("hardt");
+  ASSERT_TRUE(direct.ok());
+  const FairContext context{{}, {}, /*seed=*/5};
+  ASSERT_TRUE(direct->Fit(fx.train, context).ok());
+  Result<std::vector<int>> expected = direct->Predict(fx.test);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(cold->predictions, *expected);
+
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ScoringServiceTest, SeedIsPartOfTheCacheKey) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.seed = 21;
+  ASSERT_TRUE(service.Score(request).ok());
+  request.seed = 22;
+  Result<ScoreResponse> other = service.Score(request);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->cache_hit);
+  EXPECT_EQ(service.cache_stats().misses, 2u);
+  EXPECT_EQ(service.cache_stats().size, 2u);
+}
+
+TEST(ScoringServiceTest, LruEvictsColdestEntry) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.cache_capacity = 2;
+  ScoringService service(options);
+
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "lr")).ok());
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "hardt")).ok());
+  // Touch "lr" so "hardt" is the LRU victim of the third insert.
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "lr")).ok());
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "kamcal")).ok());
+  EXPECT_EQ(service.cache_stats().size, 2u);
+
+  Result<ScoreResponse> lr = service.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(lr.ok());
+  EXPECT_TRUE(lr->cache_hit) << "recently-used entry was evicted";
+  Result<ScoreResponse> hardt = service.Score(MakeRequest(fx, "hardt"));
+  ASSERT_TRUE(hardt.ok());
+  EXPECT_FALSE(hardt->cache_hit) << "LRU victim survived eviction";
+}
+
+TEST(ScoringServiceTest, UnknownApproachAndNullDatasetsAreRejected) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+
+  Result<ScoreResponse> unknown =
+      service.Score(MakeRequest(fx, "no_such_approach"));
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.train = nullptr;
+  EXPECT_EQ(service.Score(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request = MakeRequest(fx, "lr");
+  request.data = nullptr;
+  EXPECT_EQ(service.Score(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScoringServiceTest, ImpossibleDeadlineYieldsDeadlineExceeded) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.deadline_seconds = 1e-9;  // Expires before the fit can finish.
+  Result<ScoreResponse> response = service.Score(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A generous deadline on the same key succeeds (and no half-broken
+  // state survived the miss).
+  request.deadline_seconds = 300.0;
+  Result<ScoreResponse> retry = service.Score(request);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(ScoringServiceTest, FullServiceRejectsInsteadOfBlocking) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.max_in_flight = 0;  // Every admission check sees a full service.
+  ScoringService service(options);
+
+  Result<ScoreResponse> sync = service.Score(MakeRequest(fx, "lr"));
+  EXPECT_EQ(sync.status().code(), StatusCode::kResourceExhausted);
+
+  // The async path must resolve immediately with the same status, not
+  // enqueue behind the cap.
+  std::future<Result<ScoreResponse>> pending =
+      service.ScoreAsync(MakeRequest(fx, "lr"));
+  ASSERT_EQ(pending.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(pending.get().status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ScoringServiceTest, ScoreAsyncDeliversSameResultAsSync) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+
+  std::future<Result<ScoreResponse>> pending =
+      service.ScoreAsync(MakeRequest(fx, "hardt"));
+  Result<ScoreResponse> async_result = pending.get();
+  ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+
+  Result<ScoreResponse> sync = service.Score(MakeRequest(fx, "hardt"));
+  ASSERT_TRUE(sync.ok());
+  EXPECT_TRUE(sync->cache_hit) << "async result did not warm the cache";
+  EXPECT_EQ(sync->predictions, async_result->predictions);
+}
+
+/// The concurrent-cache smoke tools/ci.sh runs under TSan: many threads
+/// race on one cold key (single-flight: exactly one fit) and on a
+/// transform-caching Feld pipeline (whose scoring must be serialized by
+/// the service), all while another key is evicted and refit.
+TEST(ScoringServiceTest, ConcurrentCacheSmoke) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.run.seed = 5;
+  options.cache_capacity = 4;
+  options.max_in_flight = 64;
+  ScoringService service(options);
+
+  constexpr int kThreads = 8;
+  const std::vector<std::string> ids = {"lr", "feld06", "hardt", "lr",
+                                        "feld06", "hardt", "lr", "feld06"};
+  std::vector<std::vector<int>> predictions(kThreads);
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Result<ScoreResponse> r = service.Score(MakeRequest(fx, ids[t]));
+      if (r.ok()) {
+        predictions[t] = std::move(r->predictions);
+      } else {
+        statuses[t] = r.status();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << ids[t] << ": "
+                                  << statuses[t].ToString();
+  }
+  // Same approach => identical predictions regardless of which thread
+  // fit the model (single-flight) or how scoring interleaved.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int u = t + 1; u < kThreads; ++u) {
+      if (ids[t] == ids[u]) {
+        EXPECT_EQ(predictions[t], predictions[u]);
+      }
+    }
+  }
+  // Three distinct keys, each fit exactly once.
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads) - 3u);
+  EXPECT_EQ(stats.size, 3u);
+}
+
+TEST(ScoringServiceTest, ClearCacheForcesRefit) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "lr")).ok());
+  service.ClearCache();
+  EXPECT_EQ(service.cache_stats().size, 0u);
+  Result<ScoreResponse> refit = service.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(refit.ok());
+  EXPECT_FALSE(refit->cache_hit);
+}
+
+}  // namespace
+}  // namespace fairbench

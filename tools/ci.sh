@@ -16,6 +16,12 @@
 #          must vanish cleanly (library + benches + tools still build), and
 #          the kernel differential harness must still pass with the
 #          obs counters compiled out.
+# Stage 6: Serving gate: the artifact round-trip and the concurrent-cache
+#          smoke re-run under TSan (single-flight fitting and the
+#          serialized Feld scoring path are lock-ordering-sensitive), the
+#          corruption suite re-runs under ASan+UBSan (artifact stores are
+#          untrusted input), and the committed BENCH_serve.json must match
+#          the schema tools/record_bench.py emits.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -76,5 +82,31 @@ cmake --build build-obs-off -j "${JOBS}"
 # (the kernels' arithmetic must not depend on the obs macro expansion).
 ctest --test-dir build-obs-off --output-on-failure \
     -R 'kernel_differential_test'
+
+echo "==> Stage 6: Serving gate (TSan cache smoke, ASan corruption, bench schema)"
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j "${JOBS}" \
+    -R 'artifact_roundtrip_test|scoring_service_test'
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'artifact_corruption_test|artifact_roundtrip_test'
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_serve.json"))
+assert bench["source"] == "bench/serve_throughput", bench.get("source")
+assert bench["approaches"], "no approaches recorded"
+for a in bench["approaches"]:
+    for key in ("id", "repetitions", "cold", "warm", "warm_speedup"):
+        assert key in a, f"{a.get('id', '?')}: missing {key}"
+    for side in ("cold", "warm"):
+        assert a[side]["seconds_per_request"] > 0, f"{a['id']}: bad {side}"
+        assert a[side]["req_per_sec"] > 0, f"{a['id']}: bad {side} rate"
+    assert a["repetitions"] >= 3, f"{a['id']}: too few repetitions for a median"
+    assert a["warm_speedup"] >= 10, (
+        f"{a['id']}: warm cache only {a['warm_speedup']}x over fit-then-score"
+    )
+print(f"BENCH_serve.json ok: {len(bench['approaches'])} approaches, "
+      f"min speedup {min(a['warm_speedup'] for a in bench['approaches'])}x")
+EOF
 
 echo "==> CI passed"

@@ -24,8 +24,8 @@ namespace {
 // determinism tests use.
 ExperimentOptions GoldenOptions() {
   ExperimentOptions options;
-  options.seed = 42;
-  options.threads = 1;
+  options.run.seed = 42;
+  options.run.threads = 1;
   options.cd.confidence = 0.9;
   options.cd.error_bound = 0.1;
   return options;

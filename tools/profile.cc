@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_common.h"
 #include "common/timer.h"
 #include "core/experiment.h"
 #include "core/export.h"
@@ -40,7 +41,7 @@ Result<ProfileRun> RunOnce(const Dataset& data, const FairContext& context,
                            const std::vector<std::string>& ids,
                            std::size_t threads, bool compute_cd) {
   ExperimentOptions options;
-  options.threads = threads;
+  options.run.threads = threads;
   options.compute_cd = compute_cd;
   if (compute_cd) {
     options.cd.confidence = 0.95;
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
       frac = atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<std::size_t>(atoi(argv[++i]));
+      jobs = bench::ParsePositiveCount("--jobs", argv[++i]);
     } else if (std::strcmp(argv[i], "--cd") == 0) {
       compute_cd = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {

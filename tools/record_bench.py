@@ -1,28 +1,35 @@
 #!/usr/bin/env python3
-"""Distill google-benchmark JSON from bench/micro_kernels into BENCH_kernels.json.
+"""Distill raw benchmark JSON into the committed BENCH_*.json records.
 
-Usage:
-    bench/micro_kernels --benchmark_repetitions=5 \
-        --benchmark_report_aggregates_only=true \
-        --benchmark_format=json > raw.json
-    tools/record_bench.py raw.json > BENCH_kernels.json
+Two input shapes, detected automatically:
 
-Keeps the median aggregate per benchmark (ns/op and GFLOP/s) and pairs each
-optimized kernel with its linalg::ref oracle to report the speedup. Runs
-without aggregates (no _median suffix) are accepted too.
+1. google-benchmark output from bench/micro_kernels -> BENCH_kernels.json:
+
+       bench/micro_kernels --benchmark_repetitions=5 \
+           --benchmark_report_aggregates_only=true \
+           --benchmark_format=json > raw.json
+       tools/record_bench.py raw.json > BENCH_kernels.json
+
+   Keeps the median aggregate per benchmark (ns/op and GFLOP/s) and pairs
+   each optimized kernel with its linalg::ref oracle to report the
+   speedup. Runs without aggregates (no _median suffix) are accepted too.
+
+2. per-repetition output from bench/serve_throughput -> BENCH_serve.json:
+
+       bench/serve_throughput --reps 5 --json raw.json
+       tools/record_bench.py raw.json > BENCH_serve.json
+
+   Collapses each approach's repetitions to the median (the 1-vCPU noise
+   policy: repetitions + median, never a single run) and reports cold vs
+   warm requests/second plus the warm-cache speedup.
 """
 
 import json
+import statistics
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        raw = json.load(f)
-
+def distill_kernels(raw: dict) -> dict:
     rows = {}
     for b in raw["benchmarks"]:
         name = b["name"]
@@ -57,6 +64,56 @@ def main() -> int:
                     rows[name]["ns_per_op"] / rows[opt_name]["ns_per_op"], 2
                 )
         out["kernels"].append(entry)
+    return out
+
+
+def distill_serve(raw: dict) -> dict:
+    out = {
+        "source": raw["source"],
+        "policy": "median over repetitions (see MEMORY: 1-vCPU bench noise)",
+        "context": {
+            k: raw.get(k)
+            for k in ("scale", "seed", "jobs", "train_rows", "batch_rows",
+                      "warm_requests_per_rep")
+        },
+        "approaches": [],
+    }
+    for approach in raw["approaches"]:
+        reps = approach["repetitions"]
+        cold = statistics.median(r["cold_seconds"] for r in reps)
+        warm = statistics.median(r["warm_seconds_per_request"] for r in reps)
+        out["approaches"].append(
+            {
+                "id": approach["id"],
+                "repetitions": len(reps),
+                "cold": {
+                    "seconds_per_request": round(cold, 6),
+                    "req_per_sec": round(1.0 / cold, 2) if cold > 0 else None,
+                },
+                "warm": {
+                    "seconds_per_request": round(warm, 6),
+                    "req_per_sec": round(1.0 / warm, 2) if warm > 0 else None,
+                },
+                "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+            }
+        )
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+
+    if "benchmarks" in raw:
+        out = distill_kernels(raw)
+    elif raw.get("source") == "bench/serve_throughput":
+        out = distill_serve(raw)
+    else:
+        print("unrecognized raw benchmark JSON", file=sys.stderr)
+        return 2
 
     json.dump(out, sys.stdout, indent=2)
     print()
