@@ -192,7 +192,9 @@ Result<std::string> ArtifactReader::ReadString() {
 
 Result<std::vector<double>> ArtifactReader::ReadDoubleVec() {
   FAIRBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
-  if (size * 8 > kMaxFieldBytes) {
+  // Compare element counts: `size * 8` could wrap modulo 2^64 for
+  // size >= 2^61 and sneak a huge length past the cap.
+  if (size > kMaxFieldBytes / 8) {
     return Status::DataLoss(
         StrFormat("artifact vector length %llu is implausible",
                   static_cast<unsigned long long>(size)));
@@ -207,7 +209,7 @@ Result<std::vector<double>> ArtifactReader::ReadDoubleVec() {
 
 Result<std::vector<int>> ArtifactReader::ReadIntVec() {
   FAIRBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
-  if (size * 4 > kMaxFieldBytes) {
+  if (size > kMaxFieldBytes / 4) {  // Count, not bytes: see ReadDoubleVec.
     return Status::DataLoss(
         StrFormat("artifact vector length %llu is implausible",
                   static_cast<unsigned long long>(size)));

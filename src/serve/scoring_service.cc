@@ -26,6 +26,15 @@ ScoringService::ScoringService(ScoringServiceOptions options)
     : options_(std::move(options)),
       pool_(std::make_unique<ThreadPool>(options_.run.threads)) {}
 
+ScoringService::~ScoringService() {
+  // ~ThreadPool drains its queue, so queued ScoreAsync tasks still run
+  // here. Reset the pool explicitly *before* implicit member destruction:
+  // otherwise mu_/slot_ready_/cache_/in_flight_ (declared after pool_,
+  // hence destroyed first) would already be gone when those tasks touch
+  // them.
+  pool_.reset();
+}
+
 Result<ScoreResponse> ScoringService::Score(const ScoreRequest& request) {
   Timer admitted;
   // Admission control: never block the caller; a full service says so.

@@ -41,6 +41,11 @@ struct ScoringServiceOptions {
 
 /// One batch scoring request: score every row of `data` under the given
 /// registry approach, fitting on `train` if no cached model exists.
+///
+/// `train` and `data` are borrowed, not owned: the caller must keep both
+/// datasets alive until the request finishes — for ScoreAsync, until the
+/// returned future resolves or the service is destroyed, whichever comes
+/// first (destruction drains pending requests, which still read them).
 struct ScoreRequest {
   std::string approach_id;
   const Dataset* train = nullptr;  ///< Fit data (cache-miss path).
@@ -84,12 +89,20 @@ class ScoringService {
  public:
   explicit ScoringService(ScoringServiceOptions options = {});
 
+  /// Drains the worker pool before any other member is torn down, so
+  /// queued ScoreAsync work always runs against live state. Callers may
+  /// safely abandon ScoreAsync futures and drop the service; pending
+  /// requests still execute (their results are simply discarded).
+  ~ScoringService();
+
   /// Scores one batch synchronously. Safe to call from many threads.
   Result<ScoreResponse> Score(const ScoreRequest& request);
 
   /// Queues the request on the worker pool and returns a future for its
   /// result. A full service yields an immediately-ready ResourceExhausted
-  /// future rather than blocking.
+  /// future rather than blocking. The request's `train`/`data` datasets
+  /// must outlive the future (see ScoreRequest); the future itself may be
+  /// abandoned without awaiting it.
   std::future<Result<ScoreResponse>> ScoreAsync(ScoreRequest request);
 
   CacheStats cache_stats() const;

@@ -128,5 +128,29 @@ TEST(ArtifactCorruptionTest, HugeLengthPrefixIsRejectedNotAllocated) {
   EXPECT_EQ(reader->ReadString().status().code(), StatusCode::kDataLoss);
 }
 
+TEST(ArtifactCorruptionTest, OverflowingVectorLengthIsRejected) {
+  // Element counts chosen so `count * element_size` wraps modulo 2^64 to
+  // a tiny value: 2^61 doubles -> 0 bytes, 2^62 ints -> 0 bytes (plus
+  // nearby wrap-to-small values). The cap must compare counts, not the
+  // wrapped byte product, or vector(count) aborts the process.
+  for (uint64_t count : {1ull << 61, (1ull << 61) + 1, 1ull << 62,
+                         (1ull << 62) + 1, (1ull << 63) | 1ull}) {
+    ArtifactWriter double_writer;
+    double_writer.WriteU64(count);
+    Result<ArtifactReader> reader =
+        ArtifactReader::Open(double_writer.Finish());
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader->ReadDoubleVec().status().code(), StatusCode::kDataLoss)
+        << "double count " << count;
+
+    ArtifactWriter int_writer;
+    int_writer.WriteU64(count);
+    reader = ArtifactReader::Open(int_writer.Finish());
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader->ReadIntVec().status().code(), StatusCode::kDataLoss)
+        << "int count " << count;
+  }
+}
+
 }  // namespace
 }  // namespace fairbench

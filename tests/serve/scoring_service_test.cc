@@ -237,6 +237,32 @@ TEST(ScoringServiceTest, ConcurrentCacheSmoke) {
   EXPECT_EQ(stats.size, 3u);
 }
 
+TEST(ScoringServiceTest, DestroyWithAbandonedAsyncWorkIsSafe) {
+  // Drop the service while ScoreAsync work is still queued, without ever
+  // awaiting the futures. ~ScoringService resets the pool first, so the
+  // drained tasks must find the mutex/CV/cache/in-flight counter alive
+  // (ASan/TSan in tools/ci.sh would flag the old reverse-order teardown).
+  const Fixture fx = MakeFixture();
+  std::vector<std::future<Result<ScoreResponse>>> futures;
+  {
+    ScoringServiceOptions options;
+    options.run.threads = 2;
+    ScoringService service(options);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(service.ScoreAsync(MakeRequest(fx, "lr")));
+    }
+  }  // Service destroyed here; futures deliberately not awaited yet.
+  // Destruction drained the queue, so every future is ready and valid.
+  for (auto& future : futures) {
+    Result<ScoreResponse> r = future.get();
+    if (r.ok()) {
+      EXPECT_EQ(r->predictions.size(), fx.test.num_rows());
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+}
+
 TEST(ScoringServiceTest, ClearCacheForcesRefit) {
   const Fixture fx = MakeFixture();
   ScoringService service;
