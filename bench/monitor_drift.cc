@@ -1,0 +1,251 @@
+// Streaming-monitor hot path and drift-detection latency: events/second
+// through FairnessMonitor::Ingest + Drain (windowing, bootstrap CIs, and
+// alerting amortized in), plus how many windows after onset each drift
+// kind takes to fire on the Adult generator.
+//
+//   monitor_drift [--reps n] [--rows n] [--onset n] [--json file]
+//
+//     --reps n   timing repetitions per scenario (default 5; the JSON
+//                records every repetition so tools/record_bench.py can
+//                take the median — the 1-vCPU bench-noise policy)
+//     --rows n   events per stream (default 12288)
+//     --onset n  drift onset row (default 4096)
+//     --json f   write the raw per-repetition measurements to f;
+//                distill with: tools/record_bench.py f > BENCH_monitor.json
+//
+// The four scenarios are a stationary stream (the false-positive control:
+// zero alerts required) and one stream per DriftKind. The model is a
+// plain logistic regression fit once on stationary data, so every alert
+// is the monitor noticing the serving distribution walking away from the
+// training distribution — the online analogue of the paper's static
+// train/test mismatch.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "core/registry.h"
+#include "data/generators/drift.h"
+#include "data/generators/population.h"
+#include "monitor/fairness_monitor.h"
+
+using namespace fairbench;
+
+namespace {
+
+struct Scenario {
+  std::string name;       ///< "stationary" or a DriftKindName.
+  bool drifting = false;
+  DriftSchedule schedule;  ///< Ignored when !drifting.
+};
+
+struct Repetition {
+  double ns_per_event = 0.0;
+  uint64_t alerts_pre_onset = 0;   ///< end_sequence <= onset (must be 0).
+  uint64_t alerts_post_onset = 0;
+  int64_t detection_latency = -1;  ///< first alert end_sequence - onset.
+};
+
+/// The e2e-test policy (tests/monitor/drift_detection_test.cc): 0.12
+/// baseline delta except the noisier TPR/TNR balances, two consecutive
+/// breaching windows, four calibration windows.
+monitor::FairnessMonitorOptions MonitorOptions(std::size_t rows) {
+  monitor::FairnessMonitorOptions options;
+  options.window.max_events = 1024;
+  options.stride_events = 512;
+  options.queue_capacity = 2 * rows;
+  options.max_reorder = rows;
+  options.ci.resamples = 25;
+  options.alerts.baseline_windows = 4;
+  for (monitor::SeriesPolicy& policy : options.alerts.series) {
+    policy.mode = monitor::AlertMode::kBaselineDelta;
+    policy.delta = 0.12;
+    policy.consecutive = 2;
+  }
+  options.alerts.policy(monitor::Series::kTprb).delta = 0.35;
+  options.alerts.policy(monitor::Series::kTnrb).delta = 0.35;
+  return options;
+}
+
+double DriftMagnitude(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kCovariateShift:
+      return 1.25;
+    case DriftKind::kLabelShift:
+      return 0.3;
+    case DriftKind::kGroupMixShift:
+      return 0.3;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 5;
+  std::size_t rows = 12288;
+  std::size_t onset = 4096;
+  std::string json_path;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = bench::ParsePositiveCount("--reps", argv[++i]);
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = bench::ParsePositiveCount("--rows", argv[++i]);
+    } else if (std::strcmp(argv[i], "--onset") == 0 && i + 1 < argc) {
+      onset = bench::ParsePositiveCount("--onset", argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args =
+      bench::ParseArgs(static_cast<int>(rest.size()), rest.data());
+  bench::PrintBanner("Streaming monitor: hot path + drift detection", args);
+
+  const PopulationConfig config = AdultConfig();
+  Result<Dataset> train = GeneratePopulation(config, 2000, args.seed + 1);
+  if (!train.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 train.status().ToString().c_str());
+    return 1;
+  }
+  Result<Pipeline> model = MakePipeline("lr");
+  if (!model.ok()) {
+    std::fprintf(stderr, "MakePipeline(lr) failed\n");
+    return 1;
+  }
+  const FairContext context{{}, {}, args.seed + 2};
+  if (const Status fit = model->Fit(*train, context); !fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"stationary", false, {}});
+  for (const DriftKind kind :
+       {DriftKind::kCovariateShift, DriftKind::kLabelShift,
+        DriftKind::kGroupMixShift}) {
+    Scenario s;
+    s.name = DriftKindName(kind);
+    s.drifting = true;
+    s.schedule.kind = kind;
+    s.schedule.onset_row = onset;
+    s.schedule.magnitude = DriftMagnitude(kind);
+    scenarios.push_back(std::move(s));
+  }
+
+  std::printf("rows=%zu, onset=%zu, window=1024, stride=512, reps=%zu\n\n",
+              rows, onset, reps);
+  std::printf("%-12s %14s %12s %12s %16s\n", "scenario", "ns/event",
+              "pre-onset", "post-onset", "latency (events)");
+
+  std::vector<std::pair<std::string, std::vector<Repetition>>> measurements;
+  for (const Scenario& scenario : scenarios) {
+    Result<Dataset> stream =
+        scenario.drifting
+            ? GenerateDriftingPopulation(config, scenario.schedule, rows,
+                                         args.seed + 3)
+            : GeneratePopulation(config, rows, args.seed + 3);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s: generation failed: %s\n",
+                   scenario.name.c_str(),
+                   stream.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<int>> predictions = model->Predict(*stream);
+    if (!predictions.ok()) {
+      std::fprintf(stderr, "%s: predict failed: %s\n", scenario.name.c_str(),
+                   predictions.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<monitor::ScoredEvent> events(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      events[i].sequence = i;
+      events[i].timestamp_nanos = 1000 * (i + 1);
+      events[i].group = static_cast<int16_t>(stream->sensitive()[i]);
+      events[i].prediction = static_cast<int16_t>((*predictions)[i]);
+      events[i].label = static_cast<int16_t>(stream->labels()[i]);
+    }
+
+    std::vector<Repetition> runs;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      monitor::FairnessMonitor fair_monitor(MonitorOptions(rows));
+      Timer timer;
+      for (const monitor::ScoredEvent& event : events) {
+        fair_monitor.Ingest(event);
+      }
+      fair_monitor.Drain();
+      const double seconds = timer.ElapsedSeconds();
+
+      Repetition r;
+      r.ns_per_event = seconds * 1e9 / static_cast<double>(rows);
+      for (const monitor::Alert& alert : fair_monitor.alerts()) {
+        if (alert.end_sequence <= onset) {
+          ++r.alerts_pre_onset;
+        } else {
+          ++r.alerts_post_onset;
+        }
+      }
+      if (!fair_monitor.alerts().empty()) {
+        r.detection_latency = static_cast<int64_t>(
+            fair_monitor.alerts().front().end_sequence - onset);
+      }
+      runs.push_back(r);
+    }
+
+    std::vector<double> ns;
+    ns.reserve(runs.size());
+    for (const Repetition& r : runs) ns.push_back(r.ns_per_event);
+    std::sort(ns.begin(), ns.end());
+    const Repetition& last = runs.back();
+    std::printf("%-12s %13.1f  %11llu  %11llu  %15lld\n",
+                scenario.name.c_str(), ns[ns.size() / 2],
+                static_cast<unsigned long long>(last.alerts_pre_onset),
+                static_cast<unsigned long long>(last.alerts_post_onset),
+                static_cast<long long>(last.detection_latency));
+    measurements.emplace_back(scenario.name, std::move(runs));
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"source\": \"bench/monitor_drift\",\n"
+                 "  \"seed\": %llu,\n  \"rows\": %zu,\n  \"onset\": %zu,\n"
+                 "  \"window_events\": 1024,\n  \"stride_events\": 512,\n"
+                 "  \"ci_resamples\": 25,\n  \"scenarios\": [\n",
+                 static_cast<unsigned long long>(args.seed), rows, onset);
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      std::fprintf(f, "    {\"name\": \"%s\", \"repetitions\": [\n",
+                   measurements[i].first.c_str());
+      const std::vector<Repetition>& runs = measurements[i].second;
+      for (std::size_t rep = 0; rep < runs.size(); ++rep) {
+        std::fprintf(
+            f,
+            "      {\"ns_per_event\": %.1f, \"alerts_pre_onset\": %llu, "
+            "\"alerts_post_onset\": %llu, \"detection_latency\": %lld}%s\n",
+            runs[rep].ns_per_event,
+            static_cast<unsigned long long>(runs[rep].alerts_pre_onset),
+            static_cast<unsigned long long>(runs[rep].alerts_post_onset),
+            static_cast<long long>(runs[rep].detection_latency),
+            rep + 1 < runs.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n", i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote raw measurements: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "data/generators/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairbench {
+namespace {
+
+// Rate clamp shared by label and group-mix drift: keeps every Bernoulli
+// parameter a real probability with both outcomes possible, so extreme
+// magnitudes saturate instead of producing degenerate streams.
+constexpr double kRateFloor = 0.02;
+constexpr double kRateCeil = 0.98;
+
+double ClampRate(double p) { return std::clamp(p, kRateFloor, kRateCeil); }
+
+}  // namespace
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kCovariateShift:
+      return "covariate";
+    case DriftKind::kLabelShift:
+      return "label";
+    case DriftKind::kGroupMixShift:
+      return "group_mix";
+  }
+  return "unknown";
+}
+
+double DriftWeight(const DriftSchedule& schedule, std::size_t row) {
+  if (row < schedule.onset_row) return 0.0;
+  if (schedule.ramp_rows == 0) return 1.0;
+  const std::size_t into = row - schedule.onset_row + 1;
+  if (into >= schedule.ramp_rows) return 1.0;
+  return static_cast<double>(into) / static_cast<double>(schedule.ramp_rows);
+}
+
+Result<Dataset> GenerateDriftingPopulation(const PopulationConfig& config,
+                                           const DriftSchedule& schedule,
+                                           std::size_t num_rows,
+                                           uint64_t seed) {
+  if (num_rows == 0) num_rows = config.default_rows;
+  if (!std::isfinite(schedule.magnitude)) {
+    return Status::InvalidArgument(
+        "GenerateDriftingPopulation: magnitude must be finite");
+  }
+  FAIRBENCH_ASSIGN_OR_RETURN(Dataset ds,
+                             generator_internal::MakeEmptyDataset(config));
+  const generator_internal::RowParams stationary =
+      generator_internal::StationaryRowParams(config);
+
+  Rng rng(seed);
+  std::vector<double> numeric_row(config.numeric.size(), 0.0);
+  std::vector<int> code_row(config.categorical.size(), 0);
+  std::vector<double> weights;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    generator_internal::RowParams params = stationary;
+    const double w = DriftWeight(schedule, r) * schedule.magnitude;
+    if (w != 0.0) {
+      switch (schedule.kind) {
+        case DriftKind::kCovariateShift:
+          params.numeric_mean_shift_stds = w;
+          break;
+        case DriftKind::kLabelShift:
+          params.pos_rate_unprivileged =
+              ClampRate(stationary.pos_rate_unprivileged + w);
+          params.pos_rate_privileged =
+              ClampRate(stationary.pos_rate_privileged - w);
+          break;
+        case DriftKind::kGroupMixShift:
+          params.privileged_fraction =
+              ClampRate(stationary.privileged_fraction + w);
+          break;
+      }
+    }
+    int s = 0;
+    int y = 0;
+    generator_internal::SampleRow(config, params, rng, numeric_row, code_row,
+                                  weights, &s, &y);
+    FAIRBENCH_RETURN_NOT_OK(ds.AppendRow(numeric_row, code_row, s, y));
+  }
+  return ds;
+}
+
+}  // namespace fairbench

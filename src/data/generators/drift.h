@@ -1,0 +1,67 @@
+#ifndef FAIRBENCH_DATA_GENERATORS_DRIFT_H_
+#define FAIRBENCH_DATA_GENERATORS_DRIFT_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/generators/population.h"
+
+namespace fairbench {
+
+/// The three distribution-shift families the streaming monitor
+/// (src/monitor) is expected to detect, applied over the *sample index* of
+/// a generated stream — the online analogue of the paper's static
+/// evaluation, where the serving distribution quietly walks away from the
+/// training distribution.
+enum class DriftKind {
+  /// P(X | S, Y) moves: every numeric feature's mean shifts by
+  /// `magnitude` base standard deviations. Labels and group mix stay put,
+  /// so the first observable symptom is the model's prediction rate.
+  kCovariateShift,
+  /// P(Y | S) moves, group-conditionally: the unprivileged positive rate
+  /// rises by `magnitude` while the privileged rate falls by `magnitude`
+  /// (both clamped to [0.02, 0.98]) — the drift that silently invalidates
+  /// a fitted fairness intervention's TPR/TNR balance.
+  kLabelShift,
+  /// P(S) moves: the privileged fraction shifts by `magnitude` (clamped to
+  /// [0.02, 0.98]). Per-example behavior is unchanged; what degrades is the
+  /// effective sample size of one group inside every monitoring window.
+  kGroupMixShift,
+};
+
+/// "covariate" / "label" / "group_mix" (bench + alert labels).
+const char* DriftKindName(DriftKind kind);
+
+/// When and how hard the shift lands, over the sample index:
+///   weight(row) = 0                      for row < onset_row,
+///                 (row-onset+1)/ramp     during the ramp,
+///                 1                      from onset_row + ramp_rows on,
+/// and every kind applies `weight * magnitude`. ramp_rows = 0 is a step
+/// change at onset_row.
+struct DriftSchedule {
+  DriftKind kind = DriftKind::kCovariateShift;
+  std::size_t onset_row = 0;
+  std::size_t ramp_rows = 0;
+  double magnitude = 0.5;
+};
+
+/// The [0,1] drift weight at `row` under `schedule`.
+double DriftWeight(const DriftSchedule& schedule, std::size_t row);
+
+/// Samples `num_rows` tuples whose distribution follows `schedule`.
+///
+/// Determinism contract: parameter adjustments are consumption-neutral
+/// (see generator_internal::RowParams), so for any seed the rows before
+/// `onset_row` are **byte-identical** to GeneratePopulation(config,
+/// num_rows, seed)'s — the monitor's ground-truth scenarios have an exactly
+/// stationary prefix, and a schedule with magnitude 0 reproduces the
+/// stationary stream in full. Errors on non-finite magnitude or a config
+/// GeneratePopulation would reject.
+Result<Dataset> GenerateDriftingPopulation(const PopulationConfig& config,
+                                           const DriftSchedule& schedule,
+                                           std::size_t num_rows,
+                                           uint64_t seed);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_DATA_GENERATORS_DRIFT_H_

@@ -7,9 +7,18 @@
 
 namespace fairbench {
 
-Result<Dataset> GeneratePopulation(const PopulationConfig& config,
-                                   std::size_t num_rows, uint64_t seed) {
-  if (num_rows == 0) num_rows = config.default_rows;
+namespace generator_internal {
+
+RowParams StationaryRowParams(const PopulationConfig& config) {
+  RowParams params;
+  params.privileged_fraction = config.privileged_fraction;
+  params.pos_rate_unprivileged = config.pos_rate_unprivileged;
+  params.pos_rate_privileged = config.pos_rate_privileged;
+  params.numeric_mean_shift_stds = 0.0;
+  return params;
+}
+
+Result<Dataset> MakeEmptyDataset(const PopulationConfig& config) {
   if (config.privileged_fraction <= 0.0 || config.privileged_fraction >= 1.0) {
     return Status::InvalidArgument(
         "GeneratePopulation: privileged_fraction must be in (0,1)");
@@ -48,44 +57,68 @@ Result<Dataset> GeneratePopulation(const PopulationConfig& config,
   ds.set_name(config.name);
   ds.set_sensitive_name(config.sensitive_name);
   ds.set_label_name(config.label_name);
+  return ds;
+}
+
+void SampleRow(const PopulationConfig& config, const RowParams& params,
+               Rng& rng, std::vector<double>& numeric_row,
+               std::vector<int>& code_row, std::vector<double>& weights,
+               int* s_out, int* y_out) {
+  const int s = rng.Bernoulli(params.privileged_fraction) ? 1 : 0;
+  const double pos_rate =
+      s == 1 ? params.pos_rate_privileged : params.pos_rate_unprivileged;
+  const int y = rng.Bernoulli(pos_rate) ? 1 : 0;
+
+  for (std::size_t j = 0; j < config.numeric.size(); ++j) {
+    const NumericFeatureSpec& spec = config.numeric[j];
+    const double y_shift = spec.y_shift * config.signal_scale;
+    const double sy_shift = spec.sy_shift * config.signal_scale;
+    const double drift_shift = params.numeric_mean_shift_stds * spec.base_std;
+    double v = rng.Gaussian(spec.base_mean + drift_shift + spec.s_shift * s +
+                                y_shift * y + sy_shift * s * y,
+                            spec.base_std);
+    v = std::clamp(v, spec.min_value, spec.max_value);
+    if (spec.round_to_int) v = std::round(v);
+    numeric_row[j] = v;
+  }
+  for (std::size_t j = 0; j < config.categorical.size(); ++j) {
+    const CategoricalFeatureSpec& spec = config.categorical[j];
+    weights.assign(spec.base_weights.begin(), spec.base_weights.end());
+    if (s == 1 && !spec.s1_mult.empty()) {
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        weights[k] *= spec.s1_mult[k];
+      }
+    }
+    if (y == 1 && !spec.y1_mult.empty()) {
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        weights[k] *= std::pow(spec.y1_mult[k], config.signal_scale);
+      }
+    }
+    code_row[j] = static_cast<int>(rng.Categorical(weights));
+  }
+  *s_out = s;
+  *y_out = y;
+}
+
+}  // namespace generator_internal
+
+Result<Dataset> GeneratePopulation(const PopulationConfig& config,
+                                   std::size_t num_rows, uint64_t seed) {
+  if (num_rows == 0) num_rows = config.default_rows;
+  FAIRBENCH_ASSIGN_OR_RETURN(Dataset ds,
+                             generator_internal::MakeEmptyDataset(config));
+  const generator_internal::RowParams params =
+      generator_internal::StationaryRowParams(config);
 
   Rng rng(seed);
   std::vector<double> numeric_row(config.numeric.size(), 0.0);
   std::vector<int> code_row(config.categorical.size(), 0);
   std::vector<double> weights;
-
   for (std::size_t r = 0; r < num_rows; ++r) {
-    const int s = rng.Bernoulli(config.privileged_fraction) ? 1 : 0;
-    const double pos_rate =
-        s == 1 ? config.pos_rate_privileged : config.pos_rate_unprivileged;
-    const int y = rng.Bernoulli(pos_rate) ? 1 : 0;
-
-    for (std::size_t j = 0; j < config.numeric.size(); ++j) {
-      const NumericFeatureSpec& spec = config.numeric[j];
-      const double y_shift = spec.y_shift * config.signal_scale;
-      const double sy_shift = spec.sy_shift * config.signal_scale;
-      double v = rng.Gaussian(
-          spec.base_mean + spec.s_shift * s + y_shift * y + sy_shift * s * y,
-          spec.base_std);
-      v = std::clamp(v, spec.min_value, spec.max_value);
-      if (spec.round_to_int) v = std::round(v);
-      numeric_row[j] = v;
-    }
-    for (std::size_t j = 0; j < config.categorical.size(); ++j) {
-      const CategoricalFeatureSpec& spec = config.categorical[j];
-      weights.assign(spec.base_weights.begin(), spec.base_weights.end());
-      if (s == 1 && !spec.s1_mult.empty()) {
-        for (std::size_t k = 0; k < weights.size(); ++k) {
-          weights[k] *= spec.s1_mult[k];
-        }
-      }
-      if (y == 1 && !spec.y1_mult.empty()) {
-        for (std::size_t k = 0; k < weights.size(); ++k) {
-          weights[k] *= std::pow(spec.y1_mult[k], config.signal_scale);
-        }
-      }
-      code_row[j] = static_cast<int>(rng.Categorical(weights));
-    }
+    int s = 0;
+    int y = 0;
+    generator_internal::SampleRow(config, params, rng, numeric_row, code_row,
+                                  weights, &s, &y);
     FAIRBENCH_RETURN_NOT_OK(ds.AppendRow(numeric_row, code_row, s, y));
   }
   return ds;

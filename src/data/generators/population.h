@@ -83,6 +83,40 @@ struct PopulationConfig {
 Result<Dataset> GeneratePopulation(const PopulationConfig& config,
                                    std::size_t num_rows, uint64_t seed);
 
+namespace generator_internal {
+
+/// Per-row effective sampling parameters. The stationary generator uses the
+/// config's values verbatim; the drift generators (generators/drift.h) bend
+/// them over the sample index. Every adjustment is *consumption-neutral*:
+/// it changes distribution parameters, never how many Rng draws a row
+/// takes, so a drifting stream is byte-identical to the stationary one on
+/// every row where the parameters match (the pre-onset prefix).
+struct RowParams {
+  double privileged_fraction = 0.5;
+  double pos_rate_unprivileged = 0.5;
+  double pos_rate_privileged = 0.5;
+  /// Added to every numeric feature's mean, in units of that feature's
+  /// base_std (covariate drift). 0 = stationary.
+  double numeric_mean_shift_stds = 0.0;
+};
+
+/// The config's stationary parameters as RowParams.
+RowParams StationaryRowParams(const PopulationConfig& config);
+
+/// Validates the config's feature specs and builds the empty annotated
+/// dataset (schema, names) rows are appended to.
+Result<Dataset> MakeEmptyDataset(const PopulationConfig& config);
+
+/// Samples one (S, Y, X) tuple under `params` into the caller's buffers
+/// (`numeric_row` / `code_row` sized by MakeEmptyDataset's schema;
+/// `weights` is scratch). Draws from `rng` in a fixed order.
+void SampleRow(const PopulationConfig& config, const RowParams& params,
+               Rng& rng, std::vector<double>& numeric_row,
+               std::vector<int>& code_row, std::vector<double>& weights,
+               int* s, int* y);
+
+}  // namespace generator_internal
+
 /// Generator entry points for the paper's four benchmark datasets (Fig 9).
 /// Passing 0 rows generates the paper's full row count.
 PopulationConfig AdultConfig();

@@ -24,6 +24,28 @@ double TnrBalance(const GroupStats& gs) {
   return gs.privileged.Tnr() - gs.unprivileged.Tnr();
 }
 
+Result<double> WindowedDisparateImpact(const GroupStats& gs) {
+  FAIRBENCH_RETURN_NOT_OK(CheckWindowForRates(gs));
+  const double unpriv = gs.PositiveRateUnprivileged();
+  const double priv = gs.PositiveRatePrivileged();
+  if (priv <= 0.0 && unpriv <= 0.0) return 1.0;
+  // Half-example floor on the zero denominator: the window gives no
+  // evidence the privileged rate exceeds ~1/(2n), so the reported ratio is
+  // the largest the data supports while staying finite for thresholding.
+  const double floor = 0.5 / gs.privileged.Total();
+  return unpriv / std::max(priv, floor);
+}
+
+Result<double> WindowedTprBalance(const GroupStats& gs) {
+  FAIRBENCH_RETURN_NOT_OK(CheckWindowForTpr(gs));
+  return TprBalance(gs);
+}
+
+Result<double> WindowedTnrBalance(const GroupStats& gs) {
+  FAIRBENCH_RETURN_NOT_OK(CheckWindowForTnr(gs));
+  return TnrBalance(gs);
+}
+
 NormalizedScore NormalizeDi(double di) {
   NormalizedScore out;
   if (!std::isfinite(di)) {

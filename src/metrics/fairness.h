@@ -36,6 +36,19 @@ NormalizedScore NormalizeTnrb(double tnrb);
 NormalizedScore NormalizeCd(double cd);
 NormalizedScore NormalizeCrd(double crd);
 
+/// Windowed variants for streaming monitoring (src/monitor): identical
+/// arithmetic to the plain functions on well-populated windows, but a
+/// degenerate window — empty group, or a group with no ground-truth
+/// positives/negatives — returns Status::FailedPrecondition (via the
+/// CheckWindowFor* guards in group_stats.h) instead of the 0-backed
+/// estimates the batch functions silently produce. Every returned value is
+/// finite: WindowedDisparateImpact caps the "privileged group sees no
+/// positives" case at the unprivileged rate ratio against 1/Total rather
+/// than returning +inf, so alert thresholds compare against real numbers.
+Result<double> WindowedDisparateImpact(const GroupStats& gs);
+Result<double> WindowedTprBalance(const GroupStats& gs);
+Result<double> WindowedTnrBalance(const GroupStats& gs);
+
 }  // namespace fairbench
 
 #endif  // FAIRBENCH_METRICS_FAIRNESS_H_

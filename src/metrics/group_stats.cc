@@ -15,22 +15,56 @@ Result<GroupStats> BuildGroupStats(const std::vector<int>& y_true,
         (sensitive[i] != 0 && sensitive[i] != 1)) {
       return Status::InvalidArgument("BuildGroupStats: values not 0/1");
     }
-    ConfusionMatrix& cm = sensitive[i] == 1 ? gs.privileged : gs.unprivileged;
-    if (y_true[i] == 1) {
-      if (y_pred[i] == 1) {
-        cm.tp += 1.0;
-      } else {
-        cm.fn += 1.0;
-      }
-    } else {
-      if (y_pred[i] == 1) {
-        cm.fp += 1.0;
-      } else {
-        cm.tn += 1.0;
-      }
-    }
+    gs.Add(y_true[i], y_pred[i], sensitive[i]);
   }
   return gs;
+}
+
+void GroupStats::Merge(const GroupStats& other) {
+  privileged.tp += other.privileged.tp;
+  privileged.fp += other.privileged.fp;
+  privileged.fn += other.privileged.fn;
+  privileged.tn += other.privileged.tn;
+  unprivileged.tp += other.unprivileged.tp;
+  unprivileged.fp += other.unprivileged.fp;
+  unprivileged.fn += other.unprivileged.fn;
+  unprivileged.tn += other.unprivileged.tn;
+}
+
+Status CheckWindowForRates(const GroupStats& gs) {
+  if (gs.privileged.Total() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no privileged examples");
+  }
+  if (gs.unprivileged.Total() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no unprivileged examples");
+  }
+  return Status::OK();
+}
+
+Status CheckWindowForTpr(const GroupStats& gs) {
+  if (gs.privileged.Positives() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no privileged positives");
+  }
+  if (gs.unprivileged.Positives() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no unprivileged positives");
+  }
+  return Status::OK();
+}
+
+Status CheckWindowForTnr(const GroupStats& gs) {
+  if (gs.privileged.Negatives() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no privileged negatives");
+  }
+  if (gs.unprivileged.Negatives() <= 0.0) {
+    return Status::FailedPrecondition(
+        "group window degenerate: no unprivileged negatives");
+  }
+  return Status::OK();
 }
 
 }  // namespace fairbench

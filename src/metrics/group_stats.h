@@ -22,6 +22,30 @@ struct GroupStats {
   double PositiveRateUnprivileged() const {
     return unprivileged.PositivePredictionRate();
   }
+
+  /// Tallies one example into the matching group's confusion cell. Values
+  /// must be 0/1 (not validated here — the hot streaming path validates at
+  /// event admission; see src/monitor). Counts stay integer-valued doubles,
+  /// so Add/Remove round-trips are exact.
+  void Add(int y_true, int y_pred, int s) { Apply(y_true, y_pred, s, 1.0); }
+
+  /// Removes one previously-added example (sliding-window eviction).
+  void Remove(int y_true, int y_pred, int s) { Apply(y_true, y_pred, s, -1.0); }
+
+  /// Merges another tally in (block-bootstrap resampling).
+  void Merge(const GroupStats& other);
+
+  double Total() const { return privileged.Total() + unprivileged.Total(); }
+
+ private:
+  void Apply(int y_true, int y_pred, int s, double w) {
+    ConfusionMatrix& cm = s == 1 ? privileged : unprivileged;
+    if (y_true == 1) {
+      (y_pred == 1 ? cm.tp : cm.fn) += w;
+    } else {
+      (y_pred == 1 ? cm.fp : cm.tn) += w;
+    }
+  }
 };
 
 /// Splits predictions by the sensitive attribute and tallies per-group
@@ -30,6 +54,23 @@ struct GroupStats {
 Result<GroupStats> BuildGroupStats(const std::vector<int>& y_true,
                                    const std::vector<int>& y_pred,
                                    const std::vector<int>& sensitive);
+
+/// Degenerate-window guard for metrics computed over a *window* of the
+/// stream rather than a full dataset. A sliding window can legitimately
+/// contain no members of one group, or only one ground-truth class within a
+/// group — states the batch metrics never see on the paper's datasets. The
+/// checks name the metric family they protect:
+///
+///   - `CheckWindowForRates`: both groups non-empty (DI denominators).
+///   - `CheckWindowForTpr`:   both groups contain ground-truth positives.
+///   - `CheckWindowForTnr`:   both groups contain ground-truth negatives.
+///
+/// Each returns FailedPrecondition with the offending group in the message;
+/// the windowed metric wrappers in metrics/fairness.h call them so callers
+/// get a Status instead of a 0/0-shaped estimate.
+Status CheckWindowForRates(const GroupStats& gs);
+Status CheckWindowForTpr(const GroupStats& gs);
+Status CheckWindowForTnr(const GroupStats& gs);
 
 }  // namespace fairbench
 

@@ -1,0 +1,80 @@
+#include "monitor/alert_policy.h"
+
+#include <cmath>
+
+namespace fairbench {
+namespace monitor {
+
+AlertPolicy::AlertPolicy(AlertPolicyOptions options)
+    : options_(std::move(options)) {
+  if (options_.baseline_windows == 0) options_.baseline_windows = 1;
+}
+
+double AlertPolicy::BaselineFor(Series series) const {
+  const SeriesState& st = state_[static_cast<std::size_t>(series)];
+  return st.frozen ? st.baseline : std::nan("");
+}
+
+bool AlertPolicy::BaselineFrozen(Series series) const {
+  return state_[static_cast<std::size_t>(series)].frozen;
+}
+
+std::vector<Alert> AlertPolicy::Observe(const WindowSnapshot& snapshot) {
+  std::vector<Alert> fired;
+  for (std::size_t k = 0; k < kNumSeries; ++k) {
+    const SeriesPolicy& policy = options_.series[k];
+    if (!policy.enabled) continue;
+    const SeriesValue& value = snapshot.series[k];
+    if (!value.valid) continue;  // Degenerate window: no judgement either way.
+    SeriesState& st = state_[k];
+
+    bool breach = false;
+    double baseline = 0.0;
+    double threshold = 0.0;
+    if (policy.mode == AlertMode::kAbsoluteBounds) {
+      if (value.estimate < policy.lower_bound) {
+        breach = true;
+        baseline = policy.lower_bound;
+      } else if (value.estimate > policy.upper_bound) {
+        breach = true;
+        baseline = policy.upper_bound;
+      }
+    } else {  // kBaselineDelta
+      if (!st.frozen) {
+        // Calibration: absorb the estimate, judge nothing.
+        st.baseline_sum += value.estimate;
+        if (++st.baseline_count >= options_.baseline_windows) {
+          st.baseline =
+              st.baseline_sum / static_cast<double>(st.baseline_count);
+          st.frozen = true;
+        }
+        continue;
+      }
+      baseline = st.baseline;
+      threshold = policy.delta;
+      breach = std::abs(value.estimate - st.baseline) > policy.delta;
+    }
+
+    if (breach) {
+      ++st.streak;
+      if (st.streak >= policy.consecutive && !st.alerting) {
+        st.alerting = true;
+        Alert alert;
+        alert.window_index = snapshot.index;
+        alert.series = static_cast<Series>(static_cast<int>(k));
+        alert.estimate = value.estimate;
+        alert.baseline = baseline;
+        alert.threshold = threshold;
+        alert.end_sequence = snapshot.end_sequence;
+        fired.push_back(alert);
+      }
+    } else {
+      st.streak = 0;
+      st.alerting = false;  // Back in range: re-arm.
+    }
+  }
+  return fired;
+}
+
+}  // namespace monitor
+}  // namespace fairbench

@@ -1,0 +1,110 @@
+#ifndef FAIRBENCH_MONITOR_ALERT_POLICY_H_
+#define FAIRBENCH_MONITOR_ALERT_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "monitor/window.h"
+
+namespace fairbench {
+namespace monitor {
+
+/// How a series' per-window estimate is judged.
+enum class AlertMode : int {
+  /// Breach when |estimate - baseline| > delta, where the baseline is the
+  /// mean of the series' first `baseline_windows` valid estimates. This is
+  /// the default: it auto-calibrates to whatever level the deployed model
+  /// actually runs at, so the same policy works across generators and
+  /// approaches without per-stream threshold tuning.
+  kBaselineDelta = 0,
+  /// Breach when estimate < lower_bound or estimate > upper_bound. Active
+  /// from the first window (no calibration period) — for series with an
+  /// externally imposed level, e.g. the four-fifths rule on DI.
+  kAbsoluteBounds,
+};
+
+/// Per-series alerting knobs.
+struct SeriesPolicy {
+  bool enabled = true;
+  AlertMode mode = AlertMode::kBaselineDelta;
+  /// kBaselineDelta: maximum tolerated |estimate - baseline|.
+  double delta = 0.15;
+  /// kAbsoluteBounds: tolerated range (inclusive).
+  double lower_bound = -std::numeric_limits<double>::infinity();
+  double upper_bound = std::numeric_limits<double>::infinity();
+  /// Hysteresis: this many *consecutive* breaching windows are required
+  /// before an alert fires. One noisy window never pages.
+  std::size_t consecutive = 2;
+};
+
+struct AlertPolicyOptions {
+  /// Number of valid estimates averaged into a series' baseline before
+  /// kBaselineDelta judging starts. Calibration windows are never judged.
+  std::size_t baseline_windows = 4;
+  std::array<SeriesPolicy, kNumSeries> series;
+
+  SeriesPolicy& policy(Series s) {
+    return series[static_cast<std::size_t>(s)];
+  }
+  const SeriesPolicy& policy(Series s) const {
+    return series[static_cast<std::size_t>(s)];
+  }
+};
+
+/// One fired alert.
+struct Alert {
+  std::size_t window_index = 0;  ///< WindowSnapshot::index that tripped it.
+  Series series = Series::kDi;
+  double estimate = 0.0;
+  /// kBaselineDelta: the calibrated baseline. kAbsoluteBounds: the violated
+  /// bound.
+  double baseline = 0.0;
+  /// The configured tolerance (delta, or distance past the bound = 0).
+  double threshold = 0.0;
+  uint64_t end_sequence = 0;  ///< Newest event in the breaching window.
+};
+
+/// Threshold + consecutive-window hysteresis alerting over a stream of
+/// WindowSnapshots. Pure and deterministic: Observe never touches the obs
+/// registry or the clock — emission is the caller's job (FairnessMonitor
+/// bumps counters and logs), which keeps this state machine unit-testable
+/// and replayable.
+///
+/// Per series: invalid estimates are skipped entirely (a degenerate window
+/// neither breaches nor re-arms); a breach extends the current streak; the
+/// alert fires exactly when the streak reaches `consecutive` and stays
+/// silent while the breach persists; a non-breaching valid window resets
+/// the streak and re-arms.
+class AlertPolicy {
+ public:
+  explicit AlertPolicy(AlertPolicyOptions options);
+
+  /// Judges one snapshot; returns the alerts it fired (usually empty).
+  std::vector<Alert> Observe(const WindowSnapshot& snapshot);
+
+  /// Baseline for a series; NaN until frozen.
+  double BaselineFor(Series series) const;
+  bool BaselineFrozen(Series series) const;
+
+  const AlertPolicyOptions& options() const { return options_; }
+
+ private:
+  struct SeriesState {
+    double baseline_sum = 0.0;
+    std::size_t baseline_count = 0;
+    bool frozen = false;
+    double baseline = 0.0;
+    std::size_t streak = 0;
+    bool alerting = false;
+  };
+
+  AlertPolicyOptions options_;
+  std::array<SeriesState, kNumSeries> state_;
+};
+
+}  // namespace monitor
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_MONITOR_ALERT_POLICY_H_

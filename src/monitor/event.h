@@ -1,0 +1,37 @@
+#ifndef FAIRBENCH_MONITOR_EVENT_H_
+#define FAIRBENCH_MONITOR_EVENT_H_
+
+#include <cstdint>
+
+namespace fairbench {
+namespace monitor {
+
+/// One scored example flowing from the serving tier into the monitor: the
+/// prediction, the sensitive group, the ground-truth label when it is
+/// already known (it often arrives late or never in production), and the
+/// flipped-S prediction when the service ran the Causal Discrimination
+/// probe. 24 bytes, trivially copyable — the observer queue moves these by
+/// value.
+struct ScoredEvent {
+  /// Dense per-example stream position, assigned by the producer (the
+  /// monitor's serve adapter numbers examples 0, 1, 2, ... in response
+  /// order). The monitor processes events in sequence order regardless of
+  /// arrival order, which is what makes threaded ingestion byte-identical
+  /// to serial ingestion.
+  uint64_t sequence = 0;
+
+  /// Event time for time-based windows. Producers may use any monotonic
+  /// base (common/timer.h NowNanos, or a synthetic clock in tests); only
+  /// differences are interpreted.
+  uint64_t timestamp_nanos = 0;
+
+  int16_t group = 0;                ///< Sensitive attribute S, 0/1.
+  int16_t prediction = 0;           ///< Model output Yhat, 0/1.
+  int16_t label = -1;               ///< Ground truth Y, 0/1; -1 = unknown.
+  int16_t flipped_prediction = -1;  ///< Yhat under do(S := 1-S); -1 = not probed.
+};
+
+}  // namespace monitor
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_MONITOR_EVENT_H_

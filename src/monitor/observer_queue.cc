@@ -1,0 +1,83 @@
+#include "monitor/observer_queue.h"
+
+namespace fairbench {
+namespace monitor {
+namespace {
+
+std::size_t RoundUpPowerOfTwo(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ObserverQueue::ObserverQueue(std::size_t capacity) {
+  const std::size_t size = RoundUpPowerOfTwo(capacity < 2 ? 2 : capacity);
+  mask_ = size - 1;
+  slots_ = std::make_unique<Slot[]>(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Slot i's ticket starts at i: "ready for the producer of position i".
+    slots_[i].ticket.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool ObserverQueue::TryPush(const ScoredEvent& event) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const uint64_t ticket = slot.ticket.load(std::memory_order_acquire);
+    const intptr_t diff =
+        static_cast<intptr_t>(ticket) - static_cast<intptr_t>(pos);
+    if (diff == 0) {
+      // Slot is free for this position; claim the position.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        slot.event = event;
+        // Publish: consumers wait for ticket == pos + 1.
+        slot.ticket.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failed: pos was reloaded; retry with the new position.
+    } else if (diff < 0) {
+      // Slot still holds an unconsumed event a full lap behind: full.
+      return false;
+    } else {
+      // Another producer claimed this position; advance.
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ObserverQueue::TryPop(ScoredEvent* event) {
+  uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const uint64_t ticket = slot.ticket.load(std::memory_order_acquire);
+    const intptr_t diff =
+        static_cast<intptr_t>(ticket) - static_cast<intptr_t>(pos + 1);
+    if (diff == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        *event = slot.event;
+        // Recycle: producers a lap ahead wait for ticket == pos + size.
+        slot.ticket.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (diff < 0) {
+      // Slot not yet published for this lap: empty.
+      return false;
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t ObserverQueue::ApproxSize() const {
+  const uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+  const uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+  return enq >= deq ? static_cast<std::size_t>(enq - deq) : 0;
+}
+
+}  // namespace monitor
+}  // namespace fairbench

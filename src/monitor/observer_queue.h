@@ -1,0 +1,61 @@
+#ifndef FAIRBENCH_MONITOR_OBSERVER_QUEUE_H_
+#define FAIRBENCH_MONITOR_OBSERVER_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "monitor/event.h"
+
+namespace fairbench {
+namespace monitor {
+
+/// Bounded multi-producer multi-consumer event queue (Vyukov's array
+/// queue): each slot carries its own ticket atomic, so a push or pop is one
+/// CAS on the shared cursor plus one release store on the slot — no mutex,
+/// no unbounded spinning, producers never wait on each other's copies.
+///
+/// This is the decoupling point between the scoring hot path and the
+/// monitor: producers (scoring threads inside the ScoreObserver callback)
+/// TryPush and move on; the monitor's Drain() TryPops on its own schedule.
+/// When the consumer falls behind, TryPush *fails fast* instead of
+/// blocking — the monitor counts the loss (monitor.events.dropped) and the
+/// reorder stage treats the missing sequence as a gap. Observability must
+/// never add latency to scoring.
+class ObserverQueue {
+ public:
+  /// Capacity is rounded up to the next power of two, minimum 2.
+  explicit ObserverQueue(std::size_t capacity);
+
+  ObserverQueue(const ObserverQueue&) = delete;
+  ObserverQueue& operator=(const ObserverQueue&) = delete;
+
+  /// Enqueues one event; false when the queue is full (never blocks).
+  bool TryPush(const ScoredEvent& event);
+
+  /// Dequeues the oldest event into *event; false when empty.
+  bool TryPop(ScoredEvent* event);
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy size estimate (monitoring only; may be momentarily off under
+  /// concurrent pushes/pops).
+  std::size_t ApproxSize() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ticket;
+    ScoredEvent event;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace monitor
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_MONITOR_OBSERVER_QUEUE_H_

@@ -1,0 +1,269 @@
+#include "monitor/window.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/fairness.h"
+#include "stats/descriptive.h"
+
+namespace fairbench {
+namespace monitor {
+
+const char* SeriesName(Series series) {
+  switch (series) {
+    case Series::kDi:
+      return "di";
+    case Series::kTprb:
+      return "tprb";
+    case Series::kTnrb:
+      return "tnrb";
+    case Series::kCd:
+      return "cd";
+    case Series::kPositiveRate:
+      return "positive_rate";
+    case Series::kLabelRate:
+      return "label_rate";
+    case Series::kGroupMix:
+      return "group_mix";
+  }
+  return "unknown";
+}
+
+void WindowAccumulator::Add(const ScoredEvent& event) {
+  events += 1.0;
+  if (event.group == 1) privileged += 1.0;
+  if (event.prediction == 1) {
+    pred_pos += 1.0;
+    if (event.group == 1) pred_pos_priv += 1.0;
+  }
+  if (event.label >= 0) {
+    labeled += 1.0;
+    if (event.label == 1) label_pos += 1.0;
+    confusion.Add(event.label, event.prediction, event.group);
+  }
+  if (event.flipped_prediction >= 0) {
+    probed += 1.0;
+    if (event.flipped_prediction != event.prediction) flips += 1.0;
+  }
+}
+
+void WindowAccumulator::Remove(const ScoredEvent& event) {
+  events -= 1.0;
+  if (event.group == 1) privileged -= 1.0;
+  if (event.prediction == 1) {
+    pred_pos -= 1.0;
+    if (event.group == 1) pred_pos_priv -= 1.0;
+  }
+  if (event.label >= 0) {
+    labeled -= 1.0;
+    if (event.label == 1) label_pos -= 1.0;
+    confusion.Remove(event.label, event.prediction, event.group);
+  }
+  if (event.flipped_prediction >= 0) {
+    probed -= 1.0;
+    if (event.flipped_prediction != event.prediction) flips -= 1.0;
+  }
+}
+
+void WindowAccumulator::Merge(const WindowAccumulator& other) {
+  events += other.events;
+  privileged += other.privileged;
+  pred_pos += other.pred_pos;
+  pred_pos_priv += other.pred_pos_priv;
+  labeled += other.labeled;
+  label_pos += other.label_pos;
+  confusion.Merge(other.confusion);
+  probed += other.probed;
+  flips += other.flips;
+}
+
+void WindowAccumulator::Subtract(const WindowAccumulator& other) {
+  events -= other.events;
+  privileged -= other.privileged;
+  pred_pos -= other.pred_pos;
+  pred_pos_priv -= other.pred_pos_priv;
+  labeled -= other.labeled;
+  label_pos -= other.label_pos;
+  confusion.privileged.tp -= other.confusion.privileged.tp;
+  confusion.privileged.fp -= other.confusion.privileged.fp;
+  confusion.privileged.tn -= other.confusion.privileged.tn;
+  confusion.privileged.fn -= other.confusion.privileged.fn;
+  confusion.unprivileged.tp -= other.confusion.unprivileged.tp;
+  confusion.unprivileged.fp -= other.confusion.unprivileged.fp;
+  confusion.unprivileged.tn -= other.confusion.unprivileged.tn;
+  confusion.unprivileged.fn -= other.confusion.unprivileged.fn;
+  probed -= other.probed;
+  flips -= other.flips;
+}
+
+GroupStats WindowAccumulator::PredictionStats() const {
+  GroupStats gs;
+  gs.privileged.fp = pred_pos_priv;
+  gs.privileged.tn = privileged - pred_pos_priv;
+  gs.unprivileged.fp = pred_pos - pred_pos_priv;
+  gs.unprivileged.tn = (events - privileged) - (pred_pos - pred_pos_priv);
+  return gs;
+}
+
+void SlidingWindow::Push(const ScoredEvent& event) {
+  events_.push_back(event);
+  totals_.Add(event);
+  if (options_.max_events > 0) {
+    while (events_.size() > options_.max_events) {
+      totals_.Remove(events_.front());
+      events_.pop_front();
+    }
+  }
+  if (options_.horizon_nanos > 0) {
+    // Keep (newest - horizon, newest]; written to avoid unsigned underflow.
+    while (!events_.empty() && events_.front().timestamp_nanos +
+                                       options_.horizon_nanos <
+                                   event.timestamp_nanos) {
+      totals_.Remove(events_.front());
+      events_.pop_front();
+    }
+  }
+}
+
+namespace {
+
+void SetSeries(WindowSnapshot* snap, Series series, bool valid,
+               double estimate) {
+  SeriesValue& value = snap->series[static_cast<std::size_t>(series)];
+  value.valid = valid;
+  value.estimate = valid ? estimate : 0.0;
+  value.lower = value.estimate;
+  value.upper = value.estimate;
+}
+
+void SetFromResult(WindowSnapshot* snap, Series series,
+                   const Result<double>& result) {
+  SetSeries(snap, series, result.ok(), result.ok() ? *result : 0.0);
+}
+
+/// One series' value on an arbitrary (possibly resampled) accumulator,
+/// falling back to `fallback` when the resample is degenerate for that
+/// series — a neutral vote that keeps the bootstrap value count fixed.
+double SeriesOn(const WindowAccumulator& acc, Series series, double fallback) {
+  switch (series) {
+    case Series::kDi: {
+      Result<double> di = WindowedDisparateImpact(acc.PredictionStats());
+      return di.ok() ? *di : fallback;
+    }
+    case Series::kTprb: {
+      Result<double> tprb = WindowedTprBalance(acc.confusion);
+      return tprb.ok() ? *tprb : fallback;
+    }
+    case Series::kTnrb: {
+      Result<double> tnrb = WindowedTnrBalance(acc.confusion);
+      return tnrb.ok() ? *tnrb : fallback;
+    }
+    case Series::kCd:
+      return acc.probed > 0.0 ? acc.flips / acc.probed : fallback;
+    case Series::kPositiveRate:
+      return acc.events > 0.0 ? acc.pred_pos / acc.events : fallback;
+    case Series::kLabelRate:
+      return acc.labeled > 0.0 ? acc.label_pos / acc.labeled : fallback;
+    case Series::kGroupMix:
+      return acc.events > 0.0 ? acc.privileged / acc.events : fallback;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+WindowSnapshot EvaluateTotals(const WindowAccumulator& totals) {
+  WindowSnapshot snap;
+  snap.events = static_cast<std::size_t>(totals.events);
+  snap.privileged_count = totals.privileged;
+  snap.unprivileged_count = totals.events - totals.privileged;
+
+  SetFromResult(&snap, Series::kDi,
+                WindowedDisparateImpact(totals.PredictionStats()));
+  SetFromResult(&snap, Series::kTprb, WindowedTprBalance(totals.confusion));
+  SetFromResult(&snap, Series::kTnrb, WindowedTnrBalance(totals.confusion));
+  SetSeries(&snap, Series::kCd, totals.probed > 0.0,
+            totals.probed > 0.0 ? totals.flips / totals.probed : 0.0);
+  SetSeries(&snap, Series::kPositiveRate, totals.events > 0.0,
+            totals.events > 0.0 ? totals.pred_pos / totals.events : 0.0);
+  SetSeries(&snap, Series::kLabelRate, totals.labeled > 0.0,
+            totals.labeled > 0.0 ? totals.label_pos / totals.labeled : 0.0);
+  SetSeries(&snap, Series::kGroupMix, totals.events > 0.0,
+            totals.events > 0.0 ? totals.privileged / totals.events : 0.0);
+  return snap;
+}
+
+WindowSnapshot EvaluateWindow(const SlidingWindow& window,
+                              const WindowCiOptions& options) {
+  WindowSnapshot snap = EvaluateTotals(window.totals());
+  const std::deque<ScoredEvent>& events = window.events();
+  if (!events.empty()) {
+    snap.begin_sequence = events.front().sequence;
+    snap.end_sequence = events.back().sequence;
+  }
+  const std::size_t n = events.size();
+  if (options.resamples == 0 || n == 0) return snap;
+
+  // Prefix sums of the exact tallies: the block [start, start + take) is
+  // prefix[start + take] - prefix[start], one Subtract + one Merge instead
+  // of `take` per-event re-adds. Exact because every cell is an
+  // integer-valued double.
+  std::vector<WindowAccumulator> prefix(n + 1);
+  {
+    std::size_t i = 0;
+    for (const ScoredEvent& event : events) {
+      prefix[i + 1] = prefix[i];
+      prefix[i + 1].Add(event);
+      ++i;
+    }
+  }
+
+  BlockBootstrapOptions resolve;
+  resolve.block_length = options.block_length;
+  const std::size_t block = ResolveBlockLength(n, resolve);
+  const std::size_t num_blocks = (n + block - 1) / block;
+  const std::size_t num_starts = n - block + 1;
+
+  std::array<std::vector<double>, kNumSeries> values;
+  for (auto& v : values) v.reserve(options.resamples);
+
+  // Replays stats::MovingBlockBootstrapCi's stream exactly: same seed, one
+  // UniformInt(num_starts) per block for every block (the generic draws
+  // even for the truncated tail block), so both paths see identical block
+  // starts and the cross-check test can demand bit-equality.
+  Rng rng(options.seed);
+  WindowAccumulator resampled;
+  for (std::size_t b = 0; b < options.resamples; ++b) {
+    resampled = WindowAccumulator();
+    std::size_t filled = 0;
+    for (std::size_t j = 0; j < num_blocks; ++j) {
+      const std::size_t start =
+          static_cast<std::size_t>(rng.UniformInt(num_starts));
+      const std::size_t take = std::min(block, n - filled);
+      if (take > 0) {
+        WindowAccumulator delta = prefix[start + take];
+        delta.Subtract(prefix[start]);
+        resampled.Merge(delta);
+        filled += take;
+      }
+    }
+    for (std::size_t k = 0; k < kNumSeries; ++k) {
+      const Series series = static_cast<Series>(static_cast<int>(k));
+      values[k].push_back(
+          SeriesOn(resampled, series, snap.series[k].estimate));
+    }
+  }
+
+  const double alpha = 1.0 - options.confidence;
+  for (std::size_t k = 0; k < kNumSeries; ++k) {
+    SeriesValue& value = snap.series[k];
+    if (!value.valid) continue;
+    value.lower = Quantile(values[k], alpha / 2.0);
+    value.upper = Quantile(values[k], 1.0 - alpha / 2.0);
+  }
+  return snap;
+}
+
+}  // namespace monitor
+}  // namespace fairbench

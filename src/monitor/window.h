@@ -1,0 +1,147 @@
+#ifndef FAIRBENCH_MONITOR_WINDOW_H_
+#define FAIRBENCH_MONITOR_WINDOW_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "metrics/group_stats.h"
+#include "monitor/event.h"
+#include "stats/bootstrap.h"
+
+namespace fairbench {
+namespace monitor {
+
+/// The quantities the monitor tracks per window. The first four are the
+/// paper's fairness metrics in windowed form; the last three are the drift
+/// canaries that identify *which* distribution moved (predictions, labels,
+/// or group mix) — FairX's framing of fairness monitoring as inseparable
+/// from utility/distribution monitoring.
+enum class Series : int {
+  kDi = 0,         ///< Windowed Disparate Impact (finite; see fairness.h).
+  kTprb,           ///< TPR balance over labeled events.
+  kTnrb,           ///< TNR balance over labeled events.
+  kCd,             ///< Flip rate over CD-probed events.
+  kPositiveRate,   ///< Pr(Yhat = 1) over all events (prediction drift).
+  kLabelRate,      ///< Pr(Y = 1) over labeled events (label drift).
+  kGroupMix,       ///< Pr(S = 1) over all events (group-mix drift).
+};
+
+inline constexpr std::size_t kNumSeries = 7;
+
+/// "di", "tprb", ... (alert labels, obs metric suffixes, bench JSON).
+const char* SeriesName(Series series);
+
+/// Exact tallies over a span of consecutive events. Every field is an
+/// integer-valued double, so Merge / Subtract / Remove are exact inverses
+/// (no rounding drift) — which is what lets the CI path resample blocks
+/// via prefix-sum differences and still agree bit-for-bit with
+/// stats::MovingBlockBootstrapCi re-tallying from scratch.
+struct WindowAccumulator {
+  double events = 0.0;
+  double privileged = 0.0;       ///< Events with S = 1.
+  double pred_pos = 0.0;         ///< Events with Yhat = 1.
+  double pred_pos_priv = 0.0;    ///< Events with Yhat = 1 and S = 1.
+  double labeled = 0.0;          ///< Events with a known label.
+  double label_pos = 0.0;        ///< Labeled events with Y = 1.
+  GroupStats confusion;          ///< Per-group confusion over labeled events.
+  double probed = 0.0;           ///< Events with a flipped-S prediction.
+  double flips = 0.0;            ///< Probed events whose prediction flipped.
+
+  void Add(const ScoredEvent& event);
+  /// Exact inverse of Add (sliding-window eviction); uses
+  /// GroupStats::Remove for the confusion cells.
+  void Remove(const ScoredEvent& event);
+  void Merge(const WindowAccumulator& other);
+  void Subtract(const WindowAccumulator& other);
+
+  /// Per-group prediction-rate stats over *all* events (labels ignored):
+  /// the DI denominator view. Predictions land in fp/tn so
+  /// PositivePredictionRate reads them back.
+  GroupStats PredictionStats() const;
+};
+
+/// One monitored quantity in one window. `valid` is false when the window
+/// is degenerate for that series (the FailedPrecondition cases in
+/// metrics/group_stats.h, or no labeled / probed events); estimate and
+/// bounds are meaningful only when valid.
+struct SeriesValue {
+  bool valid = false;
+  double estimate = 0.0;
+  double lower = 0.0;  ///< Moving-block-bootstrap CI; == estimate when CIs off.
+  double upper = 0.0;
+};
+
+/// The monitor's output for one evaluated window.
+struct WindowSnapshot {
+  std::size_t index = 0;            ///< 0-based evaluation number.
+  uint64_t begin_sequence = 0;      ///< Oldest event in the window.
+  uint64_t end_sequence = 0;        ///< Newest event in the window.
+  std::size_t events = 0;
+  double privileged_count = 0.0;
+  double unprivileged_count = 0.0;
+  std::array<SeriesValue, kNumSeries> series;
+
+  const SeriesValue& at(Series s) const {
+    return series[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Sliding window over the event stream: count-bounded (`max_events`),
+/// time-bounded (`horizon_nanos` behind the newest event's timestamp), or
+/// both. Totals are maintained incrementally — O(1) per push/evict — via
+/// WindowAccumulator::Add/Remove.
+struct SlidingWindowOptions {
+  std::size_t max_events = 512;  ///< 0 = no count bound.
+  uint64_t horizon_nanos = 0;    ///< 0 = no time bound.
+};
+
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(SlidingWindowOptions options) : options_(options) {}
+
+  void Push(const ScoredEvent& event);
+
+  std::size_t size() const { return events_.size(); }
+  bool AtCountCapacity() const {
+    return options_.max_events == 0 || events_.size() >= options_.max_events;
+  }
+  const std::deque<ScoredEvent>& events() const { return events_; }
+  const WindowAccumulator& totals() const { return totals_; }
+  const SlidingWindowOptions& options() const { return options_; }
+
+ private:
+  SlidingWindowOptions options_;
+  std::deque<ScoredEvent> events_;
+  WindowAccumulator totals_;
+};
+
+/// CI knobs for EvaluateWindow; resamples = 0 disables the bootstrap
+/// (bounds collapse onto the estimate).
+struct WindowCiOptions {
+  std::size_t resamples = 100;
+  double confidence = 0.95;
+  std::size_t block_length = 0;  ///< 0 = n^(1/3) rule (stats/bootstrap.h).
+  uint64_t seed = 0xb10c5ull;
+};
+
+/// Point estimates for every series from exact tallies; degenerate series
+/// come back invalid. (The snapshot's index/sequence fields are the
+/// caller's to fill.)
+WindowSnapshot EvaluateTotals(const WindowAccumulator& totals);
+
+/// Full evaluation of the window: point estimates plus moving-block
+/// bootstrap CIs over the window's event order. The resampling replays
+/// stats::MovingBlockBootstrapCi's index stream exactly (same seed — same
+/// blocks) but tallies each block as a prefix-sum difference, so one
+/// resampled accumulator prices all seven series: O(resamples · n/L)
+/// merges instead of O(resamples · n) per series. Resamples where a series
+/// is degenerate contribute the full-window estimate (a neutral vote) to
+/// keep the quantile count fixed and the result deterministic.
+WindowSnapshot EvaluateWindow(const SlidingWindow& window,
+                              const WindowCiOptions& options);
+
+}  // namespace monitor
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_MONITOR_WINDOW_H_

@@ -73,6 +73,27 @@ void Histogram::Record(double sample) {
   AtomicAdd(&sum_, sample);
 }
 
+double Histogram::ApproxQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (bounds_[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the overflow bucket: the bounds carry no upper limit, so
+  // report the last finite bound (a lower bound on the true quantile).
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::Reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
@@ -137,6 +158,14 @@ std::string MetricsRegistry::ToCsv() const {
                      static_cast<unsigned long long>(hist->count()));
     out += StrFormat("%s,histogram,sum,%s\n", name.c_str(),
                      NumberField(hist->sum()).c_str());
+    // Approximate-quantile summary (bucket interpolation): the serving-tier
+    // and monitor latency reports read these instead of re-deriving them.
+    out += StrFormat("%s,histogram,p50,%s\n", name.c_str(),
+                     NumberField(hist->ApproxQuantile(0.50)).c_str());
+    out += StrFormat("%s,histogram,p95,%s\n", name.c_str(),
+                     NumberField(hist->ApproxQuantile(0.95)).c_str());
+    out += StrFormat("%s,histogram,p99,%s\n", name.c_str(),
+                     NumberField(hist->ApproxQuantile(0.99)).c_str());
   }
   return out;
 }

@@ -59,6 +59,15 @@ class Histogram {
   uint64_t bucket_count(std::size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
+
+  /// Approximate q-quantile (q in [0,1]) reconstructed from the bucket
+  /// counts by linear interpolation inside the covering bucket — the
+  /// Prometheus histogram_quantile estimate. Accuracy is bounded by the
+  /// bucket width around the quantile; samples landing in the overflow
+  /// bucket are attributed to the last finite bound. Returns 0 on an empty
+  /// histogram. Concurrent recording makes the result a snapshot, same as
+  /// every other read.
+  double ApproxQuantile(double q) const;
   const std::vector<double>& upper_bounds() const { return bounds_; }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }

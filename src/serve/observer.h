@@ -1,0 +1,50 @@
+#ifndef FAIRBENCH_SERVE_OBSERVER_H_
+#define FAIRBENCH_SERVE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fairbench {
+namespace serve {
+
+/// One successfully scored batch, as seen by a ScoreObserver. Everything is
+/// borrowed and valid only for the duration of the callback: observers that
+/// need the data later must copy it out (the monitor copies per-example
+/// events into its own bounded queue).
+struct ScoredBatch {
+  /// The response's monotonic sequence number (ScoreResponse::sequence).
+  /// Callbacks are delivered under the stamping lock, so an observer sees
+  /// batches in strictly increasing sequence order with no gaps for
+  /// successful requests; a gap it *does* observe means a consumer further
+  /// downstream dropped or reordered responses.
+  uint64_t sequence = 0;
+  const std::string* approach_id = nullptr;
+  /// The scored rows; `data->labels()` / `data->sensitive()` carry the
+  /// ground truth and group of each prediction when the caller has them.
+  const Dataset* data = nullptr;
+  const std::vector<int>* predictions = nullptr;
+  /// Predictions with S flipped per row (the Causal Discrimination probe),
+  /// populated only when ScoringServiceOptions::observe_flipped_predictions
+  /// is set; nullptr otherwise.
+  const std::vector<int>* flipped_predictions = nullptr;
+};
+
+/// Completion hook on the scoring hot path. OnBatchScored runs on the
+/// thread that scored the batch while the service's sequencing lock is
+/// held: implementations must be fast and non-blocking (enqueue and
+/// return), must not call back into the ScoringService, and must tolerate
+/// concurrent *construction* of events from what they copied. See
+/// docs/monitoring.md for the contract the FairnessMonitor implements.
+class ScoreObserver {
+ public:
+  virtual ~ScoreObserver() = default;
+  virtual void OnBatchScored(const ScoredBatch& batch) = 0;
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_OBSERVER_H_

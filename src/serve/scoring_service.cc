@@ -126,33 +126,62 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
   const Dataset& data = *request.data;
   const std::size_t n = data.num_rows();
   std::vector<int> predictions(n, 0);
-  auto score_row = [&](std::size_t row) -> Status {
-    if ((row & 63u) == 0u) {
-      FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "scoring"));
+  std::vector<int> flipped;
+  const bool want_flipped =
+      options_.observer != nullptr && options_.observe_flipped_predictions;
+  if (want_flipped) flipped.assign(n, 0);
+
+  // `out` receives the row's prediction; `flip` overrides S with 1-S (the
+  // streaming Causal Discrimination probe for the observer).
+  auto score_into = [&](std::vector<int>& out, bool flip) {
+    auto score_row = [&, flip](std::size_t row) -> Status {
+      if ((row & 63u) == 0u) {
+        FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "scoring"));
+      }
+      const int s = data.sensitive()[row];
+      FAIRBENCH_ASSIGN_OR_RETURN(
+          out[row], model.pipeline->PredictRow(data, row, flip ? 1 - s : s));
+      return Status::OK();
+    };
+    if (model.pipeline->NeedsPredictTimeTransform() || !allow_parallel) {
+      // Serial path: either the pipeline's predict-time transform cache is
+      // not safe for concurrent rows, or we are already on a pool worker.
+      std::unique_lock<std::mutex> lock(*model.score_mu, std::defer_lock);
+      if (model.pipeline->NeedsPredictTimeTransform()) lock.lock();
+      for (std::size_t row = 0; row < n; ++row) {
+        FAIRBENCH_RETURN_NOT_OK(score_row(row));
+      }
+      return Status::OK();
     }
-    FAIRBENCH_ASSIGN_OR_RETURN(
-        predictions[row],
-        model.pipeline->PredictRow(data, row, data.sensitive()[row]));
-    return Status::OK();
-  };
-  if (model.pipeline->NeedsPredictTimeTransform() || !allow_parallel) {
-    // Serial path: either the pipeline's predict-time transform cache is
-    // not safe for concurrent rows, or we are already on a pool worker.
-    std::unique_lock<std::mutex> lock(*model.score_mu, std::defer_lock);
-    if (model.pipeline->NeedsPredictTimeTransform()) lock.lock();
-    for (std::size_t row = 0; row < n; ++row) {
-      FAIRBENCH_RETURN_NOT_OK(score_row(row));
-    }
-  } else {
     ParallelOptions popts;
     popts.pool = pool_.get();
     popts.min_chunk = 64;
-    FAIRBENCH_RETURN_NOT_OK(ParallelFor(n, score_row, popts));
+    return ParallelFor(n, score_row, popts);
+  };
+  FAIRBENCH_RETURN_NOT_OK(score_into(predictions, /*flip=*/false));
+  if (want_flipped) {
+    FAIRBENCH_RETURN_NOT_OK(score_into(flipped, /*flip=*/true));
   }
   response.score_seconds = score_timer.ElapsedSeconds();
   response.predictions = std::move(predictions);
   FAIRBENCH_COUNTER_ADD("serve.rows_scored.total",
                         static_cast<uint64_t>(n));
+
+  {
+    // Stamp + deliver under the sequencing lock: observers see successful
+    // responses exactly once, in stamp order (see ScoreResponse::sequence).
+    std::lock_guard<std::mutex> seq_lock(seq_mu_);
+    response.sequence = ++next_sequence_;
+    if (options_.observer != nullptr) {
+      ScoredBatch batch;
+      batch.sequence = response.sequence;
+      batch.approach_id = &request.approach_id;
+      batch.data = request.data;
+      batch.predictions = &response.predictions;
+      batch.flipped_predictions = want_flipped ? &flipped : nullptr;
+      options_.observer->OnBatchScored(batch);
+    }
+  }
   return response;
 }
 

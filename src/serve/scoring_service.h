@@ -18,6 +18,7 @@
 #include "core/run_options.h"
 #include "data/dataset.h"
 #include "exec/thread_pool.h"
+#include "serve/observer.h"
 
 namespace fairbench {
 namespace serve {
@@ -37,6 +38,18 @@ struct ScoringServiceOptions {
   /// they never block the caller — which keeps overload failure fast and
   /// explicit (the backpressure contract; see docs/serving.md).
   std::size_t max_in_flight = 32;
+
+  /// Completion hook (borrowed; must outlive the service). Every
+  /// *successful* response is delivered exactly once, in sequence order,
+  /// under the sequencing lock — see observer.h for the callback contract.
+  /// nullptr = no observation (sequence numbers are stamped regardless).
+  ScoreObserver* observer = nullptr;
+
+  /// Also score every row with S flipped and hand the results to the
+  /// observer (ScoredBatch::flipped_predictions) — the streaming Causal
+  /// Discrimination probe. Doubles per-row prediction work on observed
+  /// requests, so leave it off unless a monitor consumes windowed CD.
+  bool observe_flipped_predictions = false;
 };
 
 /// One batch scoring request: score every row of `data` under the given
@@ -66,6 +79,15 @@ struct ScoreResponse {
   bool cache_hit = false;        ///< Model came from the warm cache.
   double fit_seconds = 0.0;      ///< 0 on cache hits.
   double score_seconds = 0.0;
+
+  /// Monotonic completion stamp: 1, 2, 3, ... across all successful
+  /// responses of one service, stamped under the service's sequencing lock
+  /// in the order responses complete (not the order requests arrived).
+  /// Downstream consumers use it to detect reordering and drops — two
+  /// responses can never carry the same value, and a consumer that sees
+  /// sequence n+2 after n knows exactly one response went missing. Failed
+  /// requests consume no sequence number.
+  uint64_t sequence = 0;
 };
 
 /// Cache counters (also exported as serve.* obs metrics).
@@ -146,6 +168,13 @@ class ScoringService {
 
   ScoringServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Sequencing lock: serializes sequence stamping + observer delivery so
+  /// observers see successful responses in exactly stamp order. Separate
+  /// from mu_ (never held together) so a slow observer cannot stall cache
+  /// fills, and so observers cannot deadlock by reading cache_stats().
+  std::mutex seq_mu_;
+  uint64_t next_sequence_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable slot_ready_;

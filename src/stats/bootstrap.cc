@@ -1,10 +1,74 @@
 #include "stats/bootstrap.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "stats/descriptive.h"
 
 namespace fairbench {
+
+std::size_t ResolveBlockLength(std::size_t num_rows,
+                               const BlockBootstrapOptions& options) {
+  std::size_t length = options.block_length;
+  if (length == 0) {
+    // The epsilon keeps perfect cubes exact: cbrt(27) evaluates to
+    // 3.0000000000000004, which must not round up to 4.
+    length = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(num_rows)) - 1e-9));
+  }
+  if (length < 1) length = 1;
+  if (length > num_rows) length = num_rows;
+  return length;
+}
+
+Result<BootstrapInterval> MovingBlockBootstrapCi(
+    std::size_t num_rows, const IndexStatistic& statistic,
+    const BlockBootstrapOptions& options) {
+  if (num_rows == 0) {
+    return Status::InvalidArgument("MovingBlockBootstrapCi: empty sample");
+  }
+  if (!statistic) {
+    return Status::InvalidArgument("MovingBlockBootstrapCi: null statistic");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument(
+        "MovingBlockBootstrapCi: confidence out of (0,1)");
+  }
+  if (options.resamples < 10) {
+    return Status::InvalidArgument(
+        "MovingBlockBootstrapCi: need at least 10 resamples");
+  }
+  const std::size_t block = ResolveBlockLength(num_rows, options);
+  const std::size_t num_blocks = (num_rows + block - 1) / block;
+  const std::size_t num_starts = num_rows - block + 1;
+
+  BootstrapInterval interval;
+  interval.confidence = options.confidence;
+
+  std::vector<std::size_t> identity(num_rows);
+  for (std::size_t i = 0; i < num_rows; ++i) identity[i] = i;
+  interval.estimate = statistic(identity);
+
+  Rng rng(options.seed);
+  std::vector<double> values;
+  values.reserve(options.resamples);
+  std::vector<std::size_t> indices;
+  for (std::size_t b = 0; b < options.resamples; ++b) {
+    indices.clear();
+    for (std::size_t j = 0; j < num_blocks; ++j) {
+      const std::size_t start =
+          static_cast<std::size_t>(rng.UniformInt(num_starts));
+      for (std::size_t k = 0; k < block && indices.size() < num_rows; ++k) {
+        indices.push_back(start + k);
+      }
+    }
+    values.push_back(statistic(indices));
+  }
+  const double alpha = 1.0 - options.confidence;
+  interval.lower = Quantile(values, alpha / 2.0);
+  interval.upper = Quantile(values, 1.0 - alpha / 2.0);
+  return interval;
+}
 
 Result<BootstrapInterval> BootstrapCi(std::size_t num_rows,
                                       const IndexStatistic& statistic,

@@ -39,6 +39,34 @@ Result<BootstrapInterval> BootstrapCi(std::size_t num_rows,
                                       const IndexStatistic& statistic,
                                       const BootstrapOptions& options = {});
 
+/// Options for the moving-block bootstrap. `block_length` 0 picks the
+/// usual n^(1/3) rule of thumb (rounded up, clamped to [1, n]).
+struct BlockBootstrapOptions {
+  std::size_t resamples = 200;
+  double confidence = 0.95;
+  std::size_t block_length = 0;
+  uint64_t seed = 0xb10c5ull;
+};
+
+/// Moving-block-bootstrap confidence interval for a statistic over an
+/// *ordered* sample (a stream window): instead of resampling rows
+/// independently — which destroys serial correlation and understates the
+/// variance of windowed estimates — each resample concatenates
+/// ceil(n/L) blocks of L consecutive indices with uniformly random starts,
+/// truncated to n. Deterministic for a fixed seed; the resample-b start
+/// offsets are exactly the Rng(seed) UniformInt(n-L+1) stream, in order —
+/// src/monitor's prefix-sum CI path replays the same stream so the two
+/// implementations agree bit-for-bit on count-valued statistics.
+Result<BootstrapInterval> MovingBlockBootstrapCi(
+    std::size_t num_rows, const IndexStatistic& statistic,
+    const BlockBootstrapOptions& options = {});
+
+/// The block length MovingBlockBootstrapCi actually uses for a sample of
+/// size n under `options` (the n^(1/3) default resolution, exposed so the
+/// monitor's replayed stream uses the identical value).
+std::size_t ResolveBlockLength(std::size_t num_rows,
+                               const BlockBootstrapOptions& options);
+
 /// Convenience wrapper: bootstrap CI of a group-fairness style statistic
 /// computed from parallel (y_true, y_pred, sensitive) arrays.
 Result<BootstrapInterval> BootstrapMetricCi(

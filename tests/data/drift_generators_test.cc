@@ -1,0 +1,227 @@
+// Drift-capable generator contracts: a drifting stream is byte-identical
+// to the stationary stream before onset (and in full at magnitude 0), and
+// moves in the documented direction after onset, for each drift kind on
+// each of the paper's four calibrated generators.
+
+#include "data/generators/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+constexpr uint64_t kSeed = 1234;
+
+std::vector<PopulationConfig> Configs() { return AllDatasetConfigs(); }
+
+/// Bitwise row-range equality across every column plus S and Y.
+void ExpectRowsIdentical(const Dataset& a, const Dataset& b,
+                         std::size_t begin, std::size_t end) {
+  ASSERT_GE(a.num_rows(), end);
+  ASSERT_GE(b.num_rows(), end);
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t r = begin; r < end; ++r) {
+    EXPECT_EQ(a.sensitive()[r], b.sensitive()[r]) << "row " << r;
+    EXPECT_EQ(a.labels()[r], b.labels()[r]) << "row " << r;
+    for (std::size_t c = 0; c < a.num_features(); ++c) {
+      if (!a.column(c).numeric.empty()) {
+        // EXPECT_EQ on doubles is exact — the contract is byte-identity,
+        // not closeness.
+        EXPECT_EQ(a.column(c).numeric[r], b.column(c).numeric[r])
+            << "row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(a.column(c).codes[r], b.column(c).codes[r])
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(DriftScheduleTest, WeightIsZeroBeforeOnsetAndRampsLinearly) {
+  DriftSchedule step;
+  step.onset_row = 100;
+  EXPECT_DOUBLE_EQ(DriftWeight(step, 0), 0.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(step, 99), 0.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(step, 100), 1.0);  // ramp 0 = step change
+  EXPECT_DOUBLE_EQ(DriftWeight(step, 5000), 1.0);
+
+  DriftSchedule ramp;
+  ramp.onset_row = 100;
+  ramp.ramp_rows = 200;
+  EXPECT_DOUBLE_EQ(DriftWeight(ramp, 99), 0.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(ramp, 100), 1.0 / 200.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(ramp, 199), 100.0 / 200.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(ramp, 299), 1.0);
+  EXPECT_DOUBLE_EQ(DriftWeight(ramp, 1000), 1.0);
+  // Monotone non-decreasing across the ramp.
+  for (std::size_t r = 100; r < 310; ++r) {
+    EXPECT_GE(DriftWeight(ramp, r + 1), DriftWeight(ramp, r));
+  }
+}
+
+TEST(DriftGeneratorTest, ZeroMagnitudeReproducesStationaryStreamExactly) {
+  for (const PopulationConfig& config : Configs()) {
+    constexpr std::size_t kRows = 600;
+    DriftSchedule schedule;
+    schedule.kind = DriftKind::kLabelShift;
+    schedule.onset_row = 0;
+    schedule.magnitude = 0.0;
+    const Dataset drifted =
+        GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+    const Dataset stationary =
+        GeneratePopulation(config, kRows, kSeed).value();
+    ExpectRowsIdentical(drifted, stationary, 0, kRows);
+  }
+}
+
+TEST(DriftGeneratorTest, PreOnsetPrefixIsByteIdenticalForEveryKind) {
+  constexpr std::size_t kOnset = 400;
+  constexpr std::size_t kRows = 800;
+  for (const PopulationConfig& config : Configs()) {
+    const Dataset stationary =
+        GeneratePopulation(config, kRows, kSeed).value();
+    for (const DriftKind kind :
+         {DriftKind::kCovariateShift, DriftKind::kLabelShift,
+          DriftKind::kGroupMixShift}) {
+      DriftSchedule schedule;
+      schedule.kind = kind;
+      schedule.onset_row = kOnset;
+      schedule.magnitude = 1.0;
+      const Dataset drifted =
+          GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+      ExpectRowsIdentical(drifted, stationary, 0, kOnset);
+    }
+  }
+}
+
+TEST(DriftGeneratorTest, CovariateShiftRaisesNumericFeatureMeans) {
+  constexpr std::size_t kOnset = 500;
+  constexpr std::size_t kRows = 4000;
+  for (const PopulationConfig& config : Configs()) {
+    if (config.numeric.empty()) continue;
+    DriftSchedule schedule;
+    schedule.kind = DriftKind::kCovariateShift;
+    schedule.onset_row = kOnset;
+    schedule.magnitude = 1.0;
+    const Dataset drifted =
+        GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+    const Dataset stationary =
+        GeneratePopulation(config, kRows, kSeed).value();
+    // Consumption-neutrality means S, Y, and every Gaussian draw coincide
+    // row-by-row; post-onset each numeric value moves up by one base_std
+    // (modulo rounding/clamping), so the post-onset column means must.
+    for (std::size_t c = 0; c < config.numeric.size(); ++c) {
+      double drift_mean = 0.0;
+      double stationary_mean = 0.0;
+      for (std::size_t r = kOnset; r < kRows; ++r) {
+        drift_mean += drifted.column(c).numeric[r];
+        stationary_mean += stationary.column(c).numeric[r];
+      }
+      EXPECT_GT(drift_mean, stationary_mean)
+          << config.name << " feature " << config.numeric[c].name;
+    }
+    // Labels and group mix stay put under covariate shift.
+    EXPECT_EQ(drifted.sensitive(), stationary.sensitive()) << config.name;
+    EXPECT_EQ(drifted.labels(), stationary.labels()) << config.name;
+  }
+}
+
+TEST(DriftGeneratorTest, LabelShiftMovesGroupConditionalRates) {
+  constexpr std::size_t kOnset = 500;
+  constexpr std::size_t kRows = 8000;
+  for (const PopulationConfig& config : Configs()) {
+    DriftSchedule schedule;
+    schedule.kind = DriftKind::kLabelShift;
+    schedule.onset_row = kOnset;
+    schedule.magnitude = 0.3;
+    const Dataset drifted =
+        GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+    const Dataset stationary =
+        GeneratePopulation(config, kRows, kSeed).value();
+    // Group mix is untouched by label shift.
+    EXPECT_EQ(drifted.sensitive(), stationary.sensitive()) << config.name;
+
+    auto post_onset_rate = [&](const Dataset& data, int group) {
+      double positives = 0.0;
+      double members = 0.0;
+      for (std::size_t r = kOnset; r < kRows; ++r) {
+        if (data.sensitive()[r] != group) continue;
+        members += 1.0;
+        positives += data.labels()[r];
+      }
+      return members > 0.0 ? positives / members : 0.0;
+    };
+    // Unprivileged positives rise by ~0.3, privileged fall by ~0.3 (both
+    // clamped); 0.1 margins keep the check robust at these sample sizes.
+    EXPECT_GT(post_onset_rate(drifted, 0),
+              post_onset_rate(stationary, 0) + 0.1)
+        << config.name;
+    EXPECT_LT(post_onset_rate(drifted, 1),
+              post_onset_rate(stationary, 1) - 0.1)
+        << config.name;
+  }
+}
+
+TEST(DriftGeneratorTest, GroupMixShiftRaisesPrivilegedFraction) {
+  constexpr std::size_t kOnset = 500;
+  constexpr std::size_t kRows = 8000;
+  for (const PopulationConfig& config : Configs()) {
+    DriftSchedule schedule;
+    schedule.kind = DriftKind::kGroupMixShift;
+    schedule.onset_row = kOnset;
+    schedule.magnitude = 0.25;
+    const Dataset drifted =
+        GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+    const Dataset stationary =
+        GeneratePopulation(config, kRows, kSeed).value();
+    auto post_onset_privileged = [&](const Dataset& data) {
+      double privileged = 0.0;
+      for (std::size_t r = kOnset; r < kRows; ++r) {
+        privileged += data.sensitive()[r];
+      }
+      return privileged / static_cast<double>(kRows - kOnset);
+    };
+    EXPECT_GT(post_onset_privileged(drifted),
+              post_onset_privileged(stationary) + 0.1)
+        << config.name;
+  }
+}
+
+TEST(DriftGeneratorTest, RampPhasesInGradually) {
+  // With a long ramp, the first ramp quarter moves less than the last
+  // quarter (measured against the stationary stream's matched rows).
+  PopulationConfig config = AdultConfig();
+  DriftSchedule schedule;
+  schedule.kind = DriftKind::kGroupMixShift;
+  schedule.onset_row = 1000;
+  schedule.ramp_rows = 4000;
+  schedule.magnitude = 0.3;
+  constexpr std::size_t kRows = 5000;
+  const Dataset drifted =
+      GenerateDriftingPopulation(config, schedule, kRows, kSeed).value();
+  const Dataset stationary = GeneratePopulation(config, kRows, kSeed).value();
+  auto mix_delta = [&](std::size_t begin, std::size_t end) {
+    double delta = 0.0;
+    for (std::size_t r = begin; r < end; ++r) {
+      delta += drifted.sensitive()[r] - stationary.sensitive()[r];
+    }
+    return delta / static_cast<double>(end - begin);
+  };
+  EXPECT_LT(mix_delta(1000, 2000), mix_delta(4000, 5000) - 0.02);
+}
+
+TEST(DriftGeneratorTest, RejectsNonFiniteMagnitude) {
+  DriftSchedule schedule;
+  schedule.magnitude = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      GenerateDriftingPopulation(AdultConfig(), schedule, 100, kSeed).ok());
+}
+
+}  // namespace
+}  // namespace fairbench

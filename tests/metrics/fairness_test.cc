@@ -89,5 +89,45 @@ INSTANTIATE_TEST_SUITE_P(Sweep, NormalizeRangeTest,
                          testing::Values(-2.0, -1.0, -0.5, -0.01, 0.0, 0.01,
                                          0.5, 0.99, 1.0, 1.5, 10.0));
 
+TEST(WindowedMetricsTest, MatchBatchMetricsOnHealthyWindows) {
+  const GroupStats gs =
+      BuildGroupStats({1, 0, 1, 0, 1, 0}, {1, 0, 0, 1, 1, 0},
+                      {1, 1, 0, 0, 1, 0})
+          .value();
+  EXPECT_DOUBLE_EQ(WindowedDisparateImpact(gs).value(), DisparateImpact(gs));
+  EXPECT_DOUBLE_EQ(WindowedTprBalance(gs).value(), TprBalance(gs));
+  EXPECT_DOUBLE_EQ(WindowedTnrBalance(gs).value(), TnrBalance(gs));
+}
+
+TEST(WindowedMetricsTest, DegenerateWindowsReturnFailedPrecondition) {
+  // One-group window: every windowed metric refuses rather than emitting a
+  // 0/0-shaped value.
+  const GroupStats one_group =
+      BuildGroupStats({1, 0}, {1, 0}, {1, 1}).value();
+  EXPECT_EQ(WindowedDisparateImpact(one_group).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(WindowedTprBalance(one_group).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(WindowedTnrBalance(one_group).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WindowedMetricsTest, ValuesAreAlwaysFinite) {
+  // Privileged group present but never predicted positive: batch DI would
+  // be 0.5/0 = inf; the windowed form caps the denominator at half an
+  // example and stays finite.
+  const GroupStats gs =
+      BuildGroupStats({1, 0, 1, 0}, {1, 0, 0, 0}, {0, 0, 1, 1}).value();
+  const Result<double> di = WindowedDisparateImpact(gs);
+  ASSERT_TRUE(di.ok());
+  EXPECT_TRUE(std::isfinite(*di));
+  EXPECT_GT(*di, 1.0);  // Unprivileged favored; direction preserved.
+  // Both groups all-negative predictions: 0/0 in batch form, defined as
+  // parity here.
+  const GroupStats silent =
+      BuildGroupStats({1, 0, 1, 0}, {0, 0, 0, 0}, {0, 0, 1, 1}).value();
+  EXPECT_DOUBLE_EQ(WindowedDisparateImpact(silent).value(), 1.0);
+}
+
 }  // namespace
 }  // namespace fairbench

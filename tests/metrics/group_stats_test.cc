@@ -40,5 +40,77 @@ TEST(GroupStatsTest, EmptyInputIsValid) {
   EXPECT_DOUBLE_EQ(gs.PositiveRateUnprivileged(), 0.0);
 }
 
+TEST(GroupStatsTest, AddRemoveRoundTripsExactly) {
+  const std::vector<int> y = {1, 0, 1, 0, 1, 1, 0, 0};
+  const std::vector<int> yhat = {1, 1, 0, 0, 1, 0, 1, 0};
+  const std::vector<int> s = {0, 1, 0, 1, 1, 0, 0, 1};
+  GroupStats incremental;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    incremental.Add(y[i], yhat[i], s[i]);
+  }
+  const GroupStats batch = BuildGroupStats(y, yhat, s).value();
+  EXPECT_DOUBLE_EQ(incremental.privileged.tp, batch.privileged.tp);
+  EXPECT_DOUBLE_EQ(incremental.privileged.fp, batch.privileged.fp);
+  EXPECT_DOUBLE_EQ(incremental.privileged.tn, batch.privileged.tn);
+  EXPECT_DOUBLE_EQ(incremental.privileged.fn, batch.privileged.fn);
+  EXPECT_DOUBLE_EQ(incremental.unprivileged.tp, batch.unprivileged.tp);
+  EXPECT_DOUBLE_EQ(incremental.unprivileged.fn, batch.unprivileged.fn);
+  // Sliding eviction: removing every example restores the empty tally
+  // exactly (integer-valued doubles, no residue).
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    incremental.Remove(y[i], yhat[i], s[i]);
+  }
+  EXPECT_DOUBLE_EQ(incremental.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(incremental.privileged.tp, 0.0);
+  EXPECT_DOUBLE_EQ(incremental.unprivileged.tn, 0.0);
+}
+
+TEST(GroupStatsTest, MergeSumsEveryCell) {
+  GroupStats a = BuildGroupStats({1, 0}, {1, 1}, {1, 0}).value();
+  const GroupStats b = BuildGroupStats({0, 1}, {0, 0}, {1, 0}).value();
+  a.Merge(b);
+  const GroupStats all =
+      BuildGroupStats({1, 0, 0, 1}, {1, 1, 0, 0}, {1, 0, 1, 0}).value();
+  EXPECT_DOUBLE_EQ(a.privileged.tp, all.privileged.tp);
+  EXPECT_DOUBLE_EQ(a.privileged.tn, all.privileged.tn);
+  EXPECT_DOUBLE_EQ(a.unprivileged.fp, all.unprivileged.fp);
+  EXPECT_DOUBLE_EQ(a.unprivileged.fn, all.unprivileged.fn);
+  EXPECT_DOUBLE_EQ(a.Total(), 4.0);
+}
+
+TEST(GroupStatsWindowCheckTest, EmptyGroupFailsRates) {
+  // Window with only unprivileged examples: DI's privileged denominator is
+  // empty.
+  const GroupStats gs = BuildGroupStats({1, 0}, {1, 0}, {0, 0}).value();
+  const Status status = CheckWindowForRates(gs);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("privileged"), std::string::npos);
+}
+
+TEST(GroupStatsWindowCheckTest, OneClassWindowsFailTprOrTnr) {
+  // All ground-truth negatives: TPR undefined in both groups, TNR fine.
+  const GroupStats negatives =
+      BuildGroupStats({0, 0, 0, 0}, {1, 0, 1, 0}, {1, 1, 0, 0}).value();
+  EXPECT_TRUE(CheckWindowForRates(negatives).ok());
+  EXPECT_EQ(CheckWindowForTpr(negatives).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(CheckWindowForTnr(negatives).ok());
+  // All ground-truth positives: the mirror case.
+  const GroupStats positives =
+      BuildGroupStats({1, 1, 1, 1}, {1, 0, 1, 0}, {1, 1, 0, 0}).value();
+  EXPECT_TRUE(CheckWindowForTpr(positives).ok());
+  EXPECT_EQ(CheckWindowForTnr(positives).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupStatsWindowCheckTest, BalancedWindowPassesAll) {
+  const GroupStats gs =
+      BuildGroupStats({1, 0, 1, 0}, {1, 0, 0, 1}, {1, 1, 0, 0}).value();
+  EXPECT_TRUE(CheckWindowForRates(gs).ok());
+  EXPECT_TRUE(CheckWindowForTpr(gs).ok());
+  EXPECT_TRUE(CheckWindowForTnr(gs).ok());
+}
+
 }  // namespace
 }  // namespace fairbench

@@ -1,0 +1,160 @@
+#include "monitor/alert_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fairbench {
+namespace monitor {
+namespace {
+
+/// Snapshot with a single valid series (DI) at `estimate`.
+WindowSnapshot DiSnapshot(std::size_t index, double estimate) {
+  WindowSnapshot snap;
+  snap.index = index;
+  snap.end_sequence = 100 * (index + 1);
+  SeriesValue& di = snap.series[static_cast<std::size_t>(Series::kDi)];
+  di.valid = true;
+  di.estimate = estimate;
+  di.lower = estimate;
+  di.upper = estimate;
+  return snap;
+}
+
+/// Policy with only DI enabled (isolates the state machine under test).
+AlertPolicyOptions DiOnlyOptions() {
+  AlertPolicyOptions options;
+  for (SeriesPolicy& policy : options.series) policy.enabled = false;
+  SeriesPolicy& di = options.policy(Series::kDi);
+  di.enabled = true;
+  di.mode = AlertMode::kBaselineDelta;
+  di.delta = 0.1;
+  di.consecutive = 2;
+  options.baseline_windows = 2;
+  return options;
+}
+
+TEST(AlertPolicyTest, BaselineCalibratesThenHysteresisFires) {
+  AlertPolicy policy(DiOnlyOptions());
+  std::size_t index = 0;
+  // Calibration: absorbed, never judged — even wild values.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.78)).empty());
+  EXPECT_FALSE(policy.BaselineFrozen(Series::kDi));
+  EXPECT_TRUE(std::isnan(policy.BaselineFor(Series::kDi)));
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.82)).empty());
+  ASSERT_TRUE(policy.BaselineFrozen(Series::kDi));
+  EXPECT_DOUBLE_EQ(policy.BaselineFor(Series::kDi), 0.80);
+
+  // In range: nothing.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.85)).empty());
+  // First breach: streak 1 of 2 — silent.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.6)).empty());
+  // Second consecutive breach: fires exactly one alert.
+  const std::vector<Alert> fired = policy.Observe(DiSnapshot(index++, 0.58));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].series, Series::kDi);
+  EXPECT_EQ(fired[0].window_index, 4u);
+  EXPECT_DOUBLE_EQ(fired[0].estimate, 0.58);
+  EXPECT_DOUBLE_EQ(fired[0].baseline, 0.80);
+  EXPECT_DOUBLE_EQ(fired[0].threshold, 0.1);
+  EXPECT_EQ(fired[0].end_sequence, 500u);
+  // Breach persists: no re-fire while alerting.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.55)).empty());
+  // Recovery re-arms...
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.81)).empty());
+  // ...so a fresh sustained breach fires again.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.6)).empty());
+  EXPECT_EQ(policy.Observe(DiSnapshot(index++, 0.6)).size(), 1u);
+}
+
+TEST(AlertPolicyTest, InterruptedBreachNeverFires) {
+  AlertPolicy policy(DiOnlyOptions());
+  std::size_t index = 0;
+  policy.Observe(DiSnapshot(index++, 0.8));
+  policy.Observe(DiSnapshot(index++, 0.8));
+  // breach, recover, breach, recover...: streak never reaches 2.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.6)).empty());
+    EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.8)).empty());
+  }
+}
+
+TEST(AlertPolicyTest, InvalidEstimatesAreSkippedNotReset) {
+  AlertPolicy policy(DiOnlyOptions());
+  std::size_t index = 0;
+  policy.Observe(DiSnapshot(index++, 0.8));
+  policy.Observe(DiSnapshot(index++, 0.8));
+  // Invalid window during calibration or judging is a non-event.
+  WindowSnapshot invalid;
+  invalid.index = index++;
+  EXPECT_TRUE(policy.Observe(invalid).empty());
+  // breach, invalid, breach: the degenerate window neither breaches nor
+  // re-arms, so the streak survives it and the second breach fires.
+  EXPECT_TRUE(policy.Observe(DiSnapshot(index++, 0.6)).empty());
+  invalid.index = index++;
+  EXPECT_TRUE(policy.Observe(invalid).empty());
+  EXPECT_EQ(policy.Observe(DiSnapshot(index++, 0.6)).size(), 1u);
+}
+
+TEST(AlertPolicyTest, AbsoluteBoundsActiveFromFirstWindow) {
+  AlertPolicyOptions options;
+  for (SeriesPolicy& policy : options.series) policy.enabled = false;
+  SeriesPolicy& di = options.policy(Series::kDi);
+  di.enabled = true;
+  di.mode = AlertMode::kAbsoluteBounds;
+  di.lower_bound = 0.8;  // the four-fifths rule
+  di.consecutive = 1;
+  AlertPolicy policy(options);
+
+  // No calibration period: the very first breaching window fires.
+  const std::vector<Alert> fired = policy.Observe(DiSnapshot(0, 0.7));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0].baseline, 0.8);  // the violated bound
+  // In-bounds values stay silent (no upper bound set).
+  EXPECT_TRUE(policy.Observe(DiSnapshot(1, 0.95)).empty());
+  EXPECT_TRUE(policy.Observe(DiSnapshot(2, 5.0)).empty());
+}
+
+TEST(AlertPolicyTest, DisabledSeriesNeverAlert) {
+  AlertPolicyOptions options = DiOnlyOptions();
+  options.policy(Series::kDi).enabled = false;
+  AlertPolicy policy(options);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(policy.Observe(DiSnapshot(i, i % 2 == 0 ? 0.1 : 2.0)).empty());
+  }
+}
+
+TEST(AlertPolicyTest, IndependentSeriesTrackIndependently) {
+  AlertPolicyOptions options;
+  for (SeriesPolicy& policy : options.series) {
+    policy.enabled = true;
+    policy.mode = AlertMode::kBaselineDelta;
+    policy.delta = 0.1;
+    policy.consecutive = 1;
+  }
+  options.baseline_windows = 1;
+  AlertPolicy policy(options);
+
+  auto snapshot = [](std::size_t index, double di, double positive_rate) {
+    WindowSnapshot snap;
+    snap.index = index;
+    SeriesValue& d = snap.series[static_cast<std::size_t>(Series::kDi)];
+    d.valid = true;
+    d.estimate = di;
+    SeriesValue& p =
+        snap.series[static_cast<std::size_t>(Series::kPositiveRate)];
+    p.valid = true;
+    p.estimate = positive_rate;
+    return snap;
+  };
+  EXPECT_TRUE(policy.Observe(snapshot(0, 0.8, 0.3)).empty());  // calibration
+  // Only positive_rate moves: exactly one alert, for that series.
+  const std::vector<Alert> fired = policy.Observe(snapshot(1, 0.82, 0.6));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].series, Series::kPositiveRate);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace fairbench

@@ -1,0 +1,128 @@
+#include "monitor/observer_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace fairbench {
+namespace monitor {
+namespace {
+
+TEST(ObserverQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ObserverQueue(0).capacity(), 2u);
+  EXPECT_EQ(ObserverQueue(1).capacity(), 2u);
+  EXPECT_EQ(ObserverQueue(2).capacity(), 2u);
+  EXPECT_EQ(ObserverQueue(5).capacity(), 8u);
+  EXPECT_EQ(ObserverQueue(1024).capacity(), 1024u);
+  EXPECT_EQ(ObserverQueue(1025).capacity(), 2048u);
+}
+
+TEST(ObserverQueueTest, FifoSingleThread) {
+  ObserverQueue queue(16);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ScoredEvent event;
+    event.sequence = i;
+    event.prediction = static_cast<int16_t>(i % 2);
+    ASSERT_TRUE(queue.TryPush(event));
+  }
+  EXPECT_EQ(queue.ApproxSize(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ScoredEvent event;
+    ASSERT_TRUE(queue.TryPop(&event));
+    EXPECT_EQ(event.sequence, i);
+    EXPECT_EQ(event.prediction, static_cast<int16_t>(i % 2));
+  }
+  ScoredEvent event;
+  EXPECT_FALSE(queue.TryPop(&event));
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+}
+
+TEST(ObserverQueueTest, FullQueueRejectsWithoutBlocking) {
+  ObserverQueue queue(4);
+  ScoredEvent event;
+  for (uint64_t i = 0; i < 4; ++i) {
+    event.sequence = i;
+    ASSERT_TRUE(queue.TryPush(event));
+  }
+  event.sequence = 4;
+  EXPECT_FALSE(queue.TryPush(event));  // fail fast, not block
+  ScoredEvent popped;
+  ASSERT_TRUE(queue.TryPop(&popped));
+  EXPECT_EQ(popped.sequence, 0u);
+  EXPECT_TRUE(queue.TryPush(event));  // slot recycled
+}
+
+TEST(ObserverQueueTest, WrapsAroundManyLaps) {
+  ObserverQueue queue(4);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ScoredEvent event;
+    event.sequence = i;
+    ASSERT_TRUE(queue.TryPush(event));
+    ScoredEvent popped;
+    ASSERT_TRUE(queue.TryPop(&popped));
+    EXPECT_EQ(popped.sequence, i);
+  }
+}
+
+/// MPMC stress (the TSan target in tools/ci.sh stage 7): every event pushed
+/// by any producer is popped exactly once by some consumer, under drops.
+TEST(ObserverQueueTest, MpmcDeliversEveryEventExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr uint64_t kPerProducer = 20000;
+  ObserverQueue queue(256);
+
+  std::vector<std::vector<uint64_t>> consumed(kConsumers);
+  std::atomic<uint64_t> produced{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ScoredEvent event;
+        event.sequence = static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!queue.TryPush(event)) std::this_thread::yield();
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      ScoredEvent event;
+      for (;;) {
+        if (queue.TryPop(&event)) {
+          consumed[c].push_back(event.sequence);
+        } else if (producers_done.load(std::memory_order_acquire)) {
+          // One final sweep: the flag was set after all pushes completed.
+          while (queue.TryPop(&event)) consumed[c].push_back(event.sequence);
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  producers_done.store(true, std::memory_order_release);
+  for (std::thread& t : consumers) t.join();
+
+  std::set<uint64_t> all;
+  std::size_t total = 0;
+  for (const auto& events : consumed) {
+    total += events.size();
+    all.insert(events.begin(), events.end());
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);  // nothing lost
+  EXPECT_EQ(all.size(), kProducers * kPerProducer);  // nothing duplicated
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), kProducers * kPerProducer - 1);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace fairbench

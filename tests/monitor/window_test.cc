@@ -1,0 +1,279 @@
+#include "monitor/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/fairness.h"
+#include "stats/bootstrap.h"
+
+namespace fairbench {
+namespace monitor {
+namespace {
+
+/// Deterministic synthetic event stream with all fields exercised.
+std::vector<ScoredEvent> MakeEvents(std::size_t n, uint64_t seed,
+                                    double flip_rate = 0.2) {
+  Rng rng(seed);
+  std::vector<ScoredEvent> events(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScoredEvent& event = events[i];
+    event.sequence = i;
+    event.timestamp_nanos = 1000 * (i + 1);
+    event.group = rng.Bernoulli(0.5) ? 1 : 0;
+    event.label = rng.Bernoulli(event.group == 1 ? 0.6 : 0.4) ? 1 : 0;
+    event.prediction =
+        rng.Bernoulli(event.label == 1 ? 0.7 : 0.3) ? 1 : 0;
+    event.flipped_prediction =
+        rng.Bernoulli(flip_rate)
+            ? static_cast<int16_t>(1 - event.prediction)
+            : event.prediction;
+  }
+  return events;
+}
+
+WindowAccumulator Tally(const std::vector<ScoredEvent>& events) {
+  WindowAccumulator acc;
+  for (const ScoredEvent& event : events) acc.Add(event);
+  return acc;
+}
+
+TEST(WindowAccumulatorTest, AddRemoveIsExactInverse) {
+  const std::vector<ScoredEvent> events = MakeEvents(64, 1);
+  WindowAccumulator acc = Tally(events);
+  EXPECT_DOUBLE_EQ(acc.events, 64.0);
+  // Remove the first half; the remainder must equal a fresh tally of the
+  // second half, cell for cell.
+  for (std::size_t i = 0; i < 32; ++i) acc.Remove(events[i]);
+  const WindowAccumulator second_half =
+      Tally({events.begin() + 32, events.end()});
+  EXPECT_DOUBLE_EQ(acc.events, second_half.events);
+  EXPECT_DOUBLE_EQ(acc.privileged, second_half.privileged);
+  EXPECT_DOUBLE_EQ(acc.pred_pos, second_half.pred_pos);
+  EXPECT_DOUBLE_EQ(acc.pred_pos_priv, second_half.pred_pos_priv);
+  EXPECT_DOUBLE_EQ(acc.labeled, second_half.labeled);
+  EXPECT_DOUBLE_EQ(acc.label_pos, second_half.label_pos);
+  EXPECT_DOUBLE_EQ(acc.probed, second_half.probed);
+  EXPECT_DOUBLE_EQ(acc.flips, second_half.flips);
+  EXPECT_DOUBLE_EQ(acc.confusion.privileged.tp,
+                   second_half.confusion.privileged.tp);
+  EXPECT_DOUBLE_EQ(acc.confusion.unprivileged.fn,
+                   second_half.confusion.unprivileged.fn);
+}
+
+TEST(WindowAccumulatorTest, MergeSubtractRoundTrip) {
+  const std::vector<ScoredEvent> events = MakeEvents(50, 2);
+  const WindowAccumulator a = Tally({events.begin(), events.begin() + 30});
+  const WindowAccumulator b = Tally({events.begin() + 30, events.end()});
+  WindowAccumulator merged = a;
+  merged.Merge(b);
+  EXPECT_DOUBLE_EQ(merged.events, 50.0);
+  merged.Subtract(b);
+  EXPECT_DOUBLE_EQ(merged.events, a.events);
+  EXPECT_DOUBLE_EQ(merged.pred_pos, a.pred_pos);
+  EXPECT_DOUBLE_EQ(merged.confusion.privileged.tp, a.confusion.privileged.tp);
+  EXPECT_DOUBLE_EQ(merged.flips, a.flips);
+}
+
+TEST(SlidingWindowTest, CountEvictionKeepsNewestMaxEvents) {
+  SlidingWindowOptions options;
+  options.max_events = 8;
+  SlidingWindow window(options);
+  const std::vector<ScoredEvent> events = MakeEvents(20, 3);
+  for (const ScoredEvent& event : events) window.Push(event);
+  EXPECT_EQ(window.size(), 8u);
+  EXPECT_EQ(window.events().front().sequence, 12u);
+  EXPECT_EQ(window.events().back().sequence, 19u);
+  // The incrementally maintained totals equal a fresh tally of the
+  // surviving events.
+  const WindowAccumulator fresh =
+      Tally({events.begin() + 12, events.end()});
+  EXPECT_DOUBLE_EQ(window.totals().events, fresh.events);
+  EXPECT_DOUBLE_EQ(window.totals().pred_pos, fresh.pred_pos);
+  EXPECT_DOUBLE_EQ(window.totals().confusion.privileged.tp,
+                   fresh.confusion.privileged.tp);
+  EXPECT_DOUBLE_EQ(window.totals().flips, fresh.flips);
+}
+
+TEST(SlidingWindowTest, TimeEvictionDropsEventsBehindHorizon) {
+  SlidingWindowOptions options;
+  options.max_events = 0;
+  options.horizon_nanos = 5000;
+  SlidingWindow window(options);
+  std::vector<ScoredEvent> events = MakeEvents(20, 4);  // ts = 1000*(i+1)
+  for (const ScoredEvent& event : events) window.Push(event);
+  // Newest ts = 20000; the horizon is inclusive at its left edge, keeping
+  // ts in [15000, 20000]: events 14..19.
+  EXPECT_EQ(window.size(), 6u);
+  EXPECT_EQ(window.events().front().sequence, 14u);
+}
+
+TEST(EvaluateTotalsTest, PointEstimatesMatchDirectFormulas) {
+  const std::vector<ScoredEvent> events = MakeEvents(128, 5);
+  const WindowAccumulator acc = Tally(events);
+  const WindowSnapshot snap = EvaluateTotals(acc);
+  EXPECT_EQ(snap.events, 128u);
+  EXPECT_DOUBLE_EQ(snap.privileged_count + snap.unprivileged_count, 128.0);
+
+  ASSERT_TRUE(snap.at(Series::kPositiveRate).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kPositiveRate).estimate,
+                   acc.pred_pos / 128.0);
+  ASSERT_TRUE(snap.at(Series::kLabelRate).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kLabelRate).estimate,
+                   acc.label_pos / acc.labeled);
+  ASSERT_TRUE(snap.at(Series::kGroupMix).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kGroupMix).estimate,
+                   acc.privileged / 128.0);
+  ASSERT_TRUE(snap.at(Series::kCd).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kCd).estimate, acc.flips / acc.probed);
+  ASSERT_TRUE(snap.at(Series::kDi).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kDi).estimate,
+                   WindowedDisparateImpact(acc.PredictionStats()).value());
+  ASSERT_TRUE(snap.at(Series::kTprb).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kTprb).estimate,
+                   WindowedTprBalance(acc.confusion).value());
+  ASSERT_TRUE(snap.at(Series::kTnrb).valid);
+  EXPECT_DOUBLE_EQ(snap.at(Series::kTnrb).estimate,
+                   WindowedTnrBalance(acc.confusion).value());
+}
+
+TEST(EvaluateTotalsTest, DegenerateSeriesComeBackInvalid) {
+  // All-privileged window with no labels and no probes.
+  WindowAccumulator acc;
+  for (std::size_t i = 0; i < 10; ++i) {
+    ScoredEvent event;
+    event.group = 1;
+    event.prediction = static_cast<int16_t>(i % 2);
+    event.label = -1;
+    acc.Add(event);
+  }
+  const WindowSnapshot snap = EvaluateTotals(acc);
+  EXPECT_FALSE(snap.at(Series::kDi).valid);     // one group only
+  EXPECT_FALSE(snap.at(Series::kTprb).valid);   // no labels
+  EXPECT_FALSE(snap.at(Series::kTnrb).valid);
+  EXPECT_FALSE(snap.at(Series::kLabelRate).valid);
+  EXPECT_FALSE(snap.at(Series::kCd).valid);     // no probes
+  EXPECT_TRUE(snap.at(Series::kPositiveRate).valid);
+  EXPECT_TRUE(snap.at(Series::kGroupMix).valid);
+  // Every reported value is finite even on the degenerate window.
+  for (const SeriesValue& value : snap.series) {
+    EXPECT_TRUE(std::isfinite(value.estimate));
+    EXPECT_TRUE(std::isfinite(value.lower));
+    EXPECT_TRUE(std::isfinite(value.upper));
+  }
+}
+
+TEST(EvaluateWindowTest, CiBoundsBracketTheEstimate) {
+  SlidingWindowOptions window_options;
+  window_options.max_events = 256;
+  SlidingWindow window(window_options);
+  for (const ScoredEvent& event : MakeEvents(256, 6)) window.Push(event);
+  WindowCiOptions ci;
+  ci.resamples = 64;
+  const WindowSnapshot snap = EvaluateWindow(window, ci);
+  EXPECT_EQ(snap.begin_sequence, 0u);
+  EXPECT_EQ(snap.end_sequence, 255u);
+  for (std::size_t k = 0; k < kNumSeries; ++k) {
+    if (!snap.series[k].valid) continue;
+    EXPECT_LE(snap.series[k].lower, snap.series[k].estimate)
+        << SeriesName(static_cast<Series>(static_cast<int>(k)));
+    EXPECT_GE(snap.series[k].upper, snap.series[k].estimate)
+        << SeriesName(static_cast<Series>(static_cast<int>(k)));
+  }
+  // resamples = 0 disables the bootstrap: bounds collapse on the estimate.
+  WindowCiOptions off;
+  off.resamples = 0;
+  const WindowSnapshot flat = EvaluateWindow(window, off);
+  for (const SeriesValue& value : flat.series) {
+    EXPECT_DOUBLE_EQ(value.lower, value.estimate);
+    EXPECT_DOUBLE_EQ(value.upper, value.estimate);
+  }
+}
+
+/// The load-bearing cross-check: the monitor's prefix-sum CI path must
+/// reproduce stats::MovingBlockBootstrapCi bit for bit — same seed, same
+/// block starts, same per-resample statistic values, same quantiles.
+TEST(EvaluateWindowTest, CiMatchesGenericMovingBlockBootstrapBitExactly) {
+  const std::size_t n = 200;
+  const std::vector<ScoredEvent> events = MakeEvents(n, 7);
+  SlidingWindowOptions window_options;
+  window_options.max_events = n;
+  SlidingWindow window(window_options);
+  for (const ScoredEvent& event : events) window.Push(event);
+
+  WindowCiOptions ci;
+  ci.resamples = 50;
+  ci.confidence = 0.9;
+  const WindowSnapshot snap = EvaluateWindow(window, ci);
+
+  BlockBootstrapOptions generic;
+  generic.resamples = 50;
+  generic.confidence = 0.9;
+  generic.seed = ci.seed;
+
+  // One statistic closure per series, re-tallying from raw events and
+  // applying the same degenerate-resample fallback (the full-window
+  // estimate) the monitor uses.
+  auto check = [&](Series series,
+                   const std::function<Result<double>(
+                       const WindowAccumulator&)>& stat) {
+    const SeriesValue& value = snap.at(series);
+    ASSERT_TRUE(value.valid) << SeriesName(series);
+    const double fallback = value.estimate;
+    IndexStatistic statistic =
+        [&](const std::vector<std::size_t>& indices) {
+          WindowAccumulator acc;
+          for (const std::size_t i : indices) acc.Add(events[i]);
+          const Result<double> r = stat(acc);
+          return r.ok() ? *r : fallback;
+        };
+    const BootstrapInterval interval =
+        MovingBlockBootstrapCi(n, statistic, generic).value();
+    EXPECT_EQ(value.lower, interval.lower) << SeriesName(series);
+    EXPECT_EQ(value.upper, interval.upper) << SeriesName(series);
+  };
+
+  check(Series::kDi, [](const WindowAccumulator& acc) {
+    return WindowedDisparateImpact(acc.PredictionStats());
+  });
+  check(Series::kTprb, [](const WindowAccumulator& acc) {
+    return WindowedTprBalance(acc.confusion);
+  });
+  check(Series::kTnrb, [](const WindowAccumulator& acc) {
+    return WindowedTnrBalance(acc.confusion);
+  });
+  check(Series::kCd, [](const WindowAccumulator& acc) -> Result<double> {
+    if (acc.probed <= 0.0) return Status::FailedPrecondition("no probes");
+    return acc.flips / acc.probed;
+  });
+  check(Series::kPositiveRate,
+        [](const WindowAccumulator& acc) -> Result<double> {
+          return acc.pred_pos / acc.events;
+        });
+  check(Series::kLabelRate,
+        [](const WindowAccumulator& acc) -> Result<double> {
+          if (acc.labeled <= 0.0) return Status::FailedPrecondition("none");
+          return acc.label_pos / acc.labeled;
+        });
+  check(Series::kGroupMix,
+        [](const WindowAccumulator& acc) -> Result<double> {
+          return acc.privileged / acc.events;
+        });
+}
+
+TEST(SeriesNameTest, NamesAreStable) {
+  EXPECT_STREQ(SeriesName(Series::kDi), "di");
+  EXPECT_STREQ(SeriesName(Series::kTprb), "tprb");
+  EXPECT_STREQ(SeriesName(Series::kTnrb), "tnrb");
+  EXPECT_STREQ(SeriesName(Series::kCd), "cd");
+  EXPECT_STREQ(SeriesName(Series::kPositiveRate), "positive_rate");
+  EXPECT_STREQ(SeriesName(Series::kLabelRate), "label_rate");
+  EXPECT_STREQ(SeriesName(Series::kGroupMix), "group_mix");
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace fairbench

@@ -93,6 +93,42 @@ TEST(HistogramTest, ConcurrentRecordsAreLossless) {
   EXPECT_EQ(hist.bucket_count(0), hist.count());
 }
 
+TEST(HistogramTest, ApproxQuantileInterpolatesWithinBuckets) {
+  Histogram hist({10.0, 20.0, 40.0});
+  // 10 samples in (0, 10], 10 in (10, 20]: the distribution is uniform per
+  // bucket under the estimator's model.
+  for (int i = 0; i < 10; ++i) hist.Record(5.0);
+  for (int i = 0; i < 10; ++i) hist.Record(15.0);
+  // Median rank = 10 lands exactly on the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(hist.ApproxQuantile(0.5), 10.0);
+  // Rank 15 = halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(hist.ApproxQuantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(hist.ApproxQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.ApproxQuantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, ApproxQuantileHandlesOverflowAndEmpty) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.ApproxQuantile(0.5), 0.0);
+  Histogram hist({1.0, 2.0});
+  hist.Record(0.5);
+  hist.Record(1e9);  // overflow bucket
+  // The overflow bucket has no finite upper edge: quantiles falling there
+  // report the last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(hist.ApproxQuantile(0.99), 2.0);
+}
+
+TEST(MetricsRegistryTest, CsvExportsHistogramQuantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram& hist = registry.GetHistogram("test.csv.quantiles", {1.0, 10.0});
+  hist.Reset();
+  for (int i = 0; i < 100; ++i) hist.Record(0.5);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("test.csv.quantiles,histogram,p50,"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.quantiles,histogram,p95,"), std::string::npos);
+  EXPECT_NE(csv.find("test.csv.quantiles,histogram,p99,"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ReturnsStableReferencesPerName) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   Counter& a = registry.GetCounter("test.registry.stable");

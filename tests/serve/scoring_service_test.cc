@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <string>
 #include <thread>
@@ -261,6 +262,98 @@ TEST(ScoringServiceTest, DestroyWithAbandonedAsyncWorkIsSafe) {
       EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
     }
   }
+}
+
+/// Observer that records the sequence numbers exactly as they are
+/// delivered. No internal lock: the service promises observer delivery is
+/// serialized under its sequencing lock, and the TSan run in tools/ci.sh
+/// holds it to that.
+class RecordingObserver : public serve::ScoreObserver {
+ public:
+  void OnBatchScored(const serve::ScoredBatch& batch) override {
+    sequences.push_back(batch.sequence);
+    batch_rows.push_back(batch.predictions->size());
+    flipped_seen.push_back(batch.flipped_predictions != nullptr);
+  }
+
+  std::vector<uint64_t> sequences;
+  std::vector<std::size_t> batch_rows;
+  std::vector<bool> flipped_seen;
+};
+
+TEST(ScoringServiceTest, SequenceNumbersAreDenseAndOrderedUnderScoreAsync) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  RecordingObserver observer;
+  options.observer = &observer;
+  options.max_in_flight = 64;
+  ScoringService service(options);
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<Result<ScoreResponse>>> futures;
+  futures.reserve(kRequests);
+  const std::vector<std::string> ids = {"lr", "hardt", "kamcal"};
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.ScoreAsync(MakeRequest(fx, ids[i % 3])));
+  }
+  std::vector<uint64_t> response_sequences;
+  for (auto& future : futures) {
+    Result<ScoreResponse> r = future.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r->sequence, 0u) << "successful response without a sequence";
+    response_sequences.push_back(r->sequence);
+  }
+
+  // Every successful response consumed exactly one sequence number:
+  // together they are a permutation of 1..kRequests.
+  std::vector<uint64_t> sorted = response_sequences;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(sorted[i], static_cast<uint64_t>(i) + 1);
+  }
+
+  // The observer saw them *in stamp order* — delivery happens under the
+  // same lock that assigns the stamp, so no interleaving can reorder it.
+  ASSERT_EQ(observer.sequences.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(observer.sequences[i], static_cast<uint64_t>(i) + 1);
+    EXPECT_EQ(observer.batch_rows[i], fx.test.num_rows());
+    EXPECT_FALSE(observer.flipped_seen[i]);  // probe not enabled
+  }
+}
+
+TEST(ScoringServiceTest, FailedRequestsConsumeNoSequence) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  RecordingObserver observer;
+  options.observer = &observer;
+  ScoringService service(options);
+
+  EXPECT_FALSE(service.Score(MakeRequest(fx, "no_such_approach")).ok());
+  EXPECT_TRUE(observer.sequences.empty());
+
+  Result<ScoreResponse> ok = service.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->sequence, 1u) << "failed request consumed a sequence";
+}
+
+TEST(ScoringServiceTest, FlippedPredictionsDeliveredWhenProbeEnabled) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  RecordingObserver observer;
+  options.observer = &observer;
+  options.observe_flipped_predictions = true;
+  ScoringService service(options);
+
+  Result<ScoreResponse> r = service.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(observer.flipped_seen.size(), 1u);
+  EXPECT_TRUE(observer.flipped_seen[0]);
+  // The straight predictions must be untouched by the shadow probe.
+  ScoringService plain;
+  Result<ScoreResponse> baseline = plain.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(r->predictions, baseline->predictions);
 }
 
 TEST(ScoringServiceTest, ClearCacheForcesRefit) {

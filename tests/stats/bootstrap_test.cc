@@ -100,6 +100,100 @@ TEST(BootstrapMetricCiTest, DisparateImpactErrorBars) {
   EXPECT_LT(ci.upper - ci.lower, 0.25);
 }
 
+TEST(MovingBlockBootstrapTest, ResolvesCubeRootBlockLength) {
+  BlockBootstrapOptions options;
+  EXPECT_EQ(ResolveBlockLength(27, options), 3u);
+  EXPECT_EQ(ResolveBlockLength(1000, options), 10u);
+  EXPECT_EQ(ResolveBlockLength(1, options), 1u);
+  EXPECT_EQ(ResolveBlockLength(100, options), 5u);  // ceil(4.64...)
+  options.block_length = 8;
+  EXPECT_EQ(ResolveBlockLength(1000, options), 8u);
+  options.block_length = 50;
+  EXPECT_EQ(ResolveBlockLength(10, options), 10u);  // clamped to n
+}
+
+TEST(MovingBlockBootstrapTest, CoversMeanAndIsDeterministic) {
+  Rng rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 800; ++i) {
+    sample.push_back(rng.Bernoulli(0.4) ? 1.0 : 0.0);
+  }
+  IndexStatistic mean = [&](const std::vector<std::size_t>& idx) {
+    double s = 0.0;
+    for (std::size_t i : idx) s += sample[i];
+    return s / static_cast<double>(idx.size());
+  };
+  const BootstrapInterval a =
+      MovingBlockBootstrapCi(sample.size(), mean).value();
+  EXPECT_LE(a.lower, a.estimate);
+  EXPECT_GE(a.upper, a.estimate);
+  EXPECT_LE(a.lower, 0.4);
+  EXPECT_GE(a.upper, 0.4);
+  const BootstrapInterval b =
+      MovingBlockBootstrapCi(sample.size(), mean).value();
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(MovingBlockBootstrapTest, WiderThanIidBootstrapUnderAutocorrelation) {
+  // Strongly persistent 0/1 regime process: consecutive samples agree with
+  // probability 0.98, so the effective sample size is far below n. The iid
+  // bootstrap ignores that and reports overconfident intervals; blocks of
+  // consecutive samples preserve the persistence.
+  Rng rng(5);
+  std::vector<double> sample;
+  double state = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Bernoulli(0.02)) state = 1.0 - state;
+    sample.push_back(state);
+  }
+  IndexStatistic mean = [&](const std::vector<std::size_t>& idx) {
+    double s = 0.0;
+    for (std::size_t i : idx) s += sample[i];
+    return s / static_cast<double>(idx.size());
+  };
+  BlockBootstrapOptions block_options;
+  block_options.block_length = 50;  // a few regime lengths
+  const double block_width = [&] {
+    const BootstrapInterval ci =
+        MovingBlockBootstrapCi(sample.size(), mean, block_options).value();
+    return ci.upper - ci.lower;
+  }();
+  const double iid_width = [&] {
+    const BootstrapInterval ci = BootstrapCi(sample.size(), mean).value();
+    return ci.upper - ci.lower;
+  }();
+  EXPECT_GT(block_width, 2.0 * iid_width);
+}
+
+TEST(MovingBlockBootstrapTest, RejectsBadInput) {
+  IndexStatistic dummy = [](const std::vector<std::size_t>&) { return 0.0; };
+  EXPECT_FALSE(MovingBlockBootstrapCi(0, dummy).ok());
+  EXPECT_FALSE(MovingBlockBootstrapCi(10, nullptr).ok());
+  BlockBootstrapOptions bad;
+  bad.confidence = 0.0;
+  EXPECT_FALSE(MovingBlockBootstrapCi(10, dummy, bad).ok());
+  bad.confidence = 0.9;
+  bad.resamples = 5;
+  EXPECT_FALSE(MovingBlockBootstrapCi(10, dummy, bad).ok());
+}
+
+TEST(MovingBlockBootstrapTest, ResamplesPreserveLength) {
+  // Every resample must contain exactly n indices (blocks truncated at the
+  // end), or windowed rates would be computed over the wrong denominator.
+  std::vector<std::size_t> observed_sizes;
+  IndexStatistic probe = [&](const std::vector<std::size_t>& idx) {
+    observed_sizes.push_back(idx.size());
+    return 0.0;
+  };
+  BlockBootstrapOptions options;
+  options.resamples = 25;
+  options.block_length = 7;  // 7 does not divide 100
+  ASSERT_TRUE(MovingBlockBootstrapCi(100, probe, options).ok());
+  ASSERT_EQ(observed_sizes.size(), 26u);  // estimate + 25 resamples
+  for (const std::size_t size : observed_sizes) EXPECT_EQ(size, 100u);
+}
+
 TEST(BootstrapMetricCiTest, RejectsMismatchedInput) {
   auto di = [](const std::vector<int>&, const std::vector<int>&,
                const std::vector<int>&) { return 0.0; };

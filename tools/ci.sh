@@ -22,6 +22,11 @@
 #          corruption suite re-runs under ASan+UBSan (artifact stores are
 #          untrusted input), and the committed BENCH_serve.json must match
 #          the schema tools/record_bench.py emits.
+# Stage 7: Monitoring gate: the monitor suites re-run under TSan (the
+#          observer queue and the ingest/drain split are the repo's only
+#          lock-free code), and the committed BENCH_monitor.json must
+#          match the record_bench.py monitor schema — hot path under
+#          1 µs/event, zero pre-onset alerts, every drift kind detected.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -107,6 +112,35 @@ for a in bench["approaches"]:
     )
 print(f"BENCH_serve.json ok: {len(bench['approaches'])} approaches, "
       f"min speedup {min(a['warm_speedup'] for a in bench['approaches'])}x")
+EOF
+
+echo "==> Stage 7: Monitoring gate (TSan monitor suites, bench schema)"
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j "${JOBS}" \
+    -R 'observer_queue_test|window_test|alert_policy_test|fairness_monitor_test|drift_detection_test'
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_monitor.json"))
+assert bench["source"] == "bench/monitor_drift", bench.get("source")
+names = [s["name"] for s in bench["scenarios"]]
+assert names == ["stationary", "covariate", "label", "group_mix"], names
+for s in bench["scenarios"]:
+    assert s["repetitions"] >= 3, f"{s['name']}: too few repetitions"
+    assert 0 < s["ns_per_event"] < 1000, (
+        f"{s['name']}: hot path {s['ns_per_event']} ns/event breaks the "
+        "1 us/event budget"
+    )
+    assert s["alerts_pre_onset"] == 0, f"{s['name']}: alerted before onset"
+    if s["name"] == "stationary":
+        assert s["alerts_post_onset"] == 0, "stationary stream alerted"
+    else:
+        assert s["alerts_post_onset"] > 0, f"{s['name']}: drift undetected"
+        assert 0 <= s["detection_latency_events"] <= 4 * bench["context"]["window_events"], (
+            f"{s['name']}: detection latency {s['detection_latency_events']}"
+        )
+print(f"BENCH_monitor.json ok: max "
+      f"{max(s['ns_per_event'] for s in bench['scenarios'])} ns/event, "
+      "0 pre-onset alerts")
 EOF
 
 echo "==> CI passed"

@@ -22,6 +22,18 @@ Two input shapes, detected automatically:
    Collapses each approach's repetitions to the median (the 1-vCPU noise
    policy: repetitions + median, never a single run) and reports cold vs
    warm requests/second plus the warm-cache speedup.
+
+3. per-repetition output from bench/monitor_drift -> BENCH_monitor.json:
+
+       bench/monitor_drift --reps 5 --json raw.json
+       tools/record_bench.py raw.json > BENCH_monitor.json
+
+   Medians the hot-path cost per scenario and *gates* the record: the
+   distillation fails (exit 1, nothing written) if any scenario's median
+   ns_per_event reaches 1000, if any repetition alerted before drift
+   onset, if the stationary control alerted at all, or if a drifting
+   scenario went undetected — a slow or trigger-happy monitor cannot be
+   committed as a healthy benchmark.
 """
 
 import json
@@ -100,6 +112,53 @@ def distill_serve(raw: dict) -> dict:
     return out
 
 
+def distill_monitor(raw: dict) -> dict:
+    out = {
+        "source": raw["source"],
+        "policy": "median over repetitions (see MEMORY: 1-vCPU bench noise)",
+        "context": {
+            k: raw.get(k)
+            for k in ("seed", "rows", "onset", "window_events",
+                      "stride_events", "ci_resamples")
+        },
+        "scenarios": [],
+    }
+    onset = raw["onset"]
+    failures = []
+    for scenario in raw["scenarios"]:
+        name = scenario["name"]
+        reps = scenario["repetitions"]
+        ns = statistics.median(r["ns_per_event"] for r in reps)
+        pre = max(r["alerts_pre_onset"] for r in reps)
+        post = max(r["alerts_post_onset"] for r in reps)
+        latencies = [r["detection_latency"] for r in reps]
+        entry = {
+            "name": name,
+            "repetitions": len(reps),
+            "ns_per_event": round(ns, 1),
+            "alerts_pre_onset": pre,
+            "alerts_post_onset": post,
+        }
+        if name != "stationary":
+            entry["detection_latency_events"] = statistics.median(latencies)
+        out["scenarios"].append(entry)
+
+        # The gates: a record that violates them is not written at all.
+        if ns >= 1000.0:
+            failures.append(f"{name}: median {ns:.1f} ns/event >= 1000")
+        if pre != 0:
+            failures.append(f"{name}: {pre} alert(s) before onset {onset}")
+        if name == "stationary" and post != 0:
+            failures.append(f"stationary: {post} alert(s) on a drift-free stream")
+        if name != "stationary" and any(lat < 0 for lat in latencies):
+            failures.append(f"{name}: drift never detected in some repetition")
+    if failures:
+        for failure in failures:
+            print(f"monitor gate failed: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    return out
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -111,6 +170,8 @@ def main() -> int:
         out = distill_kernels(raw)
     elif raw.get("source") == "bench/serve_throughput":
         out = distill_serve(raw)
+    elif raw.get("source") == "bench/monitor_drift":
+        out = distill_monitor(raw)
     else:
         print("unrecognized raw benchmark JSON", file=sys.stderr)
         return 2
