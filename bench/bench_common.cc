@@ -4,11 +4,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+
 #include "common/string_util.h"
 #include "core/export.h"
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace fairbench::bench {
@@ -20,6 +23,7 @@ namespace {
 struct ObsArtifacts {
   BenchArgs args;
   obs::RunManifest manifest;
+  std::unique_ptr<obs::SnapshotScraper> scraper;
 };
 
 ObsArtifacts* g_artifacts = nullptr;
@@ -50,13 +54,26 @@ void FlushObsArtifacts() {
   if (!args.manifest_path.empty()) {
     WriteArtifact(args.manifest_path, manifest_json + "\n", "manifest");
   }
+  if (g_artifacts->scraper != nullptr) {
+    // Stop() performs the final flush, so the files cover the whole run.
+    g_artifacts->scraper->Stop();
+    if (!args.prom_path.empty()) {
+      std::fprintf(stderr, "wrote prometheus text: %s\n",
+                   args.prom_path.c_str());
+    }
+    if (!args.events_path.empty()) {
+      std::fprintf(stderr, "wrote jsonl events: %s\n",
+                   args.events_path.c_str());
+    }
+  }
 }
 
 /// Enables the runtime instrumentation the flags ask for and arranges the
 /// artifact flush. No-op when no obs flag was given.
 void SetUpObservability(const BenchArgs& args, const char* argv0) {
   if (args.trace_path.empty() && args.metrics_path.empty() &&
-      args.manifest_path.empty()) {
+      args.manifest_path.empty() && args.prom_path.empty() &&
+      args.events_path.empty()) {
     return;
   }
   static ObsArtifacts artifacts;  // one harness invocation per process
@@ -68,7 +85,24 @@ void SetUpObservability(const BenchArgs& args, const char* argv0) {
   artifacts.manifest.compute_cd = args.compute_cd;
   g_artifacts = &artifacts;
   if (!args.trace_path.empty()) obs::Tracer::Global().SetEnabled(true);
-  if (!args.metrics_path.empty()) obs::SetMetricsEnabled(true);
+  if (!args.metrics_path.empty() || !args.prom_path.empty()) {
+    obs::SetMetricsEnabled(true);
+  }
+  if (!args.events_path.empty()) obs::SetEventsEnabled(true);
+  if (!args.prom_path.empty() || !args.events_path.empty()) {
+    obs::SnapshotScraper::Options scrape;
+    scrape.prom_path = args.prom_path;
+    scrape.events_path = args.events_path;
+    scrape.manifest_hash = artifacts.manifest.Hash();
+    scrape.interval_ms = args.scrape_ms;
+    artifacts.scraper = std::make_unique<obs::SnapshotScraper>(scrape);
+    const Status started = artifacts.scraper->Start();
+    if (!started.ok()) {
+      FAIRBENCH_LOG_WARN("bench", "scraper failed to start: %s",
+                         started.ToString().c_str());
+      artifacts.scraper.reset();
+    }
+  }
   std::atexit(FlushObsArtifacts);
 }
 
@@ -105,11 +139,18 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
       args.manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      args.prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      args.events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scrape-ms") == 0 && i + 1 < argc) {
+      args.scrape_ms = ParsePositiveCount("--scrape-ms", argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale f] [--seed n] [--jobs n] [--no-cd]\n"
                    "          [--trace file] [--metrics file] "
-                   "[--manifest file]\n",
+                   "[--manifest file]\n"
+                   "          [--prom file] [--events file] [--scrape-ms n]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -25,6 +25,12 @@ namespace fairbench::bench {
 ///   --manifest <f>  write the RunManifest JSON (seed/scale/jobs/build
 ///                   facts) at exit; a manifest is always embedded in the
 ///                   --trace JSON's "otherData" regardless of this flag
+///   --prom <f>      record obs metrics and export them as Prometheus text
+///                   (format 0.0.4, manifest hash in the header), rewritten
+///                   every --scrape-ms and once at exit
+///   --events <f>    record per-request telemetry events and export them as
+///                   JSONL (request records + alert records, same cadence)
+///   --scrape-ms <n> scrape interval for --prom/--events (default 1000)
 ///
 /// Without the obs flags the harness behaves byte-identically to an
 /// uninstrumented build (tracing/metrics stay runtime-disabled); see
@@ -37,6 +43,9 @@ struct BenchArgs {
   std::string trace_path;
   std::string metrics_path;
   std::string manifest_path;
+  std::string prom_path;
+  std::string events_path;
+  std::size_t scrape_ms = 1000;
 };
 
 /// Parses argv; prints usage and exits(2) on malformed input. When any obs

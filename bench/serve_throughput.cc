@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "core/experiment.h"
 #include "data/generators/population.h"
 #include "data/split.h"
+#include "obs/hdr_histogram.h"
 #include "serve/scoring_service.h"
 
 using namespace fairbench;
@@ -47,6 +49,23 @@ struct Repetition {
   double cold_seconds = 0.0;  ///< One cache-miss request (fit + score).
   double warm_seconds = 0.0;  ///< Per-request, averaged over --warm hits.
 };
+
+/// The percentile summary the JSON carries per approach, from an HDR
+/// histogram fed one sample per request (every repetition pooled — the
+/// tail estimate wants all the samples, not a per-rep median).
+void WriteHdrJson(std::FILE* f, const char* key,
+                  const obs::HdrHistogram& hdr) {
+  const obs::HdrSnapshot s = hdr.Snapshot();
+  std::fprintf(f,
+               "\"%s\": {\"count\": %llu, \"min_ns\": %llu, "
+               "\"max_ns\": %llu, \"p50_ns\": %.0f, \"p90_ns\": %.0f, "
+               "\"p95_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f, "
+               "\"relative_error\": %g}",
+               key, static_cast<unsigned long long>(s.count),
+               static_cast<unsigned long long>(s.min),
+               static_cast<unsigned long long>(s.max), s.p50, s.p90, s.p95,
+               s.p99, s.p999, hdr.relative_error());
+}
 
 }  // namespace
 
@@ -102,47 +121,61 @@ int main(int argc, char** argv) {
 
   std::printf("train=%zu rows, batch=%zu rows, reps=%zu, warm=%zu\n\n",
               train.num_rows(), batch.num_rows(), reps, warm_requests);
-  std::printf("%-16s %14s %14s %14s %10s\n", "approach", "cold ms/req",
-              "warm ms/req", "warm req/s", "speedup");
+  std::printf("%-16s %12s %12s %12s %9s %9s %9s %9s\n", "approach",
+              "cold ms/req", "warm ms/req", "warm req/s", "speedup",
+              "w.p50 ms", "w.p95 ms", "w.p99 ms");
 
-  std::vector<std::pair<std::string, std::vector<Repetition>>> measurements;
+  struct ApproachResult {
+    std::string id;
+    std::vector<Repetition> runs;
+    obs::HdrHistogram cold_hdr;  ///< One sample per cold request.
+    obs::HdrHistogram warm_hdr;  ///< One sample per warm request, pooled.
+  };
+  std::vector<std::unique_ptr<ApproachResult>> measurements;
   for (const std::string& id : kApproaches) {
     serve::ScoreRequest request;
     request.approach_id = id;
     request.train = &train;
     request.data = &batch;
 
-    std::vector<Repetition> runs;
+    auto result = std::make_unique<ApproachResult>();
+    result->id = id;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       Repetition r;
       service.ClearCache();  // Force the cold path every repetition.
       Timer cold;
       Result<serve::ScoreResponse> miss = service.Score(request);
       r.cold_seconds = cold.ElapsedSeconds();
+      result->cold_hdr.Record(static_cast<uint64_t>(r.cold_seconds * 1e9));
       if (!miss.ok() || miss->cache_hit) {
         std::fprintf(stderr, "%s: cold request failed: %s\n", id.c_str(),
                      miss.ok() ? "unexpected cache hit"
                                : miss.status().ToString().c_str());
         return 1;
       }
-      Timer warm;
+      // Each warm request is timed individually so the HDR histogram sees
+      // true per-request latencies (tails included), not a loop average.
+      double warm_total = 0.0;
       for (std::size_t w = 0; w < warm_requests; ++w) {
+        Timer warm;
         Result<serve::ScoreResponse> hit = service.Score(request);
+        const double elapsed = warm.ElapsedSeconds();
         if (!hit.ok() || !hit->cache_hit) {
           std::fprintf(stderr, "%s: warm request failed: %s\n", id.c_str(),
                        hit.ok() ? "unexpected cache miss"
                                 : hit.status().ToString().c_str());
           return 1;
         }
+        warm_total += elapsed;
+        result->warm_hdr.Record(static_cast<uint64_t>(elapsed * 1e9));
       }
-      r.warm_seconds =
-          warm.ElapsedSeconds() / static_cast<double>(warm_requests);
-      runs.push_back(r);
+      r.warm_seconds = warm_total / static_cast<double>(warm_requests);
+      result->runs.push_back(r);
     }
 
     // The table shows the median repetition (the same statistic
     // record_bench.py persists); the JSON keeps every sample.
-    std::vector<Repetition> sorted = runs;
+    std::vector<Repetition> sorted = result->runs;
     std::sort(sorted.begin(), sorted.end(),
               [](const Repetition& a, const Repetition& b) {
                 return a.cold_seconds < b.cold_seconds;
@@ -153,11 +186,14 @@ int main(int argc, char** argv) {
                 return a.warm_seconds < b.warm_seconds;
               });
     const double warm_med = sorted[sorted.size() / 2].warm_seconds;
-    std::printf("%-16s %13.3f  %13.4f  %13.1f  %8.1fx\n", id.c_str(),
-                cold_med * 1e3, warm_med * 1e3,
+    const obs::HdrSnapshot warm_snap = result->warm_hdr.Snapshot();
+    std::printf("%-16s %11.3f  %11.4f  %11.1f  %7.1fx %9.4f %9.4f %9.4f\n",
+                id.c_str(), cold_med * 1e3, warm_med * 1e3,
                 warm_med > 0.0 ? 1.0 / warm_med : 0.0,
-                warm_med > 0.0 ? cold_med / warm_med : 0.0);
-    measurements.emplace_back(id, std::move(runs));
+                warm_med > 0.0 ? cold_med / warm_med : 0.0,
+                warm_snap.p50 / 1e6, warm_snap.p95 / 1e6,
+                warm_snap.p99 / 1e6);
+    measurements.push_back(std::move(result));
   }
 
   if (!json_path.empty()) {
@@ -175,9 +211,9 @@ int main(int argc, char** argv) {
                  args.jobs, train.num_rows(), batch.num_rows(),
                  warm_requests);
     for (std::size_t i = 0; i < measurements.size(); ++i) {
-      std::fprintf(f, "    {\"id\": \"%s\", \"repetitions\": [\n",
-                   measurements[i].first.c_str());
-      const std::vector<Repetition>& runs = measurements[i].second;
+      const ApproachResult& m = *measurements[i];
+      std::fprintf(f, "    {\"id\": \"%s\", \"repetitions\": [\n", m.id.c_str());
+      const std::vector<Repetition>& runs = m.runs;
       for (std::size_t rep = 0; rep < runs.size(); ++rep) {
         std::fprintf(f,
                      "      {\"cold_seconds\": %.9f, "
@@ -185,8 +221,11 @@ int main(int argc, char** argv) {
                      runs[rep].cold_seconds, runs[rep].warm_seconds,
                      rep + 1 < runs.size() ? "," : "");
       }
-      std::fprintf(f, "    ]}%s\n",
-                   i + 1 < measurements.size() ? "," : "");
+      std::fprintf(f, "    ], \"latency_ns\": {");
+      WriteHdrJson(f, "cold", m.cold_hdr);
+      std::fprintf(f, ", ");
+      WriteHdrJson(f, "warm", m.warm_hdr);
+      std::fprintf(f, "}}%s\n", i + 1 < measurements.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

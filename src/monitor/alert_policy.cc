@@ -66,6 +66,8 @@ std::vector<Alert> AlertPolicy::Observe(const WindowSnapshot& snapshot) {
         alert.baseline = baseline;
         alert.threshold = threshold;
         alert.end_sequence = snapshot.end_sequence;
+        alert.begin_request_id = snapshot.begin_request_id;
+        alert.end_request_id = snapshot.end_request_id;
         fired.push_back(alert);
       }
     } else {

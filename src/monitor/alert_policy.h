@@ -64,6 +64,11 @@ struct Alert {
   /// The configured tolerance (delta, or distance past the bound = 0).
   double threshold = 0.0;
   uint64_t end_sequence = 0;  ///< Newest event in the breaching window.
+  /// Request-id range of the breaching window (WindowSnapshot::
+  /// begin_request_id / end_request_id): the oldest and newest scoring
+  /// requests whose examples the breached estimate was computed over.
+  uint64_t begin_request_id = 0;
+  uint64_t end_request_id = 0;
 };
 
 /// Threshold + consecutive-window hysteresis alerting over a stream of

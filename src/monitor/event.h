@@ -10,7 +10,7 @@ namespace monitor {
 /// prediction, the sensitive group, the ground-truth label when it is
 /// already known (it often arrives late or never in production), and the
 /// flipped-S prediction when the service ran the Causal Discrimination
-/// probe. 24 bytes, trivially copyable — the observer queue moves these by
+/// probe. 32 bytes, trivially copyable — the observer queue moves these by
 /// value.
 struct ScoredEvent {
   /// Dense per-example stream position, assigned by the producer (the
@@ -24,6 +24,12 @@ struct ScoredEvent {
   /// base (common/timer.h NowNanos, or a synthetic clock in tests); only
   /// differences are interpreted.
   uint64_t timestamp_nanos = 0;
+
+  /// Request id of the scoring request that produced this example
+  /// (ScoredBatch::request_id); 0 = unattributed. Propagated onto window
+  /// snapshots and alerts so a fairness regression can be traced back to
+  /// the exact requests that drove it.
+  uint64_t request_id = 0;
 
   int16_t group = 0;                ///< Sensitive attribute S, 0/1.
   int16_t prediction = 0;           ///< Model output Yhat, 0/1.

@@ -6,6 +6,7 @@
 #include "data/dataset.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace fairbench {
 namespace monitor {
@@ -51,6 +52,7 @@ void FairnessMonitor::OnBatchScored(const serve::ScoredBatch& batch) {
 
     ScoredEvent event;
     event.timestamp_nanos = start_nanos;
+    event.request_id = batch.request_id;
     for (std::size_t i = 0; i < predictions.size(); ++i) {
       event.sequence = next_event_sequence_++;
       event.group =
@@ -63,9 +65,8 @@ void FairnessMonitor::OnBatchScored(const serve::ScoredBatch& batch) {
     }
   }
   Drain();
-  FAIRBENCH_HISTOGRAM_RECORD("monitor.ingest.ns",
-                             static_cast<double>(NowNanos() - start_nanos),
-                             1e3, 1e4, 1e5, 1e6, 1e7);
+  FAIRBENCH_HDR_RECORD("monitor.ingest.ns", NowNanos() - start_nanos,
+                       batch.request_id);
 }
 
 std::size_t FairnessMonitor::Drain() {
@@ -133,10 +134,25 @@ void FairnessMonitor::Evaluate() {
     FAIRBENCH_LOG_WARN(
         "monitor",
         "alert: series=%s window=%zu estimate=%.4f baseline=%.4f "
-        "threshold=%.4f end_sequence=%llu",
+        "threshold=%.4f end_sequence=%llu request_ids=[%016llx,%016llx]",
         SeriesName(alert.series), alert.window_index, alert.estimate,
         alert.baseline, alert.threshold,
-        static_cast<unsigned long long>(alert.end_sequence));
+        static_cast<unsigned long long>(alert.end_sequence),
+        static_cast<unsigned long long>(alert.begin_request_id),
+        static_cast<unsigned long long>(alert.end_request_id));
+    if (FAIRBENCH_EVENTS_ACTIVE()) {
+      obs::AlertEvent event;
+      event.timestamp_ns = NowNanos();
+      event.begin_request_id = alert.begin_request_id;
+      event.end_request_id = alert.end_request_id;
+      event.window_index = alert.window_index;
+      event.series = SeriesName(alert.series);
+      event.estimate = alert.estimate;
+      event.baseline = alert.baseline;
+      event.threshold = alert.threshold;
+      event.end_sequence = alert.end_sequence;
+      obs::EventLog::Global().Record(std::move(event));
+    }
     alerts_.push_back(alert);
   }
   windows_.push_back(snap);

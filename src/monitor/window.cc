@@ -201,6 +201,8 @@ WindowSnapshot EvaluateWindow(const SlidingWindow& window,
   if (!events.empty()) {
     snap.begin_sequence = events.front().sequence;
     snap.end_sequence = events.back().sequence;
+    snap.begin_request_id = events.front().request_id;
+    snap.end_request_id = events.back().request_id;
   }
   const std::size_t n = events.size();
   if (options.resamples == 0 || n == 0) return snap;

@@ -77,6 +77,8 @@ struct WindowSnapshot {
   std::size_t index = 0;            ///< 0-based evaluation number.
   uint64_t begin_sequence = 0;      ///< Oldest event in the window.
   uint64_t end_sequence = 0;        ///< Newest event in the window.
+  uint64_t begin_request_id = 0;    ///< Request id of the oldest event.
+  uint64_t end_request_id = 0;      ///< Request id of the newest event.
   std::size_t events = 0;
   double privileged_count = 0.0;
   double unprivileged_count = 0.0;

@@ -1,0 +1,157 @@
+#include "obs/hdr_histogram.h"
+
+#include <bit>
+
+namespace fairbench::obs {
+namespace {
+
+/// Relaxed CAS-min/max for uint64 accumulators (no fetch_min/max pre-C++26).
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t v) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HdrHistogram::HdrHistogram(unsigned sub_bucket_bits) : bits_(sub_bucket_bits) {
+  // Clamp to a sane precision range: 1 bit (50% error, 126 buckets) up to
+  // 12 bits (~0.012% error, ~217k buckets).
+  if (bits_ < 1) bits_ = 1;
+  if (bits_ > 12) bits_ = 12;
+  const std::size_t sub_buckets = std::size_t{1} << bits_;
+  num_buckets_ = (65 - bits_) * sub_buckets;
+  counts_.reset(new std::atomic<uint64_t>[num_buckets_]);
+  exemplar_ids_.reset(new std::atomic<uint64_t>[num_buckets_]);
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t HdrHistogram::BucketIndex(uint64_t value) const {
+  const uint64_t sub_buckets = uint64_t{1} << bits_;
+  if (value < 2 * sub_buckets) return static_cast<std::size_t>(value);
+  const unsigned shift = std::bit_width(value) - (bits_ + 1);
+  return static_cast<std::size_t>(shift * sub_buckets + (value >> shift));
+}
+
+uint64_t HdrHistogram::BucketLowerBound(std::size_t index) const {
+  const uint64_t sub_buckets = uint64_t{1} << bits_;
+  if (index < 2 * sub_buckets) return index;
+  const unsigned shift = static_cast<unsigned>(index / sub_buckets) - 1;
+  return (static_cast<uint64_t>(index) - uint64_t{shift} * sub_buckets)
+         << shift;
+}
+
+uint64_t HdrHistogram::BucketWidth(std::size_t index) const {
+  const uint64_t sub_buckets = uint64_t{1} << bits_;
+  if (index < 2 * sub_buckets) return 1;
+  return uint64_t{1} << (static_cast<unsigned>(index / sub_buckets) - 1);
+}
+
+uint64_t HdrHistogram::BucketRepresentative(std::size_t index) const {
+  return BucketLowerBound(index) + BucketWidth(index) / 2;
+}
+
+void HdrHistogram::RecordWithExemplar(uint64_t value, uint64_t request_id) {
+  const std::size_t bucket = BucketIndex(value);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  if (request_id != 0) {
+    exemplar_ids_[bucket].store(request_id, std::memory_order_relaxed);
+  }
+}
+
+void HdrHistogram::Merge(const HdrHistogram& other) {
+  if (&other == this) return;
+  const bool same_layout = other.bits_ == bits_;
+  for (std::size_t i = 0; i < other.num_buckets_; ++i) {
+    const uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    const std::size_t bucket =
+        same_layout ? i : BucketIndex(other.BucketRepresentative(i));
+    counts_[bucket].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    const uint64_t id = other.exemplar_ids_[i].load(std::memory_order_relaxed);
+    if (id != 0) exemplar_ids_[bucket].store(id, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  if (other_min != ~0ull) AtomicMin(&min_, other_min);
+  AtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
+}
+
+double HdrHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the target sample, 1-based: the ceil(q*n)-th smallest, at
+  // least the 1st (q = 0 reports the smallest sample's bucket).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      return static_cast<double>(BucketRepresentative(i));
+    }
+  }
+  // Unreachable when counts are consistent; a racing snapshot can land
+  // here — report the max seen.
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HdrSnapshot HdrHistogram::Snapshot() const {
+  HdrSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    snap.mean = static_cast<double>(snap.sum) / static_cast<double>(snap.count);
+    snap.p50 = ValueAtQuantile(0.50);
+    snap.p90 = ValueAtQuantile(0.90);
+    snap.p95 = ValueAtQuantile(0.95);
+    snap.p99 = ValueAtQuantile(0.99);
+    snap.p999 = ValueAtQuantile(0.999);
+  }
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    const uint64_t id = exemplar_ids_[i].load(std::memory_order_relaxed);
+    if (id != 0) {
+      snap.exemplars.push_back(HdrExemplar{BucketRepresentative(i), id});
+    }
+  }
+  return snap;
+}
+
+double HdrHistogram::relative_error() const {
+  return 1.0 / static_cast<double>(uint64_t{2} << bits_);
+}
+
+void HdrHistogram::Reset() {
+  for (std::size_t i = 0; i < num_buckets_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fairbench::obs

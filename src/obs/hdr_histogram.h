@@ -1,0 +1,124 @@
+#ifndef FAIRBENCH_OBS_HDR_HISTOGRAM_H_
+#define FAIRBENCH_OBS_HDR_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// One exemplar: a request id that landed in a bucket, paired with the
+/// bucket's representative value. Lets an operator jump from "p99 spiked"
+/// to the exact request that paid the spike (its JSONL event and trace
+/// spans carry the same id).
+struct HdrExemplar {
+  uint64_t value = 0;       ///< Bucket representative (see ValueAtQuantile).
+  uint64_t request_id = 0;  ///< Last id recorded into the bucket; never 0.
+};
+
+/// Point-in-time view of an HdrHistogram (see Snapshot()).
+struct HdrSnapshot {
+  uint64_t count = 0;
+  uint64_t min = 0;  ///< Exact smallest recorded value; 0 when empty.
+  uint64_t max = 0;  ///< Exact largest recorded value; 0 when empty.
+  uint64_t sum = 0;  ///< Exact sum of recorded values (mod 2^64).
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  /// One entry per bucket that has recorded an exemplar, ascending by
+  /// value.
+  std::vector<HdrExemplar> exemplars;
+};
+
+/// Log-linear-bucketed latency histogram with a bounded relative error —
+/// the HdrHistogram scheme specialized to uint64 samples (nanoseconds by
+/// repo convention).
+///
+/// Bucketing: with S = 2^sub_bucket_bits sub-buckets per octave, values
+/// below 2S get exact unit-width buckets; a value v >= 2S lands in the
+/// bucket keeping its top sub_bucket_bits+1 bits (width 2^shift where
+/// shift = bit_width(v) - sub_bucket_bits - 1). Bucket indices are
+/// contiguous and monotone in v, the whole uint64 range is covered, and
+/// quantiles reported at bucket midpoints are within
+/// relative_error() = 1/(2S) of the exact sorted-sample quantile (exact in
+/// the unit-width region). The default 5 bits ⇒ 1920 buckets (~15 KiB of
+/// counters) and <= 1.5625% relative error.
+///
+/// Thread safety: Record is wait-free (relaxed atomic adds; min/max are
+/// relaxed CAS loops), so counts are exact under any interleaving — a
+/// snapshot after N records always shows N, whether the records came from
+/// one thread or many. Snapshot/quantile reads are point-in-time views,
+/// like the rest of the metrics layer.
+class HdrHistogram {
+ public:
+  static constexpr unsigned kDefaultSubBucketBits = 5;
+
+  explicit HdrHistogram(unsigned sub_bucket_bits = kDefaultSubBucketBits);
+
+  void Record(uint64_t value) { RecordWithExemplar(value, 0); }
+
+  /// Records `value` and, when request_id != 0, stamps it as the bucket's
+  /// exemplar (last writer wins — the freshest offender is the useful one).
+  void RecordWithExemplar(uint64_t value, uint64_t request_id);
+
+  /// Adds every bucket count (and sum/min/max/exemplars) of `other` into
+  /// this histogram. The merge is exact in counts: count() afterwards is
+  /// the sum of both counts under any interleaving. With equal
+  /// sub_bucket_bits, bucket contents transfer bucket-for-bucket;
+  /// otherwise each of other's buckets is re-recorded at its
+  /// representative value (counts still exact, values within other's
+  /// relative-error bound).
+  void Merge(const HdrHistogram& other);
+
+  /// Value at quantile q (clamped to [0,1]): the representative (midpoint)
+  /// of the bucket holding the ceil(q*count)-th smallest sample. Within
+  /// relative_error() of the exact sorted-sample quantile; exact for
+  /// values below 2^(sub_bucket_bits+1). Returns 0 on an empty histogram.
+  double ValueAtQuantile(double q) const;
+
+  HdrSnapshot Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Maximum |estimate - exact| / exact for quantile estimates: 1/(2S).
+  double relative_error() const;
+
+  unsigned sub_bucket_bits() const { return bits_; }
+  std::size_t num_buckets() const { return num_buckets_; }
+  uint64_t bucket_count(std::size_t index) const {
+    return counts_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket geometry (exposed for tests and the exporters).
+  std::size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketLowerBound(std::size_t index) const;
+  uint64_t BucketWidth(std::size_t index) const;
+  /// Midpoint (lower + width/2): the value quantiles and merges report.
+  uint64_t BucketRepresentative(std::size_t index) const;
+
+  void Reset();
+
+ private:
+  unsigned bits_;            ///< sub-bucket bits B; S = 1 << B.
+  std::size_t num_buckets_;  ///< (64 - B - 1) * S + 2S.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  /// Per-bucket last-recorded request id (0 = none). Stored separately
+  /// from counts so exemplar stamping stays a single relaxed store.
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace fairbench::obs
+
+#endif  // FAIRBENCH_OBS_HDR_HISTOGRAM_H_

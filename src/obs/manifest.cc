@@ -42,8 +42,22 @@ std::string RunManifest::ToJson() const {
   out += ",\"build_type\":" + JsonString(build_type);
   out += ",\"sanitizer\":" + JsonString(sanitizer);
   out += StrFormat(",\"obs_compiled\":%s", obs_compiled ? "true" : "false");
+  out += ",\"git_describe\":" + JsonString(git_describe);
+  out += ",\"git_commit\":" + JsonString(git_commit);
   out += "}";
   return out;
+}
+
+std::string RunManifest::Hash() const {
+  // FNV-1a 64-bit over the canonical JSON form. Not cryptographic — just a
+  // stable, dependency-free fingerprint for correlating export files.
+  const std::string json = ToJson();
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : json) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(hash));
 }
 
 RunManifest MakeRunManifest(std::string tool) {
@@ -81,6 +95,18 @@ RunManifest MakeRunManifest(std::string tool) {
   manifest.sanitizer = "none";
 #endif
   manifest.obs_compiled = FAIRBENCH_OBS_ENABLED != 0;
+  // Build provenance: the build system scopes these defines to this TU
+  // (src/CMakeLists.txt); "unknown" covers non-CMake builds too.
+#if defined(FAIRBENCH_GIT_DESCRIBE)
+  manifest.git_describe = FAIRBENCH_GIT_DESCRIBE;
+#else
+  manifest.git_describe = "unknown";
+#endif
+#if defined(FAIRBENCH_GIT_COMMIT)
+  manifest.git_commit = FAIRBENCH_GIT_COMMIT;
+#else
+  manifest.git_commit = "unknown";
+#endif
   return manifest;
 }
 

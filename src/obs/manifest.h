@@ -27,13 +27,22 @@ struct RunManifest {
   std::size_t hardware_threads = 0;
   std::string compiler;
   long cxx_standard = 0;
-  std::string build_type;  ///< "release" (NDEBUG) or "debug".
-  std::string sanitizer;   ///< "none", "thread", or "address".
+  std::string build_type;   ///< "release" (NDEBUG) or "debug".
+  std::string sanitizer;    ///< "none", "thread", or "address".
   bool obs_compiled = false;
+  std::string git_describe;  ///< `git describe --always --dirty --tags` at
+                             ///< configure time; "unknown" outside git.
+  std::string git_commit;    ///< Full HEAD sha; "unknown" outside git.
 
   /// One JSON object with stable key order; embeddable as the Chrome
   /// trace's "otherData" and writable as a standalone manifest file.
   std::string ToJson() const;
+
+  /// 16-hex-digit FNV-1a over ToJson(): a short, stable fingerprint of the
+  /// whole configuration. Every telemetry export (Prometheus text, JSONL
+  /// event log) embeds it in its header so any exported number can be tied
+  /// back to the build+run that produced it.
+  std::string Hash() const;
 };
 
 /// Manifest with the environment/build fields filled in; run parameters

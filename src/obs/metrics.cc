@@ -131,6 +131,28 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+HdrHistogram& MetricsRegistry::GetHdrHistogram(const std::string& name,
+                                               unsigned sub_bucket_bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<HdrHistogram>& slot = hdr_histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HdrHistogram>(sub_bucket_bits);
+  return *slot;
+}
+
+void MetricsRegistry::Visit(MetricsVisitor& visitor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    visitor.OnCounter(name, *counter);
+  }
+  for (const auto& [name, gauge] : gauges_) visitor.OnGauge(name, *gauge);
+  for (const auto& [name, hist] : histograms_) {
+    visitor.OnHistogram(name, *hist);
+  }
+  for (const auto& [name, hist] : hdr_histograms_) {
+    visitor.OnHdrHistogram(name, *hist);
+  }
+}
+
 std::string MetricsRegistry::ToCsv() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "name,kind,key,value\n";
@@ -167,6 +189,27 @@ std::string MetricsRegistry::ToCsv() const {
     out += StrFormat("%s,histogram,p99,%s\n", name.c_str(),
                      NumberField(hist->ApproxQuantile(0.99)).c_str());
   }
+  for (const auto& [name, hist] : hdr_histograms_) {
+    const HdrSnapshot snap = hist->Snapshot();
+    out += StrFormat("%s,hdr,count,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(snap.count));
+    out += StrFormat("%s,hdr,min,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(snap.min));
+    out += StrFormat("%s,hdr,max,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(snap.max));
+    out += StrFormat("%s,hdr,sum,%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(snap.sum));
+    out += StrFormat("%s,hdr,p50,%s\n", name.c_str(),
+                     NumberField(snap.p50).c_str());
+    out += StrFormat("%s,hdr,p90,%s\n", name.c_str(),
+                     NumberField(snap.p90).c_str());
+    out += StrFormat("%s,hdr,p95,%s\n", name.c_str(),
+                     NumberField(snap.p95).c_str());
+    out += StrFormat("%s,hdr,p99,%s\n", name.c_str(),
+                     NumberField(snap.p99).c_str());
+    out += StrFormat("%s,hdr,p999,%s\n", name.c_str(),
+                     NumberField(snap.p999).c_str());
+  }
   return out;
 }
 
@@ -175,6 +218,7 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, hist] : hdr_histograms_) hist->Reset();
 }
 
 }  // namespace fairbench::obs

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 
 namespace fairbench::obs {
@@ -60,13 +61,22 @@ class Histogram {
     return counts_[i].load(std::memory_order_relaxed);
   }
 
-  /// Approximate q-quantile (q in [0,1]) reconstructed from the bucket
-  /// counts by linear interpolation inside the covering bucket — the
-  /// Prometheus histogram_quantile estimate. Accuracy is bounded by the
-  /// bucket width around the quantile; samples landing in the overflow
-  /// bucket are attributed to the last finite bound. Returns 0 on an empty
-  /// histogram. Concurrent recording makes the result a snapshot, same as
-  /// every other read.
+  /// Approximate q-quantile reconstructed from the bucket counts by linear
+  /// interpolation inside the covering bucket — the Prometheus
+  /// histogram_quantile estimate. Accuracy is bounded by the bucket width
+  /// around the quantile.
+  ///
+  /// Edge contract (explicit, tested in tests/obs/metrics_test.cc):
+  ///  - q outside [0, 1] is *clamped* — ApproxQuantile(-3) == the minimum
+  ///    estimate, ApproxQuantile(7) == the maximum. Never an error.
+  ///  - An empty histogram returns 0.0 (a sentinel, never NaN): callers
+  ///    that must distinguish "no samples" from "quantile 0" check
+  ///    count() first. No Status plumbing — this is a monitoring read.
+  ///  - Samples past the last finite bound land in the implicit overflow
+  ///    bucket, which has no upper edge; quantiles falling there report
+  ///    the last finite bound (a *lower* bound on the true quantile)
+  ///    rather than inventing a value. A histogram with no bounds at all
+  ///    reports 0. For bounded-error quantiles use HdrHistogram instead.
   double ApproxQuantile(double q) const;
   const std::vector<double>& upper_bounds() const { return bounds_; }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -78,6 +88,19 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+/// Read-only walk over a registry's metrics (see MetricsRegistry::Visit).
+/// Callbacks run under the registry mutex: keep them short and never call
+/// back into the registry.
+class MetricsVisitor {
+ public:
+  virtual ~MetricsVisitor() = default;
+  virtual void OnCounter(const std::string& name, const Counter& counter) {}
+  virtual void OnGauge(const std::string& name, const Gauge& gauge) {}
+  virtual void OnHistogram(const std::string& name, const Histogram& hist) {}
+  virtual void OnHdrHistogram(const std::string& name,
+                              const HdrHistogram& hist) {}
 };
 
 /// Process-wide registry of named metrics. Registration (the first Get* for
@@ -95,10 +118,23 @@ class MetricsRegistry {
   /// argument and return the existing histogram.
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds);
+  /// HDR (log-linear, bounded-relative-error) histogram; the latency
+  /// metrics of the serving tier live here. First call fixes the
+  /// precision; later calls ignore the argument.
+  HdrHistogram& GetHdrHistogram(
+      const std::string& name,
+      unsigned sub_bucket_bits = HdrHistogram::kDefaultSubBucketBits);
+
+  /// Calls the visitor once per registered metric, each kind in name
+  /// order. This is how the telemetry exporters (obs/telemetry.h)
+  /// enumerate the registry without owning a copy of its maps.
+  void Visit(MetricsVisitor& visitor) const;
 
   /// Snapshot of every metric as `name,kind,key,value` CSV rows (header
   /// included). Counters/gauges emit one row per scalar; histograms emit
-  /// one row per bucket (`le_<bound>` / `le_inf`) plus `count` and `sum`.
+  /// one row per bucket (`le_<bound>` / `le_inf`) plus `count` and `sum`;
+  /// HDR histograms emit `count`/`min`/`max`/`sum` plus
+  /// `p50`/`p90`/`p95`/`p99`/`p999` rows.
   std::string ToCsv() const;
 
   /// Zeroes every registered metric (registrations stay, so cached
@@ -110,6 +146,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>> hdr_histograms_;
 };
 
 /// Runtime gate for metric recording. Off by default; bench harnesses flip
@@ -146,10 +183,21 @@ void SetMetricsEnabled(bool enabled);
           .Record(sample);                                                  \
     }                                                                       \
   } while (0)
+// HDR latency site: `value` is a uint64 sample (nanoseconds by
+// convention), `request_id` the exemplar id (0 = none).
+#define FAIRBENCH_HDR_RECORD(name, value, request_id)                       \
+  do {                                                                      \
+    if (::fairbench::obs::MetricsEnabled()) {                               \
+      ::fairbench::obs::MetricsRegistry::Global()                           \
+          .GetHdrHistogram(name)                                            \
+          .RecordWithExemplar((value), (request_id));                       \
+    }                                                                       \
+  } while (0)
 #else
 #define FAIRBENCH_COUNTER_ADD(name, delta) ((void)0)
 #define FAIRBENCH_GAUGE_SET(name, sample) ((void)0)
 #define FAIRBENCH_HISTOGRAM_RECORD(name, sample, ...) ((void)0)
+#define FAIRBENCH_HDR_RECORD(name, value, request_id) ((void)0)
 #endif  // FAIRBENCH_OBS_ENABLED
 
 #endif  // FAIRBENCH_OBS_METRICS_H_

@@ -1,0 +1,73 @@
+#ifndef FAIRBENCH_OBS_REQUEST_CONTEXT_H_
+#define FAIRBENCH_OBS_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/random.h"
+#include "obs/obs.h"
+
+namespace fairbench::obs {
+
+/// Request-scoped trace context: one 64-bit request id shared by every
+/// span, metric exemplar, exported event, and monitor window a request
+/// touches, plus span parentage for the stage tree underneath it.
+///
+/// `request_id == 0` means "unstamped" — the serving tier stamps a fresh
+/// context at admission (see ScoringService) unless the caller pre-stamped
+/// one to propagate an upstream trace. Ids are derived with the repo-wide
+/// splitmix64 discipline (common/random.h DeriveSeed), so a service with a
+/// fixed seed hands out a reproducible id *set*; only the assignment of
+/// ids to concurrent requests depends on arrival order.
+struct RequestContext {
+  uint64_t request_id = 0;      ///< 0 = unstamped.
+  uint64_t span_id = 0;         ///< This hop's span id.
+  uint64_t parent_span_id = 0;  ///< 0 = root span of the request.
+};
+
+/// Root context for a request id: span_id is the id itself, no parent.
+inline RequestContext RootContext(uint64_t request_id) {
+  RequestContext context;
+  context.request_id = request_id;
+  context.span_id = request_id;
+  return context;
+}
+
+/// Child context for one stage under `parent`: same request id, span id
+/// derived from (parent span, stage ordinal) — a pure function, so a
+/// stage's span id never depends on scheduling.
+inline RequestContext ChildContext(const RequestContext& parent,
+                                   uint64_t stage) {
+  RequestContext context;
+  context.request_id = parent.request_id;
+  context.parent_span_id = parent.span_id;
+  context.span_id = DeriveSeed(parent.span_id, stage);
+  if (context.span_id == 0) context.span_id = 1;  // 0 is "no span"
+  return context;
+}
+
+/// Thread-safe source of fresh request contexts: the n-th call returns
+/// DeriveSeed(base, n), never 0. One generator per service keeps the id
+/// stream deterministic for a given base seed.
+class RequestIdGenerator {
+ public:
+  explicit RequestIdGenerator(uint64_t base_seed) : base_(base_seed) {}
+
+  RequestContext Next() {
+    const uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t id = DeriveSeed(base_, n);
+    if (id == 0) id = 1;  // 0 is reserved for "unstamped"
+    return RootContext(id);
+  }
+
+  /// Requests stamped so far (monitoring only).
+  uint64_t issued() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t base_;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace fairbench::obs
+
+#endif  // FAIRBENCH_OBS_REQUEST_CONTEXT_H_

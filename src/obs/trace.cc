@@ -54,13 +54,12 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
 }
 
 void Tracer::Record(const char* category, std::string name, uint64_t start_ns,
-                    uint64_t duration_ns) {
+                    uint64_t duration_ns, uint64_t request_id) {
   if (!enabled()) return;
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
-  buffer.events.push_back(
-      TraceEvent{std::move(name), category, start_ns, duration_ns,
-                 buffer.tid});
+  buffer.events.push_back(TraceEvent{std::move(name), category, start_ns,
+                                     duration_ns, buffer.tid, request_id});
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
@@ -102,10 +101,17 @@ std::string Tracer::ToChromeJson(const std::string& metadata_json) const {
     if (i != 0) out += ',';
     out += StrFormat(
         "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-        "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u",
         JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
         static_cast<double>(e.start_ns - base_ns) / 1e3,
         static_cast<double>(e.duration_ns) / 1e3, e.tid);
+    if (e.request_id != 0) {
+      // Hex string, not a JSON number: ids use all 64 bits and doubles
+      // only carry 53.
+      out += StrFormat(",\"args\":{\"request_id\":\"%016llx\"}",
+                       static_cast<unsigned long long>(e.request_id));
+    }
+    out += '}';
   }
   out += "\n],\"displayTimeUnit\":\"ms\"";
   if (!metadata_json.empty()) {
@@ -121,14 +127,15 @@ std::string Tracer::ToCsv() const {
   for (const TraceEvent& e : events) {
     if (base_ns == 0 || e.start_ns < base_ns) base_ns = e.start_ns;
   }
-  std::string out = "tid,start_us,dur_us,category,name\n";
+  std::string out = "tid,start_us,dur_us,category,name,request_id\n";
   for (const TraceEvent& e : events) {
     // Span names never contain commas by convention (layer.verb/id); keep
     // the CSV RFC-4180ish like core/export.
-    out += StrFormat("%u,%.3f,%.3f,%s,%s\n", e.tid,
+    out += StrFormat("%u,%.3f,%.3f,%s,%s,%016llx\n", e.tid,
                      static_cast<double>(e.start_ns - base_ns) / 1e3,
                      static_cast<double>(e.duration_ns) / 1e3, e.category,
-                     e.name.c_str());
+                     e.name.c_str(),
+                     static_cast<unsigned long long>(e.request_id));
   }
   return out;
 }
@@ -141,11 +148,20 @@ TraceSpan::TraceSpan(const char* category, std::string name)
   }
 }
 
+TraceSpan::TraceSpan(const char* category, std::string name,
+                     uint64_t request_id)
+    : category_(category), name_(std::move(name)), request_id_(request_id) {
+  if (Tracer::Global().enabled()) {
+    active_ = true;
+    start_ns_ = NowNanos();
+  }
+}
+
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   const uint64_t end_ns = NowNanos();
   Tracer::Global().Record(category_, std::move(name_), start_ns_,
-                          end_ns - start_ns_);
+                          end_ns - start_ns_, request_id_);
 }
 
 }  // namespace fairbench::obs

@@ -22,6 +22,10 @@ struct TraceEvent {
   uint64_t start_ns = 0;   ///< NowNanos() at span open.
   uint64_t duration_ns = 0;
   uint32_t tid = 0;        ///< Dense tracer-assigned thread id (0 = first).
+  /// Request id (obs/request_context.h) of the request this span served;
+  /// 0 = not request-scoped. Emitted as args.request_id in Chrome JSON so
+  /// one request's spans can be picked out of a concurrent trace.
+  uint64_t request_id = 0;
 };
 
 /// Process-wide span collector with per-thread buffers.
@@ -47,7 +51,7 @@ class Tracer {
   /// instrumentation that measures intervals itself (e.g. queue waits) can
   /// emit spans without a TraceSpan scope.
   void Record(const char* category, std::string name, uint64_t start_ns,
-              uint64_t duration_ns);
+              uint64_t duration_ns, uint64_t request_id = 0);
 
   /// All recorded events, sorted by (tid, start, longest-first). The
   /// longest-first tiebreak puts enclosing spans before the spans they
@@ -64,7 +68,8 @@ class Tracer {
   /// object and is embedded as "otherData" (the RunManifest goes here).
   std::string ToChromeJson(const std::string& metadata_json = "") const;
 
-  /// Flat CSV: tid,start_us,dur_us,category,name.
+  /// Flat CSV: tid,start_us,dur_us,category,name,request_id (hex, 0 for
+  /// spans outside any request).
   std::string ToCsv() const;
 
  private:
@@ -92,6 +97,8 @@ class Tracer {
 class TraceSpan {
  public:
   TraceSpan(const char* category, std::string name);
+  /// Request-scoped span: tags the recorded event with `request_id`.
+  TraceSpan(const char* category, std::string name, uint64_t request_id);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -101,6 +108,7 @@ class TraceSpan {
   const char* category_;
   std::string name_;
   uint64_t start_ns_ = 0;
+  uint64_t request_id_ = 0;
   bool active_ = false;
 };
 
@@ -116,8 +124,16 @@ class TraceSpan {
       (category), ::fairbench::obs::Tracer::Global().enabled()         \
                       ? (name_expr)                                    \
                       : ::std::string())
+#define FAIRBENCH_TRACE_SPAN_REQ(category, name_expr, request_id)       \
+  ::fairbench::obs::TraceSpan FAIRBENCH_OBS_CONCAT(fairbench_span_,     \
+                                                   __LINE__)(           \
+      (category),                                                       \
+      ::fairbench::obs::Tracer::Global().enabled() ? (name_expr)        \
+                                                   : ::std::string(),   \
+      (request_id))
 #else
 #define FAIRBENCH_TRACE_SPAN(category, name_expr) ((void)0)
+#define FAIRBENCH_TRACE_SPAN_REQ(category, name_expr, request_id) ((void)0)
 #endif
 
 #endif  // FAIRBENCH_OBS_TRACE_H_

@@ -21,6 +21,12 @@ struct ScoredBatch {
   /// successful requests; a gap it *does* observe means a consumer further
   /// downstream dropped or reordered responses.
   uint64_t sequence = 0;
+  /// Trace-context request id (obs/request_context.h) stamped on the
+  /// request at admission. Observers carry it onto whatever they derive
+  /// from the batch (the monitor stamps it on every ScoredEvent) so a
+  /// window or alert downstream can name the requests it covers. 0 only if
+  /// the service somehow delivered an unstamped batch.
+  uint64_t request_id = 0;
   const std::string* approach_id = nullptr;
   /// The scored rows; `data->labels()` / `data->sensitive()` carry the
   /// ground truth and group of each prediction when the caller has them.

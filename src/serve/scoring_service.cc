@@ -2,10 +2,12 @@
 
 #include <utility>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "core/registry.h"
 #include "exec/parallel_for.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serve/pipeline_artifact.h"
 
@@ -20,11 +22,16 @@ std::string CacheKey(const std::string& approach_id, uint64_t fingerprint,
                    static_cast<unsigned long long>(seed));
 }
 
+/// splitmix64 stream salt separating the request-id stream from the fit
+/// seeds also derived from run.seed.
+constexpr uint64_t kRequestIdStream = 0x5245514944ull;  // "REQID"
+
 }  // namespace
 
 ScoringService::ScoringService(ScoringServiceOptions options)
     : options_(std::move(options)),
-      pool_(std::make_unique<ThreadPool>(options_.run.threads)) {}
+      pool_(std::make_unique<ThreadPool>(options_.run.threads)),
+      ids_(DeriveSeed(options_.run.seed, kRequestIdStream)) {}
 
 ScoringService::~ScoringService() {
   // ~ThreadPool drains its queue, so queued ScoreAsync tasks still run
@@ -51,8 +58,6 @@ Result<ScoreResponse> ScoringService::Score(const ScoreRequest& request) {
       ScoreAdmitted(request, admitted, /*allow_parallel=*/true);
   depth = in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
-  FAIRBENCH_HISTOGRAM_RECORD("serve.latency.ms", admitted.ElapsedMillis(), 1.0,
-                             5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0);
   return response;
 }
 
@@ -82,9 +87,6 @@ std::future<Result<ScoreResponse>> ScoringService::ScoreAsync(
         std::size_t depth =
             in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
         FAIRBENCH_GAUGE_SET("serve.queue.depth", static_cast<double>(depth));
-        FAIRBENCH_HISTOGRAM_RECORD("serve.latency.ms", admitted.ElapsedMillis(),
-                                   1.0, 5.0, 25.0, 100.0, 500.0, 2500.0,
-                                   10000.0);
         return response;
       });
   std::future<Result<ScoreResponse>> future = task->get_future();
@@ -107,8 +109,48 @@ Status ScoringService::CheckDeadline(const ScoreRequest& request,
 Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
                                                     const Timer& admitted,
                                                     bool allow_parallel) {
-  FAIRBENCH_TRACE_SPAN("serve", options_.run.SpanName("serve.score") + "/" +
-                                    request.approach_id);
+  obs::RequestContext ctx = request.context;
+  if (ctx.request_id == 0) ctx = ids_.Next();
+  const char* cache_outcome = "";
+  Result<ScoreResponse> result =
+      ScoreWithContext(request, ctx, admitted, allow_parallel, &cache_outcome);
+  const uint64_t total_ns =
+      static_cast<uint64_t>(admitted.ElapsedSeconds() * 1e9);
+  FAIRBENCH_HDR_RECORD("serve.latency.ns", total_ns, ctx.request_id);
+  if (FAIRBENCH_EVENTS_ACTIVE()) {
+    obs::RequestEvent event;
+    event.timestamp_ns = NowNanos();
+    event.request_id = ctx.request_id;
+    event.approach = request.approach_id;
+    event.rows = request.data != nullptr ? request.data->num_rows() : 0;
+    event.cache = cache_outcome;
+    event.total_ns = total_ns;
+    event.has_deadline = request.deadline_seconds > 0.0;
+    if (event.has_deadline) {
+      event.deadline_slack_ns = static_cast<int64_t>(
+          request.deadline_seconds * 1e9 - static_cast<double>(total_ns));
+    }
+    if (result.ok()) {
+      const ScoreResponse& response = result.value();
+      event.sequence = response.sequence;
+      event.fit_ns = static_cast<uint64_t>(response.fit_seconds * 1e9);
+      event.predict_ns = static_cast<uint64_t>(response.score_seconds * 1e9);
+      event.status = "ok";
+    } else {
+      event.status = StatusCodeName(result.status().code());
+    }
+    obs::EventLog::Global().Record(std::move(event));
+  }
+  return result;
+}
+
+Result<ScoreResponse> ScoringService::ScoreWithContext(
+    const ScoreRequest& request, const obs::RequestContext& ctx,
+    const Timer& admitted, bool allow_parallel, const char** cache_outcome) {
+  FAIRBENCH_TRACE_SPAN_REQ("serve",
+                           options_.run.SpanName("serve.score") + "/" +
+                               request.approach_id,
+                           ctx.request_id);
   if (request.data == nullptr || request.train == nullptr) {
     return Status::InvalidArgument("ScoreRequest: train and data must be set");
   }
@@ -117,9 +159,17 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
   const uint64_t seed =
       request.seed != 0 ? request.seed : options_.run.seed;
   ScoreResponse response;
-  FAIRBENCH_ASSIGN_OR_RETURN(
-      CachedModel model, GetOrFit(request, seed, admitted, &response.cache_hit,
-                                  &response.fit_seconds));
+  response.context = ctx;
+  CachedModel model;
+  {
+    FAIRBENCH_TRACE_SPAN_REQ("serve",
+                             options_.run.SpanName("serve.lookup") + "/" +
+                                 request.approach_id,
+                             ctx.request_id);
+    FAIRBENCH_ASSIGN_OR_RETURN(
+        model, GetOrFit(request, seed, ctx, admitted, &response.cache_hit,
+                        &response.fit_seconds, cache_outcome));
+  }
   FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "post-fit"));
 
   Timer score_timer;
@@ -158,11 +208,20 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
     popts.min_chunk = 64;
     return ParallelFor(n, score_row, popts);
   };
-  FAIRBENCH_RETURN_NOT_OK(score_into(predictions, /*flip=*/false));
-  if (want_flipped) {
-    FAIRBENCH_RETURN_NOT_OK(score_into(flipped, /*flip=*/true));
+  {
+    FAIRBENCH_TRACE_SPAN_REQ("serve",
+                             options_.run.SpanName("serve.predict") + "/" +
+                                 request.approach_id,
+                             ctx.request_id);
+    FAIRBENCH_RETURN_NOT_OK(score_into(predictions, /*flip=*/false));
+    if (want_flipped) {
+      FAIRBENCH_RETURN_NOT_OK(score_into(flipped, /*flip=*/true));
+    }
   }
   response.score_seconds = score_timer.ElapsedSeconds();
+  FAIRBENCH_HDR_RECORD(
+      "serve.predict.ns",
+      static_cast<uint64_t>(response.score_seconds * 1e9), ctx.request_id);
   response.predictions = std::move(predictions);
   FAIRBENCH_COUNTER_ADD("serve.rows_scored.total",
                         static_cast<uint64_t>(n));
@@ -175,6 +234,7 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
     if (options_.observer != nullptr) {
       ScoredBatch batch;
       batch.sequence = response.sequence;
+      batch.request_id = ctx.request_id;
       batch.approach_id = &request.approach_id;
       batch.data = request.data;
       batch.predictions = &response.predictions;
@@ -186,13 +246,15 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
 }
 
 Result<ScoringService::CachedModel> ScoringService::GetOrFit(
-    const ScoreRequest& request, uint64_t seed, const Timer& admitted,
-    bool* hit, double* fit_seconds) {
+    const ScoreRequest& request, uint64_t seed, const obs::RequestContext& ctx,
+    const Timer& admitted, bool* hit, double* fit_seconds,
+    const char** cache_outcome) {
   const uint64_t fingerprint = DatasetFingerprint(*request.train);
   const std::string key = CacheKey(request.approach_id, fingerprint, seed);
 
   std::shared_ptr<Slot> slot;
   bool fitter = false;
+  bool waited = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -210,6 +272,7 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
     if (!fitter) {
       // Single-flight: another thread is fitting this key; wait for it
       // (bounded by the request deadline when one is set).
+      waited = !slot->ready;
       while (!slot->ready) {
         if (request.deadline_seconds > 0.0) {
           const double remaining =
@@ -232,15 +295,19 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
                             1);
       *hit = slot->status.ok();
       *fit_seconds = 0.0;
+      // "shared": this request rode another request's in-progress fit
+      // (the single-flight path) rather than finding a warm model.
+      *cache_outcome = waited ? "shared" : "hit";
       FAIRBENCH_RETURN_NOT_OK(slot->status);
       return CachedModel{slot->pipeline, slot->score_mu};
     }
   }
 
   // Cache miss: fit outside the lock so other keys stay servable.
+  *cache_outcome = "miss";
   FAIRBENCH_COUNTER_ADD("serve.cache.miss", 1);
-  FAIRBENCH_TRACE_SPAN("serve",
-                       options_.run.SpanName("serve.fit") + "/" + key);
+  FAIRBENCH_TRACE_SPAN_REQ(
+      "serve", options_.run.SpanName("serve.fit") + "/" + key, ctx.request_id);
   Timer fit_timer;
   Status status = Status::OK();
   std::shared_ptr<Pipeline> pipeline;
@@ -254,8 +321,8 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
     status = pipeline->Fit(*request.train, context);
   }
   const double elapsed = fit_timer.ElapsedSeconds();
-  FAIRBENCH_HISTOGRAM_RECORD("serve.fit.ms", elapsed * 1e3, 10.0, 100.0,
-                             1000.0, 10000.0, 60000.0);
+  FAIRBENCH_HDR_RECORD("serve.fit.ns", static_cast<uint64_t>(elapsed * 1e9),
+                       ctx.request_id);
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -18,6 +18,7 @@
 #include "core/run_options.h"
 #include "data/dataset.h"
 #include "exec/thread_pool.h"
+#include "obs/request_context.h"
 #include "serve/observer.h"
 
 namespace fairbench {
@@ -71,6 +72,13 @@ struct ScoreRequest {
   /// Missing it yields DeadlineExceeded; a partially-fit model is still
   /// cached so the retry is warm.
   double deadline_seconds = 0.0;
+
+  /// Trace context to propagate. Leave default (request_id == 0) and the
+  /// service stamps a fresh deterministic context at admission; pre-stamp
+  /// it to carry an upstream trace's id through this hop. The stamped
+  /// context comes back on ScoreResponse::context and tags every span,
+  /// latency exemplar, exported event, and monitor event of the request.
+  obs::RequestContext context;
 };
 
 /// Outcome of one request.
@@ -88,6 +96,11 @@ struct ScoreResponse {
   /// sequence n+2 after n knows exactly one response went missing. Failed
   /// requests consume no sequence number.
   uint64_t sequence = 0;
+
+  /// The context this request ran under (stamped at admission when the
+  /// request carried none). `context.request_id` is the handle for finding
+  /// the request's trace spans, JSONL event, and any alert that covers it.
+  obs::RequestContext context;
 };
 
 /// Cache counters (also exported as serve.* obs metrics).
@@ -150,15 +163,29 @@ class ScoringService {
     std::shared_ptr<std::mutex> score_mu;
   };
 
+  /// Stamps the trace context, runs ScoreWithContext, then records the
+  /// request's telemetry (HDR latency with the request id as exemplar, and
+  /// the JSONL RequestEvent when event export is on) for success *and*
+  /// failure outcomes.
   Result<ScoreResponse> ScoreAdmitted(const ScoreRequest& request,
                                       const Timer& admitted,
                                       bool allow_parallel);
 
+  Result<ScoreResponse> ScoreWithContext(const ScoreRequest& request,
+                                         const obs::RequestContext& ctx,
+                                         const Timer& admitted,
+                                         bool allow_parallel,
+                                         const char** cache_outcome);
+
   /// Returns the fitted pipeline for the request's cache key, fitting at
-  /// most once per key across threads. `*hit` reports warm vs cold.
+  /// most once per key across threads. `*hit` reports warm vs cold;
+  /// `*cache_outcome` is "hit", "miss", or "shared" (waited behind another
+  /// thread's fit of the same key).
   Result<CachedModel> GetOrFit(const ScoreRequest& request, uint64_t seed,
+                               const obs::RequestContext& ctx,
                                const Timer& admitted, bool* hit,
-                               double* fit_seconds);
+                               double* fit_seconds,
+                               const char** cache_outcome);
 
   Status CheckDeadline(const ScoreRequest& request, const Timer& admitted,
                        const char* stage) const;
@@ -168,6 +195,10 @@ class ScoringService {
 
   ScoringServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Request-id source, seeded from options_.run.seed: a service with a
+  /// fixed seed issues a reproducible id stream (see request_context.h).
+  obs::RequestIdGenerator ids_;
 
   /// Sequencing lock: serializes sequence stamping + observer delivery so
   /// observers see successful responses in exactly stamp order. Separate

@@ -1,0 +1,240 @@
+#include "obs/hdr_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fairbench::obs {
+namespace {
+
+/// Exact quantile of a sorted sample vector, using the same convention the
+/// histogram documents: the ceil(q * n)-th smallest sample.
+uint64_t ExactQuantile(std::vector<uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(q * static_cast<double>(values.size()));
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+TEST(HdrHistogramTest, EmptyHistogramIsAllZeros) {
+  HdrHistogram hdr;
+  EXPECT_EQ(hdr.count(), 0u);
+  EXPECT_EQ(hdr.ValueAtQuantile(0.5), 0.0);
+  const HdrSnapshot snap = hdr.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p999, 0.0);
+  EXPECT_TRUE(snap.exemplars.empty());
+}
+
+TEST(HdrHistogramTest, BucketGeometryIsLogLinear) {
+  HdrHistogram hdr;  // B = 5, S = 32.
+  const uint64_t S = 32;
+  // Unit-width region: values below 2S index themselves.
+  for (uint64_t v = 0; v < 2 * S; ++v) {
+    EXPECT_EQ(hdr.BucketIndex(v), v);
+    EXPECT_EQ(hdr.BucketWidth(v), 1u);
+    EXPECT_EQ(hdr.BucketLowerBound(v), v);
+    EXPECT_EQ(hdr.BucketRepresentative(v), v);
+  }
+  // Above the unit region every octave splits into S buckets whose width
+  // doubles per octave; indices stay contiguous and monotone.
+  std::size_t prev = hdr.BucketIndex(2 * S - 1);
+  for (uint64_t v = 2 * S; v < 1 << 14; ++v) {
+    const std::size_t index = hdr.BucketIndex(v);
+    EXPECT_GE(index, prev);
+    EXPECT_LE(index, prev + 1);
+    prev = index;
+    EXPECT_GE(v, hdr.BucketLowerBound(index));
+    EXPECT_LT(v, hdr.BucketLowerBound(index) + hdr.BucketWidth(index));
+  }
+  // The whole uint64 range is covered.
+  EXPECT_LT(hdr.BucketIndex(~0ull), hdr.num_buckets());
+  EXPECT_EQ(hdr.num_buckets(), (64u - 5u - 1u) * 32u + 64u);
+}
+
+TEST(HdrHistogramTest, SmallValuesAreExact) {
+  HdrHistogram hdr;
+  // Everything below 2S = 64 has unit-width buckets: quantiles are exact.
+  std::vector<uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t v = rng.Next() % 64;
+    values.push_back(v);
+    hdr.Record(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(hdr.ValueAtQuantile(q),
+              static_cast<double>(ExactQuantile(values, q)))
+        << "q=" << q;
+  }
+}
+
+TEST(HdrHistogramTest, QuantilesWithinRelativeErrorBound) {
+  // The acceptance property: for adversarially mixed magnitudes, every
+  // reported quantile is within relative_error() of the exact sorted-sample
+  // quantile. Run several seeds so the bound is exercised across different
+  // bucket occupancies.
+  for (const uint64_t seed : {1ull, 17ull, 4242ull}) {
+    HdrHistogram hdr;
+    std::vector<uint64_t> values;
+    Rng rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+      // Log-uniform magnitudes: ~1 to ~1e9 (ns-scale latencies).
+      const unsigned magnitude = rng.Next() % 30;
+      const uint64_t v = (1ull << magnitude) + rng.Next() % (1ull << magnitude);
+      values.push_back(v);
+      hdr.Record(v);
+    }
+    ASSERT_EQ(hdr.count(), values.size());
+    for (const double q : {0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+      const double exact = static_cast<double>(ExactQuantile(values, q));
+      const double estimate = hdr.ValueAtQuantile(q);
+      EXPECT_LE(std::abs(estimate - exact) / exact, hdr.relative_error())
+          << "seed=" << seed << " q=" << q << " exact=" << exact
+          << " estimate=" << estimate;
+    }
+  }
+}
+
+TEST(HdrHistogramTest, SnapshotTracksExactMinMaxSumMean) {
+  HdrHistogram hdr;
+  hdr.Record(3);
+  hdr.Record(1000);
+  hdr.Record(77);
+  const HdrSnapshot snap = hdr.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.min, 3u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.sum, 1080u);
+  EXPECT_DOUBLE_EQ(snap.mean, 360.0);
+}
+
+TEST(HdrHistogramTest, MergeIsExactInCounts) {
+  HdrHistogram a;
+  HdrHistogram b;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) a.Record(rng.Next() % 100000);
+  for (int i = 0; i < 500; ++i) b.Record(rng.Next() % 100000);
+  const uint64_t a_sum = a.sum();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1500u);
+  EXPECT_EQ(a.sum(), a_sum + b.sum());
+  EXPECT_LE(a.Snapshot().min, b.Snapshot().min);
+  EXPECT_GE(a.Snapshot().max, b.Snapshot().max);
+}
+
+TEST(HdrHistogramTest, MergeAcrossMismatchedResolutions) {
+  // Merging a coarser histogram re-records representatives: counts stay
+  // exact, values stay within the *source's* error bound.
+  HdrHistogram fine(5);
+  HdrHistogram coarse(2);
+  coarse.Record(1000000);
+  coarse.Record(2000000);
+  fine.Merge(coarse);
+  EXPECT_EQ(fine.count(), 2u);
+  const double p100 = fine.ValueAtQuantile(1.0);
+  EXPECT_LE(std::abs(p100 - 2000000.0) / 2000000.0, coarse.relative_error());
+}
+
+TEST(HdrHistogramTest, ExemplarsSurfaceTheLastRequestId) {
+  HdrHistogram hdr;
+  hdr.RecordWithExemplar(500, 0x1111);
+  hdr.RecordWithExemplar(500, 0x2222);  // same bucket: last writer wins
+  hdr.RecordWithExemplar(70000, 0x3333);
+  hdr.Record(9);  // id 0: no exemplar for this bucket
+  const HdrSnapshot snap = hdr.Snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 2u);
+  EXPECT_EQ(snap.exemplars[0].request_id, 0x2222u);
+  EXPECT_EQ(snap.exemplars[1].request_id, 0x3333u);
+  EXPECT_LT(snap.exemplars[0].value, snap.exemplars[1].value);
+}
+
+TEST(HdrHistogramTest, ResetClearsEverything) {
+  HdrHistogram hdr;
+  hdr.RecordWithExemplar(12345, 0xabc);
+  hdr.Reset();
+  EXPECT_EQ(hdr.count(), 0u);
+  EXPECT_EQ(hdr.sum(), 0u);
+  const HdrSnapshot snap = hdr.Snapshot();
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_TRUE(snap.exemplars.empty());
+}
+
+TEST(HdrHistogramTest, ConcurrentRecordMatchesSerialBitExactly) {
+  // Counts are relaxed atomic adds, so the concurrent histogram must equal
+  // the serial one bucket-for-bucket — this is also the TSan workload CI
+  // re-runs in stage 8.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  HdrHistogram serial;
+  HdrHistogram parallel;
+  std::vector<std::vector<uint64_t>> streams(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(DeriveSeed(123, static_cast<uint64_t>(t)));
+    for (int i = 0; i < kPerThread; ++i) {
+      streams[t].push_back(rng.Next() % 10000000);
+    }
+  }
+  for (const std::vector<uint64_t>& stream : streams) {
+    for (const uint64_t v : stream) serial.Record(v);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&parallel, &streams, t] {
+      for (const uint64_t v : streams[t]) parallel.Record(v);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(parallel.count(), serial.count());
+  EXPECT_EQ(parallel.sum(), serial.sum());
+  const HdrSnapshot ps = parallel.Snapshot();
+  const HdrSnapshot ss = serial.Snapshot();
+  EXPECT_EQ(ps.min, ss.min);
+  EXPECT_EQ(ps.max, ss.max);
+  for (std::size_t i = 0; i < parallel.num_buckets(); ++i) {
+    ASSERT_EQ(parallel.bucket_count(i), serial.bucket_count(i)) << i;
+  }
+}
+
+TEST(HdrHistogramTest, ConcurrentRecordAndMergeKeepExactCounts) {
+  // Merge while producers are still recording: the final count must be the
+  // total pushed through both histograms (the merge contract under races).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  HdrHistogram source;
+  HdrHistogram sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&source, t] {
+      Rng rng(DeriveSeed(7, static_cast<uint64_t>(t)));
+      for (int i = 0; i < kPerProducer; ++i) {
+        source.RecordWithExemplar(rng.Next() % 1000000,
+                                  rng.Next() | 1);
+      }
+    });
+  }
+  std::thread merger([&source, &sink] {
+    for (int i = 0; i < 50; ++i) sink.Merge(source);
+  });
+  for (std::thread& thread : threads) thread.join();
+  merger.join();
+  sink.Reset();
+  sink.Merge(source);  // quiescent merge: exact transfer
+  EXPECT_EQ(source.count(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(sink.count(), source.count());
+  EXPECT_EQ(sink.sum(), source.sum());
+}
+
+}  // namespace
+}  // namespace fairbench::obs

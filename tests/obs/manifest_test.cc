@@ -49,5 +49,30 @@ TEST(RunManifestTest, ToJsonContainsEveryField) {
   EXPECT_NE(json.find("\"obs_compiled\":"), std::string::npos);
 }
 
+TEST(RunManifestTest, CarriesGitProvenance) {
+  const RunManifest manifest = MakeRunManifest("tool");
+  // The build injects `git describe`/`git rev-parse` into manifest.cc; a
+  // tarball build degrades to "unknown" but the keys are always present.
+  EXPECT_FALSE(manifest.git_describe.empty());
+  EXPECT_FALSE(manifest.git_commit.empty());
+  const std::string json = manifest.ToJson();
+  EXPECT_NE(json.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(json.find("\"git_commit\":"), std::string::npos);
+}
+
+TEST(RunManifestTest, HashIsStableAndKeyedOnContent) {
+  RunManifest a = MakeRunManifest("tool");
+  a.seed = 42;
+  RunManifest b = a;
+  // 16 lowercase hex digits (FNV-1a 64 of the canonical JSON), equal for
+  // equal manifests — it is the join key between export headers.
+  const std::string hash = a.Hash();
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(hash, b.Hash());
+  b.seed = 43;
+  EXPECT_NE(hash, b.Hash());
+}
+
 }  // namespace
 }  // namespace fairbench::obs

@@ -171,6 +171,47 @@ TEST(MetricsRegistryTest, CsvContainsAllKindsAndParses) {
   }
 }
 
+TEST(HistogramQuantileEdgeTest, OutOfRangeQuantilesAreClamped) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("test.q", {10.0, 100.0, 1000.0});
+  hist.Record(5.0);
+  hist.Record(50.0);
+  hist.Record(500.0);
+  // Clamping: below 0 behaves like q=0, above 1 like q=1 — never an error.
+  EXPECT_EQ(hist.ApproxQuantile(-3.0), hist.ApproxQuantile(0.0));
+  EXPECT_EQ(hist.ApproxQuantile(7.0), hist.ApproxQuantile(1.0));
+  EXPECT_LE(hist.ApproxQuantile(0.0), hist.ApproxQuantile(1.0));
+}
+
+TEST(HistogramQuantileEdgeTest, EmptyHistogramReturnsZeroNotNaN) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("test.q.empty", {1.0, 2.0});
+  EXPECT_EQ(hist.ApproxQuantile(0.5), 0.0);
+  EXPECT_EQ(hist.ApproxQuantile(-1.0), 0.0);
+  EXPECT_EQ(hist.ApproxQuantile(2.0), 0.0);
+  EXPECT_EQ(hist.count(), 0u);  // the caller's "no samples" check
+}
+
+TEST(HistogramQuantileEdgeTest, OverflowBucketReportsLastFiniteBound) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("test.q.over", {10.0, 100.0});
+  // Every sample past the last finite bound: quantiles land in the
+  // implicit overflow bucket and must report the bound (a lower bound on
+  // the truth), not an extrapolated value.
+  hist.Record(5000.0);
+  hist.Record(99999.0);
+  EXPECT_EQ(hist.ApproxQuantile(0.5), 100.0);
+  EXPECT_EQ(hist.ApproxQuantile(1.0), 100.0);
+}
+
+TEST(HistogramQuantileEdgeTest, NoBoundsHistogramReportsZero) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("test.q.none", {});
+  hist.Record(42.0);
+  EXPECT_EQ(hist.ApproxQuantile(0.5), 0.0);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
 #if FAIRBENCH_OBS_ENABLED
 TEST(MetricsMacroTest, RespectsRuntimeEnableFlag) {
   MetricsRegistry& registry = MetricsRegistry::Global();

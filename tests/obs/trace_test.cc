@@ -99,7 +99,7 @@ TEST(TracerTest, DisabledTracerRecordsNothing) {
   { TraceSpan span("test", "ignored"); }
   FAIRBENCH_TRACE_SPAN("test", std::string("also-ignored"));
   EXPECT_TRUE(tracer.Snapshot().empty());
-  EXPECT_EQ(tracer.ToCsv(), "tid,start_us,dur_us,category,name\n");
+  EXPECT_EQ(tracer.ToCsv(), "tid,start_us,dur_us,category,name,request_id\n");
 }
 
 TEST(TracerTest, RecordsSpansWithDurations) {
@@ -209,8 +209,47 @@ TEST(TracerTest, CsvHasOneRowPerSpan) {
   int lines = 0;
   for (const char c : csv) lines += c == '\n';
   EXPECT_EQ(lines, 3);  // header + 2 spans
-  EXPECT_NE(csv.find("core,fit/a"), std::string::npos);
-  EXPECT_NE(csv.find("exec,pool.task"), std::string::npos);
+  EXPECT_NE(csv.find("core,fit/a,0000000000000000"), std::string::npos);
+  EXPECT_NE(csv.find("exec,pool.task,0000000000000000"), std::string::npos);
+}
+
+TEST(TracerTest, RequestScopedSpansCarryTheIdEverywhere) {
+  ScopedTracing tracing;
+  constexpr uint64_t kId = 0xabcdef0123456789ull;
+  {
+    TraceSpan span("serve", "serve.score/lr", kId);
+    SpinNanos(500);
+  }
+  {
+    FAIRBENCH_TRACE_SPAN_REQ("serve", std::string("serve.predict/lr"), kId);
+    SpinNanos(500);
+  }
+  Tracer::Global().Record("serve", "serve.fit/key", 100, 50, kId);
+
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.request_id, kId) << event.name;
+  }
+
+  // Chrome JSON: nonzero ids surface as an args.request_id hex string;
+  // id-less spans carry no args object at all.
+  const std::string json = Tracer::Global().ToChromeJson();
+  std::string error;
+  EXPECT_TRUE(LooksLikeValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"args\":{\"request_id\":\"abcdef0123456789\"}"),
+            std::string::npos);
+
+  // CSV: hex id column on every row.
+  const std::string csv = Tracer::Global().ToCsv();
+  EXPECT_NE(csv.find(",abcdef0123456789\n"), std::string::npos);
+}
+
+TEST(TracerTest, SpansWithoutIdEmitNoArgs) {
+  ScopedTracing tracing;
+  Tracer::Global().Record("core", "fit/a", 1000, 500);
+  const std::string json = Tracer::Global().ToChromeJson();
+  EXPECT_EQ(json.find("\"args\""), std::string::npos);
 }
 
 TEST(TracerTest, SpanStraddlingEnableEdgeStaysInert) {

@@ -356,6 +356,40 @@ TEST(ScoringServiceTest, FlippedPredictionsDeliveredWhenProbeEnabled) {
   EXPECT_EQ(r->predictions, baseline->predictions);
 }
 
+TEST(ScoringServiceTest, EveryResponseCarriesAFreshRequestId) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.run.seed = 5;
+  ScoringService service(options);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    Result<ScoreResponse> r = service.Score(MakeRequest(fx, "lr"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->context.request_id, 0u);
+    EXPECT_EQ(r->context.span_id, r->context.request_id);  // root span
+    ids.push_back(r->context.request_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+
+  // Same seed, fresh service: the id *stream* is deterministic.
+  ScoringService replay(options);
+  Result<ScoreResponse> first = replay.Score(MakeRequest(fx, "lr"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(),
+                        first->context.request_id) != ids.end());
+}
+
+TEST(ScoringServiceTest, PreStampedContextIsPropagatedNotReplaced) {
+  const Fixture fx = MakeFixture();
+  ScoringService service;
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.context = obs::RootContext(0xc0ffee);
+  Result<ScoreResponse> r = service.Score(request);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->context.request_id, 0xc0ffeeu);
+}
+
 TEST(ScoringServiceTest, ClearCacheForcesRefit) {
   const Fixture fx = MakeFixture();
   ScoringService service;

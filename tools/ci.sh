@@ -27,6 +27,14 @@
 #          lock-free code), and the committed BENCH_monitor.json must
 #          match the record_bench.py monitor schema — hot path under
 #          1 µs/event, zero pre-onset alerts, every drift kind detected.
+# Stage 8: Telemetry-export gate: the HDR histogram and telemetry suites
+#          re-run under TSan (concurrent record + merge), tools/obs_export
+#          drives a mini serve workload through the full export pipeline,
+#          and the Prometheus text is cross-checked by *two* independent
+#          validators (the C++ obs::ValidatePrometheusText and the Python
+#          grammar in record_bench.py --check-prom) plus a JSONL structure
+#          check that follows one request id from its request record into
+#          an alert record and the Chrome trace.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -110,6 +118,17 @@ for a in bench["approaches"]:
     assert a["warm_speedup"] >= 10, (
         f"{a['id']}: warm cache only {a['warm_speedup']}x over fit-then-score"
     )
+    pct = a.get("latency_percentiles")
+    assert pct, f"{a['id']}: missing latency_percentiles (HDR block)"
+    for side in ("cold", "warm"):
+        p = pct[side]
+        assert p["count"] > 0, f"{a['id']}: empty {side} histogram"
+        assert 0 < p["p50_ns"] <= p["p95_ns"] <= p["p99_ns"], (
+            f"{a['id']}: non-monotone {side} percentiles"
+        )
+        assert 0 < p["relative_error"] <= 0.05, (
+            f"{a['id']}: HDR relative error {p['relative_error']}"
+        )
 print(f"BENCH_serve.json ok: {len(bench['approaches'])} approaches, "
       f"min speedup {min(a['warm_speedup'] for a in bench['approaches'])}x")
 EOF
@@ -141,6 +160,47 @@ for s in bench["scenarios"]:
 print(f"BENCH_monitor.json ok: max "
       f"{max(s['ns_per_event'] for s in bench['scenarios'])} ns/event, "
       "0 pre-onset alerts")
+EOF
+
+echo "==> Stage 8: Telemetry-export gate (TSan HDR/telemetry, export round-trip)"
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j "${JOBS}" \
+    -R 'hdr_histogram_test|telemetry_test|request_trace_e2e_test'
+EXPORT_DIR="build-ci/obs-export"
+mkdir -p "${EXPORT_DIR}"
+build-ci/tools/obs_export --dir "${EXPORT_DIR}" --rows 1500 --requests 12
+# Two independent opinions on the Prometheus text: the C++ validator the
+# exporter ships with, and a from-the-spec Python grammar.
+build-ci/tools/obs_export --check "${EXPORT_DIR}/metrics.prom"
+python3 tools/record_bench.py --check-prom "${EXPORT_DIR}/metrics.prom"
+python3 - "${EXPORT_DIR}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{d}/events.jsonl") if l.strip()]
+header, records = lines[0], lines[1:]
+assert header["type"] == "header", header
+assert header["format"] == "fairbench-events-v1", header
+assert header["manifest_hash"], "no manifest hash in JSONL header"
+requests = [r for r in records if r["type"] == "request"]
+alerts = [r for r in records if r["type"] == "alert"]
+assert requests, "no request records exported"
+assert alerts, "rigged policy fired no alert record"
+ids = {r["request_id"] for r in requests}
+assert all(len(i) == 16 for i in ids), "request ids must be 16 hex chars"
+# The request-id join: the alert's window range must point at exported
+# request records, and the same id must appear on a trace span.
+linked = {a["begin_request_id"] for a in alerts} | {
+    a["end_request_id"] for a in alerts}
+assert linked & ids, f"alert ids {linked} never scored"
+trace = json.load(open(f"{d}/trace.json"))
+span_ids = {e.get("args", {}).get("request_id")
+            for e in trace["traceEvents"]} - {None}
+joined = linked & ids & span_ids
+assert joined, "no request id spans JSONL request+alert records and a trace"
+manifest = json.load(open(f"{d}/manifest.json"))
+assert manifest.get("git_commit"), "manifest missing git provenance"
+print(f"export join ok: {len(requests)} requests, {len(alerts)} alerts, "
+      f"{len(span_ids)} traced ids, joined on {sorted(joined)}")
 EOF
 
 echo "==> CI passed"

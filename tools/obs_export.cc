@@ -1,0 +1,218 @@
+// Telemetry export smoke tool: drives a miniature serving workload with the
+// full request-scoped telemetry pipeline enabled and writes every export
+// format the obs subsystem produces, then re-validates them. CI stage 8
+// runs this and cross-checks the outputs with an independent Python parser
+// (tools/record_bench.py --check-prom).
+//
+//   obs_export --dir out [--rows n] [--seed n] [--requests n] [--batch n]
+//
+//     Scores --requests batches through a ScoringService observed by a
+//     FairnessMonitor whose alert policy is rigged to fire (an absolute
+//     positive-rate bound no real stream satisfies), so the export carries
+//     all three record kinds: request events, alert events, and trace
+//     spans sharing one request-id space. Writes to --dir:
+//
+//       metrics.prom   Prometheus text 0.0.4 (counters, gauges, fixed
+//                      histograms, HDR summaries with exemplars)
+//       events.jsonl   JSONL event log (header + request + alert records)
+//       trace.json     Chrome trace-event JSON with args.request_id
+//       manifest.json  RunManifest (seed, build flags, git provenance)
+//
+//     Exits nonzero if the workload fails, the Prometheus text does not
+//     pass obs::ValidatePrometheusText, or no alert event was exported.
+//
+//   obs_export --check file.prom
+//
+//     Validates an existing exposition file with the same C++ checker and
+//     exits 0/1. (The Python-side check is the independent opinion.)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/export.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "monitor/fairness_monitor.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "serve/scoring_service.h"
+
+using namespace fairbench;
+
+namespace {
+
+int CheckFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const Status valid = obs::ValidatePrometheusText(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: valid Prometheus text exposition\n", path.c_str());
+  return 0;
+}
+
+int WriteOrDie(const std::string& path, const std::string& contents,
+               const char* what) {
+  const Status status = WriteTextFile(path, contents);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", what, path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string check_path;
+  std::size_t rows = 2000;
+  uint64_t seed = 42;
+  std::size_t requests = 24;
+  std::size_t batch_rows = 120;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_rows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --dir out [--rows n] [--seed n] [--requests n] "
+                   "[--batch n]\n       %s --check file.prom\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  if (!check_path.empty()) return CheckFile(check_path);
+  if (dir.empty()) {
+    std::fprintf(stderr, "one of --dir or --check is required\n");
+    return 2;
+  }
+
+#if !FAIRBENCH_OBS_ENABLED
+  std::fprintf(stderr,
+               "obs_export: built with -DFAIRBENCH_OBS=OFF; nothing to "
+               "export\n");
+  return 3;
+#else
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::EventLog::Global().Clear();
+  obs::Tracer::Global().Clear();
+  obs::SetMetricsEnabled(true);
+  obs::SetEventsEnabled(true);
+  obs::Tracer::Global().SetEnabled(true);
+
+  const PopulationConfig config = GermanConfig();
+  Result<Dataset> data = GeneratePopulation(config, rows, seed);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(seed);
+  SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  if (split.test.size() > batch_rows) split.test.resize(batch_rows);
+  Result<std::pair<Dataset, Dataset>> parts = MaterializeSplit(*data, split);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 parts.status().ToString().c_str());
+    return 1;
+  }
+
+  // A policy rigged to breach on every window: no real stream has a
+  // positive rate above 1, so the absolute lower bound of 1.5 fires as
+  // soon as the first full window is evaluated. That guarantees the JSONL
+  // export exercises the alert record path.
+  monitor::FairnessMonitorOptions mopts;
+  mopts.window.max_events = batch_rows;
+  mopts.stride_events = batch_rows;
+  mopts.ci.resamples = 20;
+  for (std::size_t s = 0; s < monitor::kNumSeries; ++s) {
+    mopts.alerts.series[s].enabled = false;
+  }
+  monitor::SeriesPolicy& rigged =
+      mopts.alerts.policy(monitor::Series::kPositiveRate);
+  rigged.enabled = true;
+  rigged.mode = monitor::AlertMode::kAbsoluteBounds;
+  rigged.lower_bound = 1.5;
+  rigged.consecutive = 1;
+  monitor::FairnessMonitor monitor(mopts);
+
+  serve::ScoringServiceOptions sopts;
+  sopts.run.seed = seed;
+  sopts.observer = &monitor;
+  serve::ScoringService service(sopts);
+
+  serve::ScoreRequest request;
+  request.approach_id = "lr";
+  request.train = &parts->first;
+  request.data = &parts->second;
+  std::size_t ok_requests = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    Result<serve::ScoreResponse> response = service.Score(request);
+    if (response.ok()) ++ok_requests;
+  }
+  monitor.Drain();
+  std::printf("scored %zu/%zu requests, %zu alert(s) fired\n", ok_requests,
+              requests, monitor.alerts().size());
+  if (ok_requests == 0) {
+    std::fprintf(stderr, "no request succeeded; nothing exported\n");
+    return 1;
+  }
+
+  obs::RunManifest manifest = obs::MakeRunManifest(argv[0]);
+  manifest.seed = seed;
+  const std::string manifest_json = manifest.ToJson();
+  const std::string hash = manifest.Hash();
+
+  const std::string prom =
+      obs::PrometheusText(obs::CaptureTelemetry(), hash);
+  const Status prom_ok = obs::ValidatePrometheusText(prom);
+  if (!prom_ok.ok()) {
+    std::fprintf(stderr, "exporter produced invalid Prometheus text: %s\n",
+                 prom_ok.ToString().c_str());
+    return 1;
+  }
+  const std::string events = obs::EventLog::Global().ToJsonl(hash);
+  if (events.find("\"type\":\"alert\"") == std::string::npos) {
+    std::fprintf(stderr, "rigged alert policy produced no alert event\n");
+    return 1;
+  }
+
+  int failures = 0;
+  failures += WriteOrDie(dir + "/metrics.prom", prom, "prometheus text");
+  failures += WriteOrDie(dir + "/events.jsonl", events, "jsonl events");
+  failures += WriteOrDie(dir + "/trace.json",
+                         obs::Tracer::Global().ToChromeJson(manifest_json),
+                         "chrome trace");
+  failures += WriteOrDie(dir + "/manifest.json", manifest_json + "\n",
+                         "manifest");
+  return failures == 0 ? 0 : 1;
+#endif
+}

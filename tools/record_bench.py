@@ -21,7 +21,21 @@ Two input shapes, detected automatically:
 
    Collapses each approach's repetitions to the median (the 1-vCPU noise
    policy: repetitions + median, never a single run) and reports cold vs
-   warm requests/second plus the warm-cache speedup.
+   warm requests/second plus the warm-cache speedup. When the raw JSON
+   carries the HDR "latency_ns" block (one sample per request, pooled
+   across repetitions), each approach gains a "latency_percentiles"
+   summary with cold/warm p50/p95/p99 and the histogram's relative error.
+
+Extra mode:
+
+       tools/record_bench.py --check-prom metrics.prom
+
+   Parses a Prometheus text-format (0.0.4) exposition file written by the
+   obs exporter with an independent Python-side grammar check: every
+   sample line must be `name{labels} value`, every histogram family must
+   end with +Inf/_sum/_count, quantile labels must be within [0,1], and
+   the fairbench manifest-hash header comment must be present. Exits 1
+   with a line per violation.
 
 3. per-repetition output from bench/monitor_drift -> BENCH_monitor.json:
 
@@ -37,6 +51,8 @@ Two input shapes, detected automatically:
 """
 
 import json
+import math
+import re
 import statistics
 import sys
 
@@ -94,21 +110,35 @@ def distill_serve(raw: dict) -> dict:
         reps = approach["repetitions"]
         cold = statistics.median(r["cold_seconds"] for r in reps)
         warm = statistics.median(r["warm_seconds_per_request"] for r in reps)
-        out["approaches"].append(
-            {
-                "id": approach["id"],
-                "repetitions": len(reps),
-                "cold": {
-                    "seconds_per_request": round(cold, 6),
-                    "req_per_sec": round(1.0 / cold, 2) if cold > 0 else None,
-                },
-                "warm": {
-                    "seconds_per_request": round(warm, 6),
-                    "req_per_sec": round(1.0 / warm, 2) if warm > 0 else None,
-                },
-                "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+        entry = {
+            "id": approach["id"],
+            "repetitions": len(reps),
+            "cold": {
+                "seconds_per_request": round(cold, 6),
+                "req_per_sec": round(1.0 / cold, 2) if cold > 0 else None,
+            },
+            "warm": {
+                "seconds_per_request": round(warm, 6),
+                "req_per_sec": round(1.0 / warm, 2) if warm > 0 else None,
+            },
+            "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+        }
+        # Percentile passthrough from the bench's HDR histograms. Unlike the
+        # median blocks above these are per-request tails, not per-rep
+        # averages, so they are reported as-is (already a summary).
+        latency = approach.get("latency_ns")
+        if latency:
+            entry["latency_percentiles"] = {
+                side: {
+                    "count": block["count"],
+                    "p50_ns": block["p50_ns"],
+                    "p95_ns": block["p95_ns"],
+                    "p99_ns": block["p99_ns"],
+                    "relative_error": block["relative_error"],
+                }
+                for side, block in latency.items()
             }
-        )
+        out["approaches"].append(entry)
     return out
 
 
@@ -159,7 +189,119 @@ def distill_monitor(raw: dict) -> dict:
     return out
 
 
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{([^}]*)\})?"  # optional label set
+    r"\s+(\S+)"  # value
+    r"(?:\s+\d+)?$"  # optional timestamp
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def check_prometheus(path: str) -> int:
+    """Independent grammar check of a text-format 0.0.4 exposition file.
+
+    Deliberately written against the spec, not against the C++ exporter's
+    source, so a formatting bug in the exporter cannot also hide in its
+    validator. Returns the number of violations (0 = clean).
+    """
+    errors = []
+    histogram_families = set()  # TYPE histogram names awaiting +Inf/_sum/_count
+    seen_suffix = {}  # family -> set of structural suffixes observed
+    saw_manifest_header = False
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "manifest_hash" in line:
+                saw_manifest_header = True
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_NAME.fullmatch(parts[2]):
+                    errors.append(f"{path}:{i}: malformed {parts[1]} comment")
+                elif parts[1] == "TYPE":
+                    if parts[3] not in ("counter", "gauge", "histogram",
+                                        "summary", "untyped"):
+                        errors.append(f"{path}:{i}: unknown TYPE {parts[3]!r}")
+                    elif parts[3] == "histogram":
+                        histogram_families.add(parts[2])
+                        seen_suffix.setdefault(parts[2], set())
+            continue
+        m = _SAMPLE.match(line)
+        if not m:
+            errors.append(f"{path}:{i}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        if labels is not None:
+            for pair in _split_labels(labels):
+                lm = _LABEL.match(pair)
+                if not lm:
+                    errors.append(f"{path}:{i}: bad label {pair!r}")
+                elif lm.group(1) == "quantile":
+                    q = float(lm.group(2))
+                    if not 0.0 <= q <= 1.0:
+                        errors.append(f"{path}:{i}: quantile {q} outside [0,1]")
+        try:
+            v = float(value)
+        except ValueError:
+            errors.append(f"{path}:{i}: non-numeric value {value!r}")
+            continue
+        for family in histogram_families:
+            if name == family + "_bucket":
+                if labels and 'le="+Inf"' in labels:
+                    seen_suffix[family].add("+Inf")
+                if math.isnan(v) or v < 0:
+                    errors.append(f"{path}:{i}: negative bucket count")
+            elif name == family + "_sum":
+                seen_suffix[family].add("_sum")
+            elif name == family + "_count":
+                seen_suffix[family].add("_count")
+    for family in sorted(histogram_families):
+        missing = {"+Inf", "_sum", "_count"} - seen_suffix[family]
+        if missing:
+            errors.append(
+                f"{path}: histogram {family} missing {sorted(missing)}"
+            )
+    if not saw_manifest_header:
+        errors.append(f"{path}: no manifest_hash header comment")
+    for error in errors:
+        print(f"prom check failed: {error}", file=sys.stderr)
+    if not errors:
+        samples = sum(
+            1 for l in lines if l and not l.startswith("#")
+        )
+        print(f"{path} ok: {samples} samples, "
+              f"{len(histogram_families)} histogram families")
+    return len(errors)
+
+
+def _split_labels(labels: str):
+    """Splits a label body on commas that are outside quoted values."""
+    out, depth_quote, start = [], False, 0
+    i = 0
+    while i < len(labels):
+        c = labels[i]
+        if c == "\\" and depth_quote:
+            i += 2
+            continue
+        if c == '"':
+            depth_quote = not depth_quote
+        elif c == "," and not depth_quote:
+            out.append(labels[start:i])
+            start = i + 1
+        i += 1
+    tail = labels[start:]
+    if tail:
+        out.append(tail)
+    return out
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--check-prom":
+        return 1 if check_prometheus(sys.argv[2]) else 0
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
