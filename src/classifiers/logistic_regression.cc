@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "classifiers/sparse_logistic.h"
 #include "common/string_util.h"
 #include "linalg/kernels.h"
 #include "linalg/solve.h"
+#include "optim/cg_newton.h"
 #include "optim/gradient_descent.h"
 #include "serve/artifact.h"
 
@@ -134,6 +136,67 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
 
   intercept_ = theta[0];
   coef_.assign(theta.begin() + 1, theta.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status LogisticRegression::FitSparse(const SparseMatrix& x,
+                                     const std::vector<int>& y,
+                                     const Vector& weights) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (y.size() != n || weights.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("LogisticRegression::FitSparse: %zu rows vs %zu labels / "
+                  "%zu weights",
+                  n, y.size(), weights.size()));
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("LogisticRegression::FitSparse: empty data");
+  }
+  FAIRBENCH_RETURN_NOT_OK(x.Validate());
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument(
+          "LogisticRegression::FitSparse: labels not 0/1");
+    }
+  }
+
+  // Same initialization as the dense path: intercept at the base-rate
+  // log-odds.
+  Vector theta(d + 1, 0.0);
+  double pos = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos += weights[i] * y[i];
+    total += weights[i];
+  }
+  const double base = std::clamp(pos / std::max(total, 1e-12), 1e-6, 1.0 - 1e-6);
+  theta[0] = std::log(base / (1.0 - base));
+
+  SparseLogisticLoss loss(x, y, weights);
+  const double l2 = options_.l2;
+  Objective obj = [&](const Vector& t, Vector* grad) {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    double v = loss.Evaluate(t, grad);
+    for (std::size_t j = 1; j <= d; ++j) {
+      v += 0.5 * l2 * t[j] * t[j];
+      (*grad)[j] += l2 * t[j];
+    }
+    return v;
+  };
+  HessianVectorProduct hvp = [&](const Vector&, const Vector& v, Vector* hv) {
+    std::fill(hv->begin(), hv->end(), 0.0);
+    loss.AddHessianVec(v, hv);
+    for (std::size_t j = 1; j <= d; ++j) (*hv)[j] += l2 * v[j];
+  };
+  CgNewtonOptions options;
+  options.max_iterations = options_.max_iterations;
+  options.tolerance = options_.tolerance;
+  OptimResult r = MinimizeCgNewton(obj, hvp, std::move(theta), options);
+
+  intercept_ = r.x[0];
+  coef_.assign(r.x.begin() + 1, r.x.end());
   fitted_ = true;
   return Status::OK();
 }

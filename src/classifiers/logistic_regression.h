@@ -8,11 +8,14 @@
 
 namespace fairbench {
 
+class SparseMatrix;
+
 /// Options for L2-regularized logistic regression.
 struct LogisticRegressionOptions {
   double l2 = 1e-3;          ///< Ridge penalty on the weights (not intercept).
   int max_iterations = 100;  ///< Newton (IRLS) iterations.
-  double tolerance = 1e-8;   ///< Stop on max |step|.
+  double tolerance = 1e-8;   ///< Stop on max |step| (IRLS) / ||grad||_inf
+                             ///< (sparse CG-Newton).
 };
 
 /// L2-regularized logistic regression trained by Newton-IRLS with a
@@ -28,6 +31,14 @@ class LogisticRegression final : public Classifier {
 
   Status Fit(const Matrix& x, const std::vector<int>& y,
              const Vector& weights) override;
+  /// Sparse training path: minimizes the same penalized objective over a
+  /// CSR design with the truncated CG-Newton solver (optim/cg_newton.h),
+  /// so a wide one-hot design never materializes the dense IRLS Hessian.
+  /// The fitted model is interchangeable with the dense fit (same
+  /// predict/serialize paths); the solution agrees within optimizer
+  /// tolerance but is not bit-identical to Fit().
+  Status FitSparse(const SparseMatrix& x, const std::vector<int>& y,
+                   const Vector& weights);
   Result<double> PredictProba(const Vector& features) const override;
   /// Fused batch path: one GemvBiasSigmoid pass over the design matrix.
   Result<std::vector<double>> PredictProbaBatch(const Matrix& x) const override;

@@ -1,0 +1,61 @@
+#include "classifiers/sparse_logistic.h"
+
+#include <algorithm>
+
+#include "linalg/kernels.h"
+#include "linalg/sparse_kernels.h"
+
+namespace fairbench {
+
+SparseLogisticLoss::SparseLogisticLoss(const SparseMatrix& x,
+                                       const std::vector<int>& y,
+                                       const Vector& weights)
+    : x_(&x),
+      y_(&y),
+      weights_(&weights),
+      p_(x.rows(), 0.0),
+      g_(x.rows(), 0.0),
+      r_(x.rows(), 0.0),
+      xr_(x.cols(), 0.0),
+      gram_scratch_(x.cols(), 0.0),
+      col_scratch_(x.cols(), 0.0) {}
+
+double SparseLogisticLoss::Evaluate(const Vector& theta, Vector* grad) {
+  const std::size_t n = x_->rows();
+  const std::size_t d = x_->cols();
+  const double loss = linalg::SpSigmoidResidual(
+      *x_, theta.data(), y_->data(), weights_->data(), p_.data(), g_.data());
+  (*grad)[0] += Sum(g_);
+  linalg::SpMVT(*x_, g_.data(), col_scratch_.data());
+  for (std::size_t j = 0; j < d; ++j) (*grad)[j + 1] += col_scratch_[j];
+  // Curvature cache for AddHessianVec.
+  for (std::size_t i = 0; i < n; ++i) {
+    r_[i] = std::max((*weights_)[i] * p_[i] * (1.0 - p_[i]), 1e-12);
+  }
+  linalg::SpMVT(*x_, r_.data(), xr_.data());
+  rsum_ = Sum(r_);
+  return loss;
+}
+
+void SparseLogisticLoss::AddHessianVec(const Vector& v, Vector* hv) const {
+  const std::size_t d = x_->cols();
+  const double* v1 = v.data() + 1;
+  // Block form: hv0 += (X^T r) . v1 + v0 sum(r);
+  //             hv1 += X^T diag(r) X v1 + v0 X^T r.
+  (*hv)[0] += linalg::Dot(xr_.data(), v1, d) + v[0] * rsum_;
+  linalg::SpWeightedGramVec(*x_, r_.data(), v1, gram_scratch_.data());
+  const double v0 = v[0];
+  for (std::size_t j = 0; j < d; ++j) {
+    (*hv)[j + 1] += gram_scratch_[j] + v0 * xr_[j];
+  }
+}
+
+Vector DecisionValuesSparse(const SparseMatrix& x, const Vector& theta) {
+  Vector z(x.rows(), 0.0);
+  if (x.rows() == 0) return z;
+  linalg::SpMV(x, theta.data() + 1, z.data());
+  for (double& zi : z) zi += theta[0];
+  return z;
+}
+
+}  // namespace fairbench

@@ -1,0 +1,65 @@
+#ifndef FAIRBENCH_CLASSIFIERS_SPARSE_LOGISTIC_H_
+#define FAIRBENCH_CLASSIFIERS_SPARSE_LOGISTIC_H_
+
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "linalg/vector_ops.h"
+
+namespace fairbench {
+
+/// Weighted logistic log-loss over a CSR design with an explicit
+/// intercept: the shared objective core of the sparse CG-Newton training
+/// paths (LogisticRegression::FitSparse and the sparse ZAFAR variants via
+/// fair/in/logistic_base). Parameters are theta = [intercept, w_1..w_d].
+///
+/// The class owns the scratch the fused kernels need and caches the
+/// curvature state of the last Evaluate() call — the IRLS weights
+/// r_i = max(w_i p_i (1-p_i), 1e-12), their column projection X^T r and
+/// sum — so AddHessianVec() costs one SpWeightedGramVec pass and no
+/// forward pass. That caching is sound under MinimizeCgNewton's contract:
+/// Hessian-vector products are only requested at the point of the most
+/// recent objective evaluation.
+class SparseLogisticLoss {
+ public:
+  /// Borrows x/y/weights; they must outlive the object. Requires
+  /// y.size() == weights.size() == x.rows().
+  SparseLogisticLoss(const SparseMatrix& x, const std::vector<int>& y,
+                     const Vector& weights);
+
+  std::size_t dim() const { return x_->cols() + 1; }
+
+  /// Returns the weighted log-loss at theta (size dim()) and *adds* its
+  /// gradient into *grad (size dim(), caller-initialized), mirroring the
+  /// dense AccumulateLogLoss convention. Refreshes the curvature cache.
+  double Evaluate(const Vector& theta, Vector* grad);
+
+  /// Adds H v into *hv, where H is the loss Hessian
+  ///   [ sum r,  (X^T r)^T       ]
+  ///   [ X^T r,  X^T diag(r) X   ]
+  /// at the last Evaluate() point. v and hv have size dim().
+  void AddHessianVec(const Vector& v, Vector* hv) const;
+
+  /// Sigmoid probabilities from the last Evaluate() (size rows).
+  const Vector& probabilities() const { return p_; }
+
+ private:
+  const SparseMatrix* x_;
+  const std::vector<int>* y_;
+  const Vector* weights_;
+  Vector p_;            ///< sigmoid(z) at the last Evaluate.
+  Vector g_;            ///< w_i (p_i - y_i).
+  Vector r_;            ///< Curvature weights.
+  Vector xr_;           ///< X^T r.
+  double rsum_ = 0.0;   ///< sum r.
+  mutable Vector gram_scratch_;  ///< SpWeightedGramVec output (cols).
+  Vector col_scratch_;           ///< X^T g (cols).
+};
+
+/// Decision values z_i = theta[0] + row_i . theta[1..] for all rows: the
+/// sparse counterpart of fair/in/logistic_base's DecisionValues.
+Vector DecisionValuesSparse(const SparseMatrix& x, const Vector& theta);
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_CLASSIFIERS_SPARSE_LOGISTIC_H_

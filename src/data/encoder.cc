@@ -82,6 +82,52 @@ Result<Vector> FeatureEncoder::TransformRow(const Dataset& dataset,
   return TransformRow(dataset, row, dataset.sensitive()[row]);
 }
 
+Result<SparseMatrix> FeatureEncoder::TransformSparse(
+    const Dataset& dataset) const {
+  FAIRBENCH_RETURN_NOT_OK(CheckSchema(dataset));
+  const std::size_t n = dataset.num_rows();
+  SparseMatrixBuilder builder(dims_);
+  // Upper bound on entries per row: every numeric column plus one
+  // indicator per categorical column plus S.
+  std::size_t per_row = means_.size() + 1;
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).type == ColumnType::kCategorical) ++per_row;
+  }
+  builder.Reserve(n * per_row);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t d = 0;
+    std::size_t numeric_idx = 0;
+    for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+      const ColumnSpec& spec = schema_.column(c);
+      if (spec.type == ColumnType::kNumeric) {
+        const double value = (dataset.NumericAt(c, r) - means_[numeric_idx]) /
+                             stddevs_[numeric_idx];
+        // Skip exact zeros (constant columns, values at the mean): they
+        // densify back to the same +0.0 the dense path writes.
+        if (value != 0.0) builder.Add(d, value);
+        ++d;
+        ++numeric_idx;
+      } else {
+        const int code = dataset.CodeAt(c, r);
+        const std::size_t card = spec.cardinality();
+        // Reference coding: category 0 (and any single-category column)
+        // emits nothing.
+        if (code > 0 && static_cast<std::size_t>(code) < card) {
+          builder.Add(d + static_cast<std::size_t>(code) - 1, 1.0);
+        }
+        d += card > 1 ? card - 1 : 0;
+      }
+    }
+    if (include_sensitive_) {
+      const double s = static_cast<double>(dataset.sensitive()[r]);
+      if (s != 0.0) builder.Add(d, s);
+      ++d;
+    }
+    builder.FinishRow();
+  }
+  return std::move(builder).Build();
+}
+
 Status FeatureEncoder::SaveState(ArtifactWriter* writer) const {
   if (!fitted_) {
     return Status::FailedPrecondition(

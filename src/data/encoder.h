@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "data/dataset.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace fairbench {
 
@@ -33,6 +34,16 @@ class FeatureEncoder {
 
   /// Encodes all rows. The dataset must have the same schema it was fit on.
   Result<Matrix> Transform(const Dataset& dataset) const;
+
+  /// Encodes all rows directly into canonical CSR, never materializing the
+  /// dense design: one-hot indicators contribute one entry per categorical
+  /// column (none for the dropped reference category), standardized
+  /// numerics one entry unless the value standardizes to exactly 0.0.
+  /// Densifying the result (SparseMatrix::ToDense) is byte-identical to
+  /// Transform() on the same dataset — enforced by
+  /// tests/data/sparse_encoder_test.cc over all four calibrated
+  /// generators.
+  Result<SparseMatrix> TransformSparse(const Dataset& dataset) const;
 
   /// Encodes one row.
   Result<Vector> TransformRow(const Dataset& dataset, std::size_t row) const;

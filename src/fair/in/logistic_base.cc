@@ -37,6 +37,12 @@ Result<Matrix> EncodedLogisticInProcessor::EncodeTrain(const Dataset& train,
   return encoder_.Transform(train);
 }
 
+Result<SparseMatrix> EncodedLogisticInProcessor::EncodeTrainSparse(
+    const Dataset& train, bool include_sensitive) {
+  FAIRBENCH_RETURN_NOT_OK(encoder_.Fit(train, include_sensitive));
+  return encoder_.TransformSparse(train);
+}
+
 void EncodedLogisticInProcessor::InstallParameters(const Vector& theta) {
   Vector coef(theta.begin() + 1, theta.end());
   model_.SetParameters(std::move(coef), theta[0]);

@@ -27,6 +27,13 @@ class EncodedLogisticInProcessor : public InProcessor {
   /// Fits the encoder on `train` and returns the design matrix.
   Result<Matrix> EncodeTrain(const Dataset& train, bool include_sensitive);
 
+  /// Fits the encoder on `train` and returns the design directly as
+  /// canonical CSR (FeatureEncoder::TransformSparse) — same encoding as
+  /// EncodeTrain without ever materializing the dense matrix. Used by the
+  /// sparse CG-Newton training paths.
+  Result<SparseMatrix> EncodeTrainSparse(const Dataset& train,
+                                         bool include_sensitive);
+
   /// Installs optimized parameters theta = [intercept, w...] into model_.
   void InstallParameters(const Vector& theta);
 

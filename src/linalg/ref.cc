@@ -1,5 +1,6 @@
 #include "linalg/ref.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fairbench::linalg::ref {
@@ -68,6 +69,19 @@ void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
   }
 }
 
+void WeightedGramVec(const double* a, std::size_t rows, std::size_t cols,
+                     const double* w, const double* v, double* out) {
+  for (std::size_t c = 0; c < cols; ++c) out[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double t = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) t += row[c] * v[c];
+    const double s = w[r] * t;
+    if (s == 0.0) continue;
+    for (std::size_t c = 0; c < cols; ++c) out[c] += s * row[c];
+  }
+}
+
 double Sigmoid(double z) {
   if (z >= 0.0) {
     const double e = std::exp(-z);
@@ -85,6 +99,24 @@ void GemvBiasSigmoid(const double* a, std::size_t rows, std::size_t cols,
     for (std::size_t c = 0; c < cols; ++c) z += theta[1 + c] * row[c];
     p[r] = Sigmoid(z);
   }
+}
+
+double SigmoidResidual(const double* a, std::size_t rows, std::size_t cols,
+                       const double* theta, const int* y, const double* w,
+                       double* p, double* g) {
+  double loss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * cols;
+    double z = theta[0];
+    for (std::size_t c = 0; c < cols; ++c) z += theta[1 + c] * row[c];
+    const double pr = Sigmoid(z);
+    p[r] = pr;
+    g[r] = w[r] * (pr - static_cast<double>(y[r]));
+    const double zpos = std::max(z, 0.0);
+    loss += w[r] * (zpos - z * static_cast<double>(y[r]) +
+                    std::log(std::exp(-zpos) + std::exp(z - zpos)));
+  }
+  return loss;
 }
 
 }  // namespace fairbench::linalg::ref

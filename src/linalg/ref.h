@@ -45,8 +45,24 @@ void MatMul(const double* a, std::size_t m, std::size_t k, const double* b,
 void WeightedGram(const double* a, std::size_t rows, std::size_t cols,
                   const double* w, double* out);
 
+/// out = A^T diag(w) (A v): the row-scaled Gram product, evaluated one row
+/// at a time (t = row . v, then out += (w_r * t) * row) without forming
+/// the Gram matrix. Dense oracle for the sparse SpWeightedGramVec kernel;
+/// out has `cols` entries and is overwritten. Rows whose scale w_r * t is
+/// exactly zero are skipped (the GemvT-style zero-skip).
+void WeightedGramVec(const double* a, std::size_t rows, std::size_t cols,
+                     const double* w, const double* v, double* out);
+
 /// Numerically stable logistic sigmoid (the seed LogisticRegression form).
 double Sigmoid(double z);
+
+/// Fused logistic forward + residual pass: p[i] = Sigmoid(theta[0] +
+/// row_i . theta[1..]), g[i] = w[i] * (p[i] - y[i]); returns the summed
+/// stable weighted log-loss. Dense oracle for the sparse SpSigmoidResidual
+/// kernel; p and g have `rows` entries and are overwritten.
+double SigmoidResidual(const double* a, std::size_t rows, std::size_t cols,
+                       const double* theta, const int* y, const double* w,
+                       double* p, double* g);
 
 /// p[i] = Sigmoid(theta[0] + sum_j A(i,j) * theta[1 + j]): the fused
 /// logistic-loss forward pass. theta has cols + 1 entries (bias first).

@@ -1,0 +1,137 @@
+#include "linalg/sparse.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fairbench {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<std::size_t> row_ptr,
+                           std::vector<std::uint32_t> col_idx,
+                           std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  SparseMatrixBuilder builder(dense.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    const double* row = dense.Row(r);
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0) builder.Add(c, row[c]);
+    }
+    builder.FinishRow();
+  }
+  // Column order is ascending by construction, so Build cannot fail.
+  return std::move(builder).Build().value();
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = out.Row(r);
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      row[col_idx_[k]] = values_[k];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Status SparseMatrix::Validate() const {
+  if (row_ptr_.size() != rows_ + 1) {
+    return Status::InvalidArgument(
+        StrFormat("SparseMatrix: row_ptr has %zu entries for %zu rows",
+                  row_ptr_.size(), rows_));
+  }
+  if (row_ptr_.front() != 0) {
+    return Status::InvalidArgument("SparseMatrix: row_ptr[0] != 0");
+  }
+  if (row_ptr_.back() != values_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("SparseMatrix: row_ptr end %zu != nnz %zu", row_ptr_.back(),
+                  values_.size()));
+  }
+  if (col_idx_.size() != values_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("SparseMatrix: %zu column indices vs %zu values",
+                  col_idx_.size(), values_.size()));
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) {
+      return Status::InvalidArgument(
+          StrFormat("SparseMatrix: row_ptr decreases at row %zu", r));
+    }
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] >= cols_) {
+        return Status::InvalidArgument(
+            StrFormat("SparseMatrix: column %u out of range at row %zu",
+                      col_idx_[k], r));
+      }
+      if (k > row_ptr_[r] && col_idx_[k] <= col_idx_[k - 1]) {
+        return Status::InvalidArgument(StrFormat(
+            "SparseMatrix: columns not strictly increasing in row %zu "
+            "(%u after %u)",
+            r, col_idx_[k], col_idx_[k - 1]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string SparseMatrix::ToString(int precision) const {
+  std::string out =
+      StrFormat("SparseMatrix %zux%zu nnz=%zu\n", rows_, cols_, nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out += StrFormat("  (%zu, %u) = %.*f\n", r, col_idx_[k], precision,
+                       values_[k]);
+    }
+  }
+  return out;
+}
+
+void SparseMatrixBuilder::Reserve(std::size_t nnz) {
+  col_idx_.reserve(nnz);
+  values_.reserve(nnz);
+}
+
+void SparseMatrixBuilder::Add(std::size_t col, double value) {
+  if (error_.empty()) {
+    if (col >= cols_) {
+      error_ = StrFormat("column %zu out of range (cols=%zu) in row %zu", col,
+                         cols_, row_ptr_.size() - 1);
+    } else if (col_idx_.size() > row_ptr_.back() &&
+               col <= col_idx_.back()) {
+      error_ = StrFormat("column %zu not after %u in row %zu", col,
+                         col_idx_.back(), row_ptr_.size() - 1);
+    }
+  }
+  col_idx_.push_back(static_cast<std::uint32_t>(col));
+  values_.push_back(value);
+}
+
+void SparseMatrixBuilder::FinishRow() { row_ptr_.push_back(values_.size()); }
+
+Result<SparseMatrix> SparseMatrixBuilder::Build() && {
+  if (!error_.empty()) {
+    return Status::InvalidArgument("SparseMatrixBuilder: " + error_);
+  }
+  if (row_ptr_.back() != values_.size()) {
+    return Status::InvalidArgument(
+        "SparseMatrixBuilder: last row not finished (missing FinishRow)");
+  }
+  const std::size_t rows = row_ptr_.size() - 1;
+  return SparseMatrix(rows, cols_, std::move(row_ptr_), std::move(col_idx_),
+                      std::move(values_));
+}
+
+}  // namespace fairbench

@@ -1,0 +1,122 @@
+#ifndef FAIRBENCH_LINALG_SPARSE_H_
+#define FAIRBENCH_LINALG_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace fairbench {
+
+/// Compressed-sparse-row matrix of doubles.
+///
+/// The storage behind the sparse feature path: one-hot encoded design
+/// matrices are > 90% exact zeros, and the CG-Newton training loop only
+/// ever touches them through matrix-vector shaped products
+/// (linalg/sparse_kernels.h), so CSR — row extents + column indices +
+/// values — is the natural layout. Column indices are 32-bit (feature
+/// spaces here are bounded far below 2^32) which halves the index
+/// bandwidth of the SpMV-style kernels.
+///
+/// Invariants (canonical form, checked by Validate() and preserved by
+/// every constructor path):
+///  - row_ptr has rows()+1 monotonically non-decreasing entries with
+///    row_ptr[0] == 0 and row_ptr[rows()] == nnz();
+///  - within each row, column indices are strictly increasing (sorted and
+///    duplicate-free) and < cols().
+///
+/// Explicitly stored zeros are permitted (they arise when a caller stores
+/// a computed value that happens to round to 0.0); FromDense never creates
+/// them. Canonical ordering is what makes the sparse kernels *bit-exact*
+/// against the dense linalg::ref oracles on densified inputs: both sides
+/// accumulate the surviving terms in the same left-to-right column order
+/// (see DESIGN.md §9, "Sparse oracle contract").
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Adopts prebuilt CSR arrays. Prefer SparseMatrixBuilder or FromDense;
+  /// this constructor is for deserialization-style callers that already
+  /// hold canonical arrays. Invariants are NOT rechecked here — call
+  /// Validate() on untrusted input.
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<std::size_t> row_ptr,
+               std::vector<std::uint32_t> col_idx, std::vector<double> values);
+
+  /// CSR copy of `dense`, dropping exact zeros (+0.0 and -0.0).
+  static SparseMatrix FromDense(const Matrix& dense);
+
+  /// Dense row-major copy; unstored entries densify to +0.0.
+  Matrix ToDense() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  bool empty() const { return rows_ == 0 && cols_ == 0; }
+
+  /// nnz / (rows * cols); 0 for degenerate shapes.
+  double Density() const;
+
+  /// First stored-entry index of row r (into col_idx()/values()).
+  std::size_t RowBegin(std::size_t r) const { return row_ptr_[r]; }
+  /// One past the last stored-entry index of row r.
+  std::size_t RowEnd(std::size_t r) const { return row_ptr_[r + 1]; }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Checks every canonical-form invariant; returns InvalidArgument with a
+  /// description of the first violation. Cheap (one pass over the arrays).
+  Status Validate() const;
+
+  /// Human-readable dump (triplet list) for debugging.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Streaming row-major builder: emit entries of row r in strictly
+/// increasing column order, FinishRow() after each row (empty rows are
+/// just consecutive FinishRow() calls). The encoder's sparse one-hot path
+/// writes through this so the CSR is canonical by construction, with no
+/// sort or dedup pass.
+class SparseMatrixBuilder {
+ public:
+  explicit SparseMatrixBuilder(std::size_t cols) : cols_(cols) {}
+
+  /// Reserves entry capacity (rows * expected nnz per row).
+  void Reserve(std::size_t nnz);
+
+  /// Appends (current row, col, value). Requires col < cols and col
+  /// strictly greater than the previous Add in this row; violations are
+  /// surfaced by Build().
+  void Add(std::size_t col, double value);
+
+  /// Closes the current row.
+  void FinishRow();
+
+  /// Finalizes the matrix. Returns InvalidArgument if any Add violated
+  /// the canonical ordering (the builder records the first violation
+  /// rather than asserting, so runtime-shaped callers get a Status).
+  Result<SparseMatrix> Build() &&;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+  std::string error_;
+};
+
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_LINALG_SPARSE_H_

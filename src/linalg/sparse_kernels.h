@@ -1,0 +1,61 @@
+#ifndef FAIRBENCH_LINALG_SPARSE_KERNELS_H_
+#define FAIRBENCH_LINALG_SPARSE_KERNELS_H_
+
+#include <cstddef>
+
+#include "linalg/sparse.h"
+
+namespace fairbench::linalg {
+
+/// Sparse kernels over canonical CSR matrices (linalg/sparse.h): the hot
+/// path of the sparse feature pipeline — SpMV-shaped products for the
+/// CG-Newton training loop, so one-hot design matrices never materialize
+/// dense Hessians (or even dense rows).
+///
+/// Oracle contract (DESIGN.md §9, "Sparse oracle contract"): every kernel
+/// here has a dense `linalg::ref` counterpart — ref::Gemv for SpMV,
+/// ref::GemvT for SpMVT, ref::WeightedGramVec for SpWeightedGramVec,
+/// ref::SigmoidResidual for SpSigmoidResidual — and must produce
+/// *bit-exact* results against that oracle run on the densified matrix.
+/// This is stronger than the dense optimized tier's reassociation
+/// tolerance, and it is achievable because the sparse kernels do not
+/// reassociate at all: they accumulate the stored entries of each row in
+/// ascending column order, exactly the order the naive dense loop visits
+/// the surviving (non-zero) terms. Skipped zeros contribute ±0.0 to a
+/// never-negative-zero accumulator under round-to-nearest, which cannot
+/// change any bit of the result for finite inputs.
+/// tests/linalg/sparse_kernel_differential_test.cc enforces equality (not
+/// a tolerance) over randomized canonical CSR inputs.
+///
+/// Every kernel records `linalg.<kernel>.calls` / `.flops` obs counters
+/// (flops = 2·nnz-scaled), compiled out under -DFAIRBENCH_OBS=OFF.
+
+/// y = A x; y (rows) is overwritten. Oracle: ref::Gemv on ToDense().
+void SpMV(const SparseMatrix& a, const double* x, double* y);
+
+/// y = A^T x; y (cols) is overwritten. Mirrors ref::GemvT's zero-skip on
+/// x so scaled rows never contribute a signed zero. Oracle: ref::GemvT.
+void SpMVT(const SparseMatrix& a, const double* x, double* y);
+
+/// out = A^T diag(w) (A v): the row-scaled Gram product, i.e. the
+/// Hessian-vector product core of CG-Newton logistic training
+/// (w_i = weight_i * p_i * (1 - p_i)). out (cols) is overwritten. One
+/// fused pass per row: t = row . v, then out += (w_r * t) * row. Oracle:
+/// ref::WeightedGramVec.
+void SpWeightedGramVec(const SparseMatrix& a, const double* w, const double* v,
+                       double* out);
+
+/// Fused logistic forward + residual pass:
+///   z_i = theta[0] + row_i . theta[1..],
+///   p[i] = sigmoid(z_i),
+///   g[i] = w[i] * (p[i] - y[i]),
+/// returning the accumulated stable weighted log-loss
+///   sum_i w[i] * (max(z,0) - z*y + log(exp(-max(z,0)) + exp(z-max(z,0)))).
+/// theta has cols+1 entries (bias first); p and g (rows) are overwritten.
+/// Oracle: ref::SigmoidResidual.
+double SpSigmoidResidual(const SparseMatrix& a, const double* theta,
+                         const int* y, const double* w, double* p, double* g);
+
+}  // namespace fairbench::linalg
+
+#endif  // FAIRBENCH_LINALG_SPARSE_KERNELS_H_

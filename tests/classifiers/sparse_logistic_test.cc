@@ -1,0 +1,153 @@
+#include "classifiers/sparse_logistic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "classifiers/logistic_regression.h"
+#include "data/encoder.h"
+#include "data/generators/population.h"
+#include "linalg/ref.h"
+
+namespace fairbench {
+namespace {
+
+TEST(SparseLogisticLossTest, EvaluateMatchesDenseOracleBitExact) {
+  const Dataset data = GenerateGerman(300, 21).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data, false).ok());
+  const SparseMatrix x = encoder.TransformSparse(data).value();
+  const Matrix xd = x.ToDense();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const Vector& w = data.weights();
+
+  Vector theta(d + 1, 0.0);
+  for (std::size_t j = 0; j <= d; ++j) {
+    theta[j] = 0.05 * static_cast<double>(j % 7) - 0.1;
+  }
+  SparseLogisticLoss loss(x, data.labels(), w);
+  Vector grad(d + 1, 0.0);
+  const double v = loss.Evaluate(theta, &grad);
+
+  // Oracle: the fused dense reference pass plus the same accumulation
+  // shape for the gradient.
+  Vector p(n, 0.0), g(n, 0.0);
+  const double v_ref = linalg::ref::SigmoidResidual(
+      xd.Row(0), n, d, theta.data(), data.labels().data(), w.data(), p.data(),
+      g.data());
+  EXPECT_EQ(v, v_ref);
+  double g0 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) g0 += g[i];
+  EXPECT_EQ(grad[0], g0);
+  Vector gcols(d, 0.0);
+  linalg::ref::GemvT(xd.Row(0), n, d, g.data(), gcols.data());
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_EQ(grad[j + 1], gcols[j]) << "grad component " << j;
+  }
+}
+
+TEST(SparseLogisticLossTest, HessianVecMatchesFiniteDifferences) {
+  const Dataset data = GenerateGerman(200, 22).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data, false).ok());
+  const SparseMatrix x = encoder.TransformSparse(data).value();
+  const std::size_t d = x.cols();
+  SparseLogisticLoss loss(x, data.labels(), data.weights());
+
+  Vector theta(d + 1, 0.01);
+  Vector v(d + 1, 0.0);
+  for (std::size_t j = 0; j <= d; ++j) {
+    v[j] = std::cos(static_cast<double>(j));
+  }
+  // H v ~ (grad(theta + h v) - grad(theta - h v)) / 2h.
+  const double h = 1e-6;
+  Vector plus = theta, minus = theta;
+  for (std::size_t j = 0; j <= d; ++j) {
+    plus[j] += h * v[j];
+    minus[j] -= h * v[j];
+  }
+  Vector grad_plus(d + 1, 0.0), grad_minus(d + 1, 0.0);
+  loss.Evaluate(plus, &grad_plus);
+  loss.Evaluate(minus, &grad_minus);
+  // Refresh the curvature cache at theta itself (the caching contract).
+  Vector grad(d + 1, 0.0);
+  loss.Evaluate(theta, &grad);
+  Vector hv(d + 1, 0.0);
+  loss.AddHessianVec(v, &hv);
+  for (std::size_t j = 0; j <= d; ++j) {
+    const double fd = (grad_plus[j] - grad_minus[j]) / (2.0 * h);
+    EXPECT_NEAR(hv[j], fd, 1e-3 * (1.0 + std::fabs(fd))) << "component " << j;
+  }
+}
+
+TEST(SparseLogisticTest, FitSparseAgreesWithDenseFit) {
+  const Dataset data = GenerateAdult(2000, 23).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data, false).ok());
+  const Matrix xd = encoder.Transform(data).value();
+  const SparseMatrix xs = encoder.TransformSparse(data).value();
+
+  LogisticRegression dense;
+  ASSERT_TRUE(dense.Fit(xd, data.labels(), data.weights()).ok());
+  LogisticRegression sparse;
+  ASSERT_TRUE(sparse.FitSparse(xs, data.labels(), data.weights()).ok());
+
+  // Different solver (IRLS vs CG-Newton), same strictly convex optimum.
+  EXPECT_NEAR(sparse.intercept(), dense.intercept(), 1e-4);
+  ASSERT_EQ(sparse.coefficients().size(), dense.coefficients().size());
+  for (std::size_t j = 0; j < dense.coefficients().size(); ++j) {
+    EXPECT_NEAR(sparse.coefficients()[j], dense.coefficients()[j], 1e-4)
+        << "coefficient " << j;
+  }
+  // Probabilities agree on every row.
+  for (std::size_t r = 0; r < 100; ++r) {
+    Vector row(xd.cols(), 0.0);
+    for (std::size_t j = 0; j < xd.cols(); ++j) row[j] = xd(r, j);
+    EXPECT_NEAR(sparse.PredictProba(row).value(),
+                dense.PredictProba(row).value(), 1e-5);
+  }
+}
+
+TEST(SparseLogisticTest, FitSparseValidatesInput) {
+  LogisticRegression model;
+  const SparseMatrix empty;
+  EXPECT_EQ(model.FitSparse(empty, {}, {}).code(),
+            StatusCode::kInvalidArgument);
+
+  SparseMatrixBuilder b(2);
+  b.Add(0, 1.0);
+  b.FinishRow();
+  b.Add(1, -1.0);
+  b.FinishRow();
+  const SparseMatrix x = std::move(b).Build().value();
+  EXPECT_EQ(model.FitSparse(x, {0, 2}, {1.0, 1.0}).code(),
+            StatusCode::kInvalidArgument);  // bad label
+  EXPECT_EQ(model.FitSparse(x, {0}, {1.0}).code(),
+            StatusCode::kInvalidArgument);  // size mismatch
+}
+
+TEST(SparseLogisticTest, DecisionValuesSparseMatchesDense) {
+  const Dataset data = GenerateCompas(400, 24).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data, true).ok());
+  const SparseMatrix xs = encoder.TransformSparse(data).value();
+  const Matrix xd = xs.ToDense();
+  Vector theta(xs.cols() + 1, 0.0);
+  for (std::size_t j = 0; j < theta.size(); ++j) {
+    theta[j] = 0.1 * static_cast<double>(j % 5) - 0.2;
+  }
+  const Vector z = DecisionValuesSparse(xs, theta);
+  ASSERT_EQ(z.size(), xs.rows());
+  for (std::size_t r = 0; r < xs.rows(); ++r) {
+    double want = theta[0];
+    for (std::size_t j = 0; j < xs.cols(); ++j) {
+      want += theta[j + 1] * xd(r, j);
+    }
+    EXPECT_NEAR(z[r], want, 1e-12) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,181 @@
+// FeatureEncoder::TransformSparse contract: densifying the CSR result is
+// *byte-identical* to the dense Transform() on the same dataset — same
+// values, same zero signs, for every calibrated generator and both
+// include_sensitive settings. The comparison below is over raw bit
+// patterns, so a sparse path that produced -0.0 where the dense path
+// writes +0.0 (or vice versa) fails.
+
+#include "data/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "data/generators/population.h"
+
+namespace fairbench {
+namespace {
+
+uint64_t Bits(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void ExpectSparseMatchesDense(const FeatureEncoder& encoder,
+                              const Dataset& data, const char* label) {
+  const Result<Matrix> dense = encoder.Transform(data);
+  ASSERT_TRUE(dense.ok()) << label << ": " << dense.status().ToString();
+  const Result<SparseMatrix> sparse = encoder.TransformSparse(data);
+  ASSERT_TRUE(sparse.ok()) << label << ": " << sparse.status().ToString();
+  ASSERT_TRUE(sparse->Validate().ok()) << label;
+  ASSERT_EQ(sparse->rows(), dense->rows()) << label;
+  ASSERT_EQ(sparse->cols(), dense->cols()) << label;
+  const Matrix densified = sparse->ToDense();
+  for (std::size_t r = 0; r < dense->rows(); ++r) {
+    for (std::size_t c = 0; c < dense->cols(); ++c) {
+      ASSERT_EQ(Bits(densified(r, c)), Bits((*dense)(r, c)))
+          << label << ": bit mismatch at (" << r << "," << c
+          << "): sparse " << densified(r, c) << " dense " << (*dense)(r, c);
+    }
+  }
+}
+
+TEST(SparseEncoderTest, DensifiesByteIdenticalOnAllGenerators) {
+  struct Case {
+    const char* name;
+    Result<Dataset> data;
+    // Sanity ceiling on stored density: the categorical-heavy generators
+    // (adult, german) are mostly zeros after one-hot reference coding;
+    // compas and credit are numeric-dominated and stay denser.
+    double max_density;
+  };
+  const Case cases[] = {
+      {"adult", GenerateAdult(400, 11), 0.6},
+      {"compas", GenerateCompas(400, 12), 0.9},
+      {"german", GenerateGerman(400, 13), 0.6},
+      {"credit", GenerateCredit(400, 14), 0.9},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.data.ok()) << c.name;
+    for (const bool include_s : {false, true}) {
+      FeatureEncoder encoder;
+      ASSERT_TRUE(encoder.Fit(*c.data, include_s).ok()) << c.name;
+      ExpectSparseMatchesDense(encoder, *c.data, c.name);
+      const SparseMatrix sp = encoder.TransformSparse(*c.data).value();
+      EXPECT_LT(sp.Density(), c.max_density) << c.name;
+    }
+  }
+}
+
+TEST(SparseEncoderTest, TrainFitTestTransformMatches) {
+  // Leakage-free protocol shape: statistics from train, sparse transform
+  // of a differently-seeded test split must still densify byte-identical.
+  const Dataset train = GenerateAdult(500, 3).value();
+  const Dataset test = GenerateAdult(200, 4).value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(train, true).ok());
+  ExpectSparseMatchesDense(encoder, test, "adult train/test");
+}
+
+TEST(SparseEncoderTest, ReferenceAndUnseenCategoriesEmitNoEntries) {
+  Schema schema;
+  ColumnSpec cat;
+  cat.name = "c";
+  cat.type = ColumnType::kCategorical;
+  cat.categories = {"a", "b", "c"};
+  ASSERT_TRUE(schema.AddColumn(cat).ok());
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({}, {0}, 0, 0).ok());  // reference category
+  ASSERT_TRUE(ds.AppendRow({}, {1}, 1, 1).ok());
+  ASSERT_TRUE(ds.AppendRow({}, {2}, 0, 1).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const SparseMatrix sp = encoder.TransformSparse(ds).value();
+  // Row 0 ("a", the dropped reference) stores nothing; the others store
+  // exactly their indicator.
+  EXPECT_EQ(sp.RowBegin(0), sp.RowEnd(0));
+  EXPECT_EQ(sp.RowEnd(1) - sp.RowBegin(1), 1u);
+  EXPECT_EQ(sp.RowEnd(2) - sp.RowBegin(2), 1u);
+  EXPECT_EQ(sp.nnz(), 2u);
+  ExpectSparseMatchesDense(encoder, ds, "reference coding");
+}
+
+TEST(SparseEncoderTest, SingleCategoryColumnContributesNoDims) {
+  Schema schema;
+  ColumnSpec only;
+  only.name = "only";
+  only.type = ColumnType::kCategorical;
+  only.categories = {"sole"};
+  ColumnSpec num;
+  num.name = "x";
+  num.type = ColumnType::kNumeric;
+  ASSERT_TRUE(schema.AddColumn(only).ok());
+  ASSERT_TRUE(schema.AddColumn(num).ok());
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({1.0}, {0}, 0, 0).ok());
+  ASSERT_TRUE(ds.AppendRow({2.0}, {0}, 1, 1).ok());
+  ASSERT_TRUE(ds.AppendRow({3.0}, {0}, 0, 1).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  EXPECT_EQ(encoder.dims(), 1u);  // only the numeric column survives
+  ExpectSparseMatchesDense(encoder, ds, "single-category");
+}
+
+TEST(SparseEncoderTest, StandardizedZerosAndConstantColumnsAreNotStored) {
+  // The middle value equals the column mean, so it standardizes to
+  // exactly 0.0 and must be skipped; a constant column standardizes to
+  // all zeros and must store nothing at all.
+  Schema schema;
+  ColumnSpec num;
+  num.name = "x";
+  num.type = ColumnType::kNumeric;
+  ColumnSpec constant;
+  constant.name = "const";
+  constant.type = ColumnType::kNumeric;
+  ASSERT_TRUE(schema.AddColumn(num).ok());
+  ASSERT_TRUE(schema.AddColumn(constant).ok());
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({1.0, 7.0}, {}, 0, 0).ok());
+  ASSERT_TRUE(ds.AppendRow({2.0, 7.0}, {}, 1, 1).ok());
+  ASSERT_TRUE(ds.AppendRow({3.0, 7.0}, {}, 0, 1).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const SparseMatrix sp = encoder.TransformSparse(ds).value();
+  EXPECT_EQ(sp.nnz(), 2u);  // rows 0 and 2 of "x" only
+  EXPECT_EQ(sp.RowBegin(1), sp.RowEnd(1));
+  ExpectSparseMatchesDense(encoder, ds, "standardized zeros");
+}
+
+TEST(SparseEncoderTest, SensitiveColumnStoredOnlyWhenNonzero) {
+  Schema schema;
+  ColumnSpec num;
+  num.name = "x";
+  num.type = ColumnType::kNumeric;
+  ASSERT_TRUE(schema.AddColumn(num).ok());
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({1.0}, {}, 0, 0).ok());
+  ASSERT_TRUE(ds.AppendRow({2.0}, {}, 1, 1).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, true).ok());
+  const SparseMatrix sp = encoder.TransformSparse(ds).value();
+  // Row 0: numeric entry only (s = 0 skipped); row 1: numeric + s.
+  EXPECT_EQ(sp.RowEnd(0) - sp.RowBegin(0), 1u);
+  EXPECT_EQ(sp.RowEnd(1) - sp.RowBegin(1), 2u);
+  ExpectSparseMatchesDense(encoder, ds, "sensitive entry");
+}
+
+TEST(SparseEncoderTest, UnfittedAndMismatchedUsesAreErrors) {
+  const Dataset ds = GenerateGerman(50, 1).value();
+  FeatureEncoder encoder;
+  EXPECT_EQ(encoder.TransformSparse(ds).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(encoder.Fit(ds, false).ok());
+  const Dataset other = GenerateAdult(50, 1).value();
+  EXPECT_EQ(encoder.TransformSparse(other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -111,6 +111,62 @@ TEST(ZafarTest, ErrorsBeforeFit) {
             StatusCode::kFailedPrecondition);
 }
 
+// The opt-in sparse CG-Newton path minimizes the same penalized
+// surrogates over the CSR design; it must land on a model that is
+// fairness- and accuracy-equivalent to the dense trajectory (identical
+// iterates are not expected — different solver, same optimum).
+TEST(ZafarTest, SparseNewtonDpFairMatchesDenseQuality) {
+  const Dataset data = GenerateAdult(5000, 1).value();
+  FairContext ctx;
+  ZafarOptions dense_opt;
+  dense_opt.variant = ZafarVariant::kDpFair;
+  Zafar dense_model(dense_opt);
+  ASSERT_TRUE(dense_model.Fit(data, ctx).ok());
+
+  ZafarOptions sparse_opt = dense_opt;
+  sparse_opt.use_sparse_newton = true;
+  Zafar sparse_model(sparse_opt);
+  ASSERT_TRUE(sparse_model.Fit(data, ctx).ok());
+
+  EXPECT_LT(sparse_model.last_covariance(), 0.05);
+  const std::vector<int> pd = Predict(dense_model, data);
+  const std::vector<int> ps = Predict(sparse_model, data);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < pd.size(); ++i) agree += pd[i] == ps[i];
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(pd.size()), 0.95);
+}
+
+TEST(ZafarTest, SparseNewtonDpAccKeepsAccuracy) {
+  const Dataset data = GenerateAdult(5000, 3).value();
+  ZafarOptions options;
+  options.variant = ZafarVariant::kDpAcc;
+  options.use_sparse_newton = true;
+  Zafar zafar(options);
+  FairContext ctx;
+  ASSERT_TRUE(zafar.Fit(data, ctx).ok());
+  const std::vector<int> pred = Predict(zafar, data);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == data.labels()[i];
+  }
+  EXPECT_GT(correct / static_cast<double>(pred.size()), 0.80);
+}
+
+TEST(ZafarTest, SparseNewtonEoFairBalancesErrorRates) {
+  const Dataset data = GenerateAdult(6000, 4).value();
+  ZafarOptions options;
+  options.variant = ZafarVariant::kEoFair;
+  options.use_sparse_newton = true;
+  Zafar zafar(options);
+  FairContext ctx;
+  ASSERT_TRUE(zafar.Fit(data, ctx).ok());
+  const GroupStats gs =
+      BuildGroupStats(data.labels(), Predict(zafar, data), data.sensitive())
+          .value();
+  EXPECT_LT(std::fabs(TprBalance(gs)), 0.18);
+  EXPECT_LT(std::fabs(TnrBalance(gs)), 0.10);
+}
+
 TEST(ZafarTest, VariantNames) {
   ZafarOptions o;
   o.variant = ZafarVariant::kDpFair;

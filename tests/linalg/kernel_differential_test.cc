@@ -5,7 +5,9 @@
 // shapes (empty, 1xN, Nx1, non-square, tail sizes around the unroll and
 // blocking widths) and values (uniform, sparse-with-zeros, and ill-scaled
 // magnitudes up to 1e+/-150) through every kernel pair, >= 1000 cases per
-// kernel.
+// kernel. Each case seeds its own generator via DeriveSeed(base, case), so
+// a failure message's case id reproduces that exact case standalone — no
+// need to replay the preceding stream.
 //
 // Agreement contract (documented in DESIGN.md "Linalg kernels"): optimized
 // and reference kernels may differ only by floating-point reassociation.
@@ -94,8 +96,8 @@ std::size_t RandomDim(Rng& rng) {
 }
 
 TEST(KernelDifferentialTest, Dot) {
-  Rng rng(101);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(101, static_cast<uint64_t>(c)));
     const std::size_t n = RandomDim(rng);
     const std::vector<double> a = RandomVector(rng, n, 150.0);
     const std::vector<double> b = RandomVector(rng, n, 150.0);
@@ -109,8 +111,8 @@ TEST(KernelDifferentialTest, Dot) {
 }
 
 TEST(KernelDifferentialTest, Axpy) {
-  Rng rng(202);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(202, static_cast<uint64_t>(c)));
     const std::size_t n = RandomDim(rng);
     const double alpha = RandomValue(rng, static_cast<int>(rng.UniformInt(3)),
                                     100.0);
@@ -129,8 +131,8 @@ TEST(KernelDifferentialTest, Axpy) {
 }
 
 TEST(KernelDifferentialTest, Gemv) {
-  Rng rng(303);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(303, static_cast<uint64_t>(c)));
     const std::size_t rows = RandomDim(rng);
     const std::size_t cols = RandomDim(rng);
     const std::vector<double> a = RandomVector(rng, rows * cols, 150.0);
@@ -151,8 +153,8 @@ TEST(KernelDifferentialTest, Gemv) {
 }
 
 TEST(KernelDifferentialTest, GemvT) {
-  Rng rng(404);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(404, static_cast<uint64_t>(c)));
     const std::size_t rows = RandomDim(rng);
     const std::size_t cols = RandomDim(rng);
     const std::vector<double> a = RandomVector(rng, rows * cols, 150.0);
@@ -173,8 +175,8 @@ TEST(KernelDifferentialTest, GemvT) {
 }
 
 TEST(KernelDifferentialTest, MatMul) {
-  Rng rng(505);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(505, static_cast<uint64_t>(c)));
     // Bias m toward the 4-row block and occasionally exceed the k block
     // (256) so the packed-panel loop runs more than once.
     const std::size_t m = RandomDim(rng);
@@ -203,8 +205,8 @@ TEST(KernelDifferentialTest, MatMul) {
 }
 
 TEST(KernelDifferentialTest, WeightedGram) {
-  Rng rng(606);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(606, static_cast<uint64_t>(c)));
     const std::size_t rows = RandomDim(rng) % 64;
     const std::size_t cols = RandomDim(rng) % 48;
     // Triple products w * a_i * a_j: cap magnitudes at 1e75 so no term
@@ -231,8 +233,8 @@ TEST(KernelDifferentialTest, WeightedGram) {
 }
 
 TEST(KernelDifferentialTest, GemvBiasSigmoid) {
-  Rng rng(707);
   for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(707, static_cast<uint64_t>(c)));
     const std::size_t rows = RandomDim(rng);
     const std::size_t cols = RandomDim(rng) % 128;
     // Moderate magnitudes: the interesting regime is |z| within the exp

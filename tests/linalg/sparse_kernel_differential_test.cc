@@ -1,0 +1,287 @@
+// Differential verification of the sparse CSR kernels against the dense
+// linalg::ref oracles (DESIGN.md §9, "Sparse oracle contract").
+//
+// Property harness: each case derives its own generator via
+// DeriveSeed(base, case) — a failure message's case id reproduces that
+// exact case standalone — and builds a random *canonical* CSR matrix
+// covering the structural edge cases: empty rows, single-entry rows,
+// all-zero (never-stored) columns, and realistic one-hot rows where every
+// stored value is 1.0. The matrix is densified with ToDense() and both
+// sides run on the same data.
+//
+// Agreement contract: EXACT bit equality, not a tolerance. The sparse
+// kernels accumulate each row's stored entries in ascending column order —
+// precisely the surviving terms of the naive dense loop — and the skipped
+// zeros contribute ±0.0 to an accumulator that round-to-nearest never
+// drives to -0.0, so for finite, non-underflowing inputs (value magnitudes
+// here stay within 1e±20) every output double is identical down to the
+// sign of zero. The comparisons below check the raw bit patterns.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/ref.h"
+#include "linalg/sparse.h"
+#include "linalg/sparse_kernels.h"
+
+namespace fairbench {
+namespace {
+
+constexpr int kCasesPerKernel = 600;
+
+/// Bit pattern of a double (distinguishes +0.0 from -0.0, unlike ==).
+uint64_t Bits(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+#define ASSERT_BIT_EQ(opt, ref)                                        \
+  ASSERT_EQ(Bits(opt), Bits(ref))                                      \
+      << "opt=" << (opt) << " ref=" << (ref) << " (bit mismatch) case " \
+      << c
+
+double RandomValue(Rng& rng, int mode) {
+  switch (mode) {
+    case 0:
+      return rng.Uniform(-1.0, 1.0);
+    case 1:
+      return 1.0;  // one-hot indicator
+    default: {
+      const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      return sign * std::pow(10.0, rng.Uniform(-20.0, 20.0));
+    }
+  }
+}
+
+std::vector<double> RandomVector(Rng& rng, std::size_t n) {
+  const int mode = rng.Bernoulli(0.5) ? 0 : 2;
+  std::vector<double> out(n);
+  for (double& v : out) {
+    // 20% exact zeros: exercises the kernels' zero-skip branches.
+    v = rng.Bernoulli(0.2) ? 0.0 : RandomValue(rng, mode);
+  }
+  return out;
+}
+
+std::size_t RandomDim(Rng& rng) {
+  switch (rng.UniformInt(4)) {
+    case 0:
+      return rng.UniformInt(2);  // 0 or 1
+    case 1:
+      return 2 + rng.UniformInt(7);
+    case 2:
+      return 9 + rng.UniformInt(24);
+    default:
+      return 33 + rng.UniformInt(96);
+  }
+}
+
+/// Random canonical CSR. Structural coverage: a random set of banned
+/// columns is never stored (all-zero columns); each row is empty, a
+/// single entry, or a Bernoulli subset of the allowed columns; values are
+/// uniform, exactly 1.0 (one-hot case), or log-uniform in 1e±20.
+SparseMatrix RandomCsr(Rng& rng, std::size_t rows, std::size_t cols) {
+  std::vector<bool> banned(cols, false);
+  if (cols > 1 && rng.Bernoulli(0.5)) {
+    const std::size_t nban = 1 + rng.UniformInt(cols / 2 + 1);
+    for (std::size_t i = 0; i < nban; ++i) {
+      banned[rng.UniformInt(cols)] = true;
+    }
+  }
+  const int value_mode = static_cast<int>(rng.UniformInt(3));
+  const double density = rng.Uniform(0.05, 0.5);
+  SparseMatrixBuilder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const uint64_t row_mode = cols == 0 ? 0 : rng.UniformInt(5);
+    if (row_mode == 1) {
+      const std::size_t col = rng.UniformInt(cols);
+      if (!banned[col]) b.Add(col, RandomValue(rng, value_mode));
+    } else if (row_mode >= 2) {
+      for (std::size_t col = 0; col < cols; ++col) {
+        if (!banned[col] && rng.Bernoulli(density)) {
+          b.Add(col, RandomValue(rng, value_mode));
+        }
+      }
+    }
+    b.FinishRow();
+  }
+  SparseMatrix m = std::move(b).Build().value();
+  EXPECT_TRUE(m.Validate().ok());
+  return m;
+}
+
+TEST(SparseKernelDifferentialTest, SpMVBitExactVsRefGemv) {
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(1101, static_cast<uint64_t>(c)));
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const SparseMatrix a = RandomCsr(rng, rows, cols);
+    const Matrix dense = a.ToDense();
+    const std::vector<double> x = RandomVector(rng, cols);
+    std::vector<double> yr(rows, -1.0);
+    std::vector<double> yo(rows, -2.0);
+    linalg::ref::Gemv(rows ? dense.Row(0) : nullptr, rows, cols, x.data(),
+                      yr.data());
+    linalg::SpMV(a, x.data(), yo.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      ASSERT_BIT_EQ(yo[r], yr[r]) << " shape " << rows << "x" << cols
+                                  << " nnz=" << a.nnz() << " row " << r;
+    }
+  }
+}
+
+TEST(SparseKernelDifferentialTest, SpMVTBitExactVsRefGemvT) {
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(1202, static_cast<uint64_t>(c)));
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const SparseMatrix a = RandomCsr(rng, rows, cols);
+    const Matrix dense = a.ToDense();
+    const std::vector<double> x = RandomVector(rng, rows);
+    std::vector<double> yr(cols, -1.0);
+    std::vector<double> yo(cols, -2.0);
+    linalg::ref::GemvT(rows ? dense.Row(0) : nullptr, rows, cols, x.data(),
+                       yr.data());
+    linalg::SpMVT(a, x.data(), yo.data());
+    for (std::size_t j = 0; j < cols; ++j) {
+      ASSERT_BIT_EQ(yo[j], yr[j]) << " shape " << rows << "x" << cols
+                                  << " nnz=" << a.nnz() << " col " << j;
+    }
+  }
+}
+
+TEST(SparseKernelDifferentialTest, SpWeightedGramVecBitExactVsRef) {
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(1303, static_cast<uint64_t>(c)));
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const SparseMatrix a = RandomCsr(rng, rows, cols);
+    const Matrix dense = a.ToDense();
+    const std::vector<double> w = RandomVector(rng, rows);
+    const std::vector<double> v = RandomVector(rng, cols);
+    std::vector<double> outr(cols, -1.0);
+    std::vector<double> outo(cols, -2.0);
+    linalg::ref::WeightedGramVec(rows ? dense.Row(0) : nullptr, rows, cols,
+                                 w.data(), v.data(), outr.data());
+    linalg::SpWeightedGramVec(a, w.data(), v.data(), outo.data());
+    for (std::size_t j = 0; j < cols; ++j) {
+      ASSERT_BIT_EQ(outo[j], outr[j]) << " shape " << rows << "x" << cols
+                                      << " nnz=" << a.nnz() << " col " << j;
+    }
+  }
+}
+
+TEST(SparseKernelDifferentialTest, SpSigmoidResidualBitExactVsRef) {
+  for (int c = 0; c < kCasesPerKernel; ++c) {
+    Rng rng(DeriveSeed(1404, static_cast<uint64_t>(c)));
+    const std::size_t rows = RandomDim(rng);
+    const std::size_t cols = RandomDim(rng);
+    const SparseMatrix a = RandomCsr(rng, rows, cols);
+    const Matrix dense = a.ToDense();
+    // Moderate theta keeps |z| within the exp range; the loss terms and
+    // sigmoids then exercise real arithmetic rather than saturation.
+    std::vector<double> theta(cols + 1);
+    for (double& t : theta) t = rng.Uniform(-3.0, 3.0);
+    std::vector<int> y(rows);
+    for (int& yi : y) yi = rng.Bernoulli(0.5) ? 1 : 0;
+    std::vector<double> w(rows);
+    for (double& wi : w) wi = rng.Bernoulli(0.1) ? 0.0 : rng.Uniform(0.0, 2.0);
+    std::vector<double> pr(rows, -1.0), gr(rows, -1.0);
+    std::vector<double> po(rows, -2.0), go(rows, -2.0);
+    const double loss_ref = linalg::ref::SigmoidResidual(
+        rows ? dense.Row(0) : nullptr, rows, cols, theta.data(), y.data(),
+        w.data(), pr.data(), gr.data());
+    const double loss_opt = linalg::SpSigmoidResidual(
+        a, theta.data(), y.data(), w.data(), po.data(), go.data());
+    ASSERT_BIT_EQ(loss_opt, loss_ref)
+        << " shape " << rows << "x" << cols << " nnz=" << a.nnz();
+    for (std::size_t r = 0; r < rows; ++r) {
+      ASSERT_BIT_EQ(po[r], pr[r]) << " p row " << r;
+      ASSERT_BIT_EQ(go[r], gr[r]) << " g row " << r;
+    }
+  }
+}
+
+// The canonical one-hot shape the sparse path exists for: every row has
+// exactly one indicator per categorical block plus a handful of numerics.
+// Deterministic construction (no densify-from-random) as a readable
+// anchor next to the property tests.
+TEST(SparseKernelDifferentialTest, OneHotDesignAllKernelsBitExact) {
+  constexpr std::size_t kRows = 64;
+  constexpr std::size_t kNumerics = 3;
+  constexpr std::size_t kBlocks = 5;   // categorical blocks
+  constexpr std::size_t kCard = 8;     // indicators per block
+  constexpr std::size_t kCols = kNumerics + kBlocks * kCard;
+  Rng rng(4242);
+  SparseMatrixBuilder b(kCols);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t j = 0; j < kNumerics; ++j) {
+      b.Add(j, rng.Gaussian());
+    }
+    for (std::size_t blk = 0; blk < kBlocks; ++blk) {
+      // Code 0 models the dropped reference category: no entry.
+      const std::size_t code = rng.UniformInt(kCard + 1);
+      if (code > 0) b.Add(kNumerics + blk * kCard + code - 1, 1.0);
+    }
+    b.FinishRow();
+  }
+  const SparseMatrix a = std::move(b).Build().value();
+  ASSERT_TRUE(a.Validate().ok());
+  EXPECT_LT(a.Density(), 0.25);
+  const Matrix dense = a.ToDense();
+
+  const int c = -1;  // case id for ASSERT_BIT_EQ's message
+  std::vector<double> x(kCols), xr(kRows), w(kRows), v(kCols);
+  for (double& e : x) e = rng.Uniform(-2.0, 2.0);
+  for (double& e : xr) e = rng.Uniform(-2.0, 2.0);
+  for (double& e : w) e = rng.Uniform(0.0, 1.0);
+  for (double& e : v) e = rng.Uniform(-2.0, 2.0);
+
+  std::vector<double> out_ref(kRows), out_opt(kRows);
+  linalg::ref::Gemv(dense.Row(0), kRows, kCols, x.data(), out_ref.data());
+  linalg::SpMV(a, x.data(), out_opt.data());
+  for (std::size_t r = 0; r < kRows; ++r) {
+    ASSERT_BIT_EQ(out_opt[r], out_ref[r]);
+  }
+
+  std::vector<double> col_ref(kCols), col_opt(kCols);
+  linalg::ref::GemvT(dense.Row(0), kRows, kCols, xr.data(), col_ref.data());
+  linalg::SpMVT(a, xr.data(), col_opt.data());
+  for (std::size_t j = 0; j < kCols; ++j) {
+    ASSERT_BIT_EQ(col_opt[j], col_ref[j]);
+  }
+
+  linalg::ref::WeightedGramVec(dense.Row(0), kRows, kCols, w.data(), v.data(),
+                               col_ref.data());
+  linalg::SpWeightedGramVec(a, w.data(), v.data(), col_opt.data());
+  for (std::size_t j = 0; j < kCols; ++j) {
+    ASSERT_BIT_EQ(col_opt[j], col_ref[j]);
+  }
+
+  std::vector<double> theta(kCols + 1);
+  for (double& t : theta) t = rng.Uniform(-1.0, 1.0);
+  std::vector<int> y(kRows);
+  for (int& yi : y) yi = rng.Bernoulli(0.5) ? 1 : 0;
+  std::vector<double> p_ref(kRows), g_ref(kRows), p_opt(kRows), g_opt(kRows);
+  const double l_ref =
+      linalg::ref::SigmoidResidual(dense.Row(0), kRows, kCols, theta.data(),
+                                   y.data(), w.data(), p_ref.data(),
+                                   g_ref.data());
+  const double l_opt = linalg::SpSigmoidResidual(
+      a, theta.data(), y.data(), w.data(), p_opt.data(), g_opt.data());
+  ASSERT_BIT_EQ(l_opt, l_ref);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    ASSERT_BIT_EQ(p_opt[r], p_ref[r]);
+    ASSERT_BIT_EQ(g_opt[r], g_ref[r]);
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -1,0 +1,167 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace {
+
+/// 3x4 example with an empty middle row:
+///   [ 1 0 2 0 ]
+///   [ 0 0 0 0 ]
+///   [ 0 3 0 4 ]
+SparseMatrix Example() {
+  SparseMatrixBuilder b(4);
+  b.Add(0, 1.0);
+  b.Add(2, 2.0);
+  b.FinishRow();
+  b.FinishRow();
+  b.Add(1, 3.0);
+  b.Add(3, 4.0);
+  b.FinishRow();
+  return std::move(b).Build().value();
+}
+
+TEST(SparseMatrixTest, BuilderProducesCanonicalCsr) {
+  const SparseMatrix m = Example();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_TRUE(m.Validate().ok());
+  const std::vector<std::size_t> want_ptr = {0, 2, 2, 4};
+  EXPECT_EQ(m.row_ptr(), want_ptr);
+  const std::vector<std::uint32_t> want_col = {0, 2, 1, 3};
+  EXPECT_EQ(m.col_idx(), want_col);
+  const std::vector<double> want_val = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(m.values(), want_val);
+  EXPECT_EQ(m.RowBegin(1), m.RowEnd(1));  // empty middle row
+  EXPECT_DOUBLE_EQ(m.Density(), 4.0 / 12.0);
+}
+
+TEST(SparseMatrixTest, DefaultIsEmptyAndValid) {
+  const SparseMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+}
+
+TEST(SparseMatrixTest, ToDenseDensifiesUnstoredToZero) {
+  const Matrix d = Example().ToDense();
+  ASSERT_EQ(d.rows(), 3u);
+  ASSERT_EQ(d.cols(), 4u);
+  const double want[3][4] = {
+      {1.0, 0.0, 2.0, 0.0}, {0.0, 0.0, 0.0, 0.0}, {0.0, 3.0, 0.0, 4.0}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(d(r, c), want[r][c]) << "(" << r << "," << c << ")";
+      EXPECT_FALSE(std::signbit(d(r, c)) && d(r, c) == 0.0);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, FromDenseDropsBothSignedZeros) {
+  Matrix d(2, 3, 0.0);
+  d(0, 1) = 5.0;
+  d(1, 0) = -0.0;  // explicit negative zero must not be stored
+  d(1, 2) = -7.0;
+  const SparseMatrix m = SparseMatrix::FromDense(d);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_TRUE(m.Validate().ok());
+  const std::vector<double> want_val = {5.0, -7.0};
+  EXPECT_EQ(m.values(), want_val);
+}
+
+TEST(SparseMatrixTest, FromDenseToDenseRoundTripsRandomMatrices) {
+  for (int c = 0; c < 50; ++c) {
+    Rng rng(DeriveSeed(9001, static_cast<uint64_t>(c)));
+    const std::size_t rows = rng.UniformInt(20);
+    const std::size_t cols = rng.UniformInt(20);
+    Matrix d(rows, cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (rng.Bernoulli(0.3)) d(r, j) = rng.Uniform(-10.0, 10.0);
+      }
+    }
+    const SparseMatrix m = SparseMatrix::FromDense(d);
+    ASSERT_TRUE(m.Validate().ok());
+    const Matrix back = m.ToDense();
+    ASSERT_EQ(back.rows(), rows);
+    ASSERT_EQ(back.cols(), cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        ASSERT_EQ(back(r, j), d(r, j)) << "case " << c;
+      }
+    }
+  }
+}
+
+TEST(SparseMatrixTest, BuilderRejectsOutOfRangeColumn) {
+  SparseMatrixBuilder b(3);
+  b.Add(3, 1.0);
+  b.FinishRow();
+  const Result<SparseMatrix> m = std::move(b).Build();
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, BuilderRejectsNonIncreasingColumns) {
+  SparseMatrixBuilder dup(4);
+  dup.Add(2, 1.0);
+  dup.Add(2, 1.0);  // duplicate
+  dup.FinishRow();
+  EXPECT_EQ(std::move(dup).Build().status().code(),
+            StatusCode::kInvalidArgument);
+
+  SparseMatrixBuilder desc(4);
+  desc.Add(2, 1.0);
+  desc.Add(1, 1.0);  // descending
+  desc.FinishRow();
+  EXPECT_EQ(std::move(desc).Build().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, BuilderRejectsUnfinishedLastRow) {
+  SparseMatrixBuilder b(4);
+  b.Add(0, 1.0);  // no FinishRow()
+  EXPECT_EQ(std::move(b).Build().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, BuilderColumnOrderResetsAcrossRows) {
+  // Column 2 then column 0 is fine when a FinishRow separates them.
+  SparseMatrixBuilder b(3);
+  b.Add(2, 1.0);
+  b.FinishRow();
+  b.Add(0, 1.0);
+  b.FinishRow();
+  const Result<SparseMatrix> m = std::move(b).Build();
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(m->Validate().ok());
+}
+
+TEST(SparseMatrixTest, ValidateCatchesCorruptedArrays) {
+  // Adopting constructor does not validate; corrupted arrays must be
+  // caught by Validate().
+  const SparseMatrix bad_col(2, 3, {0, 1, 2}, {1, 7}, {1.0, 2.0});
+  EXPECT_EQ(bad_col.Validate().code(), StatusCode::kInvalidArgument);
+  const SparseMatrix bad_ptr(2, 3, {0, 2, 1}, {0, 1}, {1.0, 2.0});
+  EXPECT_EQ(bad_ptr.Validate().code(), StatusCode::kInvalidArgument);
+  const SparseMatrix bad_nnz(2, 3, {0, 1, 1}, {0, 1}, {1.0, 2.0});
+  EXPECT_EQ(bad_nnz.Validate().code(), StatusCode::kInvalidArgument);
+  const SparseMatrix unsorted(1, 3, {0, 2}, {2, 0}, {1.0, 2.0});
+  EXPECT_EQ(unsorted.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, ToStringListsTriplets) {
+  const std::string s = Example().ToString(1);
+  EXPECT_NE(s.find("3x4"), std::string::npos);
+  EXPECT_NE(s.find("(0, 2) = 2.0"), std::string::npos);
+  EXPECT_NE(s.find("(2, 3) = 4.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairbench

@@ -35,6 +35,12 @@
 #          grammar in record_bench.py --check-prom) plus a JSONL structure
 #          check that follows one request id from its request record into
 #          an alert record and the Chrome trace.
+# Stage 9: Sparse-tier gate: the CSR matrix/kernel differential suites,
+#          the sparse encoder path, the sparse logistic loss, and the
+#          CG-Newton solver re-run under ASan+UBSan (CSR indexing bugs are
+#          exactly the class those catch), and the committed
+#          BENCH_kernels.json must pass the record_bench.py sparse schema
+#          gate (every sparse family paired ref+opt).
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -202,5 +208,11 @@ assert manifest.get("git_commit"), "manifest missing git provenance"
 print(f"export join ok: {len(requests)} requests, {len(alerts)} alerts, "
       f"{len(span_ids)} traced ids, joined on {sorted(joined)}")
 EOF
+
+echo "==> Stage 9: Sparse-tier gate (ASan sparse/CG-Newton suites, kernel schema)"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R 'sparse_matrix_test|sparse_kernel_differential_test|sparse_encoder_test|sparse_logistic_test|cg_newton_test'
+python3 tools/record_bench.py --check-kernels BENCH_kernels.json
 
 echo "==> CI passed"

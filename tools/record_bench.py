@@ -26,7 +26,17 @@ Two input shapes, detected automatically:
    across repetitions), each approach gains a "latency_percentiles"
    summary with cold/warm p50/p95/p99 and the histogram's relative error.
 
-Extra mode:
+Extra modes:
+
+       tools/record_bench.py --check-kernels BENCH_kernels.json
+
+   Schema gate for the committed kernel record: every entry must carry a
+   well-formed ref block (numeric ns_per_op/gflops), every opt block must
+   be shaped the same with a consistent speedup, and the sparse kernel
+   families introduced with the CSR path (SpMV, SpMVT, SpWeightedGramVec,
+   SpSigmoidResidual, ZafarDpFit) must each be present with BOTH a ref and
+   an opt side — a record that silently dropped the sparse benches cannot
+   be committed. Exits 1 with a line per violation.
 
        tools/record_bench.py --check-prom metrics.prom
 
@@ -189,6 +199,99 @@ def distill_monitor(raw: dict) -> dict:
     return out
 
 
+# Sparse kernel families that BENCH_kernels.json must pair (ref + opt):
+# the CSR tier's contract is "never commit a record that lost its sparse
+# trajectory". Family = the entry's bench name up to the first '/'.
+_REQUIRED_SPARSE_FAMILIES = (
+    "SpMV",
+    "SpMVT",
+    "SpWeightedGramVec",
+    "SpSigmoidResidual",
+    "ZafarDpFit",
+)
+
+
+def _check_timing_block(block, where: str, errors: list) -> None:
+    if not isinstance(block, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for key in ("ns_per_op", "gflops"):
+        v = block.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            errors.append(f"{where}.{key}: missing or non-numeric")
+        elif v < 0 or math.isnan(v) or math.isinf(v):
+            errors.append(f"{where}.{key}: {v} is not a sane measurement")
+
+
+def check_kernels_record(path: str) -> int:
+    """Validates a committed BENCH_kernels.json against the schema that
+    distill_kernels() emits, then gates on the sparse families. Returns the
+    number of violations (0 = clean)."""
+    errors = []
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"kernels check failed: {path}: {e}", file=sys.stderr)
+        return 1
+
+    if record.get("source") != "bench/micro_kernels":
+        errors.append(f"source is {record.get('source')!r}, "
+                      "expected 'bench/micro_kernels'")
+    if not isinstance(record.get("context"), dict):
+        errors.append("missing context object")
+    kernels = record.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        errors.append("kernels must be a non-empty list")
+        kernels = []
+
+    paired = set()  # families that have both ref and opt
+    for i, entry in enumerate(kernels):
+        where = f"kernels[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        bench = entry.get("bench")
+        if not isinstance(bench, str) or not bench:
+            errors.append(f"{where}: missing bench name")
+            bench = "?"
+        where = f"kernels[{i}] ({bench})"
+        _check_timing_block(entry.get("ref"), f"{where}.ref", errors)
+        if "opt" in entry:
+            _check_timing_block(entry["opt"], f"{where}.opt", errors)
+            speedup = entry.get("speedup")
+            if not isinstance(speedup, (int, float)) or isinstance(
+                    speedup, bool):
+                errors.append(f"{where}: opt present but speedup missing")
+            elif speedup <= 0:
+                errors.append(f"{where}: speedup {speedup} <= 0")
+            else:
+                try:
+                    implied = entry["ref"]["ns_per_op"] / entry["opt"][
+                        "ns_per_op"]
+                    if abs(implied - speedup) > 0.05 * max(implied, speedup):
+                        errors.append(
+                            f"{where}: speedup {speedup} inconsistent with "
+                            f"ref/opt ratio {implied:.2f}")
+                except (KeyError, TypeError, ZeroDivisionError):
+                    pass  # already reported by the block checks
+            paired.add(bench.split("/", 1)[0])
+
+    for family in _REQUIRED_SPARSE_FAMILIES:
+        if family not in paired:
+            errors.append(
+                f"sparse family {family!r} missing a paired ref+opt entry")
+
+    for error in errors:
+        print(f"kernels check failed: {error}", file=sys.stderr)
+    if not errors:
+        sparse = [e for e in kernels if e["bench"].split("/")[0]
+                  in _REQUIRED_SPARSE_FAMILIES]
+        print(f"{path} ok: {len(kernels)} kernel entries, "
+              f"{len(sparse)} sparse, all required families paired")
+    return len(errors)
+
+
 _METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _SAMPLE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
@@ -302,6 +405,8 @@ def _split_labels(labels: str):
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--check-prom":
         return 1 if check_prometheus(sys.argv[2]) else 0
+    if len(sys.argv) == 3 and sys.argv[1] == "--check-kernels":
+        return 1 if check_kernels_record(sys.argv[2]) else 0
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
