@@ -26,8 +26,10 @@ int Run(int argc, char** argv) {
   TextTable table;
   table.SetHeader({"lambda", "accuracy", "f1", "di*", "1-|tprb|", "1-|crd|"});
   for (double lambda : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    Pipeline pipeline(std::make_unique<Feld>(lambda), nullptr, nullptr,
-                      /*include_sensitive=*/false);
+    Pipeline pipeline = PipelineBuilder()
+                            .Pre(std::make_unique<Feld>(lambda))
+                            .IncludeSensitiveFeature(false)
+                            .Build();
     Rng rng(args.seed);
     const SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
     Result<std::pair<Dataset, Dataset>> parts =

@@ -43,8 +43,9 @@ int Run(int argc, char** argv) {
               {"NaiveBayes", false, true},
               {"KamCal + NaiveBayes", true, true}};
   for (const auto& row : rows) {
-    Pipeline pipeline(row.repair ? std::make_unique<KamCal>() : nullptr,
-                      nullptr, nullptr);
+    PipelineBuilder builder;
+    if (row.repair) builder.Pre(std::make_unique<KamCal>());
+    Pipeline pipeline = builder.Build();
     if (row.naive_bayes) {
       pipeline.SetBaseClassifier(std::make_unique<NaiveBayes>());
     }

@@ -38,7 +38,7 @@ int Run(int argc, char** argv) {
     options.delta = delta;
     auto thomas = std::make_unique<Thomas>(options);
     const Thomas* raw = thomas.get();
-    Pipeline pipeline(nullptr, std::move(thomas), nullptr);
+    Pipeline pipeline = PipelineBuilder().In(std::move(thomas)).Build();
     if (!pipeline.Fit(parts->first, context).ok()) return 1;
     Result<std::vector<int>> pred = pipeline.Predict(parts->second);
     if (!pred.ok()) return 1;

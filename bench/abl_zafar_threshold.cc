@@ -37,7 +37,7 @@ int Run(int argc, char** argv) {
     options.cov_threshold = threshold;
     auto zafar = std::make_unique<Zafar>(options);
     const Zafar* raw = zafar.get();
-    Pipeline pipeline(nullptr, std::move(zafar), nullptr);
+    Pipeline pipeline = PipelineBuilder().In(std::move(zafar)).Build();
     if (!pipeline.Fit(parts->first, context).ok()) return 1;
     Result<std::vector<int>> pred = pipeline.Predict(parts->second);
     if (!pred.ok()) return 1;

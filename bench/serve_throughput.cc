@@ -33,7 +33,10 @@
 #include "data/generators/population.h"
 #include "data/split.h"
 #include "obs/hdr_histogram.h"
+#include "serve/consistent_hash.h"
+#include "serve/pipeline_artifact.h"
 #include "serve/scoring_service.h"
+#include "serve/sharded_scoring_service.h"
 
 using namespace fairbench;
 
@@ -196,6 +199,189 @@ int main(int argc, char** argv) {
     measurements.push_back(std::move(result));
   }
 
+  // --- Sharded working-set capacity: 4 shards vs one instance. ---
+  //
+  // The working set is 8 (lr, seed) keys against a per-instance cache of
+  // 4: a single service LRU-thrashes (every request round-robins onto an
+  // evicted key and pays a cold fit), while 4 shards partition the keys —
+  // 2 per shard, chosen via the same ring the router uses — and serve
+  // every request warm. On this 1-vCPU host the >=3x sharded win is
+  // aggregate warm-cache capacity, not CPU parallelism; both sides run
+  // the same request stream through the serve::Client interface.
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kKeysPerShard = 2;
+  constexpr std::size_t kShardCapacity = 4;
+  constexpr std::size_t kTimedPasses = 2;
+  std::vector<uint64_t> working_seeds;
+  {
+    const serve::ConsistentHashRing ring(kShards);
+    const uint64_t fingerprint = DatasetFingerprint(train);
+    std::vector<std::size_t> load(kShards, 0);
+    for (uint64_t candidate = 1;
+         candidate <= 512 && working_seeds.size() < kShards * kKeysPerShard;
+         ++candidate) {
+      const std::size_t shard = ring.ShardFor(
+          serve::ConsistentHashRing::KeyHash("lr", fingerprint, candidate));
+      if (load[shard] < kKeysPerShard) {
+        ++load[shard];
+        working_seeds.push_back(candidate);
+      }
+    }
+  }
+  std::vector<serve::ScoreRequest> working_set;
+  for (const uint64_t seed : working_seeds) {
+    serve::ScoreRequest request;
+    request.approach_id = "lr";
+    request.train = &train;
+    request.data = &batch;
+    request.seed = seed;
+    working_set.push_back(request);
+  }
+
+  struct ShardedRep {
+    double single_seconds = 0.0;
+    double sharded_seconds = 0.0;
+    std::size_t single_hits = 0;
+    std::size_t sharded_hits = 0;
+  };
+  // One pass over the working set through any serve::Client.
+  auto run_passes = [&](serve::Client& client, std::size_t passes,
+                        std::size_t* hits, double* seconds) -> bool {
+    Timer timer;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      for (const serve::ScoreRequest& request : working_set) {
+        Result<serve::ScoreResponse> r = client.Score(request);
+        if (!r.ok()) {
+          std::fprintf(stderr, "working-set request failed: %s\n",
+                       r.status().ToString().c_str());
+          return false;
+        }
+        if (r->cache_hit) ++*hits;
+      }
+    }
+    *seconds = timer.ElapsedSeconds();
+    return true;
+  };
+
+  std::vector<ShardedRep> sharded_runs;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    serve::ScoringServiceOptions instance;
+    instance.run.seed = args.seed;
+    instance.run.threads = args.jobs;
+    instance.cache_capacity = kShardCapacity;
+    serve::ScoringService single(instance);
+    serve::ShardedScoringServiceOptions tier;
+    tier.shard = instance;
+    tier.shards = kShards;
+    serve::ShardedScoringService sharded(tier);
+
+    ShardedRep r;
+    double warmup_seconds = 0.0;
+    std::size_t warmup_hits = 0;
+    // One untimed pass: the sharded tier ends fully warm, the single
+    // instance ends with whatever half of the set survived its LRU.
+    if (!run_passes(single, 1, &warmup_hits, &warmup_seconds) ||
+        !run_passes(sharded, 1, &warmup_hits, &warmup_seconds)) {
+      return 1;
+    }
+    if (!run_passes(single, kTimedPasses, &r.single_hits,
+                    &r.single_seconds) ||
+        !run_passes(sharded, kTimedPasses, &r.sharded_hits,
+                    &r.sharded_seconds)) {
+      return 1;
+    }
+    sharded_runs.push_back(r);
+  }
+  {
+    std::vector<double> single_s, sharded_s;
+    for (const ShardedRep& r : sharded_runs) {
+      single_s.push_back(r.single_seconds);
+      sharded_s.push_back(r.sharded_seconds);
+    }
+    std::sort(single_s.begin(), single_s.end());
+    std::sort(sharded_s.begin(), sharded_s.end());
+    const double requests =
+        static_cast<double>(working_set.size() * kTimedPasses);
+    const double single_med = single_s[single_s.size() / 2];
+    const double sharded_med = sharded_s[sharded_s.size() / 2];
+    std::printf(
+        "\nworking set: %zu keys, cache=%zu/instance, %zu shards\n"
+        "%-24s %12s %12s\n%-24s %11.1f  %11.1f\n%-24s %11zu  %11zu\n"
+        "sharded speedup vs single: %.1fx (aggregate warm-cache capacity)\n",
+        working_set.size(), kShardCapacity, kShards, "", "single",
+        "4 shards", "req/s", requests / single_med, requests / sharded_med,
+        "warm hits (of 16)", sharded_runs[reps / 2].single_hits,
+        sharded_runs[reps / 2].sharded_hits,
+        sharded_med > 0.0 ? single_med / sharded_med : 0.0);
+  }
+
+  // --- Zafar serving cold fits: dense IRLS vs sparse CG-Newton. ---
+  //
+  // The three Zafar variants are the registry's expensive cold fits; the
+  // serving tier routes them through ZafarOptions::use_sparse_newton
+  // (MakeServingPipeline). Record the per-variant fit-time delta.
+  struct ColdFitRep {
+    double dense_fit_seconds = 0.0;
+    double sparse_fit_seconds = 0.0;
+  };
+  struct ColdFitResult {
+    std::string id;
+    std::vector<ColdFitRep> runs;
+  };
+  const std::vector<std::string> kZafarVariants = {
+      "zafar_dp_fair", "zafar_dp_acc", "zafar_eo_fair"};
+  std::vector<ColdFitResult> cold_fit_results;
+  std::printf("\n%-16s %14s %14s %9s\n", "zafar cold fit", "dense ms",
+              "sparse ms", "speedup");
+  for (const std::string& id : kZafarVariants) {
+    serve::ScoringServiceOptions dense_options;
+    dense_options.run.seed = args.seed;
+    dense_options.run.threads = args.jobs;
+    dense_options.sparse_cold_fits = false;
+    serve::ScoringService dense_service(dense_options);
+    serve::ScoringServiceOptions sparse_options = dense_options;
+    sparse_options.sparse_cold_fits = true;
+    serve::ScoringService sparse_service(sparse_options);
+
+    serve::ScoreRequest request;
+    request.approach_id = id;
+    request.train = &train;
+    request.data = &batch;
+
+    ColdFitResult result;
+    result.id = id;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      ColdFitRep r;
+      dense_service.ClearCache();
+      sparse_service.ClearCache();
+      Result<serve::ScoreResponse> dense = dense_service.Score(request);
+      Result<serve::ScoreResponse> sparse = sparse_service.Score(request);
+      if (!dense.ok() || !sparse.ok()) {
+        std::fprintf(stderr, "%s: cold fit failed: %s\n", id.c_str(),
+                     (!dense.ok() ? dense : sparse).status().ToString().c_str());
+        return 1;
+      }
+      r.dense_fit_seconds = dense->fit_seconds;
+      r.sparse_fit_seconds = sparse->fit_seconds;
+      result.runs.push_back(r);
+    }
+    std::vector<ColdFitRep> sorted = result.runs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ColdFitRep& a, const ColdFitRep& b) {
+                return a.dense_fit_seconds < b.dense_fit_seconds;
+              });
+    const double dense_med = sorted[sorted.size() / 2].dense_fit_seconds;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ColdFitRep& a, const ColdFitRep& b) {
+                return a.sparse_fit_seconds < b.sparse_fit_seconds;
+              });
+    const double sparse_med = sorted[sorted.size() / 2].sparse_fit_seconds;
+    std::printf("%-16s %13.1f  %13.1f  %7.1fx\n", id.c_str(),
+                dense_med * 1e3, sparse_med * 1e3,
+                sparse_med > 0.0 ? dense_med / sparse_med : 0.0);
+    cold_fit_results.push_back(std::move(result));
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -226,6 +412,43 @@ int main(int argc, char** argv) {
       std::fprintf(f, ", ");
       WriteHdrJson(f, "warm", m.warm_hdr);
       std::fprintf(f, "}}%s\n", i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"sharded\": {\n"
+                 "    \"shards\": %zu,\n"
+                 "    \"cache_capacity_per_instance\": %zu,\n"
+                 "    \"working_set_keys\": %zu,\n"
+                 "    \"requests_per_rep\": %zu,\n"
+                 "    \"mechanism\": \"aggregate warm-cache capacity "
+                 "(1-vCPU host: not CPU parallelism)\",\n"
+                 "    \"repetitions\": [\n",
+                 kShards, kShardCapacity, working_set.size(),
+                 working_set.size() * kTimedPasses);
+    for (std::size_t rep = 0; rep < sharded_runs.size(); ++rep) {
+      const ShardedRep& r = sharded_runs[rep];
+      std::fprintf(f,
+                   "      {\"single_seconds\": %.9f, "
+                   "\"sharded_seconds\": %.9f, \"single_hits\": %zu, "
+                   "\"sharded_hits\": %zu}%s\n",
+                   r.single_seconds, r.sharded_seconds, r.single_hits,
+                   r.sharded_hits,
+                   rep + 1 < sharded_runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n  \"zafar_cold_fit\": [\n");
+    for (std::size_t i = 0; i < cold_fit_results.size(); ++i) {
+      const ColdFitResult& m = cold_fit_results[i];
+      std::fprintf(f, "    {\"id\": \"%s\", \"repetitions\": [\n",
+                   m.id.c_str());
+      for (std::size_t rep = 0; rep < m.runs.size(); ++rep) {
+        std::fprintf(f,
+                     "      {\"dense_fit_seconds\": %.9f, "
+                     "\"sparse_fit_seconds\": %.9f}%s\n",
+                     m.runs[rep].dense_fit_seconds,
+                     m.runs[rep].sparse_fit_seconds,
+                     rep + 1 < m.runs.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n",
+                   i + 1 < cold_fit_results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -36,15 +36,6 @@ class Pipeline {
     double Total() const { return pre_seconds + train_seconds + post_seconds; }
   };
 
-  /// Deprecated positional constructor — kept as a thin compatibility
-  /// wrapper over PipelineBuilder. The trailing bool was easy to mis-order
-  /// against the three stage arguments; new code should use
-  /// PipelineBuilder's named setters instead.
-  Pipeline(std::unique_ptr<PreProcessor> pre,
-           std::unique_ptr<InProcessor> in_processor,
-           std::unique_ptr<PostProcessor> post,
-           bool include_sensitive_feature = true);
-
   /// Swaps the default logistic-regression base model for any Classifier
   /// (pre- and post-processing are model-agnostic — paper §3). Must be
   /// called before Fit(); ignored when an in-processor is present.
@@ -98,6 +89,15 @@ class Pipeline {
   Status LoadState(ArtifactReader* reader);
 
  private:
+  /// Positional construction is builder-only: the trailing bool was easy
+  /// to mis-order against the three stage arguments, so PipelineBuilder's
+  /// named setters are the sole public way to assemble a Pipeline.
+  friend class PipelineBuilder;
+  Pipeline(std::unique_ptr<PreProcessor> pre,
+           std::unique_ptr<InProcessor> in_processor,
+           std::unique_ptr<PostProcessor> post,
+           bool include_sensitive_feature);
+
   /// Feature-transforming pre-processors (Feld) must also map prediction
   /// data through their fitted repair. The transformed copies are cached
   /// per source dataset — including the flipped-S variant the CD metric

@@ -1,0 +1,58 @@
+#include "serve/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace serve {
+namespace {
+
+/// FNV-1a 64 over the approach id (same constants as the artifact
+/// checksum; re-stated here so the routing layer has no serialization
+/// dependency).
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t shards,
+                                       std::size_t replicas_per_shard,
+                                       uint64_t salt)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (replicas_per_shard == 0) replicas_per_shard = 1;
+  points_.reserve(shards_ * replicas_per_shard);
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    const uint64_t shard_stream = DeriveSeed(salt, shard);
+    for (std::size_t replica = 0; replica < replicas_per_shard; ++replica) {
+      points_.emplace_back(DeriveSeed(shard_stream, replica),
+                           static_cast<uint32_t>(shard));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t ConsistentHashRing::ShardFor(uint64_t key_hash) const {
+  // First point strictly clockwise of the key (wrapping past the top).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key_hash, static_cast<uint32_t>(UINT32_MAX)));
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+uint64_t ConsistentHashRing::KeyHash(const std::string& approach_id,
+                                     uint64_t dataset_fingerprint,
+                                     uint64_t seed) {
+  return DeriveSeed(DeriveSeed(Fnv1a(approach_id), dataset_fingerprint),
+                    seed);
+}
+
+}  // namespace serve
+}  // namespace fairbench

@@ -1,0 +1,61 @@
+#ifndef FAIRBENCH_SERVE_CONSISTENT_HASH_H_
+#define FAIRBENCH_SERVE_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fairbench {
+namespace serve {
+
+/// Consistent-hash ring mapping serving cache keys to shard indices.
+///
+/// Each shard owns `replicas_per_shard` points on a 64-bit ring, every
+/// point a pure DeriveSeed function of (salt, shard, replica); a key is
+/// owned by the first point clockwise from its hash. Two properties the
+/// router depends on (pinned by tests/serve/consistent_hash_test.cc):
+///
+///  - **Deterministic**: re-instantiating the ring with the same (shards,
+///    replicas, salt) reproduces every assignment exactly — routing
+///    survives process restarts and is identical across replicas of the
+///    router itself.
+///  - **Minimal disruption**: growing N -> N+1 shards only *adds* points
+///    (existing shards' points never move), so the only keys that move
+///    are those captured by the new shard — ~K/(N+1) of K keys, instead
+///    of the (N-1)/N reshuffle a modulo hash would cause.
+class ConsistentHashRing {
+ public:
+  /// `shards` >= 1. More replicas = smoother key distribution at the cost
+  /// of a larger (still tiny) sorted point table; 64 keeps the max/mean
+  /// shard load under ~1.5x for realistic key counts.
+  explicit ConsistentHashRing(std::size_t shards,
+                              std::size_t replicas_per_shard = 64,
+                              uint64_t salt = kDefaultSalt);
+
+  std::size_t shard_count() const { return shards_; }
+
+  /// Owning shard for a hashed key.
+  std::size_t ShardFor(uint64_t key_hash) const;
+
+  /// The routing hash of a serving cache key. Must be fed the *resolved*
+  /// seed (RequestDefaults applied) so the router and the shard-local
+  /// cache agree on what the key is.
+  static uint64_t KeyHash(const std::string& approach_id,
+                          uint64_t dataset_fingerprint, uint64_t seed);
+
+  /// splitmix64 stream salt ("RING!") separating ring points from every
+  /// other DeriveSeed stream in the repo.
+  static constexpr uint64_t kDefaultSalt = 0x52494e4721ull;
+
+ private:
+  std::size_t shards_;
+  /// (ring point, shard), sorted by point then shard (the tie-break makes
+  /// even hash-collision cases deterministic).
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_CONSISTENT_HASH_H_

@@ -1,0 +1,95 @@
+#include "serve/epoch.h"
+
+#include <utility>
+
+namespace fairbench {
+namespace serve {
+
+EpochDomain::~EpochDomain() {
+  // The owner guarantees no guard is alive (the scoring service drains its
+  // pool before tearing the domain down), so everything in limbo is free.
+  for (Retired& retired : limbo_) {
+    if (retired.reclaim) retired.reclaim();
+  }
+  for (ReaderSlot* slot : slots_) delete slot;
+}
+
+EpochDomain::ReaderSlot* EpochDomain::AcquireSlot() {
+  // Fast path: pop a pooled slot off the Treiber stack.
+  ReaderSlot* head = free_list_.load(std::memory_order_acquire);
+  while (head != nullptr) {
+    ReaderSlot* next = head->next_free.load(std::memory_order_relaxed);
+    if (free_list_.compare_exchange_weak(head, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return head;
+    }
+  }
+  // First use on this many concurrent readers: allocate under the lock.
+  ReaderSlot* slot = new ReaderSlot();
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(slot);
+  return slot;
+}
+
+void EpochDomain::ReleaseSlot(ReaderSlot* slot) {
+  ReaderSlot* head = free_list_.load(std::memory_order_relaxed);
+  do {
+    slot->next_free.store(head, std::memory_order_relaxed);
+  } while (!free_list_.compare_exchange_weak(head, slot,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed));
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min_epoch = UINT64_MAX;
+  for (const ReaderSlot* slot : slots_) {
+    const uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochDomain::Retire(std::function<void()> reclaim) {
+  // Tag with the *post-bump* epoch: a reader pinned at/above the tag
+  // entered through this bump's release sequence, hence after the
+  // caller's pointer swap, and cannot hold the retired object.
+  const uint64_t tag =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    limbo_.push_back(Retired{tag, std::move(reclaim)});
+  }
+  TryReclaim();
+}
+
+std::size_t EpochDomain::TryReclaim() {
+  std::vector<std::function<void()>> matured;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t min_active = MinActiveEpoch();
+    std::size_t kept = 0;
+    for (Retired& retired : limbo_) {
+      if (retired.tag <= min_active) {
+        matured.push_back(std::move(retired.reclaim));
+      } else {
+        limbo_[kept++] = std::move(retired);
+      }
+    }
+    limbo_.resize(kept);
+  }
+  // Run deleters outside the lock: a reclaimer is allowed to Retire more
+  // garbage (e.g. a table entry freeing a nested structure).
+  for (std::function<void()>& reclaim : matured) {
+    if (reclaim) reclaim();
+  }
+  return matured.size();
+}
+
+std::size_t EpochDomain::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limbo_.size();
+}
+
+}  // namespace serve
+}  // namespace fairbench

@@ -1,0 +1,134 @@
+#ifndef FAIRBENCH_SERVE_EPOCH_H_
+#define FAIRBENCH_SERVE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace fairbench {
+namespace serve {
+
+/// Epoch-based reclamation (EBR) domain: lock-free readers, deferred
+/// frees. The serving tier's hot-swap path uses it to replace live state
+/// (the warm-lookup table, and with it the fitted pipeline a key maps to)
+/// without blocking or failing requests that are mid-read.
+///
+/// Protocol (all epoch atomics are seq_cst; the correctness argument
+/// leans on their single total order):
+///
+///  - A reader wraps each read-side critical section in an EpochGuard.
+///    The guard pins the reader's slot to the current global epoch with a
+///    validation loop: store the observed epoch, re-load the global, and
+///    retry until the two agree. The loop closes the classic EBR race
+///    where a reader loads epoch E, stalls, and publishes the stale pin
+///    only after a writer has already scanned past it: whenever the final
+///    re-load agrees, either the writer's scan saw the pin (and will not
+///    free), or the pin post-dates the writer's bump — in which case the
+///    re-load read the bumped value, which synchronizes-with the bump and
+///    therefore happens-after the writer's pointer swap, so the reader
+///    can only have loaded the *new* pointer.
+///  - A writer swaps the shared pointer first, then calls Retire(): the
+///    retired object is tagged with the *post-bump* epoch, and is freed
+///    only when every pinned slot is ≥ that tag (or unpinned). A reader
+///    pinned below the tag may still hold the old pointer and blocks the
+///    free; a reader pinned at/above it entered through the bump's
+///    release sequence and saw the new pointer.
+///
+/// Writers (Retire/TryReclaim) serialize on a mutex — swaps are rare;
+/// only the read side needs to scale. Reader slots are pooled via a
+/// lock-free free-list and allocated under the same mutex on first use,
+/// so steady-state guard entry/exit is a handful of atomic ops and never
+/// takes a lock.
+class EpochDomain {
+ public:
+  EpochDomain() = default;
+
+  /// All guards must have exited; frees everything still in limbo.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Defers `reclaim` until every reader active at the time of the call
+  /// has exited its critical section. The caller must already have
+  /// unpublished the object (swapped the shared pointer) — Retire only
+  /// schedules the free. Runs any matured reclaimers before returning.
+  void Retire(std::function<void()> reclaim);
+
+  /// Frees every retired object whose tag epoch all currently-pinned
+  /// readers have reached. Returns the number freed. Called from Retire;
+  /// exposed so a caller with no new garbage can still drain old garbage.
+  std::size_t TryReclaim();
+
+  /// Retired-but-not-yet-freed count (diagnostics / tests).
+  std::size_t pending() const;
+
+ private:
+  struct ReaderSlot {
+    std::atomic<uint64_t> epoch{0};    ///< 0 = not in a critical section.
+    std::atomic<ReaderSlot*> next_free{nullptr};
+  };
+
+  ReaderSlot* AcquireSlot();
+  void ReleaseSlot(ReaderSlot* slot);
+
+  /// Smallest pinned epoch across readers, or UINT64_MAX when none are
+  /// pinned. Reading each slot seq_cst doubles as the synchronizes-with
+  /// edge that orders a departed reader's accesses before our frees.
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_{1};
+
+  /// All slots ever allocated (stable addresses; freed only in ~EpochDomain).
+  mutable std::mutex mu_;  ///< Guards slots_ growth and limbo_.
+  std::vector<ReaderSlot*> slots_;
+  std::atomic<ReaderSlot*> free_list_{nullptr};  ///< Treiber stack.
+
+  struct Retired {
+    uint64_t tag = 0;  ///< Post-bump epoch; free once MinActive >= tag.
+    std::function<void()> reclaim;
+  };
+  std::vector<Retired> limbo_;
+
+  friend class EpochGuard;
+};
+
+/// RAII read-side critical section. Keep it tight: hold the guard only
+/// across the shared-pointer load and whatever must be read before taking
+/// ownership (e.g. copying a shared_ptr out of the protected table) — a
+/// guard held across a multi-millisecond scoring run delays reclamation
+/// of every swap issued meanwhile.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain)
+      : domain_(domain), slot_(domain.AcquireSlot()) {
+    // Pin-and-validate loop (see the protocol note on EpochDomain).
+    uint64_t e = domain_.global_epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot_->epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t g =
+          domain_.global_epoch_.load(std::memory_order_seq_cst);
+      if (g == e) break;
+      e = g;
+    }
+  }
+
+  ~EpochGuard() {
+    slot_->epoch.store(0, std::memory_order_seq_cst);
+    domain_.ReleaseSlot(slot_);
+  }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain& domain_;
+  EpochDomain::ReaderSlot* slot_;
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_EPOCH_H_

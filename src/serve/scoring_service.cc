@@ -26,20 +26,35 @@ std::string CacheKey(const std::string& approach_id, uint64_t fingerprint,
 /// seeds also derived from run.seed.
 constexpr uint64_t kRequestIdStream = 0x5245514944ull;  // "REQID"
 
+/// Shard 0 (and a standalone service) keeps the exact historical id
+/// stream; other shards of a tier branch off it so ids never collide.
+uint64_t RequestIdSeed(const ScoringServiceOptions& options) {
+  const uint64_t base = DeriveSeed(options.run.seed, kRequestIdStream);
+  return options.shard_index == 0 ? base
+                                  : DeriveSeed(base, options.shard_index);
+}
+
 }  // namespace
 
 ScoringService::ScoringService(ScoringServiceOptions options)
     : options_(std::move(options)),
       pool_(std::make_unique<ThreadPool>(options_.run.threads)),
-      ids_(DeriveSeed(options_.run.seed, kRequestIdStream)) {}
+      ids_(RequestIdSeed(options_)),
+      sequencer_(options_.sequencer != nullptr
+                     ? options_.sequencer
+                     : std::make_shared<ResponseSequencer>()) {
+  live_.store(new LiveTable(), std::memory_order_seq_cst);
+}
 
 ScoringService::~ScoringService() {
   // ~ThreadPool drains its queue, so queued ScoreAsync tasks still run
   // here. Reset the pool explicitly *before* implicit member destruction:
   // otherwise mu_/slot_ready_/cache_/in_flight_ (declared after pool_,
   // hence destroyed first) would already be gone when those tasks touch
-  // them.
+  // them. With the pool drained there are no readers left, so the live
+  // table can be freed directly; retired tables die with epochs_.
   pool_.reset();
+  delete live_.exchange(nullptr, std::memory_order_seq_cst);
 }
 
 Result<ScoreResponse> ScoringService::Score(const ScoreRequest& request) {
@@ -94,16 +109,15 @@ std::future<Result<ScoreResponse>> ScoringService::ScoreAsync(
   return future;
 }
 
-Status ScoringService::CheckDeadline(const ScoreRequest& request,
-                                     const Timer& admitted,
+Status ScoringService::CheckDeadline(double deadline, const Timer& admitted,
                                      const char* stage) const {
-  if (request.deadline_seconds <= 0.0) return Status::OK();
+  if (deadline <= 0.0) return Status::OK();
   const double elapsed = admitted.ElapsedSeconds();
-  if (elapsed <= request.deadline_seconds) return Status::OK();
+  if (elapsed <= deadline) return Status::OK();
   FAIRBENCH_COUNTER_ADD("serve.deadline_exceeded.total", 1);
   return Status::DeadlineExceeded(
       StrFormat("request missed its %.3fs deadline at %s (%.3fs elapsed)",
-                request.deadline_seconds, stage, elapsed));
+                deadline, stage, elapsed));
 }
 
 Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
@@ -118,6 +132,8 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
       static_cast<uint64_t>(admitted.ElapsedSeconds() * 1e9);
   FAIRBENCH_HDR_RECORD("serve.latency.ns", total_ns, ctx.request_id);
   if (FAIRBENCH_EVENTS_ACTIVE()) {
+    const double deadline =
+        options_.defaults.ResolveDeadline(request.deadline_seconds);
     obs::RequestEvent event;
     event.timestamp_ns = NowNanos();
     event.request_id = ctx.request_id;
@@ -125,10 +141,10 @@ Result<ScoreResponse> ScoringService::ScoreAdmitted(const ScoreRequest& request,
     event.rows = request.data != nullptr ? request.data->num_rows() : 0;
     event.cache = cache_outcome;
     event.total_ns = total_ns;
-    event.has_deadline = request.deadline_seconds > 0.0;
+    event.has_deadline = deadline > 0.0;
     if (event.has_deadline) {
       event.deadline_slack_ns = static_cast<int64_t>(
-          request.deadline_seconds * 1e9 - static_cast<double>(total_ns));
+          deadline * 1e9 - static_cast<double>(total_ns));
     }
     if (result.ok()) {
       const ScoreResponse& response = result.value();
@@ -154,10 +170,14 @@ Result<ScoreResponse> ScoringService::ScoreWithContext(
   if (request.data == nullptr || request.train == nullptr) {
     return Status::InvalidArgument("ScoreRequest: train and data must be set");
   }
-  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "admission"));
-
+  // Defaults fold in exactly once, here: the seed becomes part of the
+  // cache key (and matched the routing key upstream on a sharded tier).
   const uint64_t seed =
-      request.seed != 0 ? request.seed : options_.run.seed;
+      options_.defaults.ResolveSeed(request.seed, options_.run);
+  const double deadline =
+      options_.defaults.ResolveDeadline(request.deadline_seconds);
+  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(deadline, admitted, "admission"));
+
   ScoreResponse response;
   response.context = ctx;
   CachedModel model;
@@ -167,10 +187,11 @@ Result<ScoreResponse> ScoringService::ScoreWithContext(
                                  request.approach_id,
                              ctx.request_id);
     FAIRBENCH_ASSIGN_OR_RETURN(
-        model, GetOrFit(request, seed, ctx, admitted, &response.cache_hit,
-                        &response.fit_seconds, cache_outcome));
+        model, GetOrFit(request, seed, deadline, ctx, admitted,
+                        &response.cache_hit, &response.fit_seconds,
+                        cache_outcome));
   }
-  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "post-fit"));
+  FAIRBENCH_RETURN_NOT_OK(CheckDeadline(deadline, admitted, "post-fit"));
 
   Timer score_timer;
   const Dataset& data = *request.data;
@@ -186,7 +207,7 @@ Result<ScoreResponse> ScoringService::ScoreWithContext(
   auto score_into = [&](std::vector<int>& out, bool flip) {
     auto score_row = [&, flip](std::size_t row) -> Status {
       if ((row & 63u) == 0u) {
-        FAIRBENCH_RETURN_NOT_OK(CheckDeadline(request, admitted, "scoring"));
+        FAIRBENCH_RETURN_NOT_OK(CheckDeadline(deadline, admitted, "scoring"));
       }
       const int s = data.sensitive()[row];
       FAIRBENCH_ASSIGN_OR_RETURN(
@@ -226,57 +247,79 @@ Result<ScoreResponse> ScoringService::ScoreWithContext(
   FAIRBENCH_COUNTER_ADD("serve.rows_scored.total",
                         static_cast<uint64_t>(n));
 
-  {
-    // Stamp + deliver under the sequencing lock: observers see successful
-    // responses exactly once, in stamp order (see ScoreResponse::sequence).
-    std::lock_guard<std::mutex> seq_lock(seq_mu_);
-    response.sequence = ++next_sequence_;
-    if (options_.observer != nullptr) {
-      ScoredBatch batch;
-      batch.sequence = response.sequence;
-      batch.request_id = ctx.request_id;
-      batch.approach_id = &request.approach_id;
-      batch.data = request.data;
-      batch.predictions = &response.predictions;
-      batch.flipped_predictions = want_flipped ? &flipped : nullptr;
-      options_.observer->OnBatchScored(batch);
-    }
+  // Stamp + deliver through the (possibly tier-shared) sequencer:
+  // observers see successful responses exactly once, in stamp order.
+  if (options_.observer != nullptr) {
+    ScoredBatch batch;
+    batch.request_id = ctx.request_id;
+    batch.approach_id = &request.approach_id;
+    batch.data = request.data;
+    batch.predictions = &response.predictions;
+    batch.flipped_predictions = want_flipped ? &flipped : nullptr;
+    response.sequence = sequencer_->StampAndDeliver(options_.observer, &batch);
+  } else {
+    response.sequence = sequencer_->StampAndDeliver(nullptr, nullptr);
   }
   return response;
 }
 
 Result<ScoringService::CachedModel> ScoringService::GetOrFit(
-    const ScoreRequest& request, uint64_t seed, const obs::RequestContext& ctx,
-    const Timer& admitted, bool* hit, double* fit_seconds,
-    const char** cache_outcome) {
+    const ScoreRequest& request, uint64_t seed, double deadline,
+    const obs::RequestContext& ctx, const Timer& admitted, bool* hit,
+    double* fit_seconds, const char** cache_outcome) {
   const uint64_t fingerprint = DatasetFingerprint(*request.train);
   const std::string key = CacheKey(request.approach_id, fingerprint, seed);
 
+  // Lock-free warm path: look the key up in the published epoch-protected
+  // snapshot. The guard is held only across the table read and the
+  // shared_ptr copies — once we own references, swaps and evictions can
+  // proceed and reclamation waits for us automatically.
+  {
+    CachedModel model;
+    {
+      EpochGuard guard(epochs_);
+      const LiveTable* table = live_.load(std::memory_order_seq_cst);
+      auto it = table->find(key);
+      if (it != table->end()) {
+        const std::shared_ptr<LiveEntry>& entry = it->second;
+        entry->last_used.store(NextTick(), std::memory_order_relaxed);
+        model.pipeline = entry->pipeline;
+        model.score_mu = entry->score_mu;
+      }
+    }
+    if (model.pipeline != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      FAIRBENCH_COUNTER_ADD("serve.cache.hit", 1);
+      *hit = true;
+      *fit_seconds = 0.0;
+      *cache_outcome = "hit";
+      return model;
+    }
+  }
+
   std::shared_ptr<Slot> slot;
   bool fitter = false;
-  bool waited = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       slot = it->second;
-      TouchLru(key);
     } else {
       slot = std::make_shared<Slot>();
       cache_.emplace(key, slot);
-      lru_.push_front(key);
       fitter = true;
-      ++misses_;
-      EvictIfNeeded();
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (EvictIfNeededLocked()) PublishLiveLocked();
     }
     if (!fitter) {
-      // Single-flight: another thread is fitting this key; wait for it
-      // (bounded by the request deadline when one is set).
-      waited = !slot->ready;
+      // The fast path missed but the slot exists: either another thread
+      // is mid-fit (single-flight: wait for it, bounded by the request
+      // deadline when one is set) or the publish raced us and the model
+      // is already here.
+      const bool waited = !slot->ready;
       while (!slot->ready) {
-        if (request.deadline_seconds > 0.0) {
-          const double remaining =
-              request.deadline_seconds - admitted.ElapsedSeconds();
+        if (deadline > 0.0) {
+          const double remaining = deadline - admitted.ElapsedSeconds();
           if (remaining <= 0.0 ||
               slot_ready_.wait_for(
                   lock, std::chrono::duration<double>(remaining),
@@ -289,7 +332,7 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
           slot_ready_.wait(lock, [&] { return slot->ready; });
         }
       }
-      if (slot->status.ok()) ++hits_;
+      if (slot->status.ok()) hits_.fetch_add(1, std::memory_order_relaxed);
       FAIRBENCH_COUNTER_ADD(slot->status.ok() ? "serve.cache.hit"
                                               : "serve.cache.miss",
                             1);
@@ -299,7 +342,8 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
       // (the single-flight path) rather than finding a warm model.
       *cache_outcome = waited ? "shared" : "hit";
       FAIRBENCH_RETURN_NOT_OK(slot->status);
-      return CachedModel{slot->pipeline, slot->score_mu};
+      slot->entry->last_used.store(NextTick(), std::memory_order_relaxed);
+      return CachedModel{slot->entry->pipeline, slot->entry->score_mu};
     }
   }
 
@@ -311,7 +355,9 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
   Timer fit_timer;
   Status status = Status::OK();
   std::shared_ptr<Pipeline> pipeline;
-  Result<Pipeline> made = MakePipeline(request.approach_id);
+  Result<Pipeline> made = options_.sparse_cold_fits
+                              ? MakeServingPipeline(request.approach_id)
+                              : MakePipeline(request.approach_id);
   if (!made.ok()) {
     status = made.status();
   } else {
@@ -324,65 +370,154 @@ Result<ScoringService::CachedModel> ScoringService::GetOrFit(
   FAIRBENCH_HDR_RECORD("serve.fit.ns", static_cast<uint64_t>(elapsed * 1e9),
                        ctx.request_id);
 
+  std::shared_ptr<LiveEntry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
     slot->status = status;
-    slot->pipeline = std::move(pipeline);
     slot->fit_seconds = elapsed;
+    if (status.ok()) {
+      entry = std::make_shared<LiveEntry>();
+      entry->pipeline = std::move(pipeline);
+      entry->last_used.store(NextTick(), std::memory_order_relaxed);
+      slot->entry = entry;
+    }
     slot->ready = true;
+    // Identity check before touching the map: a concurrent SwapPipeline
+    // may have replaced this key's slot while we were fitting — in that
+    // case the swap's model stays live and our result only feeds the
+    // waiters already holding this slot.
+    auto it = cache_.find(key);
+    const bool still_current = it != cache_.end() && it->second == slot;
     if (!status.ok()) {
       // Failed fits are not cached: drop the slot so a later request can
       // retry (waiters already hold their shared_ptr and see the error).
-      cache_.erase(key);
-      for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-        if (*it == key) {
-          lru_.erase(it);
-          break;
-        }
-      }
+      if (still_current) cache_.erase(it);
+    } else if (still_current) {
+      PublishLiveLocked();
     }
   }
   slot_ready_.notify_all();
   FAIRBENCH_RETURN_NOT_OK(status);
   *hit = false;
   *fit_seconds = elapsed;
-  return CachedModel{slot->pipeline, slot->score_mu};
+  return CachedModel{entry->pipeline, entry->score_mu};
 }
 
-void ScoringService::TouchLru(const std::string& key) {
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    if (*it == key) {
-      lru_.splice(lru_.begin(), lru_, it);
-      return;
+Result<std::shared_ptr<const Pipeline>> ScoringService::BuildSwapPipeline(
+    const SwapRequest& swap, uint64_t seed) const {
+  if (!swap.artifact.empty()) {
+    FAIRBENCH_ASSIGN_OR_RETURN(std::string embedded,
+                               PeekApproachId(swap.artifact));
+    if (embedded != swap.approach_id) {
+      return Status::InvalidArgument(
+          StrFormat("SwapRequest: artifact was written by '%s', not '%s'",
+                    embedded.c_str(), swap.approach_id.c_str()));
+    }
+    FAIRBENCH_ASSIGN_OR_RETURN(Pipeline loaded,
+                               DeserializePipeline(swap.artifact));
+    return std::shared_ptr<const Pipeline>(
+        std::make_shared<Pipeline>(std::move(loaded)));
+  }
+  Result<Pipeline> made = options_.sparse_cold_fits
+                              ? MakeServingPipeline(swap.approach_id)
+                              : MakePipeline(swap.approach_id);
+  if (!made.ok()) return made.status();
+  auto pipeline = std::make_shared<Pipeline>(std::move(made).value());
+  FairContext context;
+  context.seed = seed;
+  FAIRBENCH_RETURN_NOT_OK(pipeline->Fit(*swap.train, context));
+  return std::shared_ptr<const Pipeline>(std::move(pipeline));
+}
+
+Status ScoringService::SwapPipeline(const SwapRequest& swap) {
+  if (swap.train == nullptr) {
+    return Status::InvalidArgument("SwapRequest: train must be set");
+  }
+  const uint64_t seed = options_.defaults.ResolveSeed(swap.seed, options_.run);
+  const uint64_t fingerprint = DatasetFingerprint(*swap.train);
+  const std::string key = CacheKey(swap.approach_id, fingerprint, seed);
+
+  // Build (deserialize or refit) entirely outside the service locks; the
+  // install below is one map update plus one pointer swap.
+  FAIRBENCH_ASSIGN_OR_RETURN(std::shared_ptr<const Pipeline> pipeline,
+                             BuildSwapPipeline(swap, seed));
+  auto entry = std::make_shared<LiveEntry>();
+  entry->pipeline = std::move(pipeline);
+  entry->last_used.store(NextTick(), std::memory_order_relaxed);
+  auto slot = std::make_shared<Slot>();
+  slot->ready = true;
+  slot->entry = std::move(entry);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Replaces any previous slot for the key. A displaced mid-fit slot
+    // keeps its waiters (its fit completes into the orphaned slot and the
+    // identity check there leaves this install alone); a displaced live
+    // model is retired via the epoch domain by the publish below, so
+    // readers that already hold it finish undisturbed.
+    cache_[key] = std::move(slot);
+    EvictIfNeededLocked();
+    PublishLiveLocked();
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  FAIRBENCH_COUNTER_ADD("serve.swaps.total", 1);
+  return Status::OK();
+}
+
+void ScoringService::PublishLiveLocked() {
+  auto* table = new LiveTable();
+  for (const auto& [key, slot] : cache_) {
+    if (slot->ready && slot->status.ok() && slot->entry != nullptr) {
+      table->emplace(key, slot->entry);
     }
   }
+  const LiveTable* old =
+      live_.exchange(table, std::memory_order_seq_cst);
+  // Unpublished first (the exchange above), then retired: readers pinned
+  // before the accompanying epoch bump keep `old` alive until they exit.
+  epochs_.Retire([old]() { delete old; });
 }
 
-void ScoringService::EvictIfNeeded() {
-  while (cache_.size() > options_.cache_capacity && !lru_.empty()) {
-    // Walk from the cold end; never evict a slot mid-fit (waiters poll it).
-    bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      auto entry = cache_.find(*it);
-      if (entry != cache_.end() && entry->second->ready) {
-        FAIRBENCH_COUNTER_ADD("serve.cache.evicted.total", 1);
-        cache_.erase(entry);
-        lru_.erase(std::next(it).base());
-        evicted = true;
-        break;
+bool ScoringService::EvictIfNeededLocked() {
+  bool evicted_any = false;
+  while (cache_.size() > options_.cache_capacity) {
+    // Evict the smallest recency stamp; never a slot mid-fit (waiters
+    // poll it, and its key must stay claimed for single-flight).
+    auto coldest = cache_.end();
+    uint64_t coldest_tick = UINT64_MAX;
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (!it->second->ready) continue;
+      const uint64_t tick =
+          it->second->entry != nullptr
+              ? it->second->entry->last_used.load(std::memory_order_relaxed)
+              : 0;
+      if (tick < coldest_tick) {
+        coldest_tick = tick;
+        coldest = it;
       }
     }
-    if (!evicted) break;  // Everything cold is mid-fit; stay oversized.
+    if (coldest == cache_.end()) break;  // Everything is mid-fit.
+    FAIRBENCH_COUNTER_ADD("serve.cache.evicted.total", 1);
+    cache_.erase(coldest);
+    evicted_any = true;
   }
   FAIRBENCH_GAUGE_SET("serve.cache.size", static_cast<double>(cache_.size()));
+  return evicted_any;
 }
 
 CacheStats ScoringService::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   stats.size = cache_.size();
+  return stats;
+}
+
+ClientStats ScoringService::Stats() const {
+  ClientStats stats;
+  stats.cache = cache_stats();
+  stats.shards = 1;
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -391,12 +526,12 @@ void ScoringService::ClearCache() {
   // Keep slots that are still fitting; their waiters need the fill.
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->second->ready) {
-      lru_.remove(it->first);
       it = cache_.erase(it);
     } else {
       ++it;
     }
   }
+  PublishLiveLocked();
   FAIRBENCH_GAUGE_SET("serve.cache.size", static_cast<double>(cache_.size()));
 }
 

@@ -5,7 +5,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,7 +18,10 @@
 #include "data/dataset.h"
 #include "exec/thread_pool.h"
 #include "obs/request_context.h"
+#include "serve/client.h"
+#include "serve/epoch.h"
 #include "serve/observer.h"
+#include "serve/sequencer.h"
 
 namespace fairbench {
 namespace serve {
@@ -27,8 +29,13 @@ namespace serve {
 /// Configuration of a ScoringService.
 struct ScoringServiceOptions {
   /// Shared execution knobs; `run.threads` sizes the worker pool and
-  /// `run.seed` is the default fit seed when a request leaves `seed` unset.
+  /// `run.seed` is the terminal fit-seed fallback (see `defaults`).
   core::RunOptions run;
+
+  /// Per-request defaults (fit seed, deadline), folded in exactly once at
+  /// admission. The sharded router resolves the routing key through the
+  /// *same* struct — see docs/serving.md "Request defaults".
+  RequestDefaults defaults;
 
   /// Fitted pipelines kept warm, least-recently-used eviction. Each entry
   /// is one fitted Pipeline keyed (approach_id, dataset_fingerprint, seed).
@@ -37,8 +44,18 @@ struct ScoringServiceOptions {
   /// Upper bound on requests admitted but not yet finished. When full,
   /// Score()/ScoreAsync() *reject immediately* with ResourceExhausted —
   /// they never block the caller — which keeps overload failure fast and
-  /// explicit (the backpressure contract; see docs/serving.md).
+  /// explicit (the backpressure contract; see docs/serving.md). On a
+  /// sharded client this bound is per shard: admission control scales
+  /// with the tier.
   std::size_t max_in_flight = 32;
+
+  /// Cold fits use the registry's *serving* pipeline variant
+  /// (MakeServingPipeline): identical for every approach except the three
+  /// Zafar variants, which opt into the CSR + truncated CG-Newton solver
+  /// (ZafarOptions::use_sparse_newton) — same penalized objective, much
+  /// cheaper cold fit (delta recorded in BENCH_serve.json). Set false to
+  /// fit exactly what the offline experiment harnesses fit.
+  bool sparse_cold_fits = true;
 
   /// Completion hook (borrowed; must outlive the service). Every
   /// *successful* response is delivered exactly once, in sequence order,
@@ -51,76 +68,38 @@ struct ScoringServiceOptions {
   /// Discrimination probe. Doubles per-row prediction work on observed
   /// requests, so leave it off unless a monitor consumes windowed CD.
   bool observe_flipped_predictions = false;
+
+  /// Sequencing point for response stamps + observer delivery. nullptr =
+  /// the service creates a private one. A ShardedScoringService injects
+  /// one shared sequencer into all shards so the tier-wide sequence
+  /// stream stays dense (see sequencer.h).
+  std::shared_ptr<ResponseSequencer> sequencer;
+
+  /// Position of this service inside a sharded tier; salts the
+  /// request-id stream (so shards of one tier never mint colliding ids)
+  /// and is 0 for a standalone service, which keeps the standalone id
+  /// stream byte-identical to pre-sharding builds.
+  std::size_t shard_index = 0;
 };
 
-/// One batch scoring request: score every row of `data` under the given
-/// registry approach, fitting on `train` if no cached model exists.
-///
-/// `train` and `data` are borrowed, not owned: the caller must keep both
-/// datasets alive until the request finishes — for ScoreAsync, until the
-/// returned future resolves or the service is destroyed, whichever comes
-/// first (destruction drains pending requests, which still read them).
-struct ScoreRequest {
-  std::string approach_id;
-  const Dataset* train = nullptr;  ///< Fit data (cache-miss path).
-  const Dataset* data = nullptr;   ///< Rows to score.
-
-  /// Fit seed; part of the cache key. 0 = use options.run.seed.
-  uint64_t seed = 0;
-
-  /// Wall-clock budget in seconds, measured from admission. 0 = none.
-  /// Missing it yields DeadlineExceeded; a partially-fit model is still
-  /// cached so the retry is warm.
-  double deadline_seconds = 0.0;
-
-  /// Trace context to propagate. Leave default (request_id == 0) and the
-  /// service stamps a fresh deterministic context at admission; pre-stamp
-  /// it to carry an upstream trace's id through this hop. The stamped
-  /// context comes back on ScoreResponse::context and tags every span,
-  /// latency exemplar, exported event, and monitor event of the request.
-  obs::RequestContext context;
-};
-
-/// Outcome of one request.
-struct ScoreResponse {
-  std::vector<int> predictions;  ///< One 0/1 label per row of `data`.
-  bool cache_hit = false;        ///< Model came from the warm cache.
-  double fit_seconds = 0.0;      ///< 0 on cache hits.
-  double score_seconds = 0.0;
-
-  /// Monotonic completion stamp: 1, 2, 3, ... across all successful
-  /// responses of one service, stamped under the service's sequencing lock
-  /// in the order responses complete (not the order requests arrived).
-  /// Downstream consumers use it to detect reordering and drops — two
-  /// responses can never carry the same value, and a consumer that sees
-  /// sequence n+2 after n knows exactly one response went missing. Failed
-  /// requests consume no sequence number.
-  uint64_t sequence = 0;
-
-  /// The context this request ran under (stamped at admission when the
-  /// request carried none). `context.request_id` is the handle for finding
-  /// the request's trace spans, JSONL event, and any alert that covers it.
-  obs::RequestContext context;
-};
-
-/// Cache counters (also exported as serve.* obs metrics).
-struct CacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  std::size_t size = 0;
-};
-
-/// Thread-safe batch scorer over the approach registry.
+/// Thread-safe batch scorer over the approach registry; the single-shard
+/// serve::Client implementation (the sharded router composes N of these).
 ///
 /// - Fitted pipelines are cached under (approach_id, DatasetFingerprint,
 ///   seed) with LRU eviction; concurrent misses on one key fit once and
 ///   share the result (single-flight).
+/// - The warm path is lock-free: lookups read an immutable epoch-protected
+///   snapshot of the cache (serve/epoch.h), so cache hits never contend on
+///   the service mutex; recency is tracked with per-entry atomic stamps.
+/// - SwapPipeline atomically replaces the live model for one key
+///   (epoch/RCU): in-flight scores finish on the version they looked up,
+///   with zero blocking and zero failures.
 /// - Rows of a batch are scored in parallel on an exec::ThreadPool.
 /// - Admission is bounded: at most max_in_flight requests past the door,
 ///   beyond that Score() returns ResourceExhausted immediately.
 /// - Deadlines are checked at admission, after fit, and between scoring
 ///   chunks, returning DeadlineExceeded on the first check that misses.
-class ScoringService {
+class ScoringService : public Client {
  public:
   explicit ScoringService(ScoringServiceOptions options = {});
 
@@ -128,34 +107,60 @@ class ScoringService {
   /// queued ScoreAsync work always runs against live state. Callers may
   /// safely abandon ScoreAsync futures and drop the service; pending
   /// requests still execute (their results are simply discarded).
-  ~ScoringService();
+  ~ScoringService() override;
 
-  /// Scores one batch synchronously. Safe to call from many threads.
-  Result<ScoreResponse> Score(const ScoreRequest& request);
+  Result<ScoreResponse> Score(const ScoreRequest& request) override;
 
   /// Queues the request on the worker pool and returns a future for its
   /// result. A full service yields an immediately-ready ResourceExhausted
   /// future rather than blocking. The request's `train`/`data` datasets
   /// must outlive the future (see ScoreRequest); the future itself may be
   /// abandoned without awaiting it.
-  std::future<Result<ScoreResponse>> ScoreAsync(ScoreRequest request);
+  std::future<Result<ScoreResponse>> ScoreAsync(ScoreRequest request) override;
+
+  /// Installs a fitted model (deserialized artifact, or a refit from
+  /// swap.train when the artifact is empty) as the live model for the
+  /// swap's cache key. The build happens outside every lock; the install
+  /// is one pointer swap, and replaced state is reclaimed via the epoch
+  /// domain once the last in-flight reader is done with it.
+  Status SwapPipeline(const SwapRequest& swap) override;
+
+  ClientStats Stats() const override;
 
   CacheStats cache_stats() const;
 
   /// Drops every cached model (stats keep accumulating).
-  void ClearCache();
+  void ClearCache() override;
+
+  /// Retired-but-unreclaimed epoch garbage (tests pin that hot swaps do
+  /// not leak old tables once readers drain).
+  std::size_t epoch_garbage_for_test() const { return epochs_.pending(); }
 
  private:
+  /// One live cached model. Immutable after publication except for the
+  /// recency stamp; replacement (refit, swap) installs a *new* entry, so
+  /// a reader's shared_ptr always sees a frozen (pipeline, score_mu)
+  /// pair.
+  struct LiveEntry {
+    std::shared_ptr<const Pipeline> pipeline;
+    /// Serializes scoring for pipelines with a predict-time feature
+    /// transform, whose per-dataset transform cache is not thread-safe.
+    std::shared_ptr<std::mutex> score_mu = std::make_shared<std::mutex>();
+    /// Last-touch stamp from tick_; eviction removes the smallest.
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Immutable warm-lookup snapshot, swapped wholesale on every cache
+  /// mutation and reclaimed through the epoch domain.
+  using LiveTable = std::map<std::string, std::shared_ptr<LiveEntry>>;
+
   /// One cache slot; `ready` flips once under the service mutex when the
   /// fitting thread finishes (successfully or not).
   struct Slot {
     bool ready = false;
     Status status = Status::OK();
-    std::shared_ptr<const Pipeline> pipeline;
+    std::shared_ptr<LiveEntry> entry;
     double fit_seconds = 0.0;
-    /// Serializes scoring for pipelines with a predict-time feature
-    /// transform, whose per-dataset transform cache is not thread-safe.
-    std::shared_ptr<std::mutex> score_mu = std::make_shared<std::mutex>();
   };
 
   struct CachedModel {
@@ -180,39 +185,62 @@ class ScoringService {
   /// Returns the fitted pipeline for the request's cache key, fitting at
   /// most once per key across threads. `*hit` reports warm vs cold;
   /// `*cache_outcome` is "hit", "miss", or "shared" (waited behind another
-  /// thread's fit of the same key).
+  /// thread's fit of the same key). `deadline` is the resolved per-request
+  /// deadline (0 = none).
   Result<CachedModel> GetOrFit(const ScoreRequest& request, uint64_t seed,
+                               double deadline,
                                const obs::RequestContext& ctx,
                                const Timer& admitted, bool* hit,
                                double* fit_seconds,
                                const char** cache_outcome);
 
-  Status CheckDeadline(const ScoreRequest& request, const Timer& admitted,
+  /// Builds (deserialize-or-fit) the pipeline a SwapRequest installs.
+  Result<std::shared_ptr<const Pipeline>> BuildSwapPipeline(
+      const SwapRequest& swap, uint64_t seed) const;
+
+  Status CheckDeadline(double deadline, const Timer& admitted,
                        const char* stage) const;
 
-  void TouchLru(const std::string& key);
-  void EvictIfNeeded();
+  /// Rebuilds the live table from the ready+healthy slots of cache_ and
+  /// publishes it; the displaced table is retired into the epoch domain.
+  /// Requires mu_.
+  void PublishLiveLocked();
+
+  /// Fresh recency stamp.
+  uint64_t NextTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Evicts coldest-stamp ready slots until the cache fits its capacity;
+  /// returns whether anything was evicted (the caller republishes if so).
+  /// Requires mu_.
+  bool EvictIfNeededLocked();
 
   ScoringServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 
-  /// Request-id source, seeded from options_.run.seed: a service with a
-  /// fixed seed issues a reproducible id stream (see request_context.h).
+  /// Request-id source, seeded from options_.run.seed (salted by
+  /// shard_index inside a sharded tier): a service with a fixed seed
+  /// issues a reproducible id stream (see request_context.h).
   obs::RequestIdGenerator ids_;
 
-  /// Sequencing lock: serializes sequence stamping + observer delivery so
-  /// observers see successful responses in exactly stamp order. Separate
-  /// from mu_ (never held together) so a slow observer cannot stall cache
-  /// fills, and so observers cannot deadlock by reading cache_stats().
-  std::mutex seq_mu_;
-  uint64_t next_sequence_ = 0;
+  /// Sequence stamping + ordered observer delivery; shared across shards
+  /// inside a ShardedScoringService (see sequencer.h).
+  std::shared_ptr<ResponseSequencer> sequencer_;
+
+  /// Epoch domain protecting live_ snapshots (lock-free warm lookups,
+  /// deferred reclamation of swapped-out tables).
+  EpochDomain epochs_;
+  std::atomic<const LiveTable*> live_{nullptr};
+
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> swaps_{0};
 
   mutable std::mutex mu_;
   std::condition_variable slot_ready_;
   std::map<std::string, std::shared_ptr<Slot>> cache_;
-  std::list<std::string> lru_;  ///< Front = most recent.
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
   std::atomic<std::size_t> in_flight_{0};
 };
 

@@ -1,0 +1,46 @@
+#ifndef FAIRBENCH_SERVE_SEQUENCER_H_
+#define FAIRBENCH_SERVE_SEQUENCER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "serve/observer.h"
+
+namespace fairbench {
+namespace serve {
+
+/// The sequencing point of a serving client: one lock that both assigns
+/// the monotonic ScoreResponse::sequence stamps and delivers observer
+/// callbacks, so observers see successful responses in exactly stamp
+/// order with no gaps. A ScoringService owns one by default; a
+/// ShardedScoringService injects a single shared instance into every
+/// shard, which is what keeps the sequence stream dense and
+/// duplicate-free across the whole tier.
+///
+/// Kept separate from the service's cache mutex (never held together) so
+/// a slow observer cannot stall cache fills, and so observers cannot
+/// deadlock by reading cache stats.
+class ResponseSequencer {
+ public:
+  /// Stamps the next sequence number and, when `observer` is non-null,
+  /// delivers `batch` under the same lock (batch->sequence is filled in
+  /// first). Returns the stamp. `batch` may be null iff `observer` is.
+  uint64_t StampAndDeliver(ScoreObserver* observer, ScoredBatch* batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t sequence = ++next_;
+    if (observer != nullptr && batch != nullptr) {
+      batch->sequence = sequence;
+      observer->OnBatchScored(*batch);
+    }
+    return sequence;
+  }
+
+ private:
+  std::mutex mu_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_SEQUENCER_H_

@@ -1,0 +1,86 @@
+#include "serve/sharded_scoring_service.h"
+
+#include <utility>
+
+#include "serve/pipeline_artifact.h"
+
+namespace fairbench {
+namespace serve {
+
+ShardedScoringService::ShardedScoringService(
+    ShardedScoringServiceOptions options)
+    : options_(std::move(options)),
+      ring_(options_.shards == 0 ? 1 : options_.shards,
+            options_.ring_replicas),
+      sequencer_(options_.shard.sequencer != nullptr
+                     ? options_.shard.sequencer
+                     : std::make_shared<ResponseSequencer>()) {
+  shards_.reserve(ring_.shard_count());
+  for (std::size_t index = 0; index < ring_.shard_count(); ++index) {
+    ScoringServiceOptions shard_options = options_.shard;
+    shard_options.shard_index = index;
+    shard_options.sequencer = sequencer_;
+    shards_.push_back(
+        std::make_unique<ScoringService>(std::move(shard_options)));
+  }
+}
+
+std::size_t ShardedScoringService::RouteKey(const std::string& approach_id,
+                                            const Dataset* train,
+                                            uint64_t request_seed) const {
+  // Null train cannot be fingerprinted; route to shard 0, whose request
+  // validation produces the same InvalidArgument a single service would.
+  if (train == nullptr) return 0;
+  // Resolve the seed through the *shard's* defaults so routing key and
+  // shard-local cache key are the same function of the request.
+  const uint64_t seed =
+      options_.shard.defaults.ResolveSeed(request_seed, options_.shard.run);
+  return ring_.ShardFor(ConsistentHashRing::KeyHash(
+      approach_id, DatasetFingerprint(*train), seed));
+}
+
+std::size_t ShardedScoringService::ShardForRequest(
+    const ScoreRequest& request) const {
+  return RouteKey(request.approach_id, request.train, request.seed);
+}
+
+std::size_t ShardedScoringService::ShardForSwap(const SwapRequest& swap) const {
+  return RouteKey(swap.approach_id, swap.train, swap.seed);
+}
+
+Result<ScoreResponse> ShardedScoringService::Score(
+    const ScoreRequest& request) {
+  return shards_[ShardForRequest(request)]->Score(request);
+}
+
+std::future<Result<ScoreResponse>> ShardedScoringService::ScoreAsync(
+    ScoreRequest request) {
+  const std::size_t shard = ShardForRequest(request);
+  return shards_[shard]->ScoreAsync(std::move(request));
+}
+
+Status ShardedScoringService::SwapPipeline(const SwapRequest& swap) {
+  return shards_[ShardForSwap(swap)]->SwapPipeline(swap);
+}
+
+ClientStats ShardedScoringService::Stats() const {
+  ClientStats total;
+  total.shards = shards_.size();
+  for (const std::unique_ptr<ScoringService>& shard : shards_) {
+    const ClientStats stats = shard->Stats();
+    total.cache.hits += stats.cache.hits;
+    total.cache.misses += stats.cache.misses;
+    total.cache.size += stats.cache.size;
+    total.swaps += stats.swaps;
+  }
+  return total;
+}
+
+void ShardedScoringService::ClearCache() {
+  for (const std::unique_ptr<ScoringService>& shard : shards_) {
+    shard->ClearCache();
+  }
+}
+
+}  // namespace serve
+}  // namespace fairbench

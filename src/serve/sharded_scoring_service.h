@@ -1,0 +1,91 @@
+#ifndef FAIRBENCH_SERVE_SHARDED_SCORING_SERVICE_H_
+#define FAIRBENCH_SERVE_SHARDED_SCORING_SERVICE_H_
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/consistent_hash.h"
+#include "serve/scoring_service.h"
+
+namespace fairbench {
+namespace serve {
+
+/// Configuration of a ShardedScoringService.
+struct ShardedScoringServiceOptions {
+  /// Template for every shard-local ScoringService. The router overrides
+  /// `shard_index` per shard (distinct request-id streams) and injects one
+  /// shared ResponseSequencer (dense tier-wide sequence stamps); every
+  /// other knob — cache capacity, max_in_flight, defaults, observer —
+  /// applies per shard as written. In particular max_in_flight and
+  /// cache_capacity are *per shard*: a 4-shard tier admits 4x the
+  /// requests and keeps 4x the models warm.
+  ScoringServiceOptions shard;
+
+  /// Number of shard-local services; >= 1 (0 is promoted to 1).
+  std::size_t shards = 4;
+
+  /// Virtual nodes per shard on the routing ring (see consistent_hash.h).
+  std::size_t ring_replicas = 64;
+};
+
+/// Consistent-hash router over N shard-local ScoringService instances —
+/// the multi-shard serve::Client.
+///
+/// A request's full cache identity (approach_id, DatasetFingerprint(train),
+/// resolved seed) is hashed onto the ring and the request is forwarded,
+/// unmodified, to the owning shard. Because the routing key *is* the cache
+/// key, every key lives in exactly one shard's warm cache: shards never
+/// duplicate fitted models, so N shards hold N x cache_capacity distinct
+/// warm models, and all single-flight/LRU/hot-swap behavior stays
+/// shard-local. The same stream of requests therefore produces
+/// byte-identical predictions whether it flows through one ScoringService
+/// or this router (pinned by tests/serve/sharded_scoring_service_test.cc).
+///
+/// The router itself holds no locks on the request path — routing is a
+/// hash plus a binary search over an immutable ring — so Client contracts
+/// (reject-don't-block admission, atomic hot swap, dense sequence stamps)
+/// are inherited directly from the shards and the shared sequencer.
+class ShardedScoringService : public Client {
+ public:
+  explicit ShardedScoringService(ShardedScoringServiceOptions options = {});
+
+  Result<ScoreResponse> Score(const ScoreRequest& request) override;
+  std::future<Result<ScoreResponse>> ScoreAsync(ScoreRequest request) override;
+
+  /// Routed exactly like a score for the same key, so the swap lands on
+  /// the shard that serves that key.
+  Status SwapPipeline(const SwapRequest& swap) override;
+
+  /// Sums cache counters over shards; shards/swaps reflect the tier.
+  ClientStats Stats() const override;
+
+  void ClearCache() override;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard a request would be routed to (tests pin routing/cache-key
+  /// agreement; tools use it to label per-shard load). Requests with a
+  /// null train dataset go to shard 0, whose validation rejects them.
+  std::size_t ShardForRequest(const ScoreRequest& request) const;
+  std::size_t ShardForSwap(const SwapRequest& swap) const;
+
+  /// Direct access for tests/tools (e.g. draining one shard's stats).
+  ScoringService& shard(std::size_t index) { return *shards_[index]; }
+
+ private:
+  std::size_t RouteKey(const std::string& approach_id, const Dataset* train,
+                       uint64_t request_seed) const;
+
+  ShardedScoringServiceOptions options_;
+  ConsistentHashRing ring_;
+  std::shared_ptr<ResponseSequencer> sequencer_;
+  std::vector<std::unique_ptr<ScoringService>> shards_;
+};
+
+}  // namespace serve
+}  // namespace fairbench
+
+#endif  // FAIRBENCH_SERVE_SHARDED_SCORING_SERVICE_H_

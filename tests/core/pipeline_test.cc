@@ -12,7 +12,7 @@ namespace {
 
 TEST(PipelineTest, BaselineLrFitsAndPredicts) {
   const Dataset data = GenerateGerman(600, 1).value();
-  Pipeline pipeline(nullptr, nullptr, nullptr);
+  Pipeline pipeline = PipelineBuilder().Build();
   FairContext ctx;
   ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
   EXPECT_TRUE(pipeline.fitted());
@@ -29,13 +29,15 @@ TEST(PipelineTest, BaselineLrFitsAndPredicts) {
 TEST(PipelineTest, TimingBreakdownReflectsStages) {
   const Dataset data = GenerateGerman(800, 2).value();
   FairContext ctx;
-  Pipeline with_pre(std::make_unique<KamCal>(), nullptr, nullptr);
+  Pipeline with_pre =
+      PipelineBuilder().Pre(std::make_unique<KamCal>()).Build();
   ASSERT_TRUE(with_pre.Fit(data, ctx).ok());
   EXPECT_GT(with_pre.timing().pre_seconds, 0.0);
   EXPECT_GT(with_pre.timing().train_seconds, 0.0);
   EXPECT_DOUBLE_EQ(with_pre.timing().post_seconds, 0.0);
 
-  Pipeline with_post(nullptr, nullptr, std::make_unique<KamKar>());
+  Pipeline with_post =
+      PipelineBuilder().Post(std::make_unique<KamKar>()).Build();
   ASSERT_TRUE(with_post.Fit(data, ctx).ok());
   EXPECT_DOUBLE_EQ(with_post.timing().pre_seconds, 0.0);
   EXPECT_GT(with_post.timing().post_seconds, 0.0);
@@ -47,7 +49,8 @@ TEST(PipelineTest, TimingBreakdownReflectsStages) {
 
 TEST(PipelineTest, PredictRowHonorsSensitiveOverride) {
   const Dataset data = GenerateAdult(2000, 3).value();
-  Pipeline pipeline(nullptr, nullptr, nullptr, /*include_sensitive=*/true);
+  Pipeline pipeline =
+      PipelineBuilder().IncludeSensitiveFeature(true).Build();
   FairContext ctx;
   ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
   // With S as a feature, some rows near the boundary must flip.
@@ -63,7 +66,7 @@ TEST(PipelineTest, PredictRowHonorsSensitiveOverride) {
 
 TEST(PipelineTest, RowPredictorMatchesPredict) {
   const Dataset data = GenerateGerman(300, 4).value();
-  Pipeline pipeline(nullptr, nullptr, nullptr);
+  Pipeline pipeline = PipelineBuilder().Build();
   FairContext ctx;
   ASSERT_TRUE(pipeline.Fit(data, ctx).ok());
   const std::vector<int> batch = pipeline.Predict(data).value();
@@ -74,7 +77,7 @@ TEST(PipelineTest, RowPredictorMatchesPredict) {
 }
 
 TEST(PipelineTest, UnfittedUseIsError) {
-  Pipeline pipeline(nullptr, nullptr, nullptr);
+  Pipeline pipeline = PipelineBuilder().Build();
   const Dataset data = GenerateGerman(50, 5).value();
   EXPECT_EQ(pipeline.Predict(data).status().code(),
             StatusCode::kFailedPrecondition);
@@ -88,7 +91,8 @@ TEST(PipelineTest, PreProcessorFailurePropagates) {
       return Status::NoConvergence("synthetic failure");
     }
   };
-  Pipeline pipeline(std::make_unique<FailingPre>(), nullptr, nullptr);
+  Pipeline pipeline =
+      PipelineBuilder().Pre(std::make_unique<FailingPre>()).Build();
   FairContext ctx;
   const Dataset data = GenerateGerman(100, 6).value();
   EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kNoConvergence);
@@ -100,7 +104,7 @@ TEST(PipelineTest, TrainTestProtocolGeneralizes) {
   Rng rng(8);
   const SplitIndices split = TrainTestSplit(data.num_rows(), 0.7, rng);
   auto parts = MaterializeSplit(data, split).value();
-  Pipeline pipeline(nullptr, nullptr, nullptr);
+  Pipeline pipeline = PipelineBuilder().Build();
   FairContext ctx;
   ASSERT_TRUE(pipeline.Fit(parts.first, ctx).ok());
   const std::vector<int> pred = pipeline.Predict(parts.second).value();

@@ -32,11 +32,12 @@ TEST(BaseClassifierSwapTest, KamCalImprovesParityForNaiveBayes) {
   auto parts = MaterializeSplit(data, split).value();
   const FairContext ctx = MakeContext(AdultConfig(), 2);
 
-  Pipeline plain(nullptr, nullptr, nullptr);
+  Pipeline plain = PipelineBuilder().Build();
   plain.SetBaseClassifier(std::make_unique<NaiveBayes>());
   const double plain_di = TestDiStar(plain, parts.first, parts.second, ctx);
 
-  Pipeline repaired(std::make_unique<KamCal>(), nullptr, nullptr);
+  Pipeline repaired =
+      PipelineBuilder().Pre(std::make_unique<KamCal>()).Build();
   repaired.SetBaseClassifier(std::make_unique<NaiveBayes>());
   const double repaired_di =
       TestDiStar(repaired, parts.first, parts.second, ctx);
@@ -51,14 +52,15 @@ TEST(BaseClassifierSwapTest, PostProcessingComposesWithNaiveBayes) {
   auto parts = MaterializeSplit(data, split).value();
   const FairContext ctx = MakeContext(AdultConfig(), 4);
 
-  Pipeline pipeline(nullptr, nullptr, std::make_unique<KamKar>());
+  Pipeline pipeline =
+      PipelineBuilder().Post(std::make_unique<KamKar>()).Build();
   pipeline.SetBaseClassifier(std::make_unique<NaiveBayes>());
   const double di = TestDiStar(pipeline, parts.first, parts.second, ctx);
   EXPECT_GT(di, 0.5);  // Reject-option repairs NB's parity too.
 }
 
 TEST(BaseClassifierSwapTest, NullSwapKeepsDefaultModel) {
-  Pipeline pipeline(nullptr, nullptr, nullptr);
+  Pipeline pipeline = PipelineBuilder().Build();
   pipeline.SetBaseClassifier(nullptr);  // No-op by contract.
   const Dataset data = GenerateGerman(300, 5).value();
   FairContext ctx;

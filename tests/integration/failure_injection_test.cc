@@ -35,7 +35,8 @@ class FailingPost : public PostProcessor {
 };
 
 TEST(FailureInjectionTest, InProcessorFailureLeavesPipelineUnfitted) {
-  Pipeline pipeline(nullptr, std::make_unique<FailingIn>(), nullptr);
+  Pipeline pipeline =
+      PipelineBuilder().In(std::make_unique<FailingIn>()).Build();
   const Dataset data = GenerateGerman(100, 1).value();
   FairContext ctx;
   EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kNoConvergence);
@@ -44,7 +45,8 @@ TEST(FailureInjectionTest, InProcessorFailureLeavesPipelineUnfitted) {
 }
 
 TEST(FailureInjectionTest, PostProcessorFailureLeavesPipelineUnfitted) {
-  Pipeline pipeline(nullptr, nullptr, std::make_unique<FailingPost>());
+  Pipeline pipeline =
+      PipelineBuilder().Post(std::make_unique<FailingPost>()).Build();
   const Dataset data = GenerateGerman(100, 2).value();
   FairContext ctx;
   EXPECT_EQ(pipeline.Fit(data, ctx).code(), StatusCode::kFailedPrecondition);
@@ -58,7 +60,8 @@ TEST(FailureInjectionTest, HardtOnDegenerateGroupFailsCleanly) {
   PopulationConfig config = GermanConfig();
   config.pos_rate_unprivileged = 0.0001;  // Effectively no positives.
   const Dataset data = GeneratePopulation(config, 300, 3).value();
-  Pipeline pipeline(nullptr, nullptr, std::make_unique<Hardt>());
+  Pipeline pipeline =
+      PipelineBuilder().Post(std::make_unique<Hardt>()).Build();
   FairContext ctx;
   const Status st = pipeline.Fit(data, ctx);
   if (!st.ok()) {

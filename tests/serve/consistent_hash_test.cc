@@ -1,0 +1,93 @@
+// ConsistentHashRing stability tests: deterministic assignment across
+// re-instantiation, reasonable balance, and minimal key movement when the
+// tier grows by one shard — the two properties the sharded router's
+// warm-cache economics depend on (see consistent_hash.h).
+
+#include "serve/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace fairbench {
+namespace serve {
+namespace {
+
+std::vector<uint64_t> TestKeys(std::size_t count) {
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  uint64_t stream = 0x4b455953ull;  // "KEYS"
+  for (std::size_t i = 0; i < count; ++i) {
+    stream = DeriveSeed(stream, i);
+    keys.push_back(stream);
+  }
+  return keys;
+}
+
+TEST(ConsistentHashRingTest, DeterministicAcrossReinstantiation) {
+  const ConsistentHashRing a(4);
+  const ConsistentHashRing b(4);
+  for (const uint64_t key : TestKeys(2000)) {
+    EXPECT_EQ(a.ShardFor(key), b.ShardFor(key));
+  }
+}
+
+TEST(ConsistentHashRingTest, CoversAllShardsRoughlyEvenly) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kKeys = 8000;
+  const ConsistentHashRing ring(kShards);
+  std::vector<std::size_t> load(kShards, 0);
+  for (const uint64_t key : TestKeys(kKeys)) {
+    const std::size_t shard = ring.ShardFor(key);
+    ASSERT_LT(shard, kShards);
+    ++load[shard];
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    // 64 virtual nodes keep shard load within a loose band of the mean.
+    EXPECT_GT(load[shard], kKeys / (kShards * 4)) << "shard " << shard;
+    EXPECT_LT(load[shard], kKeys / 2) << "shard " << shard;
+  }
+}
+
+TEST(ConsistentHashRingTest, GrowingByOneShardMovesOnlyCapturedKeys) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kKeys = 8000;
+  const ConsistentHashRing before(kShards);
+  const ConsistentHashRing after(kShards + 1);
+  std::size_t moved = 0;
+  for (const uint64_t key : TestKeys(kKeys)) {
+    const std::size_t old_shard = before.ShardFor(key);
+    const std::size_t new_shard = after.ShardFor(key);
+    if (old_shard != new_shard) {
+      ++moved;
+      // Growth only *adds* ring points, so a key can only move to the new
+      // shard — never between surviving shards.
+      EXPECT_EQ(new_shard, kShards);
+    }
+  }
+  EXPECT_GT(moved, 0u);  // The new shard takes some keys...
+  // ...but only about K/(N+1) of them (2x slack for replica variance); a
+  // modulo hash would reshuffle ~N/(N+1) = 80% of all keys here.
+  EXPECT_LT(moved, 2 * kKeys / (kShards + 1));
+}
+
+TEST(ConsistentHashRingTest, KeyHashSeparatesEveryComponent) {
+  const uint64_t base = ConsistentHashRing::KeyHash("lr", 0x1234, 7);
+  EXPECT_NE(base, ConsistentHashRing::KeyHash("hardt", 0x1234, 7));
+  EXPECT_NE(base, ConsistentHashRing::KeyHash("lr", 0x1235, 7));
+  EXPECT_NE(base, ConsistentHashRing::KeyHash("lr", 0x1234, 8));
+}
+
+TEST(ConsistentHashRingTest, ZeroShardsPromotedToOne) {
+  const ConsistentHashRing ring(0);
+  EXPECT_EQ(ring.shard_count(), 1u);
+  for (const uint64_t key : TestKeys(50)) {
+    EXPECT_EQ(ring.ShardFor(key), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fairbench

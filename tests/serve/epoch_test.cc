@@ -1,0 +1,112 @@
+// EpochDomain reclamation-protocol tests: immediate reclaim with no
+// readers, deferral while a guard is pinned, and a reader/writer race
+// smoke that tools/ci.sh replays under TSan.
+
+#include "serve/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fairbench {
+namespace serve {
+namespace {
+
+TEST(EpochDomainTest, RetireWithNoReadersReclaimsImmediately) {
+  EpochDomain domain;
+  bool freed = false;
+  domain.Retire([&freed]() { freed = true; });
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(domain.pending(), 0u);
+}
+
+TEST(EpochDomainTest, PinnedGuardDefersReclamation) {
+  EpochDomain domain;
+  bool freed = false;
+  {
+    EpochGuard guard(domain);
+    domain.Retire([&freed]() { freed = true; });
+    // The guard was pinned before the retire's epoch bump, so it may still
+    // hold the retired object: the free must wait.
+    EXPECT_FALSE(freed);
+    EXPECT_EQ(domain.pending(), 1u);
+    EXPECT_EQ(domain.TryReclaim(), 0u);
+  }
+  EXPECT_EQ(domain.TryReclaim(), 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(domain.pending(), 0u);
+}
+
+TEST(EpochDomainTest, GuardPinnedAfterRetireDoesNotBlockIt) {
+  EpochDomain domain;
+  bool first_freed = false;
+  auto outer = std::make_unique<EpochGuard>(domain);
+  domain.Retire([&first_freed]() { first_freed = true; });
+  {
+    // This guard entered *after* the bump; it pins the post-bump epoch and
+    // so never extends the retired object's lifetime by itself.
+    EpochGuard inner(domain);
+    EXPECT_FALSE(first_freed);
+    EXPECT_EQ(domain.TryReclaim(), 0u);  // outer still pins the old epoch
+    outer.reset();
+    EXPECT_EQ(domain.TryReclaim(), 1u);
+    EXPECT_TRUE(first_freed);
+  }
+}
+
+/// Readers chase an atomic pointer under guards while a writer swaps and
+/// retires it; every dereference must see a fully-constructed value (TSan
+/// verifies the ordering claims in epoch.h).
+TEST(EpochDomainTest, ConcurrentSwapAndReadSmoke) {
+  EpochDomain domain;
+  constexpr int kWrites = 200;
+  constexpr int kReaders = 4;
+  std::atomic<const std::vector<int>*> shared{
+      new std::vector<int>(16, 0)};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochGuard guard(domain);
+        const std::vector<int>* v = shared.load(std::memory_order_seq_cst);
+        // Every element equals the generation stamp the writer filled in;
+        // a torn or reclaimed read would break the invariant.
+        const int first = (*v)[0];
+        for (const int x : *v) ASSERT_EQ(x, first);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Don't start swapping until the readers are actually reading, so the
+  // writes genuinely race with guarded dereferences (under a loaded
+  // scheduler the writer could otherwise finish before any reader ran).
+  while (reads.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  for (int w = 1; w <= kWrites; ++w) {
+    const std::vector<int>* fresh = new std::vector<int>(16, w);
+    const std::vector<int>* old =
+        shared.exchange(fresh, std::memory_order_seq_cst);
+    domain.Retire([old]() { delete old; });
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  // All readers gone: everything still in limbo matures now.
+  domain.TryReclaim();
+  EXPECT_EQ(domain.pending(), 0u);
+  delete shared.load();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fairbench

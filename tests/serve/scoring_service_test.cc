@@ -99,6 +99,73 @@ TEST(ScoringServiceTest, SeedIsPartOfTheCacheKey) {
   EXPECT_EQ(service.cache_stats().size, 2u);
 }
 
+TEST(ScoringServiceTest, RequestDefaultsResolveSeedIntoTheCacheKey) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.run.seed = 5;
+  options.defaults.seed = 21;  // Applies when the request leaves seed 0.
+  ScoringService service(options);
+
+  ASSERT_TRUE(service.Score(MakeRequest(fx, "lr")).ok());
+  // An explicit seed equal to the default lands on the same cache key:
+  // the default was folded in exactly once, at admission.
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.seed = 21;
+  Result<ScoreResponse> same = service.Score(request);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same->cache_hit);
+  // The run-seed fallback key was never used.
+  request.seed = 5;
+  Result<ScoreResponse> other = service.Score(request);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->cache_hit);
+}
+
+TEST(ScoringServiceTest, RequestDefaultsApplyDeadlineWhenRequestHasNone) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.defaults.deadline_seconds = 1e-9;  // Expires at admission.
+  ScoringService service(options);
+
+  Result<ScoreResponse> defaulted = service.Score(MakeRequest(fx, "lr"));
+  EXPECT_EQ(defaulted.status().code(), StatusCode::kDeadlineExceeded);
+
+  // An explicit per-request deadline overrides the default.
+  ScoreRequest request = MakeRequest(fx, "lr");
+  request.deadline_seconds = 300.0;
+  EXPECT_TRUE(service.Score(request).ok());
+}
+
+TEST(ScoringServiceTest, ServingColdFitsUseTheSparseZafarSolver) {
+  const Fixture fx = MakeFixture();
+  ScoringServiceOptions options;
+  options.run.seed = 5;
+  ScoringService service(options);  // sparse_cold_fits defaults to true.
+
+  Result<ScoreResponse> served = service.Score(MakeRequest(fx, "zafar_dp_fair"));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // The serving pipeline (CSR + CG-Newton Zafar) is what got fit...
+  Result<Pipeline> sparse = MakeServingPipeline("zafar_dp_fair");
+  ASSERT_TRUE(sparse.ok());
+  const FairContext context{{}, {}, /*seed=*/5};
+  ASSERT_TRUE(sparse->Fit(fx.train, context).ok());
+  EXPECT_EQ(served->predictions, sparse->Predict(fx.test).value());
+
+  // ...and the opt-out restores the offline-harness pipeline exactly.
+  ScoringServiceOptions dense_options;
+  dense_options.run.seed = 5;
+  dense_options.sparse_cold_fits = false;
+  ScoringService dense_service(dense_options);
+  Result<ScoreResponse> dense_served =
+      dense_service.Score(MakeRequest(fx, "zafar_dp_fair"));
+  ASSERT_TRUE(dense_served.ok());
+  Result<Pipeline> dense = MakePipeline("zafar_dp_fair");
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(dense->Fit(fx.train, context).ok());
+  EXPECT_EQ(dense_served->predictions, dense->Predict(fx.test).value());
+}
+
 TEST(ScoringServiceTest, LruEvictsColdestEntry) {
   const Fixture fx = MakeFixture();
   ScoringServiceOptions options;

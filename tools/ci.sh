@@ -41,6 +41,12 @@
 #          exactly the class those catch), and the committed
 #          BENCH_kernels.json must pass the record_bench.py sparse schema
 #          gate (every sparse family paired ref+opt).
+# Stage 10: Sharded-serving gate: the epoch/RCU, consistent-hash router,
+#          sharded-equivalence, and hot-swap-storm suites re-run under
+#          TSan, tools/load_gen drives an open-loop Poisson schedule
+#          against the 4-shard tier with a mid-run hot swap (exit gates
+#          zero failed requests), and the committed BENCH_serve.json must
+#          pass record_bench.py --check-serve (which stage 6 also runs).
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -109,35 +115,9 @@ TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
     -R 'artifact_corruption_test|artifact_roundtrip_test'
-python3 - <<'EOF'
-import json
-bench = json.load(open("BENCH_serve.json"))
-assert bench["source"] == "bench/serve_throughput", bench.get("source")
-assert bench["approaches"], "no approaches recorded"
-for a in bench["approaches"]:
-    for key in ("id", "repetitions", "cold", "warm", "warm_speedup"):
-        assert key in a, f"{a.get('id', '?')}: missing {key}"
-    for side in ("cold", "warm"):
-        assert a[side]["seconds_per_request"] > 0, f"{a['id']}: bad {side}"
-        assert a[side]["req_per_sec"] > 0, f"{a['id']}: bad {side} rate"
-    assert a["repetitions"] >= 3, f"{a['id']}: too few repetitions for a median"
-    assert a["warm_speedup"] >= 10, (
-        f"{a['id']}: warm cache only {a['warm_speedup']}x over fit-then-score"
-    )
-    pct = a.get("latency_percentiles")
-    assert pct, f"{a['id']}: missing latency_percentiles (HDR block)"
-    for side in ("cold", "warm"):
-        p = pct[side]
-        assert p["count"] > 0, f"{a['id']}: empty {side} histogram"
-        assert 0 < p["p50_ns"] <= p["p95_ns"] <= p["p99_ns"], (
-            f"{a['id']}: non-monotone {side} percentiles"
-        )
-        assert 0 < p["relative_error"] <= 0.05, (
-            f"{a['id']}: HDR relative error {p['relative_error']}"
-        )
-print(f"BENCH_serve.json ok: {len(bench['approaches'])} approaches, "
-      f"min speedup {min(a['warm_speedup'] for a in bench['approaches'])}x")
-EOF
+# Single schema gate for the committed record (approaches, sharded,
+# zafar_cold_fit, and open_loop blocks) — shared with stage 10.
+python3 tools/record_bench.py --check-serve BENCH_serve.json
 
 echo "==> Stage 7: Monitoring gate (TSan monitor suites, bench schema)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
@@ -214,5 +194,20 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
     -R 'sparse_matrix_test|sparse_kernel_differential_test|sparse_encoder_test|sparse_logistic_test|cg_newton_test'
 python3 tools/record_bench.py --check-kernels BENCH_kernels.json
+
+echo "==> Stage 10: Sharded-serving gate (TSan router/hot-swap suites, open-loop smoke)"
+# The epoch/RCU hot-swap path and the consistent-hash router are the
+# serving tier's only lock-free code beyond the monitor queue; the swap
+# storm and the sharded equivalence suites re-run under TSan.
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j "${JOBS}" \
+    -R 'epoch_test|consistent_hash_test|sharded_scoring_service_test|hot_swap_test|scoring_service_test'
+# Open-loop smoke under TSan: a Poisson schedule against the 4-shard tier
+# with a hot swap of every approach mid-run. load_gen itself exits
+# nonzero if any request or swap fails (the zero-failure gate).
+TSAN_OPTIONS="halt_on_error=1" build-tsan/tools/load_gen \
+    --mode sharded --shards 4 --dist poisson --rate 150 --requests 120 \
+    --workers 4 --swap-at 40 --json build-tsan/loadgen-smoke.json
+python3 tools/record_bench.py --check-serve BENCH_serve.json
 
 echo "==> CI passed"

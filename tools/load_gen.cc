@@ -1,0 +1,371 @@
+// Open-loop load generator for the serving tier (docs/serving.md,
+// "Load generation"). Drives a serve::Client — single ScoringService or
+// ShardedScoringService, chosen by flag — with a precomputed arrival
+// schedule and measures latency from the *scheduled* arrival, not from
+// dispatch, so a backed-up service shows up as queueing delay instead of
+// being silently absorbed (no coordinated omission).
+//
+//   load_gen [--mode single|sharded] [--shards n] [--dist poisson|uniform|
+//            burst] [--rate r] [--requests n] [--workers n] [--rows n]
+//            [--seed n] [--approaches a,b,c] [--swap-at k] [--json path]
+//            [--max-in-flight n]
+//
+// Arrival distributions (all with long-run average --rate requests/sec):
+//   poisson   exponential inter-arrivals, -ln(1-U)/rate — the open-loop
+//             default; bursts arise naturally.
+//   uniform   fixed spacing 1/rate; the gentlest possible schedule.
+//   burst     groups of 16 back-to-back-ish requests at 4x rate, then a
+//             gap; stresses admission control and queueing.
+//
+// Each request is scored synchronously by one of --workers threads; a
+// worker sleeps until the request's scheduled arrival, scores, and records
+//   latency = completion_time - scheduled_arrival
+// into a per-approach HdrHistogram. With W workers at most W requests are
+// in flight, but the *schedule* never slows down: if the service falls
+// behind, scheduled times drift into the past and latencies grow, exactly
+// as an outside caller would experience.
+//
+// --swap-at k arms a hot-swap probe: once k requests have completed, a
+// separate thread issues a refit SwapPipeline for every approach while
+// the load is still running. The acceptance gate is zero failed requests
+// across the swaps (rejections from admission control are counted
+// separately and are not failures).
+//
+// Writes a JSON report ({"source":"tools/load_gen",...}) to --json (or
+// stdout) for tools/record_bench.py --open-loop to fold into
+// BENCH_serve.json. Exits nonzero if any request or swap failed.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/export.h"
+#include "data/generators/population.h"
+#include "data/split.h"
+#include "obs/hdr_histogram.h"
+#include "serve/client.h"
+#include "serve/scoring_service.h"
+#include "serve/sharded_scoring_service.h"
+
+using namespace fairbench;
+
+namespace {
+
+struct Options {
+  std::string mode = "sharded";
+  std::size_t shards = 4;
+  std::string dist = "poisson";
+  double rate = 200.0;           ///< Long-run average arrivals per second.
+  std::size_t requests = 400;
+  std::size_t workers = 4;
+  std::size_t rows = 400;
+  uint64_t seed = 11;
+  std::vector<std::string> approaches = {"lr", "hardt", "kamcal", "feld06"};
+  std::size_t swap_at = 0;       ///< 0 = no hot-swap probe.
+  std::size_t max_in_flight = 64;
+  std::string json_path;
+};
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+/// Scheduled arrival offsets in nanoseconds from the run start, strictly
+/// non-decreasing, with long-run average rate `opts.rate`. Deterministic
+/// in --seed so two runs replay the same schedule.
+std::vector<uint64_t> BuildSchedule(const Options& opts) {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(opts.requests);
+  Rng rng(DeriveSeed(opts.seed, /*salt=*/0x4c4f414447454eull));  // "LOADGEN"
+  const double spacing_ns = 1e9 / opts.rate;
+  double t = 0.0;
+  for (std::size_t i = 0; i < opts.requests; ++i) {
+    if (opts.dist == "poisson") {
+      // Inverse-CDF exponential; clamp U away from 1 to keep -ln finite.
+      const double u = std::min(rng.Uniform(), 0.999999999);
+      t += -std::log(1.0 - u) * spacing_ns;
+      offsets.push_back(static_cast<uint64_t>(t));
+    } else if (opts.dist == "uniform") {
+      offsets.push_back(static_cast<uint64_t>(i * spacing_ns));
+    } else {  // burst: groups of 16 at 4x rate, then idle to the average.
+      constexpr std::size_t kGroup = 16;
+      const std::size_t group = i / kGroup;
+      const std::size_t within = i % kGroup;
+      offsets.push_back(static_cast<uint64_t>(
+          group * kGroup * spacing_ns + within * spacing_ns / 4.0));
+    }
+  }
+  return offsets;
+}
+
+struct Report {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> completed{0};  ///< ok + rejected + failed.
+};
+
+std::string ApproachJson(const std::string& id, const obs::HdrHistogram& h) {
+  const obs::HdrSnapshot s = h.Snapshot();
+  return StrFormat(
+      "    {\"id\": \"%s\", \"count\": %llu, \"p50_ns\": %.0f, "
+      "\"p90_ns\": %.0f, \"p95_ns\": %.0f, \"p99_ns\": %.0f, "
+      "\"max_ns\": %llu, \"relative_error\": %.6f}",
+      id.c_str(), static_cast<unsigned long long>(s.count), s.p50, s.p90,
+      s.p95, s.p99, static_cast<unsigned long long>(s.max),
+      h.relative_error());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      opts.mode = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      opts.shards = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dist") == 0 && i + 1 < argc) {
+      opts.dist = argv[++i];
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      opts.rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      opts.requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      opts.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      opts.rows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--approaches") == 0 && i + 1 < argc) {
+      opts.approaches = SplitCsv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--swap-at") == 0 && i + 1 < argc) {
+      opts.swap_at = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-in-flight") == 0 && i + 1 < argc) {
+      opts.max_in_flight = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mode single|sharded] [--shards n] "
+                   "[--dist poisson|uniform|burst] [--rate r] [--requests n] "
+                   "[--workers n] [--rows n] [--seed n] [--approaches a,b] "
+                   "[--swap-at k] [--max-in-flight n] [--json path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if ((opts.mode != "single" && opts.mode != "sharded") ||
+      (opts.dist != "poisson" && opts.dist != "uniform" &&
+       opts.dist != "burst") ||
+      opts.rate <= 0.0 || opts.requests == 0 || opts.workers == 0 ||
+      opts.approaches.empty()) {
+    std::fprintf(stderr, "invalid flag combination\n");
+    return 2;
+  }
+
+  Result<Dataset> data = GenerateGerman(opts.rows, opts.seed);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(7);
+  SplitIndices split = TrainTestSplit(data->num_rows(), 0.7, rng);
+  Result<std::pair<Dataset, Dataset>> parts = MaterializeSplit(*data, split);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 parts.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& train = parts->first;
+  const Dataset& test = parts->second;
+
+  // Build the client behind the interface: the generator below never
+  // mentions sharding again.
+  serve::ScoringServiceOptions sopts;
+  sopts.run.seed = 5;
+  sopts.max_in_flight = opts.max_in_flight;
+  sopts.cache_capacity = std::max<std::size_t>(opts.approaches.size(), 8);
+  std::unique_ptr<serve::Client> owned;
+  if (opts.mode == "sharded") {
+    serve::ShardedScoringServiceOptions shopts;
+    shopts.shard = sopts;
+    shopts.shards = opts.shards;
+    owned = std::make_unique<serve::ShardedScoringService>(shopts);
+  } else {
+    owned = std::make_unique<serve::ScoringService>(sopts);
+  }
+  serve::Client& client = *owned;
+
+  // Warm every approach so the open-loop phase measures serving latency,
+  // not one-time cold fits (those are benchmarked by serve_throughput).
+  for (const std::string& id : opts.approaches) {
+    serve::ScoreRequest request;
+    request.approach_id = id;
+    request.train = &train;
+    request.data = &test;
+    Result<serve::ScoreResponse> r = client.Score(request);
+    if (!r.ok()) {
+      std::fprintf(stderr, "warmup fit for %s failed: %s\n", id.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::vector<uint64_t> schedule = BuildSchedule(opts);
+  std::map<std::string, std::unique_ptr<obs::HdrHistogram>> latency;
+  for (const std::string& id : opts.approaches) {
+    latency.emplace(id, std::make_unique<obs::HdrHistogram>());
+  }
+
+  Report report;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> swap_failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_ns = NowNanos();
+
+  // Hot-swap probe: refit-swap every approach once the run is --swap-at
+  // requests in, while workers keep scoring.
+  std::thread swapper;
+  if (opts.swap_at > 0) {
+    swapper = std::thread([&]() {
+      while (report.completed.load(std::memory_order_relaxed) < opts.swap_at &&
+             next.load(std::memory_order_relaxed) < opts.requests) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (const std::string& id : opts.approaches) {
+        serve::SwapRequest swap;
+        swap.approach_id = id;
+        swap.train = &train;
+        const Status status = client.SwapPipeline(swap);
+        if (!status.ok()) {
+          std::fprintf(stderr, "swap for %s failed: %s\n", id.c_str(),
+                       status.ToString().c_str());
+          swap_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(opts.workers);
+  for (std::size_t w = 0; w < opts.workers; ++w) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= opts.requests) return;
+        const uint64_t scheduled = schedule[i];
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(scheduled));
+        serve::ScoreRequest request;
+        request.approach_id = opts.approaches[i % opts.approaches.size()];
+        request.train = &train;
+        request.data = &test;
+        Result<serve::ScoreResponse> r = client.Score(request);
+        const uint64_t now = NowNanos();
+        if (r.ok()) {
+          // Latency from *scheduled arrival*: queueing delay included.
+          const uint64_t arrival = start_ns + scheduled;
+          latency[request.approach_id]->RecordWithExemplar(
+              now > arrival ? now - arrival : 0, r->context.request_id);
+          report.ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().code() == StatusCode::kResourceExhausted) {
+          report.rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::fprintf(stderr, "request %zu (%s) failed: %s\n", i,
+                       request.approach_id.c_str(),
+                       r.status().ToString().c_str());
+          report.failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        report.completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  if (swapper.joinable()) swapper.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const uint64_t ok = report.ok.load();
+  const uint64_t rejected = report.rejected.load();
+  const uint64_t failed = report.failed.load();
+  const uint64_t swaps = client.Stats().swaps;
+  std::printf(
+      "mode=%s dist=%s rate=%.0f/s requests=%zu workers=%zu: "
+      "ok=%llu rejected=%llu failed=%llu swaps=%llu in %.2fs "
+      "(%.0f req/s achieved)\n",
+      opts.mode.c_str(), opts.dist.c_str(), opts.rate, opts.requests,
+      opts.workers, static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(swaps), elapsed, ok / elapsed);
+  for (const std::string& id : opts.approaches) {
+    const obs::HdrSnapshot s = latency[id]->Snapshot();
+    std::printf("  %-8s n=%-5llu p50=%8.0fns p95=%10.0fns p99=%10.0fns\n",
+                id.c_str(), static_cast<unsigned long long>(s.count), s.p50,
+                s.p95, s.p99);
+  }
+
+  std::string json = "{\n";
+  json += StrFormat(
+      "  \"source\": \"tools/load_gen\",\n  \"mode\": \"%s\",\n"
+      "  \"shards\": %zu,\n  \"distribution\": \"%s\",\n"
+      "  \"target_rate_rps\": %.1f,\n  \"requests\": %zu,\n"
+      "  \"workers\": %zu,\n  \"swap_at\": %zu,\n",
+      opts.mode.c_str(), opts.mode == "sharded" ? opts.shards : 1,
+      opts.dist.c_str(), opts.rate, opts.requests, opts.workers,
+      opts.swap_at);
+  json += StrFormat(
+      "  \"ok\": %llu,\n  \"rejected\": %llu,\n  \"failed\": %llu,\n"
+      "  \"swaps\": %llu,\n  \"elapsed_seconds\": %.6f,\n"
+      "  \"achieved_rate_rps\": %.1f,\n  \"approaches\": [\n",
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(swaps), elapsed, ok / elapsed);
+  for (std::size_t i = 0; i < opts.approaches.size(); ++i) {
+    json += ApproachJson(opts.approaches[i], *latency[opts.approaches[i]]);
+    json += i + 1 < opts.approaches.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (opts.json_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    const Status status = WriteTextFile(opts.json_path, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", opts.json_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opts.json_path.c_str());
+  }
+
+  if (failed > 0 || swap_failures.load() > 0) return 1;
+  return 0;
+}

@@ -168,6 +168,9 @@ int main(int argc, char** argv) {
   sopts.run.seed = seed;
   sopts.observer = &monitor;
   serve::ScoringService service(sopts);
+  // Drive the workload through the Client interface — the tool does not
+  // care whether a single service or a sharded tier is behind it.
+  serve::Client& client = service;
 
   serve::ScoreRequest request;
   request.approach_id = "lr";
@@ -175,7 +178,7 @@ int main(int argc, char** argv) {
   request.data = &parts->second;
   std::size_t ok_requests = 0;
   for (std::size_t i = 0; i < requests; ++i) {
-    Result<serve::ScoreResponse> response = service.Score(request);
+    Result<serve::ScoreResponse> response = client.Score(request);
     if (response.ok()) ++ok_requests;
   }
   monitor.Drain();
