@@ -26,8 +26,11 @@ struct ScoreRequest {
   const Dataset* train = nullptr;  ///< Fit data (cache-miss path).
   const Dataset* data = nullptr;   ///< Rows to score.
 
-  /// Fit seed; part of the cache key (and of the shard-routing key). 0 =
-  /// resolved through the client's RequestDefaults — see below.
+  /// Fit seed; part of the cache key (and of the shard-routing key).
+  /// 0 is *reserved* as "unset" and is resolved through the client's
+  /// RequestDefaults at admission (see below) — a literal fit seed of 0
+  /// cannot be requested; pick any nonzero seed instead. Router and
+  /// shard resolve identically, so keys never diverge.
   uint64_t seed = 0;
 
   /// Wall-clock budget in seconds, measured from admission. 0 = resolved
@@ -96,7 +99,9 @@ struct SwapRequest {
   const Dataset* train = nullptr;
 
   /// Cache-key seed, resolved through RequestDefaults like
-  /// ScoreRequest::seed. Also the refit seed when `artifact` is empty.
+  /// ScoreRequest::seed (0 is reserved as "unset", so a literal seed of
+  /// 0 cannot be requested). Also the refit seed when `artifact` is
+  /// empty.
   uint64_t seed = 0;
 
   /// Serialized fitted pipeline (SerializePipeline bytes) to install. Its

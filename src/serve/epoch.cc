@@ -11,39 +11,57 @@ EpochDomain::~EpochDomain() {
   for (Retired& retired : limbo_) {
     if (retired.reclaim) retired.reclaim();
   }
-  for (ReaderSlot* slot : slots_) delete slot;
+  ReaderSlot* slot = slots_.load(std::memory_order_relaxed);
+  while (slot != nullptr) {
+    ReaderSlot* next = slot->next;
+    delete slot;
+    slot = next;
+  }
 }
 
 EpochDomain::ReaderSlot* EpochDomain::AcquireSlot() {
-  // Fast path: pop a pooled slot off the Treiber stack.
-  ReaderSlot* head = free_list_.load(std::memory_order_acquire);
-  while (head != nullptr) {
-    ReaderSlot* next = head->next_free.load(std::memory_order_relaxed);
-    if (free_list_.compare_exchange_weak(head, next,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire)) {
-      return head;
+  // Claim a pooled slot by flipping its in_use flag. Slots are never
+  // unlinked from the list, so claiming is ABA-free: a lost CAS means
+  // another reader took this slot, and we move on — a stale view can
+  // never hand the same slot to two readers the way a pop/re-push
+  // free-list can when a recycled address makes a stale head CAS succeed.
+  for (ReaderSlot* slot = slots_.load(std::memory_order_acquire);
+       slot != nullptr; slot = slot->next) {
+    bool expected = false;
+    if (!slot->in_use.load(std::memory_order_relaxed) &&
+        slot->in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      return slot;
     }
   }
-  // First use on this many concurrent readers: allocate under the lock.
+  // More concurrent readers than ever before: publish a fresh slot.
+  // seq_cst push keeps the slot visible to any writer whose epoch bump
+  // the owning guard's pin-validate loop observed (see MinActiveEpoch).
   ReaderSlot* slot = new ReaderSlot();
-  std::lock_guard<std::mutex> lock(mu_);
-  slots_.push_back(slot);
+  slot->in_use.store(true, std::memory_order_relaxed);
+  ReaderSlot* head = slots_.load(std::memory_order_relaxed);
+  do {
+    slot->next = head;
+  } while (!slots_.compare_exchange_weak(head, slot,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed));
   return slot;
 }
 
 void EpochDomain::ReleaseSlot(ReaderSlot* slot) {
-  ReaderSlot* head = free_list_.load(std::memory_order_relaxed);
-  do {
-    slot->next_free.store(head, std::memory_order_relaxed);
-  } while (!free_list_.compare_exchange_weak(head, slot,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_relaxed));
+  // Release so the epoch=0 store in ~EpochGuard is ordered before the
+  // next claimant's acquire CAS on in_use.
+  slot->in_use.store(false, std::memory_order_release);
 }
 
 uint64_t EpochDomain::MinActiveEpoch() const {
+  // seq_cst head load: totally ordered after the caller's epoch bump,
+  // hence after any slot push that a pre-bump pinned reader performed —
+  // the scan cannot miss a slot whose reader still holds the old pointer.
   uint64_t min_epoch = UINT64_MAX;
-  for (const ReaderSlot* slot : slots_) {
+  for (const ReaderSlot* slot = slots_.load(std::memory_order_seq_cst);
+       slot != nullptr; slot = slot->next) {
     const uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
     if (e != 0 && e < min_epoch) min_epoch = e;
   }

@@ -37,10 +37,14 @@ namespace serve {
 ///    release sequence and saw the new pointer.
 ///
 /// Writers (Retire/TryReclaim) serialize on a mutex — swaps are rare;
-/// only the read side needs to scale. Reader slots are pooled via a
-/// lock-free free-list and allocated under the same mutex on first use,
-/// so steady-state guard entry/exit is a handful of atomic ops and never
-/// takes a lock.
+/// only the read side needs to scale. Reader slots live on an
+/// append-only lock-free list and are claimed by CAS-ing a per-slot
+/// in_use flag: slots are never unlinked, so a stale view of the list
+/// can at worst lose a claim race — unlike a pop/re-push free-list,
+/// there is no ABA window in which a recycled slot address makes a
+/// stale CAS succeed and hands one slot to two readers. Steady-state
+/// guard entry/exit is a short scan plus a handful of atomic ops and
+/// never takes a lock.
 class EpochDomain {
  public:
   EpochDomain() = default;
@@ -67,8 +71,9 @@ class EpochDomain {
 
  private:
   struct ReaderSlot {
-    std::atomic<uint64_t> epoch{0};    ///< 0 = not in a critical section.
-    std::atomic<ReaderSlot*> next_free{nullptr};
+    std::atomic<uint64_t> epoch{0};   ///< 0 = not in a critical section.
+    std::atomic<bool> in_use{false};  ///< Claimed by exactly one guard.
+    ReaderSlot* next = nullptr;       ///< Immutable once published.
   };
 
   ReaderSlot* AcquireSlot();
@@ -81,10 +86,14 @@ class EpochDomain {
 
   std::atomic<uint64_t> global_epoch_{1};
 
-  /// All slots ever allocated (stable addresses; freed only in ~EpochDomain).
-  mutable std::mutex mu_;  ///< Guards slots_ growth and limbo_.
-  std::vector<ReaderSlot*> slots_;
-  std::atomic<ReaderSlot*> free_list_{nullptr};  ///< Treiber stack.
+  /// Append-only intrusive list of every slot ever allocated (stable
+  /// addresses, never unlinked; freed only in ~EpochDomain). Pushes and
+  /// the writer-side traversal load are seq_cst so a reader that pinned
+  /// before a writer's epoch bump is guaranteed visible to that writer's
+  /// MinActiveEpoch scan.
+  std::atomic<ReaderSlot*> slots_{nullptr};
+
+  mutable std::mutex mu_;  ///< Guards limbo_.
 
   struct Retired {
     uint64_t tag = 0;  ///< Post-bump epoch; free once MinActive >= tag.

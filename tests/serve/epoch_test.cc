@@ -57,6 +57,44 @@ TEST(EpochDomainTest, GuardPinnedAfterRetireDoesNotBlockIt) {
   }
 }
 
+/// Slot-pool churn: rapid guard entry/exit on other threads must never
+/// disturb a long-held guard's pin. Slot handout is claim-by-flag over an
+/// append-only list precisely so churn can't alias two guards onto one
+/// slot (the ABA a pop/re-push free-list admits when a recycled slot
+/// address makes a stale head CAS succeed); an aliased guard's exit
+/// would store epoch 0 and hide the held pin from MinActiveEpoch,
+/// allowing this retire to free early.
+TEST(EpochDomainTest, SlotChurnNeverUnpinsHeldGuard) {
+  EpochDomain domain;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  bool freed = false;
+  auto held = std::make_unique<EpochGuard>(domain);
+  domain.Retire([&freed]() { freed = true; });
+
+  std::vector<std::thread> churn;
+  churn.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    churn.emplace_back([&domain]() {
+      for (int i = 0; i < kIters; ++i) {
+        EpochGuard guard(domain);
+      }
+    });
+  }
+  for (std::thread& t : churn) t.join();
+
+  // Tens of thousands of acquire/release cycles later, the held guard's
+  // pre-bump pin must still block the free.
+  EXPECT_EQ(domain.TryReclaim(), 0u);
+  EXPECT_FALSE(freed);
+  EXPECT_EQ(domain.pending(), 1u);
+
+  held.reset();
+  EXPECT_EQ(domain.TryReclaim(), 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(domain.pending(), 0u);
+}
+
 /// Readers chase an atomic pointer under guards while a writer swaps and
 /// retires it; every dereference must see a fully-constructed value (TSan
 /// verifies the ordering claims in epoch.h).

@@ -289,8 +289,11 @@ int main(int argc, char** argv) {
         const uint64_t now = NowNanos();
         if (r.ok()) {
           // Latency from *scheduled arrival*: queueing delay included.
+          // at(): every approach key was inserted before the workers
+          // started, so concurrent access stays a const lookup —
+          // operator[] would turn an unknown id into a racing insert.
           const uint64_t arrival = start_ns + scheduled;
-          latency[request.approach_id]->RecordWithExemplar(
+          latency.at(request.approach_id)->RecordWithExemplar(
               now > arrival ? now - arrival : 0, r->context.request_id);
           report.ok.fetch_add(1, std::memory_order_relaxed);
         } else if (r.status().code() == StatusCode::kResourceExhausted) {
@@ -325,7 +328,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(swaps), elapsed, ok / elapsed);
   for (const std::string& id : opts.approaches) {
-    const obs::HdrSnapshot s = latency[id]->Snapshot();
+    const obs::HdrSnapshot s = latency.at(id)->Snapshot();
     std::printf("  %-8s n=%-5llu p50=%8.0fns p95=%10.0fns p99=%10.0fns\n",
                 id.c_str(), static_cast<unsigned long long>(s.count), s.p50,
                 s.p95, s.p99);
@@ -349,7 +352,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(swaps), elapsed, ok / elapsed);
   for (std::size_t i = 0; i < opts.approaches.size(); ++i) {
-    json += ApproachJson(opts.approaches[i], *latency[opts.approaches[i]]);
+    json += ApproachJson(opts.approaches[i],
+                         *latency.at(opts.approaches[i]));
     json += i + 1 < opts.approaches.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
