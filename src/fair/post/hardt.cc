@@ -68,7 +68,19 @@ Status Hardt::Fit(const std::vector<double>& proba,
   lp.a_eq(1, var(1, 1)) = -fpr[1];
   lp.a_eq(1, var(1, 0)) = -(1.0 - fpr[1]);
 
-  FAIRBENCH_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  LpSolution sol;
+  if (options_.basis_cache != nullptr) {
+    // Warm-start from the previous fold/replicate's optimal basis; a
+    // mismatched or stale basis silently degrades to a cold solve, and the
+    // result is bit-identical either way (revised_simplex.cc's final
+    // refactorization makes x a pure function of the final basis).
+    LpBasis basis;
+    options_.basis_cache->Load(&basis);
+    FAIRBENCH_ASSIGN_OR_RETURN(sol, SolveLp(lp, &basis));
+    options_.basis_cache->Store(basis);
+  } else {
+    FAIRBENCH_ASSIGN_OR_RETURN(sol, SolveLp(lp));
+  }
   for (int s = 0; s < 2; ++s) {
     for (int yhat = 0; yhat < 2; ++yhat) {
       mix_[s][yhat] = sol.x[var(s, yhat)];

@@ -7,6 +7,21 @@
 
 namespace fairbench {
 
+class LpBasisCache;
+
+/// Options for HARDT's post-processing fit.
+struct HardtOptions {
+  /// Optional shared simplex-basis cache (optim/simplex_lp.h). When set,
+  /// each Fit() warm-starts its equalized-odds LP from the previous
+  /// fold/replicate's optimal basis and stores its own basis back; the
+  /// caller owns the cache (thread-safe, shareable across ParallelFor CV
+  /// folds). Left null — the registry default — every fit is a cold solve,
+  /// which preserves the repo's byte-identical serial-vs-parallel and
+  /// golden-table guarantees: the solution is a pure function of the final
+  /// basis either way, but opting in is the bench/serving caller's call.
+  LpBasisCache* basis_cache = nullptr;
+};
+
 /// HARDT (Hardt, Price & Srebro 2016, "Equality of opportunity in
 /// supervised learning") — post-processing for equalized odds.
 ///
@@ -19,6 +34,8 @@ namespace fairbench {
 /// coin, so that repeated queries of one tuple agree.
 class Hardt final : public PostProcessor {
  public:
+  explicit Hardt(HardtOptions options = {}) : options_(options) {}
+
   std::string name() const override { return "Hardt-EO"; }
   Status Fit(const std::vector<double>& proba, const std::vector<int>& y_true,
              const std::vector<int>& sensitive,
@@ -32,6 +49,7 @@ class Hardt final : public PostProcessor {
   Status LoadState(ArtifactReader* reader) override;
 
  private:
+  HardtOptions options_;
   bool fitted_ = false;
   uint64_t seed_ = 0;
   double mix_[2][2] = {{0.0, 1.0}, {0.0, 1.0}};

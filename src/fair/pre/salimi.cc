@@ -227,9 +227,14 @@ Result<Dataset> Salimi::Repair(const Dataset& train, const FairContext& context)
         }
       }
       MaxSatOptions ms;
-      ms.seed = context.seed ^ (akey * 0x9e3779b9ull);
-      // Budget proportional to the block's variable count: small blocks
-      // converge in a few hundred flips.
+      // Index-addressed seed stream per A-block (see common/random.h):
+      // independent of block visit order and of every other consumer of
+      // context.seed. The engines derive their own sub-streams from it.
+      ms.seed = DeriveSeed(context.seed, akey);
+      ms.engine = options_.maxsat_engine;
+      ms.max_conflicts = options_.maxsat_conflict_budget;
+      // Fallback local-search budget proportional to the block's variable
+      // count: small blocks converge in a few hundred flips.
       ms.max_flips = std::min(20000, 400 * inst.num_vars);
       FAIRBENCH_ASSIGN_OR_RETURN(MaxSatSolution sol, SolveMaxSat(inst, ms));
       if (!sol.hard_satisfied) {

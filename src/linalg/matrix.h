@@ -32,6 +32,16 @@ class Matrix {
 
   static Matrix Identity(std::size_t n);
 
+  /// Reshapes to rows x cols and refills every element with `fill`,
+  /// reusing the existing allocation when the new extent fits. Lets hot
+  /// callers (the revised simplex scratch buffers) avoid a heap round-trip
+  /// per solve where `Matrix(rows, cols)` assignment would reallocate.
+  void Resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }

@@ -1,12 +1,20 @@
 #include "optim/maxsat.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
+#include "optim/sat/solver.h"
+#include "optim/solver_telemetry.h"
 
 namespace fairbench {
 namespace {
+
+std::atomic<MaxSatEngine> g_default_engine{MaxSatEngine::kCdcl};
 
 bool ClauseSatisfied(const Clause& clause, const std::vector<bool>& assign) {
   for (const Literal& lit : clause.literals) {
@@ -37,21 +45,14 @@ double Score(const MaxSatInstance& inst, const std::vector<bool>& assign,
   return score;
 }
 
-}  // namespace
-
-Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
-                                   const MaxSatOptions& options) {
+/// Legacy engine: exhaustive enumeration up to exact_threshold variables,
+/// weighted WalkSAT with restarts above. Also serves as the anytime
+/// fallback when the CDCL budget runs out. Randomness comes from the
+/// kMaxSatWalkStream DeriveSeed chain so it is independent of the CDCL
+/// engine's streams.
+MaxSatSolution LocalSearchSolve(const MaxSatInstance& instance,
+                                const MaxSatOptions& options) {
   const int n = instance.num_vars;
-  if (n < 0) return Status::InvalidArgument("SolveMaxSat: negative num_vars");
-  for (const Clause& c : instance.clauses) {
-    for (const Literal& lit : c.literals) {
-      if (lit.var < 0 || lit.var >= n) {
-        return Status::OutOfRange(
-            StrFormat("SolveMaxSat: literal var %d out of range", lit.var));
-      }
-    }
-  }
-
   double soft_total = 0.0;
   for (const Clause& c : instance.clauses) {
     if (!c.hard) soft_total += std::fabs(c.weight);
@@ -67,7 +68,9 @@ Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
     const uint64_t limit = 1ull << n;
     std::vector<bool> assign(static_cast<std::size_t>(n), false);
     for (uint64_t mask = 0; mask < limit; ++mask) {
-      for (int i = 0; i < n; ++i) assign[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+      for (int i = 0; i < n; ++i) {
+        assign[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+      }
       bool hard_ok = false;
       const double s = Score(instance, assign, hard_penalty, &hard_ok);
       if (s > best_score) {
@@ -76,8 +79,9 @@ Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
         best.hard_satisfied = hard_ok;
       }
     }
+    best.optimal = true;
   } else {
-    Rng rng(options.seed);
+    Rng rng(DeriveSeed(options.seed, kMaxSatWalkStream));
     // Index clauses per variable for incremental-ish evaluation. For the
     // moderate instance sizes SALIMI produces per partition, recomputing
     // affected clauses on flip is fast enough.
@@ -154,6 +158,255 @@ Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
         }
       }
     }
+  }
+  return best;
+}
+
+struct CdclOutcome {
+  bool have_model = false;  ///< At least a hard-feasible model was found.
+  bool proven = false;      ///< The model is a proven optimum.
+  std::vector<bool> assignment;
+};
+
+/// Exact weighted partial MaxSAT via WPM1 (Fu–Malik with weight
+/// stratification) on the incremental CDCL core: every soft clause C_i
+/// gets a blocking variable b_i and the hard clause (C_i ∨ b_i); solving
+/// under assumptions {¬b_i} either yields an optimal model or an unsat
+/// core of soft clauses, which is relaxed with fresh relaxation variables
+/// under an exactly-one constraint and charged the core's minimum weight.
+/// Weights are processed in descending strata so expensive obligations are
+/// settled first — which also makes every intermediate model a valid
+/// anytime answer if the conflict budget runs out.
+CdclOutcome RunCdcl(const MaxSatInstance& instance,
+                    const MaxSatOptions& options) {
+  const int n = instance.num_vars;
+  constexpr double kWeightFloor = 1e-12;
+
+  sat::SolverOptions sat_options;
+  sat_options.seed = DeriveSeed(options.seed, kMaxSatCdclStream);
+  sat_options.max_conflicts = options.max_conflicts;
+  sat::Solver solver(sat_options);
+  for (int i = 0; i < n; ++i) solver.NewVar();
+
+  struct Soft {
+    std::vector<sat::Lit> lits;  ///< Current clause (original ∪ relax vars).
+    double weight = 0.0;         ///< Residual weight.
+    sat::Lit assume = sat::kLitUndef;  ///< ¬b_i assumption literal.
+    bool active = false;
+  };
+  std::vector<Soft> softs;
+  bool root_conflict = false;
+
+  for (const Clause& c : instance.clauses) {
+    std::vector<sat::Lit> lits;
+    lits.reserve(c.literals.size());
+    for (const Literal& l : c.literals) {
+      lits.push_back(sat::MakeLit(l.var, l.negated));
+    }
+    if (c.hard) {
+      if (!solver.AddClause(std::move(lits))) root_conflict = true;
+    } else if (c.weight > 0.0) {
+      Soft s;
+      s.lits = std::move(lits);
+      s.weight = c.weight;
+      softs.push_back(std::move(s));
+    } else if (c.weight < 0.0) {
+      // Negative weight rewards *falsifying* C. Introduce z ≡ C and
+      // penalize z with the soft unit (¬z, |w|).
+      sat::Var z = solver.NewVar();
+      for (sat::Lit l : lits) {
+        if (!solver.AddClause({~l, sat::MakeLit(z)})) root_conflict = true;
+      }
+      lits.push_back(~sat::MakeLit(z));
+      if (!solver.AddClause(std::move(lits))) root_conflict = true;
+      Soft s;
+      s.lits = {~sat::MakeLit(z)};
+      s.weight = -c.weight;
+      softs.push_back(std::move(s));
+    }
+    // Zero-weight soft clauses cannot affect the optimum; dropped.
+  }
+  if (root_conflict || !solver.Okay()) return {};  // hard clauses UNSAT
+
+  // Blocking variables and relaxable hard copies (C_i ∨ b_i).
+  std::unordered_map<int, int> soft_of_assume;  // LitIndex(assume) -> index
+  for (std::size_t i = 0; i < softs.size(); ++i) {
+    sat::Var b = solver.NewVar();
+    std::vector<sat::Lit> cl = softs[i].lits;
+    cl.push_back(sat::MakeLit(b));
+    if (!solver.AddClause(std::move(cl))) return {};
+    softs[i].assume = sat::MakeLit(b, /*negated=*/true);
+    soft_of_assume[sat::LitIndex(softs[i].assume)] = static_cast<int>(i);
+  }
+
+  CdclOutcome out;
+  auto record_model = [&] {
+    out.have_model = true;
+    out.assignment.assign(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; ++i) {
+      out.assignment[static_cast<std::size_t>(i)] =
+          solver.ModelValue(i) == sat::LBool::kTrue;
+    }
+  };
+  auto finish = [&](CdclOutcome result) {
+    RecordSatTelemetry("maxsat", solver.stats());
+    return result;
+  };
+
+  // Hard-only feasibility first — establishes the anytime baseline model.
+  sat::Solver::Outcome res = solver.Solve({});
+  if (res == sat::Solver::Outcome::kUnsat) return finish({});
+  if (res == sat::Solver::Outcome::kUnknown) return finish(std::move(out));
+  record_model();
+
+  // Descending strata of distinct original weights.
+  std::vector<double> strata;
+  for (const Soft& s : softs) strata.push_back(s.weight);
+  std::sort(strata.begin(), strata.end(), std::greater<double>());
+  strata.erase(std::unique(strata.begin(), strata.end()), strata.end());
+
+  std::vector<sat::Lit> assumptions;
+  for (double stratum : strata) {
+    for (Soft& s : softs) {
+      if (!s.active && s.weight >= stratum) s.active = true;
+    }
+    for (;;) {
+      assumptions.clear();
+      for (const Soft& s : softs) {
+        if (s.active && s.weight > kWeightFloor) assumptions.push_back(s.assume);
+      }
+      res = solver.Solve(assumptions);
+      if (res == sat::Solver::Outcome::kSat) {
+        record_model();
+        break;
+      }
+      if (res == sat::Solver::Outcome::kUnknown) return finish(std::move(out));
+
+      const std::vector<sat::Lit>& core = solver.FailedAssumptions();
+      if (core.empty()) return finish(std::move(out));  // defensive
+
+      std::vector<int> core_idx;
+      core_idx.reserve(core.size());
+      double min_weight = std::numeric_limits<double>::infinity();
+      for (sat::Lit a : core) {
+        auto it = soft_of_assume.find(sat::LitIndex(a));
+        if (it == soft_of_assume.end()) return finish(std::move(out));
+        core_idx.push_back(it->second);
+        min_weight = std::min(min_weight, softs[static_cast<std::size_t>(it->second)].weight);
+      }
+      std::sort(core_idx.begin(), core_idx.end());  // deterministic order
+
+      if (core_idx.size() == 1) {
+        // A single soft clause inconsistent with the hard clauses: its
+        // whole weight is forfeit and no relaxation is needed.
+        softs[static_cast<std::size_t>(core_idx[0])].weight = 0.0;
+        continue;
+      }
+
+      // Fu–Malik relaxation: split each core member into a residual part
+      // (same assumption) and a relaxed copy (C ∨ r, min_weight) with a
+      // fresh blocking variable, then force exactly one relaxation.
+      std::vector<sat::Lit> relax;
+      relax.reserve(core_idx.size());
+      for (int idx : core_idx) {
+        Soft& s = softs[static_cast<std::size_t>(idx)];
+        s.weight -= min_weight;
+        if (s.weight < kWeightFloor) s.weight = 0.0;
+
+        sat::Var r = solver.NewVar();
+        relax.push_back(sat::MakeLit(r));
+        sat::Var b = solver.NewVar();
+
+        Soft relaxed;
+        relaxed.lits = s.lits;
+        relaxed.lits.push_back(sat::MakeLit(r));
+        relaxed.weight = min_weight;
+        relaxed.assume = sat::MakeLit(b, /*negated=*/true);
+        relaxed.active = true;
+
+        std::vector<sat::Lit> cl = relaxed.lits;
+        cl.push_back(sat::MakeLit(b));
+        if (!solver.AddClause(std::move(cl))) return finish(std::move(out));
+        soft_of_assume[sat::LitIndex(relaxed.assume)] =
+            static_cast<int>(softs.size());
+        softs.push_back(std::move(relaxed));
+      }
+      if (!solver.AddClause(relax)) return finish(std::move(out));
+      for (std::size_t i = 0; i < relax.size(); ++i) {
+        for (std::size_t j = i + 1; j < relax.size(); ++j) {
+          if (!solver.AddClause({~relax[i], ~relax[j]})) {
+            return finish(std::move(out));
+          }
+        }
+      }
+    }
+  }
+  out.proven = true;
+  return finish(std::move(out));
+}
+
+}  // namespace
+
+void SetDefaultMaxSatEngine(MaxSatEngine engine) {
+  g_default_engine.store(engine == MaxSatEngine::kDefault ? MaxSatEngine::kCdcl
+                                                          : engine,
+                         std::memory_order_relaxed);
+}
+
+MaxSatEngine DefaultMaxSatEngine() {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+Result<MaxSatSolution> SolveMaxSat(const MaxSatInstance& instance,
+                                   const MaxSatOptions& options) {
+  const int n = instance.num_vars;
+  if (n < 0) return Status::InvalidArgument("SolveMaxSat: negative num_vars");
+  for (const Clause& c : instance.clauses) {
+    for (const Literal& lit : c.literals) {
+      if (lit.var < 0 || lit.var >= n) {
+        return Status::OutOfRange(
+            StrFormat("SolveMaxSat: literal var %d out of range", lit.var));
+      }
+    }
+  }
+
+  MaxSatEngine engine = options.engine == MaxSatEngine::kDefault
+                            ? DefaultMaxSatEngine()
+                            : options.engine;
+
+  MaxSatSolution best;
+  if (engine == MaxSatEngine::kCdcl) {
+    CdclOutcome cdcl = RunCdcl(instance, options);
+    if (cdcl.proven) {
+      best.assignment = std::move(cdcl.assignment);
+      best.optimal = true;
+    } else {
+      // Anytime path: budget exhausted or hard clauses unsatisfiable.
+      // Keep the better of the CDCL model-so-far and the legacy engine.
+      MaxSatSolution walk = LocalSearchSolve(instance, options);
+      if (cdcl.have_model) {
+        double soft_total = 0.0;
+        for (const Clause& c : instance.clauses) {
+          if (!c.hard) soft_total += std::fabs(c.weight);
+        }
+        const double hard_penalty = soft_total + 1.0;
+        const double cdcl_score =
+            Score(instance, cdcl.assignment, hard_penalty, nullptr);
+        const double walk_score =
+            Score(instance, walk.assignment, hard_penalty, nullptr);
+        if (cdcl_score >= walk_score && !walk.optimal) {
+          best.assignment = std::move(cdcl.assignment);
+        } else {
+          best.assignment = std::move(walk.assignment);
+          best.optimal = walk.optimal;
+        }
+      } else {
+        best.assignment = std::move(walk.assignment);
+        best.optimal = walk.optimal;  // enumeration is exact even here
+      }
+    }
+  } else {
+    best = LocalSearchSolve(instance, options);
   }
 
   // Recompute the reported satisfied weight from the best assignment.

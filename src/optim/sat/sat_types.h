@@ -1,0 +1,42 @@
+#ifndef FAIRBENCH_OPTIM_SAT_SAT_TYPES_H_
+#define FAIRBENCH_OPTIM_SAT_SAT_TYPES_H_
+
+#include <cstdint>
+
+namespace fairbench::sat {
+
+/// Boolean variable index, 0-based. The solver owns the index space; new
+/// variables come from Solver::NewVar().
+using Var = int;
+constexpr Var kVarUndef = -1;
+
+/// A literal in the packed MiniSat encoding: index = 2*var + sign, where
+/// sign == 1 means the negated literal. The packed form lets watch lists
+/// and occurrence structures be indexed by a single int.
+struct Lit {
+  int x = -2;
+};
+
+constexpr Lit kLitUndef{-2};
+
+inline Lit MakeLit(Var v, bool negated = false) {
+  return Lit{2 * v + (negated ? 1 : 0)};
+}
+inline Lit operator~(Lit p) { return Lit{p.x ^ 1}; }
+/// True for the negated polarity.
+inline bool Sign(Lit p) { return (p.x & 1) != 0; }
+inline Var VarOf(Lit p) { return p.x >> 1; }
+/// Dense index usable for watch lists: in [0, 2*num_vars).
+inline int LitIndex(Lit p) { return p.x; }
+inline bool operator==(Lit a, Lit b) { return a.x == b.x; }
+inline bool operator!=(Lit a, Lit b) { return a.x != b.x; }
+inline bool operator<(Lit a, Lit b) { return a.x < b.x; }
+
+/// Three-valued assignment state.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool BoolToLBool(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+
+}  // namespace fairbench::sat
+
+#endif  // FAIRBENCH_OPTIM_SAT_SAT_TYPES_H_

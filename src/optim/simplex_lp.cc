@@ -3,6 +3,10 @@
 #include <cmath>
 #include <limits>
 
+// Legacy dense two-phase tableau simplex, kept verbatim as the reference
+// oracle for the revised solver's differential tests (see
+// optim/revised_simplex.cc for the default SolveLp).
+
 namespace fairbench {
 namespace {
 
@@ -99,7 +103,7 @@ struct Tableau {
 
 }  // namespace
 
-Result<LpSolution> SolveLp(const LinearProgram& lp) {
+Result<LpSolution> SolveLpTableau(const LinearProgram& lp) {
   const std::size_t n = lp.c.size();
   const std::size_t m_ub = lp.a_ub.rows();
   const std::size_t m_eq = lp.a_eq.rows();

@@ -6,6 +6,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "optim/objective.h"
+#include "optim/sat/solver.h"
+#include "optim/simplex_lp.h"
 
 namespace fairbench {
 
@@ -39,6 +41,72 @@ inline void RecordSolveTelemetry(const char* solver, const OptimResult& r) {
 #else
   (void)solver;
   (void)r;
+#endif
+}
+
+/// Publishes cumulative CDCL counters after a finished (multi-call) SAT or
+/// MaxSAT solve under the `optim.sat.*` prefix. `source` tags the log line
+/// only; counters are shared so dashboards see one stream.
+inline void RecordSatTelemetry(const char* source, const sat::SolveStats& s) {
+#if FAIRBENCH_OBS_ENABLED
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("optim.sat.solves").Add();
+    registry.GetCounter("optim.sat.conflicts")
+        .Add(static_cast<uint64_t>(s.conflicts));
+    registry.GetCounter("optim.sat.propagations")
+        .Add(static_cast<uint64_t>(s.propagations));
+    registry.GetCounter("optim.sat.restarts")
+        .Add(static_cast<uint64_t>(s.restarts));
+    registry.GetCounter("optim.sat.decisions")
+        .Add(static_cast<uint64_t>(s.decisions));
+    registry.GetCounter("optim.sat.learned_clauses")
+        .Add(static_cast<uint64_t>(s.learned_clauses));
+    registry.GetCounter("optim.sat.db_reductions")
+        .Add(static_cast<uint64_t>(s.db_reductions));
+  }
+  FAIRBENCH_LOG_DEBUG(
+      source,
+      "sat: conflicts=%lld props=%lld decisions=%lld restarts=%lld learned=%lld",
+      static_cast<long long>(s.conflicts), static_cast<long long>(s.propagations),
+      static_cast<long long>(s.decisions), static_cast<long long>(s.restarts),
+      static_cast<long long>(s.learned_clauses));
+#else
+  (void)source;
+  (void)s;
+#endif
+}
+
+/// Publishes one finished LP solve under the `optim.lp.*` prefix:
+/// warm-start outcomes plus per-phase pivot counts.
+inline void RecordLpTelemetry(const LpSolveStats& s) {
+#if FAIRBENCH_OBS_ENABLED
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("optim.lp.solves").Add();
+    if (s.warm_start_attempted) {
+      registry.GetCounter("optim.lp.warm_start_attempts").Add();
+    }
+    if (s.warm_start_hit) {
+      registry.GetCounter("optim.lp.warm_start_hits").Add();
+    }
+    if (s.phase1_skipped) {
+      registry.GetCounter("optim.lp.phase1_skipped").Add();
+    }
+    registry.GetCounter("optim.lp.phase1_iterations")
+        .Add(static_cast<uint64_t>(s.phase1_iterations));
+    registry.GetCounter("optim.lp.phase2_iterations")
+        .Add(static_cast<uint64_t>(s.phase2_iterations));
+    registry.GetCounter("optim.lp.refactorizations")
+        .Add(static_cast<uint64_t>(s.refactorizations));
+  }
+  FAIRBENCH_LOG_DEBUG(
+      "optim.lp", "lp: warm=%d hit=%d p1_skip=%d p1=%d p2=%d refac=%d",
+      s.warm_start_attempted ? 1 : 0, s.warm_start_hit ? 1 : 0,
+      s.phase1_skipped ? 1 : 0, s.phase1_iterations, s.phase2_iterations,
+      s.refactorizations);
+#else
+  (void)s;
 #endif
 }
 

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "optim/simplex_lp.h"
+
+namespace fairbench {
+namespace {
+
+// A HARDT-family equalized-odds LP (hardt.cc's shape): 4 structural
+// variables p_{s,yhat} in [0,1] and 2 equality rows tying the group TPR
+// and FPR together. Perturbing the group rates gives the structurally
+// identical LPs that successive CV folds produce.
+LinearProgram HardtFamilyLp(double tpr0, double fpr0, double tpr1, double fpr1,
+                            double pos0, double neg0, double pos1, double neg1) {
+  auto var = [](int s, int yhat) { return static_cast<std::size_t>(s * 2 + yhat); };
+  const double total = pos0 + neg0 + pos1 + neg1;
+  const double tpr[2] = {tpr0, tpr1};
+  const double fpr[2] = {fpr0, fpr1};
+  const double pos[2] = {pos0, pos1};
+  const double neg[2] = {neg0, neg1};
+  LinearProgram lp;
+  lp.c.assign(4, 0.0);
+  lp.upper.assign(4, 1.0);
+  for (int s = 0; s < 2; ++s) {
+    lp.c[var(s, 1)] += (-pos[s] * tpr[s] + neg[s] * fpr[s]) / total;
+    lp.c[var(s, 0)] += (-pos[s] * (1.0 - tpr[s]) + neg[s] * (1.0 - fpr[s])) / total;
+  }
+  lp.a_eq = Matrix(2, 4, 0.0);
+  lp.b_eq.assign(2, 0.0);
+  lp.a_eq(0, var(0, 1)) = tpr[0];
+  lp.a_eq(0, var(0, 0)) = 1.0 - tpr[0];
+  lp.a_eq(0, var(1, 1)) = -tpr[1];
+  lp.a_eq(0, var(1, 0)) = -(1.0 - tpr[1]);
+  lp.a_eq(1, var(0, 1)) = fpr[0];
+  lp.a_eq(1, var(0, 0)) = 1.0 - fpr[0];
+  lp.a_eq(1, var(1, 1)) = -fpr[1];
+  lp.a_eq(1, var(1, 0)) = -(1.0 - fpr[1]);
+  return lp;
+}
+
+TEST(LpWarmStartTest, ResolvingFromOwnOptimalBasisIsBitExact) {
+  LinearProgram lp = HardtFamilyLp(0.8, 0.3, 0.6, 0.2, 120, 200, 90, 150);
+
+  LpSolveStats cold_stats;
+  LpBasis basis;  // invalid => cold
+  auto cold = SolveLp(lp, &basis, &cold_stats);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold_stats.warm_start_hit);
+  ASSERT_TRUE(basis.valid);
+
+  // Re-solving from the optimal basis must skip phase 1 and reproduce the
+  // solution bit-for-bit: the final basis is the same set, and x is a pure
+  // function of it.
+  LpSolveStats warm_stats;
+  auto warm = SolveLp(lp, &basis, &warm_stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm_stats.warm_start_attempted);
+  EXPECT_TRUE(warm_stats.warm_start_hit);
+  EXPECT_TRUE(warm_stats.phase1_skipped);
+  EXPECT_EQ(warm_stats.phase1_iterations, 0);
+  ASSERT_EQ(warm->x.size(), cold->x.size());
+  for (std::size_t j = 0; j < warm->x.size(); ++j) {
+    EXPECT_EQ(std::memcmp(&warm->x[j], &cold->x[j], sizeof(double)), 0)
+        << "x[" << j << "] differs in bits: warm=" << warm->x[j]
+        << " cold=" << cold->x[j];
+  }
+  EXPECT_EQ(std::memcmp(&warm->objective, &cold->objective, sizeof(double)), 0);
+}
+
+TEST(LpWarmStartTest, CrossFoldWarmStartsMatchColdSolves) {
+  // Five "folds": the same LP family with slightly perturbed group rates,
+  // warm-started through a shared basis chain. Objectives must match the
+  // cold reference to solver tolerance, and the warm chain should skip
+  // phase 1 at least once after the first fold.
+  Rng rng(DeriveSeed(0xc01dull, 5));
+  LpBasis basis;
+  int phase1_skips = 0;
+  for (int fold = 0; fold < 5; ++fold) {
+    const double d = 0.02 * fold;
+    LinearProgram lp = HardtFamilyLp(0.78 + d, 0.31 - d, 0.61 + d, 0.22 - d,
+                                     118 + fold, 197 - fold, 93 + fold,
+                                     148 - fold);
+    LpSolveStats warm_stats;
+    auto warm = SolveLp(lp, &basis, &warm_stats);
+    auto cold = SolveLp(lp);
+    ASSERT_TRUE(warm.ok()) << "fold " << fold;
+    ASSERT_TRUE(cold.ok()) << "fold " << fold;
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-9) << "fold " << fold;
+    for (std::size_t j = 0; j < warm->x.size(); ++j) {
+      EXPECT_NEAR(warm->x[j], cold->x[j], 1e-9) << "fold " << fold;
+    }
+    if (fold > 0) {
+      EXPECT_TRUE(warm_stats.warm_start_attempted) << "fold " << fold;
+    }
+    if (warm_stats.phase1_skipped) ++phase1_skips;
+  }
+  EXPECT_GT(phase1_skips, 0) << "warm chain never skipped phase 1";
+}
+
+TEST(LpWarmStartTest, ShapeMismatchFallsBackToCold) {
+  LinearProgram small = HardtFamilyLp(0.8, 0.3, 0.6, 0.2, 120, 200, 90, 150);
+  LpBasis basis;
+  ASSERT_TRUE(SolveLp(small, &basis).ok());
+  ASSERT_TRUE(basis.valid);
+
+  // A differently-shaped LP must ignore the stale basis, not crash or
+  // mis-solve.
+  LinearProgram other;
+  other.c = {-1.0, -1.0, -1.0};
+  other.upper = {1.0, 1.0, 1.0};
+  other.a_ub = Matrix(1, 3, 0.0);
+  other.a_ub(0, 0) = 1.0;
+  other.a_ub(0, 1) = 1.0;
+  other.a_ub(0, 2) = 1.0;
+  other.b_ub = {1.5};
+  LpSolveStats stats;
+  auto sol = SolveLp(other, &basis, &stats);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(stats.warm_start_hit);
+  EXPECT_NEAR(sol->objective, -1.5, 1e-9);
+  // The basis now describes `other`, ready for the next same-shape solve.
+  EXPECT_TRUE(basis.valid);
+  EXPECT_EQ(basis.n, 3u);
+  EXPECT_EQ(basis.m_ub, 1u);
+  EXPECT_EQ(basis.m_eq, 0u);
+}
+
+TEST(LpWarmStartTest, GarbageBasisFallsBackToCold) {
+  LinearProgram lp = HardtFamilyLp(0.8, 0.3, 0.6, 0.2, 120, 200, 90, 150);
+  auto reference = SolveLp(lp);
+  ASSERT_TRUE(reference.ok());
+
+  // Right fingerprint, nonsense statuses: all columns basic (wrong count).
+  LpBasis garbage;
+  garbage.n = 4;
+  garbage.m_ub = 0;
+  garbage.m_eq = 2;
+  garbage.valid = true;
+  garbage.status.assign(4 + 0 + 2, LpVarStatus::kBasic);
+  LpSolveStats stats;
+  auto sol = SolveLp(lp, &garbage, &stats);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(stats.warm_start_attempted);
+  EXPECT_FALSE(stats.warm_start_hit);
+  EXPECT_NEAR(sol->objective, reference->objective, 1e-12);
+
+  // kAtUpper on an unbounded column is likewise rejected up front.
+  LinearProgram unbounded_col;
+  unbounded_col.c = {1.0, 1.0};
+  unbounded_col.a_ub = Matrix(1, 2, 0.0);
+  unbounded_col.a_ub(0, 0) = 1.0;
+  unbounded_col.a_ub(0, 1) = 1.0;
+  unbounded_col.b_ub = {1.0};
+  LpBasis bad_upper;
+  bad_upper.n = 2;
+  bad_upper.m_ub = 1;
+  bad_upper.m_eq = 0;
+  bad_upper.valid = true;
+  bad_upper.status = {LpVarStatus::kAtUpper, LpVarStatus::kAtLower,
+                      LpVarStatus::kBasic};
+  LpSolveStats stats2;
+  auto sol2 = SolveLp(unbounded_col, &bad_upper, &stats2);
+  ASSERT_TRUE(sol2.ok());
+  EXPECT_FALSE(stats2.warm_start_hit);
+  EXPECT_NEAR(sol2->objective, 0.0, 1e-9);
+}
+
+TEST(LpWarmStartTest, BasisCacheLoadStoreSemantics) {
+  LpBasisCache cache;
+  LpBasis probe;
+  probe.n = 99;  // sentinel: Load must not touch *out when empty
+  EXPECT_FALSE(cache.Load(&probe));
+  EXPECT_EQ(probe.n, 99u);
+
+  LinearProgram lp = HardtFamilyLp(0.8, 0.3, 0.6, 0.2, 120, 200, 90, 150);
+  LpBasis basis;
+  ASSERT_TRUE(SolveLp(lp, &basis).ok());
+  cache.Store(basis);
+
+  LpBasis loaded;
+  ASSERT_TRUE(cache.Load(&loaded));
+  EXPECT_TRUE(loaded.valid);
+  EXPECT_EQ(loaded.n, 4u);
+  EXPECT_EQ(loaded.status, basis.status);
+
+  cache.Clear();
+  EXPECT_FALSE(cache.Load(&loaded));
+}
+
+}  // namespace
+}  // namespace fairbench

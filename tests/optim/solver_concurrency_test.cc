@@ -1,0 +1,177 @@
+// Thread-safety suite for the solver tier — run under TSan in ci.sh
+// stage 11. Covers the two shared-state surfaces: LpBasisCache accessed
+// from concurrent SolveLp calls, and independent SolveMaxSat/sat::Solver
+// instances running in parallel (each solver owns its clause DB; only the
+// cache is shared).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/parallel_for.h"
+#include "optim/maxsat.h"
+#include "optim/simplex_lp.h"
+
+namespace fairbench {
+namespace {
+
+LinearProgram FoldLp(std::size_t i) {
+  // Same 4-var / 2-eq-row family hardt.cc emits, parameterized per task.
+  auto var = [](int s, int yhat) { return static_cast<std::size_t>(s * 2 + yhat); };
+  Rng rng(DeriveSeed(0xf01dull, i));
+  const double tpr[2] = {rng.Uniform(0.55, 0.9), rng.Uniform(0.55, 0.9)};
+  const double fpr[2] = {rng.Uniform(0.05, 0.45), rng.Uniform(0.05, 0.45)};
+  const double pos[2] = {rng.Uniform(50, 200), rng.Uniform(50, 200)};
+  const double neg[2] = {rng.Uniform(50, 200), rng.Uniform(50, 200)};
+  const double total = pos[0] + neg[0] + pos[1] + neg[1];
+  LinearProgram lp;
+  lp.c.assign(4, 0.0);
+  lp.upper.assign(4, 1.0);
+  for (int s = 0; s < 2; ++s) {
+    lp.c[var(s, 1)] += (-pos[s] * tpr[s] + neg[s] * fpr[s]) / total;
+    lp.c[var(s, 0)] += (-pos[s] * (1.0 - tpr[s]) + neg[s] * (1.0 - fpr[s])) / total;
+  }
+  lp.a_eq = Matrix(2, 4, 0.0);
+  lp.b_eq.assign(2, 0.0);
+  lp.a_eq(0, var(0, 1)) = tpr[0];
+  lp.a_eq(0, var(0, 0)) = 1.0 - tpr[0];
+  lp.a_eq(0, var(1, 1)) = -tpr[1];
+  lp.a_eq(0, var(1, 0)) = -(1.0 - tpr[1]);
+  lp.a_eq(1, var(0, 1)) = fpr[0];
+  lp.a_eq(1, var(0, 0)) = 1.0 - fpr[0];
+  lp.a_eq(1, var(1, 1)) = -fpr[1];
+  lp.a_eq(1, var(1, 0)) = -(1.0 - fpr[1]);
+  return lp;
+}
+
+MaxSatInstance TaskInstance(std::size_t i) {
+  Rng rng(DeriveSeed(0x5eedull, i));
+  MaxSatInstance inst;
+  const int n = 18 + static_cast<int>(i % 7);
+  inst.num_vars = n;
+  for (int ci = 0; ci < 3 * n; ++ci) {
+    Clause c;
+    const int len = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int k = 0; k < len; ++k) {
+      c.literals.push_back({static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n))),
+                            rng.Bernoulli(0.5)});
+    }
+    if (ci % 5 == 0) {
+      c.hard = true;
+    } else {
+      c.weight = static_cast<double>(1 + rng.UniformInt(5));
+    }
+    inst.clauses.push_back(std::move(c));
+  }
+  return inst;
+}
+
+TEST(SolverConcurrencyTest, SharedBasisCacheUnderParallelFor) {
+  constexpr std::size_t kTasks = 64;
+
+  // Cold serial reference.
+  std::vector<LpSolution> reference(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    auto sol = SolveLp(FoldLp(i));
+    ASSERT_TRUE(sol.ok()) << "task " << i;
+    reference[i] = *sol;
+  }
+
+  // All 64 tasks share one LpBasisCache: Load/Store race benignly (the
+  // mutex serializes them) and any stale basis degrades to a cold solve,
+  // so every result must match the cold reference.
+  LpBasisCache cache;
+  std::vector<LpSolution> parallel_out(kTasks);
+  Status st = ParallelFor(kTasks, [&](std::size_t i) -> Status {
+    LinearProgram lp = FoldLp(i);
+    LpBasis basis;
+    cache.Load(&basis);
+    LpSolveStats stats;
+    auto sol = SolveLp(lp, &basis, &stats);
+    if (!sol.ok()) return sol.status();
+    cache.Store(basis);
+    parallel_out[i] = *sol;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_NEAR(parallel_out[i].objective, reference[i].objective, 1e-9)
+        << "task " << i;
+    for (std::size_t j = 0; j < reference[i].x.size(); ++j) {
+      EXPECT_NEAR(parallel_out[i].x[j], reference[i].x[j], 1e-9)
+          << "task " << i << " x[" << j << "]";
+    }
+  }
+}
+
+TEST(SolverConcurrencyTest, ConcurrentMaxSatSolvesMatchSerial) {
+  constexpr std::size_t kTasks = 32;
+
+  std::vector<MaxSatSolution> serial(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    MaxSatOptions opts;
+    opts.seed = DeriveSeed(7, i);
+    auto sol = SolveMaxSat(TaskInstance(i), opts);
+    ASSERT_TRUE(sol.ok()) << "task " << i;
+    serial[i] = *sol;
+  }
+
+  // Each task builds its own sat::Solver + clause DB; the only process
+  // state is the default-engine atomic. Results must be byte-identical to
+  // the serial run (the repo-wide serial-vs-parallel contract).
+  std::vector<MaxSatSolution> parallel_out(kTasks);
+  Status st = ParallelFor(kTasks, [&](std::size_t i) -> Status {
+    MaxSatOptions opts;
+    opts.seed = DeriveSeed(7, i);
+    auto sol = SolveMaxSat(TaskInstance(i), opts);
+    if (!sol.ok()) return sol.status();
+    parallel_out[i] = *sol;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(parallel_out[i].assignment, serial[i].assignment) << "task " << i;
+    EXPECT_DOUBLE_EQ(parallel_out[i].satisfied_weight,
+                     serial[i].satisfied_weight)
+        << "task " << i;
+    EXPECT_EQ(parallel_out[i].hard_satisfied, serial[i].hard_satisfied)
+        << "task " << i;
+  }
+}
+
+TEST(SolverConcurrencyTest, MixedLpAndMaxSatWorkload) {
+  // Interleave both solver families under one ParallelFor to shake out any
+  // accidental sharing between the telemetry paths.
+  constexpr std::size_t kTasks = 48;
+  std::vector<double> objectives(kTasks, 0.0);
+  Status st = ParallelFor(kTasks, [&](std::size_t i) -> Status {
+    if (i % 2 == 0) {
+      auto sol = SolveLp(FoldLp(i / 2));
+      if (!sol.ok()) return sol.status();
+      objectives[i] = sol->objective;
+    } else {
+      MaxSatOptions opts;
+      opts.seed = DeriveSeed(7, i / 2);
+      auto sol = SolveMaxSat(TaskInstance(i / 2), opts);
+      if (!sol.ok()) return sol.status();
+      objectives[i] = sol->satisfied_weight;
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    if (i % 2 == 0) {
+      auto sol = SolveLp(FoldLp(i / 2));
+      ASSERT_TRUE(sol.ok());
+      EXPECT_NEAR(objectives[i], sol->objective, 1e-12) << "task " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairbench

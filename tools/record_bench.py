@@ -53,6 +53,23 @@ Extra modes:
    with zero failed requests and at least one completed mid-run hot swap.
    Exits 1 with a line per violation.
 
+       tools/record_bench.py --check-monitor BENCH_monitor.json
+
+   Re-applies the monitor health gates (ns/event < 1000, no pre-onset or
+   stationary alerts, every drift detected) to the committed record, so a
+   hand-edited or stale record fails the same way a bad raw run would.
+
+       tools/record_bench.py --check-solvers BENCH_solvers.json
+
+   Acceptance gate for the solver-rewrite record (CI stage 11): CDCL at
+   least 5x over WalkSAT on the largest SALIMI block with the optimum
+   proven, warm-started HARDT LP at least 2x over cold with bit-equal
+   objectives and real phase-1 skips, >= 3 repetitions everywhere.
+
+   Every --check-* mode also rejects a record whose context reports a
+   debug build ("library_build_type"/"build_type" == "debug") — debug
+   timings are not measurements and must not be committed.
+
        tools/record_bench.py --check-prom metrics.prom
 
    Parses a Prometheus text-format (0.0.4) exposition file written by the
@@ -73,6 +90,14 @@ Extra modes:
    onset, if the stationary control alerted at all, or if a drifting
    scenario went undetected — a slow or trigger-happy monitor cannot be
    committed as a healthy benchmark.
+
+4. per-repetition output from bench/solver_scaling -> BENCH_solvers.json:
+
+       bench/solver_scaling --reps 5 --json raw.json
+       tools/record_bench.py raw.json > BENCH_solvers.json
+
+   Medians the WalkSAT-vs-CDCL MaxSAT ladder, the warm-vs-cold HARDT LP
+   sweep, and the tableau-vs-revised size ladder.
 """
 
 import json
@@ -80,6 +105,33 @@ import math
 import re
 import statistics
 import sys
+
+
+def _debug_build_errors(record: dict) -> list:
+    """A committed benchmark record measured from a debug build is not a
+    measurement at all — every check mode rejects it. The build-type keys
+    differ by producer (google-benchmark emits context.library_build_type,
+    our own benches emit build_type / context.build_type); a record that
+    predates the field passes, one that says "debug" anywhere fails. One
+    nuance: google-benchmark's library_build_type describes the *benchmark
+    library*, which ships debug-built on the reference image, so when the
+    record carries our own fairbench_build_type that key is authoritative
+    and library_build_type is ignored; records predating it (or from
+    binaries actually built debug) still fail on either key."""
+    errors = []
+    context = record.get("context") or {}
+    checks = [("context", "build_type"),
+              ("record", "build_type"),
+              ("context", "fairbench_build_type")]
+    if not isinstance(context.get("fairbench_build_type"), str):
+        checks.append(("context", "library_build_type"))
+    for where, key in checks:
+        holder = context if where == "context" else record
+        value = holder.get(key)
+        if isinstance(value, str) and value.lower() == "debug":
+            errors.append(f"{where}.{key} is 'debug' — rerun the bench from "
+                          "a Release build before committing")
+    return errors
 
 
 def distill_kernels(raw: dict) -> dict:
@@ -98,7 +150,8 @@ def distill_kernels(raw: dict) -> dict:
         "source": "bench/micro_kernels",
         "context": {
             k: raw.get("context", {}).get(k)
-            for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+            for k in ("host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type", "fairbench_build_type")
         },
         "kernels": [],
     }
@@ -247,6 +300,7 @@ def check_serve_record(path: str) -> int:
 
     if record.get("source") != "bench/serve_throughput":
         errors.append(f"source is {record.get('source')!r}")
+    errors.extend(_debug_build_errors(record))
     approaches = record.get("approaches") or []
     if not approaches:
         errors.append("no approaches recorded")
@@ -396,6 +450,201 @@ def distill_monitor(raw: dict) -> dict:
     return out
 
 
+def check_monitor_record(path: str) -> int:
+    """Validates a committed BENCH_monitor.json (CI stage 7). Re-applies
+    the distill-time health gates to the committed record — median cost
+    under 1000 ns/event, no pre-onset or stationary alerts, every drifting
+    scenario detected — so a hand-edited or stale record fails the same
+    way a bad raw run would. Returns the number of violations."""
+    errors = []
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"monitor check failed: {path}: {e}", file=sys.stderr)
+        return 1
+
+    if record.get("source") != "bench/monitor_drift":
+        errors.append(f"source is {record.get('source')!r}")
+    errors.extend(_debug_build_errors(record))
+    scenarios = record.get("scenarios") or []
+    if not scenarios:
+        errors.append("no scenarios recorded")
+    names = {s.get("name") for s in scenarios}
+    if "stationary" not in names:
+        errors.append("missing the stationary control scenario")
+    for s in scenarios:
+        name = s.get("name", "?")
+        if s.get("repetitions", 0) < 3:
+            errors.append(f"{name}: too few repetitions for a median")
+        ns = s.get("ns_per_event")
+        if not isinstance(ns, (int, float)) or not 0 < ns < 1000:
+            errors.append(f"{name}: ns_per_event {ns} outside (0, 1000)")
+        if s.get("alerts_pre_onset", 1) != 0:
+            errors.append(f"{name}: alert(s) before drift onset")
+        if name == "stationary":
+            if s.get("alerts_post_onset", 1) != 0:
+                errors.append("stationary: alert(s) on a drift-free stream")
+        else:
+            if not s.get("alerts_post_onset", 0) > 0:
+                errors.append(f"{name}: drift never alerted")
+            if not s.get("detection_latency_events", -1) >= 0:
+                errors.append(f"{name}: missing detection latency")
+
+    for error in errors:
+        print(f"monitor check failed: {error}", file=sys.stderr)
+    if not errors:
+        worst = max(s["ns_per_event"] for s in scenarios)
+        print(f"{path} ok: {len(scenarios)} scenarios, "
+              f"worst median {worst} ns/event")
+    return len(errors)
+
+
+def distill_solvers(raw: dict) -> dict:
+    """bench/solver_scaling --json output -> BENCH_solvers.json. Medians
+    each MaxSAT block size (WalkSAT vs CDCL), the HARDT warm-vs-cold LP
+    sweep, and the tableau-vs-revised size ladder."""
+    out = {
+        "source": raw["source"],
+        "policy": "median over repetitions (see MEMORY: 1-vCPU bench noise)",
+        "context": {
+            "seed": raw.get("seed"),
+            "build_type": raw.get("build_type"),
+        },
+        "maxsat": [],
+    }
+    for point in raw["maxsat"]:
+        reps = point["repetitions"]
+        legacy = statistics.median(r["legacy_seconds"] for r in reps)
+        cdcl = statistics.median(r["cdcl_seconds"] for r in reps)
+        out["maxsat"].append({
+            "ni": point["ni"],
+            "vars": point["vars"],
+            "clauses": point["clauses"],
+            "repetitions": len(reps),
+            "walksat_seconds": round(legacy, 9),
+            "cdcl_seconds": round(cdcl, 9),
+            "cdcl_speedup": round(legacy / cdcl, 2) if cdcl > 0 else None,
+            "walksat_weight": statistics.median(
+                r["legacy_weight"] for r in reps),
+            "cdcl_weight": statistics.median(r["cdcl_weight"] for r in reps),
+            "cdcl_optimal": all(r["cdcl_optimal"] for r in reps),
+        })
+
+    hardt = raw["hardt_lp"]
+    reps = hardt["repetitions"]
+    cold = statistics.median(r["cold_seconds"] for r in reps)
+    warm = statistics.median(r["warm_seconds"] for r in reps)
+    out["hardt_lp"] = {
+        "folds": hardt["folds"],
+        "sweeps_per_rep": hardt["sweeps_per_rep"],
+        "repetitions": len(reps),
+        "cold_seconds": round(cold, 9),
+        "warm_seconds": round(warm, 9),
+        "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+        "phase1_skips": statistics.median(r["phase1_skips"] for r in reps),
+        "warm_solves": statistics.median(r["warm_solves"] for r in reps),
+        "objectives_bit_equal": all(r["objectives_bit_equal"] for r in reps),
+    }
+
+    out["lp_sizes"] = []
+    for point in raw.get("lp_sizes", []):
+        reps = point["repetitions"]
+        tab = statistics.median(r["tableau_seconds"] for r in reps)
+        rev = statistics.median(r["revised_seconds"] for r in reps)
+        out["lp_sizes"].append({
+            "n": point["n"],
+            "m": point["m"],
+            "repetitions": len(reps),
+            "tableau_seconds": round(tab, 9),
+            "revised_seconds": round(rev, 9),
+            "revised_speedup": round(tab / rev, 2) if rev > 0 else None,
+        })
+    return out
+
+
+def check_solvers_record(path: str) -> int:
+    """Schema + health gate for the committed BENCH_solvers.json (CI stage
+    11). The acceptance floors from the solver-rewrite issue: CDCL at
+    least 5x over WalkSAT on the largest SALIMI block with the optimum
+    proven and never below WalkSAT's weight, the warm-started HARDT LP at
+    least 2x over cold with bit-equal objectives and real phase-1 skips,
+    and medians over >= 3 repetitions throughout. Returns the number of
+    violations (0 = clean)."""
+    errors = []
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"solvers check failed: {path}: {e}", file=sys.stderr)
+        return 1
+
+    if record.get("source") != "bench/solver_scaling":
+        errors.append(f"source is {record.get('source')!r}")
+    errors.extend(_debug_build_errors(record))
+
+    maxsat = record.get("maxsat") or []
+    if not maxsat:
+        errors.append("no maxsat block sizes recorded")
+    for p in maxsat:
+        ni = p.get("ni", "?")
+        if p.get("repetitions", 0) < 3:
+            errors.append(f"maxsat ni={ni}: too few repetitions for a median")
+        for key in ("walksat_seconds", "cdcl_seconds"):
+            if not isinstance(p.get(key), (int, float)) or not p[key] > 0:
+                errors.append(f"maxsat ni={ni}: bad {key}")
+        if not p.get("cdcl_optimal", False):
+            errors.append(f"maxsat ni={ni}: CDCL did not prove the optimum")
+        walk_wt = p.get("walksat_weight")
+        cdcl_wt = p.get("cdcl_weight")
+        if not (isinstance(walk_wt, (int, float))
+                and isinstance(cdcl_wt, (int, float))):
+            errors.append(f"maxsat ni={ni}: missing satisfied weights")
+        elif cdcl_wt < walk_wt - 1e-9:
+            errors.append(f"maxsat ni={ni}: CDCL weight {cdcl_wt} below "
+                          f"WalkSAT's {walk_wt} — a proven optimum can't lose")
+    if maxsat:
+        largest = max(maxsat, key=lambda p: p.get("ni", 0))
+        speedup = largest.get("cdcl_speedup")
+        if not isinstance(speedup, (int, float)) or speedup < 5:
+            errors.append(
+                f"maxsat ni={largest.get('ni')}: CDCL speedup {speedup} "
+                "below the 5x acceptance floor on the largest block")
+
+    hardt = record.get("hardt_lp")
+    if not hardt:
+        errors.append("missing hardt_lp block (warm-start experiment)")
+    else:
+        if hardt.get("repetitions", 0) < 3:
+            errors.append("hardt_lp: too few repetitions for a median")
+        speedup = hardt.get("warm_speedup")
+        if not isinstance(speedup, (int, float)) or speedup < 2:
+            errors.append(f"hardt_lp: warm speedup {speedup} below the 2x "
+                          "acceptance floor")
+        if not hardt.get("objectives_bit_equal", False):
+            errors.append("hardt_lp: warm objectives not bit-equal to cold")
+        if not hardt.get("phase1_skips", 0) > 0:
+            errors.append("hardt_lp: no phase-1 skips — the warm path "
+                          "never actually engaged")
+        if not hardt.get("warm_solves", 0) > 0:
+            errors.append("hardt_lp: no warm solves recorded")
+
+    for p in record.get("lp_sizes") or []:
+        n = p.get("n", "?")
+        for key in ("tableau_seconds", "revised_seconds"):
+            if not isinstance(p.get(key), (int, float)) or not p[key] > 0:
+                errors.append(f"lp_sizes n={n}: bad {key}")
+
+    for error in errors:
+        print(f"solvers check failed: {error}", file=sys.stderr)
+    if not errors:
+        largest = max(maxsat, key=lambda p: p.get("ni", 0))
+        print(f"{path} ok: CDCL {largest['cdcl_speedup']}x on ni="
+              f"{largest['ni']}, hardt warm {hardt['warm_speedup']}x, "
+              f"objectives bit-equal")
+    return len(errors)
+
+
 # Sparse kernel families that BENCH_kernels.json must pair (ref + opt):
 # the CSR tier's contract is "never commit a record that lost its sparse
 # trajectory". Family = the entry's bench name up to the first '/'.
@@ -437,6 +686,7 @@ def check_kernels_record(path: str) -> int:
                       "expected 'bench/micro_kernels'")
     if not isinstance(record.get("context"), dict):
         errors.append("missing context object")
+    errors.extend(_debug_build_errors(record))
     kernels = record.get("kernels")
     if not isinstance(kernels, list) or not kernels:
         errors.append("kernels must be a non-empty list")
@@ -606,6 +856,10 @@ def main() -> int:
         return 1 if check_kernels_record(sys.argv[2]) else 0
     if len(sys.argv) == 3 and sys.argv[1] == "--check-serve":
         return 1 if check_serve_record(sys.argv[2]) else 0
+    if len(sys.argv) == 3 and sys.argv[1] == "--check-monitor":
+        return 1 if check_monitor_record(sys.argv[2]) else 0
+    if len(sys.argv) == 3 and sys.argv[1] == "--check-solvers":
+        return 1 if check_solvers_record(sys.argv[2]) else 0
     open_loop_path = None
     argv = list(sys.argv[1:])
     if "--open-loop" in argv:
@@ -629,6 +883,8 @@ def main() -> int:
             merge_open_loop(out, open_loop_path)
     elif raw.get("source") == "bench/monitor_drift":
         out = distill_monitor(raw)
+    elif raw.get("source") == "bench/solver_scaling":
+        out = distill_solvers(raw)
     else:
         print("unrecognized raw benchmark JSON", file=sys.stderr)
         return 2
